@@ -1,0 +1,98 @@
+// Command ltnc-cost regenerates the computational-cost experiments of
+// Figure 8: recoding and decoding costs of LTNC versus RLNC across code
+// lengths, split into control-plane (code vectors, Tanner graph, code
+// matrix) and data-plane (payload XORs) work.
+//
+// Units are machine-independent proxies for the paper's CPU cycles:
+// 64-bit word operations for control, payload bytes XORed per output byte
+// for data. Wall-clock equivalents live in the repository benchmarks
+// (go test -bench Fig8 -benchmem).
+//
+// Usage:
+//
+//	ltnc-cost [-fig all|8a|8b|8c|8d] [-ks 400,800,1200,1600,2000] [-m 256] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ltnc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ltnc-cost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ltnc-cost", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "panel: all, 8a, 8b, 8c or 8d")
+		ksArg = fs.String("ks", "400,800,1200,1600,2000", "code lengths")
+		m     = fs.Int("m", 256, "payload size in bytes")
+		seed  = fs.Int64("seed", 1, "root seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts := strings.Split(*ksArg, ",")
+	ks := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -ks entry %q: %w", part, err)
+		}
+		ks = append(ks, v)
+	}
+	rows, err := experiments.Fig8(ks, *m, *seed)
+	if err != nil {
+		return err
+	}
+	switch *fig {
+	case "all":
+		fmt.Fprintf(out, "# Figure 8 (all panels), m=%d; control in word-ops, data in bytes-XORed/byte\n", *m)
+		fmt.Fprintln(out, "k\trecode_ctl_LTNC\trecode_ctl_RLNC\tdecode_ctl_LTNC\tdecode_ctl_RLNC\trecode_data_LTNC\trecode_data_RLNC\tdecode_data_LTNC\tdecode_data_RLNC")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%d\t%.1f\t%.1f\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				r.K,
+				r.LTNCRecodeControl, r.RLNCRecodeControl,
+				r.LTNCDecodeControl, r.RLNCDecodeControl,
+				r.LTNCRecodeDataPerByte, r.RLNCRecodeDataPerByte,
+				r.LTNCDecodeDataPerByte, r.RLNCDecodeDataPerByte)
+		}
+	case "8a":
+		fmt.Fprintln(out, "# Figure 8a: recoding (control), word-ops per recode")
+		fmt.Fprintln(out, "k\tLTNC\tRLNC")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%d\t%.1f\t%.1f\n", r.K, r.LTNCRecodeControl, r.RLNCRecodeControl)
+		}
+	case "8b":
+		fmt.Fprintln(out, "# Figure 8b: decoding (control), total word-ops per content")
+		fmt.Fprintln(out, "k\tLTNC\tRLNC")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%d\t%.0f\t%.0f\n", r.K, r.LTNCDecodeControl, r.RLNCDecodeControl)
+		}
+	case "8c":
+		fmt.Fprintln(out, "# Figure 8c: recoding (data), bytes XORed per recoded byte")
+		fmt.Fprintln(out, "k\tLTNC\tRLNC")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%d\t%.2f\t%.2f\n", r.K, r.LTNCRecodeDataPerByte, r.RLNCRecodeDataPerByte)
+		}
+	case "8d":
+		fmt.Fprintln(out, "# Figure 8d: decoding (data), bytes XORed per decoded byte")
+		fmt.Fprintln(out, "k\tLTNC\tRLNC")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%d\t%.2f\t%.2f\n", r.K, r.LTNCDecodeDataPerByte, r.RLNCDecodeDataPerByte)
+		}
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllPanels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ks", "32,64", "-m", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"recode_ctl_LTNC", "decode_data_RLNC"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("missing column %s", col)
+		}
+	}
+}
+
+func TestRunSinglePanels(t *testing.T) {
+	for _, fig := range []string{"8a", "8b", "8c", "8d"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-fig", fig, "-ks", "32", "-m", "8"}, &buf); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if !strings.Contains(buf.String(), "k\tLTNC\tRLNC") {
+			t.Errorf("%s: missing header", fig)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "8z", "-ks", "32"}, &buf); err == nil {
+		t.Error("unknown panel accepted")
+	}
+	if err := run([]string{"-ks", "zz"}, &buf); err == nil {
+		t.Error("bad ks accepted")
+	}
+	if err := run([]string{"-ks", "32", "-m", "0"}, &buf); err == nil {
+		t.Error("m=0 accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "64"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "degree\tpmf") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "k=64") {
+		t.Error("missing parameter echo")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 10 {
+		t.Errorf("only %d lines of output", lines)
+	}
+}
+
+func TestRunAllFlag(t *testing.T) {
+	var terse, full bytes.Buffer
+	if err := run([]string{"-k", "2048"}, &terse); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-k", "2048", "-all"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() <= terse.Len() {
+		t.Error("-all did not print more degrees")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "0"}, &buf); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run([]string{"-c", "-1"}, &buf); err == nil {
+		t.Error("c<0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command ltnc-file encodes a file into a stream of LT packets and
+// decodes such a stream back — a minimal end-to-end demonstration of the
+// library and its wire format.
+//
+// Usage:
+//
+//	ltnc-file encode -in FILE -out PACKETS [-k 256] [-rate 1.4] [-seed 1]
+//	ltnc-file decode -in PACKETS -out FILE -size BYTES [-k 256]
+//
+// encode writes ceil(rate·k) packets in the wire format; decode replays
+// them through a belief-propagation node and writes the recovered bytes.
+// A rate around 1.3–1.5 gives comfortable decoding margin (LT codes need
+// (1+ε)·k packets).
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ltnc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ltnc-file:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: ltnc-file encode|decode [flags]")
+	}
+	switch args[0] {
+	case "encode":
+		return encode(args[1:])
+	case "decode":
+		return decode(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want encode or decode)", args[0])
+	}
+}
+
+func encode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "input file")
+		out  = fs.String("out", "", "output packet stream")
+		k    = fs.Int("k", 256, "code length")
+		rate = fs.Float64("rate", 1.4, "packets emitted as a multiple of k")
+		seed = fs.Int64("seed", 1, "encoder seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return errors.New("encode: -in and -out are required")
+	}
+	if *rate <= 0 {
+		return errors.New("encode: -rate must be positive")
+	}
+	content, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	src, err := ltnc.NewSource(content, *k, ltnc.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	count := int(*rate * float64(*k))
+	for i := 0; i < count; i++ {
+		if err := ltnc.WritePacket(w, src.Packet()); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d bytes into %d packets (k=%d, m=%d) -> %s\n",
+		len(content), count, src.K(), src.M(), *out)
+	return nil
+}
+
+func decode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "input packet stream")
+		out  = fs.String("out", "", "output file")
+		k    = fs.Int("k", 256, "code length used at encode time")
+		size = fs.Int("size", 0, "original content size in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *size <= 0 {
+		return errors.New("decode: -in, -out and -size are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	var node *ltnc.Node
+	used := 0
+	for {
+		p, err := ltnc.ReadPacket(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading packet %d: %w", used, err)
+		}
+		if node == nil {
+			if p.K() != *k {
+				return fmt.Errorf("stream is for k=%d, got -k %d", p.K(), *k)
+			}
+			if node, err = ltnc.NewNode(p.K(), len(p.Payload)); err != nil {
+				return err
+			}
+		}
+		node.Receive(p)
+		used++
+		if node.Complete() {
+			break
+		}
+	}
+	if node == nil || !node.Complete() {
+		decoded := 0
+		if node != nil {
+			decoded, _ = node.Progress()
+		}
+		return fmt.Errorf("stream exhausted after %d packets with %d/%d natives decoded",
+			used, decoded, *k)
+	}
+	content, err := node.Bytes(*size)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, content, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %d bytes from %d packets -> %s\n", len(content), used, *out)
+	return nil
+}

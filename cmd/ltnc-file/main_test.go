@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	packets := filepath.Join(dir, "packets.ltnc")
+	out := filepath.Join(dir, "out.bin")
+
+	content := bytes.Repeat([]byte("the quick brown fox "), 500)
+	if err := os.WriteFile(in, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"encode", "-in", in, "-out", packets, "-k", "64", "-rate", "1.6"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"decode", "-in", packets, "-out", out,
+		"-k", "64", "-size", strconv.Itoa(len(content)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestDecodeInsufficientPackets(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	packets := filepath.Join(dir, "packets.ltnc")
+	if err := os.WriteFile(in, make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// rate 0.5 cannot decode.
+	if err := run([]string{"encode", "-in", in, "-out", packets, "-k", "64", "-rate", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"decode", "-in", packets, "-out", filepath.Join(dir, "out.bin"),
+		"-k", "64", "-size", "4096",
+	})
+	if err == nil {
+		t.Error("under-provisioned stream decoded")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := [][]string{
+		nil,
+		{"transcode"},
+		{"encode"},
+		{"encode", "-in", "x"},
+		{"encode", "-in", "/nonexistent", "-out", "/tmp/x"},
+		{"decode"},
+		{"decode", "-in", "x", "-out", "y"},
+		{"encode", "-in", "x", "-out", "y", "-rate", "-1"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDecodeWrongK(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	packets := filepath.Join(dir, "packets.ltnc")
+	if err := os.WriteFile(in, make([]byte, 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"encode", "-in", in, "-out", packets, "-k", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"decode", "-in", packets, "-out", filepath.Join(dir, "out.bin"),
+		"-k", "64", "-size", "1024",
+	})
+	if err == nil {
+		t.Error("mismatched k accepted")
+	}
+}

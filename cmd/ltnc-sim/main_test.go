@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseKs(t *testing.T) {
+	ks, err := parseKs("256, 512,1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 || ks[0] != 256 || ks[1] != 512 || ks[2] != 1024 {
+		t.Errorf("parseKs = %v", ks)
+	}
+	if _, err := parseKs("12,abc"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestRunFig7aTiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "7a", "-n", "8", "-k", "24", "-runs", "1", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "round\tWC\tLTNC\tRLNC") {
+		t.Errorf("missing series header in %q", out[:min(120, len(out))])
+	}
+}
+
+func TestRunFig7bTiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "7b", "-n", "8", "-ks", "16,24", "-runs", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k\tWC\tLTNC\tRLNC") {
+		t.Error("missing table header")
+	}
+}
+
+func TestRunFig7cTiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "7c", "-n", "8", "-ks", "24", "-runs", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "overhead_pct") {
+		t.Error("missing overhead column")
+	}
+}
+
+func TestRunHeadlineTiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "headline", "-n", "8", "-k", "32", "-runs", "1", "-m", "16"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "decode_reduction_pct") {
+		t.Error("missing headline metric")
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "ablation", "-n", "8", "-k", "24", "-runs", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ltnc/baseline") {
+		t.Error("missing baseline row")
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "9z"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "7b", "-ks", "x"}, &buf); err == nil {
+		t.Error("bad ks accepted")
+	}
+}

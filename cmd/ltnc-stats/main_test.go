@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyMesh(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "48", "-nodes", "8", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, field := range []string{
+		"pick_first_accept_rate",
+		"build_target_rate",
+		"occurrence_rel_stddev_steady",
+		"redundancy_reduction_pct",
+	} {
+		if !strings.Contains(out, field) {
+			t.Errorf("missing field %s", field)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "0"}, &buf); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run([]string{"-wat"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Quickstart: encode content at a source, recode it through an
+// intermediary that never sees the full content, and decode at a sink
+// with belief propagation — the minimal LTNC pipeline.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+)
+
+import "ltnc"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The content: 64 KiB split into k = 256 native packets of 256 B.
+	const k = 256
+	content := make([]byte, 64*1024)
+	rand.New(rand.NewSource(42)).Read(content)
+
+	src, err := ltnc.NewSource(content, k, ltnc.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	relay, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(2))
+	if err != nil {
+		return err
+	}
+	sink, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(3))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("content: %d bytes, k=%d natives of m=%d bytes\n",
+		len(content), src.K(), src.M())
+
+	// The relay receives the source stream and pushes *fresh* recoded
+	// packets to the sink: network coding, not store-and-forward. The
+	// sink aborts transfers whose header announces a redundant packet
+	// (binary feedback channel).
+	var sent, aborted int
+	for step := 1; !sink.Complete(); step++ {
+		if step > 50*k {
+			return fmt.Errorf("no convergence after %d steps", step)
+		}
+		relay.Receive(src.Packet())
+		p, ok := relay.Recode()
+		if !ok {
+			continue
+		}
+		if sink.IsRedundant(p) {
+			aborted++
+			continue
+		}
+		sink.Receive(p)
+		sent++
+		if sent%100 == 0 {
+			d, _ := sink.Progress()
+			fmt.Printf("  after %4d payloads: sink decoded %3d/%d natives (%d transfers aborted)\n",
+				sent, d, k, aborted)
+		}
+	}
+
+	got, err := sink.Bytes(len(content))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, content) {
+		return fmt.Errorf("recovered content differs")
+	}
+	fmt.Printf("sink decoded all %d natives from %d payload transfers "+
+		"(%.1f%% reception overhead, %d aborted by feedback)\n",
+		k, sent, 100*float64(sent-k)/float64(k), aborted)
+	fmt.Println("content verified byte-for-byte ✓")
+	return nil
+}

@@ -1,0 +1,92 @@
+// Sensornet: the paper's motivating scenario — dissemination across nodes
+// with low processing capability, "typically in sensor networks composed
+// of low capability nodes".
+//
+// A firmware image is pushed epidemically through a field of sensors,
+// once with LTNC and once with RLNC, and the example reports what each
+// sensor's CPU had to do: LTNC decodes with belief propagation
+// (O(m·k·log k)) where RLNC needs Gaussian reduction (O(m·k²)), at the
+// price of a modest communication overhead — the paper's headline
+// trade-off, seen from the device's perspective.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltnc/internal/opcount"
+	"ltnc/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		sensors = 48  // motes in radio range of the gateway mesh
+		k       = 256 // firmware image blocks
+		m       = 128 // block size (bytes)
+	)
+	fmt.Printf("disseminating a %d-block firmware image (%d B blocks) to %d sensors\n\n",
+		k, m, sensors)
+
+	type outcome struct {
+		scheme      sim.Scheme
+		rounds      float64
+		overheadPct float64
+		decodeOps   uint64
+		decodeBytes uint64
+		recodeBytes uint64
+	}
+	var results []outcome
+	for _, scheme := range []sim.Scheme{sim.LTNC, sim.RLNC} {
+		var counter opcount.Counter
+		cfg := sim.Config{
+			Scheme:        scheme,
+			N:             sensors,
+			K:             k,
+			M:             m,
+			Seed:          7,
+			Feedback:      sim.FeedbackBinary,
+			VerifyContent: true,
+			Counter:       &counter,
+		}
+		if scheme == sim.LTNC {
+			cfg.Aggressiveness = 0.01
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if !res.Completed {
+			return fmt.Errorf("%v: dissemination incomplete", scheme)
+		}
+		results = append(results, outcome{
+			scheme:      scheme,
+			rounds:      res.AvgCompletion,
+			overheadPct: res.OverheadPct,
+			decodeOps:   res.Ops.DecodeControlOps,
+			decodeBytes: res.Ops.DecodeDataBytes,
+			recodeBytes: res.Ops.RecodeDataBytes,
+		})
+	}
+
+	fmt.Println("scheme | avg completion (periods) | comm overhead | decode ctl ops | decode bytes XORed | recode bytes XORed")
+	for _, r := range results {
+		fmt.Printf("%-6v | %24.0f | %12.1f%% | %14d | %18d | %18d\n",
+			r.scheme, r.rounds, r.overheadPct, r.decodeOps, r.decodeBytes, r.recodeBytes)
+	}
+
+	ltnc, rlnc := results[0], results[1]
+	fmt.Printf("\nper-sensor decode work: LTNC spends %.1f%% of RLNC's control ops",
+		100*float64(ltnc.decodeOps)/float64(rlnc.decodeOps))
+	fmt.Printf(" and %.1f%% of its payload XOR bytes —\n",
+		100*float64(ltnc.decodeBytes)/float64(rlnc.decodeBytes))
+	fmt.Printf("the battery-bound mote trades %.1f%% extra radio traffic for that saving.\n",
+		ltnc.overheadPct-rlnc.overheadPct)
+	fmt.Println("every sensor verified the recovered image byte-for-byte ✓")
+	return nil
+}

@@ -1,0 +1,327 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	tests := []int{0, 1, 7, 8, 63, 64, 65, 1000}
+	for _, n := range tests {
+		v := New(n)
+		if v.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, v.Len())
+		}
+		if !v.IsZero() {
+			t.Errorf("New(%d) not zero", n)
+		}
+		if v.PopCount() != 0 {
+			t.Errorf("New(%d).PopCount() = %d", n, v.PopCount())
+		}
+	}
+}
+
+func TestSetGetClearFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+		v.Flip(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Flip", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after second Flip", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(*Vector)
+	}{
+		{"Get", func(v *Vector) { v.Get(10) }},
+		{"Set", func(v *Vector) { v.Set(-1) }},
+		{"Clear", func(v *Vector) { v.Clear(10) }},
+		{"XorLen", func(v *Vector) { v.Xor(New(11)) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tt.name)
+				}
+			}()
+			tt.f(New(10))
+		})
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	v := FromIndices(100, 3, 50, 99)
+	if got := v.Indices(); len(got) != 3 || got[0] != 3 || got[1] != 50 || got[2] != 99 {
+		t.Errorf("Indices() = %v", got)
+	}
+	if v.PopCount() != 3 {
+		t.Errorf("PopCount() = %d, want 3", v.PopCount())
+	}
+}
+
+func TestSingle(t *testing.T) {
+	v := Single(200, 77)
+	if v.PopCount() != 1 || !v.Get(77) {
+		t.Errorf("Single(200, 77) = %v", v)
+	}
+	if v.LowestSet() != 77 {
+		t.Errorf("LowestSet() = %d", v.LowestSet())
+	}
+}
+
+func TestXorSelfInverse(t *testing.T) {
+	v := FromIndices(90, 1, 2, 88)
+	w := v.Clone()
+	v.Xor(w)
+	if !v.IsZero() {
+		t.Errorf("v XOR v != 0: %v", v)
+	}
+}
+
+func TestXorCountMatchesXorThenPopCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := randomVec(rng, n), randomVec(rng, n)
+		want := a.Clone().Xor(b).PopCount()
+		if got := a.Clone().XorCount(b); got != want {
+			t.Fatalf("XorCount = %d, want %d", got, want)
+		}
+		if got := a.XorPopCount(b); got != want {
+			t.Fatalf("XorPopCount = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestAndNotCount(t *testing.T) {
+	a := FromIndices(70, 1, 2, 3)
+	b := FromIndices(70, 2, 3, 4, 69)
+	if got := a.AndNotCount(b); got != 2 { // {4, 69}
+		t.Errorf("AndNotCount = %d, want 2", got)
+	}
+	if got := b.AndNotCount(a); got != 1 { // {1}
+		t.Errorf("reverse AndNotCount = %d, want 1", got)
+	}
+}
+
+func TestOrCount(t *testing.T) {
+	a := FromIndices(70, 1, 2)
+	b := FromIndices(70, 2, 3, 69)
+	if got := a.OrCount(b); got != 2 {
+		t.Errorf("OrCount = %d, want 2", got)
+	}
+	if a.PopCount() != 4 {
+		t.Errorf("after OrCount PopCount = %d, want 4", a.PopCount())
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	v := FromIndices(200, 5, 64, 130, 199)
+	tests := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {131, 199}, {199, 199},
+		{-3, 5},
+	}
+	for _, tt := range tests {
+		if got := v.NextSet(tt.from); got != tt.want {
+			t.Errorf("NextSet(%d) = %d, want %d", tt.from, got, tt.want)
+		}
+	}
+	if got := v.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+	if got := New(10).LowestSet(); got != -1 {
+		t.Errorf("LowestSet of zero = %d, want -1", got)
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a := FromIndices(64, 1, 63)
+	b := New(64)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Errorf("CopyFrom: %v != %v", b, a)
+	}
+	b.Reset()
+	if !b.IsZero() {
+		t.Errorf("Reset left bits: %v", b)
+	}
+	if !a.Get(1) {
+		t.Errorf("Reset of copy mutated original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(16, 1, 3, 7).String(); got != "{1,3,7}/16" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New(4).String(); got != "{}/4" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 65, 127, 2048} {
+		v := randomVec(rng, n)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal n=%d: %v", n, err)
+		}
+		if len(data) != (n+7)/8 {
+			t.Fatalf("marshal n=%d: %d bytes", n, len(data))
+		}
+		w := New(n)
+		if err := w.UnmarshalInto(data); err != nil {
+			t.Fatalf("unmarshal n=%d: %v", n, err)
+		}
+		if !w.Equal(v) {
+			t.Fatalf("roundtrip n=%d: %v != %v", n, w, v)
+		}
+	}
+}
+
+func TestUnmarshalBadLength(t *testing.T) {
+	v := New(16)
+	if err := v.UnmarshalInto(make([]byte, 3)); err == nil {
+		t.Error("UnmarshalInto accepted wrong length")
+	}
+}
+
+// Property: XOR is commutative, associative, has identity 0 and each
+// element is its own inverse (i.e. vectors form a GF(2) vector space).
+func TestXorAlgebraProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%512) + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVec(r, n), randomVec(r, n), randomVec(r, n)
+		// commutativity
+		ab := a.Clone().Xor(b)
+		ba := b.Clone().Xor(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		// associativity
+		abc1 := a.Clone().Xor(b).Xor(c)
+		abc2 := b.Clone().Xor(c).Xor(a)
+		if !abc1.Equal(abc2) {
+			return false
+		}
+		// identity
+		if !a.Clone().Xor(New(n)).Equal(a) {
+			return false
+		}
+		// self-inverse
+		return a.Clone().Xor(a).IsZero()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PopCount equals the length of Indices, and every reported index
+// is set.
+func TestPopCountIndicesConsistency(t *testing.T) {
+	prop := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%1024) + 1
+		v := randomVec(rand.New(rand.NewSource(seed)), n)
+		idx := v.Indices()
+		if len(idx) != v.PopCount() {
+			return false
+		}
+		for _, i := range idx {
+			if !v.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 31, 1024} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = a[i] ^ b[i]
+		}
+		got := append([]byte(nil), a...)
+		if processed := XorBytes(got, b); processed != n {
+			t.Fatalf("XorBytes returned %d, want %d", processed, n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: byte %d = %#x, want %#x", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestXorBytesLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("XorBytes did not panic on length mismatch")
+		}
+	}()
+	XorBytes(make([]byte, 4), make([]byte, 5))
+}
+
+func TestAppendIndicesReusesBuffer(t *testing.T) {
+	v := FromIndices(32, 4, 8)
+	buf := make([]int, 0, 8)
+	out := v.AppendIndices(buf)
+	if len(out) != 2 || out[0] != 4 || out[1] != 8 {
+		t.Errorf("AppendIndices = %v", out)
+	}
+	if cap(out) != cap(buf) {
+		t.Errorf("AppendIndices reallocated: cap %d != %d", cap(out), cap(buf))
+	}
+}
+
+func randomVec(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func BenchmarkXorCount2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomVec(rng, 2048)
+	y := randomVec(rng, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.XorCount(y)
+	}
+}

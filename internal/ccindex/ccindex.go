@@ -1,0 +1,266 @@
+// Package ccindex implements the leader-based representation of the
+// connected components of native packets (Figure 5 of the paper): two
+// natives x and x' are in the same component iff x ⊕ x' can be generated
+// using only decoded natives and available encoded packets of degree 2.
+//
+// Beyond the paper's cc map (native → component leader, 0 for decoded),
+// the structure maintains a spanning forest whose edges remember the
+// payload of the degree-2 packet that connected them, so the refinement
+// step can actually *materialize* x ⊕ x' for any in-component pair: the
+// XOR of the edge payloads along the two root paths (shared segments
+// cancel over GF(2)).
+package ccindex
+
+import (
+	"fmt"
+
+	"ltnc/internal/bitvec"
+)
+
+// Decoded is the component label of decoded natives ("cc(x) is set to 0
+// when x is decoded").
+const Decoded = 0
+
+// Components tracks the equivalence relation ~ over the k natives.
+type Components struct {
+	k  int
+	cc []int32 // native -> leader label; Decoded (0) for decoded natives
+
+	// members[label] lists the natives with that label; labels are 1..k.
+	members [][]int32
+	decoded []int32 // natives with label Decoded, in decode order
+
+	// Spanning forest over undecoded merges: parent[x] is the native x was
+	// attached under (-1 for roots) and edge[x] the payload of the
+	// degree-2 packet x ⊕ parent[x] (nil when payloads are disabled).
+	parent []int32
+	edge   [][]byte
+
+	merges int
+}
+
+// New returns the initial partition where every native is alone in its own
+// component: cc(x_i) = i (labels are 1-based so that 0 can mean decoded).
+func New(k int) *Components {
+	if k < 1 {
+		panic(fmt.Sprintf("ccindex: k = %d < 1", k))
+	}
+	c := &Components{
+		k:       k,
+		cc:      make([]int32, k),
+		members: make([][]int32, k+1),
+		parent:  make([]int32, k),
+		edge:    make([][]byte, k),
+	}
+	for x := 0; x < k; x++ {
+		c.cc[x] = int32(x + 1)
+		c.members[x+1] = []int32{int32(x)}
+		c.parent[x] = -1
+	}
+	return c
+}
+
+// K returns the number of natives.
+func (c *Components) K() int { return c.k }
+
+// Leader returns the component label of x (Decoded for decoded natives).
+func (c *Components) Leader(x int) int { return int(c.cc[x]) }
+
+// Same reports x ~ x': whether x ⊕ x' is generatable. Decoded natives are
+// all mutually equivalent (their XOR is computable from data).
+func (c *Components) Same(x, y int) bool { return c.cc[x] == c.cc[y] }
+
+// IsDecoded reports whether x is marked decoded.
+func (c *Components) IsDecoded(x int) bool { return c.cc[x] == Decoded }
+
+// Merges returns the number of component merges performed (statistics).
+func (c *Components) Merges() int { return c.merges }
+
+// ComponentSize returns the number of natives sharing x's component.
+func (c *Components) ComponentSize(x int) int {
+	if c.cc[x] == Decoded {
+		return len(c.decoded)
+	}
+	return len(c.members[c.cc[x]])
+}
+
+// Members calls fn for each member of x's component (including x) until fn
+// returns false. The iteration order is unspecified.
+func (c *Components) Members(x int, fn func(y int) bool) {
+	var list []int32
+	if c.cc[x] == Decoded {
+		list = c.decoded
+	} else {
+		list = c.members[c.cc[x]]
+	}
+	for _, y := range list {
+		if !fn(int(y)) {
+			return
+		}
+	}
+}
+
+// MarkDecoded moves x to the decoded class (label 0). Its spanning-forest
+// edges stay in place: edge payloads record XORs of natives, which remain
+// valid combinations regardless of decoding state.
+func (c *Components) MarkDecoded(x int) {
+	label := c.cc[x]
+	if label == Decoded {
+		return
+	}
+	list := c.members[label]
+	for i, y := range list {
+		if y == int32(x) {
+			list[i] = list[len(list)-1]
+			c.members[label] = list[:len(list)-1]
+			break
+		}
+	}
+	c.cc[x] = Decoded
+	c.decoded = append(c.decoded, int32(x))
+}
+
+// AddPair records that the degree-2 packet x ⊕ y (with the given payload
+// snapshot, nil when payloads are disabled) is available, merging the two
+// components: "cc(x”) is set to cc(x) for all x” so that
+// cc(x”) = cc(x')". It reports whether a merge happened; pairs that are
+// already equivalent (redundant) or involve decoded natives are ignored.
+func (c *Components) AddPair(x, y int, payload []byte) bool {
+	lx, ly := c.cc[x], c.cc[y]
+	if lx == ly || lx == Decoded || ly == Decoded {
+		return false
+	}
+	// Relabel the smaller component (labels are arbitrary; the paper
+	// relabels x''s side, which is equivalent).
+	if len(c.members[lx]) < len(c.members[ly]) {
+		x, y = y, x
+		lx, ly = ly, lx
+	}
+	for _, z := range c.members[ly] {
+		c.cc[z] = lx
+	}
+	c.members[lx] = append(c.members[lx], c.members[ly]...)
+	c.members[ly] = nil
+
+	// Forest: reroot y's tree at y, then hang it under x.
+	c.reroot(y)
+	c.parent[y] = int32(x)
+	if payload != nil {
+		c.edge[y] = append([]byte(nil), payload...)
+	} else {
+		c.edge[y] = nil
+	}
+	c.merges++
+	return true
+}
+
+// reroot reverses the parent pointers along the path from x to its root so
+// that x becomes the root of its tree.
+func (c *Components) reroot(x int) {
+	var (
+		prev     int32 = -1
+		prevEdge []byte
+	)
+	cur := int32(x)
+	for cur != -1 {
+		next := c.parent[cur]
+		nextEdge := c.edge[cur]
+		c.parent[cur] = prev
+		c.edge[cur] = prevEdge
+		prev = cur
+		prevEdge = nextEdge
+		cur = next
+	}
+}
+
+// PairPayload XORs into dst the payload of x ⊕ y reconstructed from the
+// spanning forest, and returns the number of edge XORs performed (the
+// data-plane cost is xors × len(dst)). x and y must be in the same
+// *undecoded* component; decoded pairs are the caller's job (it holds the
+// native data). dst may be nil when payloads are disabled.
+func (c *Components) PairPayload(x, y int, dst []byte) (xors int, err error) {
+	if c.cc[x] == Decoded || c.cc[x] != c.cc[y] {
+		return 0, fmt.Errorf("ccindex: %d and %d not in the same undecoded component", x, y)
+	}
+	if x == y {
+		return 0, nil
+	}
+	// XOR both root paths; the common suffix cancels itself over GF(2).
+	for _, start := range [2]int{x, y} {
+		cur := int32(start)
+		for c.parent[cur] != -1 {
+			if dst != nil && c.edge[cur] != nil {
+				bitvec.XorBytes(dst, c.edge[cur])
+			}
+			xors++
+			cur = c.parent[cur]
+		}
+	}
+	return xors, nil
+}
+
+// PairVector returns the code vector {x, y} over k natives — a
+// convenience for emitting the reconstructed degree-2 packet.
+func (c *Components) PairVector(x, y int) *bitvec.Vector {
+	return bitvec.FromIndices(c.k, x, y)
+}
+
+// FindInnovativePair implements Algorithm 4: given the sender's components
+// (the receiver's components arrive through the feedback channel as ccr),
+// it finds natives x, y such that the sender can generate x ⊕ y
+// (ccs(x) = ccs(y)) that is innovative for the receiver (ccr(x) ≠ ccr(y)).
+// Natives are processed in index order; the paper processes them in random
+// order, which only affects which of the valid pairs is found.
+func (c *Components) FindInnovativePair(ccr []int32) (x, y int, ok bool) {
+	if len(ccr) != c.k {
+		return 0, 0, false
+	}
+	type slot struct {
+		ccr   int32
+		first int32
+		used  bool
+	}
+	sigma := make([]slot, c.k+1)
+	for i := 0; i < c.k; i++ {
+		s := &sigma[c.cc[i]]
+		if !s.used {
+			*s = slot{ccr: ccr[i], first: int32(i), used: true}
+			continue
+		}
+		if s.ccr != ccr[i] {
+			return int(s.first), i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FindInnovativeNative finds a native decoded at the sender but not at the
+// receiver (the d = 1 case of the smart construction: "find x s.t.
+// isAvailable_s(x) and not(isAvailable_r(x))").
+func (c *Components) FindInnovativeNative(ccr []int32) (x int, ok bool) {
+	if len(ccr) != c.k {
+		return 0, false
+	}
+	for _, xd := range c.decoded {
+		if ccr[xd] != Decoded {
+			return int(xd), true
+		}
+	}
+	return 0, false
+}
+
+// DecodedCount returns the number of natives in the decoded class.
+func (c *Components) DecodedCount() int { return len(c.decoded) }
+
+// DecodedAt returns the i-th decoded native (0 ≤ i < DecodedCount()), in
+// decode order. It gives recoders O(1) random access into the decoded
+// class without copying it.
+func (c *Components) DecodedAt(i int) int { return int(c.decoded[i]) }
+
+// Snapshot returns a copy of the cc map in the paper's representation
+// (index 0 = decoded), as shipped to senders over the feedback channel.
+func (c *Components) Snapshot() []int32 {
+	out := make([]int32, c.k)
+	copy(out, c.cc)
+	return out
+}

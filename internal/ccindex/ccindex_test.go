@@ -1,0 +1,346 @@
+package ccindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/bitvec"
+)
+
+func TestInitialPartition(t *testing.T) {
+	c := New(4)
+	for x := 0; x < 4; x++ {
+		if c.IsDecoded(x) {
+			t.Errorf("native %d decoded initially", x)
+		}
+		if c.ComponentSize(x) != 1 {
+			t.Errorf("native %d component size %d", x, c.ComponentSize(x))
+		}
+		for y := 0; y < 4; y++ {
+			if x != y && c.Same(x, y) {
+				t.Errorf("%d ~ %d initially", x, y)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestPaperFigure5Example(t *testing.T) {
+	// Figure 5: components {x1},{x2,x4},{x3,x5,x7},{x6 decoded} over k=7
+	// (1-based in the paper; 0-based here). Receiving x3 ⊕ x4 merges
+	// {x2,x4} with {x3,x5,x7}.
+	c := New(7)
+	c.MarkDecoded(5)     // x6
+	c.AddPair(1, 3, nil) // x2 ⊕ x4
+	c.AddPair(2, 4, nil) // x3 ⊕ x5
+	c.AddPair(4, 6, nil) // x5 ⊕ x7
+	if !c.Same(1, 3) || !c.Same(2, 6) || c.Same(1, 2) {
+		t.Fatal("setup components wrong")
+	}
+	if c.ComponentSize(2) != 3 {
+		t.Errorf("component of x3 has size %d, want 3", c.ComponentSize(2))
+	}
+	// Receive x3 ⊕ x4.
+	if !c.AddPair(2, 3, nil) {
+		t.Fatal("merge did not happen")
+	}
+	for _, pair := range [][2]int{{1, 2}, {1, 4}, {3, 6}, {1, 6}} {
+		if !c.Same(pair[0], pair[1]) {
+			t.Errorf("%d !~ %d after merge", pair[0], pair[1])
+		}
+	}
+	if c.Same(0, 1) {
+		t.Error("x1 merged unexpectedly")
+	}
+	if c.ComponentSize(1) != 5 {
+		t.Errorf("merged component size %d, want 5", c.ComponentSize(1))
+	}
+}
+
+func TestAddPairRedundantAndDecoded(t *testing.T) {
+	c := New(4)
+	if !c.AddPair(0, 1, nil) {
+		t.Fatal("first pair rejected")
+	}
+	if c.AddPair(0, 1, nil) {
+		t.Error("same pair merged twice")
+	}
+	if c.AddPair(1, 0, nil) {
+		t.Error("reversed redundant pair merged")
+	}
+	c.MarkDecoded(2)
+	if c.AddPair(2, 3, nil) {
+		t.Error("pair involving decoded native merged")
+	}
+	if c.Merges() != 1 {
+		t.Errorf("Merges = %d, want 1", c.Merges())
+	}
+}
+
+func TestMarkDecoded(t *testing.T) {
+	c := New(5)
+	c.AddPair(0, 1, nil)
+	c.MarkDecoded(0)
+	if !c.IsDecoded(0) || c.Leader(0) != Decoded {
+		t.Error("native 0 not decoded")
+	}
+	if c.Same(0, 1) {
+		t.Error("decoded native still ~ undecoded partner")
+	}
+	if c.ComponentSize(1) != 1 {
+		t.Errorf("partner component size %d, want 1", c.ComponentSize(1))
+	}
+	c.MarkDecoded(0) // idempotent
+	c.MarkDecoded(3)
+	if !c.Same(0, 3) {
+		t.Error("two decoded natives not in the same class")
+	}
+	if c.ComponentSize(0) != 2 {
+		t.Errorf("decoded class size %d, want 2", c.ComponentSize(0))
+	}
+}
+
+func TestMembersIteration(t *testing.T) {
+	c := New(6)
+	c.AddPair(0, 1, nil)
+	c.AddPair(1, 2, nil)
+	got := map[int]bool{}
+	c.Members(0, func(y int) bool {
+		got[y] = true
+		return true
+	})
+	if len(got) != 3 || !got[0] || !got[1] || !got[2] {
+		t.Errorf("Members = %v", got)
+	}
+	// Early stop.
+	n := 0
+	c.Members(0, func(int) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestPairPayloadReconstruction(t *testing.T) {
+	// Ground truth: natives with known payloads; every added pair carries
+	// natives[x] ⊕ natives[y]; then PairPayload(x,y) must always equal
+	// natives[x] ⊕ natives[y].
+	const (
+		k = 30
+		m = 16
+	)
+	rng := rand.New(rand.NewSource(5))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	xorOf := func(x, y int) []byte {
+		out := append([]byte(nil), natives[x]...)
+		bitvec.XorBytes(out, natives[y])
+		return out
+	}
+	c := New(k)
+	// Random merge process.
+	for added := 0; added < k*3; added++ {
+		x, y := rng.Intn(k), rng.Intn(k)
+		if x == y {
+			continue
+		}
+		c.AddPair(x, y, xorOf(x, y))
+	}
+	checked := 0
+	for x := 0; x < k; x++ {
+		for y := x + 1; y < k; y++ {
+			if !c.Same(x, y) || c.IsDecoded(x) {
+				continue
+			}
+			dst := make([]byte, m)
+			xors, err := c.PairPayload(x, y, dst)
+			if err != nil {
+				t.Fatalf("PairPayload(%d,%d): %v", x, y, err)
+			}
+			if xors < 1 {
+				t.Fatalf("PairPayload(%d,%d) did no work", x, y)
+			}
+			if !bytes.Equal(dst, xorOf(x, y)) {
+				t.Fatalf("PairPayload(%d,%d) wrong", x, y)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no in-component pairs to check")
+	}
+}
+
+func TestPairPayloadErrors(t *testing.T) {
+	c := New(4)
+	c.AddPair(0, 1, nil)
+	if _, err := c.PairPayload(0, 2, nil); err == nil {
+		t.Error("cross-component PairPayload succeeded")
+	}
+	c.MarkDecoded(2)
+	c.MarkDecoded(3)
+	if _, err := c.PairPayload(2, 3, nil); err == nil {
+		t.Error("decoded-pair PairPayload succeeded (caller must use native data)")
+	}
+	if n, err := c.PairPayload(1, 1, nil); err != nil || n != 0 {
+		t.Error("x == y must be a no-op")
+	}
+}
+
+func TestPairVector(t *testing.T) {
+	c := New(8)
+	v := c.PairVector(2, 5)
+	if v.PopCount() != 2 || !v.Get(2) || !v.Get(5) {
+		t.Errorf("PairVector = %v", v)
+	}
+}
+
+// Cross-check the equivalence relation against a naive union-find over a
+// long random trace, including decode events.
+func TestEquivalenceAgainstNaiveDSU(t *testing.T) {
+	const k = 64
+	rng := rand.New(rand.NewSource(13))
+	c := New(k)
+	// Naive reference: label natives; decoded = 0.
+	ref := make([]int, k)
+	for i := range ref {
+		ref[i] = i + 1
+	}
+	refMerge := func(x, y int) {
+		lx, ly := ref[x], ref[y]
+		if lx == ly || lx == 0 || ly == 0 {
+			return
+		}
+		for i := range ref {
+			if ref[i] == ly {
+				ref[i] = lx
+			}
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(10) == 0 {
+			x := rng.Intn(k)
+			c.MarkDecoded(x)
+			ref[x] = 0
+			continue
+		}
+		x, y := rng.Intn(k), rng.Intn(k)
+		if x == y {
+			continue
+		}
+		if ref[x] != 0 && ref[y] != 0 {
+			c.AddPair(x, y, nil)
+			refMerge(x, y)
+		}
+	}
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			want := ref[x] == ref[y]
+			if got := c.Same(x, y); got != want {
+				t.Fatalf("Same(%d,%d) = %v, naive says %v", x, y, got, want)
+			}
+		}
+		if (ref[x] == 0) != c.IsDecoded(x) {
+			t.Fatalf("IsDecoded(%d) mismatch", x)
+		}
+	}
+}
+
+func TestFindInnovativePairPaperExample(t *testing.T) {
+	// Figure 6: sender components {x1},{x2,x4},{x3,x5,x7},{x6}; receiver
+	// components {x1,x5,x7},{x2,x4},{x3},{x6}. Component 5 at the sender
+	// ({x3,x5,x7}) overlaps receiver components 3 ({x3}) and 7
+	// ({x1,x5,x7}): the pair x3 ⊕ x5 (or x3 ⊕ x7) is innovative.
+	sender := New(7)
+	sender.MarkDecoded(5)
+	sender.AddPair(1, 3, nil)
+	sender.AddPair(2, 4, nil)
+	sender.AddPair(4, 6, nil)
+
+	receiver := New(7)
+	receiver.MarkDecoded(5)
+	receiver.AddPair(0, 4, nil)
+	receiver.AddPair(4, 6, nil)
+	receiver.AddPair(1, 3, nil)
+	ccr := receiver.Snapshot()
+
+	x, y, ok := sender.FindInnovativePair(ccr)
+	if !ok {
+		t.Fatal("no innovative pair found")
+	}
+	if !sender.Same(x, y) {
+		t.Fatalf("pair (%d,%d) not generatable at sender", x, y)
+	}
+	if ccr[x] == ccr[y] {
+		t.Fatalf("pair (%d,%d) not innovative at receiver", x, y)
+	}
+}
+
+func TestFindInnovativePairNone(t *testing.T) {
+	// Identical partitions: nothing innovative.
+	a := New(5)
+	b := New(5)
+	a.AddPair(0, 1, nil)
+	b.AddPair(0, 1, nil)
+	if _, _, ok := a.FindInnovativePair(b.Snapshot()); ok {
+		t.Error("found pair despite identical partitions")
+	}
+	// Receiver strictly richer: still nothing.
+	b.AddPair(2, 3, nil)
+	if _, _, ok := a.FindInnovativePair(b.Snapshot()); ok {
+		t.Error("found pair despite receiver superset")
+	}
+	// Sender richer: pair exists.
+	a.AddPair(2, 3, nil)
+	a.AddPair(3, 4, nil)
+	if _, _, ok := a.FindInnovativePair(b.Snapshot()); !ok {
+		t.Error("no pair despite sender superset")
+	}
+	// Bad ccr length.
+	if _, _, ok := a.FindInnovativePair(make([]int32, 4)); ok {
+		t.Error("accepted wrong-length ccr")
+	}
+}
+
+func TestFindInnovativeNative(t *testing.T) {
+	s := New(4)
+	r := New(4)
+	if _, ok := s.FindInnovativeNative(r.Snapshot()); ok {
+		t.Error("found native with nothing decoded at sender")
+	}
+	s.MarkDecoded(2)
+	x, ok := s.FindInnovativeNative(r.Snapshot())
+	if !ok || x != 2 {
+		t.Errorf("FindInnovativeNative = %d,%v want 2,true", x, ok)
+	}
+	r.MarkDecoded(2)
+	if _, ok := s.FindInnovativeNative(r.Snapshot()); ok {
+		t.Error("native 2 innovative despite receiver having it")
+	}
+	if _, ok := s.FindInnovativeNative(make([]int32, 3)); ok {
+		t.Error("accepted wrong-length ccr")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := New(4)
+	snap := c.Snapshot()
+	c.AddPair(0, 1, nil)
+	if snap[0] == snap[1] {
+		t.Error("snapshot mutated by later merge")
+	}
+}

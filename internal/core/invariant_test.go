@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/bitvec"
+)
+
+// checkStructuralInvariants cross-checks the complementary data
+// structures (Table I) against the Tanner graph after arbitrary churn:
+//
+//  1. the degree index holds exactly the stored packets, each under its
+//     current degree;
+//  2. every stored degree-2 packet implies its two natives share a
+//     connected component;
+//  3. every stored degree-3 packet is present in the triple index;
+//  4. no stored packet mentions a decoded native (peeling is complete);
+//  5. decoded natives form the cc class 0 and only that class.
+func checkStructuralInvariants(t *testing.T, n *Node) {
+	t.Helper()
+	stored := 0
+	n.dec.ForEachStored(func(id int, vec *bitvec.Vector, _ []byte) bool {
+		stored++
+		deg := vec.PopCount()
+		if got := n.deg.Degree(id); got != deg {
+			t.Fatalf("degindex holds %d for packet %d of degree %d", got, id, deg)
+		}
+		switch deg {
+		case 2:
+			x := vec.LowestSet()
+			y := vec.NextSet(x + 1)
+			if !n.cc.Same(x, y) {
+				t.Fatalf("stored pair {%d,%d} not in one component", x, y)
+			}
+		case 3:
+			if _, ok := n.triples[tripleKey(vec)]; !ok {
+				t.Fatalf("stored triple %v missing from index", vec)
+			}
+		}
+		for x := vec.LowestSet(); x >= 0; x = vec.NextSet(x + 1) {
+			if n.dec.IsDecoded(x) {
+				t.Fatalf("stored packet %d still references decoded native %d", id, x)
+			}
+		}
+		return true
+	})
+	if n.deg.Len() != stored {
+		t.Fatalf("degindex holds %d packets, graph %d", n.deg.Len(), stored)
+	}
+	for x := 0; x < n.k; x++ {
+		if n.dec.IsDecoded(x) != n.cc.IsDecoded(x) {
+			t.Fatalf("native %d: decoder and cc disagree on decoded state", x)
+		}
+	}
+}
+
+func TestStructuralInvariantsUnderChurn(t *testing.T) {
+	const k = 96
+	src := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(50))})
+	if err := src.Seed(make([][]byte, k)); err != nil {
+		t.Fatal(err)
+	}
+	n := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(51))})
+	for i := 0; i < 4*k; i++ {
+		z, _ := src.Recode()
+		n.Receive(z)
+		if i%2 == 0 {
+			n.Recode() // interleave recoding, as dissemination does
+		}
+		if i%8 == 0 {
+			checkStructuralInvariants(t, n)
+		}
+	}
+	checkStructuralInvariants(t, n)
+	if !n.Complete() {
+		t.Fatal("churn test did not complete decoding")
+	}
+}
+
+func TestStructuralInvariantsWithoutDetector(t *testing.T) {
+	// The invariants must hold with Algorithm 3 disabled too (more
+	// redundant packets survive in the graph).
+	const k = 64
+	src := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(52))})
+	if err := src.Seed(make([][]byte, k)); err != nil {
+		t.Fatal(err)
+	}
+	n := mustNode(t, Options{
+		K: k, M: 0, Rng: rand.New(rand.NewSource(53)), DisableRedundancyCheck: true,
+	})
+	for i := 0; i < 4*k; i++ {
+		z, _ := src.Recode()
+		n.Receive(z)
+		if i%16 == 0 {
+			checkStructuralInvariants(t, n)
+		}
+	}
+	checkStructuralInvariants(t, n)
+}

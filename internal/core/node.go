@@ -1,0 +1,275 @@
+// Package core implements LTNC — LT network codes — the primary
+// contribution of the paper: a recoding method that lets intermediary
+// nodes generate fresh encoded packets from the (partial, encoded)
+// information they hold while preserving the two statistical properties
+// belief-propagation decoding depends on:
+//
+//  1. the degrees of emitted packets follow a Robust Soliton distribution
+//     (pick + build steps, Algorithm 1), and
+//  2. the degrees of native packets stay near-uniform (refine step,
+//     Algorithm 2).
+//
+// A Node bundles the belief-propagation decoder (Tanner graph) with the
+// complementary data structures of Table I — the degree index, the
+// connected components of native packets and the occurrence tracker — all
+// kept synchronized through the decoder's hooks, plus the redundancy
+// detector of Algorithm 3 and the feedback-driven smart constructor of
+// Algorithm 4.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/ccindex"
+	"ltnc/internal/degindex"
+	"ltnc/internal/lt"
+	"ltnc/internal/occur"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+	"ltnc/internal/soliton"
+)
+
+// Options configures an LTNC node. K is required; zero values elsewhere
+// select the defaults documented per field.
+type Options struct {
+	// K is the code length (number of native packets).
+	K int
+	// M is the payload size in bytes; 0 runs the node control-plane-only.
+	M int
+	// Dist is the degree distribution for fresh packets; defaults to the
+	// Robust Soliton over K with soliton.DefaultC/DefaultDelta.
+	Dist soliton.Dist
+	// Rng drives every random choice of the node; defaults to a rand.Rand
+	// seeded with 1 (deterministic).
+	Rng *rand.Rand
+	// Counter receives cost accounting; nil disables it.
+	Counter *opcount.Counter
+	// DisableRefinement turns off Algorithm 2 (ablation).
+	DisableRefinement bool
+	// DisableRedundancyCheck turns off Algorithm 3 (ablation): incoming
+	// low-degree redundant packets are stored instead of dropped.
+	DisableRedundancyCheck bool
+	// MaxPickRetries bounds the resample loop for unreachable degrees
+	// before falling back to the largest reachable degree; default 64.
+	MaxPickRetries int
+	// RefineScanBudget bounds how many members of a connected component
+	// the refinement step scans per substituted native; default 64. The
+	// paper's Algorithm 2 scans whole components; the cap keeps recoding
+	// O(d · budget) on the giant decoded component with no measurable
+	// effect on the occurrence variance (see EXPERIMENTS.md).
+	RefineScanBudget int
+}
+
+func (o *Options) setDefaults() error {
+	if o.K < 1 {
+		return fmt.Errorf("core: K = %d < 1", o.K)
+	}
+	if o.M < 0 {
+		return fmt.Errorf("core: M = %d < 0", o.M)
+	}
+	if o.Dist == nil {
+		d, err := soliton.NewDefaultRobust(o.K)
+		if err != nil {
+			return err
+		}
+		o.Dist = d
+	}
+	if o.Dist.K() != o.K {
+		return fmt.Errorf("core: distribution over %d degrees, K = %d", o.Dist.K(), o.K)
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	if o.MaxPickRetries == 0 {
+		o.MaxPickRetries = 64
+	}
+	if o.RefineScanBudget == 0 {
+		o.RefineScanBudget = 64
+	}
+	return nil
+}
+
+// Node is an LTNC participant: it decodes what it receives with belief
+// propagation and recodes fresh LT-shaped packets for its neighbours.
+// A Node is not safe for concurrent use.
+type Node struct {
+	k, m int
+	opts Options
+
+	dec *lt.Decoder
+	deg *degindex.Index
+	cc  *ccindex.Components
+	occ *occur.Tracker
+
+	// Degree-3 availability index for Algorithm 3: triple -> multiplicity,
+	// plus the id -> triple map needed to untrack packets on removal.
+	tripleOf map[int][3]int32
+	triples  map[[3]int32]int
+
+	counter *opcount.Counter
+	rng     *rand.Rand
+
+	stats Stats
+
+	// Scratch buffers reused across recodes.
+	scratchIDs []int
+	scratchVec *bitvec.Vector
+}
+
+// NewNode returns an LTNC node configured by opts.
+func NewNode(opts Options) (*Node, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		k:          opts.K,
+		m:          opts.M,
+		opts:       opts,
+		deg:        degindex.New(opts.K),
+		cc:         ccindex.New(opts.K),
+		occ:        occur.New(opts.K),
+		tripleOf:   make(map[int][3]int32),
+		triples:    make(map[[3]int32]int),
+		counter:    opts.Counter,
+		rng:        opts.Rng,
+		scratchVec: bitvec.New(opts.K),
+	}
+	hooks := lt.Hooks{
+		PacketStored: func(id, deg int) {
+			n.deg.Add(id, deg)
+			n.trackTriple(id, deg)
+		},
+		DegreeChanged: func(id, oldDeg, newDeg int) {
+			n.deg.Move(id, oldDeg, newDeg)
+			n.untrackTriple(id, oldDeg)
+			n.trackTriple(id, newDeg)
+		},
+		PacketRemoved: func(id, lastDeg int) {
+			n.deg.Remove(id, lastDeg)
+			n.untrackTriple(id, lastDeg)
+		},
+		Decoded: func(x int) {
+			n.cc.MarkDecoded(x)
+		},
+		DegreeTwo: func(x, y int, payload []byte) {
+			n.cc.AddPair(x, y, payload)
+		},
+	}
+	if !opts.DisableRedundancyCheck {
+		hooks.CheckRedundant = n.isRedundantReduced
+	}
+	dec, err := lt.NewDecoder(opts.K, opts.M, opts.Counter, hooks)
+	if err != nil {
+		return nil, err
+	}
+	n.dec = dec
+	return n, nil
+}
+
+// K returns the code length.
+func (n *Node) K() int { return n.k }
+
+// M returns the payload size.
+func (n *Node) M() int { return n.m }
+
+// Receive feeds a packet received from the network into the node.
+func (n *Node) Receive(p *packet.Packet) lt.InsertResult {
+	n.counter.Event(opcount.DecodeControl)
+	return n.dec.Insert(p)
+}
+
+// Complete reports whether all k natives are decoded.
+func (n *Node) Complete() bool { return n.dec.Complete() }
+
+// DecodedCount returns the number of decoded natives.
+func (n *Node) DecodedCount() int { return n.dec.DecodedCount() }
+
+// Received returns the number of packets received so far.
+func (n *Node) Received() int { return n.dec.Received() }
+
+// RedundantDropped returns the number of received packets discarded as
+// non-innovative (zero reduction or Algorithm 3).
+func (n *Node) RedundantDropped() int { return n.dec.RedundantDropped() }
+
+// PrunedStored returns the number of stored packets discarded by the
+// detector during decoding.
+func (n *Node) PrunedStored() int { return n.dec.PrunedStored() }
+
+// StoredCount returns the number of packets in the Tanner graph.
+func (n *Node) StoredCount() int { return n.dec.StoredCount() }
+
+// IsDecoded reports whether native x is decoded.
+func (n *Node) IsDecoded(x int) bool { return n.dec.IsDecoded(x) }
+
+// NativeData returns the payload of a decoded native (nil otherwise).
+func (n *Node) NativeData(x int) []byte { return n.dec.NativeData(x) }
+
+// Data returns all native payloads once decoding is complete.
+func (n *Node) Data() ([][]byte, error) { return n.dec.Data() }
+
+// Components returns the node's connected-components snapshot in the
+// paper's cc representation; this is what the node ships to a sender over
+// the full feedback channel.
+func (n *Node) Components() []int32 { return n.cc.Snapshot() }
+
+// OccurrenceRelStdDev returns the relative standard deviation of native
+// occurrences in sent packets (the paper reports ≈ 0.1%).
+func (n *Node) OccurrenceRelStdDev() float64 { return n.occ.RelStdDev() }
+
+// Seed bootstraps the node with the full content, turning it into a
+// source: all k natives are decoded locally, so Recode emits genuine LT
+// packets. natives must contain exactly k payloads of m bytes (payloads
+// ignored when m == 0).
+func (n *Node) Seed(natives [][]byte) error {
+	if len(natives) != n.k {
+		return fmt.Errorf("core: seed with %d natives, want %d", len(natives), n.k)
+	}
+	for i, data := range natives {
+		if n.m > 0 && len(data) != n.m {
+			return fmt.Errorf("core: seed native %d has %d bytes, want %d", i, len(data), n.m)
+		}
+		n.dec.Insert(packet.Native(n.k, i, data))
+	}
+	return nil
+}
+
+func (n *Node) trackTriple(id, deg int) {
+	if deg != 3 {
+		return
+	}
+	vec, _, ok := n.dec.StoredPacket(id)
+	if !ok {
+		return
+	}
+	t := tripleKey(vec)
+	n.tripleOf[id] = t
+	n.triples[t]++
+}
+
+func (n *Node) untrackTriple(id, deg int) {
+	if deg != 3 {
+		return
+	}
+	t, ok := n.tripleOf[id]
+	if !ok {
+		return
+	}
+	delete(n.tripleOf, id)
+	if c := n.triples[t]; c <= 1 {
+		delete(n.triples, t)
+	} else {
+		n.triples[t] = c - 1
+	}
+}
+
+func tripleKey(vec *bitvec.Vector) [3]int32 {
+	var t [3]int32
+	i := 0
+	for x := vec.LowestSet(); x >= 0 && i < 3; x = vec.NextSet(x + 1) {
+		t[i] = int32(x)
+		i++
+	}
+	return t
+}

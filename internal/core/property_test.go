@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/packet"
+	"ltnc/internal/soliton"
+)
+
+// Property: for any seed and any point of a relay's lifetime, every packet
+// the relay emits satisfies the linearity invariant (payload == XOR of the
+// natives in its vector) and has degree in [1, k].
+func TestQuickRecodeLinearity(t *testing.T) {
+	prop := func(seed int64, fill uint8) bool {
+		const (
+			k = 24
+			m = 6
+		)
+		rng := rand.New(rand.NewSource(seed))
+		natives := randomNatives(rng, k, m)
+		src, err := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(seed + 1))})
+		if err != nil {
+			return false
+		}
+		if err := src.Seed(natives); err != nil {
+			return false
+		}
+		relay, err := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(seed + 2))})
+		if err != nil {
+			return false
+		}
+		// Fill the relay to an arbitrary level (0..2k packets).
+		for i := 0; i < int(fill)%(2*k); i++ {
+			z, _ := src.Recode()
+			relay.Receive(z)
+		}
+		for i := 0; i < 20; i++ {
+			z, ok := relay.Recode()
+			if !ok {
+				return relay.Received() == 0 // only an empty node may refuse
+			}
+			if z.Degree() < 1 || z.Degree() > k {
+				return false
+			}
+			want := make([]byte, m)
+			for _, x := range z.Vec.Indices() {
+				bitvec.XorBytes(want, natives[x])
+			}
+			if !bytes.Equal(want, z.Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the redundancy detector never flags a degree-1 packet of an
+// undecoded native, for any reachable node state.
+func TestQuickDetectorNeverBlocksNewNatives(t *testing.T) {
+	prop := func(seed int64, fill uint8) bool {
+		const k = 16
+		src, err := NewNode(Options{K: k, Rng: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			return false
+		}
+		if err := src.Seed(make([][]byte, k)); err != nil {
+			return false
+		}
+		n, err := NewNode(Options{K: k, Rng: rand.New(rand.NewSource(seed + 9))})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(fill)%(2*k); i++ {
+			z, _ := src.Recode()
+			n.Receive(z)
+		}
+		for x := 0; x < k; x++ {
+			if n.IsDecoded(x) {
+				continue
+			}
+			if n.IsRedundant(bitvec.Single(k, x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A mid-transfer relay's emitted degrees still track the Robust Soliton
+// closely once its holdings can reach most degrees.
+func TestRelayEmissionsTrackRobustSoliton(t *testing.T) {
+	const k = 256
+	src := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(1))})
+	if err := src.Seed(make([][]byte, k)); err != nil {
+		t.Fatal(err)
+	}
+	relay := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(2))})
+	for i := 0; i < k; i++ { // mid-transfer: ~1.0k packets received
+		z, _ := src.Recode()
+		relay.Receive(z)
+	}
+	dist, err := soliton.NewDefaultRobust(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := soliton.NewHistogram(k)
+	for i := 0; i < 20000; i++ {
+		z, ok := relay.Recode()
+		if !ok {
+			t.Fatal("relay cannot recode")
+		}
+		h.Observe(z.Degree())
+	}
+	if tv := h.TVDistance(dist); tv > 0.2 {
+		t.Errorf("mid-transfer emission TV distance from Robust Soliton = %v", tv)
+	}
+	t.Logf("mid-transfer TV distance: %.4f (mean degree %.2f vs RS %.2f)",
+		h.TVDistance(dist), h.Mean(), dist.Mean())
+}
+
+func TestNodeWithK1(t *testing.T) {
+	n := mustNode(t, Options{K: 1, M: 4})
+	if err := n.Seed([][]byte{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	z, ok := n.Recode()
+	if !ok || z.Degree() != 1 {
+		t.Fatalf("k=1 recode: %v %v", z, ok)
+	}
+	sink := mustNode(t, Options{K: 1, M: 4})
+	if res := sink.Receive(z); res.NewlyDecoded != 1 {
+		t.Fatal("k=1 packet did not decode")
+	}
+	if !sink.Complete() {
+		t.Fatal("k=1 sink incomplete")
+	}
+}
+
+func TestPickRetryFallback(t *testing.T) {
+	// A node holding a single degree-2 packet: degree-1 draws are
+	// unreachable (nothing decoded), so picks must retry or fall back —
+	// and Recode must still emit something valid.
+	const k = 8
+	n := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(3)), MaxPickRetries: 2})
+	n.Receive(&packet.Packet{Vec: bitvec.FromIndices(k, 1, 2)})
+	for i := 0; i < 50; i++ {
+		z, ok := n.Recode()
+		if !ok {
+			t.Fatal("recode failed")
+		}
+		if z.Degree() != 2 {
+			t.Fatalf("only a degree-2 packet is buildable, got %d", z.Degree())
+		}
+	}
+}
+
+func TestRefineScanBudgetBoundary(t *testing.T) {
+	// Budget 1: refinement still works (degenerate window) and never
+	// corrupts packets.
+	const k = 64
+	n := mustNode(t, Options{K: k, M: 0, Rng: rand.New(rand.NewSource(4)), RefineScanBudget: 1})
+	if err := n.Seed(make([][]byte, k)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		z, ok := n.Recode()
+		if !ok || z.Degree() < 1 || z.Degree() > k {
+			t.Fatalf("recode %d broken: %v %v", i, z, ok)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+// Recode generates one fresh encoded packet: pick a target degree from the
+// Robust Soliton distribution (with the two reachability heuristics of
+// Section III-B-1), build a packet of that degree by greedily combining
+// available packets (Algorithm 1), then refine it by substituting frequent
+// natives with rare equivalent ones (Algorithm 2). ok is false when the
+// node holds nothing to recode from.
+func (n *Node) Recode() (z *packet.Packet, ok bool) {
+	if n.dec.DecodedCount() == 0 && n.deg.Len() == 0 {
+		return nil, false
+	}
+	n.counter.Event(opcount.RecodeControl)
+	d := n.pickDegree()
+	z = n.build(d)
+	if z == nil || z.IsZero() {
+		return nil, false
+	}
+	if !n.opts.DisableRefinement {
+		n.refine(z)
+	}
+	n.occ.ObserveSent(z.Vec)
+	n.stats.Sent++
+	return z, true
+}
+
+// pickDegree draws degrees from the distribution until one passes the
+// reachability heuristics, then returns it. If MaxPickRetries draws all
+// fail (possible only on a nearly empty node), it falls back to the
+// largest reachable degree below the last draw.
+func (n *Node) pickDegree() int {
+	n.stats.Picks++
+	for try := 0; ; try++ {
+		d := n.opts.Dist.Sample(n.rng)
+		if n.reachable(d) {
+			if try == 0 {
+				n.stats.PickFirstAccepted++
+			} else {
+				n.stats.PickRetries += uint64(try)
+			}
+			return d
+		}
+		if try >= n.opts.MaxPickRetries {
+			n.stats.PickRetries += uint64(try)
+			for ; d > 1; d-- {
+				if n.reachable(d) {
+					return d
+				}
+			}
+			return 1
+		}
+	}
+}
+
+// reachable applies the two unreachability heuristics of Section III-B-1.
+// A degree that passes may still be unreachable in rare corner cases; the
+// building step then settles for the closest lower degree.
+func (n *Node) reachable(d int) bool {
+	if d < 1 {
+		return false
+	}
+	decoded := uint64(n.dec.DecodedCount())
+	// First bound: Σ_{i=1..d} i·n(i) ≥ d, with n(1) counting decoded
+	// natives (the building step combines decoded natives and encoded
+	// packets of degree ≤ d).
+	n.counter.Add(opcount.RecodeControl, d)
+	if decoded+n.deg.WeightUpTo(d) < uint64(d) {
+		return false
+	}
+	if d == 1 {
+		return decoded >= 1
+	}
+	// Second bound: at least d distinct natives must be decoded or appear
+	// in an encoded packet of degree ≤ d. Computed with early exit; in
+	// steady state a handful of packets already cover d natives.
+	if decoded >= uint64(d) {
+		return true
+	}
+	covered := decoded
+	seen := n.scratchVec
+	seen.Reset()
+	for deg := 2; deg <= d; deg++ {
+		n.scratchIDs = n.scratchIDs[:0]
+		n.scratchIDs = n.deg.AppendAt(deg, n.scratchIDs)
+		for _, id := range n.scratchIDs {
+			vec, _, ok := n.dec.StoredPacket(id)
+			if !ok {
+				continue
+			}
+			n.counter.Add(opcount.RecodeControl, opcount.WordOps(n.k, 1))
+			covered += uint64(seen.OrCount(vec))
+			if covered >= uint64(d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// build implements Algorithm 1: examine packets by decreasing degree
+// starting from d; add a packet when the XOR strictly increases the degree
+// without exceeding d. Decoded natives form the degree-1 bucket. The
+// result has degree ≤ d.
+func (n *Node) build(d int) *packet.Packet {
+	n.stats.Builds++
+	z := packet.New(n.k, n.m)
+	zdeg := 0
+	for i := min(d, n.deg.MaxDegree()); i >= 2 && zdeg < d; i-- {
+		// Work on a private copy of S[i], drawing without replacement.
+		n.scratchIDs = n.scratchIDs[:0]
+		n.scratchIDs = n.deg.AppendAt(i, n.scratchIDs)
+		bucket := n.scratchIDs
+		for len(bucket) > 0 && zdeg < d {
+			j := n.rng.Intn(len(bucket))
+			id := bucket[j]
+			bucket[j] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+
+			vec, payload, ok := n.dec.StoredPacket(id)
+			if !ok {
+				continue
+			}
+			n.counter.Add(opcount.RecodeControl, opcount.WordOps(n.k, 1))
+			nd := z.Vec.XorPopCount(vec)
+			if nd <= zdeg || nd > d {
+				continue // collision or overshoot: discard candidate
+			}
+			z.Vec.Xor(vec)
+			n.counter.Add(opcount.RecodeControl, opcount.WordOps(n.k, 1))
+			if n.m > 0 && payload != nil {
+				n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, payload))
+			}
+			zdeg = nd
+		}
+	}
+	// Degree-1 bucket: decoded natives. Each distinct native not yet in z
+	// raises the degree by exactly one.
+	if zdeg < d && n.dec.DecodedCount() > 0 {
+		n.fillWithNatives(z, &zdeg, d)
+	}
+	if zdeg == d {
+		n.stats.BuildTargetReached++
+	} else {
+		n.stats.BuildDeviation += float64(d-zdeg) / float64(d)
+	}
+	return z
+}
+
+// fillWithNatives adds random decoded natives (the S[1] bucket of
+// Algorithm 1) until z reaches degree d or candidates run out. For large
+// decoded classes it uses rejection sampling (expected O(d)); for small
+// ones it draws exactly, without replacement.
+func (n *Node) fillWithNatives(z *packet.Packet, zdeg *int, d int) {
+	decoded := n.cc.DecodedCount()
+	need := d - *zdeg
+	if decoded > 2*need+16 {
+		// Rejection sampling: collisions with z are rare (|z| ≪ decoded).
+		for tries := 0; *zdeg < d && tries < 8*need+64; tries++ {
+			x := n.cc.DecodedAt(n.rng.Intn(decoded))
+			if z.Vec.Get(x) {
+				continue
+			}
+			n.addNative(z, x)
+			*zdeg++
+		}
+		if *zdeg == d {
+			return
+		}
+		// Pathological collision streak: fall through to the exact draw.
+	}
+	n.scratchIDs = n.scratchIDs[:0]
+	for i := 0; i < decoded; i++ {
+		if x := n.cc.DecodedAt(i); !z.Vec.Get(x) {
+			n.scratchIDs = append(n.scratchIDs, x)
+		}
+	}
+	bucket := n.scratchIDs
+	for len(bucket) > 0 && *zdeg < d {
+		j := n.rng.Intn(len(bucket))
+		x := bucket[j]
+		bucket[j] = bucket[len(bucket)-1]
+		bucket = bucket[:len(bucket)-1]
+		n.addNative(z, x)
+		*zdeg++
+	}
+}
+
+func (n *Node) addNative(z *packet.Packet, x int) {
+	z.Vec.Set(x)
+	n.counter.Add(opcount.RecodeControl, 1)
+	if n.m > 0 && z.Payload != nil {
+		if data := n.dec.NativeData(x); data != nil {
+			n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, data))
+		}
+	}
+}
+
+// refine implements Algorithm 2: for each native x in z, substitute the
+// least frequent equivalent native x' (same connected component, not in z,
+// strictly less frequent) by XORing the reconstructed pair x ⊕ x' into z.
+// The degree of z is unchanged; the variance of native occurrences drops.
+func (n *Node) refine(z *packet.Packet) {
+	natives := z.Vec.Indices()
+	for _, x := range natives {
+		if !z.Vec.Get(x) {
+			continue // x itself was substituted away by an earlier swap
+		}
+		best, found := n.leastFrequentEquivalent(x, z.Vec)
+		if !found {
+			continue
+		}
+		n.substitute(z, x, best)
+		n.stats.Substitutions++
+	}
+}
+
+// leastFrequentEquivalent scans (a budgeted slice of) x's component for
+// the least frequent native that is strictly rarer than x and absent from
+// zvec.
+func (n *Node) leastFrequentEquivalent(x int, zvec *bitvec.Vector) (int, bool) {
+	size := n.cc.ComponentSize(x)
+	if size <= 1 {
+		return 0, false
+	}
+	budget := n.opts.RefineScanBudget
+	skip := 0
+	if size > budget {
+		skip = n.rng.Intn(size) // random window start to avoid scan bias
+	}
+	var (
+		best      int
+		bestCount uint32
+		found     bool
+	)
+	xCount := n.occ.Count(x)
+	i := 0
+	n.cc.Members(x, func(y int) bool {
+		i++
+		if i <= skip {
+			return true
+		}
+		if budget == 0 {
+			return false
+		}
+		budget--
+		n.counter.Add(opcount.RecodeControl, 1)
+		if y == x || zvec.Get(y) {
+			return true
+		}
+		c := n.occ.Count(y)
+		if c >= xCount {
+			return true
+		}
+		if !found || c < bestCount {
+			best, bestCount, found = y, c, true
+		}
+		return true
+	})
+	if skip > 0 && budget > 0 && !found {
+		// Window wrapped past the end with budget to spare: scan the head.
+		rem := budget
+		n.cc.Members(x, func(y int) bool {
+			if rem == 0 {
+				return false
+			}
+			rem--
+			n.counter.Add(opcount.RecodeControl, 1)
+			if y == x || zvec.Get(y) {
+				return true
+			}
+			c := n.occ.Count(y)
+			if c >= xCount {
+				return true
+			}
+			if !found || c < bestCount {
+				best, bestCount, found = y, c, true
+			}
+			return true
+		})
+	}
+	return best, found
+}
+
+// substitute applies z ← z ⊕ (x ⊕ x'), materializing the pair payload from
+// decoded data (decoded component) or from the spanning forest of degree-2
+// packets (undecoded component).
+func (n *Node) substitute(z *packet.Packet, x, xPrime int) {
+	z.Vec.Flip(x)
+	z.Vec.Flip(xPrime)
+	n.counter.Add(opcount.RecodeControl, 2)
+	if n.m == 0 || z.Payload == nil {
+		return
+	}
+	if n.cc.IsDecoded(x) {
+		if dx := n.dec.NativeData(x); dx != nil {
+			n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, dx))
+		}
+		if dy := n.dec.NativeData(xPrime); dy != nil {
+			n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, dy))
+		}
+		return
+	}
+	xors, err := n.cc.PairPayload(x, xPrime, z.Payload)
+	if err != nil {
+		// Unreachable by construction (x ~ x' was just established); undo
+		// the vector flips to keep z consistent rather than corrupt it.
+		z.Vec.Flip(x)
+		z.Vec.Flip(xPrime)
+		return
+	}
+	n.counter.Add(opcount.RecodeData, xors*n.m)
+	n.counter.Add(opcount.RecodeControl, xors)
+}

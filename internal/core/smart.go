@@ -1,0 +1,71 @@
+package core
+
+import (
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+// SmartRecode implements the "smart" packet construction of Section
+// III-C-2 (Algorithm 4) for a fully operational feedback channel: given
+// the receiver's connected-components map ccr (as returned by
+// Node.Components on the receiver), it constructs a packet of degree 1 or
+// 2 that is guaranteed innovative for that receiver:
+//
+//	d = 1: a native decoded here but not there, or
+//	d = 2: a pair x ⊕ y generatable here (ccs(x) = ccs(y)) that merges
+//	       two distinct receiver components (ccr(x) ≠ ccr(y)).
+//
+// ok is false when no such low-degree packet exists; callers then fall
+// back to the regular Recode.
+func (n *Node) SmartRecode(ccr []int32) (z *packet.Packet, ok bool) {
+	if x, found := n.cc.FindInnovativeNative(ccr); found {
+		n.counter.Event(opcount.RecodeControl)
+		n.counter.Add(opcount.RecodeControl, opcount.WordOps(n.k, 1))
+		z = packet.New(n.k, n.m)
+		z.Vec.Set(x)
+		if n.m > 0 {
+			if data := n.dec.NativeData(x); data != nil {
+				n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, data))
+			}
+		}
+		n.finishSmart(z)
+		return z, true
+	}
+
+	x, y, found := n.cc.FindInnovativePair(ccr)
+	if !found {
+		return nil, false
+	}
+	n.counter.Event(opcount.RecodeControl)
+	// Algorithm 4 scans the k natives once building the σ mapping.
+	n.counter.Add(opcount.RecodeControl, n.k)
+	z = packet.New(n.k, n.m)
+	z.Vec.Set(x)
+	z.Vec.Set(y)
+	if n.m > 0 {
+		if n.cc.IsDecoded(x) {
+			// Both endpoints decoded: materialize from native data.
+			for _, v := range [2]int{x, y} {
+				if data := n.dec.NativeData(v); data != nil {
+					n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, data))
+				}
+			}
+		} else {
+			xors, err := n.cc.PairPayload(x, y, z.Payload)
+			if err != nil {
+				return nil, false
+			}
+			n.counter.Add(opcount.RecodeData, xors*n.m)
+			n.counter.Add(opcount.RecodeControl, xors)
+		}
+	}
+	n.finishSmart(z)
+	return z, true
+}
+
+func (n *Node) finishSmart(z *packet.Packet) {
+	n.occ.ObserveSent(z.Vec)
+	n.stats.Sent++
+	n.stats.SmartSent++
+}

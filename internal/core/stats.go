@@ -1,0 +1,74 @@
+package core
+
+// Stats aggregates the recoder's behavioural statistics — the quantities
+// the paper reports inline in Sections III-B and III-C (pick acceptance
+// rate, build accuracy, substitution activity, detector hits).
+type Stats struct {
+	// Picks counts pick-degree operations; PickFirstAccepted counts those
+	// whose first draw passed the reachability heuristics (the paper
+	// reports 99.9%); PickRetries accumulates extra draws.
+	Picks             uint64
+	PickFirstAccepted uint64
+	PickRetries       uint64
+
+	// Builds counts Algorithm 1 runs; BuildTargetReached counts builds
+	// that hit the target degree exactly (the paper reports 95%);
+	// BuildDeviation accumulates the relative deviation
+	// (target − obtained) / target of the misses (mean ≈ 0.2%).
+	Builds             uint64
+	BuildTargetReached uint64
+	BuildDeviation     float64
+
+	// Substitutions counts refinement swaps (Algorithm 2).
+	Substitutions uint64
+
+	// DetectorHits counts packets the redundancy detector (Algorithm 3)
+	// rejected, on reception or during decoding.
+	DetectorHits uint64
+
+	// Sent counts packets emitted (Recode + SmartRecode); SmartSent counts
+	// the subset built by Algorithm 4.
+	Sent      uint64
+	SmartSent uint64
+}
+
+// Stats returns a copy of the node's behavioural statistics.
+func (n *Node) Stats() Stats { return n.stats }
+
+// PickFirstAcceptRate returns the fraction of pick operations whose first
+// draw was accepted (1.0 when no picks happened yet).
+func (s Stats) PickFirstAcceptRate() float64 {
+	if s.Picks == 0 {
+		return 1
+	}
+	return float64(s.PickFirstAccepted) / float64(s.Picks)
+}
+
+// AvgPickRetries returns the mean number of extra draws per pick whose
+// first draw was rejected, mirroring the paper's "average number of
+// retries (when the first degree is discarded) is 1.02".
+func (s Stats) AvgPickRetries() float64 {
+	rejected := s.Picks - s.PickFirstAccepted
+	if rejected == 0 {
+		return 0
+	}
+	return float64(s.PickRetries) / float64(rejected)
+}
+
+// BuildTargetRate returns the fraction of builds that reached the target
+// degree exactly (the paper reports 95%).
+func (s Stats) BuildTargetRate() float64 {
+	if s.Builds == 0 {
+		return 1
+	}
+	return float64(s.BuildTargetReached) / float64(s.Builds)
+}
+
+// AvgBuildDeviation returns the mean relative deviation from the target
+// degree across all builds (the paper reports 0.2%).
+func (s Stats) AvgBuildDeviation() float64 {
+	if s.Builds == 0 {
+		return 0
+	}
+	return s.BuildDeviation / float64(s.Builds)
+}

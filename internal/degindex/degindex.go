@@ -1,0 +1,153 @@
+// Package degindex implements the index of encoded packets grouped by
+// degree — the data structure S of Algorithm 1, "allowing fast lookup of
+// encoded packets of a given degree" (Table I of the paper).
+//
+// The index tracks stored packets only (degree ≥ 2 in practice: degree-1
+// packets decode immediately); decoded natives form the virtual S[1] and
+// are handled by the recoder directly.
+package degindex
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+type location struct {
+	deg int
+	idx int // position within byDeg[deg]
+}
+
+// Index maps degrees to the sets of packet ids currently at that degree,
+// with O(1) add/move/remove and uniform random picks per degree.
+type Index struct {
+	byDeg  [][]int
+	where  map[int]location
+	weight uint64 // Σ over packets of their degree
+}
+
+// New returns an empty index accepting degrees 1..maxDegree.
+func New(maxDegree int) *Index {
+	if maxDegree < 1 {
+		panic(fmt.Sprintf("degindex: maxDegree %d < 1", maxDegree))
+	}
+	return &Index{
+		byDeg: make([][]int, maxDegree+1),
+		where: make(map[int]location),
+	}
+}
+
+// Add registers packet id at the given degree. It panics if id is already
+// present or the degree is out of range — both indicate a broken hook
+// sequence, never a runtime condition.
+func (ix *Index) Add(id, deg int) {
+	ix.checkDeg(deg)
+	if _, ok := ix.where[id]; ok {
+		panic(fmt.Sprintf("degindex: duplicate add of id %d", id))
+	}
+	ix.byDeg[deg] = append(ix.byDeg[deg], id)
+	ix.where[id] = location{deg: deg, idx: len(ix.byDeg[deg]) - 1}
+	ix.weight += uint64(deg)
+}
+
+// Move re-registers id from degree old to degree new.
+func (ix *Index) Move(id, old, new int) {
+	loc, ok := ix.where[id]
+	if !ok || loc.deg != old {
+		panic(fmt.Sprintf("degindex: move of id %d from %d, index holds %+v", id, old, loc))
+	}
+	ix.removeAt(loc)
+	ix.weight -= uint64(old)
+	ix.checkDeg(new)
+	ix.byDeg[new] = append(ix.byDeg[new], id)
+	ix.where[id] = location{deg: new, idx: len(ix.byDeg[new]) - 1}
+	ix.weight += uint64(new)
+}
+
+// Remove unregisters id, which must currently be at degree deg.
+func (ix *Index) Remove(id, deg int) {
+	loc, ok := ix.where[id]
+	if !ok || loc.deg != deg {
+		panic(fmt.Sprintf("degindex: remove of id %d at %d, index holds %+v", id, deg, loc))
+	}
+	ix.removeAt(loc)
+	delete(ix.where, id)
+	ix.weight -= uint64(deg)
+}
+
+func (ix *Index) removeAt(loc location) {
+	s := ix.byDeg[loc.deg]
+	last := len(s) - 1
+	moved := s[last]
+	s[loc.idx] = moved
+	ix.byDeg[loc.deg] = s[:last]
+	if loc.idx != last {
+		ix.where[moved] = location{deg: loc.deg, idx: loc.idx}
+	}
+}
+
+// CountAt returns the number of packets currently at degree deg (n(deg) in
+// the paper); degrees outside the index count 0.
+func (ix *Index) CountAt(deg int) int {
+	if deg < 1 || deg >= len(ix.byDeg) {
+		return 0
+	}
+	return len(ix.byDeg[deg])
+}
+
+// Len returns the total number of indexed packets.
+func (ix *Index) Len() int { return len(ix.where) }
+
+// Degree returns the degree the index currently holds for id, or 0 if id
+// is not indexed.
+func (ix *Index) Degree(id int) int {
+	return ix.where[id].deg
+}
+
+// WeightUpTo returns Σ_{i=1..d} i·n(i) — the left side of the first
+// degree-reachability bound of Section III-B-1. Cost O(d).
+func (ix *Index) WeightUpTo(d int) uint64 {
+	if d >= len(ix.byDeg)-1 {
+		return ix.weight
+	}
+	var sum uint64
+	for i := 1; i <= d; i++ {
+		sum += uint64(i) * uint64(len(ix.byDeg[i]))
+	}
+	return sum
+}
+
+// AppendAt appends the ids at degree deg to dst and returns it; the result
+// is the working copy S' that Algorithm 1 consumes by random draws.
+func (ix *Index) AppendAt(deg int, dst []int) []int {
+	if deg < 1 || deg >= len(ix.byDeg) {
+		return dst
+	}
+	return append(dst, ix.byDeg[deg]...)
+}
+
+// RandomAt returns a uniformly random id at degree deg, or ok == false if
+// the bucket is empty.
+func (ix *Index) RandomAt(deg int, rng *rand.Rand) (id int, ok bool) {
+	if deg < 1 || deg >= len(ix.byDeg) || len(ix.byDeg[deg]) == 0 {
+		return 0, false
+	}
+	s := ix.byDeg[deg]
+	return s[rng.Intn(len(s))], true
+}
+
+// MaxDegree returns the highest degree with at least one packet, or 0 if
+// the index is empty.
+func (ix *Index) MaxDegree() int {
+	for d := len(ix.byDeg) - 1; d >= 1; d-- {
+		if len(ix.byDeg[d]) > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func (ix *Index) checkDeg(deg int) {
+	if deg < 1 || deg >= len(ix.byDeg) {
+		panic(fmt.Sprintf("degindex: degree %d out of range [1,%d]", deg, len(ix.byDeg)-1))
+	}
+}

@@ -1,0 +1,190 @@
+package degindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(8)
+	if ix.Len() != 0 || ix.MaxDegree() != 0 {
+		t.Errorf("empty index: len=%d max=%d", ix.Len(), ix.MaxDegree())
+	}
+	if ix.CountAt(3) != 0 || ix.CountAt(0) != 0 || ix.CountAt(99) != 0 {
+		t.Error("CountAt nonzero on empty/out-of-range")
+	}
+	if ix.WeightUpTo(8) != 0 {
+		t.Error("weight nonzero")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := ix.RandomAt(3, rng); ok {
+		t.Error("RandomAt on empty bucket")
+	}
+}
+
+func TestAddMoveRemove(t *testing.T) {
+	ix := New(10)
+	ix.Add(100, 5)
+	ix.Add(200, 5)
+	ix.Add(300, 2)
+	if ix.CountAt(5) != 2 || ix.CountAt(2) != 1 || ix.Len() != 3 {
+		t.Fatalf("counts wrong: %d %d %d", ix.CountAt(5), ix.CountAt(2), ix.Len())
+	}
+	if ix.MaxDegree() != 5 {
+		t.Errorf("MaxDegree = %d", ix.MaxDegree())
+	}
+	if ix.Degree(100) != 5 || ix.Degree(999) != 0 {
+		t.Error("Degree lookups wrong")
+	}
+
+	ix.Move(100, 5, 3)
+	if ix.CountAt(5) != 1 || ix.CountAt(3) != 1 {
+		t.Error("Move did not update buckets")
+	}
+	if ix.Degree(100) != 3 {
+		t.Error("Degree after move wrong")
+	}
+
+	ix.Remove(200, 5)
+	if ix.CountAt(5) != 0 || ix.Len() != 2 {
+		t.Error("Remove did not update")
+	}
+	if ix.MaxDegree() != 3 {
+		t.Errorf("MaxDegree after remove = %d", ix.MaxDegree())
+	}
+}
+
+func TestWeightUpTo(t *testing.T) {
+	ix := New(10)
+	ix.Add(1, 2)
+	ix.Add(2, 2)
+	ix.Add(3, 3)
+	// Σ i·n(i): up to 1 → 0; up to 2 → 4; up to 3 → 7; beyond → 7.
+	tests := []struct {
+		d    int
+		want uint64
+	}{{1, 0}, {2, 4}, {3, 7}, {10, 7}, {99, 7}}
+	for _, tt := range tests {
+		if got := ix.WeightUpTo(tt.d); got != tt.want {
+			t.Errorf("WeightUpTo(%d) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestRandomAtUniform(t *testing.T) {
+	ix := New(4)
+	ids := []int{10, 20, 30, 40}
+	for _, id := range ids {
+		ix.Add(id, 2)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[int]int)
+	for i := 0; i < 8000; i++ {
+		id, ok := ix.RandomAt(2, rng)
+		if !ok {
+			t.Fatal("RandomAt failed")
+		}
+		counts[id]++
+	}
+	for _, id := range ids {
+		if c := counts[id]; c < 1700 || c > 2300 {
+			t.Errorf("id %d drawn %d times, want ≈2000", id, c)
+		}
+	}
+}
+
+func TestAppendAt(t *testing.T) {
+	ix := New(4)
+	ix.Add(1, 3)
+	ix.Add(2, 3)
+	got := ix.AppendAt(3, nil)
+	if len(got) != 2 {
+		t.Fatalf("AppendAt returned %v", got)
+	}
+	if got := ix.AppendAt(0, nil); got != nil {
+		t.Error("AppendAt(0) non-nil")
+	}
+	if got := ix.AppendAt(99, nil); got != nil {
+		t.Error("AppendAt(out of range) non-nil")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(*Index)
+	}{
+		{"dup add", func(ix *Index) { ix.Add(1, 2); ix.Add(1, 3) }},
+		{"bad degree", func(ix *Index) { ix.Add(1, 0) }},
+		{"degree too big", func(ix *Index) { ix.Add(1, 11) }},
+		{"move wrong old", func(ix *Index) { ix.Add(1, 2); ix.Move(1, 3, 4) }},
+		{"move missing", func(ix *Index) { ix.Move(9, 2, 3) }},
+		{"remove wrong deg", func(ix *Index) { ix.Add(1, 2); ix.Remove(1, 3) }},
+		{"remove missing", func(ix *Index) { ix.Remove(9, 2) }},
+		{"new bad max", func(*Index) { New(0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tt.f(New(10))
+		})
+	}
+}
+
+func TestChurnAgainstReference(t *testing.T) {
+	// Random add/move/remove churn cross-checked against a naive map.
+	rng := rand.New(rand.NewSource(99))
+	ix := New(16)
+	ref := make(map[int]int) // id -> degree
+	nextID := 0
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(ref) == 0:
+			deg := 1 + rng.Intn(16)
+			ix.Add(nextID, deg)
+			ref[nextID] = deg
+			nextID++
+		case op == 1:
+			id := anyKey(rng, ref)
+			newDeg := 1 + rng.Intn(16)
+			ix.Move(id, ref[id], newDeg)
+			ref[id] = newDeg
+		default:
+			id := anyKey(rng, ref)
+			ix.Remove(id, ref[id])
+			delete(ref, id)
+		}
+	}
+	if ix.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", ix.Len(), len(ref))
+	}
+	counts := make(map[int]int)
+	var weight uint64
+	for _, d := range ref {
+		counts[d]++
+		weight += uint64(d)
+	}
+	for d := 1; d <= 16; d++ {
+		if ix.CountAt(d) != counts[d] {
+			t.Errorf("CountAt(%d) = %d, ref %d", d, ix.CountAt(d), counts[d])
+		}
+	}
+	if ix.WeightUpTo(16) != weight {
+		t.Errorf("weight = %d, ref %d", ix.WeightUpTo(16), weight)
+	}
+}
+
+func anyKey(rng *rand.Rand, m map[int]int) int {
+	n := rng.Intn(len(m))
+	for k := range m {
+		if n == 0 {
+			return k
+		}
+		n--
+	}
+	panic("unreachable")
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ltnc/internal/rlnc"
+	"ltnc/internal/sim"
+)
+
+// AblationRow is one configuration of the ablation study (DESIGN.md §6):
+// a named variant of LTNC (or RLNC) with its dissemination metrics.
+type AblationRow struct {
+	Name          string
+	AvgCompletion float64
+	OverheadPct   float64
+	Payloads      uint64
+	Aborted       uint64
+}
+
+// Ablations runs the design-choice ablations at one operating point:
+// refinement on/off, redundancy detection on/off, feedback none/binary/
+// full, aggressiveness sweep, and the RLNC sparsity knee.
+func Ablations(p Fig7Params) ([]AblationRow, error) {
+	p.setDefaults()
+	var out []AblationRow
+
+	run := func(name string, cfg sim.Config) error {
+		res, err := sim.RunAvg(cfg, p.Runs)
+		if err != nil {
+			return fmt.Errorf("ablation %s: %w", name, err)
+		}
+		if !res.Completed {
+			return fmt.Errorf("ablation %s: incomplete", name)
+		}
+		out = append(out, AblationRow{
+			Name:          name,
+			AvgCompletion: res.AvgCompletion,
+			OverheadPct:   res.OverheadPct,
+			Payloads:      res.PayloadsSent,
+			Aborted:       res.Aborted,
+		})
+		return nil
+	}
+
+	base := func() sim.Config { return SchemeConfig(sim.LTNC, p) }
+
+	cfg := base()
+	if err := run("ltnc/baseline", cfg); err != nil {
+		return nil, err
+	}
+
+	cfg = base()
+	cfg.DisableRefinement = true
+	if err := run("ltnc/no-refinement", cfg); err != nil {
+		return nil, err
+	}
+
+	cfg = base()
+	cfg.DisableRedundancyCheck = true
+	if err := run("ltnc/no-redundancy-detection", cfg); err != nil {
+		return nil, err
+	}
+
+	cfg = base()
+	cfg.Feedback = sim.FeedbackNone
+	if err := run("ltnc/feedback-none", cfg); err != nil {
+		return nil, err
+	}
+
+	cfg = base()
+	cfg.Feedback = sim.FeedbackFull
+	if err := run("ltnc/feedback-full", cfg); err != nil {
+		return nil, err
+	}
+
+	for _, agg := range []float64{0.001, 0.1, 0.5} {
+		q := p
+		q.Aggressiveness = agg
+		if err := run(fmt.Sprintf("ltnc/aggressiveness-%g", agg), SchemeConfig(sim.LTNC, q)); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg = base()
+	cfg.UseGossipView = true
+	if err := run("ltnc/gossip-view-sampler", cfg); err != nil {
+		return nil, err
+	}
+
+	for _, sparsity := range []int{4, rlnc.DefaultSparsity(p.K), 64} {
+		q := SchemeConfig(sim.RLNC, p)
+		q.Sparsity = sparsity
+		if err := run(fmt.Sprintf("rlnc/sparsity-%d", sparsity), q); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"ltnc/internal/rlnc"
+)
+
+func TestAblationsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many dissemination batches")
+	}
+	rows, err := Ablations(Fig7Params{N: 14, K: 48, Runs: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AblationRow, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.AvgCompletion <= 0 {
+			t.Errorf("%s: no completion metric", r.Name)
+		}
+	}
+
+	base, ok := byName["ltnc/baseline"]
+	if !ok {
+		t.Fatal("baseline row missing")
+	}
+	// No feedback: no aborts, strictly more payloads on the wire.
+	none := byName["ltnc/feedback-none"]
+	if none.Aborted != 0 {
+		t.Errorf("feedback-none recorded %d aborts", none.Aborted)
+	}
+	if none.Payloads <= base.Payloads {
+		t.Errorf("feedback-none payloads %d not above baseline %d",
+			none.Payloads, base.Payloads)
+	}
+	// The detector's traffic effect is small (header aborts dominate);
+	// its real win — fewer redundant insertions — is ground-truthed in
+	// TestInlineStats. Here just require the variant to exist and finish.
+	if _, ok := byName["ltnc/no-redundancy-detection"]; !ok {
+		t.Error("no-redundancy-detection row missing")
+	}
+	// Extreme aggressiveness delays completion.
+	lazy := byName["ltnc/aggressiveness-0.5"]
+	if lazy.AvgCompletion <= base.AvgCompletion {
+		t.Errorf("aggressiveness 0.5 (%v) not slower than baseline (%v)",
+			lazy.AvgCompletion, base.AvgCompletion)
+	}
+	// Degenerate RLNC sparsity hurts.
+	sparse4, ok := byName["rlnc/sparsity-4"]
+	if !ok {
+		t.Fatal("sparsity-4 row missing")
+	}
+	kneeName := fmt.Sprintf("rlnc/sparsity-%d", rlnc.DefaultSparsity(48))
+	knee, ok := byName[kneeName]
+	if !ok {
+		t.Fatalf("%s row missing", kneeName)
+	}
+	if knee.AvgCompletion > sparse4.AvgCompletion {
+		t.Errorf("sparsity knee (%v) slower than sparsity 4 (%v)",
+			knee.AvgCompletion, sparse4.AvgCompletion)
+	}
+}

@@ -1,0 +1,213 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section IV) plus the inline statistics of Section III. It is shared by
+// the cmd/ltnc-* tools and the repository-level benchmarks; EXPERIMENTS.md
+// records paper-vs-measured values produced by these functions.
+package experiments
+
+import (
+	"fmt"
+
+	"ltnc/internal/sim"
+	"ltnc/internal/soliton"
+)
+
+// DistPoint is one point of a degree-distribution series (Figure 2).
+type DistPoint struct {
+	Degree int
+	PMF    float64
+}
+
+// Fig2 returns the Robust Soliton PMF for code length k — the series of
+// Figure 2 (plotted log-log in the paper).
+func Fig2(k int, c, delta float64) ([]DistPoint, error) {
+	dist, err := soliton.NewRobust(k, c, delta)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DistPoint, k)
+	for d := 1; d <= k; d++ {
+		out[d-1] = DistPoint{Degree: d, PMF: dist.PMF(d)}
+	}
+	return out, nil
+}
+
+// Fig7Params parameterizes the dissemination experiments of Figure 7.
+type Fig7Params struct {
+	// N is the network size (paper: 1000) and K the code length
+	// (paper: 2048 for 7a, swept 512..4096 for 7b/7c).
+	N, K int
+	// Runs is the Monte-Carlo batch size (paper: 25).
+	Runs int
+	// Seed roots the reproducible seed tree.
+	Seed int64
+	// Aggressiveness for LTNC (paper: ≈1%).
+	Aggressiveness float64
+	// MaxRounds caps each run (0 = simulator default).
+	MaxRounds int
+	// FanIn caps inbound transfers per node per gossip period; -1 means
+	// unlimited, 0 selects the default of 1 (unicast TCP receivers).
+	FanIn int
+}
+
+func (p *Fig7Params) setDefaults() {
+	if p.Runs == 0 {
+		p.Runs = 5
+	}
+	if p.Aggressiveness == 0 {
+		p.Aggressiveness = 0.01
+	}
+	if p.FanIn == 0 {
+		p.FanIn = 1
+	}
+}
+
+// SchemeConfig builds the simulator configuration the evaluation uses for
+// a scheme: binary feedback, uniform sampling, control-plane payloads,
+// unicast receivers serving one transfer per gossip period (transfers are
+// TCP sessions in the paper's application), the paper's aggressiveness
+// for LTNC, and an eviction-free buffer for WC (so its tail reflects the
+// epidemic, not buffer thrashing).
+func SchemeConfig(scheme sim.Scheme, p Fig7Params) sim.Config {
+	p.setDefaults()
+	fanIn := p.FanIn
+	if fanIn < 0 {
+		fanIn = 0 // unlimited
+	}
+	cfg := sim.Config{
+		Scheme:        scheme,
+		N:             p.N,
+		K:             p.K,
+		M:             0,
+		Seed:          p.Seed,
+		Feedback:      sim.FeedbackBinary,
+		MaxRounds:     p.MaxRounds,
+		MaxInPerRound: fanIn,
+	}
+	switch scheme {
+	case sim.LTNC:
+		cfg.Aggressiveness = p.Aggressiveness
+	case sim.WC:
+		cfg.BufferSize = p.K
+	}
+	return cfg
+}
+
+// Fig7a returns the convergence curves (fraction of complete nodes per
+// gossip period) for WC, LTNC and RLNC — Figure 7a.
+func Fig7a(p Fig7Params) (map[sim.Scheme][]float64, error) {
+	p.setDefaults()
+	out := make(map[sim.Scheme][]float64, 3)
+	for _, scheme := range []sim.Scheme{sim.WC, sim.LTNC, sim.RLNC} {
+		cfg := SchemeConfig(scheme, p)
+		cfg.RecordCurve = true
+		res, err := sim.RunAvg(cfg, p.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig7a %v: %w", scheme, err)
+		}
+		out[scheme] = res.Curve
+	}
+	return out, nil
+}
+
+// Fig7bRow is one row of Figure 7b: average time to complete (gossip
+// periods) per scheme at one code length.
+type Fig7bRow struct {
+	K    int
+	WC   float64
+	LTNC float64
+	RLNC float64
+}
+
+// Fig7b sweeps the code length and returns the average completion time of
+// the three schemes — Figure 7b.
+func Fig7b(ks []int, p Fig7Params) ([]Fig7bRow, error) {
+	p.setDefaults()
+	out := make([]Fig7bRow, 0, len(ks))
+	for _, k := range ks {
+		row := Fig7bRow{K: k}
+		for _, scheme := range []sim.Scheme{sim.WC, sim.LTNC, sim.RLNC} {
+			q := p
+			q.K = k
+			res, err := sim.RunAvg(SchemeConfig(scheme, q), p.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("fig7b k=%d %v: %w", k, scheme, err)
+			}
+			switch scheme {
+			case sim.WC:
+				row.WC = res.AvgCompletion
+			case sim.LTNC:
+				row.LTNC = res.AvgCompletion
+			case sim.RLNC:
+				row.RLNC = res.AvgCompletion
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig7cRow is one row of Figure 7c: LTNC communication overhead at one
+// code length (WC and RLNC overheads are identically zero thanks to
+// exact redundancy detection, as the paper notes).
+type Fig7cRow struct {
+	K           int
+	OverheadPct float64
+}
+
+// Fig7c sweeps the code length and returns LTNC's communication overhead
+// — Figure 7c.
+func Fig7c(ks []int, p Fig7Params) ([]Fig7cRow, error) {
+	p.setDefaults()
+	out := make([]Fig7cRow, 0, len(ks))
+	for _, k := range ks {
+		q := p
+		q.K = k
+		res, err := sim.RunAvg(SchemeConfig(sim.LTNC, q), p.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("fig7c k=%d: %w", k, err)
+		}
+		out = append(out, Fig7cRow{K: k, OverheadPct: res.OverheadPct})
+	}
+	return out, nil
+}
+
+// HeadlineResult carries the paper's summary numbers at one operating
+// point (k = 2048 in the paper): LTNC trades ≈20% communication overhead
+// and ≈30% longer convergence for a ≈99% cheaper decode.
+type HeadlineResult struct {
+	K, N                  int
+	LTNCOverheadPct       float64
+	ConvergenceRatio      float64 // LTNC time / RLNC time
+	DecodeControlRatio    float64 // LTNC / RLNC word ops per decode
+	DecodeReductionPct    float64 // 100·(1 − ratio)
+	DecodeDataLTNCPerByte float64
+	DecodeDataRLNCPerByte float64
+}
+
+// Headline computes the summary trade-off at one operating point.
+func Headline(p Fig7Params, m int) (HeadlineResult, error) {
+	p.setDefaults()
+	out := HeadlineResult{K: p.K, N: p.N}
+
+	ltncRes, err := sim.RunAvg(SchemeConfig(sim.LTNC, p), p.Runs)
+	if err != nil {
+		return out, err
+	}
+	rlncRes, err := sim.RunAvg(SchemeConfig(sim.RLNC, p), p.Runs)
+	if err != nil {
+		return out, err
+	}
+	out.LTNCOverheadPct = ltncRes.OverheadPct
+	out.ConvergenceRatio = ltncRes.AvgCompletion / rlncRes.AvgCompletion
+
+	costs, err := Fig8([]int{p.K}, m, p.Seed)
+	if err != nil {
+		return out, err
+	}
+	row := costs[0]
+	out.DecodeControlRatio = row.LTNCDecodeControl / row.RLNCDecodeControl
+	out.DecodeReductionPct = 100 * (1 - out.DecodeControlRatio)
+	out.DecodeDataLTNCPerByte = row.LTNCDecodeDataPerByte
+	out.DecodeDataRLNCPerByte = row.RLNCDecodeDataPerByte
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"ltnc/internal/sim"
+	"ltnc/internal/soliton"
+)
+
+func TestFig2SeriesMatchesDistribution(t *testing.T) {
+	const k = 512
+	pts, err := Fig2(k, soliton.DefaultC, soliton.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != k {
+		t.Fatalf("got %d points", len(pts))
+	}
+	sum := 0.0
+	for i, p := range pts {
+		if p.Degree != i+1 {
+			t.Fatalf("point %d has degree %d", i, p.Degree)
+		}
+		sum += p.PMF
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	if _, err := Fig2(0, 0.03, 0.5); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// Small-scale end-to-end sanity of the figure harnesses: shapes must hold
+// even at toy sizes (the checked-in EXPERIMENTS.md uses larger runs).
+func TestFig7SmallScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three dissemination batches")
+	}
+	p := Fig7Params{N: 16, K: 64, Runs: 2, Seed: 9}
+
+	curves, err := Fig7a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for scheme, curve := range curves {
+		if len(curve) == 0 {
+			t.Fatalf("%v: empty curve", scheme)
+		}
+		if last := curve[len(curve)-1]; last != 1 {
+			t.Errorf("%v: curve ends at %v", scheme, last)
+		}
+	}
+	// RLNC's curve must dominate (converge earlier than) WC's.
+	rlncT := timeToFraction(curves[sim.RLNC], 0.9)
+	wcT := timeToFraction(curves[sim.WC], 0.9)
+	if rlncT >= wcT {
+		t.Errorf("RLNC hits 90%% at %d, WC at %d: ordering violated", rlncT, wcT)
+	}
+
+	rows, err := Fig7b([]int{32, 64}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if !(row.RLNC <= row.LTNC && row.LTNC <= row.WC) {
+			t.Errorf("k=%d ordering violated: RLNC=%v LTNC=%v WC=%v",
+				row.K, row.RLNC, row.LTNC, row.WC)
+		}
+	}
+
+	over, err := Fig7c([]int{32, 64}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range over {
+		if row.OverheadPct <= 0 {
+			t.Errorf("k=%d LTNC overhead %v, want > 0", row.K, row.OverheadPct)
+		}
+	}
+}
+
+func timeToFraction(curve []float64, frac float64) int {
+	for i, v := range curve {
+		if v >= frac {
+			return i
+		}
+	}
+	return len(curve)
+}
+
+func TestFig8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost sweep")
+	}
+	rows, err := Fig8([]int{128, 256}, 32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, row := range rows {
+		// 8b/8d: belief propagation beats Gauss by a growing margin.
+		if row.LTNCDecodeControl >= row.RLNCDecodeControl {
+			t.Errorf("k=%d: LTNC decode control %v ≥ RLNC %v",
+				row.K, row.LTNCDecodeControl, row.RLNCDecodeControl)
+		}
+		if row.LTNCDecodeDataPerByte >= row.RLNCDecodeDataPerByte {
+			t.Errorf("k=%d: LTNC decode data %v ≥ RLNC %v",
+				row.K, row.LTNCDecodeDataPerByte, row.RLNCDecodeDataPerByte)
+		}
+		// 8c: LTNC combines fewer packets per recode than sparse RLNC.
+		if row.LTNCRecodeDataPerByte >= row.RLNCRecodeDataPerByte {
+			t.Errorf("k=%d: LTNC recode data %v ≥ RLNC %v",
+				row.K, row.LTNCRecodeDataPerByte, row.RLNCRecodeDataPerByte)
+		}
+		// The decode gap must widen with k (k log k vs k²).
+		ratio := row.RLNCDecodeControl / row.LTNCDecodeControl
+		if ratio <= prev {
+			t.Errorf("decode-control gap not widening: k=%d ratio %v (prev %v)",
+				row.K, ratio, prev)
+		}
+		prev = ratio
+	}
+	if _, err := Fig8([]int{16}, 0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestInlineStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mesh run")
+	}
+	st, err := Inline(128, 12, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PickFirstAcceptRate < 0.9 {
+		t.Errorf("pick first-accept rate %v, want ≈ 1", st.PickFirstAcceptRate)
+	}
+	if st.BuildTargetRate < 0.7 {
+		t.Errorf("build target rate %v too low", st.BuildTargetRate)
+	}
+	if st.OccurrenceRelStdDev <= 0 || st.OccurrenceRelStdDev > 1 {
+		t.Errorf("occurrence rel stddev %v out of range", st.OccurrenceRelStdDev)
+	}
+	if st.RedundancyReductionPct <= 5 {
+		t.Errorf("redundancy reduction %v%%, want clearly positive", st.RedundancyReductionPct)
+	}
+	t.Logf("inline stats at k=%d: %+v", st.K, st)
+}
+
+func TestHeadlineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two dissemination batches + cost pass")
+	}
+	res, err := Headline(Fig7Params{N: 16, K: 96, Runs: 2, Seed: 17}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LTNCOverheadPct <= 0 {
+		t.Errorf("overhead %v, want > 0", res.LTNCOverheadPct)
+	}
+	if res.ConvergenceRatio <= 1 {
+		t.Errorf("convergence ratio %v, want > 1 (RLNC is optimal)", res.ConvergenceRatio)
+	}
+	if res.DecodeReductionPct <= 50 {
+		t.Errorf("decode reduction %v%%, want large", res.DecodeReductionPct)
+	}
+	t.Logf("headline at k=%d: %+v", res.K, res)
+}

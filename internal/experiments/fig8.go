@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ltnc/internal/core"
+	"ltnc/internal/opcount"
+	"ltnc/internal/rlnc"
+	"ltnc/internal/xrand"
+)
+
+// Fig8Row carries the computational costs of Figure 8 at one code length,
+// in machine-independent units: control-plane costs in 64-bit word
+// operations (8a: per recode; 8b: total for decoding the full content) and
+// data-plane costs in payload bytes XORed per byte of output (8c: per
+// recoded byte; 8d: per decoded content byte). The paper reports CPU
+// cycles on a fixed machine; ratios and scaling in k are preserved by
+// these proxies (see DESIGN.md §5), and bench_test.go adds wall-clock
+// measurements.
+type Fig8Row struct {
+	K int
+
+	LTNCRecodeControl float64 // 8a
+	RLNCRecodeControl float64
+
+	LTNCDecodeControl float64 // 8b
+	RLNCDecodeControl float64
+
+	LTNCRecodeDataPerByte float64 // 8c
+	RLNCRecodeDataPerByte float64
+
+	LTNCDecodeDataPerByte float64 // 8d
+	RLNCDecodeDataPerByte float64
+}
+
+// Fig8 measures recoding and decoding costs for LTNC and RLNC across code
+// lengths (the paper sweeps 400..2000). The workload mirrors the
+// dissemination inner loop: a relay node receives a source stream until it
+// fully decodes, recoding one fresh packet per reception — so recode costs
+// average over the whole transfer (cold, mid, and hot states) and decode
+// costs cover the full content.
+func Fig8(ks []int, m int, seed int64) ([]Fig8Row, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("fig8: m = %d < 1", m)
+	}
+	out := make([]Fig8Row, 0, len(ks))
+	for i, k := range ks {
+		row := Fig8Row{K: k}
+		ltnc, err := ltncCosts(k, m, xrand.DeriveSeed(seed, 2*i))
+		if err != nil {
+			return nil, fmt.Errorf("fig8 k=%d ltnc: %w", k, err)
+		}
+		rl, err := rlncCosts(k, m, xrand.DeriveSeed(seed, 2*i+1))
+		if err != nil {
+			return nil, fmt.Errorf("fig8 k=%d rlnc: %w", k, err)
+		}
+		row.LTNCRecodeControl = ltnc.recodeControl
+		row.LTNCDecodeControl = ltnc.decodeControl
+		row.LTNCRecodeDataPerByte = ltnc.recodeDataPerByte
+		row.LTNCDecodeDataPerByte = ltnc.decodeDataPerByte
+		row.RLNCRecodeControl = rl.recodeControl
+		row.RLNCDecodeControl = rl.decodeControl
+		row.RLNCRecodeDataPerByte = rl.recodeDataPerByte
+		row.RLNCDecodeDataPerByte = rl.decodeDataPerByte
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+type costs struct {
+	recodeControl     float64
+	decodeControl     float64
+	recodeDataPerByte float64
+	decodeDataPerByte float64
+}
+
+func synthNatives(k, m int, seed int64) [][]byte {
+	rng := xrand.NewChild(seed, 99)
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	return natives
+}
+
+func ltncCosts(k, m int, seed int64) (costs, error) {
+	src, err := core.NewNode(core.Options{K: k, M: m, Rng: xrand.NewChild(seed, 0)})
+	if err != nil {
+		return costs{}, err
+	}
+	if err := src.Seed(synthNatives(k, m, seed)); err != nil {
+		return costs{}, err
+	}
+	var counter opcount.Counter
+	relay, err := core.NewNode(core.Options{
+		K: k, M: m, Rng: xrand.NewChild(seed, 1), Counter: &counter,
+	})
+	if err != nil {
+		return costs{}, err
+	}
+	threshold := k / 100
+	for i := 0; !relay.Complete(); i++ {
+		if i > 20*k {
+			return costs{}, fmt.Errorf("ltnc relay k=%d did not decode", k)
+		}
+		z, ok := src.Recode()
+		if !ok {
+			return costs{}, fmt.Errorf("ltnc source k=%d failed to recode", k)
+		}
+		relay.Receive(z)
+		if relay.Received() >= threshold {
+			relay.Recode()
+		}
+	}
+	return extract(&counter, k, m), nil
+}
+
+func rlncCosts(k, m int, seed int64) (costs, error) {
+	src, err := rlnc.NewNode(rlnc.Options{K: k, M: m, Rng: xrand.NewChild(seed, 0)})
+	if err != nil {
+		return costs{}, err
+	}
+	if err := src.Seed(synthNatives(k, m, seed)); err != nil {
+		return costs{}, err
+	}
+	var counter opcount.Counter
+	relay, err := rlnc.NewNode(rlnc.Options{
+		K: k, M: m, Rng: xrand.NewChild(seed, 1), Counter: &counter,
+	})
+	if err != nil {
+		return costs{}, err
+	}
+	for i := 0; !relay.Complete(); i++ {
+		if i > 20*k {
+			return costs{}, fmt.Errorf("rlnc relay k=%d did not decode", k)
+		}
+		z, ok := src.Recode()
+		if !ok {
+			return costs{}, fmt.Errorf("rlnc source k=%d failed to recode", k)
+		}
+		relay.Receive(z)
+		relay.Recode()
+	}
+	return extract(&counter, k, m), nil
+}
+
+func extract(c *opcount.Counter, k, m int) costs {
+	snap := c.Snapshot()
+	out := costs{
+		recodeControl: c.PerEvent(opcount.RecodeControl),
+		decodeControl: float64(snap.DecodeControlOps),
+	}
+	if snap.Recodes > 0 {
+		out.recodeDataPerByte = float64(snap.RecodeDataBytes) / float64(snap.Recodes) / float64(m)
+	}
+	out.decodeDataPerByte = float64(snap.DecodeDataBytes) / float64(uint64(k)*uint64(m))
+	return out
+}

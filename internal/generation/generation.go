@@ -1,0 +1,164 @@
+// Package generation implements coding generations on top of LTNC, the
+// classic network-coding optimization the paper points at ("traditional
+// optimizations (e.g., generations [2], [13]) ... can be directly
+// applied"): the content is split into G generations coded independently,
+// which shrinks code vectors (headers), decode state and recoding scans
+// from k to k/G at the price of a per-generation coupon-collector tail.
+package generation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ltnc/internal/core"
+	"ltnc/internal/packet"
+	"ltnc/internal/xrand"
+)
+
+// Options configures a generation coder.
+type Options struct {
+	// Generations is G, the number of independent generations.
+	Generations int
+	// KPerGeneration is the code length of each generation; the total
+	// content holds Generations × KPerGeneration natives.
+	KPerGeneration int
+	// M is the native payload size (0 = control-plane only).
+	M int
+	// Seed drives all randomness deterministically.
+	Seed int64
+	// Core is applied to every per-generation node (K, M and Rng fields
+	// are overwritten).
+	Core core.Options
+}
+
+// Coder is an LTNC participant whose content is split into generations.
+// Packets carry their generation id in the wire header; Receive routes on
+// it and Recode round-robins across incomplete generations.
+type Coder struct {
+	gens []*core.Node
+	kPer int
+	m    int
+	rng  *rand.Rand
+	next int
+}
+
+// NewCoder returns an empty generation coder.
+func NewCoder(opts Options) (*Coder, error) {
+	if opts.Generations < 1 {
+		return nil, fmt.Errorf("generation: G = %d < 1", opts.Generations)
+	}
+	if opts.KPerGeneration < 1 {
+		return nil, fmt.Errorf("generation: k/G = %d < 1", opts.KPerGeneration)
+	}
+	c := &Coder{
+		gens: make([]*core.Node, opts.Generations),
+		kPer: opts.KPerGeneration,
+		m:    opts.M,
+		rng:  xrand.NewChild(opts.Seed, 0),
+	}
+	for g := range c.gens {
+		cfg := opts.Core
+		cfg.K = opts.KPerGeneration
+		cfg.M = opts.M
+		cfg.Rng = xrand.NewChild(opts.Seed, g+1)
+		node, err := core.NewNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.gens[g] = node
+	}
+	return c, nil
+}
+
+// Generations returns G.
+func (c *Coder) Generations() int { return len(c.gens) }
+
+// K returns the total number of natives across generations.
+func (c *Coder) K() int { return len(c.gens) * c.kPer }
+
+// Seed loads the full content: natives must hold exactly K payloads,
+// assigned to generations in contiguous blocks.
+func (c *Coder) Seed(natives [][]byte) error {
+	if len(natives) != c.K() {
+		return fmt.Errorf("generation: seed with %d natives, want %d", len(natives), c.K())
+	}
+	for g, node := range c.gens {
+		if err := node.Seed(natives[g*c.kPer : (g+1)*c.kPer]); err != nil {
+			return fmt.Errorf("generation %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// Receive routes a packet to its generation. It reports whether the
+// packet was innovative; packets for unknown generations are dropped.
+func (c *Coder) Receive(p *packet.Packet) bool {
+	g := int(p.Generation)
+	if g < 0 || g >= len(c.gens) {
+		return false
+	}
+	res := c.gens[g].Receive(p)
+	return !res.Redundant
+}
+
+// IsRedundant runs the per-generation redundancy detector on a header.
+func (c *Coder) IsRedundant(p *packet.Packet) bool {
+	g := int(p.Generation)
+	if g < 0 || g >= len(c.gens) {
+		return true
+	}
+	return c.gens[g].IsRedundant(p.Vec)
+}
+
+// Recode emits a fresh packet from one generation, preferring incomplete
+// generations at the receiver side of the dissemination (a node's own
+// complete generations still serve peers, so complete ones are used when
+// no incomplete generation can recode). The generation id is stamped on
+// the packet.
+func (c *Coder) Recode() (*packet.Packet, bool) {
+	n := len(c.gens)
+	// One round-robin pass over generations starting at a moving offset,
+	// so recoding pressure spreads evenly.
+	start := c.next
+	c.next = (c.next + 1) % n
+	for i := 0; i < n; i++ {
+		g := (start + i) % n
+		if z, ok := c.gens[g].Recode(); ok {
+			z.Generation = uint32(g)
+			return z, true
+		}
+	}
+	return nil, false
+}
+
+// Complete reports whether every generation is fully decoded.
+func (c *Coder) Complete() bool {
+	for _, node := range c.gens {
+		if !node.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodedCount returns the total number of decoded natives.
+func (c *Coder) DecodedCount() int {
+	total := 0
+	for _, node := range c.gens {
+		total += node.DecodedCount()
+	}
+	return total
+}
+
+// Data returns all natives in content order once complete.
+func (c *Coder) Data() ([][]byte, error) {
+	out := make([][]byte, 0, c.K())
+	for g, node := range c.gens {
+		data, err := node.Data()
+		if err != nil {
+			return nil, fmt.Errorf("generation %d: %w", g, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package generation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/core"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+func TestNewCoderValidation(t *testing.T) {
+	if _, err := NewCoder(Options{Generations: 0, KPerGeneration: 4}); err == nil {
+		t.Error("G=0 accepted")
+	}
+	if _, err := NewCoder(Options{Generations: 2, KPerGeneration: 0}); err == nil {
+		t.Error("k/G=0 accepted")
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	c, err := NewCoder(Options{Generations: 2, KPerGeneration: 4, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed(make([][]byte, 7)); err == nil {
+		t.Error("wrong native count accepted")
+	}
+}
+
+func randomNatives(rng *rand.Rand, k, m int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, m)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestGenerationsEndToEnd(t *testing.T) {
+	const (
+		g    = 4
+		kPer = 32
+		m    = 16
+	)
+	rng := rand.New(rand.NewSource(1))
+	natives := randomNatives(rng, g*kPer, m)
+
+	src, err := NewCoder(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Seed(natives); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Complete() || src.DecodedCount() != g*kPer {
+		t.Fatal("seeded coder not complete")
+	}
+	sink, err := NewCoder(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !sink.Complete(); i++ {
+		if i > 40*g*kPer {
+			t.Fatalf("no convergence: %d/%d decoded", sink.DecodedCount(), g*kPer)
+		}
+		z, ok := src.Recode()
+		if !ok {
+			t.Fatal("source recode failed")
+		}
+		if sink.IsRedundant(z) {
+			continue
+		}
+		sink.Receive(z)
+	}
+	data, err := sink.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range natives {
+		if !bytes.Equal(data[i], natives[i]) {
+			t.Fatalf("native %d differs", i)
+		}
+	}
+}
+
+func TestReceiveRoutesOnGeneration(t *testing.T) {
+	c, _ := NewCoder(Options{Generations: 2, KPerGeneration: 4, M: 0})
+	// A native for generation 1.
+	p := packet.Native(4, 2, nil)
+	p.Generation = 1
+	if !c.Receive(p) {
+		t.Fatal("packet for generation 1 rejected")
+	}
+	if c.gens[1].DecodedCount() != 1 || c.gens[0].DecodedCount() != 0 {
+		t.Error("packet routed to wrong generation")
+	}
+	// Unknown generation: dropped, detector says redundant.
+	q := packet.Native(4, 2, nil)
+	q.Generation = 9
+	if c.Receive(q) {
+		t.Error("packet for unknown generation accepted")
+	}
+	if !c.IsRedundant(q) {
+		t.Error("unknown generation not flagged redundant")
+	}
+}
+
+func TestRecodeStampsGeneration(t *testing.T) {
+	const (
+		g    = 3
+		kPer = 8
+	)
+	c, _ := NewCoder(Options{Generations: g, KPerGeneration: kPer, M: 0, Seed: 3})
+	if err := c.Seed(make([][]byte, g*kPer)); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]int)
+	for i := 0; i < 60; i++ {
+		z, ok := c.Recode()
+		if !ok {
+			t.Fatal("recode failed")
+		}
+		if int(z.Generation) >= g {
+			t.Fatalf("bad generation stamp %d", z.Generation)
+		}
+		seen[z.Generation]++
+	}
+	for want := uint32(0); want < g; want++ {
+		if seen[want] == 0 {
+			t.Errorf("generation %d never recoded (round-robin broken)", want)
+		}
+	}
+}
+
+// Generations shrink the decode control cost: same total content, one
+// pass with G=1 and one with G=8.
+func TestGenerationsReduceDecodeCost(t *testing.T) {
+	const (
+		total = 256
+		m     = 0
+	)
+	cost := func(g int) uint64 {
+		var counter opcount.Counter
+		src, err := NewCoder(Options{
+			Generations: g, KPerGeneration: total / g, M: m, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Seed(make([][]byte, total)); err != nil {
+			t.Fatal(err)
+		}
+		sink, err := NewCoder(Options{
+			Generations: g, KPerGeneration: total / g, M: m, Seed: 6,
+			Core: core.Options{Counter: &counter},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; !sink.Complete(); i++ {
+			if i > 100*total {
+				t.Fatalf("G=%d: no convergence", g)
+			}
+			z, _ := src.Recode()
+			if sink.IsRedundant(z) {
+				continue
+			}
+			sink.Receive(z)
+		}
+		return counter.Total(opcount.DecodeControl)
+	}
+	one := cost(1)
+	eight := cost(8)
+	if eight >= one {
+		t.Errorf("G=8 decode control %d not below G=1 %d", eight, one)
+	}
+	t.Logf("decode control ops: G=1 %d, G=8 %d (%.0f%%)", one, eight, 100*float64(eight)/float64(one))
+}

@@ -1,0 +1,278 @@
+package gf2
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewMatrix(8, 0)
+	if m.Rank() != 0 || m.Full() || m.K() != 8 {
+		t.Errorf("empty matrix state wrong: rank=%d full=%v", m.Rank(), m.Full())
+	}
+	if _, err := m.Decode(); err == nil {
+		t.Error("Decode on empty matrix must fail")
+	}
+	if m.DecodedCount() != 0 {
+		t.Error("DecodedCount != 0")
+	}
+}
+
+func TestInsertUnitVectors(t *testing.T) {
+	m := NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		p := packet.Native(4, i, []byte{byte(i), byte(i * 2)})
+		if !m.Insert(p, nil) {
+			t.Fatalf("unit vector %d not innovative", i)
+		}
+	}
+	if !m.Full() {
+		t.Fatal("matrix not full after k independent inserts")
+	}
+	natives, err := m.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, load := range natives {
+		if load[0] != byte(i) || load[1] != byte(i*2) {
+			t.Errorf("native %d payload = %v", i, load)
+		}
+	}
+}
+
+func TestDuplicateNotInnovative(t *testing.T) {
+	m := NewMatrix(4, 0)
+	p := &packet.Packet{Vec: bitvec.FromIndices(4, 0, 2)}
+	if !m.Insert(p.Clone(), nil) {
+		t.Fatal("first insert not innovative")
+	}
+	if m.Insert(p.Clone(), nil) {
+		t.Error("duplicate insert reported innovative")
+	}
+	if m.Rank() != 1 {
+		t.Errorf("rank = %d, want 1", m.Rank())
+	}
+}
+
+func TestDependentCombinationNotInnovative(t *testing.T) {
+	m := NewMatrix(8, 0)
+	a := bitvec.FromIndices(8, 0, 1)
+	b := bitvec.FromIndices(8, 1, 2)
+	ab := a.Clone().Xor(b) // {0,2}
+	m.Insert(&packet.Packet{Vec: a}, nil)
+	m.Insert(&packet.Packet{Vec: b}, nil)
+	if m.IsInnovative(ab, nil) {
+		t.Error("a⊕b reported innovative after a, b inserted")
+	}
+	if m.Insert(&packet.Packet{Vec: ab}, nil) {
+		t.Error("a⊕b insert reported innovative")
+	}
+}
+
+func TestIsInnovativeDoesNotMutate(t *testing.T) {
+	m := NewMatrix(8, 0)
+	m.Insert(&packet.Packet{Vec: bitvec.FromIndices(8, 0, 1)}, nil)
+	v := bitvec.FromIndices(8, 0, 1, 2)
+	before := v.Clone()
+	if !m.IsInnovative(v, nil) {
+		t.Error("independent vector reported non-innovative")
+	}
+	if !v.Equal(before) {
+		t.Error("IsInnovative mutated its argument")
+	}
+	if m.Rank() != 1 {
+		t.Error("IsInnovative changed the matrix")
+	}
+}
+
+func TestDecodeRecoversPayloads(t *testing.T) {
+	// Insert k random dense combinations of known natives; at full rank
+	// Decode must return exactly the native payloads.
+	const (
+		k     = 48
+		mSize = 24
+	)
+	rng := rand.New(rand.NewSource(5))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, mSize)
+		rng.Read(natives[i])
+	}
+	m := NewMatrix(k, mSize)
+	inserted := 0
+	for m.Full() == false {
+		p := packet.New(k, mSize)
+		for i := 0; i < k; i++ {
+			if rng.Intn(2) == 0 {
+				p.Vec.Set(i)
+				bitvec.XorBytes(p.Payload, natives[i])
+			}
+		}
+		if p.IsZero() {
+			continue
+		}
+		m.Insert(p, nil)
+		inserted++
+		if inserted > 10*k {
+			t.Fatal("matrix did not reach full rank")
+		}
+	}
+	decoded, err := m.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range natives {
+		if !bytes.Equal(decoded[i], natives[i]) {
+			t.Fatalf("native %d differs", i)
+		}
+	}
+	if m.DecodedCount() != k {
+		t.Errorf("DecodedCount = %d, want %d", m.DecodedCount(), k)
+	}
+}
+
+func TestNativePartialRank(t *testing.T) {
+	m := NewMatrix(4, 1)
+	m.Insert(packet.Native(4, 2, []byte{9}), nil)
+	load, ok := m.Native(2)
+	if !ok || load[0] != 9 {
+		t.Errorf("Native(2) = %v,%v", load, ok)
+	}
+	if _, ok := m.Native(0); ok {
+		t.Error("Native(0) available without data")
+	}
+	if _, ok := m.Native(-1); ok {
+		t.Error("Native(-1) available")
+	}
+	if _, ok := m.Native(99); ok {
+		t.Error("Native(99) available")
+	}
+	// {0,1} inserted: neither 0 nor 1 is isolated.
+	m.Insert(&packet.Packet{Vec: bitvec.FromIndices(4, 0, 1), Payload: []byte{3}}, nil)
+	if _, ok := m.Native(0); ok {
+		t.Error("Native(0) isolated from a degree-2 row")
+	}
+	if got := m.DecodedCount(); got != 1 {
+		t.Errorf("DecodedCount = %d, want 1", got)
+	}
+}
+
+func TestInsertWrongKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert with wrong k did not panic")
+		}
+	}()
+	NewMatrix(8, 0).Insert(packet.New(9, 0), nil)
+}
+
+func TestOpCounting(t *testing.T) {
+	var c opcount.Counter
+	m := NewMatrix(64, 8)
+	m.Insert(packet.Native(64, 0, make([]byte, 8)), &c)
+	// First insert hits no pivots: no elimination cost.
+	if c.Total(opcount.DecodeControl) != 0 {
+		t.Errorf("first insert control ops = %d", c.Total(opcount.DecodeControl))
+	}
+	p := &packet.Packet{Vec: bitvec.FromIndices(64, 0, 1), Payload: make([]byte, 8)}
+	m.Insert(p, &c)
+	if c.Total(opcount.DecodeControl) == 0 {
+		t.Error("elimination recorded no control ops")
+	}
+	if c.Total(opcount.DecodeData) == 0 {
+		t.Error("elimination recorded no data bytes")
+	}
+}
+
+func TestRankHelper(t *testing.T) {
+	vecs := []*bitvec.Vector{
+		bitvec.FromIndices(8, 0, 1),
+		bitvec.FromIndices(8, 1, 2),
+		bitvec.FromIndices(8, 0, 2), // dependent
+		bitvec.FromIndices(8, 7),
+	}
+	if got := Rank(vecs); got != 3 {
+		t.Errorf("Rank = %d, want 3", got)
+	}
+	if Rank(nil) != 0 {
+		t.Error("Rank(nil) != 0")
+	}
+}
+
+func TestInSpan(t *testing.T) {
+	basis := []*bitvec.Vector{
+		bitvec.FromIndices(8, 0, 1),
+		bitvec.FromIndices(8, 1, 2),
+	}
+	if !InSpan(bitvec.FromIndices(8, 0, 2), basis) {
+		t.Error("{0,2} not in span of {0,1},{1,2}")
+	}
+	if InSpan(bitvec.FromIndices(8, 3), basis) {
+		t.Error("{3} in span")
+	}
+	if !InSpan(bitvec.New(8), basis) {
+		t.Error("zero vector not in span")
+	}
+}
+
+func TestRandomRankAgainstInsertCount(t *testing.T) {
+	// Property: the number of accepted inserts always equals the rank.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		k := 8 + rng.Intn(64)
+		m := NewMatrix(k, 0)
+		accepted := 0
+		for i := 0; i < 3*k; i++ {
+			v := bitvec.New(k)
+			for j := 0; j < k; j++ {
+				if rng.Intn(2) == 0 {
+					v.Set(j)
+				}
+			}
+			if v.IsZero() {
+				continue
+			}
+			innovative := m.IsInnovative(v, nil)
+			got := m.Insert(&packet.Packet{Vec: v}, nil)
+			if innovative != got {
+				t.Fatal("IsInnovative disagrees with Insert")
+			}
+			if got {
+				accepted++
+			}
+		}
+		if accepted != m.Rank() {
+			t.Fatalf("accepted %d != rank %d", accepted, m.Rank())
+		}
+		if m.Rank() > k {
+			t.Fatalf("rank %d > k %d", m.Rank(), k)
+		}
+	}
+}
+
+func BenchmarkInsert2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const k = 2048
+	vecs := make([]*bitvec.Vector, 0, k)
+	for i := 0; i < k; i++ {
+		v := bitvec.New(k)
+		for j := 0; j < k; j++ {
+			if rng.Intn(2) == 0 {
+				v.Set(j)
+			}
+		}
+		vecs = append(vecs, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMatrix(k, 0)
+		for _, v := range vecs {
+			m.Insert(&packet.Packet{Vec: v.Clone()}, nil)
+		}
+	}
+}

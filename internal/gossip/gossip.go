@@ -1,0 +1,174 @@
+// Package gossip implements the peer sampling service underlying the
+// epidemic dissemination: "packets are pushed to nodes picked uniformly at
+// random in the network, using an underlying peer sampling service [23];
+// the set of nodes to which a node pushes packets is renewed periodically
+// in a gossip fashion" (Section IV-A).
+//
+// Two samplers are provided: Uniform, the idealized service the paper's
+// simulations assume, and Service, a Cyclon-style partial-view shuffler
+// (Jelasity et al., ACM TOCS 2007) for runs that model overlay dynamics
+// explicitly.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sampler chooses push targets for nodes and is ticked once per gossip
+// period.
+type Sampler interface {
+	// Sample returns a peer id for node to push to (never node itself).
+	Sample(node int) int
+	// Tick advances the overlay by one gossip period.
+	Tick()
+}
+
+// Uniform is the idealized peer sampling service: every draw is uniform
+// over all other nodes.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+var _ Sampler = (*Uniform)(nil)
+
+// NewUniform returns a uniform sampler over n ≥ 2 nodes.
+func NewUniform(n int, rng *rand.Rand) (*Uniform, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gossip: n = %d < 2", n)
+	}
+	return &Uniform{n: n, rng: rng}, nil
+}
+
+// Sample returns a uniformly random peer other than node.
+func (u *Uniform) Sample(node int) int {
+	t := u.rng.Intn(u.n - 1)
+	if t >= node {
+		t++
+	}
+	return t
+}
+
+// Tick is a no-op for the idealized service.
+func (u *Uniform) Tick() {}
+
+// Service is a gossip-based peer sampling service with partial views:
+// each node holds a bounded view of peer ids; every period each node
+// swaps half of its view with a random contact, which keeps the overlay
+// connected and the samples close to uniform.
+type Service struct {
+	n     int
+	size  int
+	views [][]int32
+	rng   *rand.Rand
+}
+
+var _ Sampler = (*Service)(nil)
+
+// NewService returns a shuffling peer sampler for n nodes with the given
+// view size (clamped to n-1). Views are initialized uniformly.
+func NewService(n, viewSize int, rng *rand.Rand) (*Service, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gossip: n = %d < 2", n)
+	}
+	if viewSize < 1 {
+		return nil, fmt.Errorf("gossip: view size = %d < 1", viewSize)
+	}
+	viewSize = min(viewSize, n-1)
+	s := &Service{n: n, size: viewSize, rng: rng}
+	s.views = make([][]int32, n)
+	for i := range s.views {
+		view := make([]int32, 0, viewSize)
+		seen := map[int32]bool{int32(i): true}
+		for len(view) < viewSize {
+			p := int32(rng.Intn(n))
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			view = append(view, p)
+		}
+		s.views[i] = view
+	}
+	return s, nil
+}
+
+// ViewSize returns the per-node view capacity.
+func (s *Service) ViewSize() int { return s.size }
+
+// View returns a copy of node's current view (for tests and debugging).
+func (s *Service) View(node int) []int {
+	out := make([]int, len(s.views[node]))
+	for i, p := range s.views[node] {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// Sample returns a random peer from node's current partial view.
+func (s *Service) Sample(node int) int {
+	view := s.views[node]
+	return int(view[s.rng.Intn(len(view))])
+}
+
+// Tick performs one shuffling round: every node exchanges half of its
+// view (plus its own id) with a random contact from its view; both sides
+// merge what they receive, preferring fresh entries, deduplicating, and
+// never listing themselves.
+func (s *Service) Tick() {
+	for i := range s.views {
+		contact := int(s.views[i][s.rng.Intn(len(s.views[i]))])
+		s.exchange(i, contact)
+	}
+}
+
+func (s *Service) exchange(a, b int) {
+	half := max(1, s.size/2)
+	offerA := s.offer(a, b, half)
+	offerB := s.offer(b, a, half)
+	s.merge(a, offerB)
+	s.merge(b, offerA)
+}
+
+// offer picks up to half random entries of from's view plus from's own
+// id, excluding to.
+func (s *Service) offer(from, to, half int) []int32 {
+	view := s.views[from]
+	out := make([]int32, 0, half+1)
+	out = append(out, int32(from))
+	perm := s.rng.Perm(len(view))
+	for _, j := range perm {
+		if len(out) > half {
+			break
+		}
+		if int(view[j]) != to {
+			out = append(out, view[j])
+		}
+	}
+	return out
+}
+
+// merge folds offered ids into node's view: duplicates and self are
+// dropped, then random victims make room until the size bound holds.
+func (s *Service) merge(node int, offered []int32) {
+	view := s.views[node]
+	have := make(map[int32]bool, len(view)+1)
+	have[int32(node)] = true
+	for _, p := range view {
+		have[p] = true
+	}
+	for _, p := range offered {
+		if have[p] {
+			continue
+		}
+		have[p] = true
+		view = append(view, p)
+	}
+	for len(view) > s.size {
+		j := s.rng.Intn(len(view))
+		view[j] = view[len(view)-1]
+		view = view[:len(view)-1]
+	}
+	s.views[node] = view
+}

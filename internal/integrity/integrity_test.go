@@ -1,0 +1,116 @@
+package integrity
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func natives(t *testing.T, k, m int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, m)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestNewManifestValidation(t *testing.T) {
+	if _, err := NewManifest(nil); err == nil {
+		t.Error("empty natives accepted")
+	}
+	if _, err := NewManifest([][]byte{{1}, {1, 2}}); err == nil {
+		t.Error("ragged natives accepted")
+	}
+}
+
+func TestVerifyAllClean(t *testing.T) {
+	ns := natives(t, 8, 32, 1)
+	man, err := NewManifest(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.K() != 8 || man.M() != 32 {
+		t.Errorf("K/M = %d/%d", man.K(), man.M())
+	}
+	if err := man.VerifyAll(ns); err != nil {
+		t.Errorf("clean content failed verification: %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	ns := natives(t, 8, 32, 2)
+	man, err := NewManifest(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), ns[3]...)
+	bad[7] ^= 0x01
+	if err := man.Verify(3, bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corruption not detected: %v", err)
+	}
+	nsCorrupt := append([][]byte(nil), ns...)
+	nsCorrupt[3] = bad
+	if err := man.VerifyAll(nsCorrupt); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("VerifyAll missed corruption: %v", err)
+	}
+}
+
+func TestVerifyBounds(t *testing.T) {
+	man, _ := NewManifest(natives(t, 4, 8, 3))
+	if err := man.Verify(-1, nil); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := man.Verify(4, nil); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := man.VerifyAll(make([][]byte, 3)); err == nil {
+		t.Error("short set accepted")
+	}
+}
+
+func TestManifestRoundtrip(t *testing.T) {
+	ns := natives(t, 16, 64, 4)
+	man, _ := NewManifest(ns)
+	data, err := man.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.VerifyAll(ns); err != nil {
+		t.Errorf("roundtripped manifest fails verification: %v", err)
+	}
+	if back.K() != man.K() || back.M() != man.M() {
+		t.Error("roundtrip metadata mismatch")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	man, _ := NewManifest(natives(t, 4, 8, 5))
+	data, _ := man.MarshalBinary()
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"short", data[:4]},
+		{"truncated digests", data[:len(data)-1]},
+		{"trailing", append(append([]byte(nil), data...), 0)},
+		{"zero k", func() []byte {
+			d := append([]byte(nil), data...)
+			d[0], d[1], d[2], d[3] = 0, 0, 0, 0
+			return d
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalManifest(tt.data); err == nil {
+				t.Error("corrupt manifest accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+// Package livenet runs an LTNC dissemination as real concurrent nodes:
+// one goroutine per node, buffered channels as links, a periodic gossip
+// tick per node, and receiver-side redundancy aborts on the header before
+// the payload is accounted — the concurrent counterpart of the round-based
+// simulator in internal/sim, used by the examples and by race-detector
+// integration tests.
+package livenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltnc/internal/core"
+	"ltnc/internal/lt"
+	"ltnc/internal/packet"
+	"ltnc/internal/xrand"
+)
+
+// Config parameterizes a live network.
+type Config struct {
+	// Nodes is the number of receiving nodes (the source is extra).
+	Nodes int
+	// K is the code length. It must divide the content evenly or the
+	// content is zero-padded (lt.Split semantics).
+	K int
+	// Tick is the gossip period of every node; default 2ms.
+	Tick time.Duration
+	// Aggressiveness gates recoding as in the paper (default 0.01).
+	Aggressiveness float64
+	// MailboxDepth bounds each node's inbound queue; packets pushed at a
+	// full mailbox are dropped, modelling a lossy link. Default 64.
+	MailboxDepth int
+	// Seed makes node randomness reproducible.
+	Seed int64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("livenet: nodes = %d < 1", c.Nodes)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("livenet: k = %d < 1", c.K)
+	}
+	if c.Tick == 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("livenet: tick = %v < 0", c.Tick)
+	}
+	if c.Aggressiveness == 0 {
+		c.Aggressiveness = 0.01
+	}
+	if c.Aggressiveness < 0 || c.Aggressiveness > 1 {
+		return fmt.Errorf("livenet: aggressiveness = %v outside [0,1]", c.Aggressiveness)
+	}
+	if c.MailboxDepth == 0 {
+		c.MailboxDepth = 64
+	}
+	if c.MailboxDepth < 1 {
+		return fmt.Errorf("livenet: mailbox depth = %d < 1", c.MailboxDepth)
+	}
+	return nil
+}
+
+// NodeStatus is a point-in-time view of one node's progress.
+type NodeStatus struct {
+	ID           int
+	Decoded      int
+	Received     int
+	Redundant    int
+	Aborted      int64 // header-level aborts (binary feedback)
+	MailboxDrops int64
+	Complete     bool
+}
+
+// Network owns the nodes and their goroutines. Create with Start, stop
+// with Stop (idempotent); Wait blocks until every node decoded the
+// content or the context is cancelled.
+type Network struct {
+	cfg     Config
+	content []byte
+	size    int
+	m       int
+
+	nodes     []*liveNode
+	mailboxes []chan *packet.Packet
+
+	complete  atomic.Int64
+	completed chan struct{} // closed when all nodes are complete
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type liveNode struct {
+	id        int
+	node      *core.Node
+	mu        sync.Mutex // guards node: mailbox goroutine + snapshots
+	threshold int
+	aborted   atomic.Int64
+	drops     atomic.Int64
+	doneFlag  atomic.Bool
+}
+
+// Start builds the network, seeds the source with content and launches
+// one goroutine per node plus the source. The returned Network is running;
+// always call Stop (deferred) to release its goroutines.
+func Start(cfg Config, content []byte) (*Network, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	natives, err := lt.Split(content, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:       cfg,
+		content:   content,
+		size:      len(content),
+		m:         len(natives[0]),
+		completed: make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	total := cfg.Nodes + 1 // + source
+	n.nodes = make([]*liveNode, total)
+	n.mailboxes = make([]chan *packet.Packet, total)
+	threshold := int(float64(cfg.K)*cfg.Aggressiveness + 1)
+	for i := 0; i < total; i++ {
+		node, err := core.NewNode(core.Options{
+			K:   cfg.K,
+			M:   n.m,
+			Rng: xrand.NewChild(cfg.Seed, i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.nodes[i] = &liveNode{id: i, node: node, threshold: threshold}
+		n.mailboxes[i] = make(chan *packet.Packet, cfg.MailboxDepth)
+	}
+	// The source is node index Nodes; it holds the content from the start.
+	if err := n.nodes[cfg.Nodes].node.Seed(natives); err != nil {
+		return nil, err
+	}
+	n.nodes[cfg.Nodes].threshold = 0
+	n.nodes[cfg.Nodes].doneFlag.Store(true) // source does not count down
+
+	for i := 0; i < total; i++ {
+		n.wg.Add(1)
+		go n.run(i)
+	}
+	return n, nil
+}
+
+// run is the per-node event loop: receive from the mailbox, and on every
+// tick push one recoded packet to a uniformly random peer.
+func (n *Network) run(id int) {
+	defer n.wg.Done()
+	self := n.nodes[id]
+	rng := xrand.NewChild(n.cfg.Seed, 1_000_000+id)
+	ticker := time.NewTicker(n.cfg.Tick)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-n.stop:
+			return
+		case p := <-n.mailboxes[id]:
+			self.mu.Lock()
+			// Binary feedback: the code vector travels first; a redundant
+			// packet is rejected on the header without paying for the
+			// payload.
+			if self.node.IsRedundant(p.Vec) {
+				self.mu.Unlock()
+				self.aborted.Add(1)
+				continue
+			}
+			self.node.Receive(p)
+			complete := self.node.Complete()
+			self.mu.Unlock()
+			if complete && !self.doneFlag.Swap(true) {
+				if n.complete.Add(1) == int64(n.cfg.Nodes) {
+					close(n.completed)
+				}
+			}
+		case <-ticker.C:
+			self.mu.Lock()
+			var (
+				z  *packet.Packet
+				ok bool
+			)
+			if self.node.Received() >= self.threshold || self.node.Complete() {
+				z, ok = self.node.Recode()
+			}
+			self.mu.Unlock()
+			if !ok {
+				continue
+			}
+			target := rng.Intn(len(n.mailboxes) - 1)
+			if target >= id {
+				target++
+			}
+			select {
+			case n.mailboxes[target] <- z:
+			default:
+				self.drops.Add(1) // lossy link: receiver overloaded
+			}
+		}
+	}
+}
+
+// Wait blocks until every node has decoded the full content, the context
+// is cancelled, or the network is stopped.
+func (n *Network) Wait(ctx context.Context) error {
+	select {
+	case <-n.completed:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("livenet: %w", ctx.Err())
+	case <-n.stop:
+		return errors.New("livenet: network stopped before completion")
+	}
+}
+
+// Stop terminates all node goroutines and waits for them to exit. It is
+// safe to call multiple times.
+func (n *Network) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// Snapshot returns the current status of every node (source excluded).
+func (n *Network) Snapshot() []NodeStatus {
+	out := make([]NodeStatus, n.cfg.Nodes)
+	for i := 0; i < n.cfg.Nodes; i++ {
+		ln := n.nodes[i]
+		ln.mu.Lock()
+		out[i] = NodeStatus{
+			ID:           i,
+			Decoded:      ln.node.DecodedCount(),
+			Received:     ln.node.Received(),
+			Redundant:    ln.node.RedundantDropped(),
+			Aborted:      ln.aborted.Load(),
+			MailboxDrops: ln.drops.Load(),
+			Complete:     ln.node.Complete(),
+		}
+		ln.mu.Unlock()
+	}
+	return out
+}
+
+// CompleteCount returns how many nodes have fully decoded the content.
+func (n *Network) CompleteCount() int { return int(n.complete.Load()) }
+
+// Content returns the content recovered by node id, or an error if that
+// node has not completed. Call after Wait or on complete nodes only.
+func (n *Network) Content(id int) ([]byte, error) {
+	if id < 0 || id >= n.cfg.Nodes {
+		return nil, fmt.Errorf("livenet: node %d out of range", id)
+	}
+	ln := n.nodes[id]
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	natives, err := ln.node.Data()
+	if err != nil {
+		return nil, err
+	}
+	return lt.Join(natives, n.size)
+}

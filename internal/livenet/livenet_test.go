@@ -1,0 +1,174 @@
+package livenet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	content := []byte("hello world, this is content")
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no nodes", Config{Nodes: 0, K: 4}},
+		{"no k", Config{Nodes: 2, K: 0}},
+		{"negative tick", Config{Nodes: 2, K: 4, Tick: -time.Second}},
+		{"bad aggressiveness", Config{Nodes: 2, K: 4, Aggressiveness: 2}},
+		{"bad mailbox", Config{Nodes: 2, K: 4, MailboxDepth: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Start(tt.cfg, content); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := Start(Config{Nodes: 2, K: 4}, nil); err == nil {
+		t.Error("empty content accepted")
+	}
+}
+
+func TestSmallNetworkDisseminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	content := make([]byte, 2000)
+	rng.Read(content)
+
+	net, err := Start(Config{
+		Nodes: 8,
+		K:     64,
+		Tick:  200 * time.Microsecond,
+		Seed:  7,
+	}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := net.Wait(ctx); err != nil {
+		snap := net.Snapshot()
+		t.Fatalf("network did not complete: %v (snapshot %+v)", err, snap)
+	}
+	if net.CompleteCount() != 8 {
+		t.Errorf("CompleteCount = %d", net.CompleteCount())
+	}
+	for i := 0; i < 8; i++ {
+		got, err := net.Content(i)
+		if err != nil {
+			t.Fatalf("node %d content: %v", i, err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("node %d recovered corrupt content", i)
+		}
+	}
+	// Binary feedback must have cut at least some redundant transfers in
+	// a converged network.
+	snap := net.Snapshot()
+	var aborted int64
+	for _, s := range snap {
+		aborted += s.Aborted
+		if !s.Complete {
+			t.Errorf("node %d snapshot not complete: %+v", s.ID, s)
+		}
+	}
+	if aborted == 0 {
+		t.Log("note: no header aborts observed (possible on tiny runs)")
+	}
+}
+
+func TestStopBeforeCompletion(t *testing.T) {
+	content := make([]byte, 512)
+	net, err := Start(Config{Nodes: 4, K: 128, Tick: time.Hour, Seed: 1}, content[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- net.Wait(context.Background()) }()
+	net.Stop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Wait returned nil after Stop before completion")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after Stop")
+	}
+	net.Stop() // idempotent
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	content := make([]byte, 256)
+	net, err := Start(Config{Nodes: 2, K: 64, Tick: time.Hour, Seed: 2}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := net.Wait(ctx); err == nil {
+		t.Error("Wait ignored cancelled context")
+	}
+}
+
+func TestMailboxOverflowDrops(t *testing.T) {
+	// A tiny mailbox with fast tickers must overflow: drops are counted
+	// and the network still converges (coding tolerates loss).
+	rng := rand.New(rand.NewSource(6))
+	content := make([]byte, 512)
+	rng.Read(content)
+	net, err := Start(Config{
+		Nodes:        6,
+		K:            32,
+		Tick:         100 * time.Microsecond,
+		MailboxDepth: 1,
+		Seed:         8,
+	}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := net.Wait(ctx); err != nil {
+		t.Fatalf("did not converge under overflow: %v", err)
+	}
+	var drops int64
+	for _, s := range net.Snapshot() {
+		drops += s.MailboxDrops
+	}
+	if drops == 0 {
+		t.Log("note: no mailbox drops observed (timing dependent)")
+	}
+	for i := 0; i < 6; i++ {
+		got, err := net.Content(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("node %d corrupt under overflow", i)
+		}
+	}
+}
+
+func TestContentErrors(t *testing.T) {
+	content := make([]byte, 256)
+	net, err := Start(Config{Nodes: 2, K: 64, Tick: time.Hour, Seed: 3}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if _, err := net.Content(-1); err == nil {
+		t.Error("Content(-1) succeeded")
+	}
+	if _, err := net.Content(99); err == nil {
+		t.Error("Content(99) succeeded")
+	}
+	if _, err := net.Content(0); err == nil {
+		t.Error("Content of incomplete node succeeded")
+	}
+}

@@ -1,0 +1,66 @@
+// Package lt implements Luby Transform (LT) erasure codes: the source-side
+// encoder driven by a Soliton degree distribution and the low-complexity
+// belief-propagation decoder operating on a Tanner graph (Luby, FOCS 2002;
+// Section II of the LTNC paper).
+//
+// The decoder is also the storage substrate of an LTNC node: it exposes
+// hooks that fire as packets are stored, reduced by peeling, or decoded, so
+// that the recoding data structures of internal/core (degree index,
+// connected components, occurrence counts) stay synchronized with the
+// Tanner graph at no extra cost.
+package lt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrContentSize is returned when content cannot be split as requested.
+var ErrContentSize = errors.New("lt: invalid content split")
+
+// Split divides content into k native packets of equal size m =
+// ceil(len(content)/k), zero-padding the tail. It returns the native
+// payloads; Join inverts it given the original length.
+func Split(content []byte, k int) ([][]byte, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrContentSize, k)
+	}
+	if len(content) == 0 {
+		return nil, fmt.Errorf("%w: empty content", ErrContentSize)
+	}
+	m := (len(content) + k - 1) / k
+	natives := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		natives[i] = make([]byte, m)
+		lo := i * m
+		if lo < len(content) {
+			copy(natives[i], content[lo:min(lo+m, len(content))])
+		}
+	}
+	return natives, nil
+}
+
+// Join reassembles content of the given original size from k native
+// payloads produced by Split.
+func Join(natives [][]byte, size int) ([]byte, error) {
+	if len(natives) == 0 {
+		return nil, fmt.Errorf("%w: no natives", ErrContentSize)
+	}
+	m := len(natives[0])
+	if m*len(natives) < size {
+		return nil, fmt.Errorf("%w: %d natives of %d bytes cannot hold %d bytes",
+			ErrContentSize, len(natives), m, size)
+	}
+	out := make([]byte, 0, size)
+	for _, n := range natives {
+		if len(n) != m {
+			return nil, fmt.Errorf("%w: ragged native sizes", ErrContentSize)
+		}
+		take := min(m, size-len(out))
+		out = append(out, n[:take]...)
+		if len(out) == size {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package lt
+
+import (
+	"fmt"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+// Hooks let a caller observe every mutation of the Tanner graph. The LTNC
+// recoder (internal/core) uses them to keep its complementary data
+// structures — the degree index, the connected components of native
+// packets and the degree-3 availability index — synchronized with the
+// decoding process, exactly as Table I of the paper prescribes.
+//
+// Hook contract: PacketStored announces a packet under a degree;
+// DegreeChanged updates it; PacketRemoved always reports the last degree
+// previously announced for the id, so an index keyed by degree can evict
+// without searching. All hooks are optional.
+type Hooks struct {
+	// PacketStored fires when a packet enters the graph with the given
+	// (post-reduction) degree.
+	PacketStored func(id, degree int)
+	// DegreeChanged fires when a stored packet's degree drops due to
+	// peeling and the packet remains stored.
+	DegreeChanged func(id, oldDegree, newDegree int)
+	// PacketRemoved fires when a stored packet leaves the graph (consumed
+	// at degree 1, or pruned as redundant). lastDegree is the degree last
+	// announced via PacketStored/DegreeChanged.
+	PacketRemoved func(id, lastDegree int)
+	// Decoded fires when native packet x is recovered.
+	Decoded func(x int)
+	// DegreeTwo fires when an encoded packet of degree 2 becomes available
+	// — received directly "or obtained by belief propagation during the
+	// process of decoding" (Section III-B-3). payload is a private copy
+	// (nil when payloads are disabled).
+	DegreeTwo func(x, y int, payload []byte)
+	// CheckRedundant, if non-nil, is consulted for packets of degree ≤ 3
+	// on reception and whenever a stored packet's degree drops to ≤ 3; a
+	// true return discards the packet (Algorithm 3 is plugged in here).
+	CheckRedundant func(vec *bitvec.Vector) bool
+}
+
+// redundancyCheckMaxDegree bounds the degrees submitted to CheckRedundant,
+// "applied only to encoded packets of degree less than or equal to 3"
+// (Section III-C-1).
+const redundancyCheckMaxDegree = 3
+
+// InsertResult reports what Insert did with a packet.
+type InsertResult struct {
+	// Stored is true if the packet was added to the Tanner graph (it may
+	// still be consumed later by peeling).
+	Stored bool
+	// Redundant is true if the packet was discarded as non-innovative:
+	// it reduced to degree 0, or the redundancy detector rejected it.
+	Redundant bool
+	// NewlyDecoded is the number of native packets recovered as a direct
+	// consequence of this insertion (peeling cascade included).
+	NewlyDecoded int
+}
+
+type stored struct {
+	vec     *bitvec.Vector
+	payload []byte
+	deg     int
+}
+
+// Decoder is a belief-propagation LT decoder over a Tanner graph. It is
+// not safe for concurrent use; in the concurrent runtime each node owns
+// one decoder.
+type Decoder struct {
+	k            int
+	m            int
+	decoded      []bool
+	data         [][]byte
+	decodedCount int
+
+	packets []*stored
+	free    []int
+	adj     [][]int
+	nStored int
+
+	received   int
+	redundant  int // incoming packets dropped (zero-degree or detector)
+	pruned     int // stored packets later removed by the detector
+	duplicated int // natives re-derived by independent peeling paths
+
+	counter *opcount.Counter
+	hooks   Hooks
+}
+
+// NewDecoder returns a decoder for k native packets of m bytes each
+// (m = 0 disables payloads for control-plane simulations). counter may be
+// nil.
+func NewDecoder(k, m int, counter *opcount.Counter, hooks Hooks) (*Decoder, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("lt: k = %d < 1", k)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("lt: m = %d < 0", m)
+	}
+	return &Decoder{
+		k:       k,
+		m:       m,
+		decoded: make([]bool, k),
+		data:    make([][]byte, k),
+		adj:     make([][]int, k),
+		counter: counter,
+		hooks:   hooks,
+	}, nil
+}
+
+// K returns the code length.
+func (d *Decoder) K() int { return d.k }
+
+// M returns the payload size.
+func (d *Decoder) M() int { return d.m }
+
+// DecodedCount returns the number of natives recovered so far.
+func (d *Decoder) DecodedCount() int { return d.decodedCount }
+
+// Complete reports whether all k natives are recovered.
+func (d *Decoder) Complete() bool { return d.decodedCount == d.k }
+
+// Received returns the number of packets inserted so far.
+func (d *Decoder) Received() int { return d.received }
+
+// RedundantDropped returns the number of incoming packets dropped as
+// non-innovative.
+func (d *Decoder) RedundantDropped() int { return d.redundant }
+
+// PrunedStored returns the number of stored packets later removed by the
+// redundancy detector as their degree dropped.
+func (d *Decoder) PrunedStored() int { return d.pruned }
+
+// StoredCount returns the number of packets currently in the Tanner graph.
+func (d *Decoder) StoredCount() int { return d.nStored }
+
+// IsDecoded reports whether native x is recovered.
+func (d *Decoder) IsDecoded(x int) bool { return d.decoded[x] }
+
+// NativeData returns the payload of native x, or nil if x is not decoded
+// (or payloads are disabled).
+func (d *Decoder) NativeData(x int) []byte {
+	if !d.decoded[x] {
+		return nil
+	}
+	return d.data[x]
+}
+
+// Data returns all native payloads once decoding is complete.
+func (d *Decoder) Data() ([][]byte, error) {
+	if !d.Complete() {
+		return nil, fmt.Errorf("lt: decoded %d of %d natives", d.decodedCount, d.k)
+	}
+	return d.data, nil
+}
+
+// StoredPacket returns the current (reduced) vector and payload of stored
+// packet id. The returned values are live views owned by the decoder:
+// callers must not mutate them and must not retain them across Insert
+// calls.
+func (d *Decoder) StoredPacket(id int) (vec *bitvec.Vector, payload []byte, ok bool) {
+	if id < 0 || id >= len(d.packets) || d.packets[id] == nil {
+		return nil, nil, false
+	}
+	s := d.packets[id]
+	return s.vec, s.payload, true
+}
+
+// ForEachStored calls fn for every stored packet until fn returns false.
+func (d *Decoder) ForEachStored(fn func(id int, vec *bitvec.Vector, payload []byte) bool) {
+	for id, s := range d.packets {
+		if s == nil {
+			continue
+		}
+		if !fn(id, s.vec, s.payload) {
+			return
+		}
+	}
+}
+
+// Insert feeds one received packet to the decoder: reduces it by already
+// decoded natives, runs the redundancy detector on low degrees, stores it
+// or triggers the peeling cascade.
+func (d *Decoder) Insert(p *packet.Packet) InsertResult {
+	if p.K() != d.k {
+		panic(fmt.Sprintf("lt: packet k=%d inserted in decoder k=%d", p.K(), d.k))
+	}
+	d.received++
+	vec := p.Vec.Clone()
+	var payload []byte
+	if d.m > 0 && len(p.Payload) > 0 {
+		payload = append([]byte(nil), p.Payload...)
+	}
+
+	// Reduce by decoded natives ("every encoded packet y involving x is
+	// xor-ed with x and the edge is deleted").
+	d.counter.Add(opcount.DecodeControl, opcount.WordOps(d.k, 1))
+	for x := vec.LowestSet(); x >= 0; x = vec.NextSet(x + 1) {
+		if !d.decoded[x] {
+			continue
+		}
+		vec.Clear(x)
+		d.counter.Add(opcount.DecodeControl, 1)
+		if payload != nil && d.data[x] != nil {
+			d.counter.Add(opcount.DecodeData, bitvec.XorBytes(payload, d.data[x]))
+		}
+	}
+
+	deg := vec.PopCount()
+	d.counter.Add(opcount.DecodeControl, opcount.WordOps(d.k, 1))
+	switch {
+	case deg == 0:
+		d.redundant++
+		return InsertResult{Redundant: true}
+	case deg == 1:
+		n := d.runCascade(vec.LowestSet(), payload)
+		return InsertResult{NewlyDecoded: n}
+	}
+
+	if d.hooks.CheckRedundant != nil && deg <= redundancyCheckMaxDegree && d.hooks.CheckRedundant(vec) {
+		d.redundant++
+		return InsertResult{Redundant: true}
+	}
+
+	id := d.store(vec, payload, deg)
+	if deg == 2 {
+		d.emitDegreeTwo(vec, payload)
+	}
+	_ = id
+	return InsertResult{Stored: true}
+}
+
+func (d *Decoder) store(vec *bitvec.Vector, payload []byte, deg int) int {
+	s := &stored{vec: vec, payload: payload, deg: deg}
+	var id int
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+		d.packets[id] = s
+	} else {
+		id = len(d.packets)
+		d.packets = append(d.packets, s)
+	}
+	d.nStored++
+	for x := vec.LowestSet(); x >= 0; x = vec.NextSet(x + 1) {
+		d.adj[x] = append(d.adj[x], id)
+	}
+	d.counter.Add(opcount.DecodeControl, deg)
+	if d.hooks.PacketStored != nil {
+		d.hooks.PacketStored(id, deg)
+	}
+	return id
+}
+
+func (d *Decoder) remove(id, lastDegree int) {
+	d.packets[id] = nil
+	d.free = append(d.free, id)
+	d.nStored--
+	if d.hooks.PacketRemoved != nil {
+		d.hooks.PacketRemoved(id, lastDegree)
+	}
+}
+
+func (d *Decoder) emitDegreeTwo(vec *bitvec.Vector, payload []byte) {
+	if d.hooks.DegreeTwo == nil {
+		return
+	}
+	x := vec.LowestSet()
+	y := vec.NextSet(x + 1)
+	var snapshot []byte
+	if payload != nil {
+		snapshot = append([]byte(nil), payload...)
+	}
+	d.hooks.DegreeTwo(x, y, snapshot)
+}
+
+// runCascade decodes native x0 (carrying payload) and propagates: every
+// stored packet containing a freshly decoded native is XORed with it; a
+// packet reduced to degree 1 is consumed and decodes another native.
+// Returns the number of natives decoded.
+func (d *Decoder) runCascade(x0 int, payload []byte) int {
+	type pending struct {
+		x       int
+		payload []byte
+	}
+	queue := []pending{{x0, payload}}
+	newly := 0
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if d.decoded[it.x] {
+			d.duplicated++
+			continue
+		}
+		d.decoded[it.x] = true
+		d.data[it.x] = it.payload
+		d.decodedCount++
+		newly++
+		if d.hooks.Decoded != nil {
+			d.hooks.Decoded(it.x)
+		}
+
+		edges := d.adj[it.x]
+		d.adj[it.x] = nil
+		for _, id := range edges {
+			s := d.packets[id]
+			if s == nil || !s.vec.Get(it.x) {
+				continue // stale edge
+			}
+			old := s.deg
+			s.vec.Clear(it.x)
+			s.deg--
+			d.counter.Add(opcount.DecodeControl, 1)
+			if s.payload != nil && it.payload != nil {
+				d.counter.Add(opcount.DecodeData, bitvec.XorBytes(s.payload, it.payload))
+			}
+
+			switch {
+			case s.deg == 1:
+				y := s.vec.LowestSet()
+				d.remove(id, old)
+				queue = append(queue, pending{y, s.payload})
+			default:
+				if d.hooks.CheckRedundant != nil && s.deg <= redundancyCheckMaxDegree &&
+					d.hooks.CheckRedundant(s.vec) {
+					// "The redundancy mechanism of LTNC prevents such
+					// useless operations" — drop the packet before it costs
+					// more XORs (Section III-C-1).
+					d.pruned++
+					d.remove(id, old)
+					continue
+				}
+				if d.hooks.DegreeChanged != nil {
+					d.hooks.DegreeChanged(id, old, s.deg)
+				}
+				if s.deg == 2 {
+					d.emitDegreeTwo(s.vec, s.payload)
+				}
+			}
+		}
+	}
+	return newly
+}

@@ -1,0 +1,81 @@
+package lt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+	"ltnc/internal/soliton"
+	"ltnc/internal/xrand"
+)
+
+// Encoder is the source-side LT encoder: it owns all k native packets and
+// emits a stream of encoded packets whose degrees follow the configured
+// Soliton distribution. LT codes are rateless — the stream is unbounded.
+type Encoder struct {
+	k       int
+	m       int
+	natives [][]byte
+	dist    soliton.Dist
+	rng     *rand.Rand
+	counter *opcount.Counter
+}
+
+// NewEncoder returns an encoder over the given native payloads (all of
+// equal length, as produced by Split). dist drives packet degrees —
+// typically soliton.NewDefaultRobust(len(natives)). counter may be nil.
+func NewEncoder(natives [][]byte, dist soliton.Dist, rng *rand.Rand, counter *opcount.Counter) (*Encoder, error) {
+	k := len(natives)
+	if k == 0 {
+		return nil, fmt.Errorf("%w: no natives", ErrContentSize)
+	}
+	if dist.K() != k {
+		return nil, fmt.Errorf("lt: distribution over %d degrees for k = %d natives", dist.K(), k)
+	}
+	m := len(natives[0])
+	for i, n := range natives {
+		if len(n) != m {
+			return nil, fmt.Errorf("%w: native %d has %d bytes, want %d", ErrContentSize, i, len(n), m)
+		}
+	}
+	return &Encoder{k: k, m: m, natives: natives, dist: dist, rng: rng, counter: counter}, nil
+}
+
+// K returns the number of native packets.
+func (e *Encoder) K() int { return e.k }
+
+// M returns the native payload size in bytes.
+func (e *Encoder) M() int { return e.m }
+
+// Next emits one fresh encoded packet: a degree drawn from the Soliton
+// distribution and that many distinct natives chosen uniformly, XORed
+// together.
+func (e *Encoder) Next() *packet.Packet {
+	d := e.dist.Sample(e.rng)
+	return e.emit(d)
+}
+
+// NextWithDegree emits a packet of the exact degree d (1 ≤ d ≤ k). It is
+// used by tests and by distributed-storage scenarios that need specific
+// degrees.
+func (e *Encoder) NextWithDegree(d int) (*packet.Packet, error) {
+	if d < 1 || d > e.k {
+		return nil, fmt.Errorf("lt: degree %d out of range [1,%d]", d, e.k)
+	}
+	return e.emit(d), nil
+}
+
+func (e *Encoder) emit(d int) *packet.Packet {
+	e.counter.Event(opcount.RecodeControl)
+	p := packet.New(e.k, e.m)
+	for _, i := range xrand.SampleDistinctSparse(e.rng, e.k, d) {
+		p.Vec.Set(i)
+		if e.m > 0 {
+			e.counter.Add(opcount.RecodeData, bitvec.XorBytes(p.Payload, e.natives[i]))
+		}
+	}
+	e.counter.Add(opcount.RecodeControl, opcount.WordOps(e.k, d))
+	return p
+}

@@ -1,0 +1,48 @@
+package lt
+
+import "testing"
+
+// Reception overhead ε: LT decoding needs (1+ε)·k encoded packets.
+// Characterizes the decoder across code lengths — ε must stay bounded
+// and shrink as k grows (the asymptotic promise of LT codes that drives
+// Figure 7c's downward trend).
+func TestReceptionOverheadShrinksWithK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed characterization")
+	}
+	const trials = 6
+	epsilon := func(k int) float64 {
+		total := 0
+		for seed := int64(0); seed < trials; seed++ {
+			enc, _ := newTestEncoder(t, k, 0, 1000+seed)
+			dec, err := NewDecoder(k, 0, nil, Hooks{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for !dec.Complete() {
+				dec.Insert(enc.Next())
+				if n++; n > 20*k {
+					t.Fatalf("k=%d: no convergence", k)
+				}
+			}
+			total += n
+		}
+		return float64(total)/(trials*float64(k)) - 1
+	}
+	prev := 10.0
+	for _, k := range []int{128, 512, 2048} {
+		eps := epsilon(k)
+		t.Logf("k=%4d: ε = %.3f", k, eps)
+		if eps <= 0 {
+			t.Errorf("k=%d: ε = %v must be positive", k, eps)
+		}
+		if eps > 1.0 {
+			t.Errorf("k=%d: ε = %v unreasonably large", k, eps)
+		}
+		if eps >= prev {
+			t.Errorf("k=%d: ε = %v did not shrink (prev %v)", k, eps, prev)
+		}
+		prev = eps
+	}
+}

@@ -1,0 +1,458 @@
+package lt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+	"ltnc/internal/soliton"
+)
+
+func TestSplitJoinRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct{ size, k int }{
+		{1, 1}, {10, 3}, {16, 4}, {17, 4}, {1000, 7}, {4096, 64},
+	}
+	for _, tt := range tests {
+		content := make([]byte, tt.size)
+		rng.Read(content)
+		natives, err := Split(content, tt.k)
+		if err != nil {
+			t.Fatalf("Split(%d,%d): %v", tt.size, tt.k, err)
+		}
+		if len(natives) != tt.k {
+			t.Fatalf("Split returned %d natives, want %d", len(natives), tt.k)
+		}
+		back, err := Join(natives, tt.size)
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if !bytes.Equal(back, content) {
+			t.Fatalf("size=%d k=%d roundtrip mismatch", tt.size, tt.k)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, err := Split(nil, 4); err == nil {
+		t.Error("Split(nil) succeeded")
+	}
+	if _, err := Split([]byte{1}, 0); err == nil {
+		t.Error("Split(k=0) succeeded")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	if _, err := Join(nil, 10); err == nil {
+		t.Error("Join(nil) succeeded")
+	}
+	if _, err := Join([][]byte{{1, 2}}, 10); err == nil {
+		t.Error("Join with too little data succeeded")
+	}
+	if _, err := Join([][]byte{{1, 2}, {3}}, 3); err == nil {
+		t.Error("Join with ragged natives succeeded")
+	}
+}
+
+func newTestEncoder(t testing.TB, k, m int, seed int64) (*Encoder, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	dist, err := soliton.NewDefaultRobust(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(natives, dist, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, natives
+}
+
+func TestEncoderInvalidInputs(t *testing.T) {
+	dist, _ := soliton.NewDefaultRobust(4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewEncoder(nil, dist, rng, nil); err == nil {
+		t.Error("NewEncoder(nil natives) succeeded")
+	}
+	if _, err := NewEncoder([][]byte{{1}, {2, 3}}, dist, rng, nil); err == nil {
+		t.Error("NewEncoder(ragged natives) succeeded")
+	}
+	bad, _ := soliton.NewDefaultRobust(5)
+	if _, err := NewEncoder([][]byte{{1}, {2}, {3}, {4}}, bad, rng, nil); err == nil {
+		t.Error("NewEncoder with mismatched distribution succeeded")
+	}
+}
+
+// Every encoded packet's payload must equal the XOR of the natives its
+// code vector names — the fundamental linearity invariant.
+func payloadConsistent(p *packet.Packet, natives [][]byte) bool {
+	want := make([]byte, len(natives[0]))
+	for _, i := range p.Vec.Indices() {
+		bitvec.XorBytes(want, natives[i])
+	}
+	return bytes.Equal(want, p.Payload)
+}
+
+func TestEncoderPacketsConsistent(t *testing.T) {
+	enc, natives := newTestEncoder(t, 64, 16, 2)
+	for i := 0; i < 200; i++ {
+		p := enc.Next()
+		if p.Degree() < 1 || p.Degree() > 64 {
+			t.Fatalf("degree %d out of range", p.Degree())
+		}
+		if !payloadConsistent(p, natives) {
+			t.Fatalf("packet %d payload inconsistent with vector", i)
+		}
+	}
+}
+
+func TestEncoderDegreesFollowDistribution(t *testing.T) {
+	const k = 128
+	enc, _ := newTestEncoder(t, k, 0, 3)
+	dist, _ := soliton.NewDefaultRobust(k)
+	h := soliton.NewHistogram(k)
+	for i := 0; i < 30000; i++ {
+		h.Observe(enc.Next().Degree())
+	}
+	if tv := h.TVDistance(dist); tv > 0.03 {
+		t.Errorf("encoder degree TV distance from Robust Soliton = %v", tv)
+	}
+}
+
+func TestEncoderNextWithDegree(t *testing.T) {
+	enc, natives := newTestEncoder(t, 32, 8, 4)
+	for _, d := range []int{1, 2, 16, 32} {
+		p, err := enc.NextWithDegree(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Degree() != d {
+			t.Errorf("degree = %d, want %d", p.Degree(), d)
+		}
+		if !payloadConsistent(p, natives) {
+			t.Error("payload inconsistent")
+		}
+	}
+	if _, err := enc.NextWithDegree(0); err == nil {
+		t.Error("NextWithDegree(0) succeeded")
+	}
+	if _, err := enc.NextWithDegree(33); err == nil {
+		t.Error("NextWithDegree(k+1) succeeded")
+	}
+}
+
+func TestDecoderInvalidInputs(t *testing.T) {
+	if _, err := NewDecoder(0, 4, nil, Hooks{}); err == nil {
+		t.Error("NewDecoder(k=0) succeeded")
+	}
+	if _, err := NewDecoder(4, -1, nil, Hooks{}); err == nil {
+		t.Error("NewDecoder(m<0) succeeded")
+	}
+}
+
+func TestDecoderWrongKPanics(t *testing.T) {
+	d, _ := NewDecoder(8, 0, nil, Hooks{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert of mismatched k did not panic")
+		}
+	}()
+	d.Insert(packet.New(9, 0))
+}
+
+func TestDecodeEndToEnd(t *testing.T) {
+	for _, k := range []int{16, 64, 256} {
+		enc, natives := newTestEncoder(t, k, 32, int64(k))
+		dec, err := NewDecoder(k, 32, nil, Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := 0
+		for !dec.Complete() {
+			dec.Insert(enc.Next())
+			sent++
+			if sent > 20*k {
+				t.Fatalf("k=%d: no convergence after %d packets", k, sent)
+			}
+		}
+		data, err := dec.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range natives {
+			if !bytes.Equal(data[i], natives[i]) {
+				t.Fatalf("k=%d: native %d differs", k, i)
+			}
+		}
+		// LT codes are near-optimal: a healthy decoder converges within a
+		// small multiple of k packets.
+		if sent > 3*k {
+			t.Errorf("k=%d: needed %d packets (>3k) to decode", k, sent)
+		}
+		if dec.Received() != sent {
+			t.Errorf("Received = %d, want %d", dec.Received(), sent)
+		}
+	}
+}
+
+func TestDecodePureNatives(t *testing.T) {
+	dec, _ := NewDecoder(4, 2, nil, Hooks{})
+	for i := 0; i < 4; i++ {
+		res := dec.Insert(packet.Native(4, i, []byte{byte(i), byte(i)}))
+		if res.NewlyDecoded != 1 {
+			t.Fatalf("native %d: NewlyDecoded = %d", i, res.NewlyDecoded)
+		}
+	}
+	if !dec.Complete() {
+		t.Fatal("not complete")
+	}
+	if got := dec.NativeData(2); got[0] != 2 {
+		t.Errorf("NativeData(2) = %v", got)
+	}
+}
+
+func TestPeelingCascade(t *testing.T) {
+	// Insert {0,1}, {1,2}, {2,3} then native 0: the whole chain must peel.
+	dec, _ := NewDecoder(4, 1, nil, Hooks{})
+	n := [][]byte{{10}, {20}, {30}, {40}}
+	pair := func(a, b int) *packet.Packet {
+		p := packet.Native(4, a, n[a])
+		p.Xor(packet.Native(4, b, n[b]), nil, opcount.RecodeControl, opcount.RecodeData)
+		return p
+	}
+	for _, p := range []*packet.Packet{pair(0, 1), pair(1, 2), pair(2, 3)} {
+		res := dec.Insert(p)
+		if !res.Stored {
+			t.Fatal("degree-2 packet not stored")
+		}
+	}
+	res := dec.Insert(packet.Native(4, 0, n[0]))
+	if res.NewlyDecoded != 4 {
+		t.Fatalf("cascade decoded %d natives, want 4", res.NewlyDecoded)
+	}
+	for i := range n {
+		if got := dec.NativeData(i); !bytes.Equal(got, n[i]) {
+			t.Errorf("native %d = %v, want %v", i, got, n[i])
+		}
+	}
+	if dec.StoredCount() != 0 {
+		t.Errorf("StoredCount = %d after full peel", dec.StoredCount())
+	}
+}
+
+func TestRedundantZeroDegreeDropped(t *testing.T) {
+	dec, _ := NewDecoder(4, 1, nil, Hooks{})
+	dec.Insert(packet.Native(4, 1, []byte{5}))
+	res := dec.Insert(packet.Native(4, 1, []byte{5}))
+	if !res.Redundant {
+		t.Error("duplicate native not reported redundant")
+	}
+	if dec.RedundantDropped() != 1 {
+		t.Errorf("RedundantDropped = %d", dec.RedundantDropped())
+	}
+}
+
+func TestInsertReducedByDecoded(t *testing.T) {
+	// After decoding native 0, an incoming {0,1} packet must reduce to {1}
+	// and decode native 1 immediately.
+	dec, _ := NewDecoder(4, 1, nil, Hooks{})
+	dec.Insert(packet.Native(4, 0, []byte{7}))
+	p := packet.Native(4, 0, []byte{7})
+	p.Xor(packet.Native(4, 1, []byte{9}), nil, opcount.RecodeControl, opcount.RecodeData)
+	res := dec.Insert(p)
+	if res.NewlyDecoded != 1 {
+		t.Fatalf("NewlyDecoded = %d", res.NewlyDecoded)
+	}
+	if got := dec.NativeData(1); got[0] != 9 {
+		t.Errorf("native 1 = %v", got)
+	}
+}
+
+func TestCheckRedundantHookOnInsert(t *testing.T) {
+	rejected := 0
+	hooks := Hooks{CheckRedundant: func(vec *bitvec.Vector) bool {
+		rejected++
+		return true
+	}}
+	dec, _ := NewDecoder(8, 0, nil, hooks)
+	res := dec.Insert(&packet.Packet{Vec: bitvec.FromIndices(8, 1, 2)})
+	if !res.Redundant || rejected != 1 {
+		t.Errorf("detector not consulted: res=%+v calls=%d", res, rejected)
+	}
+	// Degree above the threshold must bypass the detector.
+	res = dec.Insert(&packet.Packet{Vec: bitvec.FromIndices(8, 1, 2, 3, 4)})
+	if res.Redundant || rejected != 1 {
+		t.Errorf("detector consulted for degree 4: res=%+v calls=%d", res, rejected)
+	}
+}
+
+// hookRecorder mirrors the degree index contract to verify hook ordering.
+type hookRecorder struct {
+	t       *testing.T
+	degrees map[int]int
+	decoded []int
+	pairs   [][2]int
+}
+
+func (h *hookRecorder) hooks() Hooks {
+	return Hooks{
+		PacketStored: func(id, deg int) {
+			if _, ok := h.degrees[id]; ok {
+				h.t.Errorf("PacketStored(%d) for live id", id)
+			}
+			h.degrees[id] = deg
+		},
+		DegreeChanged: func(id, old, new int) {
+			if h.degrees[id] != old {
+				h.t.Errorf("DegreeChanged(%d, %d, %d) but index holds %d", id, old, new, h.degrees[id])
+			}
+			h.degrees[id] = new
+		},
+		PacketRemoved: func(id, last int) {
+			if h.degrees[id] != last {
+				h.t.Errorf("PacketRemoved(%d, %d) but index holds %d", id, last, h.degrees[id])
+			}
+			delete(h.degrees, id)
+		},
+		Decoded:   func(x int) { h.decoded = append(h.decoded, x) },
+		DegreeTwo: func(x, y int, _ []byte) { h.pairs = append(h.pairs, [2]int{x, y}) },
+	}
+}
+
+func TestHookContract(t *testing.T) {
+	rec := &hookRecorder{t: t, degrees: make(map[int]int)}
+	dec, _ := NewDecoder(64, 8, nil, rec.hooks())
+	enc, _ := newTestEncoder(t, 64, 8, 9)
+	for i := 0; i < 400 && !dec.Complete(); i++ {
+		dec.Insert(enc.Next())
+	}
+	if !dec.Complete() {
+		t.Fatal("did not decode")
+	}
+	if len(rec.decoded) != 64 {
+		t.Errorf("Decoded fired %d times, want 64", len(rec.decoded))
+	}
+	if len(rec.degrees) != dec.StoredCount() {
+		t.Errorf("hook index has %d live packets, decoder %d", len(rec.degrees), dec.StoredCount())
+	}
+	if len(rec.pairs) == 0 {
+		t.Error("DegreeTwo never fired during a full decode")
+	}
+}
+
+func TestDegreeTwoFiresOnReduction(t *testing.T) {
+	var pairs [][2]int
+	hooks := Hooks{DegreeTwo: func(x, y int, _ []byte) { pairs = append(pairs, [2]int{x, y}) }}
+	dec, _ := NewDecoder(8, 0, nil, hooks)
+	dec.Insert(&packet.Packet{Vec: bitvec.FromIndices(8, 1, 2, 3)})
+	if len(pairs) != 0 {
+		t.Fatal("DegreeTwo fired for degree-3 packet")
+	}
+	dec.Insert(&packet.Packet{Vec: bitvec.FromIndices(8, 1)})
+	if len(pairs) != 1 || pairs[0] != [2]int{2, 3} {
+		t.Fatalf("DegreeTwo pairs = %v, want [{2,3}]", pairs)
+	}
+}
+
+func TestControlOnlyDecode(t *testing.T) {
+	// m = 0: pure control-plane decoding still converges.
+	const k = 64
+	enc, _ := newTestEncoder(t, k, 0, 10)
+	var c opcount.Counter
+	dec, _ := NewDecoder(k, 0, &c, Hooks{})
+	for i := 0; i < 20*k && !dec.Complete(); i++ {
+		dec.Insert(enc.Next())
+	}
+	if !dec.Complete() {
+		t.Fatal("control-only decode did not converge")
+	}
+	if c.Total(opcount.DecodeData) != 0 {
+		t.Errorf("data bytes counted with m=0: %d", c.Total(opcount.DecodeData))
+	}
+	if c.Total(opcount.DecodeControl) == 0 {
+		t.Error("no control ops counted")
+	}
+}
+
+// Invariant: at any point during decoding, every stored packet's payload
+// equals the XOR of the natives named by its (reduced) vector XORed with
+// the already-decoded natives that were peeled from it... i.e. directly:
+// payload == XOR of natives in current vec.
+func TestStoredPacketsAlwaysConsistent(t *testing.T) {
+	const (
+		k = 48
+		m = 8
+	)
+	enc, natives := newTestEncoder(t, k, m, 11)
+	dec, _ := NewDecoder(k, m, nil, Hooks{})
+	for i := 0; i < 5*k && !dec.Complete(); i++ {
+		dec.Insert(enc.Next())
+		dec.ForEachStored(func(id int, vec *bitvec.Vector, payload []byte) bool {
+			want := make([]byte, m)
+			for _, x := range vec.Indices() {
+				bitvec.XorBytes(want, natives[x])
+			}
+			if !bytes.Equal(want, payload) {
+				t.Fatalf("stored packet %d inconsistent after insert %d", id, i)
+			}
+			return true
+		})
+	}
+	if !dec.Complete() {
+		t.Fatal("did not decode")
+	}
+	for i := range natives {
+		if !bytes.Equal(dec.NativeData(i), natives[i]) {
+			t.Fatalf("native %d wrong", i)
+		}
+	}
+}
+
+func TestStoredPacketAccessor(t *testing.T) {
+	dec, _ := NewDecoder(8, 0, nil, Hooks{})
+	if _, _, ok := dec.StoredPacket(0); ok {
+		t.Error("StoredPacket(0) on empty decoder")
+	}
+	dec.Insert(&packet.Packet{Vec: bitvec.FromIndices(8, 1, 2)})
+	vec, _, ok := dec.StoredPacket(0)
+	if !ok || vec.PopCount() != 2 {
+		t.Errorf("StoredPacket(0) = %v, %v", vec, ok)
+	}
+	if _, _, ok := dec.StoredPacket(-1); ok {
+		t.Error("StoredPacket(-1) ok")
+	}
+	if _, _, ok := dec.StoredPacket(99); ok {
+		t.Error("StoredPacket(99) ok")
+	}
+}
+
+func BenchmarkDecode1024(b *testing.B) {
+	const k = 1024
+	enc, _ := newTestEncoder(b, k, 0, 1)
+	// Pre-generate a decodable stream.
+	stream := make([]*packet.Packet, 0, 3*k)
+	for i := 0; i < 3*k; i++ {
+		stream = append(stream, enc.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, _ := NewDecoder(k, 0, nil, Hooks{})
+		for _, p := range stream {
+			if dec.Complete() {
+				break
+			}
+			dec.Insert(p)
+		}
+		if !dec.Complete() {
+			b.Fatal("stream did not decode")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package occur tracks, for each native packet, the number of occurrences
+// in the encoded packets previously sent by a node (Table I of the paper:
+// "determine substitutions of native packets that decrease the variance of
+// degrees").
+//
+// The refinement step (Algorithm 2) queries this tracker to substitute
+// over-represented natives with the least frequent equivalent ones, driving
+// the native-degree distribution toward the Dirac shape belief propagation
+// needs.
+package occur
+
+import (
+	"math"
+
+	"ltnc/internal/bitvec"
+)
+
+// Tracker counts native-packet occurrences in sent packets. The zero value
+// is not usable; construct with New.
+type Tracker struct {
+	counts []uint32
+	sent   uint64
+}
+
+// New returns a tracker over k natives with all counts at zero.
+func New(k int) *Tracker {
+	return &Tracker{counts: make([]uint32, k)}
+}
+
+// K returns the number of natives tracked.
+func (t *Tracker) K() int { return len(t.counts) }
+
+// ObserveSent records one sent packet: every native in vec gains one
+// occurrence. "The data structure is updated every time a fresh encoded
+// packet is sent."
+func (t *Tracker) ObserveSent(vec *bitvec.Vector) {
+	for x := vec.LowestSet(); x >= 0; x = vec.NextSet(x + 1) {
+		t.counts[x]++
+	}
+	t.sent++
+}
+
+// Count returns the occurrence count of native x.
+func (t *Tracker) Count(x int) uint32 { return t.counts[x] }
+
+// Sent returns the number of packets observed.
+func (t *Tracker) Sent() uint64 { return t.sent }
+
+// Less reports whether native x is strictly less frequent than native y.
+func (t *Tracker) Less(x, y int) bool { return t.counts[x] < t.counts[y] }
+
+// Mean returns the average occurrence count over all natives.
+func (t *Tracker) Mean() float64 {
+	if len(t.counts) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, c := range t.counts {
+		sum += uint64(c)
+	}
+	return float64(sum) / float64(len(t.counts))
+}
+
+// Variance returns the population variance of the occurrence counts — the
+// quantity refinement minimizes.
+func (t *Tracker) Variance() float64 {
+	if len(t.counts) == 0 {
+		return 0
+	}
+	mean := t.Mean()
+	var acc float64
+	for _, c := range t.counts {
+		d := float64(c) - mean
+		acc += d * d
+	}
+	return acc / float64(len(t.counts))
+}
+
+// RelStdDev returns the relative standard deviation (stddev / mean) of the
+// occurrence counts — the paper reports 0.1% for LTNC. It returns 0 when
+// the mean is zero.
+func (t *Tracker) RelStdDev() float64 {
+	mean := t.Mean()
+	if mean == 0 {
+		return 0
+	}
+	return math.Sqrt(t.Variance()) / mean
+}
+
+// Snapshot returns a copy of the per-native counts.
+func (t *Tracker) Snapshot() []uint32 {
+	out := make([]uint32, len(t.counts))
+	copy(out, t.counts)
+	return out
+}

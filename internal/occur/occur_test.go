@@ -1,0 +1,91 @@
+package occur
+
+import (
+	"math"
+	"testing"
+
+	"ltnc/internal/bitvec"
+)
+
+func TestNewTracker(t *testing.T) {
+	tr := New(5)
+	if tr.K() != 5 || tr.Sent() != 0 || tr.Mean() != 0 || tr.Variance() != 0 {
+		t.Error("fresh tracker not zeroed")
+	}
+	if tr.RelStdDev() != 0 {
+		t.Error("RelStdDev of empty tracker != 0")
+	}
+}
+
+func TestObserveSent(t *testing.T) {
+	tr := New(4)
+	tr.ObserveSent(bitvec.FromIndices(4, 0, 2))
+	tr.ObserveSent(bitvec.FromIndices(4, 2))
+	if tr.Sent() != 2 {
+		t.Errorf("Sent = %d", tr.Sent())
+	}
+	want := []uint32{1, 0, 2, 0}
+	for i, w := range want {
+		if got := tr.Count(i); got != w {
+			t.Errorf("Count(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if !tr.Less(1, 0) || tr.Less(0, 1) || tr.Less(1, 3) {
+		t.Error("Less comparisons wrong")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	tr := New(4)
+	// Counts become {2, 2, 0, 0}: mean 1, variance 1.
+	tr.ObserveSent(bitvec.FromIndices(4, 0, 1))
+	tr.ObserveSent(bitvec.FromIndices(4, 0, 1))
+	if got := tr.Mean(); got != 1 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := tr.Variance(); got != 1 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := tr.RelStdDev(); got != 1 {
+		t.Errorf("RelStdDev = %v", got)
+	}
+}
+
+func TestUniformCountsHaveZeroVariance(t *testing.T) {
+	tr := New(8)
+	full := bitvec.New(8)
+	for i := 0; i < 8; i++ {
+		full.Set(i)
+	}
+	for s := 0; s < 5; s++ {
+		tr.ObserveSent(full)
+	}
+	if tr.Variance() != 0 || tr.RelStdDev() != 0 {
+		t.Errorf("uniform counts: var=%v rsd=%v", tr.Variance(), tr.RelStdDev())
+	}
+	if tr.Mean() != 5 {
+		t.Errorf("Mean = %v", tr.Mean())
+	}
+}
+
+func TestRelStdDevMatchesDefinition(t *testing.T) {
+	tr := New(3)
+	tr.ObserveSent(bitvec.FromIndices(3, 0))
+	tr.ObserveSent(bitvec.FromIndices(3, 0))
+	tr.ObserveSent(bitvec.FromIndices(3, 1))
+	// Counts {2,1,0}: mean 1, var 2/3.
+	want := math.Sqrt(2.0/3.0) / 1.0
+	if got := tr.RelStdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RelStdDev = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tr := New(2)
+	tr.ObserveSent(bitvec.FromIndices(2, 0))
+	snap := tr.Snapshot()
+	tr.ObserveSent(bitvec.FromIndices(2, 0))
+	if snap[0] != 1 {
+		t.Errorf("snapshot changed: %v", snap)
+	}
+}

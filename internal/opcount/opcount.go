@@ -1,0 +1,148 @@
+// Package opcount implements the cost accounting used to reproduce the
+// computational-cost experiments (Figure 8 of the paper).
+//
+// The paper reports CPU cycles split two ways: control-plane operations
+// (on code vectors, the Tanner graph, the code matrix) versus data-plane
+// operations (XORs of m-byte payloads), separately for recoding and for
+// decoding. Absolute cycles are machine-specific, so this package counts
+// machine-independent proxies:
+//
+//   - control ops: one unit per 64-bit word operation on a code vector (or
+//     per elementary structure update), and
+//   - data bytes: one unit per payload byte XORed.
+//
+// The ratios and scaling trends in k — which carry the paper's claims —
+// are preserved by these proxies; wall-clock benchmarks in bench_test.go
+// complement them with real timings.
+package opcount
+
+import "fmt"
+
+// Phase identifies which pipeline stage an operation belongs to.
+type Phase int
+
+// Phases mirror the four panels of Figure 8.
+const (
+	RecodeControl Phase = iota + 1
+	RecodeData
+	DecodeControl
+	DecodeData
+	numPhases
+)
+
+// String returns the phase name as used in reports.
+func (p Phase) String() string {
+	switch p {
+	case RecodeControl:
+		return "recode-control"
+	case RecodeData:
+		return "recode-data"
+	case DecodeControl:
+		return "decode-control"
+	case DecodeData:
+		return "decode-data"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Counter accumulates operation counts per phase. The zero value is ready
+// to use. A nil *Counter is valid everywhere and counts nothing, so hot
+// paths can be instrumented unconditionally.
+type Counter struct {
+	counts [numPhases]uint64
+	events [numPhases]uint64
+}
+
+// Add records n units of work in phase p.
+func (c *Counter) Add(p Phase, n int) {
+	if c == nil {
+		return
+	}
+	c.counts[p] += uint64(n)
+}
+
+// Event records one occurrence of phase p (e.g. one recode operation),
+// used to compute per-operation averages.
+func (c *Counter) Event(p Phase) {
+	if c == nil {
+		return
+	}
+	c.events[p]++
+}
+
+// Total returns the accumulated units for phase p.
+func (c *Counter) Total(p Phase) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[p]
+}
+
+// Events returns the number of recorded occurrences of phase p.
+func (c *Counter) Events(p Phase) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.events[p]
+}
+
+// PerEvent returns the mean units of work per occurrence of phase p, or 0
+// if no events were recorded.
+func (c *Counter) PerEvent(p Phase) float64 {
+	if c == nil || c.events[p] == 0 {
+		return 0
+	}
+	return float64(c.counts[p]) / float64(c.events[p])
+}
+
+// Reset clears all counts and events.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.counts = [numPhases]uint64{}
+	c.events = [numPhases]uint64{}
+}
+
+// Merge adds the counts of o into c.
+func (c *Counter) Merge(o *Counter) {
+	if c == nil || o == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i] += o.counts[i]
+		c.events[i] += o.events[i]
+	}
+}
+
+// Snapshot returns a copy of the counter's state.
+func (c *Counter) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	s.RecodeControlOps = c.counts[RecodeControl]
+	s.RecodeDataBytes = c.counts[RecodeData]
+	s.DecodeControlOps = c.counts[DecodeControl]
+	s.DecodeDataBytes = c.counts[DecodeData]
+	s.Recodes = c.events[RecodeControl]
+	s.Decodes = c.events[DecodeControl]
+	return s
+}
+
+// Snapshot is an immutable copy of a Counter, convenient for reporting.
+type Snapshot struct {
+	RecodeControlOps uint64
+	RecodeDataBytes  uint64
+	DecodeControlOps uint64
+	DecodeDataBytes  uint64
+	Recodes          uint64
+	Decodes          uint64
+}
+
+// WordOps converts a number of k-bit code-vector passes into 64-bit word
+// operations, the unit used for control-plane accounting.
+func WordOps(k, passes int) int {
+	return ((k + 63) / 64) * passes
+}

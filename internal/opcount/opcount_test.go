@@ -1,0 +1,119 @@
+package opcount
+
+import "testing"
+
+func TestNilCounterIsSafe(t *testing.T) {
+	var c *Counter
+	c.Add(RecodeControl, 5)
+	c.Event(RecodeControl)
+	c.Reset()
+	c.Merge(&Counter{})
+	if c.Total(RecodeControl) != 0 || c.Events(RecodeControl) != 0 {
+		t.Error("nil counter reported nonzero totals")
+	}
+	if c.PerEvent(RecodeControl) != 0 {
+		t.Error("nil counter PerEvent != 0")
+	}
+	if (c.Snapshot() != Snapshot{}) {
+		t.Error("nil counter Snapshot not zero")
+	}
+}
+
+func TestAddAndPerEvent(t *testing.T) {
+	var c Counter
+	c.Add(DecodeData, 100)
+	c.Event(DecodeControl)
+	c.Add(DecodeData, 50)
+	c.Event(DecodeControl)
+	if got := c.Total(DecodeData); got != 150 {
+		t.Errorf("Total = %d, want 150", got)
+	}
+	if got := c.Events(DecodeControl); got != 2 {
+		t.Errorf("Events = %d, want 2", got)
+	}
+	c.Add(DecodeControl, 30)
+	if got := c.PerEvent(DecodeControl); got != 15 {
+		t.Errorf("PerEvent = %v, want 15", got)
+	}
+}
+
+func TestPerEventNoEvents(t *testing.T) {
+	var c Counter
+	c.Add(RecodeData, 10)
+	if got := c.PerEvent(RecodeData); got != 0 {
+		t.Errorf("PerEvent with no events = %v, want 0", got)
+	}
+}
+
+func TestResetAndMerge(t *testing.T) {
+	var a, b Counter
+	a.Add(RecodeControl, 3)
+	a.Event(RecodeControl)
+	b.Add(RecodeControl, 4)
+	b.Event(RecodeControl)
+	a.Merge(&b)
+	if got := a.Total(RecodeControl); got != 7 {
+		t.Errorf("after merge Total = %d, want 7", got)
+	}
+	if got := a.Events(RecodeControl); got != 2 {
+		t.Errorf("after merge Events = %d, want 2", got)
+	}
+	a.Reset()
+	if a.Total(RecodeControl) != 0 || a.Events(RecodeControl) != 0 {
+		t.Error("Reset did not clear counter")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var c Counter
+	c.Add(RecodeControl, 1)
+	c.Add(RecodeData, 2)
+	c.Add(DecodeControl, 3)
+	c.Add(DecodeData, 4)
+	c.Event(RecodeControl)
+	c.Event(DecodeControl)
+	s := c.Snapshot()
+	want := Snapshot{
+		RecodeControlOps: 1,
+		RecodeDataBytes:  2,
+		DecodeControlOps: 3,
+		DecodeDataBytes:  4,
+		Recodes:          1,
+		Decodes:          1,
+	}
+	if s != want {
+		t.Errorf("Snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	tests := []struct {
+		p    Phase
+		want string
+	}{
+		{RecodeControl, "recode-control"},
+		{RecodeData, "recode-data"},
+		{DecodeControl, "decode-control"},
+		{DecodeData, "decode-data"},
+		{Phase(99), "phase(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestWordOps(t *testing.T) {
+	tests := []struct{ k, passes, want int }{
+		{64, 1, 1},
+		{65, 1, 2},
+		{2048, 3, 96},
+		{1, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := WordOps(tt.k, tt.passes); got != tt.want {
+			t.Errorf("WordOps(%d,%d) = %d, want %d", tt.k, tt.passes, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the wire decoder against malformed input: it must
+// never panic, and every accepted packet must re-encode to the same bytes
+// (canonical encoding).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: valid packets of assorted shapes plus mutations.
+	seeds := []*Packet{
+		Native(8, 3, []byte{1, 2, 3}),
+		Native(64, 0, nil),
+		New(2048, 0),
+	}
+	big := New(333, 17)
+	for i := 0; i < 333; i += 7 {
+		big.Vec.Set(i)
+	}
+	seeds = append(seeds, big)
+	for _, p := range seeds {
+		data, err := Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'L', 'T', 1, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical encoding: %d in, %d out", len(data), len(out))
+		}
+	})
+}
+
+// FuzzReadHeader checks the streaming header parser on arbitrary prefixes.
+func FuzzReadHeader(f *testing.F) {
+	data, err := Marshal(Native(128, 9, make([]byte, 32)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if h.K < 1 || h.M < 0 || h.Vec == nil || h.Vec.Len() != h.K {
+			t.Fatalf("accepted inconsistent header %+v", h)
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package packet defines the encoded-packet representation shared by all
+// coding schemes (LT, LTNC, RLNC) and its wire format.
+//
+// A packet carries a code vector — a GF(2) bitmap over the k native
+// packets, "included in the headers of the packets" as in the paper — and
+// an m-byte payload equal to the XOR of the native payloads selected by
+// the vector. The wire format places the code vector *before* the payload
+// so that a receiver can run redundancy detection on the header alone and
+// abort the transfer of a non-innovative payload (the paper's binary
+// feedback channel, Section III-C-2).
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+)
+
+// Packet is one encoded packet: the GF(2) combination Vec of native
+// packets together with the combined Payload. Payload may be nil in
+// control-plane-only simulations, where only code vectors matter.
+type Packet struct {
+	Vec     *bitvec.Vector
+	Payload []byte
+	// Generation identifies the coding generation the packet belongs to
+	// when content is split into generations (0 when unused).
+	Generation uint32
+}
+
+// New returns an all-zero packet over k native packets with an m-byte
+// payload buffer (no buffer if m == 0).
+func New(k, m int) *Packet {
+	p := &Packet{Vec: bitvec.New(k)}
+	if m > 0 {
+		p.Payload = make([]byte, m)
+	}
+	return p
+}
+
+// Native returns the degree-1 packet for native index i carrying payload.
+// The payload is copied so the caller keeps ownership of data.
+func Native(k, i int, data []byte) *Packet {
+	p := &Packet{Vec: bitvec.Single(k, i)}
+	if len(data) > 0 {
+		p.Payload = append([]byte(nil), data...)
+	}
+	return p
+}
+
+// K returns the code length (number of native packets).
+func (p *Packet) K() int { return p.Vec.Len() }
+
+// Degree returns the number of native packets combined in p.
+func (p *Packet) Degree() int { return p.Vec.PopCount() }
+
+// IsZero reports whether the packet combines no native packets.
+func (p *Packet) IsZero() bool { return p.Vec.IsZero() }
+
+// NativeIndex returns the native index of a degree-1 packet and true, or
+// (-1, false) if the packet's degree is not 1.
+func (p *Packet) NativeIndex() (int, bool) {
+	i := p.Vec.LowestSet()
+	if i < 0 || p.Vec.NextSet(i+1) >= 0 {
+		return -1, false
+	}
+	return i, true
+}
+
+// Xor sets p = p ⊕ o, updating both the code vector and the payload, and
+// records the control-word and data-byte costs on c (which may be nil).
+// It returns p.
+func (p *Packet) Xor(o *Packet, c *opcount.Counter, control, data opcount.Phase) *Packet {
+	c.Add(control, opcount.WordOps(p.K(), 1))
+	p.Vec.Xor(o.Vec)
+	if len(p.Payload) > 0 && len(o.Payload) > 0 {
+		c.Add(data, bitvec.XorBytes(p.Payload, o.Payload))
+	}
+	return p
+}
+
+// Clone returns a deep copy of p.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{Vec: p.Vec.Clone(), Generation: p.Generation}
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return q
+}
+
+// Equal reports whether two packets have identical vectors, payloads and
+// generation.
+func (p *Packet) Equal(o *Packet) bool {
+	if !p.Vec.Equal(o.Vec) || p.Generation != o.Generation {
+		return false
+	}
+	if len(p.Payload) != len(o.Payload) {
+		return false
+	}
+	for i := range p.Payload {
+		if p.Payload[i] != o.Payload[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the packet as its support set, e.g. "{1,3}/8+256B".
+func (p *Packet) String() string {
+	return fmt.Sprintf("%v+%dB", p.Vec, len(p.Payload))
+}
+
+// Wire format
+//
+//	magic   "LT"        2 bytes
+//	version 0x01        1 byte
+//	flags               1 byte (reserved, 0)
+//	generation          4 bytes big-endian
+//	k                   4 bytes big-endian
+//	m                   4 bytes big-endian
+//	code vector         ceil(k/8) bytes
+//	payload             m bytes
+const (
+	wireVersion    = 0x01
+	headerFixed    = 2 + 1 + 1 + 4 + 4 + 4
+	maxWireK       = 1 << 24 // sanity bound against corrupt headers
+	maxWirePayload = 1 << 30
+)
+
+var wireMagic = [2]byte{'L', 'T'}
+
+// Errors returned by the wire codec.
+var (
+	ErrBadMagic   = errors.New("packet: bad magic")
+	ErrBadVersion = errors.New("packet: unsupported version")
+	ErrCorrupt    = errors.New("packet: corrupt header")
+)
+
+// Header is the decoded fixed-size prefix plus code vector of a packet on
+// the wire. Receivers inspect it (degree, redundancy check) before
+// deciding whether to read the payload.
+type Header struct {
+	K          int
+	M          int
+	Generation uint32
+	Vec        *bitvec.Vector
+}
+
+// Degree returns the degree announced by the header's code vector.
+func (h Header) Degree() int { return h.Vec.PopCount() }
+
+// HeaderSize returns the number of bytes a header occupies on the wire for
+// code length k.
+func HeaderSize(k int) int { return headerFixed + (k+7)/8 }
+
+// WireSize returns the total on-wire size of a packet with code length k
+// and payload size m.
+func WireSize(k, m int) int { return HeaderSize(k) + m }
+
+// WriteHeader writes the header of p to w.
+func WriteHeader(w io.Writer, p *Packet) error {
+	buf := make([]byte, headerFixed)
+	buf[0], buf[1] = wireMagic[0], wireMagic[1]
+	buf[2] = wireVersion
+	buf[3] = 0
+	binary.BigEndian.PutUint32(buf[4:], p.Generation)
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.K()))
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(p.Payload)))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("packet: write header: %w", err)
+	}
+	vec, err := p.Vec.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("packet: marshal vector: %w", err)
+	}
+	if _, err := w.Write(vec); err != nil {
+		return fmt.Errorf("packet: write vector: %w", err)
+	}
+	return nil
+}
+
+// WritePayload writes the payload of p to w. Call it after WriteHeader
+// once the receiver has accepted the transfer.
+func WritePayload(w io.Writer, p *Packet) error {
+	if len(p.Payload) == 0 {
+		return nil
+	}
+	if _, err := w.Write(p.Payload); err != nil {
+		return fmt.Errorf("packet: write payload: %w", err)
+	}
+	return nil
+}
+
+// Write writes the complete packet (header then payload) to w.
+func Write(w io.Writer, p *Packet) error {
+	if err := WriteHeader(w, p); err != nil {
+		return err
+	}
+	return WritePayload(w, p)
+}
+
+// ReadHeader reads and validates a packet header from r.
+func ReadHeader(r io.Reader) (Header, error) {
+	var h Header
+	buf := make([]byte, headerFixed)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return h, fmt.Errorf("packet: read header: %w", err)
+	}
+	if buf[0] != wireMagic[0] || buf[1] != wireMagic[1] {
+		return h, ErrBadMagic
+	}
+	if buf[2] != wireVersion {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	h.Generation = binary.BigEndian.Uint32(buf[4:])
+	k := binary.BigEndian.Uint32(buf[8:])
+	m := binary.BigEndian.Uint32(buf[12:])
+	if k == 0 || k > maxWireK || m > maxWirePayload {
+		return h, fmt.Errorf("%w: k=%d m=%d", ErrCorrupt, k, m)
+	}
+	h.K, h.M = int(k), int(m)
+	vecBytes := make([]byte, (h.K+7)/8)
+	if _, err := io.ReadFull(r, vecBytes); err != nil {
+		return h, fmt.Errorf("packet: read vector: %w", err)
+	}
+	h.Vec = bitvec.New(h.K)
+	if err := h.Vec.UnmarshalInto(vecBytes); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// ReadPayload reads the payload announced by h from r and returns the
+// completed packet.
+func ReadPayload(r io.Reader, h Header) (*Packet, error) {
+	p := &Packet{Vec: h.Vec, Generation: h.Generation}
+	if h.M > 0 {
+		p.Payload = make([]byte, h.M)
+		if _, err := io.ReadFull(r, p.Payload); err != nil {
+			return nil, fmt.Errorf("packet: read payload: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Read reads a complete packet from r.
+func Read(r io.Reader) (*Packet, error) {
+	h, err := ReadHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadPayload(r, h)
+}
+
+// Marshal returns the full wire encoding of p.
+func Marshal(p *Packet) ([]byte, error) {
+	buf := make([]byte, 0, WireSize(p.K(), len(p.Payload)))
+	w := &appendWriter{buf: buf}
+	if err := Write(w, p); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// Unmarshal parses a packet from its full wire encoding.
+func Unmarshal(data []byte) (*Packet, error) {
+	r := &sliceReader{data: data}
+	p, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	}
+	return p, nil
+}
+
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

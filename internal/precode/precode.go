@@ -1,0 +1,163 @@
+// Package precode implements a Raptor-style sparse parity precode on top
+// of LT/LTNC coding (Shokrollahi, IEEE/ACM ToN 2006, discussed in Section
+// V of the paper): the k content natives are extended with p parity
+// natives, each the XOR of a few random content natives, and the LT/LTNC
+// machinery runs over the k+p extended natives. Belief propagation then
+// only needs to peel *most* of the extended natives — any content native
+// still missing is recovered from a solved parity relation — which cuts
+// the reception overhead ε of plain LT codes.
+//
+// The paper notes that recoding Raptor codes with matrices destroys the
+// degree structure and forces decoders back to Gaussian elimination; here
+// the precode composes with LTNC's structure-preserving recoding instead:
+// intermediate nodes recode over the extended natives exactly as before.
+package precode
+
+import (
+	"fmt"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/xrand"
+)
+
+// DefaultParityDegree is the number of content natives XORed into each
+// parity native.
+const DefaultParityDegree = 4
+
+// Code describes a sparse parity precode: parity native k+i covers the
+// content natives in Relations[i].
+type Code struct {
+	k         int
+	relations []*bitvec.Vector
+}
+
+// New builds a precode over k content natives with p parity natives of
+// the given degree (DefaultParityDegree if 0), deterministically from
+// seed.
+func New(k, p, degree int, seed int64) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("precode: k = %d < 1", k)
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("precode: p = %d < 0", p)
+	}
+	if degree == 0 {
+		degree = DefaultParityDegree
+	}
+	if degree < 1 || degree > k {
+		return nil, fmt.Errorf("precode: parity degree %d outside [1,%d]", degree, k)
+	}
+	rng := xrand.NewChild(seed, 424242)
+	c := &Code{k: k, relations: make([]*bitvec.Vector, p)}
+	for i := range c.relations {
+		rel := bitvec.New(k)
+		for _, x := range xrand.SampleDistinctSparse(rng, k, degree) {
+			rel.Set(x)
+		}
+		c.relations[i] = rel
+	}
+	return c, nil
+}
+
+// K returns the number of content natives.
+func (c *Code) K() int { return c.k }
+
+// P returns the number of parity natives.
+func (c *Code) P() int { return len(c.relations) }
+
+// ExtendedK returns k + p, the code length the LT/LTNC layer runs over.
+func (c *Code) ExtendedK() int { return c.k + len(c.relations) }
+
+// Relation returns the content natives covered by parity i (read-only).
+func (c *Code) Relation(i int) *bitvec.Vector { return c.relations[i] }
+
+// Extend appends the parity payloads to the content natives, producing
+// the k+p extended natives the source seeds its coder with.
+func (c *Code) Extend(natives [][]byte) ([][]byte, error) {
+	if len(natives) != c.k {
+		return nil, fmt.Errorf("precode: %d natives, want %d", len(natives), c.k)
+	}
+	out := make([][]byte, 0, c.ExtendedK())
+	out = append(out, natives...)
+	for _, rel := range c.relations {
+		var parity []byte
+		for x := rel.LowestSet(); x >= 0; x = rel.NextSet(x + 1) {
+			if natives[x] == nil {
+				continue
+			}
+			if parity == nil {
+				parity = append([]byte(nil), natives[x]...)
+				continue
+			}
+			bitvec.XorBytes(parity, natives[x])
+		}
+		if parity == nil && c.k > 0 && natives[0] != nil {
+			parity = make([]byte, len(natives[0]))
+		}
+		out = append(out, parity)
+	}
+	return out, nil
+}
+
+// Recover fills missing content natives (nil entries in extended[:k])
+// from solved parity relations, iterating to a fixed point: a parity
+// whose relation has exactly one missing member yields that member. It
+// returns the number of natives recovered.
+//
+// have reports which extended natives are decoded; data gives their
+// payloads. Both must have length ExtendedK. Recovered payloads are
+// written into data and marked in have.
+func (c *Code) Recover(have []bool, data [][]byte) (int, error) {
+	if len(have) != c.ExtendedK() || len(data) != c.ExtendedK() {
+		return 0, fmt.Errorf("precode: state length %d/%d, want %d", len(have), len(data), c.ExtendedK())
+	}
+	recovered := 0
+	for changed := true; changed; {
+		changed = false
+		for i, rel := range c.relations {
+			if !have[c.k+i] {
+				continue // parity itself unknown
+			}
+			missing := -1
+			count := 0
+			for x := rel.LowestSet(); x >= 0; x = rel.NextSet(x + 1) {
+				if !have[x] {
+					missing = x
+					count++
+					if count > 1 {
+						break
+					}
+				}
+			}
+			if count != 1 {
+				continue
+			}
+			// payload(missing) = parity ⊕ all other members.
+			var payload []byte
+			if data[c.k+i] != nil {
+				payload = append([]byte(nil), data[c.k+i]...)
+				for x := rel.LowestSet(); x >= 0; x = rel.NextSet(x + 1) {
+					if x == missing || data[x] == nil {
+						continue
+					}
+					bitvec.XorBytes(payload, data[x])
+				}
+			}
+			have[missing] = true
+			data[missing] = payload
+			recovered++
+			changed = true
+		}
+	}
+	return recovered, nil
+}
+
+// ContentComplete reports whether all k content natives are available.
+func (c *Code) ContentComplete(have []bool) bool {
+	for x := 0; x < c.k; x++ {
+		if !have[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package precode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/core"
+	"ltnc/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(8, -1, 0, 1); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if _, err := New(8, 2, 9, 1); err == nil {
+		t.Error("degree>k accepted")
+	}
+	c, err := New(8, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 8 || c.P() != 2 || c.ExtendedK() != 10 {
+		t.Errorf("dimensions wrong: %d %d %d", c.K(), c.P(), c.ExtendedK())
+	}
+}
+
+func TestExtendParities(t *testing.T) {
+	const (
+		k = 16
+		m = 8
+		p = 4
+	)
+	rng := rand.New(rand.NewSource(2))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	c, err := New(k, p, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := c.Extend(natives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != k+p {
+		t.Fatalf("extended length %d", len(ext))
+	}
+	for i := 0; i < p; i++ {
+		rel := c.Relation(i)
+		if rel.PopCount() != 3 {
+			t.Errorf("parity %d has degree %d, want 3", i, rel.PopCount())
+		}
+		want := make([]byte, m)
+		for x := rel.LowestSet(); x >= 0; x = rel.NextSet(x + 1) {
+			for b := range want {
+				want[b] ^= natives[x][b]
+			}
+		}
+		if !bytes.Equal(ext[k+i], want) {
+			t.Errorf("parity %d payload wrong", i)
+		}
+	}
+	if _, err := c.Extend(natives[:k-1]); err == nil {
+		t.Error("short natives accepted")
+	}
+}
+
+func TestRecoverSingleMissing(t *testing.T) {
+	const (
+		k = 12
+		m = 4
+	)
+	rng := rand.New(rand.NewSource(3))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	c, err := New(k, 6, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := c.Extend(natives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove one content native covered by some parity.
+	victim := c.Relation(0).LowestSet()
+	have := make([]bool, c.ExtendedK())
+	data := make([][]byte, c.ExtendedK())
+	for i := range ext {
+		if i == victim {
+			continue
+		}
+		have[i] = true
+		data[i] = ext[i]
+	}
+	if c.ContentComplete(have) {
+		t.Fatal("setup: victim still present")
+	}
+	n, err := c.Recover(have, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !have[victim] {
+		t.Fatalf("recovered %d, victim present=%v", n, have[victim])
+	}
+	if !bytes.Equal(data[victim], natives[victim]) {
+		t.Error("recovered payload wrong")
+	}
+	if !c.ContentComplete(have) {
+		t.Error("content incomplete after recovery")
+	}
+}
+
+func TestRecoverStateValidation(t *testing.T) {
+	c, _ := New(4, 1, 2, 1)
+	if _, err := c.Recover(make([]bool, 3), make([][]byte, 5)); err == nil {
+		t.Error("bad state lengths accepted")
+	}
+}
+
+// The headline property: with a precode, a sink needs fewer LT packets to
+// recover the *content* because the last stragglers come from parity
+// relations instead of the LT coupon tail.
+func TestPrecodeReducesReceptionOverhead(t *testing.T) {
+	const (
+		k      = 256
+		p      = 32
+		trials = 5
+	)
+	packetsNeeded := func(usePrecode bool, seed int64) int {
+		var (
+			extK = k
+			c    *Code
+		)
+		if usePrecode {
+			var err error
+			c, err = New(k, p, 0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			extK = c.ExtendedK()
+		}
+		src, err := core.NewNode(core.Options{K: extK, Rng: xrand.NewChild(seed, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Seed(make([][]byte, extK)); err != nil {
+			t.Fatal(err)
+		}
+		sink, err := core.NewNode(core.Options{K: extK, Rng: xrand.NewChild(seed, 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := make([]bool, extK)
+		data := make([][]byte, extK)
+		for received := 1; ; received++ {
+			if received > 20*extK {
+				t.Fatal("no convergence")
+			}
+			z, _ := src.Recode()
+			res := sink.Receive(z)
+			if res.NewlyDecoded > 0 || received%16 == 0 {
+				for x := 0; x < extK; x++ {
+					have[x] = have[x] || sink.IsDecoded(x)
+				}
+				if usePrecode {
+					if _, err := c.Recover(have, data); err != nil {
+						t.Fatal(err)
+					}
+				}
+				complete := true
+				for x := 0; x < k; x++ {
+					if !have[x] {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					return received
+				}
+			}
+		}
+	}
+	plainTotal, precodedTotal := 0, 0
+	for i := int64(0); i < trials; i++ {
+		plainTotal += packetsNeeded(false, 100+i)
+		precodedTotal += packetsNeeded(true, 100+i)
+	}
+	plain := float64(plainTotal) / trials
+	precoded := float64(precodedTotal) / trials
+	t.Logf("mean packets to recover k=%d content: plain LT %.0f (ε=%.2f), precoded %.0f (ε=%.2f)",
+		k, plain, plain/k-1, precoded, precoded/k-1)
+	if precoded >= plain {
+		t.Errorf("precode did not reduce reception overhead: %.0f >= %.0f", precoded, plain)
+	}
+}

@@ -1,0 +1,184 @@
+// Package rlnc implements sparse Random Linear Network Coding over GF(2)
+// — the reference scheme the paper evaluates LTNC against.
+//
+// Nodes recode by XORing random subsets of previously received (and
+// row-reduced) encoded packets; the subset size is bounded by the code
+// sparsity, set to ln k + 20 — "widely acknowledged as the optimal setting
+// for linear network coding" (Section IV-A). Non-innovative packets are
+// detected exactly with a partial Gaussian reduction, and decoding is a
+// full Gaussian reduction, both provided by internal/gf2.
+package rlnc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/gf2"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+	"ltnc/internal/xrand"
+)
+
+// DefaultSparsity returns the paper's recoding bound ln k + 20.
+func DefaultSparsity(k int) int {
+	return int(math.Log(float64(k))) + 20
+}
+
+// Options configures an RLNC node.
+type Options struct {
+	// K is the code length; M the payload size (0 = control-plane only).
+	K, M int
+	// Sparsity bounds the number of packets combined per recode; defaults
+	// to ln K + 20.
+	Sparsity int
+	// Rng drives random combinations; defaults to a deterministic source.
+	Rng *rand.Rand
+	// Counter receives cost accounting; nil disables it.
+	Counter *opcount.Counter
+}
+
+// Node is an RLNC participant: it accumulates received packets in a code
+// matrix kept in reduced row echelon form and emits random sparse
+// combinations of its rows. Not safe for concurrent use.
+type Node struct {
+	k, m     int
+	sparsity int
+	mtx      *gf2.Matrix
+	rng      *rand.Rand
+	counter  *opcount.Counter
+	received int
+	dropped  int
+}
+
+// NewNode returns an RLNC node configured by opts.
+func NewNode(opts Options) (*Node, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("rlnc: K = %d < 1", opts.K)
+	}
+	if opts.M < 0 {
+		return nil, fmt.Errorf("rlnc: M = %d < 0", opts.M)
+	}
+	if opts.Sparsity == 0 {
+		opts.Sparsity = DefaultSparsity(opts.K)
+	}
+	if opts.Sparsity < 1 {
+		return nil, fmt.Errorf("rlnc: sparsity = %d < 1", opts.Sparsity)
+	}
+	if opts.Rng == nil {
+		opts.Rng = rand.New(rand.NewSource(1))
+	}
+	return &Node{
+		k:        opts.K,
+		m:        opts.M,
+		sparsity: opts.Sparsity,
+		mtx:      gf2.NewMatrix(opts.K, opts.M),
+		rng:      opts.Rng,
+		counter:  opts.Counter,
+	}, nil
+}
+
+// K returns the code length.
+func (n *Node) K() int { return n.k }
+
+// M returns the payload size.
+func (n *Node) M() int { return n.m }
+
+// Sparsity returns the recoding combination bound.
+func (n *Node) Sparsity() int { return n.sparsity }
+
+// Rank returns the current rank of the node's code matrix.
+func (n *Node) Rank() int { return n.mtx.Rank() }
+
+// Complete reports whether the node can decode all k natives.
+func (n *Node) Complete() bool { return n.mtx.Full() }
+
+// DecodedCount returns the number of natives currently isolated; with
+// Gaussian decoding this jumps to k as the matrix fills.
+func (n *Node) DecodedCount() int { return n.mtx.DecodedCount() }
+
+// Received returns the number of packets fed to the node.
+func (n *Node) Received() int { return n.received }
+
+// RedundantDropped returns how many received packets were non-innovative.
+func (n *Node) RedundantDropped() int { return n.dropped }
+
+// IsRedundant reports (exactly) whether a packet with this code vector is
+// non-innovative — the Gauss-reduction header check that lets receivers
+// abort all redundant RLNC transfers (hence the scheme's zero overhead).
+func (n *Node) IsRedundant(vec *bitvec.Vector) bool {
+	n.counter.Event(opcount.DecodeControl)
+	return !n.mtx.IsInnovative(vec, n.counter)
+}
+
+// Receive inserts a packet into the code matrix; it reports whether the
+// packet was innovative.
+func (n *Node) Receive(p *packet.Packet) bool {
+	n.received++
+	n.counter.Event(opcount.DecodeControl)
+	if n.mtx.Insert(p, n.counter) {
+		return true
+	}
+	n.dropped++
+	return false
+}
+
+// Seed bootstraps the node with the full content (turning it into a
+// source).
+func (n *Node) Seed(natives [][]byte) error {
+	if len(natives) != n.k {
+		return fmt.Errorf("rlnc: seed with %d natives, want %d", len(natives), n.k)
+	}
+	for i, data := range natives {
+		if n.m > 0 && len(data) != n.m {
+			return fmt.Errorf("rlnc: seed native %d has %d bytes, want %d", i, len(data), n.m)
+		}
+		n.mtx.Insert(packet.Native(n.k, i, data), nil)
+	}
+	return nil
+}
+
+// Recode emits a fresh encoded packet: the XOR of a random set of rows of
+// the code matrix, at most sparsity of them ("the number of encoded
+// packets involved in the recoding operation is bounded by the sparsity").
+// The set size alternates between sparsity and sparsity−1: over GF(2), a
+// fixed even combination count can only ever generate the even-weight
+// coefficient subspace, leaving receivers permanently one rank short —
+// mixing the parity restores full-span recoding. Rows are linearly
+// independent, so the result is never the zero packet. ok is false when
+// the matrix is empty.
+func (n *Node) Recode() (z *packet.Packet, ok bool) {
+	rank := n.mtx.Rank()
+	if rank == 0 {
+		return nil, false
+	}
+	n.counter.Event(opcount.RecodeControl)
+	count := min(n.sparsity, rank)
+	if count > 1 {
+		count -= n.rng.Intn(2)
+	}
+	z = packet.New(n.k, n.m)
+	for _, r := range xrand.SampleDistinctSparse(n.rng, rank, count) {
+		n.counter.Add(opcount.RecodeControl, opcount.WordOps(n.k, 1))
+		z.Vec.Xor(n.mtx.RowVec(r))
+		if n.m > 0 {
+			if load := n.mtx.RowPayload(r); load != nil {
+				n.counter.Add(opcount.RecodeData, bitvec.XorBytes(z.Payload, load))
+			}
+		}
+	}
+	return z, true
+}
+
+// Data returns the k native payloads once the matrix is full.
+func (n *Node) Data() ([][]byte, error) { return n.mtx.Decode() }
+
+// NativeData returns the payload of native x if it is isolated.
+func (n *Node) NativeData(x int) []byte {
+	load, ok := n.mtx.Native(x)
+	if !ok {
+		return nil
+	}
+	return load
+}

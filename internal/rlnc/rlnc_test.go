@@ -1,0 +1,225 @@
+package rlnc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+func TestDefaultSparsity(t *testing.T) {
+	tests := []struct{ k, want int }{
+		{1, 20}, {2048, 27}, {4096, 28},
+	}
+	for _, tt := range tests {
+		if got := DefaultSparsity(tt.k); got != tt.want {
+			t.Errorf("DefaultSparsity(%d) = %d, want %d", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := NewNode(Options{K: 4, M: -1}); err == nil {
+		t.Error("M<0 accepted")
+	}
+	if _, err := NewNode(Options{K: 4, Sparsity: -2}); err == nil {
+		t.Error("negative sparsity accepted")
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 2})
+	if err := n.Seed(make([][]byte, 3)); err == nil {
+		t.Error("short seed accepted")
+	}
+	if err := n.Seed([][]byte{{1}, {1, 2}, {1, 2}, {1, 2}}); err == nil {
+		t.Error("ragged seed accepted")
+	}
+}
+
+func randomNatives(rng *rand.Rand, k, m int) [][]byte {
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	return natives
+}
+
+func payloadConsistent(p *packet.Packet, natives [][]byte) bool {
+	want := make([]byte, len(natives[0]))
+	for _, i := range p.Vec.Indices() {
+		bitvec.XorBytes(want, natives[i])
+	}
+	return bytes.Equal(want, p.Payload)
+}
+
+func TestSourceRecodeSparsityAndConsistency(t *testing.T) {
+	const (
+		k = 128
+		m = 8
+	)
+	rng := rand.New(rand.NewSource(1))
+	natives := randomNatives(rng, k, m)
+	n, err := NewNode(Options{K: k, M: m, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Seed(natives); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Complete() {
+		t.Fatal("seeded node not complete")
+	}
+	for i := 0; i < 200; i++ {
+		z, ok := n.Recode()
+		if !ok {
+			t.Fatal("recode failed")
+		}
+		if z.Degree() < 1 || z.Degree() > n.Sparsity() {
+			t.Fatalf("source packet degree %d outside (0, sparsity=%d]", z.Degree(), n.Sparsity())
+		}
+		if !payloadConsistent(z, natives) {
+			t.Fatalf("packet %d inconsistent", i)
+		}
+	}
+}
+
+func TestRecodeOnEmptyNode(t *testing.T) {
+	n, _ := NewNode(Options{K: 8})
+	if _, ok := n.Recode(); ok {
+		t.Error("empty node recoded")
+	}
+}
+
+func TestEndToEndDissemination(t *testing.T) {
+	const (
+		k = 96
+		m = 16
+	)
+	rng := rand.New(rand.NewSource(2))
+	natives := randomNatives(rng, k, m)
+	src, _ := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(3))})
+	if err := src.Seed(natives); err != nil {
+		t.Fatal(err)
+	}
+	relay, _ := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(4))})
+	sink, _ := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(5))})
+
+	steps := 0
+	for !sink.Complete() {
+		if z, ok := src.Recode(); ok {
+			relay.Receive(z)
+		}
+		if z, ok := relay.Recode(); ok {
+			if !payloadConsistent(z, natives) {
+				t.Fatal("relay packet inconsistent")
+			}
+			sink.Receive(z)
+		}
+		if steps++; steps > 20*k {
+			t.Fatalf("no convergence: sink rank %d/%d", sink.Rank(), k)
+		}
+	}
+	data, err := sink.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range natives {
+		if !bytes.Equal(data[i], natives[i]) {
+			t.Fatalf("native %d differs", i)
+		}
+	}
+	// RLNC is near-optimal: convergence within a small overhead of k.
+	if sink.Received() > 2*k {
+		t.Errorf("sink needed %d packets for k=%d", sink.Received(), k)
+	}
+}
+
+func TestIsRedundantExact(t *testing.T) {
+	const k = 32
+	rng := rand.New(rand.NewSource(6))
+	src, _ := NewNode(Options{K: k, Rng: rng})
+	if err := src.Seed(make([][]byte, k)); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := NewNode(Options{K: k, Rng: rand.New(rand.NewSource(7))})
+	for i := 0; i < 3*k; i++ {
+		z, _ := src.Recode()
+		redundant := n.IsRedundant(z.Vec)
+		innovative := n.Receive(z)
+		if redundant == innovative {
+			t.Fatalf("step %d: IsRedundant=%v but Receive innovative=%v", i, redundant, innovative)
+		}
+	}
+	if n.RedundantDropped()+n.Rank() != n.Received() {
+		t.Errorf("dropped %d + rank %d != received %d", n.RedundantDropped(), n.Rank(), n.Received())
+	}
+}
+
+// Regression: over GF(2), recoding with a fixed even combination count
+// can only generate the even-weight coefficient subspace, capping
+// receivers at rank k-1 forever. Recode must mix combination parity so a
+// single source can always fill a sink.
+func TestRecodeEscapesParitySubspace(t *testing.T) {
+	const k = 64 // sparsity = ln 64 + 20 = 24, even: the dangerous case
+	src, _ := NewNode(Options{K: k, Rng: rand.New(rand.NewSource(9))})
+	if err := src.Seed(make([][]byte, k)); err != nil {
+		t.Fatal(err)
+	}
+	sink, _ := NewNode(Options{K: k, Rng: rand.New(rand.NewSource(10))})
+	for i := 0; !sink.Complete(); i++ {
+		if i > 50*k {
+			t.Fatalf("sink stuck at rank %d/%d: parity subspace trap", sink.Rank(), k)
+		}
+		z, _ := src.Recode()
+		sink.Receive(z)
+	}
+}
+
+func TestDecodedCountProgression(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 1})
+	n.Receive(packet.Native(4, 0, []byte{9}))
+	if n.DecodedCount() != 1 {
+		t.Errorf("DecodedCount = %d", n.DecodedCount())
+	}
+	if got := n.NativeData(0); got[0] != 9 {
+		t.Errorf("NativeData(0) = %v", got)
+	}
+	if n.NativeData(1) != nil {
+		t.Error("NativeData(1) non-nil")
+	}
+	if _, err := n.Data(); err == nil {
+		t.Error("Data before completion succeeded")
+	}
+}
+
+func TestOpCounting(t *testing.T) {
+	var c opcount.Counter
+	const k = 64
+	rng := rand.New(rand.NewSource(8))
+	src, _ := NewNode(Options{K: k, M: 8, Rng: rng, Counter: &c})
+	if err := src.Seed(randomNatives(rng, k, 8)); err != nil {
+		t.Fatal(err)
+	}
+	sink, _ := NewNode(Options{K: k, M: 8, Rng: rng, Counter: &c})
+	for i := 0; !sink.Complete(); i++ {
+		if i > 50*k {
+			t.Fatalf("no convergence: rank %d/%d", sink.Rank(), k)
+		}
+		z, _ := src.Recode()
+		sink.Receive(z)
+	}
+	if c.Total(opcount.RecodeControl) == 0 || c.Total(opcount.RecodeData) == 0 {
+		t.Error("recode costs not recorded")
+	}
+	if c.Total(opcount.DecodeControl) == 0 || c.Total(opcount.DecodeData) == 0 {
+		t.Error("decode costs not recorded")
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"ltnc/internal/core"
+	"ltnc/internal/packet"
+	"ltnc/internal/rlnc"
+	"ltnc/internal/wc"
+	"ltnc/internal/xrand"
+)
+
+// peer is the scheme-independent face a node shows the simulator.
+type peer interface {
+	// seed turns the peer into the source holding the full content.
+	seed(natives [][]byte) error
+	// emit produces the packet to push this period; with FeedbackFull an
+	// LTNC sender may consult the receiver's state (Algorithm 4). ok is
+	// false when the peer has nothing to send.
+	emit(receiver peer, fb FeedbackMode) (p *packet.Packet, ok bool)
+	// headerRedundant runs the receiver-side redundancy check on the code
+	// vector in the packet header (the binary feedback abort).
+	headerRedundant(p *packet.Packet) bool
+	// deliver hands the full packet to the peer; reports innovative.
+	deliver(p *packet.Packet) bool
+	// received returns how many packets the peer has been delivered.
+	received() int
+	// complete reports whether the peer recovered the full content.
+	complete() bool
+	// decodedCount returns the number of recovered natives.
+	decodedCount() int
+	// data returns the recovered native payloads (errors if incomplete).
+	data() ([][]byte, error)
+}
+
+// newPeer builds the scheme-specific node. id is the node index (-1 for
+// the source); it seeds the node's private RNG stream.
+func newPeer(cfg Config, id int) (peer, error) {
+	rng := xrand.NewChild(cfg.Seed, id+1000)
+	switch cfg.Scheme {
+	case LTNC:
+		n, err := core.NewNode(core.Options{
+			K:                      cfg.K,
+			M:                      cfg.M,
+			Rng:                    rng,
+			Counter:                cfg.Counter,
+			DisableRefinement:      cfg.DisableRefinement,
+			DisableRedundancyCheck: cfg.DisableRedundancyCheck,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &ltncPeer{node: n}, nil
+	case RLNC:
+		n, err := rlnc.NewNode(rlnc.Options{
+			K:        cfg.K,
+			M:        cfg.M,
+			Sparsity: cfg.Sparsity,
+			Rng:      rng,
+			Counter:  cfg.Counter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &rlncPeer{node: n}, nil
+	case WC:
+		n, err := wc.NewNode(wc.Options{
+			K:          cfg.K,
+			M:          cfg.M,
+			BufferSize: cfg.BufferSize,
+			Fanout:     cfg.Fanout,
+			Rng:        rng,
+			Counter:    cfg.Counter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &wcPeer{node: n}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %d", int(cfg.Scheme))
+	}
+}
+
+type ltncPeer struct {
+	node *core.Node
+}
+
+var _ peer = (*ltncPeer)(nil)
+
+func (p *ltncPeer) seed(natives [][]byte) error { return p.node.Seed(natives) }
+
+func (p *ltncPeer) emit(receiver peer, fb FeedbackMode) (*packet.Packet, bool) {
+	if fb == FeedbackFull {
+		if rcv, ok := receiver.(*ltncPeer); ok {
+			if z, ok := p.node.SmartRecode(rcv.node.Components()); ok {
+				return z, true
+			}
+			// "If the sender detects that it cannot generate an innovative
+			// packet for the receiver" it still falls back to a regular
+			// recode, which the binary abort may cut.
+		}
+	}
+	return p.node.Recode()
+}
+
+func (p *ltncPeer) headerRedundant(pkt *packet.Packet) bool {
+	return p.node.IsRedundant(pkt.Vec)
+}
+
+func (p *ltncPeer) deliver(pkt *packet.Packet) bool {
+	res := p.node.Receive(pkt)
+	return !res.Redundant
+}
+
+func (p *ltncPeer) received() int           { return p.node.Received() }
+func (p *ltncPeer) complete() bool          { return p.node.Complete() }
+func (p *ltncPeer) decodedCount() int       { return p.node.DecodedCount() }
+func (p *ltncPeer) data() ([][]byte, error) { return p.node.Data() }
+
+// Node exposes the underlying LTNC node (used by stats tooling).
+func (p *ltncPeer) Node() *core.Node { return p.node }
+
+type rlncPeer struct {
+	node *rlnc.Node
+}
+
+var _ peer = (*rlncPeer)(nil)
+
+func (p *rlncPeer) seed(natives [][]byte) error { return p.node.Seed(natives) }
+
+func (p *rlncPeer) emit(peer, FeedbackMode) (*packet.Packet, bool) {
+	return p.node.Recode()
+}
+
+func (p *rlncPeer) headerRedundant(pkt *packet.Packet) bool {
+	return p.node.IsRedundant(pkt.Vec)
+}
+
+func (p *rlncPeer) deliver(pkt *packet.Packet) bool { return p.node.Receive(pkt) }
+func (p *rlncPeer) received() int                   { return p.node.Received() }
+func (p *rlncPeer) complete() bool                  { return p.node.Complete() }
+func (p *rlncPeer) decodedCount() int               { return p.node.DecodedCount() }
+func (p *rlncPeer) data() ([][]byte, error)         { return p.node.Data() }
+
+type wcPeer struct {
+	node *wc.Node
+}
+
+var _ peer = (*wcPeer)(nil)
+
+func (p *wcPeer) seed(natives [][]byte) error {
+	// Control-plane runs pass nil payloads; WC stores them as nil.
+	return p.node.Seed(natives)
+}
+
+func (p *wcPeer) emit(peer, FeedbackMode) (*packet.Packet, bool) {
+	return p.node.Next()
+}
+
+func (p *wcPeer) headerRedundant(pkt *packet.Packet) bool {
+	idx, ok := pkt.NativeIndex()
+	if !ok {
+		return false
+	}
+	return p.node.Has(idx)
+}
+
+func (p *wcPeer) deliver(pkt *packet.Packet) bool { return p.node.ReceivePacket(pkt) }
+func (p *wcPeer) received() int                   { return p.node.Received() }
+func (p *wcPeer) complete() bool                  { return p.node.Complete() }
+func (p *wcPeer) decodedCount() int               { return p.node.DecodedCount() }
+func (p *wcPeer) data() ([][]byte, error)         { return p.node.Data() }

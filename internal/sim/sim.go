@@ -1,0 +1,473 @@
+// Package sim implements the epidemic content-dissemination simulator of
+// the paper's evaluation (Section IV-A): one source plus N nodes, a
+// push per gossip period from every active node to a uniformly sampled
+// peer, an aggressiveness threshold gating recoding, and a binary feedback
+// channel letting receivers abort transfers of packets whose code vector
+// is detected non-innovative. It drives the three schemes under test —
+// LTNC, RLNC and WC — through a common peer interface and reports the
+// metrics of Figures 7a–7c: convergence curve, time to complete and
+// communication overhead.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ltnc/internal/gossip"
+	"ltnc/internal/opcount"
+	"ltnc/internal/xrand"
+)
+
+// Scheme selects the dissemination scheme under test.
+type Scheme int
+
+// The three schemes of the paper's evaluation.
+const (
+	LTNC Scheme = iota + 1
+	RLNC
+	WC
+)
+
+// String returns the scheme name as used in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case LTNC:
+		return "LTNC"
+	case RLNC:
+		return "RLNC"
+	case WC:
+		return "WC"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// FeedbackMode selects the feedback channel model.
+type FeedbackMode int
+
+const (
+	// FeedbackNone transfers every packet in full.
+	FeedbackNone FeedbackMode = iota
+	// FeedbackBinary lets the receiver abort a transfer after seeing the
+	// code vector in the header (the paper's default model).
+	FeedbackBinary
+	// FeedbackFull additionally ships the receiver's connected-components
+	// map to the sender, enabling the smart packet construction of
+	// Algorithm 4 (LTNC only; other schemes treat it as binary).
+	FeedbackFull
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Scheme is the dissemination scheme under test.
+	Scheme Scheme
+	// N is the number of receiving nodes (the source is extra).
+	N int
+	// K is the code length, M the payload size in bytes (0 = control
+	// plane only — convergence and overhead metrics are unaffected).
+	K, M int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Aggressiveness is the fraction of k received before a node starts
+	// recoding (the paper uses 1% for LTNC, 0 for RLNC/WC).
+	Aggressiveness float64
+	// SourceRate is the number of packets the source pushes per round.
+	SourceRate int
+	// Feedback selects the feedback channel model.
+	Feedback FeedbackMode
+	// MaxRounds caps the simulation; 0 means 40·K + 400.
+	MaxRounds int
+	// RecordCurve stores the per-round fraction of complete nodes.
+	RecordCurve bool
+
+	// BufferSize and Fanout configure WC (defaults: 64 and ⌈ln N⌉+1).
+	BufferSize int
+	Fanout     int
+	// Sparsity configures RLNC (default ln K + 20).
+	Sparsity int
+	// DisableRefinement and DisableRedundancyCheck are LTNC ablations.
+	DisableRefinement      bool
+	DisableRedundancyCheck bool
+
+	// UseGossipView swaps the idealized uniform sampler for the shuffled
+	// partial-view service with the given ViewSize (default 16).
+	UseGossipView bool
+	ViewSize      int
+
+	// VerifyContent makes Run cross-check, after completion, that every
+	// node's recovered payloads byte-match the source content (requires
+	// M > 0); a mismatch is returned as an error.
+	VerifyContent bool
+
+	// MaxInPerRound caps how many inbound transfers a node serves per
+	// gossip period (0 = unlimited). Unicast TCP transfers serialize at
+	// the receiver, so the paper-scale experiments use 1; senders that
+	// hit a busy receiver lose their turn (Result.Busy).
+	MaxInPerRound int
+
+	// LossRate drops each payload transfer with this probability after
+	// the header exchange (failure injection; bandwidth is still spent).
+	LossRate float64
+	// ChurnRate replaces, each round, this fraction of nodes (in
+	// expectation) with fresh empty ones (failure injection).
+	ChurnRate float64
+
+	// Counter receives aggregated cost accounting across all nodes.
+	Counter *opcount.Counter
+}
+
+func (c *Config) setDefaults() error {
+	switch c.Scheme {
+	case LTNC, RLNC, WC:
+	default:
+		return fmt.Errorf("sim: unknown scheme %d", int(c.Scheme))
+	}
+	if c.N < 2 {
+		return fmt.Errorf("sim: N = %d < 2", c.N)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("sim: K = %d < 1", c.K)
+	}
+	if c.M < 0 {
+		return fmt.Errorf("sim: M = %d < 0", c.M)
+	}
+	if c.Aggressiveness < 0 || c.Aggressiveness > 1 {
+		return fmt.Errorf("sim: aggressiveness = %v outside [0,1]", c.Aggressiveness)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("sim: loss rate = %v outside [0,1)", c.LossRate)
+	}
+	if c.ChurnRate < 0 || c.ChurnRate >= 1 {
+		return fmt.Errorf("sim: churn rate = %v outside [0,1)", c.ChurnRate)
+	}
+	if c.SourceRate == 0 {
+		c.SourceRate = 1
+	}
+	if c.SourceRate < 0 {
+		return fmt.Errorf("sim: source rate = %d < 0", c.SourceRate)
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 40*c.K + 400
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = 64
+	}
+	if c.Fanout == 0 {
+		c.Fanout = fanoutFor(c.N)
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 16
+	}
+	return nil
+}
+
+func fanoutFor(n int) int {
+	return int(math.Ceil(math.Log(float64(n)))) + 1
+}
+
+// Result carries the metrics of one run (or the mean over a Monte-Carlo
+// batch, see RunAvg).
+type Result struct {
+	Scheme Scheme
+	N, K   int
+
+	// Completed is true if every node finished within MaxRounds.
+	Completed bool
+	// Rounds is when the last node completed (or MaxRounds).
+	Rounds int
+	// AvgCompletion is the mean completion round over nodes — the
+	// paper's "average time to complete" (Figure 7b).
+	AvgCompletion float64
+	// Curve[i] is the fraction of complete nodes after round i+1
+	// (Figure 7a); nil unless Config.RecordCurve.
+	Curve []float64
+
+	// HeadersSent counts transfer attempts; Aborted those cut by the
+	// feedback channel; PayloadsSent = HeadersSent − Aborted − source
+	// silence; RedundantAccepted counts payloads that turned out
+	// non-innovative after full transfer; Lost counts injected losses;
+	// Busy counts attempts refused by a receiver at its fan-in cap.
+	HeadersSent       uint64
+	Aborted           uint64
+	PayloadsSent      uint64
+	RedundantAccepted uint64
+	Lost              uint64
+	Busy              uint64
+
+	// OverheadPct is the communication overhead of Figure 7c:
+	// 100 · (PayloadsSent − N·K) / (N·K).
+	OverheadPct float64
+
+	// Ops is the aggregated cost accounting (when a Counter was set).
+	Ops opcount.Snapshot
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var sampler gossip.Sampler
+	var err error
+	// Sampler space includes the source as id N.
+	if cfg.UseGossipView {
+		sampler, err = gossip.NewService(cfg.N+1, cfg.ViewSize, xrand.NewChild(cfg.Seed, 1))
+	} else {
+		sampler, err = gossip.NewUniform(cfg.N+1, xrand.NewChild(cfg.Seed, 1))
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	source, err := newPeer(cfg, -1)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := source.seed(syntheticContent(cfg)); err != nil {
+		return Result{}, err
+	}
+	nodes := make([]peer, cfg.N)
+	for i := range nodes {
+		if nodes[i], err = newPeer(cfg, i); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Scheme: cfg.Scheme, N: cfg.N, K: cfg.K}
+	completionRound := make([]int, cfg.N)
+	for i := range completionRound {
+		completionRound[i] = -1
+	}
+	threshold := int(math.Ceil(cfg.Aggressiveness * float64(cfg.K)))
+	completed := 0
+	var inbound []int
+	if cfg.MaxInPerRound > 0 {
+		inbound = make([]int, cfg.N+1)
+	}
+
+	deliverTo := func(senderID int, sender peer, round int) {
+		target := sampler.Sample(senderID)
+		if target == senderID {
+			return
+		}
+		if inbound != nil && inbound[target] >= cfg.MaxInPerRound {
+			res.Busy++ // receiver's payload capacity spent this period
+			return
+		}
+		var rcv peer
+		if target == cfg.N {
+			rcv = source // pushes to the source are legal but useless
+		} else {
+			rcv = nodes[target]
+		}
+		// Only full payload transfers consume the receiver's capacity;
+		// header-only aborts are quick and leave the slot available.
+		if res.transfer(cfg, rng, sender, rcv) && inbound != nil {
+			inbound[target]++
+		}
+		if target != cfg.N && rcv.complete() && completionRound[target] < 0 {
+			completionRound[target] = round
+			completed++
+		}
+	}
+
+	round := 0
+	for ; round < cfg.MaxRounds && completed < cfg.N; round++ {
+		// Source injection.
+		for i := 0; i < cfg.SourceRate; i++ {
+			deliverTo(cfg.N, source, round)
+		}
+		// One push per active node.
+		for i, n := range nodes {
+			if n.received() < threshold {
+				continue
+			}
+			deliverTo(i, n, round)
+		}
+		// Churn: replace nodes with fresh ones.
+		if cfg.ChurnRate > 0 {
+			expected := cfg.ChurnRate * float64(cfg.N)
+			kills := int(expected)
+			if rng.Float64() < expected-float64(kills) {
+				kills++
+			}
+			for j := 0; j < kills; j++ {
+				victim := rng.Intn(cfg.N)
+				fresh, err := newPeer(cfg, victim)
+				if err != nil {
+					return Result{}, err
+				}
+				if nodes[victim].complete() {
+					completed--
+				}
+				completionRound[victim] = -1
+				nodes[victim] = fresh
+			}
+		}
+		sampler.Tick()
+		if inbound != nil {
+			for i := range inbound {
+				inbound[i] = 0
+			}
+		}
+		if cfg.RecordCurve {
+			res.Curve = append(res.Curve, float64(completed)/float64(cfg.N))
+		}
+	}
+
+	res.Completed = completed == cfg.N
+	res.Rounds = round
+	if cfg.VerifyContent && res.Completed && cfg.M > 0 {
+		want := syntheticContent(cfg)
+		for i, n := range nodes {
+			got, err := n.data()
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: node %d complete but undecodable: %w", i, err)
+			}
+			for x := range want {
+				if !bytesEqual(got[x], want[x]) {
+					return Result{}, fmt.Errorf("sim: node %d recovered corrupt native %d", i, x)
+				}
+			}
+		}
+	}
+	var sum float64
+	for _, r := range completionRound {
+		if r < 0 {
+			r = cfg.MaxRounds
+		}
+		sum += float64(r + 1)
+	}
+	res.AvgCompletion = sum / float64(cfg.N)
+	total := float64(cfg.N) * float64(cfg.K)
+	res.OverheadPct = 100 * (float64(res.PayloadsSent) - total) / total
+	res.Ops = cfg.Counter.Snapshot()
+	return res, nil
+}
+
+// transfer performs one push from sender to receiver, modelling the
+// code-vector-first wire format: the header always travels; the payload
+// only if the feedback check passes and the link does not drop it. It
+// reports whether a payload crossed the wire.
+func (res *Result) transfer(cfg Config, rng *rand.Rand, sender, receiver peer) bool {
+	p, ok := sender.emit(receiver, cfg.Feedback)
+	if !ok {
+		return false
+	}
+	res.HeadersSent++
+	if cfg.Feedback != FeedbackNone && receiver.headerRedundant(p) {
+		res.Aborted++
+		return false
+	}
+	res.PayloadsSent++
+	if cfg.LossRate > 0 && rng.Float64() < cfg.LossRate {
+		res.Lost++
+		return true
+	}
+	if innovative := receiver.deliver(p); !innovative {
+		res.RedundantAccepted++
+	}
+	return true
+}
+
+// syntheticContent builds the k native payloads the source is seeded
+// with: deterministic pseudo-random bytes when M > 0, nils otherwise.
+func syntheticContent(cfg Config) [][]byte {
+	natives := make([][]byte, cfg.K)
+	if cfg.M == 0 {
+		return natives
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ee_d))
+	for i := range natives {
+		natives[i] = make([]byte, cfg.M)
+		rng.Read(natives[i])
+	}
+	return natives
+}
+
+// RunAvg runs the configuration `runs` times with derived seeds (the
+// paper averages 25 Monte-Carlo runs) and returns the element-wise mean
+// of the numeric metrics; curves are averaged with completed runs padded
+// at 1.0.
+func RunAvg(cfg Config, runs int) (Result, error) {
+	if runs < 1 {
+		return Result{}, fmt.Errorf("sim: runs = %d < 1", runs)
+	}
+	var agg Result
+	var curves [][]float64
+	for r := 0; r < runs; r++ {
+		c := cfg
+		c.Seed = xrand.DeriveSeed(cfg.Seed, r)
+		res, err := Run(c)
+		if err != nil {
+			return Result{}, err
+		}
+		if r == 0 {
+			agg = res
+			agg.Curve = nil
+		} else {
+			agg.Rounds += res.Rounds
+			agg.AvgCompletion += res.AvgCompletion
+			agg.OverheadPct += res.OverheadPct
+			agg.HeadersSent += res.HeadersSent
+			agg.Aborted += res.Aborted
+			agg.PayloadsSent += res.PayloadsSent
+			agg.RedundantAccepted += res.RedundantAccepted
+			agg.Lost += res.Lost
+			agg.Busy += res.Busy
+			agg.Completed = agg.Completed && res.Completed
+		}
+		if cfg.RecordCurve {
+			curves = append(curves, res.Curve)
+		}
+	}
+	f := float64(runs)
+	agg.Rounds = int(math.Round(float64(agg.Rounds) / f))
+	agg.AvgCompletion /= f
+	agg.OverheadPct /= f
+	agg.HeadersSent = uint64(float64(agg.HeadersSent) / f)
+	agg.Aborted = uint64(float64(agg.Aborted) / f)
+	agg.PayloadsSent = uint64(float64(agg.PayloadsSent) / f)
+	agg.RedundantAccepted = uint64(float64(agg.RedundantAccepted) / f)
+	agg.Lost = uint64(float64(agg.Lost) / f)
+	agg.Busy = uint64(float64(agg.Busy) / f)
+	if cfg.RecordCurve {
+		agg.Curve = averageCurves(curves)
+	}
+	return agg, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func averageCurves(curves [][]float64) []float64 {
+	maxLen := 0
+	for _, c := range curves {
+		maxLen = max(maxLen, len(c))
+	}
+	out := make([]float64, maxLen)
+	for i := range out {
+		for _, c := range curves {
+			switch {
+			case i < len(c):
+				out[i] += c[i]
+			case len(c) > 0:
+				out[i] += c[len(c)-1]
+			}
+		}
+		out[i] /= float64(len(curves))
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+// Package soliton implements the degree distributions of LT codes: the
+// Ideal Soliton and the Robust Soliton distributions introduced by Luby
+// (FOCS 2002), which LTNC uses to pick the target degree of every fresh
+// encoded packet (Figure 2 of the paper).
+package soliton
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Default Robust Soliton parameters. The paper does not fix c and δ; these
+// values give the canonical shape of Figure 2 (a heavy mass on degrees 1-2,
+// a spike at k/R, mean about ln k) and are the ones used throughout the
+// evaluation harness.
+const (
+	DefaultC     = 0.03
+	DefaultDelta = 0.5
+)
+
+// Dist is a discrete distribution over packet degrees 1..K.
+type Dist interface {
+	// Sample draws a degree from the distribution.
+	Sample(rng *rand.Rand) int
+	// PMF returns the probability of degree d (0 outside 1..K).
+	PMF(d int) float64
+	// K returns the support upper bound (the code length).
+	K() int
+}
+
+// Soliton is a tabulated degree distribution with O(log k) sampling via
+// binary search in the CDF.
+type Soliton struct {
+	k     int
+	pmf   []float64 // pmf[d-1] = P(degree = d)
+	cdf   []float64 // cdf[d-1] = P(degree <= d)
+	mean  float64
+	spike int // k/R for Robust Soliton, 0 for Ideal
+}
+
+var _ Dist = (*Soliton)(nil)
+
+// NewIdeal returns the Ideal Soliton distribution for code length k:
+// ρ(1) = 1/k, ρ(d) = 1/(d(d-1)) for 2 ≤ d ≤ k.
+func NewIdeal(k int) (*Soliton, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("soliton: code length %d < 1", k)
+	}
+	pmf := make([]float64, k)
+	pmf[0] = 1 / float64(k)
+	for d := 2; d <= k; d++ {
+		pmf[d-1] = 1 / (float64(d) * float64(d-1))
+	}
+	return fromPMF(k, pmf, 0), nil
+}
+
+// NewRobust returns the Robust Soliton distribution for code length k with
+// parameters c and δ: μ(d) = (ρ(d)+τ(d))/β where ρ is the Ideal Soliton,
+// R = c·ln(k/δ)·√k, τ(d) = R/(dk) for d < k/R, τ(k/R) = R·ln(R/δ)/k and β
+// is the normalization constant.
+func NewRobust(k int, c, delta float64) (*Soliton, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("soliton: code length %d < 1", k)
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("soliton: c = %v must be > 0", c)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("soliton: delta = %v must be in (0,1)", delta)
+	}
+	ideal, err := NewIdeal(k)
+	if err != nil {
+		return nil, err
+	}
+	r := c * math.Log(float64(k)/delta) * math.Sqrt(float64(k))
+	spike := int(math.Round(float64(k) / r))
+	if spike < 1 {
+		spike = 1
+	}
+	if spike > k {
+		spike = k
+	}
+	pmf := make([]float64, k)
+	copy(pmf, ideal.pmf)
+	for d := 1; d < spike; d++ {
+		pmf[d-1] += r / (float64(d) * float64(k))
+	}
+	pmf[spike-1] += r * math.Log(r/delta) / float64(k)
+	return fromPMF(k, pmf, spike), nil
+}
+
+// NewDefaultRobust returns NewRobust(k, DefaultC, DefaultDelta).
+func NewDefaultRobust(k int) (*Soliton, error) {
+	return NewRobust(k, DefaultC, DefaultDelta)
+}
+
+func fromPMF(k int, raw []float64, spike int) *Soliton {
+	total := 0.0
+	for _, p := range raw {
+		total += p
+	}
+	s := &Soliton{
+		k:     k,
+		pmf:   make([]float64, k),
+		cdf:   make([]float64, k),
+		spike: spike,
+	}
+	acc := 0.0
+	for i, p := range raw {
+		p /= total
+		s.pmf[i] = p
+		acc += p
+		s.cdf[i] = acc
+		s.mean += p * float64(i+1)
+	}
+	s.cdf[k-1] = 1 // guard against rounding drift
+	return s
+}
+
+// K returns the code length.
+func (s *Soliton) K() int { return s.k }
+
+// PMF returns P(degree = d).
+func (s *Soliton) PMF(d int) float64 {
+	if d < 1 || d > s.k {
+		return 0
+	}
+	return s.pmf[d-1]
+}
+
+// CDF returns P(degree ≤ d).
+func (s *Soliton) CDF(d int) float64 {
+	if d < 1 {
+		return 0
+	}
+	if d > s.k {
+		return 1
+	}
+	return s.cdf[d-1]
+}
+
+// Mean returns the expected degree (≈ ln k for Robust Soliton).
+func (s *Soliton) Mean() float64 { return s.mean }
+
+// Spike returns the position k/R of the Robust Soliton spike, or 0 for the
+// Ideal Soliton.
+func (s *Soliton) Spike() int { return s.spike }
+
+// Sample draws a degree in 1..K.
+func (s *Soliton) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(s.cdf, u) + 1
+}
+
+// Dirac is the degenerate distribution that always returns a fixed degree.
+// It is used in tests and as the target shape for the native-packet degree
+// distribution ("the distribution of degrees of the native packets must
+// have a minimum variance, ideally a Dirac").
+type Dirac struct {
+	Degree int
+	Max    int
+}
+
+var _ Dist = Dirac{}
+
+// Sample returns the fixed degree.
+func (d Dirac) Sample(*rand.Rand) int { return d.Degree }
+
+// PMF is 1 at the fixed degree, 0 elsewhere.
+func (d Dirac) PMF(x int) float64 {
+	if x == d.Degree {
+		return 1
+	}
+	return 0
+}
+
+// K returns the support upper bound.
+func (d Dirac) K() int { return d.Max }
+
+// Histogram tallies empirical degree frequencies, for comparing the
+// degrees a coder actually emits against the target distribution.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over degrees 1..k.
+func NewHistogram(k int) *Histogram {
+	return &Histogram{counts: make([]uint64, k)}
+}
+
+// Observe records one occurrence of degree d; out-of-range degrees are
+// clamped into 1..k so that malformed inputs remain visible at the edges.
+func (h *Histogram) Observe(d int) {
+	if d < 1 {
+		d = 1
+	}
+	if d > len(h.counts) {
+		d = len(h.counts)
+	}
+	h.counts[d-1]++
+	h.total++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Freq returns the empirical frequency of degree d.
+func (h *Histogram) Freq(d int) float64 {
+	if h.total == 0 || d < 1 || d > len(h.counts) {
+		return 0
+	}
+	return float64(h.counts[d-1]) / float64(h.total)
+}
+
+// Mean returns the empirical mean degree.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, c := range h.counts {
+		sum += float64(i+1) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// TVDistance returns the total-variation distance between the empirical
+// distribution and d, a number in [0,1]; 0 means a perfect match.
+func (h *Histogram) TVDistance(d Dist) float64 {
+	if h.total == 0 {
+		return 1
+	}
+	sum := 0.0
+	for i := range h.counts {
+		sum += math.Abs(h.Freq(i+1) - d.PMF(i+1))
+	}
+	return sum / 2
+}

@@ -1,0 +1,269 @@
+package soliton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdealPMFValues(t *testing.T) {
+	const k = 100
+	s, err := NewIdeal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal Soliton sums to exactly 1 before normalization, so PMF values
+	// match the closed form.
+	if got, want := s.PMF(1), 1.0/k; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(1) = %v, want %v", got, want)
+	}
+	for _, d := range []int{2, 3, 50, 100} {
+		want := 1 / (float64(d) * float64(d-1))
+		if got := s.PMF(d); math.Abs(got-want) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestPMFNormalized(t *testing.T) {
+	for _, k := range []int{1, 2, 16, 512, 2048} {
+		for _, mk := range []string{"ideal", "robust"} {
+			s := mustDist(t, mk, k)
+			sum := 0.0
+			for d := 1; d <= k; d++ {
+				sum += s.PMF(d)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s k=%d: PMF sums to %v", mk, k, sum)
+			}
+			if got := s.CDF(k); got != 1 {
+				t.Errorf("%s k=%d: CDF(k) = %v", mk, k, got)
+			}
+		}
+	}
+}
+
+func TestPMFOutOfRange(t *testing.T) {
+	s := mustDist(t, "robust", 64)
+	if s.PMF(0) != 0 || s.PMF(-1) != 0 || s.PMF(65) != 0 {
+		t.Error("PMF outside 1..k must be 0")
+	}
+	if s.CDF(0) != 0 || s.CDF(100) != 1 {
+		t.Error("CDF clamping wrong")
+	}
+}
+
+func TestRobustSolitonShape(t *testing.T) {
+	// The properties the paper relies on (Section II): a large mass on
+	// degrees 1-2 to bootstrap belief propagation, an average degree of
+	// about log k, and a spike at k/R.
+	const k = 2048
+	s, err := NewDefaultRobust(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mass12 := s.CDF(2); mass12 < 0.45 {
+		t.Errorf("mass on degrees 1-2 = %v, want >= 0.45", mass12)
+	}
+	logK := math.Log(k)
+	if s.Mean() < 0.5*logK || s.Mean() > 3*logK {
+		t.Errorf("mean degree %v not within a small factor of ln k = %v", s.Mean(), logK)
+	}
+	spike := s.Spike()
+	if spike <= 2 || spike >= k {
+		t.Fatalf("spike at %d, want inside (2, k)", spike)
+	}
+	// The spike must dominate its neighbourhood.
+	if s.PMF(spike) < 5*s.PMF(spike-1) {
+		t.Errorf("PMF(spike)=%v not >> PMF(spike-1)=%v", s.PMF(spike), s.PMF(spike-1))
+	}
+	// Robust Soliton boosts degree 1 far above the Ideal Soliton's 1/k.
+	if s.PMF(1) < 2/float64(k) {
+		t.Errorf("PMF(1) = %v, want >> 1/k", s.PMF(1))
+	}
+	// No mass beyond the spike except the Ideal Soliton tail.
+	ideal, _ := NewIdeal(k)
+	for _, d := range []int{spike + 1, spike + 10, k} {
+		ratio := s.PMF(d) / ideal.PMF(d)
+		if ratio > 1.01 {
+			t.Errorf("PMF(%d) = %v exceeds normalized ideal tail", d, s.PMF(d))
+		}
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func() error
+	}{
+		{"ideal k=0", func() error { _, err := NewIdeal(0); return err }},
+		{"robust k=0", func() error { _, err := NewRobust(0, 0.1, 0.5); return err }},
+		{"robust c=0", func() error { _, err := NewRobust(16, 0, 0.5); return err }},
+		{"robust c<0", func() error { _, err := NewRobust(16, -1, 0.5); return err }},
+		{"robust delta=0", func() error { _, err := NewRobust(16, 0.1, 0); return err }},
+		{"robust delta=1", func() error { _, err := NewRobust(16, 0.1, 1); return err }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.f() == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSampleMatchesPMF(t *testing.T) {
+	const (
+		k     = 256
+		draws = 200000
+	)
+	s := mustDist(t, "robust", k)
+	rng := rand.New(rand.NewSource(11))
+	h := NewHistogram(k)
+	for i := 0; i < draws; i++ {
+		d := s.Sample(rng)
+		if d < 1 || d > k {
+			t.Fatalf("sample %d out of range", d)
+		}
+		h.Observe(d)
+	}
+	if tv := h.TVDistance(s); tv > 0.02 {
+		t.Errorf("empirical TV distance from PMF = %v, want < 0.02", tv)
+	}
+	if diff := math.Abs(h.Mean() - s.Mean()); diff > 0.2 {
+		t.Errorf("empirical mean %v vs theoretical %v", h.Mean(), s.Mean())
+	}
+}
+
+func TestIdealSamplingMatchesPMF(t *testing.T) {
+	const (
+		k     = 64
+		draws = 100000
+	)
+	s, err := NewIdeal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	h := NewHistogram(k)
+	for i := 0; i < draws; i++ {
+		h.Observe(s.Sample(rng))
+	}
+	if tv := h.TVDistance(s); tv > 0.02 {
+		t.Errorf("ideal sampler TV distance %v", tv)
+	}
+	// Ideal Soliton mean is the harmonic number H_k ≈ ln k + γ.
+	wantMean := 0.0
+	for d := 1; d <= k; d++ {
+		wantMean += s.PMF(d) * float64(d)
+	}
+	if math.Abs(h.Mean()-wantMean) > 0.15 {
+		t.Errorf("ideal empirical mean %v vs %v", h.Mean(), wantMean)
+	}
+}
+
+func TestSampleK1(t *testing.T) {
+	s := mustDist(t, "robust", 1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d := s.Sample(rng); d != 1 {
+			t.Fatalf("k=1 sample = %d", d)
+		}
+	}
+}
+
+func TestDirac(t *testing.T) {
+	d := Dirac{Degree: 5, Max: 10}
+	if d.Sample(nil) != 5 {
+		t.Error("Dirac sample != 5")
+	}
+	if d.PMF(5) != 1 || d.PMF(4) != 0 {
+		t.Error("Dirac PMF wrong")
+	}
+	if d.K() != 10 {
+		t.Error("Dirac K wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Mean() != 0 {
+		t.Error("empty histogram mean != 0")
+	}
+	if h.TVDistance(Dirac{Degree: 1, Max: 4}) != 1 {
+		t.Error("empty histogram TV != 1")
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(2)
+	}
+	h.Observe(4)
+	if h.N() != 4 {
+		t.Errorf("N = %d", h.N())
+	}
+	if got := h.Freq(2); got != 0.75 {
+		t.Errorf("Freq(2) = %v", got)
+	}
+	if got := h.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	// Clamping.
+	h.Observe(0)
+	h.Observe(99)
+	if h.Freq(1) == 0 || h.Freq(4) == 0 {
+		t.Error("clamped observations lost")
+	}
+	if h.Freq(0) != 0 || h.Freq(5) != 0 {
+		t.Error("Freq outside range must be 0")
+	}
+}
+
+func TestTVDistanceSelf(t *testing.T) {
+	// A histogram drawn exactly proportional to a Dirac has TV 0.
+	h := NewHistogram(8)
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	if tv := h.TVDistance(Dirac{Degree: 3, Max: 8}); tv != 0 {
+		t.Errorf("TV = %v, want 0", tv)
+	}
+}
+
+func TestSamplingDeterministicWithSeed(t *testing.T) {
+	s := mustDist(t, "robust", 128)
+	a := rand.New(rand.NewSource(5))
+	b := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if x, y := s.Sample(a), s.Sample(b); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func mustDist(t *testing.T, kind string, k int) *Soliton {
+	t.Helper()
+	var (
+		s   *Soliton
+		err error
+	)
+	if kind == "ideal" {
+		s, err = NewIdeal(k)
+	} else {
+		s, err = NewDefaultRobust(k)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkSampleRobust2048(b *testing.B) {
+	s, err := NewDefaultRobust(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng)
+	}
+}

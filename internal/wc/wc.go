@@ -1,0 +1,253 @@
+// Package wc implements the Without-Coding baseline of the paper's
+// evaluation: plain epidemic dissemination of native packets.
+//
+// "Nodes buffer the innovative packets they receive up to a fixed number
+// b. If the buffer is full, the oldest packet is discarded. Each received
+// innovative packet is forwarded to f nodes (unless the packet is removed
+// from the buffer). At each gossip period one buffered packet (typically
+// the one that has been sent the least number of times) is sent to one
+// random node." f must exceed ⌈ln N⌉ for full coverage w.h.p. [Eugster et
+// al. 2004].
+package wc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ltnc/internal/opcount"
+	"ltnc/internal/packet"
+)
+
+// MinFanout returns the epidemic forwarding threshold ⌈ln n⌉ for a system
+// of n nodes.
+func MinFanout(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(n))))
+}
+
+// Options configures a WC node.
+type Options struct {
+	// K is the number of native packets; M their size (0 = control only).
+	K, M int
+	// BufferSize is b, the forwarding buffer capacity; default 32.
+	BufferSize int
+	// Fanout is f, how many times each buffered packet is forwarded;
+	// use MinFanout(N) (or more). Default 8.
+	Fanout int
+	// Rng breaks ties among least-sent packets; defaults deterministic.
+	Rng *rand.Rand
+	// Counter receives cost accounting; nil disables it.
+	Counter *opcount.Counter
+}
+
+type entry struct {
+	idx   int
+	sends int
+	seq   uint64 // arrival order, for oldest-first eviction
+}
+
+// Node is a WC participant. Not safe for concurrent use.
+type Node struct {
+	k, m     int
+	bufSize  int
+	fanout   int
+	have     []bool
+	data     [][]byte
+	count    int
+	buffer   []entry
+	seq      uint64
+	rng      *rand.Rand
+	counter  *opcount.Counter
+	received int
+	dropped  int
+}
+
+// NewNode returns a WC node configured by opts.
+func NewNode(opts Options) (*Node, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("wc: K = %d < 1", opts.K)
+	}
+	if opts.M < 0 {
+		return nil, fmt.Errorf("wc: M = %d < 0", opts.M)
+	}
+	if opts.BufferSize == 0 {
+		opts.BufferSize = 32
+	}
+	if opts.BufferSize < 1 {
+		return nil, fmt.Errorf("wc: buffer size = %d < 1", opts.BufferSize)
+	}
+	if opts.Fanout == 0 {
+		opts.Fanout = 8
+	}
+	if opts.Fanout < 1 {
+		return nil, fmt.Errorf("wc: fanout = %d < 1", opts.Fanout)
+	}
+	if opts.Rng == nil {
+		opts.Rng = rand.New(rand.NewSource(1))
+	}
+	return &Node{
+		k:       opts.K,
+		m:       opts.M,
+		bufSize: opts.BufferSize,
+		fanout:  opts.Fanout,
+		have:    make([]bool, opts.K),
+		data:    make([][]byte, opts.K),
+		rng:     opts.Rng,
+		counter: opts.Counter,
+	}, nil
+}
+
+// K returns the number of native packets.
+func (n *Node) K() int { return n.k }
+
+// Complete reports whether all natives were received.
+func (n *Node) Complete() bool { return n.count == n.k }
+
+// DecodedCount returns the number of natives held.
+func (n *Node) DecodedCount() int { return n.count }
+
+// Received returns the number of packets delivered to the node.
+func (n *Node) Received() int { return n.received }
+
+// RedundantDropped returns the number of duplicate deliveries.
+func (n *Node) RedundantDropped() int { return n.dropped }
+
+// Has reports whether native idx was received — "detecting a
+// non-innovative packet boils down to checking if the packet has already
+// been received", which is also the header check for feedback aborts.
+func (n *Node) Has(idx int) bool {
+	n.counter.Add(opcount.DecodeControl, 1)
+	return idx >= 0 && idx < n.k && n.have[idx]
+}
+
+// Receive delivers native packet idx; it reports whether it was new.
+func (n *Node) Receive(idx int, payload []byte) bool {
+	if idx < 0 || idx >= n.k {
+		return false
+	}
+	n.received++
+	n.counter.Event(opcount.DecodeControl)
+	n.counter.Add(opcount.DecodeControl, 1)
+	if n.have[idx] {
+		n.dropped++
+		return false
+	}
+	n.have[idx] = true
+	if n.m > 0 && payload != nil {
+		n.data[idx] = append([]byte(nil), payload...)
+		n.counter.Add(opcount.DecodeData, len(payload))
+	}
+	n.count++
+	n.bufferAdd(idx)
+	return true
+}
+
+// ReceivePacket adapts Receive to the shared packet type; the packet must
+// have degree 1. It reports whether the native was new.
+func (n *Node) ReceivePacket(p *packet.Packet) bool {
+	idx, ok := p.NativeIndex()
+	if !ok {
+		return false
+	}
+	return n.Receive(idx, p.Payload)
+}
+
+// Seed bootstraps the node with the full content and an unbounded buffer
+// and fanout, turning it into a source that serves natives round-robin.
+func (n *Node) Seed(natives [][]byte) error {
+	if len(natives) != n.k {
+		return fmt.Errorf("wc: seed with %d natives, want %d", len(natives), n.k)
+	}
+	n.bufSize = n.k
+	n.fanout = math.MaxInt
+	for i, data := range natives {
+		if n.m > 0 && len(data) != n.m {
+			return fmt.Errorf("wc: seed native %d has %d bytes, want %d", i, len(data), n.m)
+		}
+		n.Receive(i, data)
+	}
+	n.received -= n.k // seeding is not network traffic
+	return nil
+}
+
+// Next selects the packet to push this gossip period: the buffered native
+// sent the least number of times, with random tie-breaking. "At each
+// gossip period one buffered packet ... is sent to one random node" — the
+// node pushes unconditionally while its buffer is non-empty; entries whose
+// forwarding budget f is spent stay available as keep-alives (preferring
+// under-forwarded ones) so the epidemic tail still fills. ok is false only
+// when the buffer is empty.
+func (n *Node) Next() (p *packet.Packet, ok bool) {
+	best := n.leastSent(true /* underBudget */)
+	if best < 0 {
+		best = n.leastSent(false)
+	}
+	if best < 0 {
+		return nil, false
+	}
+	e := &n.buffer[best]
+	e.sends++
+	return packet.Native(n.k, e.idx, n.data[e.idx]), true
+}
+
+// leastSent returns the index of the least-sent buffer entry (uniform
+// among ties), restricted to entries with spare forwarding budget when
+// underBudget is true. It returns -1 when no entry qualifies.
+func (n *Node) leastSent(underBudget bool) int {
+	best := -1
+	ties := 0
+	for i := range n.buffer {
+		e := &n.buffer[i]
+		if underBudget && e.sends >= n.fanout {
+			continue
+		}
+		n.counter.Add(opcount.DecodeControl, 1)
+		switch {
+		case best < 0 || e.sends < n.buffer[best].sends:
+			best = i
+			ties = 1
+		case e.sends == n.buffer[best].sends:
+			// Reservoir-style uniform choice among ties.
+			ties++
+			if n.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+func (n *Node) bufferAdd(idx int) {
+	if len(n.buffer) == n.bufSize {
+		// Evict the oldest entry.
+		oldest := 0
+		for i := 1; i < len(n.buffer); i++ {
+			if n.buffer[i].seq < n.buffer[oldest].seq {
+				oldest = i
+			}
+		}
+		n.buffer[oldest] = n.buffer[len(n.buffer)-1]
+		n.buffer = n.buffer[:len(n.buffer)-1]
+	}
+	n.buffer = append(n.buffer, entry{idx: idx, seq: n.seq})
+	n.seq++
+}
+
+// NativeData returns the payload of native idx if held.
+func (n *Node) NativeData(idx int) []byte {
+	if idx < 0 || idx >= n.k || !n.have[idx] {
+		return nil
+	}
+	return n.data[idx]
+}
+
+// Data returns all native payloads once complete.
+func (n *Node) Data() ([][]byte, error) {
+	if !n.Complete() {
+		return nil, fmt.Errorf("wc: holds %d of %d natives", n.count, n.k)
+	}
+	return n.data, nil
+}

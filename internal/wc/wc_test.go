@@ -1,0 +1,284 @@
+package wc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/packet"
+)
+
+func TestMinFanout(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {1000, 7}, {10000, 10},
+	}
+	for _, tt := range tests {
+		if got := MinFanout(tt.n); got != tt.want {
+			t.Errorf("MinFanout(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := NewNode(Options{K: 4, M: -1}); err == nil {
+		t.Error("M<0 accepted")
+	}
+	if _, err := NewNode(Options{K: 4, BufferSize: -1}); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	if _, err := NewNode(Options{K: 4, Fanout: -1}); err == nil {
+		t.Error("negative fanout accepted")
+	}
+}
+
+func TestReceiveAndDuplicates(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 2})
+	if !n.Receive(1, []byte{5, 6}) {
+		t.Fatal("first receive not new")
+	}
+	if n.Receive(1, []byte{5, 6}) {
+		t.Fatal("duplicate reported new")
+	}
+	if !n.Has(1) || n.Has(0) || n.Has(-1) || n.Has(99) {
+		t.Error("Has wrong")
+	}
+	if n.DecodedCount() != 1 || n.Received() != 2 || n.RedundantDropped() != 1 {
+		t.Errorf("counters: %d %d %d", n.DecodedCount(), n.Received(), n.RedundantDropped())
+	}
+	if got := n.NativeData(1); !bytes.Equal(got, []byte{5, 6}) {
+		t.Errorf("NativeData = %v", got)
+	}
+	if n.Receive(-1, nil) || n.Receive(4, nil) {
+		t.Error("out-of-range receive accepted")
+	}
+}
+
+func TestReceivePacket(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 1})
+	if !n.ReceivePacket(packet.Native(4, 2, []byte{7})) {
+		t.Error("native packet rejected")
+	}
+	multi := packet.New(4, 1)
+	multi.Vec.Set(0)
+	multi.Vec.Set(1)
+	if n.ReceivePacket(multi) {
+		t.Error("degree-2 packet accepted by WC node")
+	}
+}
+
+func TestNextBudgetThenKeepAlive(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 0, Fanout: 2, Rng: rand.New(rand.NewSource(1))})
+	if _, ok := n.Next(); ok {
+		t.Fatal("Next succeeded on empty buffer")
+	}
+	n.Receive(0, nil)
+	n.Receive(1, nil)
+	counts := make(map[int]int)
+	for i := 0; i < 4; i++ {
+		p, ok := n.Next()
+		if !ok {
+			t.Fatal("Next failed within budget")
+		}
+		idx, _ := p.NativeIndex()
+		counts[idx]++
+	}
+	// Within budget, each buffered packet is sent exactly fanout times.
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("send counts = %v, want 2 each", counts)
+	}
+	// Budget exhausted: the node keeps pushing (keep-alive), still
+	// preferring the least-sent entry.
+	p, ok := n.Next()
+	if !ok {
+		t.Fatal("Next went silent after fanout exhaustion")
+	}
+	idx, _ := p.NativeIndex()
+	counts[idx]++
+	if counts[0]+counts[1] != 5 {
+		t.Errorf("keep-alive counts = %v", counts)
+	}
+	// A new packet takes priority again (lowest send count).
+	n.Receive(2, nil)
+	for i := 0; i < 2; i++ {
+		p, ok = n.Next()
+		if !ok {
+			t.Fatal("Next failed after new packet")
+		}
+		if idx, _ := p.NativeIndex(); idx != 2 {
+			t.Fatalf("keep-alive preferred over under-budget packet: got %d", idx)
+		}
+	}
+}
+
+func TestLeastSentPriority(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 0, Fanout: 100, Rng: rand.New(rand.NewSource(2))})
+	n.Receive(0, nil)
+	// Send 0 three times, then receive 1: the next sends must prefer 1
+	// until counts equalize.
+	for i := 0; i < 3; i++ {
+		n.Next()
+	}
+	n.Receive(1, nil)
+	for i := 0; i < 3; i++ {
+		p, _ := n.Next()
+		if idx, _ := p.NativeIndex(); idx != 1 {
+			t.Fatalf("send %d picked %d, want least-sent 1", i, idx)
+		}
+	}
+}
+
+func TestBufferEvictionOldestFirst(t *testing.T) {
+	n, _ := NewNode(Options{K: 8, M: 0, BufferSize: 2, Fanout: 10, Rng: rand.New(rand.NewSource(3))})
+	n.Receive(0, nil)
+	n.Receive(1, nil)
+	n.Receive(2, nil) // evicts 0
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		p, ok := n.Next()
+		if !ok {
+			break
+		}
+		idx, _ := p.NativeIndex()
+		seen[idx] = true
+	}
+	if seen[0] {
+		t.Error("evicted packet 0 still sent")
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("buffered packets not sent: %v", seen)
+	}
+	// Eviction does not lose the data itself.
+	if !n.Has(0) {
+		t.Error("evicted packet no longer held")
+	}
+}
+
+func TestSeedTurnsNodeIntoSource(t *testing.T) {
+	const k = 16
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = []byte{byte(i)}
+	}
+	src, _ := NewNode(Options{K: k, M: 1, Rng: rand.New(rand.NewSource(4))})
+	if err := src.Seed(natives); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Complete() {
+		t.Fatal("seeded source incomplete")
+	}
+	if src.Received() != 0 {
+		t.Errorf("seeding counted as received traffic: %d", src.Received())
+	}
+	// The source must serve every native, round-robin style.
+	counts := make(map[int]int)
+	for i := 0; i < 3*k; i++ {
+		p, ok := src.Next()
+		if !ok {
+			t.Fatal("source exhausted")
+		}
+		idx, _ := p.NativeIndex()
+		if !bytes.Equal(p.Payload, natives[idx]) {
+			t.Fatal("payload mismatch")
+		}
+		counts[idx]++
+	}
+	for i := 0; i < k; i++ {
+		if counts[i] != 3 {
+			t.Errorf("native %d served %d times, want 3 (round-robin)", i, counts[i])
+		}
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	n, _ := NewNode(Options{K: 4, M: 1})
+	if err := n.Seed(make([][]byte, 3)); err == nil {
+		t.Error("short seed accepted")
+	}
+	if err := n.Seed([][]byte{{1}, {1, 2}, {1}, {1}}); err == nil {
+		t.Error("ragged seed accepted")
+	}
+}
+
+func TestFullDisseminationSmallNetwork(t *testing.T) {
+	// 1 source + 15 nodes, uniform random push: everyone must complete.
+	const (
+		nNodes = 16
+		k      = 24
+	)
+	rng := rand.New(rand.NewSource(5))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = []byte{byte(i), byte(i * 3)}
+	}
+	fan := MinFanout(nNodes) + 2
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		var err error
+		nodes[i], err = NewNode(Options{
+			K: k, M: 2, BufferSize: k, Fanout: fan,
+			Rng: rand.New(rand.NewSource(int64(10 + i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nodes[0].Seed(natives); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4000; round++ {
+		done := true
+		for i, n := range nodes {
+			if p, ok := n.Next(); ok {
+				target := rng.Intn(nNodes - 1)
+				if target >= i {
+					target++
+				}
+				nodes[target].ReceivePacket(p)
+			}
+			if !n.Complete() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for i, n := range nodes {
+		if !n.Complete() {
+			t.Fatalf("node %d holds %d/%d natives", i, n.DecodedCount(), k)
+		}
+		data, err := n.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range natives {
+			if !bytes.Equal(data[j], natives[j]) {
+				t.Fatalf("node %d native %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDataBeforeComplete(t *testing.T) {
+	n, _ := NewNode(Options{K: 2, M: 0})
+	if _, err := n.Data(); err == nil {
+		t.Error("Data before completion succeeded")
+	}
+	if n.NativeData(0) != nil {
+		t.Error("NativeData for missing native non-nil")
+	}
+}
+
+func TestSeedFanoutUnbounded(t *testing.T) {
+	n, _ := NewNode(Options{K: 2, M: 0, Fanout: 1})
+	if err := n.Seed(make([][]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if n.fanout != math.MaxInt {
+		t.Error("source fanout still bounded")
+	}
+}

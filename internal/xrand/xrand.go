@@ -1,0 +1,97 @@
+// Package xrand provides small deterministic randomness helpers shared by
+// the coding and simulation packages.
+//
+// Everything in this module takes an explicit *rand.Rand so that
+// simulations are reproducible from a single seed; the helpers here derive
+// independent sub-streams (SplitMix64) and implement the sampling
+// primitives the coders need (subset sampling without replacement).
+package xrand
+
+import "math/rand"
+
+// SplitMix64 advances the state by the 64-bit SplitMix step and returns the
+// next output. It is used to derive well-separated child seeds from a
+// parent seed so that, e.g., each node in a simulation gets an independent
+// stream.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed returns the i-th child seed of parent. Child seeds are
+// pairwise distinct with overwhelming probability and uncorrelated under
+// SplitMix64 mixing.
+func DeriveSeed(parent int64, i int) int64 {
+	state := uint64(parent) ^ 0x5851f42d4c957f2d
+	for j := 0; j <= i%7; j++ {
+		SplitMix64(&state)
+	}
+	state ^= uint64(i) * 0xda942042e4dd58b5
+	return int64(SplitMix64(&state))
+}
+
+// NewChild returns a fresh *rand.Rand seeded with the i-th child seed of
+// parent.
+func NewChild(parent int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(parent, i)))
+}
+
+// SampleDistinct returns c distinct integers drawn uniformly from [0, n)
+// using a partial Fisher–Yates shuffle. It panics if c > n or c < 0.
+func SampleDistinct(rng *rand.Rand, n, c int) []int {
+	if c < 0 || c > n {
+		panic("xrand: sample size out of range")
+	}
+	// Partial Fisher–Yates over a dense index array. For the small c used
+	// by the coders (degree ≈ log k) a map-based sparse shuffle would
+	// allocate more than the dense array below for the n we care about.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < c; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:c:c]
+}
+
+// SampleDistinctSparse returns c distinct integers drawn uniformly from
+// [0, n) without materializing the full index array; it is preferable when
+// c << n (e.g. choosing log k neighbours among k packets).
+func SampleDistinctSparse(rng *rand.Rand, n, c int) []int {
+	if c < 0 || c > n {
+		panic("xrand: sample size out of range")
+	}
+	if c*4 >= n {
+		return SampleDistinct(rng, n, c)
+	}
+	swapped := make(map[int]int, c*2)
+	out := make([]int, c)
+	at := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	for i := 0; i < c; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = at(j)
+		swapped[j] = at(i)
+	}
+	return out
+}
+
+// Shuffle permutes s in place.
+func Shuffle[T any](rng *rand.Rand, s []T) {
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// Pick returns a uniformly random element of s. It panics on an empty
+// slice.
+func Pick[T any](rng *rand.Rand, s []T) T {
+	return s[rng.Intn(len(s))]
+}

@@ -1,0 +1,154 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	s1, s2 := uint64(42), uint64(42)
+	for i := 0; i < 10; i++ {
+		if a, b := SplitMix64(&s1), SplitMix64(&s2); a != b {
+			t.Fatalf("iteration %d: %x != %x", i, a, b)
+		}
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference value of SplitMix64 with seed 0 (first output).
+	s := uint64(0)
+	if got := SplitMix64(&s); got != 0xe220a8397b1dcdaf {
+		t.Errorf("SplitMix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[int64]int)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s := DeriveSeed(12345, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between children %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+}
+
+func TestDeriveSeedDependsOnParent(t *testing.T) {
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("children of different parents collide")
+	}
+}
+
+func TestNewChildReproducible(t *testing.T) {
+	a := NewChild(7, 3)
+	b := NewChild(7, 3)
+	for i := 0; i < 5; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct{ n, c int }{{10, 0}, {10, 1}, {10, 5}, {10, 10}, {1, 1}, {1000, 30}}
+	for _, tt := range tests {
+		got := SampleDistinct(rng, tt.n, tt.c)
+		checkDistinctInRange(t, got, tt.n, tt.c)
+	}
+}
+
+func TestSampleDistinctSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tests := []struct{ n, c int }{{10, 0}, {10, 3}, {1000, 5}, {100000, 12}, {8, 8}}
+	for _, tt := range tests {
+		got := SampleDistinctSparse(rng, tt.n, tt.c)
+		checkDistinctInRange(t, got, tt.n, tt.c)
+	}
+}
+
+func TestSampleDistinctUniform(t *testing.T) {
+	// Every element of [0,n) should be picked with roughly the same
+	// frequency across many draws.
+	rng := rand.New(rand.NewSource(3))
+	const (
+		n      = 20
+		c      = 5
+		trials = 20000
+	)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleDistinctSparse(rng, n, c) {
+			counts[v]++
+		}
+	}
+	want := float64(trials*c) / n
+	for i, got := range counts {
+		if ratio := float64(got) / want; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("element %d drawn %d times, want about %.0f", i, got, want)
+		}
+	}
+}
+
+func TestSampleOutOfRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { SampleDistinct(rng, 3, 4) },
+		func() { SampleDistinct(rng, 3, -1) },
+		func() { SampleDistinctSparse(rng, 3, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on out-of-range sample")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := []int{1, 2, 3, 4, 5, 6, 7}
+	Shuffle(rng, s)
+	seen := make(map[int]bool, len(s))
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i := 1; i <= 7; i++ {
+		if !seen[i] {
+			t.Fatalf("element %d lost in shuffle: %v", i, s)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := []string{"a", "b", "c"}
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		seen[Pick(rng, s)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick never returned some elements: %v", seen)
+	}
+}
+
+func checkDistinctInRange(t *testing.T, got []int, n, c int) {
+	t.Helper()
+	if len(got) != c {
+		t.Fatalf("got %d samples, want %d", len(got), c)
+	}
+	seen := make(map[int]bool, c)
+	for _, v := range got {
+		if v < 0 || v >= n {
+			t.Fatalf("sample %d out of range [0,%d)", v, n)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,179 @@
+package ltnc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc"
+)
+
+func TestSourceToSinkDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	content := make([]byte, 3000)
+	rng.Read(content)
+
+	src, err := ltnc.NewSource(content, 128, ltnc.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !sink.Complete(); i++ {
+		if i > 10*src.K() {
+			d, k := sink.Progress()
+			t.Fatalf("no convergence: %d/%d", d, k)
+		}
+		sink.Receive(src.Packet())
+	}
+	if src.Size() != len(content) {
+		t.Errorf("Size = %d, want %d", src.Size(), len(content))
+	}
+	got, err := sink.Bytes(src.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("recovered content differs")
+	}
+}
+
+func TestRecodeThroughRelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	content := make([]byte, 1200)
+	rng.Read(content)
+
+	src, err := ltnc.NewSource(content, 64, ltnc.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !sink.Complete() && i < 50*src.K(); i++ {
+		relay.Receive(src.Packet())
+		if p, ok := relay.Recode(); ok {
+			if sink.IsRedundant(p) {
+				continue // binary feedback abort
+			}
+			sink.Receive(p)
+		}
+	}
+	if !sink.Complete() {
+		t.Fatal("sink did not complete through relay")
+	}
+	got, err := sink.Bytes(len(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content corrupted through relay")
+	}
+}
+
+func TestSmartRecodeAPI(t *testing.T) {
+	content := make([]byte, 300)
+	src, err := ltnc.NewSource(content, 32, ltnc.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := src.SmartRecode(sink.Components())
+	if !ok {
+		t.Fatal("smart recode found nothing against an empty sink")
+	}
+	if !sink.Receive(p) {
+		t.Fatal("guaranteed-innovative packet rejected")
+	}
+}
+
+func TestWireRoundtripAPI(t *testing.T) {
+	content := []byte("some content to ship over the wire, long enough to split")
+	src, err := ltnc.NewSource(content, 8, ltnc.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := src.Packet()
+	var buf bytes.Buffer
+	if err := ltnc.WritePacket(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ltnc.ReadPacket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(p) {
+		t.Fatal("wire roundtrip mismatch")
+	}
+}
+
+func TestSplitJoinAPI(t *testing.T) {
+	content := []byte("0123456789")
+	natives, err := ltnc.Split(content, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ltnc.Join(natives, len(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, content) {
+		t.Fatal("split/join mismatch")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := ltnc.NewNode(0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ltnc.NewSource(nil, 4); err == nil {
+		t.Error("empty content accepted")
+	}
+	if _, err := ltnc.NewSourceFromNatives(nil); err == nil {
+		t.Error("no natives accepted")
+	}
+}
+
+func TestAblationOptions(t *testing.T) {
+	content := make([]byte, 400)
+	src, err := ltnc.NewSource(content, 32,
+		ltnc.WithSeed(9), ltnc.WithRefinement(false), ltnc.WithRedundancyDetection(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := ltnc.NewNode(32, src.M(), ltnc.WithSeed(10),
+		ltnc.WithRefinement(false), ltnc.WithRedundancyDetection(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !sink.Complete() && i < 1000; i++ {
+		sink.Receive(src.Packet())
+	}
+	if !sink.Complete() {
+		t.Fatal("ablated node did not decode")
+	}
+}
+
+func TestRobustSolitonAPI(t *testing.T) {
+	d, err := ltnc.RobustSoliton(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 1; i <= 2048; i++ {
+		sum += d.PMF(i)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+}
