@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ltnc/internal/daemon"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, nil, &out); err == nil {
+		t.Error("missing required flags accepted")
+	}
+	err := run(ctx, []string{"-from", "127.0.0.1:1", "-id", "nothex", "-out", "x"}, &out)
+	if err == nil {
+		t.Error("malformed object id accepted")
+	}
+	err = run(ctx, []string{"-from", "127.0.0.1:1", "-id", "abcd", "-out", "x"}, &out)
+	if err == nil {
+		t.Error("short object id accepted")
+	}
+}
+
+// TestFetchCLI serves an object with the daemon package and retrieves it
+// through the ltnc-fetch CLI entry point, checking the written file and
+// the overhead report.
+func TestFetchCLI(t *testing.T) {
+	content := make([]byte, 64*1024)
+	rand.New(rand.NewSource(3)).Read(content)
+	path := filepath.Join(t.TempDir(), "served.bin")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan daemon.Running, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- daemon.Serve(ctx, daemon.ServeConfig{
+			Listen: "127.0.0.1:0",
+			Files:  []string{path},
+			K:      128,
+			Tick:   500 * time.Microsecond,
+			Burst:  4,
+			Ready:  func(r daemon.Running) { ready <- r },
+		})
+	}()
+	var r daemon.Running
+	select {
+	case r = <-ready:
+	case err := <-done:
+		t.Fatalf("server died: %v", err)
+	}
+
+	outPath := filepath.Join(t.TempDir(), "fetched.bin")
+	var out bytes.Buffer
+	err := run(ctx, []string{
+		"-from", string(r.Addr),
+		"-id", r.Objects[0].ID.String(),
+		"-out", outPath,
+		"-bind", "127.0.0.1:0",
+		"-timeout", "60s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("fetched file mismatch")
+	}
+	if !strings.Contains(out.String(), "overhead") {
+		t.Fatalf("report missing overhead: %q", out.String())
+	}
+}

@@ -1,0 +1,93 @@
+// Command ltnc-serve runs an LTNC dissemination daemon over UDP: it
+// serves content objects it was given, and — the paper's contribution —
+// recodes and re-pushes objects it receives from other daemons, acting as
+// an intermediary that generates fresh LT-shaped packets from a partial,
+// encoded view.
+//
+// Usage:
+//
+//	ltnc-serve -listen :4980 -file big.iso [-k 1024] [-peer host:4980,...]
+//	ltnc-serve -listen :4981 -peer next-hop:4980        # pure relay
+//
+// Each served file is announced on stdout as "serving <id> <path>"; pass
+// the id to ltnc-fetch. The daemon runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ltnc/internal/daemon"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ltnc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ltnc-serve", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:4980", "UDP listen address")
+		files   = fs.String("file", "", "comma-separated files to serve")
+		peers   = fs.String("peer", "", "comma-separated push targets (host:port)")
+		k       = fs.Int("k", 256, "code length for served files")
+		relay   = fs.Bool("relay", true, "recode and re-push objects learned from peers")
+		tick    = fs.Duration("tick", 2*time.Millisecond, "push period")
+		burst   = fs.Int("burst", 1, "packets per object, target and tick")
+		idle    = fs.Duration("idle-timeout", time.Minute, "evict object state idle this long")
+		seed    = fs.Int64("seed", 1, "randomness seed")
+		verbose = fs.Bool("v", false, "log session events to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *files == "" && *peers == "" && !*relay {
+		return fmt.Errorf("nothing to do: need -file to serve, -peer to push toward, or -relay")
+	}
+	cfg := daemon.ServeConfig{
+		Listen:      *listen,
+		Peers:       splitList(*peers),
+		Files:       splitList(*files),
+		K:           *k,
+		Relay:       *relay,
+		Tick:        *tick,
+		Burst:       *burst,
+		IdleTimeout: *idle,
+		Seed:        *seed,
+		Ready: func(r daemon.Running) {
+			fmt.Fprintf(out, "listening on %s\n", r.Addr)
+			for _, obj := range r.Objects {
+				fmt.Fprintf(out, "serving %s %s (%d bytes, k=%d)\n", obj.ID, obj.Path, obj.Size, obj.K)
+			}
+		},
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	return daemon.Serve(ctx, cfg)
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRunSmoke executes the example end-to-end: it must converge and
+// return nil within the test timeout.
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ltnc
+
+go 1.24

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/packet"
+)
+
+// TestRecodeSingleHighDegreePacket: a node holding exactly one stored
+// packet can only reach that packet's degree. Distribution draws below
+// it all fail the reachability check, and the fallback after
+// MaxPickRetries must then search upward — a regression for the refusal
+// bug where Recode returned ok=false on a non-empty node whenever the
+// last failed draw was below the only reachable degree.
+func TestRecodeSingleHighDegreePacket(t *testing.T) {
+	const (
+		k = 24
+		m = 6
+		d = 11
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		n, err := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(seed)), MaxPickRetries: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := packet.New(k, m)
+		for i := 0; i < d; i++ {
+			p.Vec.Set(i * 2)
+		}
+		for i := range p.Payload {
+			p.Payload[i] = byte(i + 1)
+		}
+		n.Receive(p)
+		for i := 0; i < 50; i++ {
+			z, ok := n.Recode()
+			if !ok {
+				t.Fatalf("seed %d: Recode refused at iteration %d with %d stored packets",
+					seed, i, n.StoredCount())
+			}
+			if !z.Vec.Equal(p.Vec) {
+				t.Fatalf("seed %d: emitted %v, only %v is constructible", seed, z.Vec, p.Vec)
+			}
+		}
+	}
+}

@@ -33,7 +33,9 @@ func (n *Node) Recode() (z *packet.Packet, ok bool) {
 // pickDegree draws degrees from the distribution until one passes the
 // reachability heuristics, then returns it. If MaxPickRetries draws all
 // fail (possible only on a nearly empty node), it falls back to the
-// largest reachable degree below the last draw.
+// reachable degree closest to the last draw, preferring lower degrees; a
+// nearly empty node may only reach degrees above every plausible draw
+// (e.g. a single stored high-degree packet), so the upward scan matters.
 func (n *Node) pickDegree() int {
 	n.stats.Picks++
 	for try := 0; ; try++ {
@@ -48,9 +50,14 @@ func (n *Node) pickDegree() int {
 		}
 		if try >= n.opts.MaxPickRetries {
 			n.stats.PickRetries += uint64(try)
-			for ; d > 1; d-- {
-				if n.reachable(d) {
-					return d
+			for low := d; low > 1; low-- {
+				if n.reachable(low) {
+					return low
+				}
+			}
+			for high := d + 1; high <= n.k; high++ {
+				if n.reachable(high) {
+					return high
 				}
 			}
 			return 1

@@ -1,0 +1,193 @@
+// Package daemon implements the long-running halves of the ltnc-serve
+// and ltnc-fetch commands: a serve daemon that sources objects and
+// recodes what it relays, and a fetch client that subscribes to an
+// object, decodes it and reports the reception overhead. The commands
+// are thin flag-parsing wrappers; tests drive these functions directly
+// so the end-to-end path (UDP sockets included) runs in-process under
+// the race detector.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/session"
+	"ltnc/internal/transport"
+)
+
+// ServedObject describes one object a serve daemon offers.
+type ServedObject struct {
+	ID   packet.ObjectID
+	Path string
+	Size int64
+	K    int
+}
+
+// Running is handed to ServeConfig.Ready once the daemon is listening:
+// the bound address (useful with ":0"), the served objects, and the live
+// session for stats.
+type Running struct {
+	Addr    transport.Addr
+	Objects []ServedObject
+	Session *session.Session
+}
+
+// ServeConfig parameterizes a serve daemon (source, relay, or both).
+type ServeConfig struct {
+	// Listen is the UDP bind address, e.g. "127.0.0.1:4980" or ":0".
+	Listen string
+	// Peers are standing push targets ("host:port").
+	Peers []string
+	// Files are paths of objects to serve from the start.
+	Files []string
+	// K is the code length used for served files (default 256).
+	K int
+	// Relay re-pushes recoded packets of objects learned from the
+	// network (default behaviour of ltnc-serve; a pure source may
+	// disable it).
+	Relay bool
+	// Tick, Burst, Aggressiveness, IdleTimeout and Seed pass through to
+	// the session (zero values select session defaults).
+	Tick           time.Duration
+	Burst          int
+	Aggressiveness float64
+	IdleTimeout    time.Duration
+	Seed           int64
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+	// Ready, when set, is called once the daemon is listening.
+	Ready func(Running)
+}
+
+// Serve runs a serve daemon until ctx is cancelled. It returns nil on
+// clean shutdown.
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	if cfg.Listen == "" {
+		return errors.New("daemon: empty listen address")
+	}
+	if cfg.K == 0 {
+		cfg.K = 256
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("daemon: k = %d < 1", cfg.K)
+	}
+	tr, err := transport.ListenUDP(cfg.Listen)
+	if err != nil {
+		return err
+	}
+	s, err := session.New(session.Config{
+		Transport:      tr,
+		Tick:           cfg.Tick,
+		Burst:          cfg.Burst,
+		Aggressiveness: cfg.Aggressiveness,
+		IdleTimeout:    cfg.IdleTimeout,
+		Relay:          cfg.Relay,
+		Seed:           cfg.Seed,
+		Logf:           cfg.Logf,
+	})
+	if err != nil {
+		tr.Close()
+		return err
+	}
+	defer s.Close()
+	for _, p := range cfg.Peers {
+		s.AddPeer(transport.Addr(p))
+	}
+	run := Running{Addr: tr.LocalAddr(), Session: s}
+	for _, path := range cfg.Files {
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		id, err := s.Serve(content, cfg.K)
+		if err != nil {
+			return fmt.Errorf("daemon: serve %s: %w", path, err)
+		}
+		run.Objects = append(run.Objects, ServedObject{
+			ID:   id,
+			Path: path,
+			Size: int64(len(content)),
+			K:    cfg.K,
+		})
+	}
+	if cfg.Ready != nil {
+		cfg.Ready(run)
+	}
+	err = s.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// FetchReport summarizes a completed fetch.
+type FetchReport struct {
+	Bytes   int
+	Elapsed time.Duration
+	// Stats carries the decode-side counters; Stats.Overhead() is the
+	// paper's reception overhead (received packets / k).
+	Stats session.ObjectStats
+}
+
+// FetchConfig parameterizes a fetch client.
+type FetchConfig struct {
+	// From is the serve daemon to subscribe at ("host:port").
+	From string
+	// ID is the object to fetch.
+	ID packet.ObjectID
+	// Bind is the local UDP address (default "0.0.0.0:0").
+	Bind string
+	// Seed passes through to the session.
+	Seed int64
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+}
+
+// Fetch subscribes to the object at cfg.From, decodes it and returns the
+// content. ctx bounds the whole transfer.
+func Fetch(ctx context.Context, cfg FetchConfig) ([]byte, FetchReport, error) {
+	if cfg.From == "" {
+		return nil, FetchReport{}, errors.New("daemon: empty server address")
+	}
+	if cfg.ID.IsZero() {
+		return nil, FetchReport{}, errors.New("daemon: zero object id")
+	}
+	if cfg.Bind == "" {
+		cfg.Bind = "0.0.0.0:0"
+	}
+	tr, err := transport.ListenUDP(cfg.Bind)
+	if err != nil {
+		return nil, FetchReport{}, err
+	}
+	s, err := session.New(session.Config{
+		Transport: tr,
+		Seed:      cfg.Seed,
+		Logf:      cfg.Logf,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, FetchReport{}, err
+	}
+	defer s.Close()
+	runDone := make(chan struct{})
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer close(runDone)
+		s.Run(runCtx)
+	}()
+	start := time.Now()
+	content, stats, err := s.Fetch(ctx, cfg.ID, transport.Addr(cfg.From))
+	report := FetchReport{Bytes: len(content), Elapsed: time.Since(start), Stats: stats}
+	cancel()
+	s.Close()
+	<-runDone
+	if err != nil {
+		return nil, report, err
+	}
+	return content, report, nil
+}

@@ -1,0 +1,104 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Book is a concurrency-safe peer book with uniform sampling for
+// long-running daemons: peers join and leave at runtime (static samplers
+// fix the membership at construction), and sampling draws uniformly over
+// the current members. P is typically a transport address.
+type Book[P comparable] struct {
+	mu    sync.Mutex
+	peers []P
+	index map[P]int
+	rng   *rand.Rand
+}
+
+// NewBook returns an empty peer book drawing from rng (seeded with 1 when
+// nil).
+func NewBook[P comparable](rng *rand.Rand) *Book[P] {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Book[P]{index: make(map[P]int), rng: rng}
+}
+
+// Add inserts a peer; it reports whether the peer was new.
+func (b *Book[P]) Add(p P) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.index[p]; ok {
+		return false
+	}
+	b.index[p] = len(b.peers)
+	b.peers = append(b.peers, p)
+	return true
+}
+
+// Remove deletes a peer; it reports whether the peer was present.
+func (b *Book[P]) Remove(p P) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	i, ok := b.index[p]
+	if !ok {
+		return false
+	}
+	last := len(b.peers) - 1
+	b.peers[i] = b.peers[last]
+	b.index[b.peers[i]] = i
+	b.peers = b.peers[:last]
+	delete(b.index, p)
+	return true
+}
+
+// Len returns the number of known peers.
+func (b *Book[P]) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.peers)
+}
+
+// Contains reports whether p is in the book.
+func (b *Book[P]) Contains(p P) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.index[p]
+	return ok
+}
+
+// Peers returns a copy of the current membership.
+func (b *Book[P]) Peers() []P {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]P(nil), b.peers...)
+}
+
+// Sample draws a uniform peer other than self; ok is false when no such
+// peer exists.
+func (b *Book[P]) Sample(self P) (peer P, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.peers)
+	if i, present := b.index[self]; present {
+		if n < 2 {
+			return peer, false
+		}
+		t := b.rng.Intn(n - 1)
+		if t >= i {
+			t++
+		}
+		return b.peers[t], true
+	}
+	if n == 0 {
+		return peer, false
+	}
+	return b.peers[b.rng.Intn(n)], true
+}
+
+// String summarizes the book for logs.
+func (b *Book[P]) String() string {
+	return fmt.Sprintf("gossip.Book(%d peers)", b.Len())
+}

@@ -1,0 +1,133 @@
+package gossip
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBookSampleExcludesSelf(t *testing.T) {
+	b := NewBook[string](rand.New(rand.NewSource(1)))
+	if _, ok := b.Sample("me"); ok {
+		t.Fatal("empty book sampled a peer")
+	}
+	b.Add("me")
+	if _, ok := b.Sample("me"); ok {
+		t.Fatal("book with only self sampled a peer")
+	}
+	b.Add("a")
+	b.Add("b")
+	b.Add("c")
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		p, ok := b.Sample("me")
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if p == "me" {
+			t.Fatal("sampled self")
+		}
+		counts[p]++
+	}
+	for _, peer := range []string{"a", "b", "c"} {
+		if c := counts[peer]; c < 800 || c > 1200 {
+			t.Errorf("peer %s drawn %d/3000 times, far from uniform", peer, c)
+		}
+	}
+}
+
+func TestBookAddRemove(t *testing.T) {
+	b := NewBook[string](nil)
+	if !b.Add("a") || b.Add("a") {
+		t.Fatal("Add idempotence broken")
+	}
+	b.Add("b")
+	b.Add("c")
+	if !b.Remove("b") || b.Remove("b") {
+		t.Fatal("Remove idempotence broken")
+	}
+	if b.Len() != 2 || b.Contains("b") || !b.Contains("c") {
+		t.Fatalf("book state after remove: %v", b.Peers())
+	}
+	for i := 0; i < 100; i++ {
+		if p, _ := b.Sample("a"); p != "c" {
+			t.Fatalf("sample returned %q, want c", p)
+		}
+	}
+}
+
+func TestBookConcurrentUse(t *testing.T) {
+	b := NewBook[int](rand.New(rand.NewSource(7)))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Add(w*1000 + i)
+				b.Sample(w)
+				if i%3 == 0 {
+					b.Remove(w*1000 + i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestUniformOfAddrs(t *testing.T) {
+	peers := []string{"10.0.0.1:9", "10.0.0.2:9", "10.0.0.3:9"}
+	u, err := NewUniformOf(peers, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if p := u.Sample("10.0.0.1:9"); p == "10.0.0.1:9" {
+			t.Fatal("uniform sampler returned self")
+		}
+	}
+	// A non-member draws over the whole set.
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[u.Sample("not-a-member")] = true
+	}
+	if len(seen) != len(peers) {
+		t.Fatalf("non-member draws covered %d/%d peers", len(seen), len(peers))
+	}
+	if _, err := NewUniformOf([]string{"a", "a"}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("duplicate peers accepted")
+	}
+}
+
+func TestServiceOfAddrs(t *testing.T) {
+	peers := make([]string, 16)
+	for i := range peers {
+		peers[i] = string(rune('a' + i))
+	}
+	s, err := NewServiceOf(peers, 4, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		s.Tick()
+	}
+	for _, self := range peers {
+		view := s.View(self)
+		if len(view) == 0 || len(view) > s.ViewSize() {
+			t.Fatalf("view of %s has %d entries", self, len(view))
+		}
+		seen := map[string]bool{}
+		for _, p := range view {
+			if p == self {
+				t.Fatalf("%s lists itself", self)
+			}
+			if seen[p] {
+				t.Fatalf("%s lists %s twice", self, p)
+			}
+			seen[p] = true
+		}
+		if p := s.Sample(self); p == self {
+			t.Fatal("service sampled self")
+		}
+	}
+}

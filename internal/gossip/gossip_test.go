@@ -57,7 +57,7 @@ func TestNewServiceValidation(t *testing.T) {
 	}
 }
 
-func checkViewInvariants(t *testing.T, s *Service, n int) {
+func checkViewInvariants(t *testing.T, s *Service[int], n int) {
 	t.Helper()
 	for node := 0; node < n; node++ {
 		view := s.View(node)

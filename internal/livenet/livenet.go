@@ -1,12 +1,18 @@
 // Package livenet runs an LTNC dissemination as real concurrent nodes:
-// one goroutine per node, buffered channels as links, a periodic gossip
-// tick per node, and receiver-side redundancy aborts on the header before
-// the payload is accounted — the concurrent counterpart of the round-based
-// simulator in internal/sim, used by the examples and by race-detector
-// integration tests.
+// one goroutine pair per node (receive + gossip tick), the Transport
+// interface as links, and receiver-side redundancy aborts on the wire
+// header before the payload is parsed — the concurrent counterpart of the
+// round-based simulator in internal/sim, used by the examples and by
+// race-detector integration tests.
+//
+// Nodes address each other through gossip's address-typed peer sampler
+// and exchange packets in the marshalled wire format over an in-memory
+// transport.Switch, so the loop exercises exactly the code path that
+// internal/session runs over UDP sockets.
 package livenet
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -15,8 +21,10 @@ import (
 	"time"
 
 	"ltnc/internal/core"
+	"ltnc/internal/gossip"
 	"ltnc/internal/lt"
 	"ltnc/internal/packet"
+	"ltnc/internal/transport"
 	"ltnc/internal/xrand"
 )
 
@@ -34,6 +42,9 @@ type Config struct {
 	// MailboxDepth bounds each node's inbound queue; packets pushed at a
 	// full mailbox are dropped, modelling a lossy link. Default 64.
 	MailboxDepth int
+	// LossRate drops each frame in flight with this probability
+	// (default 0: lossless links).
+	LossRate float64
 	// Seed makes node randomness reproducible.
 	Seed int64
 }
@@ -63,6 +74,9 @@ func (c *Config) setDefaults() error {
 	if c.MailboxDepth < 1 {
 		return fmt.Errorf("livenet: mailbox depth = %d < 1", c.MailboxDepth)
 	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("livenet: loss rate = %v outside [0,1)", c.LossRate)
+	}
 	return nil
 }
 
@@ -86,8 +100,9 @@ type Network struct {
 	size    int
 	m       int
 
-	nodes     []*liveNode
-	mailboxes []chan *packet.Packet
+	sw    *transport.Switch
+	book  *gossip.Book[transport.Addr]
+	nodes []*liveNode
 
 	complete  atomic.Int64
 	completed chan struct{} // closed when all nodes are complete
@@ -98,18 +113,22 @@ type Network struct {
 }
 
 type liveNode struct {
-	id        int
+	id   int
+	addr transport.Addr
+	tr   *transport.ChanTransport
+
 	node      *core.Node
-	mu        sync.Mutex // guards node: mailbox goroutine + snapshots
+	mu        sync.Mutex // guards node: recv goroutine + tick goroutine + snapshots
 	threshold int
 	aborted   atomic.Int64
-	drops     atomic.Int64
 	doneFlag  atomic.Bool
 }
 
+func nodeAddr(i int) transport.Addr { return transport.Addr(fmt.Sprintf("node/%d", i)) }
+
 // Start builds the network, seeds the source with content and launches
-// one goroutine per node plus the source. The returned Network is running;
-// always call Stop (deferred) to release its goroutines.
+// the node goroutines. The returned Network is running; always call Stop
+// (deferred) to release its goroutines.
 func Start(cfg Config, content []byte) (*Network, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -118,17 +137,38 @@ func Start(cfg Config, content []byte) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	if wire := packet.WireSize(cfg.K, len(natives[0])); wire > transport.MaxFrame {
+		return nil, fmt.Errorf("livenet: k=%d yields %d-byte frames over the %d transport limit; raise k",
+			cfg.K, wire, transport.MaxFrame)
+	}
+	sw, err := transport.NewSwitch(transport.SwitchConfig{
+		QueueDepth: cfg.MailboxDepth,
+		LossRate:   cfg.LossRate,
+		Seed:       cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
 	n := &Network{
 		cfg:       cfg,
 		content:   content,
 		size:      len(content),
 		m:         len(natives[0]),
+		sw:        sw,
 		completed: make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
 	total := cfg.Nodes + 1 // + source
+	// One shared address book serves every node's peer sampling (it
+	// excludes the caller on Sample); per-node samplers would cost
+	// O(total²) setup.
+	n.book = gossip.NewBook[transport.Addr](xrand.NewChild(cfg.Seed, 999_999))
+	addrs := make([]transport.Addr, total)
+	for i := range addrs {
+		addrs[i] = nodeAddr(i)
+		n.book.Add(addrs[i])
+	}
 	n.nodes = make([]*liveNode, total)
-	n.mailboxes = make([]chan *packet.Packet, total)
 	threshold := int(float64(cfg.K)*cfg.Aggressiveness + 1)
 	for i := 0; i < total; i++ {
 		node, err := core.NewNode(core.Options{
@@ -139,8 +179,17 @@ func Start(cfg Config, content []byte) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.nodes[i] = &liveNode{id: i, node: node, threshold: threshold}
-		n.mailboxes[i] = make(chan *packet.Packet, cfg.MailboxDepth)
+		tr, err := sw.Attach(addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		n.nodes[i] = &liveNode{
+			id:        i,
+			addr:      addrs[i],
+			tr:        tr,
+			node:      node,
+			threshold: threshold,
+		}
 	}
 	// The source is node index Nodes; it holds the content from the start.
 	if err := n.nodes[cfg.Nodes].node.Seed(natives); err != nil {
@@ -150,43 +199,66 @@ func Start(cfg Config, content []byte) (*Network, error) {
 	n.nodes[cfg.Nodes].doneFlag.Store(true) // source does not count down
 
 	for i := 0; i < total; i++ {
-		n.wg.Add(1)
-		go n.run(i)
+		n.wg.Add(2)
+		go n.recvLoop(i)
+		go n.tickLoop(i)
 	}
 	return n, nil
 }
 
-// run is the per-node event loop: receive from the mailbox, and on every
-// tick push one recoded packet to a uniformly random peer.
-func (n *Network) run(id int) {
+// recvLoop drains a node's transport: the wire header is parsed first and
+// a redundant code vector aborts the packet before its payload is ever
+// looked at (the paper's binary feedback).
+func (n *Network) recvLoop(id int) {
 	defer n.wg.Done()
 	self := n.nodes[id]
-	rng := xrand.NewChild(n.cfg.Seed, 1_000_000+id)
+	for {
+		f, err := self.tr.Recv(context.Background())
+		if err != nil {
+			return // transport closed by Stop
+		}
+		r := bytes.NewReader(f.Data)
+		h, err := packet.ReadHeader(r)
+		if err != nil {
+			f.Release()
+			continue
+		}
+		self.mu.Lock()
+		if self.node.IsRedundant(h.Vec) {
+			self.mu.Unlock()
+			self.aborted.Add(1)
+			f.Release()
+			continue
+		}
+		p, err := packet.ReadPayload(r, h)
+		if err != nil {
+			self.mu.Unlock()
+			f.Release()
+			continue
+		}
+		self.node.Receive(p)
+		complete := self.node.Complete()
+		self.mu.Unlock()
+		f.Release()
+		if complete && !self.doneFlag.Swap(true) {
+			if n.complete.Add(1) == int64(n.cfg.Nodes) {
+				close(n.completed)
+			}
+		}
+	}
+}
+
+// tickLoop pushes one recoded packet per gossip period to a peer drawn
+// from the node's address sampler.
+func (n *Network) tickLoop(id int) {
+	defer n.wg.Done()
+	self := n.nodes[id]
 	ticker := time.NewTicker(n.cfg.Tick)
 	defer ticker.Stop()
-
 	for {
 		select {
 		case <-n.stop:
 			return
-		case p := <-n.mailboxes[id]:
-			self.mu.Lock()
-			// Binary feedback: the code vector travels first; a redundant
-			// packet is rejected on the header without paying for the
-			// payload.
-			if self.node.IsRedundant(p.Vec) {
-				self.mu.Unlock()
-				self.aborted.Add(1)
-				continue
-			}
-			self.node.Receive(p)
-			complete := self.node.Complete()
-			self.mu.Unlock()
-			if complete && !self.doneFlag.Swap(true) {
-				if n.complete.Add(1) == int64(n.cfg.Nodes) {
-					close(n.completed)
-				}
-			}
 		case <-ticker.C:
 			self.mu.Lock()
 			var (
@@ -200,15 +272,15 @@ func (n *Network) run(id int) {
 			if !ok {
 				continue
 			}
-			target := rng.Intn(len(n.mailboxes) - 1)
-			if target >= id {
-				target++
+			data, err := packet.Marshal(z)
+			if err != nil {
+				continue
 			}
-			select {
-			case n.mailboxes[target] <- z:
-			default:
-				self.drops.Add(1) // lossy link: receiver overloaded
+			target, ok := n.book.Sample(self.addr)
+			if !ok {
+				continue
 			}
+			self.tr.Send(target, data) // dropped frames are the lossy link
 		}
 	}
 }
@@ -229,7 +301,12 @@ func (n *Network) Wait(ctx context.Context) error {
 // Stop terminates all node goroutines and waits for them to exit. It is
 // safe to call multiple times.
 func (n *Network) Stop() {
-	n.stopOnce.Do(func() { close(n.stop) })
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		for _, ln := range n.nodes {
+			ln.tr.Close() // unblocks the recv loops
+		}
+	})
 	n.wg.Wait()
 }
 
@@ -245,7 +322,7 @@ func (n *Network) Snapshot() []NodeStatus {
 			Received:     ln.node.Received(),
 			Redundant:    ln.node.RedundantDropped(),
 			Aborted:      ln.aborted.Load(),
-			MailboxDrops: ln.drops.Load(),
+			MailboxDrops: ln.tr.Dropped(),
 			Complete:     ln.node.Complete(),
 		}
 		ln.mu.Unlock()
@@ -255,6 +332,9 @@ func (n *Network) Snapshot() []NodeStatus {
 
 // CompleteCount returns how many nodes have fully decoded the content.
 func (n *Network) CompleteCount() int { return int(n.complete.Load()) }
+
+// Lost returns the number of frames dropped by link-loss injection.
+func (n *Network) Lost() int64 { return n.sw.Lost() }
 
 // Content returns the content recovered by node id, or an error if that
 // node has not completed. Call after Wait or on complete nodes only.

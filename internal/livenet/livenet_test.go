@@ -30,6 +30,11 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Start(Config{Nodes: 2, K: 4}, nil); err == nil {
 		t.Error("empty content accepted")
 	}
+	// 2 MiB over k=16 → 128 KiB payloads, above the transport frame
+	// limit: every push would be dropped silently and Wait never return.
+	if _, err := Start(Config{Nodes: 2, K: 16}, make([]byte, 2*1024*1024)); err == nil {
+		t.Error("oversize-frame config accepted")
+	}
 }
 
 func TestSmallNetworkDisseminates(t *testing.T) {
@@ -151,6 +156,42 @@ func TestMailboxOverflowDrops(t *testing.T) {
 		}
 		if !bytes.Equal(got, content) {
 			t.Fatalf("node %d corrupt under overflow", i)
+		}
+	}
+}
+
+func TestLossyLinksConverge(t *testing.T) {
+	// 20% link loss: the rateless code tolerates it and the network still
+	// converges; the switch must actually have dropped frames.
+	rng := rand.New(rand.NewSource(9))
+	content := make([]byte, 1024)
+	rng.Read(content)
+	net, err := Start(Config{
+		Nodes:    5,
+		K:        32,
+		Tick:     200 * time.Microsecond,
+		LossRate: 0.2,
+		Seed:     4,
+	}, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := net.Wait(ctx); err != nil {
+		t.Fatalf("did not converge under loss: %v", err)
+	}
+	if net.Lost() == 0 {
+		t.Error("loss injection never fired")
+	}
+	for i := 0; i < 5; i++ {
+		got, err := net.Content(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("node %d corrupt under loss", i)
 		}
 	}
 }

@@ -1,0 +1,103 @@
+package packet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPacket builds a degree-d packet over k natives with an m-byte
+// payload, optionally tagged with an object ID (the v2 wire format used by
+// the session layer).
+func benchPacket(k, d, m int, tagged bool) *Packet {
+	p := New(k, m)
+	for i := 0; i < d; i++ {
+		p.Vec.Set(i * (k / d))
+	}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i)
+	}
+	if tagged {
+		p.Object = NewObjectID([]byte("bench object"))
+	}
+	return p
+}
+
+func benchShapes() []struct {
+	name    string
+	k, d, m int
+	tagged  bool
+} {
+	return []struct {
+		name    string
+		k, d, m int
+		tagged  bool
+	}{
+		{"k256_m1024_v1", 256, 8, 1024, false},
+		{"k256_m1024_v2", 256, 8, 1024, true},
+		{"k2048_m1024_v2", 2048, 16, 1024, true},
+		{"k256_m0_v1", 256, 8, 0, false},
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(s.name, func(b *testing.B) {
+			p := benchPacket(s.k, s.d, s.m, s.tagged)
+			data, err := Marshal(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Marshal(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(s.name, func(b *testing.B) {
+			data, err := Marshal(benchPacket(s.k, s.d, s.m, s.tagged))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Unmarshal(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadHeader(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(s.name, func(b *testing.B) {
+			data, err := Marshal(benchPacket(s.k, s.d, s.m, s.tagged))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := &sliceReader{data: data}
+				if _, err := ReadHeader(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func ExampleObjectID_String() {
+	fmt.Println(NewObjectID([]byte("hello")).String())
+	// Output: 2cf24dba5fb0a30e26e83b2ac5b9e29e
+}

@@ -20,6 +20,9 @@ func FuzzUnmarshal(f *testing.F) {
 		big.Vec.Set(i)
 	}
 	seeds = append(seeds, big)
+	tagged := Native(16, 2, []byte{9, 9})
+	tagged.Object = NewObjectID([]byte("fuzz"))
+	seeds = append(seeds, tagged)
 	for _, p := range seeds {
 		data, err := Marshal(p)
 		if err != nil {

@@ -11,7 +11,9 @@
 package packet
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -19,6 +21,39 @@ import (
 	"ltnc/internal/bitvec"
 	"ltnc/internal/opcount"
 )
+
+// ObjectID identifies a content object when many objects are multiplexed
+// over one transport (the session layer's 16-byte content ID). The zero
+// value means "no object": single-object streams and the original v1 wire
+// format carry no ID.
+type ObjectID [16]byte
+
+// NewObjectID derives a content ID from the object bytes (truncated
+// SHA-256), so that independently-started sources of the same content
+// converge on the same sessions.
+func NewObjectID(content []byte) ObjectID {
+	var id ObjectID
+	sum := sha256.Sum256(content)
+	copy(id[:], sum[:])
+	return id
+}
+
+// IsZero reports whether id is the zero ("no object") ID.
+func (id ObjectID) IsZero() bool { return id == ObjectID{} }
+
+// String renders the ID as lowercase hex.
+func (id ObjectID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseObjectID parses the 32-hex-digit form produced by String.
+func ParseObjectID(s string) (ObjectID, error) {
+	var id ObjectID
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(id) {
+		return id, fmt.Errorf("packet: object id %q is not %d hex bytes", s, len(id))
+	}
+	copy(id[:], b)
+	return id, nil
+}
 
 // Packet is one encoded packet: the GF(2) combination Vec of native
 // packets together with the combined Payload. Payload may be nil in
@@ -29,6 +64,10 @@ type Packet struct {
 	// Generation identifies the coding generation the packet belongs to
 	// when content is split into generations (0 when unused).
 	Generation uint32
+	// Object identifies the content object the packet belongs to when
+	// several objects share a transport (zero when unused; zero-Object
+	// packets marshal to the v1 wire format).
+	Object ObjectID
 }
 
 // New returns an all-zero packet over k native packets with an m-byte
@@ -84,17 +123,17 @@ func (p *Packet) Xor(o *Packet, c *opcount.Counter, control, data opcount.Phase)
 
 // Clone returns a deep copy of p.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{Vec: p.Vec.Clone(), Generation: p.Generation}
+	q := &Packet{Vec: p.Vec.Clone(), Generation: p.Generation, Object: p.Object}
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
 	return q
 }
 
-// Equal reports whether two packets have identical vectors, payloads and
-// generation.
+// Equal reports whether two packets have identical vectors, payloads,
+// generation and object ID.
 func (p *Packet) Equal(o *Packet) bool {
-	if !p.Vec.Equal(o.Vec) || p.Generation != o.Generation {
+	if !p.Vec.Equal(o.Vec) || p.Generation != o.Generation || p.Object != o.Object {
 		return false
 	}
 	if len(p.Payload) != len(o.Payload) {
@@ -113,7 +152,7 @@ func (p *Packet) String() string {
 	return fmt.Sprintf("%v+%dB", p.Vec, len(p.Payload))
 }
 
-// Wire format
+// Wire format (version 1)
 //
 //	magic   "LT"        2 bytes
 //	version 0x01        1 byte
@@ -123,9 +162,18 @@ func (p *Packet) String() string {
 //	m                   4 bytes big-endian
 //	code vector         ceil(k/8) bytes
 //	payload             m bytes
+//
+// Version 2 inserts a 16-byte object ID between m and the code vector, so
+// that many content objects can share one transport. The ID must be
+// non-zero: a zero ID means "no object" and must be encoded as version 1,
+// which keeps the encoding canonical and v1 readers working on
+// single-object streams. Writers pick the version from Packet.Object;
+// readers accept both.
 const (
-	wireVersion    = 0x01
+	wireV1         = 0x01
+	wireV2         = 0x02
 	headerFixed    = 2 + 1 + 1 + 4 + 4 + 4
+	objectIDSize   = 16
 	maxWireK       = 1 << 24 // sanity bound against corrupt headers
 	maxWirePayload = 1 << 30
 )
@@ -146,29 +194,43 @@ type Header struct {
 	K          int
 	M          int
 	Generation uint32
+	Object     ObjectID
 	Vec        *bitvec.Vector
 }
 
 // Degree returns the degree announced by the header's code vector.
 func (h Header) Degree() int { return h.Vec.PopCount() }
 
-// HeaderSize returns the number of bytes a header occupies on the wire for
-// code length k.
+// HeaderSize returns the number of bytes a v1 header occupies on the wire
+// for code length k.
 func HeaderSize(k int) int { return headerFixed + (k+7)/8 }
 
-// WireSize returns the total on-wire size of a packet with code length k
-// and payload size m.
+// ObjectHeaderSize returns the number of bytes a v2 (object-tagged) header
+// occupies on the wire for code length k.
+func ObjectHeaderSize(k int) int { return headerFixed + objectIDSize + (k+7)/8 }
+
+// WireSize returns the total on-wire size of a v1 packet with code length
+// k and payload size m.
 func WireSize(k, m int) int { return HeaderSize(k) + m }
 
-// WriteHeader writes the header of p to w.
+// ObjectWireSize returns the total on-wire size of a v2 (object-tagged)
+// packet with code length k and payload size m.
+func ObjectWireSize(k, m int) int { return ObjectHeaderSize(k) + m }
+
+// WriteHeader writes the header of p to w, as version 1 when p.Object is
+// zero and version 2 otherwise.
 func WriteHeader(w io.Writer, p *Packet) error {
-	buf := make([]byte, headerFixed)
+	buf := make([]byte, headerFixed, headerFixed+objectIDSize)
 	buf[0], buf[1] = wireMagic[0], wireMagic[1]
-	buf[2] = wireVersion
+	buf[2] = wireV1
 	buf[3] = 0
 	binary.BigEndian.PutUint32(buf[4:], p.Generation)
 	binary.BigEndian.PutUint32(buf[8:], uint32(p.K()))
 	binary.BigEndian.PutUint32(buf[12:], uint32(len(p.Payload)))
+	if !p.Object.IsZero() {
+		buf[2] = wireV2
+		buf = append(buf, p.Object[:]...)
+	}
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("packet: write header: %w", err)
 	}
@@ -212,8 +274,9 @@ func ReadHeader(r io.Reader) (Header, error) {
 	if buf[0] != wireMagic[0] || buf[1] != wireMagic[1] {
 		return h, ErrBadMagic
 	}
-	if buf[2] != wireVersion {
-		return h, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	version := buf[2]
+	if version != wireV1 && version != wireV2 {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	h.Generation = binary.BigEndian.Uint32(buf[4:])
 	k := binary.BigEndian.Uint32(buf[8:])
@@ -222,6 +285,14 @@ func ReadHeader(r io.Reader) (Header, error) {
 		return h, fmt.Errorf("%w: k=%d m=%d", ErrCorrupt, k, m)
 	}
 	h.K, h.M = int(k), int(m)
+	if version == wireV2 {
+		if _, err := io.ReadFull(r, h.Object[:]); err != nil {
+			return h, fmt.Errorf("packet: read object id: %w", err)
+		}
+		if h.Object.IsZero() {
+			return h, fmt.Errorf("%w: v2 header with zero object id", ErrCorrupt)
+		}
+	}
 	vecBytes := make([]byte, (h.K+7)/8)
 	if _, err := io.ReadFull(r, vecBytes); err != nil {
 		return h, fmt.Errorf("packet: read vector: %w", err)
@@ -236,7 +307,7 @@ func ReadHeader(r io.Reader) (Header, error) {
 // ReadPayload reads the payload announced by h from r and returns the
 // completed packet.
 func ReadPayload(r io.Reader, h Header) (*Packet, error) {
-	p := &Packet{Vec: h.Vec, Generation: h.Generation}
+	p := &Packet{Vec: h.Vec, Generation: h.Generation, Object: h.Object}
 	if h.M > 0 {
 		p.Payload = make([]byte, h.M)
 		if _, err := io.ReadFull(r, p.Payload); err != nil {
@@ -257,7 +328,11 @@ func Read(r io.Reader) (*Packet, error) {
 
 // Marshal returns the full wire encoding of p.
 func Marshal(p *Packet) ([]byte, error) {
-	buf := make([]byte, 0, WireSize(p.K(), len(p.Payload)))
+	size := WireSize(p.K(), len(p.Payload))
+	if !p.Object.IsZero() {
+		size = ObjectWireSize(p.K(), len(p.Payload))
+	}
+	buf := make([]byte, 0, size)
 	w := &appendWriter{buf: buf}
 	if err := Write(w, p); err != nil {
 		return nil, err

@@ -1,0 +1,107 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestObjectIDRoundtrip(t *testing.T) {
+	p := Native(64, 3, []byte("payload bytes"))
+	p.Generation = 7
+	p.Object = NewObjectID([]byte("object"))
+
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ObjectWireSize(64, len(p.Payload)); len(data) != want {
+		t.Fatalf("v2 wire size = %d, want %d", len(data), want)
+	}
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatalf("roundtrip mismatch: %v != %v", p, q)
+	}
+	if q.Object != p.Object {
+		t.Fatalf("object id lost: %v", q.Object)
+	}
+}
+
+func TestZeroObjectStaysV1(t *testing.T) {
+	// A packet without an object ID must marshal to the original v1
+	// format, bit-identical to what pre-session code produced.
+	p := Native(64, 3, []byte("payload bytes"))
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := WireSize(64, len(p.Payload)); len(data) != want {
+		t.Fatalf("v1 wire size = %d, want %d", len(data), want)
+	}
+	if data[2] != wireV1 {
+		t.Fatalf("version byte = %d, want %d", data[2], wireV1)
+	}
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Object.IsZero() {
+		t.Fatalf("v1 packet decoded with object id %v", q.Object)
+	}
+}
+
+func TestV2ZeroObjectRejected(t *testing.T) {
+	// Forge a v2 header with an all-zero object ID: decoders must reject
+	// it, both for canonicality (it would re-marshal as v1) and because a
+	// zero ID means "no object".
+	p := Native(8, 1, []byte{1})
+	p.Object = NewObjectID([]byte("x"))
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < objectIDSize; i++ {
+		data[headerFixed+i] = 0
+	}
+	if _, err := Unmarshal(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-object v2 accepted: %v", err)
+	}
+}
+
+func TestV2TruncatedObjectID(t *testing.T) {
+	p := Native(8, 1, []byte{1})
+	p.Object = NewObjectID([]byte("x"))
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHeader(bytes.NewReader(data[:headerFixed+4])); err == nil {
+		t.Fatal("truncated v2 header accepted")
+	}
+}
+
+func TestHeaderCarriesObject(t *testing.T) {
+	p := Native(32, 5, make([]byte, 16))
+	p.Object = NewObjectID([]byte("hdr"))
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Object != p.Object {
+		t.Fatalf("header object = %v, want %v", h.Object, p.Object)
+	}
+	q, err := ReadPayload(bytes.NewReader(data[ObjectHeaderSize(32):]), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(p) {
+		t.Fatal("header+payload roundtrip mismatch")
+	}
+}

@@ -1,0 +1,849 @@
+// Package session multiplexes many concurrent content objects over one
+// transport. Each object is identified by a 16-byte content ID carried in
+// the v2 packet header together with the coding generation; per object the
+// session keeps an LTNC decode state (core.Node) that recodes what it
+// holds toward peers and subscribers.
+//
+// The paper's Section III-C-2 binary feedback — "the code vector travels
+// first; a redundant packet is aborted on the header" — becomes a
+// feedback frame on datagram transports: the receiver checks the header's
+// code vector against its decode state, drops redundant payloads without
+// decoding them, and tells the sender, which stops pushing to satiated
+// peers. Idle object states are evicted so a long-running relay does not
+// accumulate decode state for every object it ever carried.
+//
+// Wire protocol (one session frame per transport frame; all integers
+// big-endian):
+//
+//	DATA     0x01 | packet v2 wire encoding (object ID + generation inside)
+//	REQ      0x02 | objectID(16)                     subscribe to an object
+//	META     0x03 | objectID(16) | k(4) | m(4) | size(8)
+//	FEEDBACK 0x04 | objectID(16) | kind(1)           1=redundant 2=complete
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ltnc/internal/core"
+	"ltnc/internal/lt"
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+	"ltnc/internal/xrand"
+)
+
+// Frame type and feedback kind bytes.
+const (
+	frameData     = 0x01
+	frameReq      = 0x02
+	frameMeta     = 0x03
+	frameFeedback = 0x04
+
+	fbRedundant = 0x01
+	fbComplete  = 0x02
+
+	reqLen      = 1 + 16
+	metaLen     = 1 + 16 + 4 + 4 + 8
+	feedbackLen = 1 + 16 + 1
+)
+
+// satiationLimit is how many consecutive redundancy aborts a peer may
+// report for one object before the session pauses pushing that object to
+// it (the peer is either complete or momentarily receiving nothing
+// innovative). The pause is temporary — an incomplete peer must be able
+// to resume — and any REQ lifts it immediately.
+const satiationLimit = 64
+
+// Config parameterizes a session.
+type Config struct {
+	// Transport carries the frames; required.
+	Transport transport.Transport
+	// Tick is the push period (default 2ms).
+	Tick time.Duration
+	// Burst is how many packets are pushed per object, target and tick
+	// (default 1).
+	Burst int
+	// Aggressiveness gates recoding as in the paper (default 0.01): a
+	// relay starts recoding an object once it holds K·Aggressiveness + 1
+	// packets.
+	Aggressiveness float64
+	// IdleTimeout evicts object state (and subscribers) untouched for
+	// this long; default 60s. Pinned (locally served) objects stay.
+	IdleTimeout time.Duration
+	// Relay makes the session create decode state for objects it first
+	// learns about from incoming DATA or META frames and re-push them —
+	// the paper's recoding intermediary. Fetch-only clients leave it
+	// false and decode only objects they asked for.
+	Relay bool
+	// MaxObjects bounds how many objects a relay will learn from the
+	// network (default 1024); frames for further objects are dropped
+	// until eviction makes room. Locally served and fetched objects are
+	// not counted against the bound when created.
+	MaxObjects int
+	// MaxK bounds the code length a relay accepts from network headers
+	// (default 65536); larger k means larger decode state, and the wire
+	// header alone allows k up to 2^24.
+	MaxK int
+	// Seed drives per-object node randomness (default 1).
+	Seed int64
+	// Logf, when set, receives one line per notable event (object
+	// learned, complete, evicted).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.Transport == nil {
+		return errors.New("session: nil transport")
+	}
+	if c.Tick == 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("session: tick %v < 0", c.Tick)
+	}
+	if c.Burst == 0 {
+		c.Burst = 1
+	}
+	if c.Burst < 1 {
+		return fmt.Errorf("session: burst %d < 1", c.Burst)
+	}
+	if c.Aggressiveness == 0 {
+		c.Aggressiveness = 0.01
+	}
+	if c.Aggressiveness < 0 || c.Aggressiveness > 1 {
+		return fmt.Errorf("session: aggressiveness %v outside [0,1]", c.Aggressiveness)
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.IdleTimeout < 0 {
+		return fmt.Errorf("session: idle timeout %v < 0", c.IdleTimeout)
+	}
+	if c.MaxObjects == 0 {
+		c.MaxObjects = 1024
+	}
+	if c.MaxObjects < 1 {
+		return fmt.Errorf("session: max objects %d < 1", c.MaxObjects)
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 65536
+	}
+	if c.MaxK < 1 {
+		return fmt.Errorf("session: max k %d < 1", c.MaxK)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// ObjectStats is a point-in-time view of one object's session state.
+type ObjectStats struct {
+	ID          packet.ObjectID
+	K, M        int
+	Size        int64 // -1 while unknown (no META yet)
+	Decoded     int
+	Complete    bool
+	Pinned      bool
+	Received    int64 // DATA frames fed into the decoder
+	Aborted     int64 // redundant DATA dropped on the header
+	Sent        int64 // recoded DATA frames pushed
+	Subscribers int
+}
+
+// Overhead returns received packets relative to K — the reception
+// overhead the paper reports (1 + epsilon); 0 until K is known.
+func (o ObjectStats) Overhead() float64 {
+	if o.K == 0 {
+		return 0
+	}
+	return float64(o.Received) / float64(o.K)
+}
+
+type peerState struct {
+	lastReq       time.Time // last REQ (zero for configured peers)
+	metaSent      bool
+	done          bool      // reported complete: stop pushing
+	consecRedund  int       // consecutive redundancy aborts reported
+	pauseUntil    time.Time // satiation backoff: push resumes afterwards
+	configuredSub bool      // subscribed via REQ (pruned when idle)
+}
+
+type objectState struct {
+	id     packet.ObjectID
+	k, m   int
+	size   int64 // -1 unknown
+	node    *core.Node
+	pinned  bool
+	waiters int           // Fetch calls currently blocked on this object
+	data    []byte        // assembled content once complete and size known
+	done    chan struct{} // closed when data is ready
+
+	lastActive time.Time
+	peers      map[transport.Addr]*peerState
+
+	received int64
+	aborted  int64
+	sent     int64
+}
+
+func (st *objectState) touch() { st.lastActive = time.Now() }
+
+func (st *objectState) peer(addr transport.Addr) *peerState {
+	ps, ok := st.peers[addr]
+	if !ok {
+		ps = &peerState{}
+		st.peers[addr] = ps
+	}
+	return ps
+}
+
+// Session multiplexes objects over one transport. Create with New, drive
+// with Run, then Serve objects or Fetch them.
+type Session struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu      sync.Mutex
+	objects map[packet.ObjectID]*objectState
+	peers   []transport.Addr // configured push peers
+	nextRng int
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a session over cfg.Transport. Call Run to start it.
+func New(cfg Config) (*Session, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		objects: make(map[packet.ObjectID]*objectState),
+		closed:  make(chan struct{}),
+	}, nil
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// LocalAddr returns the transport address of the session.
+func (s *Session) LocalAddr() transport.Addr { return s.tr.LocalAddr() }
+
+// AddPeer registers a standing push target: every locally known object is
+// gossiped toward configured peers.
+func (s *Session) AddPeer(addr transport.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.peers {
+		if p == addr {
+			return
+		}
+	}
+	s.peers = append(s.peers, addr)
+}
+
+// Serve splits content into k natives, seeds a pinned source state and
+// returns the derived content ID. The object is pushed to configured
+// peers and to anyone who REQs it.
+func (s *Session) Serve(content []byte, k int) (packet.ObjectID, error) {
+	id := packet.NewObjectID(content)
+	natives, err := lt.Split(content, k)
+	if err != nil {
+		return id, err
+	}
+	if wire := 1 + packet.ObjectWireSize(k, len(natives[0])); wire > transport.MaxFrame {
+		return id, fmt.Errorf("session: k=%d yields %d-byte frames over the %d transport limit; raise k",
+			k, wire, transport.MaxFrame)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[id]; ok {
+		return id, fmt.Errorf("session: object %v already present", id)
+	}
+	st, err := s.newStateLocked(id, k, len(natives[0]))
+	if err != nil {
+		return id, err
+	}
+	if err := st.node.Seed(natives); err != nil {
+		return id, err
+	}
+	st.size = int64(len(content))
+	st.pinned = true
+	st.data = append([]byte(nil), content...)
+	close(st.done)
+	s.logf("session: serving %v (k=%d m=%d size=%d)", id, k, st.m, st.size)
+	return id, nil
+}
+
+// newStateLocked allocates decode state for object id with code length k
+// and payload size m; s.mu must be held.
+func (s *Session) newStateLocked(id packet.ObjectID, k, m int) (*objectState, error) {
+	node, err := core.NewNode(core.Options{
+		K:   k,
+		M:   m,
+		Rng: xrand.NewChild(s.cfg.Seed, s.nextRng),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.nextRng++
+	st := &objectState{
+		id:         id,
+		k:          k,
+		m:          m,
+		size:       -1,
+		node:       node,
+		done:       make(chan struct{}),
+		lastActive: time.Now(),
+		peers:      make(map[transport.Addr]*peerState),
+	}
+	s.objects[id] = st
+	return st, nil
+}
+
+// ensureNodeLocked materializes decode state for a placeholder created
+// before k and m were known (a Fetch registered the object, then the
+// first DATA or META header arrived). It reports whether st now has a
+// node matching (k, m); a mismatch or an over-bound k rejects the frame.
+func (s *Session) ensureNodeLocked(st *objectState, k, m int) bool {
+	if st.node != nil {
+		return k == st.k && m == st.m
+	}
+	if k > s.cfg.MaxK {
+		return false
+	}
+	node, err := core.NewNode(core.Options{K: k, M: m, Rng: xrand.NewChild(s.cfg.Seed, s.nextRng)})
+	if err != nil {
+		return false
+	}
+	s.nextRng++
+	st.node, st.k, st.m = node, k, m
+	return true
+}
+
+// mayLearnLocked reports whether a relay may allocate state for an
+// object it first hears about from the network: relays only, bounded
+// code length, bounded object count (forged headers must not let a
+// remote sender grow memory without limit).
+func (s *Session) mayLearnLocked(k int) bool {
+	return s.cfg.Relay && k <= s.cfg.MaxK && len(s.objects) < s.cfg.MaxObjects
+}
+
+// threshold is the received-packet count past which an object state may
+// recode (K·Aggressiveness + 1, as in the paper's aggressiveness gate).
+func (s *Session) threshold(k int) int {
+	return int(float64(k)*s.cfg.Aggressiveness + 1)
+}
+
+// Run pumps the session until ctx is cancelled or the session is closed:
+// one goroutine receives and dispatches frames, one pushes recoded
+// packets every Tick and evicts idle state.
+func (s *Session) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.tickLoop(ctx)
+	}()
+	err := s.recvLoop(ctx)
+	cancel()
+	wg.Wait()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ctx.Err()
+	}
+	return err
+}
+
+// Close stops Run and closes the underlying transport.
+func (s *Session) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.tr.Close()
+	})
+	return err
+}
+
+func (s *Session) recvLoop(ctx context.Context) error {
+	for {
+		select {
+		case <-s.closed:
+			return nil
+		default:
+		}
+		f, err := s.tr.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.handleFrame(f)
+		f.Release()
+	}
+}
+
+// handleFrame dispatches one frame. Handlers run under s.mu and return
+// at most one reply frame, which is sent here after the lock is
+// released — a reply is a syscall on UDP and must not stall the
+// session (same rationale as push).
+func (s *Session) handleFrame(f transport.Frame) {
+	if len(f.Data) == 0 {
+		return
+	}
+	var reply []byte
+	switch f.Data[0] {
+	case frameData:
+		reply = s.handleData(f.From, f.Data[1:])
+	case frameReq:
+		reply = s.handleReq(f.From, f.Data[1:])
+	case frameMeta:
+		reply = s.handleMeta(f.From, f.Data[1:])
+	case frameFeedback:
+		s.handleFeedback(f.From, f.Data[1:])
+	}
+	if reply != nil {
+		s.tr.Send(f.From, reply)
+	}
+}
+
+// handleData is the receive hot path: header first, redundancy abort
+// before the payload is parsed or decoded. The returned frame (if any)
+// is the binary feedback for the sender.
+func (s *Session) handleData(from transport.Addr, data []byte) []byte {
+	r := bytes.NewReader(data)
+	h, err := packet.ReadHeader(r)
+	if err != nil || h.Object.IsZero() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objects[h.Object]
+	if !ok {
+		if !s.mayLearnLocked(h.K) {
+			return nil
+		}
+		if st, err = s.newStateLocked(h.Object, h.K, h.M); err != nil {
+			return nil
+		}
+		s.logf("session: learned %v from %s (k=%d m=%d)", h.Object, from, h.K)
+	}
+	if !s.ensureNodeLocked(st, h.K, h.M) {
+		return nil
+	}
+	st.touch()
+	if st.node.Complete() {
+		st.aborted++
+		return feedbackFrame(h.Object, fbComplete)
+	}
+	// Section III-C-2: the code vector has been read; if it is redundant
+	// the payload is never decoded and the sender is told so.
+	if st.node.IsRedundant(h.Vec) {
+		st.aborted++
+		return feedbackFrame(h.Object, fbRedundant)
+	}
+	p, err := packet.ReadPayload(r, h)
+	if err != nil {
+		return nil
+	}
+	st.node.Receive(p)
+	st.received++
+	if st.node.Complete() {
+		s.completeLocked(st)
+		return feedbackFrame(h.Object, fbComplete)
+	}
+	return nil
+}
+
+// completeLocked assembles the content of a freshly completed object
+// when its size is known; callers send the completion feedback.
+func (s *Session) completeLocked(st *objectState) {
+	s.logf("session: %v complete after %d packets (overhead %.3f)",
+		st.id, st.received, float64(st.received)/float64(st.k))
+	if st.size < 0 || st.data != nil {
+		return
+	}
+	natives, err := st.node.Data()
+	if err != nil {
+		return
+	}
+	content, err := lt.Join(natives, int(st.size))
+	if err != nil {
+		return
+	}
+	st.data = content
+	close(st.done)
+}
+
+func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
+	if len(data) != reqLen-1 {
+		return nil
+	}
+	var id packet.ObjectID
+	copy(id[:], data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objects[id]
+	if !ok {
+		return nil // unknown object: requester will retry elsewhere
+	}
+	st.touch()
+	ps := st.peer(from)
+	ps.lastReq = time.Now()
+	ps.configuredSub = true
+	ps.done = false
+	ps.consecRedund = 0
+	ps.pauseUntil = time.Time{}
+	// REQ also re-arms META: over a lossy channel the requester may have
+	// missed it, and without the size it can never finish (it keeps
+	// re-REQing, so a lost reply heals on the next round).
+	ps.metaSent = false
+	if st.size < 0 {
+		return nil
+	}
+	ps.metaSent = true
+	return metaFrame(st)
+}
+
+func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
+	if len(data) != metaLen-1 {
+		return nil
+	}
+	var id packet.ObjectID
+	copy(id[:], data[:16])
+	k := int(binary.BigEndian.Uint32(data[16:20]))
+	m := int(binary.BigEndian.Uint32(data[20:24]))
+	size := int64(binary.BigEndian.Uint64(data[24:32]))
+	if id.IsZero() || k < 1 || m < 0 || size < 0 || size > int64(k)*int64(max(m, 1)) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objects[id]
+	if !ok {
+		if !s.mayLearnLocked(k) {
+			return nil
+		}
+		var err error
+		if st, err = s.newStateLocked(id, k, m); err != nil {
+			return nil
+		}
+		s.logf("session: learned %v meta from %s (k=%d m=%d size=%d)", id, from, k, m, size)
+	}
+	if !s.ensureNodeLocked(st, k, m) {
+		return nil
+	}
+	st.touch()
+	if st.size < 0 {
+		st.size = size
+		if st.node.Complete() {
+			s.completeLocked(st)
+			return feedbackFrame(id, fbComplete)
+		}
+	}
+	return nil
+}
+
+func (s *Session) handleFeedback(from transport.Addr, data []byte) {
+	if len(data) != feedbackLen-1 {
+		return
+	}
+	var id packet.ObjectID
+	copy(id[:], data[:16])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objects[id]
+	if !ok {
+		return
+	}
+	// Look up without creating: feedback names a peer we pushed to, so
+	// its state already exists. Creating here would let arbitrary
+	// (spoofable) source addresses grow the peer map of a long-lived
+	// pinned object without bound.
+	ps, ok := st.peers[from]
+	if !ok {
+		return
+	}
+	switch data[16] {
+	case fbComplete:
+		ps.done = true
+	case fbRedundant:
+		ps.consecRedund++
+		if ps.consecRedund >= satiationLimit {
+			// Senders never hear about accepted packets, only redundant
+			// ones, so this count must not cut a peer off permanently: an
+			// incomplete peer still needs the stream. Back off instead;
+			// any REQ lifts the pause early.
+			ps.consecRedund = 0
+			ps.pauseUntil = time.Now().Add(s.satiationBackoff())
+		}
+	}
+}
+
+// satiationBackoff is how long pushes to a satiated peer pause.
+func (s *Session) satiationBackoff() time.Duration {
+	return max(100*s.cfg.Tick, 50*time.Millisecond)
+}
+
+func (s *Session) tickLoop(ctx context.Context) {
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	// Evict roughly four times per idle timeout, at most once per tick
+	// and at least once per second.
+	evictPeriod := min(time.Second, max(s.cfg.Tick, s.cfg.IdleTimeout/4))
+	evictEvery := max(1, int(evictPeriod/s.cfg.Tick))
+	tick := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.closed:
+			return
+		case <-ticker.C:
+			s.push()
+			if tick++; tick%evictEvery == 0 {
+				s.evict()
+			}
+		}
+	}
+}
+
+// push recodes one burst per object and live target, then sends outside
+// the session lock: over UDP every Send is a syscall, and holding s.mu
+// across the sweep would stall the receive hot path for its duration.
+func (s *Session) push() {
+	type outFrame struct {
+		addr  transport.Addr
+		frame []byte
+		st    *objectState // nil for META frames
+	}
+	var frames []outFrame
+	s.mu.Lock()
+	now := time.Now()
+	for _, st := range s.objects {
+		if st.node == nil {
+			continue
+		}
+		if !st.node.Complete() && st.node.Received() < s.threshold(st.k) {
+			continue
+		}
+		for _, addr := range s.targetsLocked(st, now) {
+			ps := st.peer(addr)
+			if st.size >= 0 && !ps.metaSent {
+				frames = append(frames, outFrame{addr, metaFrame(st), nil})
+				ps.metaSent = true
+			}
+			for b := 0; b < s.cfg.Burst; b++ {
+				z, ok := st.node.Recode()
+				if !ok {
+					break
+				}
+				z.Object = st.id
+				data, err := packet.Marshal(z)
+				if err != nil {
+					break
+				}
+				frame := make([]byte, 0, 1+len(data))
+				frame = append(frame, frameData)
+				frame = append(frame, data...)
+				frames = append(frames, outFrame{addr, frame, st})
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if len(frames) == 0 {
+		return
+	}
+	sent := make(map[*objectState]int64)
+	for _, f := range frames {
+		if s.tr.Send(f.addr, f.frame) == nil && f.st != nil {
+			sent[f.st]++
+		}
+	}
+	s.mu.Lock()
+	for st, n := range sent {
+		st.sent += n
+	}
+	s.mu.Unlock()
+}
+
+// targetsLocked returns the push targets for one object: every live
+// subscriber plus the configured peers, excluding peers that reported
+// completion and peers backing off after satiation.
+func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr {
+	skip := func(ps *peerState) bool {
+		return ps.done || now.Before(ps.pauseUntil)
+	}
+	var out []transport.Addr
+	seen := make(map[transport.Addr]bool)
+	for addr, ps := range st.peers {
+		if ps.configuredSub && !skip(ps) {
+			out = append(out, addr)
+			seen[addr] = true
+		}
+	}
+	for _, addr := range s.peers {
+		if seen[addr] {
+			continue
+		}
+		if ps, ok := st.peers[addr]; ok && skip(ps) {
+			continue
+		}
+		out = append(out, addr)
+	}
+	return out
+}
+
+// evict drops object state and subscribers that have been idle past the
+// configured timeout, so long-running relays do not leak decode state.
+func (s *Session) evict() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := time.Now().Add(-s.cfg.IdleTimeout)
+	for id, st := range s.objects {
+		for addr, ps := range st.peers {
+			if ps.configuredSub && !ps.lastReq.IsZero() && ps.lastReq.Before(cutoff) {
+				delete(st.peers, addr)
+			}
+		}
+		if st.pinned || st.waiters > 0 {
+			continue
+		}
+		if st.lastActive.Before(cutoff) {
+			delete(s.objects, id)
+			s.logf("session: evicted idle %v", id)
+		}
+	}
+}
+
+func metaFrame(st *objectState) []byte {
+	buf := make([]byte, metaLen)
+	buf[0] = frameMeta
+	copy(buf[1:17], st.id[:])
+	binary.BigEndian.PutUint32(buf[17:21], uint32(st.k))
+	binary.BigEndian.PutUint32(buf[21:25], uint32(st.m))
+	binary.BigEndian.PutUint64(buf[25:33], uint64(st.size))
+	return buf
+}
+
+func feedbackFrame(id packet.ObjectID, kind byte) []byte {
+	buf := make([]byte, feedbackLen)
+	buf[0] = frameFeedback
+	copy(buf[1:17], id[:])
+	buf[17] = kind
+	return buf
+}
+
+func encodeReq(id packet.ObjectID) []byte {
+	buf := make([]byte, reqLen)
+	buf[0] = frameReq
+	copy(buf[1:], id[:])
+	return buf
+}
+
+// Fetch subscribes to object id at the given peer, waits for the decode
+// to complete and returns the content. It resends the REQ periodically
+// (datagrams are lossy) until the transfer finishes or ctx expires.
+func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.Addr) ([]byte, ObjectStats, error) {
+	if id.IsZero() {
+		return nil, ObjectStats{}, errors.New("session: fetch of zero object id")
+	}
+	s.mu.Lock()
+	st, ok := s.objects[id]
+	if !ok {
+		st = &objectState{
+			id:         id,
+			size:       -1,
+			done:       make(chan struct{}),
+			lastActive: time.Now(),
+			peers:      make(map[transport.Addr]*peerState),
+		}
+		s.objects[id] = st
+	}
+	// A waiter pins the state against idle eviction for exactly as long
+	// as someone blocks on it; abandoned fetches then age out normally.
+	st.waiters++
+	done := st.done
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		st.waiters--
+		s.mu.Unlock()
+	}()
+
+	req := encodeReq(id)
+	if err := s.tr.Send(from, req); err != nil {
+		return nil, ObjectStats{}, err
+	}
+	resend := time.NewTicker(250 * time.Millisecond)
+	defer resend.Stop()
+	for {
+		select {
+		case <-done:
+			s.mu.Lock()
+			data := st.data
+			stats := s.statsLocked(st)
+			s.mu.Unlock()
+			return data, stats, nil
+		case <-resend.C:
+			if err := s.tr.Send(from, req); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
+				return nil, ObjectStats{}, err
+			}
+		case <-ctx.Done():
+			s.mu.Lock()
+			stats := s.statsLocked(st)
+			s.mu.Unlock()
+			return nil, stats, fmt.Errorf("session: fetch %v: %w", id, ctx.Err())
+		case <-s.closed:
+			return nil, ObjectStats{}, transport.ErrClosed
+		}
+	}
+}
+
+func (s *Session) statsLocked(st *objectState) ObjectStats {
+	o := ObjectStats{
+		ID:       st.id,
+		K:        st.k,
+		M:        st.m,
+		Size:     st.size,
+		Pinned:   st.pinned,
+		Received: st.received,
+		Aborted:  st.aborted,
+		Sent:     st.sent,
+	}
+	if st.node != nil {
+		o.Decoded = st.node.DecodedCount()
+		o.Complete = st.node.Complete()
+	}
+	for _, ps := range st.peers {
+		if ps.configuredSub && !ps.done {
+			o.Subscribers++
+		}
+	}
+	return o
+}
+
+// Objects returns a snapshot of every object the session currently holds.
+func (s *Session) Objects() []ObjectStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ObjectStats, 0, len(s.objects))
+	for _, st := range s.objects {
+		out = append(out, s.statsLocked(st))
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+)
+
+func testContent(size int, seed int64) []byte {
+	content := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(content)
+	return content
+}
+
+// captureTransport records the code vectors of DATA frames crossing a
+// transport, to distinguish recoding from store-and-forward.
+type captureTransport struct {
+	transport.Transport
+	mu       sync.Mutex
+	sentVecs []string
+	recvVecs []string
+}
+
+func dataVec(frame []byte) (string, bool) {
+	if len(frame) == 0 || frame[0] != frameData {
+		return "", false
+	}
+	h, err := packet.ReadHeader(bytes.NewReader(frame[1:]))
+	if err != nil {
+		return "", false
+	}
+	return h.Vec.String(), true
+}
+
+func (c *captureTransport) Send(to transport.Addr, frame []byte) error {
+	if v, ok := dataVec(frame); ok {
+		c.mu.Lock()
+		c.sentVecs = append(c.sentVecs, v)
+		c.mu.Unlock()
+	}
+	return c.Transport.Send(to, frame)
+}
+
+func (c *captureTransport) Recv(ctx context.Context) (transport.Frame, error) {
+	f, err := c.Transport.Recv(ctx)
+	if err == nil {
+		if v, ok := dataVec(f.Data); ok {
+			c.mu.Lock()
+			c.recvVecs = append(c.recvVecs, v)
+			c.mu.Unlock()
+		}
+	}
+	return f, err
+}
+
+// startSession builds and runs a session over tr; cleanup closes it.
+func startSession(t *testing.T, tr transport.Transport, mut func(*Config)) *Session {
+	t.Helper()
+	cfg := Config{
+		Transport: tr,
+		Tick:      500 * time.Microsecond,
+		Burst:     4,
+		Seed:      int64(len(t.Name())),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Run(context.Background())
+	}()
+	t.Cleanup(func() {
+		s.Close()
+		<-done
+	})
+	return s
+}
+
+func attach(t *testing.T, sw *transport.Switch, name transport.Addr) *transport.ChanTransport {
+	t.Helper()
+	tr, err := sw.Attach(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSourceRelayFetchChan is the deterministic counterpart of the UDP
+// end-to-end test: source → relay (recoding) → fetch over an in-memory
+// switch, byte-identical content, relay provably not store-and-forward.
+func TestSourceRelayFetchChan(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayTr := &captureTransport{Transport: attach(t, sw, "relay")}
+
+	src := startSession(t, attach(t, sw, "source"), nil)
+	startSession(t, relayTr, func(c *Config) { c.Relay = true })
+	client := startSession(t, attach(t, sw, "client"), nil)
+
+	content := testContent(64*1024, 1)
+	id, err := src.Serve(content, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AddPeer("relay")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := client.Fetch(ctx, id, "relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: %d bytes fetched, %d served", len(got), len(content))
+	}
+	if stats.Overhead() < 1 {
+		t.Fatalf("overhead %.3f < 1: decoded with fewer than k packets?", stats.Overhead())
+	}
+	t.Logf("fetched %d bytes, overhead %.3f, aborted %d", len(got), stats.Overhead(), stats.Aborted)
+
+	// The relay must emit recoded packets: code vectors it never
+	// received. Store-and-forward would make sent ⊆ received.
+	relayTr.mu.Lock()
+	received := make(map[string]bool, len(relayTr.recvVecs))
+	for _, v := range relayTr.recvVecs {
+		received[v] = true
+	}
+	fresh := 0
+	for _, v := range relayTr.sentVecs {
+		if !received[v] {
+			fresh++
+		}
+	}
+	sent := len(relayTr.sentVecs)
+	relayTr.mu.Unlock()
+	if sent == 0 {
+		t.Fatal("relay sent no data frames")
+	}
+	if fresh == 0 {
+		t.Fatalf("relay store-and-forwarded all %d frames (no recoding)", sent)
+	}
+	t.Logf("relay sent %d frames, %d recoded fresh", sent, fresh)
+}
+
+// TestMultiObjectMultiplex serves several objects over one transport and
+// fetches them concurrently through the same client session.
+func TestMultiObjectMultiplex(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), nil)
+	client := startSession(t, attach(t, sw, "client"), nil)
+
+	contents := [][]byte{
+		testContent(16*1024, 1),
+		testContent(24*1024, 2),
+		testContent(8*1024, 3),
+	}
+	ids := make([]packet.ObjectID, len(contents))
+	for i, c := range contents {
+		if ids[i], err = src.Serve(c, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(ids))
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := client.Fetch(ctx, ids[i], "source")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, contents[i]) {
+				t.Errorf("object %d content mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if n := len(src.Objects()); n != len(contents) {
+		t.Fatalf("source holds %d objects, want %d", n, len(contents))
+	}
+}
+
+// TestRedundancyAbortFeedback drives the protocol by hand: a duplicate
+// packet must be dropped on its header and answered with a redundant
+// FEEDBACK frame (the paper's binary feedback over a real channel).
+func TestRedundancyAbortFeedback(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := startSession(t, attach(t, sw, "relay"), func(c *Config) {
+		c.Relay = true
+		c.Tick = time.Hour // passive: no pushes interfere
+	})
+	_ = relay
+	probe := attach(t, sw, "probe")
+	defer probe.Close()
+
+	id := packet.NewObjectID([]byte("abort test"))
+	p := packet.Native(16, 3, bytes.Repeat([]byte{7}, 32))
+	p.Object = id
+	wire, err := packet.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte{frameData}, wire...)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := probe.Send("relay", frame); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: redundant on the header alone.
+	if err := probe.Send("relay", frame); err != nil {
+		t.Fatal(err)
+	}
+	f, err := probe.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if len(f.Data) != feedbackLen || f.Data[0] != frameFeedback {
+		t.Fatalf("reply frame = %x, want feedback", f.Data)
+	}
+	var gotID packet.ObjectID
+	copy(gotID[:], f.Data[1:17])
+	if gotID != id {
+		t.Fatalf("feedback for %v, want %v", gotID, id)
+	}
+	if f.Data[17] != fbRedundant {
+		t.Fatalf("feedback kind = %d, want redundant", f.Data[17])
+	}
+
+	stats := relay.Objects()
+	if len(stats) != 1 || stats[0].Aborted != 1 || stats[0].Received != 1 {
+		t.Fatalf("relay stats = %+v", stats)
+	}
+}
+
+// TestIdleEviction checks that a relay forgets objects nobody touches.
+func TestIdleEviction(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := startSession(t, attach(t, sw, "relay"), func(c *Config) {
+		c.Relay = true
+		c.Tick = time.Millisecond
+		c.IdleTimeout = 50 * time.Millisecond
+	})
+	probe := attach(t, sw, "probe")
+	defer probe.Close()
+
+	p := packet.Native(8, 1, []byte{1, 2, 3, 4})
+	p.Object = packet.NewObjectID([]byte("ephemeral"))
+	wire, err := packet.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Send("relay", append([]byte{frameData}, wire...)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(relay.Objects()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("relay never learned the object")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for len(relay.Objects()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("object not evicted; relay holds %+v", relay.Objects())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServedObjectsSurviveEviction: pinned sources must never be evicted.
+func TestServedObjectsSurviveEviction(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), func(c *Config) {
+		c.Tick = time.Millisecond
+		c.IdleTimeout = 20 * time.Millisecond
+	})
+	if _, err := src.Serve(testContent(1024, 9), 16); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if n := len(src.Objects()); n != 1 {
+		t.Fatalf("source evicted its own object (%d left)", n)
+	}
+}
+
+// TestSatiationPausesPush: a subscriber that keeps reporting redundancy
+// is paused (pushes stop for the backoff window) but not cut off — a
+// fresh REQ resumes the stream immediately, since senders never learn
+// about accepted packets and must not starve an incomplete peer.
+func TestSatiationPausesPush(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), func(c *Config) {
+		c.Tick = time.Millisecond
+		c.Burst = 1
+	})
+	probe := attach(t, sw, "probe")
+	defer probe.Close()
+
+	id, err := src.Serve(testContent(4096, 4), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Send("source", encodeReq(id)); err != nil {
+		t.Fatal(err)
+	}
+	// Drain a few frames to confirm the subscription took, then spam
+	// redundancy feedback to trip the satiation limit.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		f, err := probe.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	fb := make([]byte, feedbackLen)
+	fb[0] = frameFeedback
+	copy(fb[1:17], id[:])
+	fb[17] = fbRedundant
+	for i := 0; i < satiationLimit; i++ {
+		if err := probe.Send("source", fb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain everything in flight; once the feedback lands the stream must
+	// go quiet (frames stop arriving within a fraction of the backoff).
+	quietDeadline := time.Now().Add(5 * time.Second)
+	for {
+		short, scancel := context.WithTimeout(ctx, 20*time.Millisecond)
+		f, err := probe.Recv(short)
+		scancel()
+		if err != nil {
+			break // 20ms with no frame: paused
+		}
+		f.Release()
+		if time.Now().After(quietDeadline) {
+			t.Fatal("pushes never paused after satiation feedback")
+		}
+	}
+	// A fresh REQ lifts the pause immediately.
+	if err := probe.Send("source", encodeReq(id)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := probe.Recv(ctx)
+	if err != nil {
+		t.Fatalf("REQ did not resume the stream: %v", err)
+	}
+	f.Release()
+}
+
+// metaDropTransport drops the first n META frames sent through it,
+// simulating the loss of the REQ reply on a datagram channel.
+type metaDropTransport struct {
+	transport.Transport
+	mu   sync.Mutex
+	drop int
+}
+
+func (m *metaDropTransport) Send(to transport.Addr, frame []byte) error {
+	if len(frame) > 0 && frame[0] == frameMeta {
+		m.mu.Lock()
+		d := m.drop
+		if d > 0 {
+			m.drop--
+		}
+		m.mu.Unlock()
+		if d > 0 {
+			return nil
+		}
+	}
+	return m.Transport.Send(to, frame)
+}
+
+// TestLostMetaRecovers: the fetch must complete even when the server's
+// first META replies are lost — the periodic REQ resend re-arms META on
+// the server, so a dropped reply heals instead of wedging the transfer.
+func TestLostMetaRecovers(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcTr := &metaDropTransport{Transport: attach(t, sw, "source"), drop: 2}
+	src := startSession(t, srcTr, nil)
+	client := startSession(t, attach(t, sw, "client"), nil)
+
+	content := testContent(16*1024, 11)
+	id, err := src.Serve(content, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, _, err := client.Fetch(ctx, id, "source")
+	if err != nil {
+		t.Fatalf("fetch never recovered from lost META: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch after META loss")
+	}
+}
+
+// TestRelayLearnBounds: forged frames must not grow a relay's state
+// beyond MaxObjects, nor allocate decode state for oversized k.
+func TestRelayLearnBounds(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := startSession(t, attach(t, sw, "relay"), func(c *Config) {
+		c.Relay = true
+		c.Tick = time.Hour
+		c.MaxObjects = 2
+		c.MaxK = 64
+	})
+	probe := attach(t, sw, "probe")
+	defer probe.Close()
+
+	send := func(name string, k int) {
+		p := packet.Native(k, 0, []byte{1})
+		p.Object = packet.NewObjectID([]byte(name))
+		wire, err := packet.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := probe.Send("relay", append([]byte{frameData}, wire...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("over-k", 65) // above MaxK: must not allocate
+	send("a", 16)
+	send("b", 16)
+	send("c", 16) // above MaxObjects: must not allocate
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(relay.Objects()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay learned %d objects, want 2", len(relay.Objects()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // allow any stragglers to land
+	stats := relay.Objects()
+	if len(stats) != 2 {
+		t.Fatalf("relay holds %d objects, want exactly 2 (bounds ignored): %+v", len(stats), stats)
+	}
+	for _, o := range stats {
+		if o.K > 64 {
+			t.Fatalf("relay allocated k=%d above MaxK", o.K)
+		}
+	}
+}
+
+// TestServeRejectsOversizeFrames: a k too small for the content would
+// yield datagrams over the transport limit; Serve must refuse loudly
+// instead of letting every push fail silently.
+func TestServeRejectsOversizeFrames(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), nil)
+	// 2 MiB over k=16 → 128 KiB payloads, twice the 64 KiB frame limit.
+	if _, err := src.Serve(testContent(2*1024*1024, 1), 16); err == nil {
+		t.Fatal("oversize-frame Serve accepted")
+	}
+}
+
+// TestFetchTimeout: fetching an object nobody serves fails with the
+// context error and partial stats.
+func TestFetchTimeout(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), nil)
+	client := startSession(t, attach(t, sw, "client"), nil)
+	_ = src
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, _, err := client.Fetch(ctx, packet.NewObjectID([]byte("missing")), "source"); err == nil {
+		t.Fatal("fetch of unserved object succeeded")
+	}
+}
+
+// TestLossyChanTransfer: the transfer still completes over a channel
+// network dropping 20% of frames.
+func TestLossyChanTransfer(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{
+		QueueDepth: 256,
+		LossRate:   0.2,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), nil)
+	client := startSession(t, attach(t, sw, "client"), nil)
+	content := testContent(32*1024, 6)
+	id, err := src.Serve(content, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, _, err := client.Fetch(ctx, id, "source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch over lossy links")
+	}
+	if sw.Lost() == 0 {
+		t.Fatal("loss injection never fired")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is on; sync.Pool
+// deliberately randomizes reuse under the detector, so pool-identity
+// assertions are skipped.
+const raceEnabled = true

@@ -1,0 +1,75 @@
+// Package transport abstracts the datagram channel under the LTNC
+// dissemination: a Transport sends and receives framed packets to and
+// from peers identified by opaque addresses. Two implementations are
+// provided — Switch/ChanTransport, an in-memory network with injectable
+// loss and latency for deterministic tests, and UDPTransport over a real
+// net.UDPConn with a packet pool so the receive hot path does not
+// allocate per datagram.
+//
+// The paper evaluates LTNC on simulated lossy push channels; this package
+// is the boundary where the same node logic (internal/livenet,
+// internal/session) runs unchanged over goroutine channels or real
+// sockets.
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// Addr is an opaque peer address. For UDPTransport it is "host:port"; for
+// ChanTransport it is whatever name the port was attached under.
+type Addr string
+
+// MaxFrame is the largest frame a Transport must accept: the in-memory
+// switch enforces it and UDP datagrams cannot exceed it anyway.
+const MaxFrame = 64 * 1024
+
+// Errors shared by transport implementations.
+var (
+	ErrClosed      = errors.New("transport: closed")
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	ErrFrameTooBig = errors.New("transport: frame exceeds MaxFrame")
+)
+
+// Frame is one received datagram. Data is valid until Release is called;
+// receivers that keep bytes past Release must copy them. Release returns
+// pooled buffers to their transport and is safe to call once (further
+// calls are no-ops).
+type Frame struct {
+	From    Addr
+	Data    []byte
+	release func()
+}
+
+// NewFrame builds a frame with an optional release hook (for transports
+// and tests).
+func NewFrame(from Addr, data []byte, release func()) Frame {
+	return Frame{From: from, Data: data, release: release}
+}
+
+// Release returns the frame's buffer to its owner.
+func (f *Frame) Release() {
+	if f.release != nil {
+		f.release()
+		f.release = nil
+	}
+	f.Data = nil
+}
+
+// Transport sends and receives framed packets. Send must be safe for
+// concurrent use with Recv and with other Sends; one consumer at a time
+// may call Recv.
+type Transport interface {
+	// LocalAddr returns the address peers use to reach this transport.
+	LocalAddr() Addr
+	// Send transmits one frame to the peer. Delivery is best-effort:
+	// datagram semantics, no retransmission, frames may be dropped.
+	Send(to Addr, frame []byte) error
+	// Recv blocks until a frame arrives, the context is cancelled, or the
+	// transport is closed (ErrClosed).
+	Recv(ctx context.Context) (Frame, error)
+	// Close releases the transport; pending and future Recvs fail with
+	// ErrClosed.
+	Close() error
+}

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// udpPollInterval bounds how long a blocked Recv takes to notice context
+// cancellation: reads run with a rolling deadline and re-check the context
+// on every timeout.
+const udpPollInterval = 250 * time.Millisecond
+
+// UDPTransport implements Transport over a net.UDPConn. Receive buffers
+// come from a pool sized at MaxFrame, so the steady-state receive path
+// performs no per-datagram allocation; callers return buffers with
+// Frame.Release. Destination addresses are resolved once and cached.
+type UDPTransport struct {
+	conn   *net.UDPConn
+	pool   sync.Pool
+	peers  sync.Map // Addr -> *net.UDPAddr
+	closed atomic.Bool
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// ListenUDP opens a UDP transport bound to addr ("127.0.0.1:0" picks a
+// free port; query LocalAddr for the result).
+func ListenUDP(addr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &UDPTransport{conn: conn}
+	t.pool.New = func() any {
+		buf := make([]byte, MaxFrame)
+		return &buf
+	}
+	return t, nil
+}
+
+// LocalAddr returns the bound "host:port".
+func (t *UDPTransport) LocalAddr() Addr { return Addr(t.conn.LocalAddr().String()) }
+
+// Send transmits one datagram to the peer at "host:port".
+func (t *UDPTransport) Send(to Addr, frame []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if len(frame) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	dst, err := t.resolve(to)
+	if err != nil {
+		return err
+	}
+	if _, err := t.conn.WriteToUDP(frame, dst); err != nil {
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (t *UDPTransport) resolve(to Addr) (*net.UDPAddr, error) {
+	if cached, ok := t.peers.Load(to); ok {
+		return cached.(*net.UDPAddr), nil
+	}
+	ua, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownPeer, to, err)
+	}
+	t.peers.Store(to, ua)
+	return ua, nil
+}
+
+// Recv blocks for the next datagram. The returned frame's buffer belongs
+// to the transport's pool: call Release when done with Data.
+func (t *UDPTransport) Recv(ctx context.Context) (Frame, error) {
+	bufp := t.pool.Get().(*[]byte)
+	for {
+		if t.closed.Load() {
+			t.pool.Put(bufp)
+			return Frame{}, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			t.pool.Put(bufp)
+			return Frame{}, err
+		}
+		deadline := time.Now().Add(udpPollInterval)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		if err := t.conn.SetReadDeadline(deadline); err != nil {
+			t.pool.Put(bufp)
+			return Frame{}, fmt.Errorf("transport: set deadline: %w", err)
+		}
+		n, from, err := t.conn.ReadFromUDP(*bufp)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue
+			}
+			t.pool.Put(bufp)
+			if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return Frame{}, ErrClosed
+			}
+			return Frame{}, fmt.Errorf("transport: recv: %w", err)
+		}
+		return Frame{
+			From:    Addr(from.String()),
+			Data:    (*bufp)[:n],
+			release: func() { t.pool.Put(bufp) },
+		}, nil
+	}
+}
+
+// Close shuts the socket down; a blocked Recv returns ErrClosed.
+func (t *UDPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	return t.conn.Close()
+}
