@@ -6,6 +6,7 @@
 package ltnc_test
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -293,6 +294,139 @@ func BenchmarkFig8dDecodingDataRLNC(b *testing.B) {
 				break
 			}
 			n.Receive(p)
+		}
+		if !n.Complete() {
+			b.Fatal("stream did not decode")
+		}
+	}
+}
+
+// Decode-engine benchmarks — the hot path tracked by BENCH_decode.json
+// (run cmd/ltnc-bench for the multi-object harness; these are the
+// single-object wall-clock complements with allocation reporting).
+
+// engineStream pregenerates one object's wire frames for ingest benches.
+func engineStream(b *testing.B, k, m, count int) [][]byte {
+	b.Helper()
+	src := steadyLTNC(b, k, m)
+	id := packet.NewObjectID([]byte("bench object"))
+	frames := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		z, ok := src.Recode()
+		if !ok {
+			b.Fatal("recode failed")
+		}
+		z.Object = id
+		wire, err := packet.Marshal(z)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, wire)
+	}
+	return frames
+}
+
+// BenchmarkDecodeIngestScalar is the packet-at-a-time wire path: header
+// via io.Reader, payload into a fresh buffer, decoder copies again.
+func BenchmarkDecodeIngestScalar(b *testing.B) {
+	const (
+		k = 64
+		m = 256
+	)
+	frames := engineStream(b, k, m, 4*k)
+	b.ReportAllocs()
+	b.SetBytes(int64(k * m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := core.NewNode(core.Options{K: k, M: m, Rng: rand.New(rand.NewSource(int64(i)))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, data := range frames {
+			if n.Complete() {
+				break
+			}
+			r := bytes.NewReader(data)
+			h, err := packet.ReadHeader(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n.IsRedundant(h.Vec) {
+				continue
+			}
+			p, err := packet.ReadPayload(r, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.Receive(p)
+		}
+		if !n.Complete() {
+			b.Fatal("stream did not decode")
+		}
+	}
+}
+
+// BenchmarkDecodeIngestBatched is the engine path: zero-copy wire view,
+// arena-backed buffers, owned-buffer insertion.
+func BenchmarkDecodeIngestBatched(b *testing.B) {
+	const (
+		k = 64
+		m = 256
+	)
+	frames := engineStream(b, k, m, 4*k)
+	b.ReportAllocs()
+	b.SetBytes(int64(k * m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := core.NewNode(core.Options{K: k, M: m, Rng: rand.New(rand.NewSource(int64(i)))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, data := range frames {
+			if n.Complete() {
+				break
+			}
+			wv, err := packet.ParseWire(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vec := n.AcquireVec()
+			if vec.UnmarshalInto(wv.VecBytes(data)) != nil {
+				b.Fatal("bad vector")
+			}
+			if n.IsRedundant(vec) {
+				n.ReleaseVec(vec)
+				continue
+			}
+			row := n.AcquireRow()
+			copy(row, wv.PayloadBytes(data))
+			n.ReceiveOwned(vec, row)
+		}
+		if !n.Complete() {
+			b.Fatal("stream did not decode")
+		}
+	}
+}
+
+// BenchmarkDecodeRLNCBatched decodes an RLNC stream through
+// Node.ReceiveBatch — N forward-elimination passes against the pivot
+// index, one back-elimination sweep per batch — versus the per-packet
+// RREF maintenance of BenchmarkFig8bDecodingControlRLNC.
+func BenchmarkDecodeRLNCBatched(b *testing.B) {
+	const (
+		k     = 1024
+		batch = 32
+	)
+	stream := decodeStream(b, k, 0, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := rlnc.NewNode(rlnc.Options{K: k, Rng: rand.New(rand.NewSource(int64(i)))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(stream) && !n.Complete(); off += batch {
+			n.ReceiveBatch(stream[off:min(off+batch, len(stream))])
 		}
 		if !n.Complete() {
 			b.Fatal("stream did not decode")

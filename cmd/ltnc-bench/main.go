@@ -1,0 +1,99 @@
+// ltnc-bench runs the decode-throughput harness (internal/experiments)
+// and writes BENCH_decode.json: MB/s decoded and allocations per packet
+// for the scalar packet-at-a-time hot path versus the batched,
+// arena-backed decode engine, on the 1 MiB / 64-object workload. CI runs
+// it on every push and archives the JSON so the throughput trajectory is
+// tracked across PRs.
+//
+// The -ref-* flags attach a fixed reference measurement of the hot path
+// before the batched engine existed (same workload, machine-specific);
+// see EXPERIMENTS.md for provenance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ltnc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ltnc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("ltnc-bench", flag.ContinueOnError)
+	var (
+		objects    = fs.Int("objects", 0, "number of concurrent objects (default 64)")
+		objectSize = fs.Int("size", 0, "per-object content bytes (default 16384)")
+		k          = fs.Int("k", 0, "code length per object (default 64)")
+		batch      = fs.Int("batch", 0, "engine ingest batch size (default 32)")
+		rounds     = fs.Int("rounds", 0, "measurement rounds, fastest kept (default 3)")
+		seed       = fs.Int64("seed", 0, "workload seed (default 1)")
+		outPath    = fs.String("out", "BENCH_decode.json", "output JSON path (empty: stdout only)")
+		refMBps    = fs.Float64("ref-mbps", 0, "pre-PR reference throughput in MB/s (0: omit)")
+		refAllocs  = fs.Float64("ref-allocs", 0, "pre-PR reference allocs/packet")
+		refNote    = fs.String("ref-note", "", "provenance note for the pre-PR reference")
+		refKeep    = fs.Bool("ref-keep", true, "carry the pre_pr reference over from an existing -out file when no -ref-* flags are given")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The pre-PR reference is a fixed external measurement (see
+	// tools/prebench); rewriting the JSON must not silently drop it.
+	var keepRef *experiments.DecodePathResult
+	var keepNote string
+	if *refKeep && *refMBps == 0 && *outPath != "" {
+		if data, err := os.ReadFile(*outPath); err == nil {
+			var prev experiments.DecodeBenchReport
+			if json.Unmarshal(data, &prev) == nil && prev.PrePR != nil {
+				keepRef, keepNote = prev.PrePR, prev.PrePRNote
+			}
+		}
+	}
+	rep, err := experiments.RunDecodeBench(experiments.DecodeBenchParams{
+		Objects:    *objects,
+		ObjectSize: *objectSize,
+		K:          *k,
+		Batch:      *batch,
+		Rounds:     *rounds,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *refMBps > 0:
+		rep.SetPrePRReference(experiments.DecodePathResult{
+			Path:            "pre-pr-scalar",
+			MBps:            *refMBps,
+			AllocsPerPacket: *refAllocs,
+		}, *refNote)
+	case keepRef != nil:
+		rep.SetPrePRReference(*keepRef, keepNote)
+	}
+	fmt.Fprintf(out, "workload: %d objects x %d B, k=%d, batch=%d\n",
+		rep.Objects, rep.ObjectSize, rep.K, rep.Batch)
+	fmt.Fprintf(out, "scalar:  %8.1f MB/s  %6.2f allocs/pkt  (%d packets)\n",
+		rep.Baseline.MBps, rep.Baseline.AllocsPerPacket, rep.Baseline.Packets)
+	fmt.Fprintf(out, "engine:  %8.1f MB/s  %6.2f allocs/pkt  (%d packets)\n",
+		rep.Engine.MBps, rep.Engine.AllocsPerPacket, rep.Engine.Packets)
+	fmt.Fprintf(out, "engine vs scalar: %.2fx throughput, %.2fx fewer allocs\n",
+		rep.SpeedupX, rep.AllocReductionX)
+	if rep.PrePR != nil {
+		fmt.Fprintf(out, "engine vs pre-PR: %.2fx throughput, %.2fx fewer allocs (%s)\n",
+			rep.SpeedupVsPrePRX, rep.AllocReductionVsPrePRX, rep.PrePRNote)
+	}
+	if *outPath != "" {
+		if err := rep.WriteJSON(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}

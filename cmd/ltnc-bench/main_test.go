@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ltnc/internal/experiments"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-objects", "2", "-size", "2048", "-k", "16", "-rounds", "1",
+		"-out", out,
+		"-ref-mbps", "10", "-ref-allocs", "20", "-ref-note", "test ref",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.DecodeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine.Packets == 0 {
+		t.Fatalf("empty engine result: %+v", rep)
+	}
+	if rep.PrePR == nil || rep.PrePR.MBps != 10 {
+		t.Fatalf("pre-PR reference missing: %+v", rep)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-objects", "-3", "-out", ""}, os.Stdout); err == nil {
+		t.Error("negative objects accepted")
+	}
+}
+
+// TestRunKeepsReference: rewriting an existing report without -ref-*
+// flags must carry the pre_pr block forward, not drop it (CI regenerates
+// the JSON on every push).
+func TestRunKeepsReference(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	base := []string{"-objects", "2", "-size", "2048", "-k", "16", "-rounds", "1", "-out", out}
+	if err := run(append(base, "-ref-mbps", "33", "-ref-allocs", "11", "-ref-note", "anchor"), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(base, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.DecodeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrePR == nil || rep.PrePR.MBps != 33 || rep.PrePRNote != "anchor" {
+		t.Fatalf("pre_pr reference dropped on rewrite: %+v", rep.PrePR)
+	}
+}

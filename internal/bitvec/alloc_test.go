@@ -1,0 +1,71 @@
+package bitvec
+
+import "testing"
+
+// Allocation-regression assertions for the XOR kernels: the decode hot
+// path calls these millions of times and they must never allocate.
+
+func TestXorKernelsDoNotAllocate(t *testing.T) {
+	a, b := New(2048), New(2048)
+	for i := 0; i < 2048; i += 3 {
+		a.Set(i)
+	}
+	for i := 1; i < 2048; i += 7 {
+		b.Set(i)
+	}
+	sink := 0
+	cases := map[string]func(){
+		"Xor":         func() { a.Xor(b) },
+		"XorCount":    func() { sink += a.XorCount(b) },
+		"XorPopCount": func() { sink += a.XorPopCount(b) },
+		"AndNotCount": func() { sink += a.AndNotCount(b) },
+		"PopCount":    func() { sink += a.PopCount() },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(100, fn); allocs > 0 {
+			t.Errorf("%s allocates %.1f per call, want 0", name, allocs)
+		}
+	}
+	_ = sink
+}
+
+func TestXorBytesDoesNotAllocate(t *testing.T) {
+	dst, src := make([]byte, 4096), make([]byte, 4096)
+	if allocs := testing.AllocsPerRun(100, func() { XorBytes(dst, src) }); allocs > 0 {
+		t.Errorf("XorBytes allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestArenaSteadyStateDoesNotAllocate: once warm, the acquire/release
+// cycle is allocation-free.
+func TestArenaSteadyStateDoesNotAllocate(t *testing.T) {
+	a := NewArena(512, 256)
+	v := a.Vec()
+	r := a.Row()
+	a.PutVec(v)
+	a.PutRow(r)
+	allocs := testing.AllocsPerRun(100, func() {
+		v := a.Vec()
+		r := a.Row()
+		a.PutVec(v)
+		a.PutRow(r)
+	})
+	if allocs > 0 {
+		t.Errorf("warm arena cycle allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestArenaChunking: a cold arena materializes a whole chunk per slab,
+// costing well under one allocation per vector.
+func TestArenaChunking(t *testing.T) {
+	a := NewArena(256, 0)
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 10*arenaChunk; i++ {
+			_ = a.Vec()
+		}
+	})
+	perVec := allocs / float64(10*arenaChunk)
+	if perVec > 0.5 {
+		t.Errorf("cold arena costs %.2f allocs per vector, want <= 0.5", perVec)
+	}
+}

@@ -100,22 +100,50 @@ func (v *Vector) IsZero() bool {
 	return true
 }
 
-// Xor sets v = v XOR o and returns v.
+// Xor sets v = v XOR o and returns v. The inner loop is unrolled four
+// words at a time: decode elimination XORs vectors millions of times and
+// the unrolled form lets the compiler keep the words in registers.
 func (v *Vector) Xor(o *Vector) *Vector {
 	v.checkSameLen(o)
-	for i, w := range o.words {
-		v.words[i] ^= w
-	}
+	xorWords(v.words, o.words)
 	return v
+}
+
+// xorWords sets dst ^= src word-wise, four words per iteration.
+func xorWords(dst, src []uint64) {
+	n := len(dst)
+	src = src[:n] // eliminate bounds checks below
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
 }
 
 // XorCount sets v = v XOR o and returns the population count of the result.
 // It is equivalent to v.Xor(o).PopCount() but makes a single pass.
 func (v *Vector) XorCount(o *Vector) int {
 	v.checkSameLen(o)
+	n := len(v.words)
+	src := o.words[:n]
 	c := 0
-	for i, w := range o.words {
-		v.words[i] ^= w
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		w0 := v.words[i] ^ src[i]
+		w1 := v.words[i+1] ^ src[i+1]
+		w2 := v.words[i+2] ^ src[i+2]
+		w3 := v.words[i+3] ^ src[i+3]
+		v.words[i], v.words[i+1], v.words[i+2], v.words[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < n; i++ {
+		v.words[i] ^= src[i]
 		c += bits.OnesCount64(v.words[i])
 	}
 	return c
@@ -126,9 +154,18 @@ func (v *Vector) XorCount(o *Vector) int {
 // greedy building step to test candidate packets.
 func (v *Vector) XorPopCount(o *Vector) int {
 	v.checkSameLen(o)
+	n := len(v.words)
+	src := o.words[:n]
 	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(v.words[i] ^ w)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += bits.OnesCount64(v.words[i]^src[i]) +
+			bits.OnesCount64(v.words[i+1]^src[i+1]) +
+			bits.OnesCount64(v.words[i+2]^src[i+2]) +
+			bits.OnesCount64(v.words[i+3]^src[i+3])
+	}
+	for ; i < n; i++ {
+		c += bits.OnesCount64(v.words[i] ^ src[i])
 	}
 	return c
 }
@@ -257,11 +294,17 @@ func (v *Vector) Words() []uint64 { return v.words }
 // ceil(n/8) bytes. The length n is not included; it is carried by the
 // packet header (see internal/packet).
 func (v *Vector) MarshalBinary() ([]byte, error) {
-	out := make([]byte, (v.n+7)/8)
-	for i := range out {
-		out[i] = byte(v.words[i/8] >> (uint(i) % 8 * 8))
+	return v.AppendBinary(make([]byte, 0, (v.n+7)/8)), nil
+}
+
+// AppendBinary appends the MarshalBinary encoding to dst and returns it,
+// letting hot-path serializers reuse one buffer across packets.
+func (v *Vector) AppendBinary(dst []byte) []byte {
+	nb := (v.n + 7) / 8
+	for i := 0; i < nb; i++ {
+		dst = append(dst, byte(v.words[i/8]>>(uint(i)%8*8)))
 	}
-	return out, nil
+	return dst
 }
 
 // UnmarshalInto fills v from data produced by MarshalBinary for a vector of
@@ -313,12 +356,19 @@ func XorBytes(dst, src []byte) int {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("bitvec: payload length mismatch %d vs %d", len(dst), len(src)))
 	}
-	// Word-at-a-time XOR; payloads are small multiples of 8 in practice.
+	// Unrolled word-at-a-time XOR: 32 bytes per iteration. Payload XOR is
+	// the data-plane cost of decoding; on the batched ingest path this runs
+	// once per packet per elimination step, so the unroll is worth it.
 	n := len(dst)
 	i := 0
+	for ; i+32 <= n; i += 32 {
+		putLeUint64(dst[i:], leUint64(dst[i:])^leUint64(src[i:]))
+		putLeUint64(dst[i+8:], leUint64(dst[i+8:])^leUint64(src[i+8:]))
+		putLeUint64(dst[i+16:], leUint64(dst[i+16:])^leUint64(src[i+16:]))
+		putLeUint64(dst[i+24:], leUint64(dst[i+24:])^leUint64(src[i+24:]))
+	}
 	for ; i+8 <= n; i += 8 {
-		x := leUint64(src[i:])
-		putLeUint64(dst[i:], leUint64(dst[i:])^x)
+		putLeUint64(dst[i:], leUint64(dst[i:])^leUint64(src[i:]))
 	}
 	for ; i < n; i++ {
 		dst[i] ^= src[i]

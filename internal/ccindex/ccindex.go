@@ -26,8 +26,14 @@ type Components struct {
 	k  int
 	cc []int32 // native -> leader label; Decoded (0) for decoded natives
 
-	// members[label] lists the natives with that label; labels are 1..k.
-	members [][]int32
+	// Component member lists are intrusive doubly-linked lists over the
+	// natives — head[label] starts the list (-1 when empty), next/prev
+	// link natives within it, size[label] counts it — so merging two
+	// components relabels and splices without allocating. Labels are 1..k.
+	head       []int32
+	size       []int32
+	next, prev []int32
+
 	decoded []int32 // natives with label Decoded, in decode order
 
 	// Spanning forest over undecoded merges: parent[x] is the native x was
@@ -46,15 +52,22 @@ func New(k int) *Components {
 		panic(fmt.Sprintf("ccindex: k = %d < 1", k))
 	}
 	c := &Components{
-		k:       k,
-		cc:      make([]int32, k),
-		members: make([][]int32, k+1),
-		parent:  make([]int32, k),
-		edge:    make([][]byte, k),
+		k:      k,
+		cc:     make([]int32, k),
+		head:   make([]int32, k+1),
+		size:   make([]int32, k+1),
+		next:   make([]int32, k),
+		prev:   make([]int32, k),
+		parent: make([]int32, k),
+		edge:   make([][]byte, k),
 	}
+	c.head[0] = -1
 	for x := 0; x < k; x++ {
 		c.cc[x] = int32(x + 1)
-		c.members[x+1] = []int32{int32(x)}
+		c.head[x+1] = int32(x)
+		c.size[x+1] = 1
+		c.next[x] = -1
+		c.prev[x] = -1
 		c.parent[x] = -1
 	}
 	return c
@@ -81,19 +94,21 @@ func (c *Components) ComponentSize(x int) int {
 	if c.cc[x] == Decoded {
 		return len(c.decoded)
 	}
-	return len(c.members[c.cc[x]])
+	return int(c.size[c.cc[x]])
 }
 
 // Members calls fn for each member of x's component (including x) until fn
 // returns false. The iteration order is unspecified.
 func (c *Components) Members(x int, fn func(y int) bool) {
-	var list []int32
 	if c.cc[x] == Decoded {
-		list = c.decoded
-	} else {
-		list = c.members[c.cc[x]]
+		for _, y := range c.decoded {
+			if !fn(int(y)) {
+				return
+			}
+		}
+		return
 	}
-	for _, y := range list {
+	for y := c.head[c.cc[x]]; y >= 0; y = c.next[y] {
 		if !fn(int(y)) {
 			return
 		}
@@ -108,39 +123,55 @@ func (c *Components) MarkDecoded(x int) {
 	if label == Decoded {
 		return
 	}
-	list := c.members[label]
-	for i, y := range list {
-		if y == int32(x) {
-			list[i] = list[len(list)-1]
-			c.members[label] = list[:len(list)-1]
-			break
-		}
+	// Unlink x from its component list in O(1).
+	if p := c.prev[x]; p >= 0 {
+		c.next[p] = c.next[x]
+	} else {
+		c.head[label] = c.next[x]
 	}
+	if n := c.next[x]; n >= 0 {
+		c.prev[n] = c.prev[x]
+	}
+	c.next[x], c.prev[x] = -1, -1
+	c.size[label]--
 	c.cc[x] = Decoded
 	c.decoded = append(c.decoded, int32(x))
 }
 
-// AddPair records that the degree-2 packet x ⊕ y (with the given payload
-// snapshot, nil when payloads are disabled) is available, merging the two
+// AddPair records that the degree-2 packet x ⊕ y (with the given payload,
+// nil when payloads are disabled) is available, merging the two
 // components: "cc(x”) is set to cc(x) for all x” so that
 // cc(x”) = cc(x')". It reports whether a merge happened; pairs that are
 // already equivalent (redundant) or involve decoded natives are ignored.
+// payload is borrowed — AddPair copies it internally when (and only when)
+// the merge retains it as a spanning-forest edge.
 func (c *Components) AddPair(x, y int, payload []byte) bool {
 	lx, ly := c.cc[x], c.cc[y]
 	if lx == ly || lx == Decoded || ly == Decoded {
 		return false
 	}
 	// Relabel the smaller component (labels are arbitrary; the paper
-	// relabels x''s side, which is equivalent).
-	if len(c.members[lx]) < len(c.members[ly]) {
+	// relabels x''s side, which is equivalent), then splice its member
+	// list onto the winner's — no allocation either way.
+	if c.size[lx] < c.size[ly] {
 		x, y = y, x
 		lx, ly = ly, lx
 	}
-	for _, z := range c.members[ly] {
+	last := int32(-1)
+	for z := c.head[ly]; z >= 0; z = c.next[z] {
 		c.cc[z] = lx
+		last = z
 	}
-	c.members[lx] = append(c.members[lx], c.members[ly]...)
-	c.members[ly] = nil
+	if last >= 0 {
+		c.next[last] = c.head[lx]
+		if h := c.head[lx]; h >= 0 {
+			c.prev[h] = last
+		}
+		c.head[lx] = c.head[ly]
+	}
+	c.size[lx] += c.size[ly]
+	c.head[ly] = -1
+	c.size[ly] = 0
 
 	// Forest: reroot y's tree at y, then hang it under x.
 	c.reroot(y)

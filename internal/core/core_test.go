@@ -536,9 +536,15 @@ func TestTripleIndexChurn(t *testing.T) {
 		for _, c := range n.triples {
 			got += c
 		}
-		if got != want || len(n.tripleOf) != want {
+		byID := 0
+		for _, tr := range n.tripleOf {
+			if tr != noTriple {
+				byID++
+			}
+		}
+		if got != want || byID != want {
 			t.Fatalf("step %d: triple index holds %d (byID %d), graph has %d",
-				i, got, len(n.tripleOf), want)
+				i, got, byID, want)
 		}
 	}
 	if !n.Complete() {

@@ -104,8 +104,10 @@ type Node struct {
 	occ *occur.Tracker
 
 	// Degree-3 availability index for Algorithm 3: triple -> multiplicity,
-	// plus the id -> triple map needed to untrack packets on removal.
-	tripleOf map[int][3]int32
+	// plus the id -> triple reverse index needed to untrack packets on
+	// removal. Packet ids are dense decoder slots, so the reverse index is
+	// a flat slice ({-1,-1,-1} = untracked) rather than a map.
+	tripleOf [][3]int32
 	triples  map[[3]int32]int
 
 	counter *opcount.Counter
@@ -130,7 +132,6 @@ func NewNode(opts Options) (*Node, error) {
 		deg:        degindex.New(opts.K),
 		cc:         ccindex.New(opts.K),
 		occ:        occur.New(opts.K),
-		tripleOf:   make(map[int][3]int32),
 		triples:    make(map[[3]int32]int),
 		counter:    opts.Counter,
 		rng:        opts.Rng,
@@ -178,6 +179,43 @@ func (n *Node) M() int { return n.m }
 func (n *Node) Receive(p *packet.Packet) lt.InsertResult {
 	n.counter.Event(opcount.DecodeControl)
 	return n.dec.Insert(p)
+}
+
+// ReceiveBatch drains a burst of received packets in arrival order. The
+// decode outcome is identical to calling Receive per packet; the batch
+// form amortizes per-call overhead on the session ingest path.
+func (n *Node) ReceiveBatch(ps []*packet.Packet) lt.BatchResult {
+	for range ps {
+		n.counter.Event(opcount.DecodeControl)
+	}
+	return n.dec.InsertBatch(ps)
+}
+
+// AcquireVec returns a code vector from the decode arena with
+// unspecified contents — fully overwrite it (UnmarshalInto, CopyFrom)
+// before use; recycled buffers are handed out dirty. Pass it to
+// ReceiveOwned, or return it with ReleaseVec if the packet is aborted
+// before decoding.
+func (n *Node) AcquireVec() *bitvec.Vector { return n.dec.Arena().Vec() }
+
+// ReleaseVec returns an acquired vector without inserting it.
+func (n *Node) ReleaseVec(v *bitvec.Vector) { n.dec.Arena().PutVec(v) }
+
+// AcquireRow returns an m-byte payload row from the decode arena (nil
+// when the node runs control-plane-only). Contents are unspecified —
+// fully overwrite all m bytes before use.
+func (n *Node) AcquireRow() []byte { return n.dec.Arena().Row() }
+
+// ReleaseRow returns an acquired payload row without inserting it.
+func (n *Node) ReleaseRow(r []byte) { n.dec.Arena().PutRow(r) }
+
+// ReceiveOwned feeds one packet whose buffers were acquired from this
+// node's arena (AcquireVec/AcquireRow) and filled in place — the
+// zero-copy, zero-allocation receive path. Ownership of vec and payload
+// transfers to the node; payload may be nil for control-plane use.
+func (n *Node) ReceiveOwned(vec *bitvec.Vector, payload []byte) lt.InsertResult {
+	n.counter.Event(opcount.DecodeControl)
+	return n.dec.InsertOwned(vec, payload)
 }
 
 // Complete reports whether all k natives are decoded.
@@ -235,6 +273,8 @@ func (n *Node) Seed(natives [][]byte) error {
 	return nil
 }
 
+var noTriple = [3]int32{-1, -1, -1}
+
 func (n *Node) trackTriple(id, deg int) {
 	if deg != 3 {
 		return
@@ -244,19 +284,22 @@ func (n *Node) trackTriple(id, deg int) {
 		return
 	}
 	t := tripleKey(vec)
+	for id >= len(n.tripleOf) {
+		n.tripleOf = append(n.tripleOf, noTriple)
+	}
 	n.tripleOf[id] = t
 	n.triples[t]++
 }
 
 func (n *Node) untrackTriple(id, deg int) {
-	if deg != 3 {
+	if deg != 3 || id >= len(n.tripleOf) {
 		return
 	}
-	t, ok := n.tripleOf[id]
-	if !ok {
+	t := n.tripleOf[id]
+	if t == noTriple {
 		return
 	}
-	delete(n.tripleOf, id)
+	n.tripleOf[id] = noTriple
 	if c := n.triples[t]; c <= 1 {
 		delete(n.triples, t)
 	} else {

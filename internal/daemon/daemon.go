@@ -39,7 +39,13 @@ type Running struct {
 // ServeConfig parameterizes a serve daemon (source, relay, or both).
 type ServeConfig struct {
 	// Listen is the UDP bind address, e.g. "127.0.0.1:4980" or ":0".
+	// Ignored when Transport is set.
 	Listen string
+	// Transport, when non-nil, carries the daemon's frames instead of a
+	// freshly bound UDP socket — tests attach daemons to an in-memory
+	// Switch this way and the daemon logic runs unchanged. The daemon
+	// takes ownership and closes it on shutdown.
+	Transport transport.Transport
 	// Peers are standing push targets ("host:port").
 	Peers []string
 	// Files are paths of objects to serve from the start.
@@ -50,12 +56,17 @@ type ServeConfig struct {
 	// network (default behaviour of ltnc-serve; a pure source may
 	// disable it).
 	Relay bool
-	// Tick, Burst, Aggressiveness, IdleTimeout and Seed pass through to
-	// the session (zero values select session defaults).
+	// Tick, Burst, Aggressiveness, IdleTimeout, DecodeWorkers,
+	// IngestBatch, IngestQueue, MaxObjects and Seed pass through to the
+	// session (zero values select session defaults).
 	Tick           time.Duration
 	Burst          int
 	Aggressiveness float64
 	IdleTimeout    time.Duration
+	DecodeWorkers  int
+	IngestBatch    int
+	IngestQueue    int
+	MaxObjects     int
 	Seed           int64
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
@@ -66,7 +77,7 @@ type ServeConfig struct {
 // Serve runs a serve daemon until ctx is cancelled. It returns nil on
 // clean shutdown.
 func Serve(ctx context.Context, cfg ServeConfig) error {
-	if cfg.Listen == "" {
+	if cfg.Listen == "" && cfg.Transport == nil {
 		return errors.New("daemon: empty listen address")
 	}
 	if cfg.K == 0 {
@@ -75,9 +86,12 @@ func Serve(ctx context.Context, cfg ServeConfig) error {
 	if cfg.K < 1 {
 		return fmt.Errorf("daemon: k = %d < 1", cfg.K)
 	}
-	tr, err := transport.ListenUDP(cfg.Listen)
-	if err != nil {
-		return err
+	tr := cfg.Transport
+	if tr == nil {
+		var err error
+		if tr, err = transport.ListenUDP(cfg.Listen); err != nil {
+			return err
+		}
 	}
 	s, err := session.New(session.Config{
 		Transport:      tr,
@@ -86,6 +100,10 @@ func Serve(ctx context.Context, cfg ServeConfig) error {
 		Aggressiveness: cfg.Aggressiveness,
 		IdleTimeout:    cfg.IdleTimeout,
 		Relay:          cfg.Relay,
+		DecodeWorkers:  cfg.DecodeWorkers,
+		IngestBatch:    cfg.IngestBatch,
+		IngestQueue:    cfg.IngestQueue,
+		MaxObjects:     cfg.MaxObjects,
 		Seed:           cfg.Seed,
 		Logf:           cfg.Logf,
 	})
@@ -139,8 +157,12 @@ type FetchConfig struct {
 	From string
 	// ID is the object to fetch.
 	ID packet.ObjectID
-	// Bind is the local UDP address (default "0.0.0.0:0").
+	// Bind is the local UDP address (default "0.0.0.0:0"). Ignored when
+	// Transport is set.
 	Bind string
+	// Transport, when non-nil, carries the fetch instead of a fresh UDP
+	// socket (see ServeConfig.Transport). Closed on return.
+	Transport transport.Transport
 	// Seed passes through to the session.
 	Seed int64
 	// Logf receives progress lines when set.
@@ -159,9 +181,12 @@ func Fetch(ctx context.Context, cfg FetchConfig) ([]byte, FetchReport, error) {
 	if cfg.Bind == "" {
 		cfg.Bind = "0.0.0.0:0"
 	}
-	tr, err := transport.ListenUDP(cfg.Bind)
-	if err != nil {
-		return nil, FetchReport{}, err
+	tr := cfg.Transport
+	if tr == nil {
+		var err error
+		if tr, err = transport.ListenUDP(cfg.Bind); err != nil {
+			return nil, FetchReport{}, err
+		}
 	}
 	s, err := session.New(session.Config{
 		Transport: tr,

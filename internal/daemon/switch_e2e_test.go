@@ -1,0 +1,154 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ltnc/internal/session"
+	"ltnc/internal/transport"
+)
+
+// TestSwitchEndToEndAdverse drives the daemons over the in-memory Switch
+// with every adverse condition it can inject at once — frame loss,
+// jitter-induced reordering, and a shallow receive queue that overflows
+// under the push bursts — and asserts the transfer still completes
+// byte-identically with bounded relay memory. This is the deterministic
+// counterpart of the UDP loopback e2e, which only exercises a clean
+// channel.
+func TestSwitchEndToEndAdverse(t *testing.T) {
+	const (
+		size = 256 * 1024
+		k    = 256
+	)
+	sw, err := transport.NewSwitch(transport.SwitchConfig{
+		LossRate:   0.10,
+		Latency:    200 * time.Microsecond,
+		Jitter:     2 * time.Millisecond, // >> latency: heavy reordering
+		QueueDepth: 4,                    // shallow: bursts overflow
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := func(name transport.Addr) transport.Transport {
+		tr, err := sw.Attach(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	content := make([]byte, size)
+	rand.New(rand.NewSource(99)).Read(content)
+	path := filepath.Join(t.TempDir(), "object.bin")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	fast := func(cfg *ServeConfig) {
+		cfg.Tick = 500 * time.Microsecond
+		cfg.Burst = 8
+		cfg.MaxObjects = 4 // bounded-memory assertion below leans on this
+	}
+
+	relayReady := make(chan Running, 1)
+	relayErr := make(chan error, 1)
+	relayCfg := ServeConfig{
+		Transport: attach("relay"),
+		Relay:     true,
+		Seed:      12,
+		Ready:     func(r Running) { relayReady <- r },
+	}
+	fast(&relayCfg)
+	go func() { relayErr <- Serve(ctx, relayCfg) }()
+	var relay Running
+	select {
+	case relay = <-relayReady:
+	case err := <-relayErr:
+		t.Fatalf("relay died: %v", err)
+	}
+
+	srcReady := make(chan Running, 1)
+	srcErr := make(chan error, 1)
+	srcCfg := ServeConfig{
+		Transport: attach("source"),
+		Peers:     []string{"relay"},
+		Files:     []string{path},
+		K:         k,
+		Seed:      13,
+		Ready:     func(r Running) { srcReady <- r },
+	}
+	fast(&srcCfg)
+	go func() { srcErr <- Serve(ctx, srcCfg) }()
+	var src Running
+	select {
+	case src = <-srcReady:
+	case err := <-srcErr:
+		t.Fatalf("source died: %v", err)
+	}
+	id := src.Objects[0].ID
+
+	got, report, err := Fetch(ctx, FetchConfig{
+		Transport: attach("client"),
+		From:      "relay",
+		ID:        id,
+		Seed:      14,
+	})
+	if err != nil {
+		t.Fatalf("fetch under loss+reorder+overflow: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: %d bytes fetched, %d served", len(got), size)
+	}
+	t.Logf("fetched %d bytes in %v, overhead %.3f", report.Bytes, report.Elapsed, report.Stats.Overhead())
+
+	// The adverse conditions must actually have fired.
+	if sw.Lost() == 0 {
+		t.Fatal("loss injection never dropped a frame")
+	}
+	if sw.Dropped() == 0 {
+		t.Fatal("queue overflow never dropped a frame")
+	}
+	t.Logf("switch: %d lost, %d overflow-dropped", sw.Lost(), sw.Dropped())
+
+	// Bounded memory: the relay holds only the learned object (plus
+	// nothing leaked per adverse frame), and its decode state is capped by
+	// the object itself.
+	objs := relay.Session.Objects()
+	if len(objs) > 4 {
+		t.Fatalf("relay state grew to %d objects under churn, bound 4", len(objs))
+	}
+	var rstats *session.ObjectStats
+	for i := range objs {
+		if objs[i].ID == id {
+			rstats = &objs[i]
+		}
+	}
+	if rstats == nil {
+		t.Fatal("relay never learned the object")
+	}
+	if rstats.Received == 0 || rstats.Sent == 0 {
+		t.Fatalf("relay did not relay: %+v", *rstats)
+	}
+
+	cancel()
+	for _, ch := range []chan error{relayErr, srcErr} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+	sw.Wait()
+}

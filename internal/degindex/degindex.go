@@ -13,15 +13,19 @@ import (
 )
 
 type location struct {
-	deg int
+	deg int // 0 means "not indexed"
 	idx int // position within byDeg[deg]
 }
 
 // Index maps degrees to the sets of packet ids currently at that degree,
-// with O(1) add/move/remove and uniform random picks per degree.
+// with O(1) add/move/remove and uniform random picks per degree. Packet
+// ids are the decoder's dense storage slots, so the reverse index is a
+// flat slice rather than a map — indexing a packet allocates nothing once
+// the slice has grown to the decoder's working set.
 type Index struct {
 	byDeg  [][]int
-	where  map[int]location
+	where  []location // id -> location; deg 0 = absent
+	count  int
 	weight uint64 // Σ over packets of their degree
 }
 
@@ -32,8 +36,21 @@ func New(maxDegree int) *Index {
 	}
 	return &Index{
 		byDeg: make([][]int, maxDegree+1),
-		where: make(map[int]location),
 	}
+}
+
+func (ix *Index) locOf(id int) location {
+	if id < 0 || id >= len(ix.where) {
+		return location{}
+	}
+	return ix.where[id]
+}
+
+func (ix *Index) setLoc(id int, loc location) {
+	for id >= len(ix.where) {
+		ix.where = append(ix.where, location{})
+	}
+	ix.where[id] = loc
 }
 
 // Add registers packet id at the given degree. It panics if id is already
@@ -41,36 +58,56 @@ func New(maxDegree int) *Index {
 // sequence, never a runtime condition.
 func (ix *Index) Add(id, deg int) {
 	ix.checkDeg(deg)
-	if _, ok := ix.where[id]; ok {
+	if loc := ix.locOf(id); loc.deg != 0 {
 		panic(fmt.Sprintf("degindex: duplicate add of id %d", id))
 	}
-	ix.byDeg[deg] = append(ix.byDeg[deg], id)
-	ix.where[id] = location{deg: deg, idx: len(ix.byDeg[deg]) - 1}
+	ix.appendTo(deg, id)
+	ix.count++
 	ix.weight += uint64(deg)
+}
+
+// appendTo adds id to the degree-deg bucket and records its location. A
+// bucket's first use reserves room for several ids at once: packets churn
+// through low degrees as peeling reduces them, and per-id doubling from
+// capacity zero showed up as the index's main allocation cost.
+func (ix *Index) appendTo(deg, id int) {
+	b := ix.byDeg[deg]
+	if cap(b) == 0 {
+		// Low degrees carry most of the Soliton mass and every packet
+		// peels down through them, so their buckets start larger.
+		if deg <= 4 {
+			b = make([]int, 0, 64)
+		} else {
+			b = make([]int, 0, 16)
+		}
+	}
+	b = append(b, id)
+	ix.byDeg[deg] = b
+	ix.setLoc(id, location{deg: deg, idx: len(b) - 1})
 }
 
 // Move re-registers id from degree old to degree new.
 func (ix *Index) Move(id, old, new int) {
-	loc, ok := ix.where[id]
-	if !ok || loc.deg != old {
+	loc := ix.locOf(id)
+	if loc.deg == 0 || loc.deg != old {
 		panic(fmt.Sprintf("degindex: move of id %d from %d, index holds %+v", id, old, loc))
 	}
 	ix.removeAt(loc)
 	ix.weight -= uint64(old)
 	ix.checkDeg(new)
-	ix.byDeg[new] = append(ix.byDeg[new], id)
-	ix.where[id] = location{deg: new, idx: len(ix.byDeg[new]) - 1}
+	ix.appendTo(new, id)
 	ix.weight += uint64(new)
 }
 
 // Remove unregisters id, which must currently be at degree deg.
 func (ix *Index) Remove(id, deg int) {
-	loc, ok := ix.where[id]
-	if !ok || loc.deg != deg {
+	loc := ix.locOf(id)
+	if loc.deg == 0 || loc.deg != deg {
 		panic(fmt.Sprintf("degindex: remove of id %d at %d, index holds %+v", id, deg, loc))
 	}
 	ix.removeAt(loc)
-	delete(ix.where, id)
+	ix.where[id] = location{}
+	ix.count--
 	ix.weight -= uint64(deg)
 }
 
@@ -95,12 +132,12 @@ func (ix *Index) CountAt(deg int) int {
 }
 
 // Len returns the total number of indexed packets.
-func (ix *Index) Len() int { return len(ix.where) }
+func (ix *Index) Len() int { return ix.count }
 
 // Degree returns the degree the index currently holds for id, or 0 if id
 // is not indexed.
 func (ix *Index) Degree(id int) int {
-	return ix.where[id].deg
+	return ix.locOf(id).deg
 }
 
 // WeightUpTo returns Σ_{i=1..d} i·n(i) — the left side of the first

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDecodeBenchSmall runs the harness on a scaled-down workload: both
+// paths must decode every object, process the identical number of
+// packets, and the engine must not allocate more than the scalar path.
+func TestDecodeBenchSmall(t *testing.T) {
+	rep, err := RunDecodeBench(DecodeBenchParams{Objects: 4, ObjectSize: 4096, K: 32, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline.Packets == 0 || rep.Engine.Packets == 0 {
+		t.Fatalf("no packets measured: %+v", rep)
+	}
+	if rep.Baseline.Packets != rep.Engine.Packets {
+		t.Fatalf("paths processed different streams: scalar %d, engine %d packets",
+			rep.Baseline.Packets, rep.Engine.Packets)
+	}
+	if rep.Engine.AllocsPerPacket > rep.Baseline.AllocsPerPacket {
+		t.Fatalf("engine allocates more than the scalar path: %.2f > %.2f",
+			rep.Engine.AllocsPerPacket, rep.Baseline.AllocsPerPacket)
+	}
+	t.Logf("scalar %.1f MB/s %.2f allocs/pkt | engine %.1f MB/s %.2f allocs/pkt",
+		rep.Baseline.MBps, rep.Baseline.AllocsPerPacket,
+		rep.Engine.MBps, rep.Engine.AllocsPerPacket)
+}
+
+func TestDecodeBenchWriteJSON(t *testing.T) {
+	rep, err := RunDecodeBench(DecodeBenchParams{Objects: 2, ObjectSize: 2048, K: 16, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SetPrePRReference(DecodePathResult{Path: "pre-pr", MBps: 10, AllocsPerPacket: 20}, "test")
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DecodeBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PrePR == nil || back.PrePR.MBps != 10 {
+		t.Fatalf("pre-PR reference lost in round trip: %+v", back)
+	}
+	if back.Engine.Packets != rep.Engine.Packets {
+		t.Fatalf("engine packets %d != %d", back.Engine.Packets, rep.Engine.Packets)
+	}
+}
+
+func TestDecodeBenchParamValidation(t *testing.T) {
+	if _, err := RunDecodeBench(DecodeBenchParams{Objects: -1}); err == nil {
+		t.Error("negative objects accepted")
+	}
+	if _, err := RunDecodeBench(DecodeBenchParams{StreamFactor: 1}); err == nil {
+		t.Error("stream factor 1 accepted")
+	}
+}

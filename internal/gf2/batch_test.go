@@ -1,0 +1,145 @@
+package gf2
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ltnc/internal/bitvec"
+	"ltnc/internal/packet"
+)
+
+// randomPackets builds count packets over k columns whose payloads are
+// the matching XORs of random natives, plus duplicates, so batches hit
+// both innovative and dependent insertions.
+func randomPackets(rng *rand.Rand, k, m, count int) ([]*packet.Packet, [][]byte) {
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, m)
+		rng.Read(natives[i])
+	}
+	var ps []*packet.Packet
+	for len(ps) < count {
+		p := packet.New(k, m)
+		deg := 1 + rng.Intn(5)
+		for d := 0; d < deg; d++ {
+			x := rng.Intn(k)
+			if p.Vec.Get(x) {
+				continue
+			}
+			p.Vec.Set(x)
+			bitvec.XorBytes(p.Payload, natives[x])
+		}
+		if p.IsZero() {
+			continue
+		}
+		ps = append(ps, p)
+		if rng.Intn(4) == 0 { // duplicate ~25%
+			ps = append(ps, p.Clone())
+		}
+	}
+	return ps, natives
+}
+
+// TestInsertBatchMatchesSequential: the RREF of a row space is unique, so
+// batched insertion (forward passes + one back sweep) must leave exactly
+// the same rows and payloads as packet-at-a-time insertion.
+func TestInsertBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		k := 4 + rng.Intn(60)
+		m := 1 + rng.Intn(32)
+		ps, _ := randomPackets(rng, k, m, 3*k)
+
+		seq := NewMatrix(k, m)
+		seqAdded := 0
+		for _, p := range ps {
+			if seq.Full() {
+				break
+			}
+			if seq.Insert(p, nil) {
+				seqAdded++
+			}
+		}
+
+		bat := NewMatrix(k, m)
+		batAdded := 0
+		batch := 1 + rng.Intn(9)
+		for off := 0; off < len(ps) && !bat.Full(); off += batch {
+			batAdded += bat.InsertBatch(ps[off:min(off+batch, len(ps))], nil)
+		}
+
+		if seqAdded != batAdded || seq.Rank() != bat.Rank() {
+			t.Fatalf("trial %d: sequential added %d (rank %d), batch added %d (rank %d)",
+				trial, seqAdded, seq.Rank(), batAdded, bat.Rank())
+		}
+		// RREF uniqueness: compare pivot rows column by column.
+		for col := 0; col < k; col++ {
+			sr, br := seq.pivotOf[col], bat.pivotOf[col]
+			if (sr < 0) != (br < 0) {
+				t.Fatalf("trial %d: pivot disagreement at column %d", trial, col)
+			}
+			if sr < 0 {
+				continue
+			}
+			if !seq.RowVec(sr).Equal(bat.RowVec(br)) {
+				t.Fatalf("trial %d: row for pivot %d differs:\n  seq %v\n  bat %v",
+					trial, col, seq.RowVec(sr), bat.RowVec(br))
+			}
+			if !bytes.Equal(seq.RowPayload(sr), bat.RowPayload(br)) {
+				t.Fatalf("trial %d: payload for pivot %d differs", trial, col)
+			}
+		}
+	}
+}
+
+// TestInsertBatchDecodesNatives: a full-rank batched matrix must hand
+// back the original payloads.
+func TestInsertBatchDecodesNatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const (
+		k = 24
+		m = 40
+	)
+	ps, natives := randomPackets(rng, k, m, 6*k)
+	mtx := NewMatrix(k, m)
+	for off := 0; off < len(ps) && !mtx.Full(); off += 5 {
+		mtx.InsertBatch(ps[off:min(off+5, len(ps))], nil)
+	}
+	if !mtx.Full() {
+		t.Fatalf("rank %d < %d after full stream", mtx.Rank(), k)
+	}
+	out, err := mtx.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range natives {
+		if !bytes.Equal(out[i], natives[i]) {
+			t.Fatalf("native %d corrupt after batched decode", i)
+		}
+	}
+}
+
+// TestInsertScratchReuse: dependent insertions must not allocate rows —
+// the matrix reduces them entirely in its scratch space.
+func TestInsertScratchReuse(t *testing.T) {
+	const k = 16
+	mtx := NewMatrix(k, 8)
+	for i := 0; i < k; i++ {
+		if !mtx.Insert(packet.Native(k, i, bytes.Repeat([]byte{byte(i)}, 8)), nil) {
+			t.Fatalf("native %d not innovative", i)
+		}
+	}
+	if !mtx.Full() {
+		t.Fatal("matrix not full")
+	}
+	dup := packet.Native(k, 3, bytes.Repeat([]byte{3}, 8))
+	allocs := testing.AllocsPerRun(100, func() {
+		if mtx.Insert(dup, nil) {
+			t.Fatal("duplicate accepted")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("dependent insert allocates %.1f times per call, want 0", allocs)
+	}
+}

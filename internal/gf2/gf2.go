@@ -13,6 +13,7 @@ package gf2
 
 import (
 	"fmt"
+	"sort"
 
 	"ltnc/internal/bitvec"
 	"ltnc/internal/opcount"
@@ -28,6 +29,12 @@ type Matrix struct {
 	rows    []*bitvec.Vector
 	loads   [][]byte
 	pivotOf []int // column -> row index holding that pivot, or -1
+
+	// Scratch row reused by every reduction so that dependent (redundant)
+	// insertions allocate nothing; a retained row is cloned out of the
+	// scratch only when the packet proves innovative.
+	scratchVec  *bitvec.Vector
+	scratchLoad []byte
 }
 
 // NewMatrix returns an empty matrix over k columns whose rows carry
@@ -55,7 +62,8 @@ func (mtx *Matrix) Full() bool { return len(mtx.rows) == mtx.k }
 // is the header-only check the receiver runs to abort redundant
 // transfers).
 func (mtx *Matrix) IsInnovative(vec *bitvec.Vector, c *opcount.Counter) bool {
-	v := vec.Clone()
+	v := mtx.scratch()
+	v.CopyFrom(vec)
 	for col := v.LowestSet(); col >= 0; col = v.NextSet(col + 1) {
 		r := mtx.pivotOf[col]
 		if r < 0 {
@@ -67,23 +75,71 @@ func (mtx *Matrix) IsInnovative(vec *bitvec.Vector, c *opcount.Counter) bool {
 	return false
 }
 
+// scratch returns the reusable reduction vector (lazily allocated so that
+// the convenience constructors Rank/InSpan stay cheap for tiny k).
+func (mtx *Matrix) scratch() *bitvec.Vector {
+	if mtx.scratchVec == nil {
+		mtx.scratchVec = bitvec.New(mtx.k)
+	}
+	return mtx.scratchVec
+}
+
 // Insert reduces p against the matrix and, if innovative, adds it as a new
 // row (restoring reduced row echelon form). It reports whether p was
 // innovative. Elimination work is recorded as decoding cost on c.
+//
+// Reduction runs in a scratch row owned by the matrix: a dependent packet
+// (the common case once the matrix is nearly full) allocates nothing, and
+// a new row is materialized from the scratch only on rank growth — at most
+// k times over the matrix's life.
 func (mtx *Matrix) Insert(p *packet.Packet, c *opcount.Counter) bool {
+	pivot, v, load := mtx.insertForward(p, c)
+	if pivot < 0 {
+		return false
+	}
+	// Back elimination: clear the new pivot column from every existing row
+	// so the matrix stays in reduced form.
+	for r, row := range mtx.rows[:len(mtx.rows)-1] {
+		if !row.Get(pivot) {
+			continue
+		}
+		c.Add(opcount.DecodeControl, opcount.WordOps(mtx.k, 1))
+		row.Xor(v)
+		if load != nil && mtx.loads[r] != nil {
+			c.Add(opcount.DecodeData, bitvec.XorBytes(mtx.loads[r], load))
+		}
+	}
+	return true
+}
+
+// insertForward runs forward elimination only: it reduces p in the scratch
+// row and, if innovative, appends it as a new pivot row without clearing
+// its pivot column from the rows above. The matrix is left in row echelon
+// (not reduced) form; callers must restore RREF with back elimination —
+// per insert (Insert) or once per batch (InsertBatch). Returns the new
+// pivot column (or -1) and the appended row and load.
+func (mtx *Matrix) insertForward(p *packet.Packet, c *opcount.Counter) (int, *bitvec.Vector, []byte) {
 	if p.K() != mtx.k {
 		panic(fmt.Sprintf("gf2: packet k=%d inserted in matrix k=%d", p.K(), mtx.k))
 	}
-	v := p.Vec.Clone()
+	v := mtx.scratch()
+	v.CopyFrom(p.Vec)
 	var load []byte
-	if mtx.m > 0 && len(p.Payload) > 0 {
-		load = append([]byte(nil), p.Payload...)
-	} else if mtx.m > 0 {
-		load = make([]byte, mtx.m)
+	if mtx.m > 0 {
+		if mtx.scratchLoad == nil {
+			mtx.scratchLoad = make([]byte, mtx.m)
+		}
+		load = mtx.scratchLoad
+		if len(p.Payload) > 0 {
+			copy(load, p.Payload)
+		} else {
+			clear(load)
+		}
 	}
-	// Forward elimination: clear every pivot column present in v. Rows in
-	// RREF have their pivot as lowest set bit, so XOR only touches
-	// columns > col and the scan never revisits cleared bits.
+	// Forward elimination: clear every pivot column present in v. Each
+	// pivot row has its pivot as lowest set bit, so an XOR only touches
+	// columns > col and the scan never revisits cleared bits (columns it
+	// introduces lie ahead of the scan and are cleared when reached).
 	for col := v.LowestSet(); col >= 0; col = v.NextSet(col + 1) {
 		r := mtx.pivotOf[col]
 		if r < 0 {
@@ -97,25 +153,62 @@ func (mtx *Matrix) Insert(p *packet.Packet, c *opcount.Counter) bool {
 	}
 	pivot := v.LowestSet()
 	if pivot < 0 {
-		return false // dependent: non-innovative
+		return -1, nil, nil // dependent: non-innovative
 	}
-	// Back elimination: clear the new pivot column from every existing row
-	// so the matrix stays in reduced form.
-	idx := len(mtx.rows)
-	for r, row := range mtx.rows {
-		if !row.Get(pivot) {
-			continue
+	row := v.Clone()
+	var rowLoad []byte
+	if load != nil {
+		rowLoad = append([]byte(nil), load...)
+	}
+	mtx.pivotOf[pivot] = len(mtx.rows)
+	mtx.rows = append(mtx.rows, row)
+	mtx.loads = append(mtx.loads, rowLoad)
+	return pivot, row, rowLoad
+}
+
+// InsertBatch drains a batch of packets through one incremental-RREF
+// pass: every packet is forward-eliminated against the pivot index as it
+// arrives, and the back-elimination that keeps the matrix reduced runs
+// once at the end instead of once per packet. Because the RREF of a row
+// space is unique, the resulting matrix (rows and payloads) is identical
+// to inserting the packets one at a time. It returns the number of
+// innovative packets and stops early once the matrix is full.
+func (mtx *Matrix) InsertBatch(ps []*packet.Packet, c *opcount.Counter) int {
+	added := 0
+	newPivots := make([]int, 0, len(ps))
+	for _, p := range ps {
+		if mtx.Full() {
+			break
 		}
-		c.Add(opcount.DecodeControl, opcount.WordOps(mtx.k, 1))
-		row.Xor(v)
-		if load != nil && mtx.loads[r] != nil {
-			c.Add(opcount.DecodeData, bitvec.XorBytes(mtx.loads[r], load))
+		if pivot, _, _ := mtx.insertForward(p, c); pivot >= 0 {
+			added++
+			newPivots = append(newPivots, pivot)
 		}
 	}
-	mtx.rows = append(mtx.rows, v)
-	mtx.loads = append(mtx.loads, load)
-	mtx.pivotOf[pivot] = idx
-	return true
+	if added == 0 {
+		return 0
+	}
+	// One back-elimination sweep: clear each new pivot column from every
+	// other row, highest column first. Descending order matters: when
+	// column P's turn comes every pivot column above P has been cleared
+	// from all rows, so row(P) is already fully reduced and XORing it into
+	// another row cannot re-introduce a processed pivot column.
+	sort.Sort(sort.Reverse(sort.IntSlice(newPivots)))
+	for _, pivot := range newPivots {
+		pr := mtx.pivotOf[pivot]
+		v, load := mtx.rows[pr], mtx.loads[pr]
+		for r, row := range mtx.rows {
+			if r == pr || !row.Get(pivot) {
+				continue
+			}
+			c.Add(opcount.DecodeControl, opcount.WordOps(mtx.k, 1))
+			row.Xor(v)
+			if load != nil && mtx.loads[r] != nil {
+				c.Add(opcount.DecodeData, bitvec.XorBytes(mtx.loads[r], load))
+			}
+		}
+	}
+	return added
 }
 
 // RowVec returns the code vector of row i. The caller must not mutate it.

@@ -33,8 +33,10 @@ type Hooks struct {
 	Decoded func(x int)
 	// DegreeTwo fires when an encoded packet of degree 2 becomes available
 	// — received directly "or obtained by belief propagation during the
-	// process of decoding" (Section III-B-3). payload is a private copy
-	// (nil when payloads are disabled).
+	// process of decoding" (Section III-B-3). payload is borrowed: it is
+	// valid only for the duration of the call (nil when payloads are
+	// disabled) and hooks that retain it must copy. Most degree-2 events
+	// merge nothing downstream, so the decoder does not copy eagerly.
 	DegreeTwo func(x, y int, payload []byte)
 	// CheckRedundant, if non-nil, is consulted for packets of degree ≤ 3
 	// on reception and whenever a stored packet's degree drops to ≤ 3; a
@@ -66,6 +68,12 @@ type stored struct {
 	deg     int
 }
 
+// pending is one cascade work item: a decoded native and its payload.
+type pending struct {
+	x       int
+	payload []byte
+}
+
 // Decoder is a belief-propagation LT decoder over a Tanner graph. It is
 // not safe for concurrent use; in the concurrent runtime each node owns
 // one decoder.
@@ -85,6 +93,17 @@ type Decoder struct {
 	redundant  int // incoming packets dropped (zero-degree or detector)
 	pruned     int // stored packets later removed by the detector
 	duplicated int // natives re-derived by independent peeling paths
+
+	// arena recycles code vectors and payload rows between stored packets:
+	// the buffers of a dropped or pruned packet back the next insertion
+	// instead of being garbage-collected (zero-allocation hot path).
+	arena *bitvec.Arena
+	// freeStored, queueScratch and adjFree recycle the stored-packet
+	// boxes, the cascade work queue and retired adjacency buckets for the
+	// same reason.
+	freeStored   []*stored
+	queueScratch []pending
+	adjFree      [][]int
 
 	counter *opcount.Counter
 	hooks   Hooks
@@ -106,10 +125,17 @@ func NewDecoder(k, m int, counter *opcount.Counter, hooks Hooks) (*Decoder, erro
 		decoded: make([]bool, k),
 		data:    make([][]byte, k),
 		adj:     make([][]int, k),
+		arena:   bitvec.NewArena(k, m),
 		counter: counter,
 		hooks:   hooks,
 	}, nil
 }
+
+// Arena exposes the decoder's buffer arena so callers on the receive hot
+// path can parse wire bytes straight into recycled buffers and hand them
+// to InsertOwned without any intermediate copy. Buffers acquired here are
+// owned by the caller until passed back via InsertOwned or Put*.
+func (d *Decoder) Arena() *bitvec.Arena { return d.arena }
 
 // K returns the code length.
 func (d *Decoder) K() int { return d.k }
@@ -183,17 +209,78 @@ func (d *Decoder) ForEachStored(fn func(id int, vec *bitvec.Vector, payload []by
 
 // Insert feeds one received packet to the decoder: reduces it by already
 // decoded natives, runs the redundancy detector on low degrees, stores it
-// or triggers the peeling cascade.
+// or triggers the peeling cascade. The packet is copied (into recycled
+// arena buffers); the caller keeps ownership of p.
 func (d *Decoder) Insert(p *packet.Packet) InsertResult {
 	if p.K() != d.k {
 		panic(fmt.Sprintf("lt: packet k=%d inserted in decoder k=%d", p.K(), d.k))
 	}
-	d.received++
-	vec := p.Vec.Clone()
+	vec := d.arena.Vec()
+	vec.CopyFrom(p.Vec)
 	var payload []byte
 	if d.m > 0 && len(p.Payload) > 0 {
-		payload = append([]byte(nil), p.Payload...)
+		if len(p.Payload) == d.m {
+			payload = d.arena.Row()
+			copy(payload, p.Payload)
+		} else {
+			// Off-size payloads (tests, hand-built packets) bypass the
+			// arena: its rows are exactly m bytes and handed out dirty.
+			payload = append([]byte(nil), p.Payload...)
+		}
 	}
+	return d.insertOwned(vec, payload)
+}
+
+// InsertOwned is Insert for callers that hand over buffer ownership: vec
+// (and payload, which may be nil) must be shaped like the decoder's arena
+// buffers — typically acquired from Arena() and filled from wire bytes —
+// and must not be used after the call. This is the zero-copy receive path:
+// wire → arena buffer → Tanner graph, with no per-packet allocation.
+func (d *Decoder) InsertOwned(vec *bitvec.Vector, payload []byte) InsertResult {
+	if vec.Len() != d.k {
+		panic(fmt.Sprintf("lt: packet k=%d inserted in decoder k=%d", vec.Len(), d.k))
+	}
+	if payload != nil && len(payload) != d.m {
+		panic(fmt.Sprintf("lt: payload of %d bytes inserted in decoder m=%d", len(payload), d.m))
+	}
+	return d.insertOwned(vec, payload)
+}
+
+// BatchResult aggregates the outcome of a batched ingest.
+type BatchResult struct {
+	Stored       int
+	Redundant    int
+	NewlyDecoded int
+}
+
+// InsertBatch drains a batch of received packets through the decoder in
+// arrival order. The decode outcome (recovered natives, stored packets,
+// counters) is identical to calling Insert packet-at-a-time — belief
+// propagation is inherently sequential because each insertion can decode
+// natives that change the reduction of the next packet, so unlike
+// gf2.Matrix.InsertBatch there is no deferred-elimination shortcut here.
+// It exists as the one-call form for batch consumers that hold no
+// per-packet protocol state; the session's ingest keeps per-packet calls
+// (the paper's header-abort feedback is decided packet by packet) and
+// batches at the locking and buffer layer instead.
+func (d *Decoder) InsertBatch(ps []*packet.Packet) BatchResult {
+	var r BatchResult
+	for _, p := range ps {
+		res := d.Insert(p)
+		if res.Stored {
+			r.Stored++
+		}
+		if res.Redundant {
+			r.Redundant++
+		}
+		r.NewlyDecoded += res.NewlyDecoded
+	}
+	return r
+}
+
+// insertOwned runs the insertion pipeline on decoder-owned buffers.
+func (d *Decoder) insertOwned(vec *bitvec.Vector, payload []byte) InsertResult {
+	d.received++
 
 	// Reduce by decoded natives ("every encoded packet y involving x is
 	// xor-ed with x and the edge is deleted").
@@ -214,14 +301,20 @@ func (d *Decoder) Insert(p *packet.Packet) InsertResult {
 	switch {
 	case deg == 0:
 		d.redundant++
+		d.arena.PutVec(vec)
+		d.arena.PutRow(payload)
 		return InsertResult{Redundant: true}
 	case deg == 1:
-		n := d.runCascade(vec.LowestSet(), payload)
+		x := vec.LowestSet()
+		d.arena.PutVec(vec)
+		n := d.runCascade(x, payload)
 		return InsertResult{NewlyDecoded: n}
 	}
 
 	if d.hooks.CheckRedundant != nil && deg <= redundancyCheckMaxDegree && d.hooks.CheckRedundant(vec) {
 		d.redundant++
+		d.arena.PutVec(vec)
+		d.arena.PutRow(payload)
 		return InsertResult{Redundant: true}
 	}
 
@@ -234,7 +327,20 @@ func (d *Decoder) Insert(p *packet.Packet) InsertResult {
 }
 
 func (d *Decoder) store(vec *bitvec.Vector, payload []byte, deg int) int {
-	s := &stored{vec: vec, payload: payload, deg: deg}
+	if len(d.freeStored) == 0 {
+		// Replenish the box pool a slab at a time (cf. the arena's chunked
+		// vectors): growing the stored set costs one allocation per slab,
+		// not one per packet.
+		slab := make([]stored, 16)
+		for i := range slab {
+			d.freeStored = append(d.freeStored, &slab[i])
+		}
+	}
+	n := len(d.freeStored)
+	s := d.freeStored[n-1]
+	d.freeStored[n-1] = nil
+	d.freeStored = d.freeStored[:n-1]
+	s.vec, s.payload, s.deg = vec, payload, deg
 	var id int
 	if n := len(d.free); n > 0 {
 		id = d.free[n-1]
@@ -246,7 +352,26 @@ func (d *Decoder) store(vec *bitvec.Vector, payload []byte, deg int) int {
 	}
 	d.nStored++
 	for x := vec.LowestSet(); x >= 0; x = vec.NextSet(x + 1) {
-		d.adj[x] = append(d.adj[x], id)
+		b := d.adj[x]
+		if cap(b) == 0 {
+			// First edge at x: reuse a bucket retired by a decoded native.
+			// On a dry free list, carve a chunk of buckets from one slab —
+			// large k touches thousands of natives for the first time in
+			// quick succession, and a per-bucket make() there dominated the
+			// ingest allocation profile.
+			if len(d.adjFree) == 0 {
+				const bucketCap, chunk = 16, 16
+				slab := make([]int, bucketCap*chunk)
+				for i := 0; i < chunk; i++ {
+					d.adjFree = append(d.adjFree, slab[i*bucketCap:i*bucketCap:(i+1)*bucketCap])
+				}
+			}
+			n := len(d.adjFree)
+			b = d.adjFree[n-1]
+			d.adjFree[n-1] = nil
+			d.adjFree = d.adjFree[:n-1]
+		}
+		d.adj[x] = append(b, id)
 	}
 	d.counter.Add(opcount.DecodeControl, deg)
 	if d.hooks.PacketStored != nil {
@@ -256,12 +381,15 @@ func (d *Decoder) store(vec *bitvec.Vector, payload []byte, deg int) int {
 }
 
 func (d *Decoder) remove(id, lastDegree int) {
+	s := d.packets[id]
 	d.packets[id] = nil
 	d.free = append(d.free, id)
 	d.nStored--
 	if d.hooks.PacketRemoved != nil {
 		d.hooks.PacketRemoved(id, lastDegree)
 	}
+	s.vec, s.payload = nil, nil
+	d.freeStored = append(d.freeStored, s)
 }
 
 func (d *Decoder) emitDegreeTwo(vec *bitvec.Vector, payload []byte) {
@@ -270,11 +398,7 @@ func (d *Decoder) emitDegreeTwo(vec *bitvec.Vector, payload []byte) {
 	}
 	x := vec.LowestSet()
 	y := vec.NextSet(x + 1)
-	var snapshot []byte
-	if payload != nil {
-		snapshot = append([]byte(nil), payload...)
-	}
-	d.hooks.DegreeTwo(x, y, snapshot)
+	d.hooks.DegreeTwo(x, y, payload)
 }
 
 // runCascade decodes native x0 (carrying payload) and propagates: every
@@ -282,18 +406,15 @@ func (d *Decoder) emitDegreeTwo(vec *bitvec.Vector, payload []byte) {
 // packet reduced to degree 1 is consumed and decodes another native.
 // Returns the number of natives decoded.
 func (d *Decoder) runCascade(x0 int, payload []byte) int {
-	type pending struct {
-		x       int
-		payload []byte
-	}
-	queue := []pending{{x0, payload}}
+	queue := append(d.queueScratch[:0], pending{x0, payload})
+	defer func() { d.queueScratch = queue[:0] }()
 	newly := 0
 
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
+	for i := 0; i < len(queue); i++ {
+		it := queue[i]
 		if d.decoded[it.x] {
 			d.duplicated++
+			d.arena.PutRow(it.payload)
 			continue
 		}
 		d.decoded[it.x] = true
@@ -322,16 +443,21 @@ func (d *Decoder) runCascade(x0 int, payload []byte) int {
 			switch {
 			case s.deg == 1:
 				y := s.vec.LowestSet()
+				vec, pl := s.vec, s.payload
 				d.remove(id, old)
-				queue = append(queue, pending{y, s.payload})
+				d.arena.PutVec(vec)
+				queue = append(queue, pending{y, pl})
 			default:
 				if d.hooks.CheckRedundant != nil && s.deg <= redundancyCheckMaxDegree &&
 					d.hooks.CheckRedundant(s.vec) {
 					// "The redundancy mechanism of LTNC prevents such
 					// useless operations" — drop the packet before it costs
 					// more XORs (Section III-C-1).
+					vec, pl := s.vec, s.payload
 					d.pruned++
 					d.remove(id, old)
+					d.arena.PutVec(vec)
+					d.arena.PutRow(pl)
 					continue
 				}
 				if d.hooks.DegreeChanged != nil {
@@ -341,6 +467,12 @@ func (d *Decoder) runCascade(x0 int, payload []byte) int {
 					d.emitDegreeTwo(s.vec, s.payload)
 				}
 			}
+		}
+		if cap(edges) > 0 {
+			// x is decoded, so its bucket never fills again: recycle it for
+			// a native still collecting edges. Safe immediately — nothing
+			// stores packets (and hence grabs buckets) during a cascade.
+			d.adjFree = append(d.adjFree, edges[:0])
 		}
 	}
 	return newly

@@ -3,6 +3,8 @@ package packet
 import (
 	"bytes"
 	"testing"
+
+	"ltnc/internal/bitvec"
 )
 
 // FuzzUnmarshal hardens the wire decoder against malformed input: it must
@@ -32,6 +34,23 @@ func FuzzUnmarshal(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{'L', 'T', 1, 0, 0, 0, 0, 0})
+	// v2 content-ID edge cases: truncated inside the object ID, a zero ID
+	// (must be rejected — zero means "no object" and is v1-only), and a v2
+	// header whose announced sizes overflow the actual frame.
+	v2, err := Marshal(tagged)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2[:headerFixed+3])            // cut mid-object-ID
+	f.Add(v2[:headerFixed+objectIDSize]) // object ID present, vector missing
+	zeroID := append([]byte(nil), v2...)
+	for i := 0; i < objectIDSize; i++ {
+		zeroID[headerFixed+i] = 0
+	}
+	f.Add(zeroID)
+	oversized := append([]byte(nil), v2...)
+	oversized[8], oversized[9] = 0xff, 0xff // k beyond the frame
+	f.Add(oversized)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Unmarshal(data)
@@ -44,6 +63,45 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if !bytes.Equal(out, data) {
 			t.Fatalf("non-canonical encoding: %d in, %d out", len(data), len(out))
+		}
+	})
+}
+
+// FuzzParseWire cross-checks the zero-copy wire parser against the
+// io.Reader decoder: both must accept exactly the same frames, and on
+// acceptance the views must describe the same packet.
+func FuzzParseWire(f *testing.F) {
+	tagged := Native(32, 4, []byte{1, 2, 3, 4})
+	tagged.Object = NewObjectID([]byte("wire"))
+	for _, p := range []*Packet{Native(8, 3, []byte{1, 2, 3}), tagged, New(300, 0)} {
+		data, err := Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-1])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wv, errView := ParseWire(data)
+		p, errRead := Unmarshal(data)
+		if (errView == nil) != (errRead == nil) {
+			t.Fatalf("parser disagreement: ParseWire err=%v, Unmarshal err=%v", errView, errRead)
+		}
+		if errView != nil {
+			return
+		}
+		if wv.K != p.K() || wv.M != len(p.Payload) || wv.Object != p.Object || wv.Generation != p.Generation {
+			t.Fatalf("views disagree: %+v vs %v", wv, p)
+		}
+		vec := bitvec.New(wv.K)
+		if err := vec.UnmarshalInto(wv.VecBytes(data)); err != nil {
+			t.Fatalf("accepted vector bytes do not unmarshal: %v", err)
+		}
+		if !vec.Equal(p.Vec) {
+			t.Fatal("code vectors disagree between parsers")
+		}
+		if wv.M > 0 && !bytes.Equal(wv.PayloadBytes(data), p.Payload) {
+			t.Fatal("payloads disagree between parsers")
 		}
 	})
 }

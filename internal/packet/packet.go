@@ -332,12 +332,7 @@ func Marshal(p *Packet) ([]byte, error) {
 	if !p.Object.IsZero() {
 		size = ObjectWireSize(p.K(), len(p.Payload))
 	}
-	buf := make([]byte, 0, size)
-	w := &appendWriter{buf: buf}
-	if err := Write(w, p); err != nil {
-		return nil, err
-	}
-	return w.buf, nil
+	return AppendWire(make([]byte, 0, size), p), nil
 }
 
 // Unmarshal parses a packet from its full wire encoding.
@@ -351,13 +346,6 @@ func Unmarshal(data []byte) (*Packet, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
 	}
 	return p, nil
-}
-
-type appendWriter struct{ buf []byte }
-
-func (w *appendWriter) Write(p []byte) (int, error) {
-	w.buf = append(w.buf, p...)
-	return len(p), nil
 }
 
 type sliceReader struct {

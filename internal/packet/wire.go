@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WireView is a validated, zero-copy view of one packet inside a single
+// wire buffer (a datagram). It carries the decoded fixed fields and the
+// offsets of the code vector and payload, so the receive hot path can
+// inspect the header and copy the body straight into arena buffers
+// without the io.Reader scaffolding of ReadHeader/ReadPayload.
+type WireView struct {
+	Version    byte
+	Generation uint32
+	K, M       int
+	Object     ObjectID
+	vecOff     int
+	payloadOff int
+}
+
+// VecBytes returns the code-vector bytes of the viewed packet inside
+// data, which must be the buffer ParseWire validated.
+func (wv WireView) VecBytes(data []byte) []byte { return data[wv.vecOff:wv.payloadOff] }
+
+// PayloadBytes returns the payload bytes of the viewed packet inside
+// data, which must be the buffer ParseWire validated.
+func (wv WireView) PayloadBytes(data []byte) []byte {
+	return data[wv.payloadOff : wv.payloadOff+wv.M]
+}
+
+// ParseWire validates a complete packet encoding in data and returns its
+// layout without copying or allocating. It enforces the same header
+// checks as ReadHeader plus an exact-length check (datagram transports
+// deliver whole packets; trailing bytes mean corruption).
+func ParseWire(data []byte) (WireView, error) {
+	var wv WireView
+	if len(data) < headerFixed {
+		return wv, fmt.Errorf("%w: %d-byte frame", ErrCorrupt, len(data))
+	}
+	if data[0] != wireMagic[0] || data[1] != wireMagic[1] {
+		return wv, ErrBadMagic
+	}
+	wv.Version = data[2]
+	if wv.Version != wireV1 && wv.Version != wireV2 {
+		return wv, fmt.Errorf("%w: %d", ErrBadVersion, wv.Version)
+	}
+	wv.Generation = binary.BigEndian.Uint32(data[4:])
+	k := binary.BigEndian.Uint32(data[8:])
+	m := binary.BigEndian.Uint32(data[12:])
+	if k == 0 || k > maxWireK || m > maxWirePayload {
+		return wv, fmt.Errorf("%w: k=%d m=%d", ErrCorrupt, k, m)
+	}
+	wv.K, wv.M = int(k), int(m)
+	wv.vecOff = headerFixed
+	if wv.Version == wireV2 {
+		if len(data) < headerFixed+objectIDSize {
+			return wv, fmt.Errorf("%w: truncated object id", ErrCorrupt)
+		}
+		copy(wv.Object[:], data[headerFixed:])
+		if wv.Object.IsZero() {
+			return wv, fmt.Errorf("%w: v2 header with zero object id", ErrCorrupt)
+		}
+		wv.vecOff += objectIDSize
+	}
+	wv.payloadOff = wv.vecOff + (wv.K+7)/8
+	if total := wv.payloadOff + wv.M; len(data) != total {
+		return wv, fmt.Errorf("%w: %d-byte frame, want %d", ErrCorrupt, len(data), total)
+	}
+	return wv, nil
+}
+
+// AppendWire appends the full wire encoding of p to dst and returns it.
+// It is the allocation-free counterpart of Marshal for callers that
+// serialize into pooled frame buffers.
+func AppendWire(dst []byte, p *Packet) []byte {
+	version := byte(wireV1)
+	if !p.Object.IsZero() {
+		version = wireV2
+	}
+	var fixed [headerFixed]byte
+	fixed[0], fixed[1] = wireMagic[0], wireMagic[1]
+	fixed[2] = version
+	fixed[3] = 0
+	binary.BigEndian.PutUint32(fixed[4:], p.Generation)
+	binary.BigEndian.PutUint32(fixed[8:], uint32(p.K()))
+	binary.BigEndian.PutUint32(fixed[12:], uint32(len(p.Payload)))
+	dst = append(dst, fixed[:]...)
+	if version == wireV2 {
+		dst = append(dst, p.Object[:]...)
+	}
+	dst = p.Vec.AppendBinary(dst)
+	return append(dst, p.Payload...)
+}

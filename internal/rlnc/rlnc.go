@@ -124,6 +124,23 @@ func (n *Node) Receive(p *packet.Packet) bool {
 	return false
 }
 
+// ReceiveBatch drains a burst of received packets through one
+// incremental-RREF pass (forward elimination per packet against the
+// pivot index, one back-elimination sweep at the end) and returns the
+// number of innovative packets. The resulting matrix is identical to
+// calling Receive per packet — RREF is unique — at a fraction of the
+// row operations; this is the RLNC counterpart of the session layer's
+// batched ingest.
+func (n *Node) ReceiveBatch(ps []*packet.Packet) int {
+	n.received += len(ps)
+	for range ps {
+		n.counter.Event(opcount.DecodeControl)
+	}
+	added := n.mtx.InsertBatch(ps, n.counter)
+	n.dropped += len(ps) - added
+	return added
+}
+
 // Seed bootstraps the node with the full content (turning it into a
 // source).
 func (n *Node) Seed(natives [][]byte) error {

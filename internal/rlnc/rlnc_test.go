@@ -223,3 +223,68 @@ func TestOpCounting(t *testing.T) {
 		t.Error("decode costs not recorded")
 	}
 }
+
+// TestReceiveBatchMatchesSequential: batched reception must leave the
+// node in the same state as per-packet reception (RREF uniqueness), with
+// the same counters.
+func TestReceiveBatchMatchesSequential(t *testing.T) {
+	const (
+		k = 48
+		m = 24
+	)
+	rng := rand.New(rand.NewSource(31))
+	src, err := NewNode(Options{K: k, M: m, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Seed(randomNatives(rng, k, m)); err != nil {
+		t.Fatal(err)
+	}
+	var ps []*packet.Packet
+	for i := 0; i < 2*k; i++ {
+		z, ok := src.Recode()
+		if !ok {
+			t.Fatal("recode failed")
+		}
+		ps = append(ps, z)
+	}
+
+	fresh := func(seed int64) *Node {
+		n, err := NewNode(Options{K: k, M: m, Rng: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	seq := fresh(2)
+	for _, p := range ps {
+		seq.Receive(p)
+	}
+	bat := fresh(2)
+	for off := 0; off < len(ps); off += 7 {
+		bat.ReceiveBatch(ps[off:min(off+7, len(ps))])
+	}
+
+	if seq.Received() != bat.Received() || seq.RedundantDropped() != bat.RedundantDropped() ||
+		seq.Rank() != bat.Rank() {
+		t.Fatalf("diverged: sequential (recv %d, drop %d, rank %d) vs batched (recv %d, drop %d, rank %d)",
+			seq.Received(), seq.RedundantDropped(), seq.Rank(),
+			bat.Received(), bat.RedundantDropped(), bat.Rank())
+	}
+	if !seq.Complete() || !bat.Complete() {
+		t.Fatalf("decode incomplete: seq %v bat %v", seq.Complete(), bat.Complete())
+	}
+	sd, err := seq.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := bat.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sd {
+		if !bytes.Equal(sd[i], bd[i]) {
+			t.Fatalf("native %d differs between paths", i)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package session
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+)
+
+// fuzzSession builds a relay session without running its loops: frames
+// are injected synchronously through the same handlers the receive loop
+// and decode workers use, so the fuzzer exercises the full frame-parsing
+// surface (v2 DATA dispatch, REQ, META, FEEDBACK) without timing.
+func fuzzSession(tb testing.TB) (*Session, *transport.Switch) {
+	tb.Helper()
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 16})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := sw.Attach("fuzz")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := New(Config{
+		Transport:  tr,
+		Relay:      true,
+		Tick:       time.Hour,
+		MaxObjects: 8,
+		MaxK:       512,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Close() })
+	return s, sw
+}
+
+// injectFrame routes one raw frame through the session exactly as the
+// receive loop would: DATA frames go through wire validation and the
+// batched decode path, everything else through the control handlers.
+func injectFrame(s *Session, from transport.Addr, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	f := transport.NewFrame(from, data, nil)
+	if data[0] == frameData {
+		wv, err := packet.ParseWire(data[1:])
+		if err != nil || wv.Object.IsZero() {
+			return
+		}
+		s.ingestBatch([]inFrame{{f: f, wv: wv}}, &ingestScratch{})
+		return
+	}
+	s.handleFrame(f)
+}
+
+// FuzzSessionFrames throws arbitrary bytes at the session's frame
+// handlers: no input may panic or grow state beyond the configured
+// bounds, however the headers lie.
+func FuzzSessionFrames(f *testing.F) {
+	id := packet.NewObjectID([]byte("fuzz object"))
+
+	// Seed: one valid frame of each type, plus truncated/oversized
+	// content-ID variants of META and FEEDBACK.
+	p := packet.Native(16, 3, make([]byte, 8))
+	p.Object = id
+	wire, err := packet.Marshal(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte{frameData}, wire...))
+	f.Add(encodeReq(id))
+	meta := make([]byte, metaLen)
+	meta[0] = frameMeta
+	copy(meta[1:17], id[:])
+	binary.BigEndian.PutUint32(meta[17:21], 16)
+	binary.BigEndian.PutUint32(meta[21:25], 8)
+	binary.BigEndian.PutUint64(meta[25:33], 128)
+	f.Add(meta)
+	f.Add(meta[:20])                // truncated inside the content ID
+	f.Add(append(meta, 0xff, 0xee)) // oversized META
+	fb := feedbackFrame(id, fbRedundant)
+	f.Add(fb)
+	f.Add(fb[:9])           // truncated FEEDBACK
+	f.Add(append(fb, 0x01)) // oversized FEEDBACK
+	f.Add([]byte{frameFeedback})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _ := fuzzSession(t)
+		injectFrame(s, "peer", data)
+		// Whatever arrived, the relay bounds must hold.
+		objs := s.Objects()
+		if len(objs) > s.cfg.MaxObjects {
+			t.Fatalf("session grew to %d objects, bound %d", len(objs), s.cfg.MaxObjects)
+		}
+		for _, o := range objs {
+			if o.K > s.cfg.MaxK {
+				t.Fatalf("session allocated k=%d above MaxK=%d", o.K, s.cfg.MaxK)
+			}
+		}
+	})
+}
+
+// FuzzSessionFrameSequence replays the fuzz input as a sequence of
+// length-prefixed frames against one session, so state built by earlier
+// frames (learned objects, peers) is exercised by later ones.
+func FuzzSessionFrameSequence(f *testing.F) {
+	id := packet.NewObjectID([]byte("seq object"))
+	p := packet.Native(8, 1, make([]byte, 4))
+	p.Object = id
+	wire, _ := packet.Marshal(p)
+	var seq []byte
+	for _, fr := range [][]byte{append([]byte{frameData}, wire...), encodeReq(id), feedbackFrame(id, fbComplete)} {
+		seq = append(seq, byte(len(fr)))
+		seq = append(seq, fr...)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _ := fuzzSession(t)
+		for len(data) > 0 {
+			n := int(data[0])
+			data = data[1:]
+			if n == 0 || n > len(data) {
+				break
+			}
+			injectFrame(s, "peer", data[:n])
+			data = data[n:]
+		}
+		if len(s.Objects()) > s.cfg.MaxObjects {
+			t.Fatalf("bounds violated after sequence")
+		}
+	})
+}

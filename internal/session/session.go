@@ -12,6 +12,14 @@
 // peers. Idle object states are evicted so a long-running relay does not
 // accumulate decode state for every object it ever carried.
 //
+// Decoding is sharded: DATA frames are dispatched by content ID onto a
+// worker pool, each worker draining its queue in batches and feeding whole
+// bursts into the per-object decoder, so independent objects decode in
+// parallel off the receive loop. Decode state is guarded per object; the
+// session lock covers only the object table and peer bookkeeping. Packet
+// payloads move from pooled transport buffers into the decoder's arena
+// rows without intermediate allocation.
+//
 // Wire protocol (one session frame per transport frame; all integers
 // big-endian):
 //
@@ -22,12 +30,13 @@
 package session
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ltnc/internal/core"
@@ -89,6 +98,20 @@ type Config struct {
 	// (default 65536); larger k means larger decode state, and the wire
 	// header alone allows k up to 2^24.
 	MaxK int
+	// DecodeWorkers is the number of decode shards: DATA frames are
+	// dispatched by content ID onto this many workers, so up to this many
+	// objects decode concurrently. Default min(GOMAXPROCS, 8); frames of
+	// one object always land on the same worker, preserving arrival order
+	// per object.
+	DecodeWorkers int
+	// IngestBatch is how many DATA frames a decode worker drains per
+	// wakeup; a whole batch is fed to the decoders under amortized
+	// locking (default 32).
+	IngestBatch int
+	// IngestQueue bounds each decode worker's inbound frame queue; DATA
+	// frames arriving at a full queue are dropped, as a datagram network
+	// would under overload (default 64).
+	IngestQueue int
 	// Seed drives per-object node randomness (default 1).
 	Seed int64
 	// Logf, when set, receives one line per notable event (object
@@ -136,6 +159,24 @@ func (c *Config) setDefaults() error {
 	if c.MaxK < 1 {
 		return fmt.Errorf("session: max k %d < 1", c.MaxK)
 	}
+	if c.DecodeWorkers == 0 {
+		c.DecodeWorkers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.DecodeWorkers < 1 {
+		return fmt.Errorf("session: decode workers %d < 1", c.DecodeWorkers)
+	}
+	if c.IngestBatch == 0 {
+		c.IngestBatch = 32
+	}
+	if c.IngestBatch < 1 {
+		return fmt.Errorf("session: ingest batch %d < 1", c.IngestBatch)
+	}
+	if c.IngestQueue == 0 {
+		c.IngestQueue = 64
+	}
+	if c.IngestQueue < 1 {
+		return fmt.Errorf("session: ingest queue %d < 1", c.IngestQueue)
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -174,25 +215,36 @@ type peerState struct {
 	configuredSub bool      // subscribed via REQ (pruned when idle)
 }
 
+// objectState splits into two lock domains. The decode plane — node,
+// dimensions, assembled content, ingest counters — is guarded by the
+// per-object mu, so shard workers decoding different objects never
+// contend. The control plane — peers, pinning, waiter count, push
+// counter — is guarded by Session.mu. size and lastActive are atomics
+// readable from either side. Lock order: Session.mu before
+// objectState.mu, never the reverse.
 type objectState struct {
-	id     packet.ObjectID
-	k, m   int
-	size   int64 // -1 unknown
-	node    *core.Node
-	pinned  bool
-	waiters int           // Fetch calls currently blocked on this object
-	data    []byte        // assembled content once complete and size known
-	done    chan struct{} // closed when data is ready
+	id packet.ObjectID
 
-	lastActive time.Time
-	peers      map[transport.Addr]*peerState
-
+	mu       sync.Mutex
+	k, m     int
+	node     *core.Node
+	data     []byte        // assembled content once complete and size known
+	done     chan struct{} // closed when data is ready
 	received int64
 	aborted  int64
-	sent     int64
+	dead     bool // evicted: no longer reachable from Session.objects
+
+	size       atomic.Int64 // -1 until a META (or Serve) provides it
+	lastActive atomic.Int64 // unix nanos
+
+	// Guarded by Session.mu.
+	pinned  bool
+	waiters int // Fetch calls currently blocked on this object
+	sent    int64
+	peers   map[transport.Addr]*peerState
 }
 
-func (st *objectState) touch() { st.lastActive = time.Now() }
+func (st *objectState) touch() { st.lastActive.Store(time.Now().UnixNano()) }
 
 func (st *objectState) peer(addr transport.Addr) *peerState {
 	ps, ok := st.peers[addr]
@@ -201,6 +253,13 @@ func (st *objectState) peer(addr transport.Addr) *peerState {
 		st.peers[addr] = ps
 	}
 	return ps
+}
+
+// inFrame is one DATA frame travelling from the receive loop to a decode
+// worker: the owned transport frame plus its already-validated wire view.
+type inFrame struct {
+	f  transport.Frame
+	wv packet.WireView
 }
 
 // Session multiplexes objects over one transport. Create with New, drive
@@ -212,7 +271,11 @@ type Session struct {
 	mu      sync.Mutex
 	objects map[packet.ObjectID]*objectState
 	peers   []transport.Addr // configured push peers
-	nextRng int
+
+	nextRng atomic.Int64
+
+	shards        []chan inFrame
+	ingestDropped atomic.Int64
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -223,12 +286,17 @@ func New(cfg Config) (*Session, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		cfg:     cfg,
 		tr:      cfg.Transport,
 		objects: make(map[packet.ObjectID]*objectState),
+		shards:  make([]chan inFrame, cfg.DecodeWorkers),
 		closed:  make(chan struct{}),
-	}, nil
+	}
+	for i := range s.shards {
+		s.shards[i] = make(chan inFrame, cfg.IngestQueue)
+	}
+	return s, nil
 }
 
 func (s *Session) logf(format string, args ...any) {
@@ -239,6 +307,10 @@ func (s *Session) logf(format string, args ...any) {
 
 // LocalAddr returns the transport address of the session.
 func (s *Session) LocalAddr() transport.Addr { return s.tr.LocalAddr() }
+
+// IngestDropped returns the number of DATA frames dropped at full decode
+// worker queues (receiver overload).
+func (s *Session) IngestDropped() int64 { return s.ingestDropped.Load() }
 
 // AddPeer registers a standing push target: every locally known object is
 // gossiped toward configured peers.
@@ -276,13 +348,14 @@ func (s *Session) Serve(content []byte, k int) (packet.ObjectID, error) {
 		return id, err
 	}
 	if err := st.node.Seed(natives); err != nil {
+		delete(s.objects, id)
 		return id, err
 	}
-	st.size = int64(len(content))
+	st.size.Store(int64(len(content)))
 	st.pinned = true
 	st.data = append([]byte(nil), content...)
 	close(st.done)
-	s.logf("session: serving %v (k=%d m=%d size=%d)", id, k, st.m, st.size)
+	s.logf("session: serving %v (k=%d m=%d size=%d)", id, k, st.m, len(content))
 	return id, nil
 }
 
@@ -292,22 +365,21 @@ func (s *Session) newStateLocked(id packet.ObjectID, k, m int) (*objectState, er
 	node, err := core.NewNode(core.Options{
 		K:   k,
 		M:   m,
-		Rng: xrand.NewChild(s.cfg.Seed, s.nextRng),
+		Rng: xrand.NewChild(s.cfg.Seed, int(s.nextRng.Add(1)-1)),
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.nextRng++
 	st := &objectState{
-		id:         id,
-		k:          k,
-		m:          m,
-		size:       -1,
-		node:       node,
-		done:       make(chan struct{}),
-		lastActive: time.Now(),
-		peers:      make(map[transport.Addr]*peerState),
+		id:    id,
+		k:     k,
+		m:     m,
+		node:  node,
+		done:  make(chan struct{}),
+		peers: make(map[transport.Addr]*peerState),
 	}
+	st.size.Store(-1)
+	st.touch()
 	s.objects[id] = st
 	return st, nil
 }
@@ -316,6 +388,7 @@ func (s *Session) newStateLocked(id packet.ObjectID, k, m int) (*objectState, er
 // before k and m were known (a Fetch registered the object, then the
 // first DATA or META header arrived). It reports whether st now has a
 // node matching (k, m); a mismatch or an over-bound k rejects the frame.
+// st.mu must be held.
 func (s *Session) ensureNodeLocked(st *objectState, k, m int) bool {
 	if st.node != nil {
 		return k == st.k && m == st.m
@@ -323,11 +396,14 @@ func (s *Session) ensureNodeLocked(st *objectState, k, m int) bool {
 	if k > s.cfg.MaxK {
 		return false
 	}
-	node, err := core.NewNode(core.Options{K: k, M: m, Rng: xrand.NewChild(s.cfg.Seed, s.nextRng)})
+	node, err := core.NewNode(core.Options{
+		K:   k,
+		M:   m,
+		Rng: xrand.NewChild(s.cfg.Seed, int(s.nextRng.Add(1)-1)),
+	})
 	if err != nil {
 		return false
 	}
-	s.nextRng++
 	st.node, st.k, st.m = node, k, m
 	return true
 }
@@ -335,7 +411,7 @@ func (s *Session) ensureNodeLocked(st *objectState, k, m int) bool {
 // mayLearnLocked reports whether a relay may allocate state for an
 // object it first hears about from the network: relays only, bounded
 // code length, bounded object count (forged headers must not let a
-// remote sender grow memory without limit).
+// remote sender grow memory without limit). s.mu must be held.
 func (s *Session) mayLearnLocked(k int) bool {
 	return s.cfg.Relay && k <= s.cfg.MaxK && len(s.objects) < s.cfg.MaxObjects
 }
@@ -347,7 +423,8 @@ func (s *Session) threshold(k int) int {
 }
 
 // Run pumps the session until ctx is cancelled or the session is closed:
-// one goroutine receives and dispatches frames, one pushes recoded
+// one goroutine receives and dispatches frames, a decode worker per shard
+// drains and decodes DATA bursts, and one goroutine pushes recoded
 // packets every Tick and evicts idle state.
 func (s *Session) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
@@ -358,6 +435,13 @@ func (s *Session) Run(ctx context.Context) error {
 		defer wg.Done()
 		s.tickLoop(ctx)
 	}()
+	for _, ch := range s.shards {
+		wg.Add(1)
+		go func(ch chan inFrame) {
+			defer wg.Done()
+			s.ingestLoop(ctx, ch)
+		}(ch)
+	}
 	err := s.recvLoop(ctx)
 	cancel()
 	wg.Wait()
@@ -391,23 +475,226 @@ func (s *Session) recvLoop(ctx context.Context) error {
 			}
 			return err
 		}
+		if len(f.Data) > 0 && f.Data[0] == frameData {
+			s.dispatchData(f) // ownership moves to the decode worker
+			continue
+		}
 		s.handleFrame(f)
 		f.Release()
 	}
 }
 
-// handleFrame dispatches one frame. Handlers run under s.mu and return
-// at most one reply frame, which is sent here after the lock is
-// released — a reply is a syscall on UDP and must not stall the
-// session (same rationale as push).
+// dispatchData validates a DATA frame's wire layout and hands it to the
+// decode worker owning its content ID. Frames of one object always map to
+// the same shard, so per-object arrival order is preserved; a full shard
+// queue drops the frame as an overloaded datagram receiver would.
+func (s *Session) dispatchData(f transport.Frame) {
+	wv, err := packet.ParseWire(f.Data[1:])
+	if err != nil || wv.Object.IsZero() {
+		f.Release()
+		return
+	}
+	shard := int(wv.Object[0]) % len(s.shards)
+	select {
+	case s.shards[shard] <- inFrame{f: f, wv: wv}:
+	default:
+		s.ingestDropped.Add(1)
+		f.Release()
+	}
+}
+
+// ingestLoop is one decode worker: it drains its shard queue in batches
+// and feeds them to the per-object decoders.
+func (s *Session) ingestLoop(ctx context.Context, ch chan inFrame) {
+	defer func() { // drop anything still queued at shutdown
+		for {
+			select {
+			case in := <-ch:
+				in.f.Release()
+			default:
+				return
+			}
+		}
+	}()
+	batch := make([]inFrame, 0, s.cfg.IngestBatch)
+	var scratch ingestScratch
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.closed:
+			return
+		case in := <-ch:
+			batch = append(batch[:0], in)
+		drain:
+			for len(batch) < cap(batch) {
+				select {
+				case more := <-ch:
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			s.ingestBatch(batch, &scratch)
+		}
+	}
+}
+
+// ingestScratch is a decode worker's reusable batch workspace, so the
+// steady-state ingest loop does not allocate per wakeup.
+type ingestScratch struct {
+	states  []*objectState
+	replies []ingestReply
+}
+
+type ingestReply struct {
+	addr  transport.Addr
+	frame []byte
+}
+
+// ingestBatch decodes one drained batch: object states are resolved under
+// a single session-lock acquisition, then frames are fed to the decoders
+// under per-object locks (held across runs of consecutive frames for the
+// same object), and feedback replies go out after all locks are dropped.
+// scratch is the calling worker's reusable workspace.
+func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
+	if cap(scratch.states) < len(batch) {
+		scratch.states = make([]*objectState, len(batch))
+	}
+	states := scratch.states[:len(batch)]
+	replies := scratch.replies[:0]
+	defer func() {
+		clear(states) // do not retain object states across batches
+		clear(replies)
+		scratch.replies = replies[:0]
+	}()
+	s.mu.Lock()
+	for i := range batch {
+		states[i] = s.resolveStateLocked(batch[i].wv, batch[i].f.From)
+	}
+	s.mu.Unlock()
+
+	var cur *objectState
+	for i := range batch {
+		st := states[i]
+		if st == nil {
+			batch[i].f.Release()
+			continue
+		}
+		if st != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			cur = st
+			cur.mu.Lock()
+		}
+		if kind := s.ingestDataLocked(st, &batch[i]); kind != 0 {
+			replies = append(replies, ingestReply{batch[i].f.From, feedbackFrame(st.id, kind)})
+		}
+		batch[i].f.Release()
+	}
+	if cur != nil {
+		cur.mu.Unlock()
+	}
+	for _, r := range replies {
+		s.tr.Send(r.addr, r.frame)
+	}
+}
+
+// resolveStateLocked maps a DATA frame to its object state, learning the
+// object when relay policy allows; s.mu must be held. nil means drop.
+func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *objectState {
+	st, ok := s.objects[wv.Object]
+	if ok {
+		return st
+	}
+	if !s.mayLearnLocked(wv.K) {
+		return nil
+	}
+	st, err := s.newStateLocked(wv.Object, wv.K, wv.M)
+	if err != nil {
+		return nil
+	}
+	s.logf("session: learned %v from %s (k=%d m=%d)", wv.Object, from, wv.K)
+	return st
+}
+
+// ingestDataLocked is the decode hot path for one DATA frame; st.mu must
+// be held. The code vector is checked first and a redundant payload is
+// never copied or decoded (Section III-C-2); an innovative packet moves
+// from the transport buffer into arena-backed decoder buffers with no
+// allocation. Returns the feedback kind to send, or 0.
+func (s *Session) ingestDataLocked(st *objectState, in *inFrame) byte {
+	if st.dead {
+		return 0 // evicted between state resolution and locking: drop
+	}
+	if !s.ensureNodeLocked(st, in.wv.K, in.wv.M) {
+		return 0
+	}
+	st.touch()
+	if st.node.Complete() {
+		st.aborted++
+		return fbComplete
+	}
+	data := in.f.Data[1:]
+	vec := st.node.AcquireVec()
+	if vec.UnmarshalInto(in.wv.VecBytes(data)) != nil {
+		st.node.ReleaseVec(vec)
+		return 0
+	}
+	// The code vector has been read; if it is redundant the payload is
+	// never decoded and the sender is told so.
+	if st.node.IsRedundant(vec) {
+		st.node.ReleaseVec(vec)
+		st.aborted++
+		return fbRedundant
+	}
+	var payload []byte
+	if in.wv.M > 0 {
+		payload = st.node.AcquireRow()
+		copy(payload, in.wv.PayloadBytes(data))
+	}
+	st.node.ReceiveOwned(vec, payload)
+	st.received++
+	if st.node.Complete() {
+		s.completeObjLocked(st)
+		return fbComplete
+	}
+	return 0
+}
+
+// completeObjLocked assembles the content of a freshly completed object
+// when its size is known; st.mu must be held. Callers send the completion
+// feedback.
+func (s *Session) completeObjLocked(st *objectState) {
+	s.logf("session: %v complete after %d packets (overhead %.3f)",
+		st.id, st.received, float64(st.received)/float64(st.k))
+	size := st.size.Load()
+	if size < 0 || st.data != nil {
+		return
+	}
+	natives, err := st.node.Data()
+	if err != nil {
+		return
+	}
+	content, err := lt.Join(natives, int(size))
+	if err != nil {
+		return
+	}
+	st.data = content
+	close(st.done)
+}
+
+// handleFrame dispatches one control frame (REQ, META, FEEDBACK) inline
+// on the receive loop and sends at most one reply after the session lock
+// is released — a reply is a syscall on UDP and must not stall the
+// session.
 func (s *Session) handleFrame(f transport.Frame) {
 	if len(f.Data) == 0 {
 		return
 	}
 	var reply []byte
 	switch f.Data[0] {
-	case frameData:
-		reply = s.handleData(f.From, f.Data[1:])
 	case frameReq:
 		reply = s.handleReq(f.From, f.Data[1:])
 	case frameMeta:
@@ -418,74 +705,6 @@ func (s *Session) handleFrame(f transport.Frame) {
 	if reply != nil {
 		s.tr.Send(f.From, reply)
 	}
-}
-
-// handleData is the receive hot path: header first, redundancy abort
-// before the payload is parsed or decoded. The returned frame (if any)
-// is the binary feedback for the sender.
-func (s *Session) handleData(from transport.Addr, data []byte) []byte {
-	r := bytes.NewReader(data)
-	h, err := packet.ReadHeader(r)
-	if err != nil || h.Object.IsZero() {
-		return nil
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.objects[h.Object]
-	if !ok {
-		if !s.mayLearnLocked(h.K) {
-			return nil
-		}
-		if st, err = s.newStateLocked(h.Object, h.K, h.M); err != nil {
-			return nil
-		}
-		s.logf("session: learned %v from %s (k=%d m=%d)", h.Object, from, h.K)
-	}
-	if !s.ensureNodeLocked(st, h.K, h.M) {
-		return nil
-	}
-	st.touch()
-	if st.node.Complete() {
-		st.aborted++
-		return feedbackFrame(h.Object, fbComplete)
-	}
-	// Section III-C-2: the code vector has been read; if it is redundant
-	// the payload is never decoded and the sender is told so.
-	if st.node.IsRedundant(h.Vec) {
-		st.aborted++
-		return feedbackFrame(h.Object, fbRedundant)
-	}
-	p, err := packet.ReadPayload(r, h)
-	if err != nil {
-		return nil
-	}
-	st.node.Receive(p)
-	st.received++
-	if st.node.Complete() {
-		s.completeLocked(st)
-		return feedbackFrame(h.Object, fbComplete)
-	}
-	return nil
-}
-
-// completeLocked assembles the content of a freshly completed object
-// when its size is known; callers send the completion feedback.
-func (s *Session) completeLocked(st *objectState) {
-	s.logf("session: %v complete after %d packets (overhead %.3f)",
-		st.id, st.received, float64(st.received)/float64(st.k))
-	if st.size < 0 || st.data != nil {
-		return
-	}
-	natives, err := st.node.Data()
-	if err != nil {
-		return
-	}
-	content, err := lt.Join(natives, int(st.size))
-	if err != nil {
-		return
-	}
-	st.data = content
-	close(st.done)
 }
 
 func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
@@ -511,11 +730,11 @@ func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
 	// missed it, and without the size it can never finish (it keeps
 	// re-REQing, so a lost reply heals on the next round).
 	ps.metaSent = false
-	if st.size < 0 {
+	if st.size.Load() < 0 {
 		return nil
 	}
 	ps.metaSent = true
-	return metaFrame(st)
+	return s.metaFrame(st)
 }
 
 func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
@@ -531,26 +750,34 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.objects[id]
 	if !ok {
 		if !s.mayLearnLocked(k) {
+			s.mu.Unlock()
 			return nil
 		}
 		var err error
 		if st, err = s.newStateLocked(id, k, m); err != nil {
+			s.mu.Unlock()
 			return nil
 		}
 		s.logf("session: learned %v meta from %s (k=%d m=%d size=%d)", id, from, k, m, size)
+	}
+	s.mu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead {
+		return nil // evicted between lookup and locking
 	}
 	if !s.ensureNodeLocked(st, k, m) {
 		return nil
 	}
 	st.touch()
-	if st.size < 0 {
-		st.size = size
+	if st.size.Load() < 0 {
+		st.size.Store(size)
 		if st.node.Complete() {
-			s.completeLocked(st)
+			s.completeObjLocked(st)
 			return feedbackFrame(id, fbComplete)
 		}
 	}
@@ -621,62 +848,107 @@ func (s *Session) tickLoop(ctx context.Context) {
 	}
 }
 
-// push recodes one burst per object and live target, then sends outside
-// the session lock: over UDP every Send is a syscall, and holding s.mu
-// across the sweep would stall the receive hot path for its duration.
+// push recodes one burst per object and live target, then sends. The
+// session lock is held only to pick targets; recoding runs under each
+// object's own lock so decode workers stall at most per object; sends
+// use pooled frame buffers and run outside every lock — over UDP every
+// Send is a syscall, and holding a lock across the sweep would stall the
+// receive hot path for its duration.
 func (s *Session) push() {
-	type outFrame struct {
-		addr  transport.Addr
-		frame []byte
-		st    *objectState // nil for META frames
+	type pushTarget struct {
+		st       *objectState
+		addrs    []transport.Addr
+		needMeta []transport.Addr
 	}
-	var frames []outFrame
 	s.mu.Lock()
 	now := time.Now()
+	targets := make([]pushTarget, 0, len(s.objects))
 	for _, st := range s.objects {
-		if st.node == nil {
-			continue
-		}
-		if !st.node.Complete() && st.node.Received() < s.threshold(st.k) {
-			continue
-		}
+		pt := pushTarget{st: st}
+		sizeKnown := st.size.Load() >= 0
 		for _, addr := range s.targetsLocked(st, now) {
 			ps := st.peer(addr)
-			if st.size >= 0 && !ps.metaSent {
-				frames = append(frames, outFrame{addr, metaFrame(st), nil})
-				ps.metaSent = true
+			if sizeKnown && !ps.metaSent {
+				// Candidate only: metaSent is latched below, after the META
+				// frame has actually been sent — a below-threshold object
+				// emits nothing this tick and must retry next tick.
+				pt.needMeta = append(pt.needMeta, addr)
 			}
-			for b := 0; b < s.cfg.Burst; b++ {
+			pt.addrs = append(pt.addrs, addr)
+		}
+		if len(pt.addrs) > 0 {
+			targets = append(targets, pt)
+		}
+	}
+	s.mu.Unlock()
+
+	type sent struct {
+		st *objectState
+		n  int64
+	}
+	type metaSent struct {
+		st   *objectState
+		addr transport.Addr
+	}
+	var sends []sent
+	var metas []metaSent
+	bufp := transport.GetBuf()
+	defer transport.PutBuf(bufp)
+	for _, pt := range targets {
+		st := pt.st
+		var metaBuf []byte
+		var burst []*packet.Packet
+		st.mu.Lock()
+		if !st.dead && st.node != nil && (st.node.Complete() || st.node.Received() >= s.threshold(st.k)) {
+			if len(pt.needMeta) > 0 {
+				metaBuf = s.metaFrame(st)
+			}
+			for b := 0; b < s.cfg.Burst*len(pt.addrs); b++ {
 				z, ok := st.node.Recode()
 				if !ok {
 					break
 				}
 				z.Object = st.id
-				data, err := packet.Marshal(z)
-				if err != nil {
-					break
-				}
-				frame := make([]byte, 0, 1+len(data))
-				frame = append(frame, frameData)
-				frame = append(frame, data...)
-				frames = append(frames, outFrame{addr, frame, st})
+				burst = append(burst, z)
 			}
 		}
-	}
-	s.mu.Unlock()
-
-	if len(frames) == 0 {
-		return
-	}
-	sent := make(map[*objectState]int64)
-	for _, f := range frames {
-		if s.tr.Send(f.addr, f.frame) == nil && f.st != nil {
-			sent[f.st]++
+		st.mu.Unlock()
+		if metaBuf != nil {
+			for _, addr := range pt.needMeta {
+				if s.tr.Send(addr, metaBuf) == nil {
+					metas = append(metas, metaSent{st, addr})
+				}
+			}
+		}
+		if len(burst) == 0 {
+			continue
+		}
+		// Deal the recoded burst round-robin across the object's targets,
+		// one pooled buffer reused for every frame.
+		n := int64(0)
+		for i, z := range burst {
+			frame := append((*bufp)[:0], frameData)
+			frame = packet.AppendWire(frame, z)
+			if len(frame) > transport.MaxFrame {
+				continue
+			}
+			if s.tr.Send(pt.addrs[i%len(pt.addrs)], frame) == nil {
+				n++
+			}
+		}
+		if n > 0 {
+			sends = append(sends, sent{st, n})
 		}
 	}
+	if len(sends) == 0 && len(metas) == 0 {
+		return
+	}
 	s.mu.Lock()
-	for st, n := range sent {
-		st.sent += n
+	for _, sn := range sends {
+		sn.st.sent += sn.n
+	}
+	for _, ms := range metas {
+		ms.st.peer(ms.addr).metaSent = true
 	}
 	s.mu.Unlock()
 }
@@ -713,30 +985,42 @@ func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr
 func (s *Session) evict() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cutoff := time.Now().Add(-s.cfg.IdleTimeout)
+	cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
 	for id, st := range s.objects {
 		for addr, ps := range st.peers {
-			if ps.configuredSub && !ps.lastReq.IsZero() && ps.lastReq.Before(cutoff) {
+			if ps.configuredSub && !ps.lastReq.IsZero() && ps.lastReq.UnixNano() < cutoff {
 				delete(st.peers, addr)
 			}
 		}
 		if st.pinned || st.waiters > 0 {
 			continue
 		}
-		if st.lastActive.Before(cutoff) {
+		if st.lastActive.Load() < cutoff {
 			delete(s.objects, id)
+			// Mark the state dead under its own lock (s.mu before st.mu is
+			// the allowed order): a shard worker that resolved this state
+			// before the delete must not decode its batch into an orphan —
+			// it re-checks dead after locking and drops the frames, so a
+			// decode can never split across an evicted and a relearned
+			// state.
+			st.mu.Lock()
+			st.dead = true
+			st.mu.Unlock()
 			s.logf("session: evicted idle %v", id)
 		}
 	}
 }
 
-func metaFrame(st *objectState) []byte {
+// metaFrame encodes a META for st. Callers must hold either s.mu or
+// st.mu (k and m are immutable once the node exists, which is guaranteed
+// for any object with a known size).
+func (s *Session) metaFrame(st *objectState) []byte {
 	buf := make([]byte, metaLen)
 	buf[0] = frameMeta
 	copy(buf[1:17], st.id[:])
 	binary.BigEndian.PutUint32(buf[17:21], uint32(st.k))
 	binary.BigEndian.PutUint32(buf[21:25], uint32(st.m))
-	binary.BigEndian.PutUint64(buf[25:33], uint64(st.size))
+	binary.BigEndian.PutUint64(buf[25:33], uint64(st.size.Load()))
 	return buf
 }
 
@@ -766,12 +1050,12 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.
 	st, ok := s.objects[id]
 	if !ok {
 		st = &objectState{
-			id:         id,
-			size:       -1,
-			done:       make(chan struct{}),
-			lastActive: time.Now(),
-			peers:      make(map[transport.Addr]*peerState),
+			id:    id,
+			done:  make(chan struct{}),
+			peers: make(map[transport.Addr]*peerState),
 		}
+		st.size.Store(-1)
+		st.touch()
 		s.objects[id] = st
 	}
 	// A waiter pins the state against idle eviction for exactly as long
@@ -794,8 +1078,10 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.
 	for {
 		select {
 		case <-done:
-			s.mu.Lock()
+			st.mu.Lock()
 			data := st.data
+			st.mu.Unlock()
+			s.mu.Lock()
 			stats := s.statsLocked(st)
 			s.mu.Unlock()
 			return data, stats, nil
@@ -814,21 +1100,25 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.
 	}
 }
 
+// statsLocked snapshots one object; s.mu must be held (st.mu is taken
+// briefly for the decode-plane counters).
 func (s *Session) statsLocked(st *objectState) ObjectStats {
+	st.mu.Lock()
 	o := ObjectStats{
 		ID:       st.id,
 		K:        st.k,
 		M:        st.m,
-		Size:     st.size,
-		Pinned:   st.pinned,
+		Size:     st.size.Load(),
 		Received: st.received,
 		Aborted:  st.aborted,
-		Sent:     st.sent,
 	}
 	if st.node != nil {
 		o.Decoded = st.node.DecodedCount()
 		o.Complete = st.node.Complete()
 	}
+	st.mu.Unlock()
+	o.Pinned = st.pinned
+	o.Sent = st.sent
 	for _, ps := range st.peers {
 		if ps.configuredSub && !ps.done {
 			o.Subscribers++

@@ -3,6 +3,7 @@ package session
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"testing"
@@ -552,5 +553,145 @@ func TestLossyChanTransfer(t *testing.T) {
 	}
 	if sw.Lost() == 0 {
 		t.Fatal("loss injection never fired")
+	}
+}
+
+// TestPushMetaAfterThreshold is the regression test for a push() bug:
+// marking META as sent for a below-threshold object (which emits no
+// frames that tick) must not latch — the configured peer would otherwise
+// receive DATA forever but never the size, and could never assemble the
+// object. The relay here learns the META while it has no packets, then
+// crosses the recoding threshold; the peer must still get a META.
+func TestPushMetaAfterThreshold(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		k = 16
+		m = 4
+	)
+	relay := startSession(t, attach(t, sw, "relay"), func(c *Config) {
+		c.Relay = true
+		c.Tick = time.Millisecond
+		c.Aggressiveness = 0.5 // threshold k/2+1: stays unmet for a while
+	})
+	relay.AddPeer("probe")
+	probe := attach(t, sw, "probe")
+	defer probe.Close()
+
+	id := packet.NewObjectID([]byte("late meta"))
+	meta := make([]byte, metaLen)
+	meta[0] = frameMeta
+	copy(meta[1:17], id[:])
+	binary.BigEndian.PutUint32(meta[17:21], k)
+	binary.BigEndian.PutUint32(meta[21:25], m)
+	binary.BigEndian.PutUint64(meta[25:33], k*m)
+	if err := probe.Send("relay", meta); err != nil {
+		t.Fatal(err)
+	}
+	// Let several ticks pass while the relay is below threshold — the
+	// buggy push() latched metaSent exactly here.
+	time.Sleep(20 * time.Millisecond)
+	// Cross the threshold.
+	for i := 0; i < k; i++ {
+		p := packet.Native(k, i, bytes.Repeat([]byte{byte(i)}, m))
+		p.Object = id
+		wire, err := packet.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := probe.Send("relay", append([]byte{frameData}, wire...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		f, err := probe.Recv(ctx)
+		if err != nil {
+			t.Fatalf("no META ever pushed after threshold: %v", err)
+		}
+		isMeta := len(f.Data) == metaLen && f.Data[0] == frameMeta
+		f.Release()
+		if isMeta {
+			return
+		}
+	}
+}
+
+// TestEvictedStateDropsInFlightFrames pins the evict/ingest race fix: a
+// decode worker that resolved an object state before evict() deleted it
+// must drop its frames instead of decoding into the orphaned state, so a
+// decode never splits across an evicted and a relearned state.
+func TestEvictedStateDropsInFlightFrames(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sw.Attach("relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Transport:   tr,
+		Relay:       true,
+		Tick:        time.Hour,
+		IdleTimeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	id := packet.NewObjectID([]byte("evict race"))
+	frame := func(i int) inFrame {
+		p := packet.Native(8, i, []byte{1, 2})
+		p.Object = id
+		wire, err := packet.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte{frameData}, wire...)
+		wv, err := packet.ParseWire(raw[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inFrame{f: transport.NewFrame("peer", raw, nil), wv: wv}
+	}
+
+	// Learn the object, then simulate the race: resolve the state as a
+	// worker would, evict it, and only then run the decode phase.
+	s.ingestBatch([]inFrame{frame(0)}, &ingestScratch{})
+	s.mu.Lock()
+	stale := s.objects[id]
+	s.mu.Unlock()
+	if stale == nil {
+		t.Fatal("relay never learned the object")
+	}
+	time.Sleep(5 * time.Millisecond) // pass the idle timeout
+	s.evict()
+	if len(s.Objects()) != 0 {
+		t.Fatal("object not evicted")
+	}
+
+	in := frame(1)
+	stale.mu.Lock()
+	kind := s.ingestDataLocked(stale, &in)
+	received := stale.received
+	stale.mu.Unlock()
+	in.f.Release()
+	if kind != 0 {
+		t.Fatalf("dead state produced feedback %d", kind)
+	}
+	if received != 1 {
+		t.Fatalf("dead state decoded the frame (received %d, want 1)", received)
+	}
+
+	// A later batch relearns the object into fresh state.
+	s.ingestBatch([]inFrame{frame(2)}, &ingestScratch{})
+	objs := s.Objects()
+	if len(objs) != 1 || objs[0].Received != 1 {
+		t.Fatalf("relearned state wrong: %+v", objs)
 	}
 }

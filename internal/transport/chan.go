@@ -17,6 +17,12 @@ type SwitchConfig struct {
 	// Latency delays every delivery by a fixed duration (default 0:
 	// synchronous handoff, fully deterministic).
 	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter) to each
+	// delivery, drawn from the seeded rng. With Jitter > 0 frames overtake
+	// each other, so tests can inject deterministic reordering on top of
+	// loss and queue overflow. Requires Latency or Jitter-only operation;
+	// default 0 (no reordering).
+	Jitter time.Duration
 	// QueueDepth bounds each port's inbound queue; frames arriving at a
 	// full queue are dropped, modelling an overloaded receiver. Default 64.
 	QueueDepth int
@@ -30,6 +36,9 @@ func (c *SwitchConfig) setDefaults() error {
 	}
 	if c.Latency < 0 {
 		return fmt.Errorf("transport: latency %v < 0", c.Latency)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("transport: jitter %v < 0", c.Jitter)
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
@@ -112,19 +121,26 @@ func (s *Switch) deliver(from, to Addr, frame []byte) error {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
 	drop := s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate
+	delay := s.cfg.Latency
+	if s.cfg.Jitter > 0 {
+		delay += time.Duration(s.rng.Int63n(int64(s.cfg.Jitter)))
+	}
 	s.mu.Unlock()
 	if drop {
 		s.lost.Add(1)
 		return nil
 	}
-	// The receiver owns the frame; copy so senders may reuse their buffer.
-	f := Frame{From: from, Data: append([]byte(nil), frame...)}
-	if s.cfg.Latency == 0 {
+	// The receiver owns the frame; copy into a pooled buffer so senders may
+	// reuse theirs. Release (or a drop on the way in) returns the buffer.
+	bufp := GetBuf()
+	data := (*bufp)[:copy(*bufp, frame)]
+	f := Frame{From: from, Data: data, release: func() { PutBuf(bufp) }}
+	if delay == 0 {
 		s.push(dst, f)
 		return nil
 	}
 	s.timers.Add(1)
-	time.AfterFunc(s.cfg.Latency, func() {
+	time.AfterFunc(delay, func() {
 		defer s.timers.Done()
 		s.push(dst, f)
 	})
@@ -134,10 +150,12 @@ func (s *Switch) deliver(from, to Addr, frame []byte) error {
 func (s *Switch) push(dst *ChanTransport, f Frame) {
 	select {
 	case <-dst.closed:
+		f.Release()
 	case dst.queue <- f:
 	default:
 		s.dropped.Add(1)
 		dst.dropped.Add(1)
+		f.Release()
 	}
 }
 
@@ -195,6 +213,15 @@ func (t *ChanTransport) Close() error {
 		t.sw.mu.Lock()
 		delete(t.sw.ports, t.addr)
 		t.sw.mu.Unlock()
+		// Return queued-but-undelivered frames to the pool.
+		for {
+			select {
+			case f := <-t.queue:
+				f.Release()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

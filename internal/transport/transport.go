@@ -15,6 +15,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"sync"
 )
 
 // Addr is an opaque peer address. For UDPTransport it is "host:port"; for
@@ -31,6 +32,30 @@ var (
 	ErrUnknownPeer = errors.New("transport: unknown peer")
 	ErrFrameTooBig = errors.New("transport: frame exceeds MaxFrame")
 )
+
+// framePool recycles MaxFrame-sized buffers across every transport in the
+// process: UDP receive buffers, in-memory switch deliveries and outgoing
+// frame assembly all draw from one pool, so the steady-state datagram path
+// allocates nothing and a relay daemon's hop-to-hop forwarding reuses the
+// same handful of buffers.
+var framePool = sync.Pool{New: func() any {
+	buf := make([]byte, MaxFrame)
+	return &buf
+}}
+
+// GetBuf returns a pooled MaxFrame-capacity buffer (full length; reslice
+// as needed). Return it with PutBuf when the bytes are no longer live.
+func GetBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. Buffers that
+// did not come from GetBuf must not be passed here.
+func PutBuf(buf *[]byte) {
+	if buf == nil || cap(*buf) < MaxFrame {
+		return
+	}
+	*buf = (*buf)[:MaxFrame]
+	framePool.Put(buf)
+}
 
 // Frame is one received datagram. Data is valid until Release is called;
 // receivers that keep bytes past Release must copy them. Release returns
@@ -64,7 +89,11 @@ type Transport interface {
 	// LocalAddr returns the address peers use to reach this transport.
 	LocalAddr() Addr
 	// Send transmits one frame to the peer. Delivery is best-effort:
-	// datagram semantics, no retransmission, frames may be dropped.
+	// datagram semantics, no retransmission, frames may be dropped. The
+	// frame buffer belongs to the caller and may be reused the moment
+	// Send returns — senders serialize into pooled buffers — so an
+	// implementation that queues the frame for later delivery must copy
+	// it first.
 	Send(to Addr, frame []byte) error
 	// Recv blocks until a frame arrives, the context is cancelled, or the
 	// transport is closed (ErrClosed).

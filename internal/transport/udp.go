@@ -17,12 +17,12 @@ import (
 const udpPollInterval = 250 * time.Millisecond
 
 // UDPTransport implements Transport over a net.UDPConn. Receive buffers
-// come from a pool sized at MaxFrame, so the steady-state receive path
-// performs no per-datagram allocation; callers return buffers with
-// Frame.Release. Destination addresses are resolved once and cached.
+// come from the process-wide frame pool (GetBuf/PutBuf), so the
+// steady-state receive path performs no per-datagram allocation; callers
+// return buffers with Frame.Release. Destination addresses are resolved
+// once and cached.
 type UDPTransport struct {
 	conn   *net.UDPConn
-	pool   sync.Pool
 	peers  sync.Map // Addr -> *net.UDPAddr
 	closed atomic.Bool
 }
@@ -40,12 +40,7 @@ func ListenUDP(addr string) (*UDPTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	t := &UDPTransport{conn: conn}
-	t.pool.New = func() any {
-		buf := make([]byte, MaxFrame)
-		return &buf
-	}
-	return t, nil
+	return &UDPTransport{conn: conn}, nil
 }
 
 // LocalAddr returns the bound "host:port".
@@ -84,14 +79,14 @@ func (t *UDPTransport) resolve(to Addr) (*net.UDPAddr, error) {
 // Recv blocks for the next datagram. The returned frame's buffer belongs
 // to the transport's pool: call Release when done with Data.
 func (t *UDPTransport) Recv(ctx context.Context) (Frame, error) {
-	bufp := t.pool.Get().(*[]byte)
+	bufp := GetBuf()
 	for {
 		if t.closed.Load() {
-			t.pool.Put(bufp)
+			PutBuf(bufp)
 			return Frame{}, ErrClosed
 		}
 		if err := ctx.Err(); err != nil {
-			t.pool.Put(bufp)
+			PutBuf(bufp)
 			return Frame{}, err
 		}
 		deadline := time.Now().Add(udpPollInterval)
@@ -99,7 +94,7 @@ func (t *UDPTransport) Recv(ctx context.Context) (Frame, error) {
 			deadline = d
 		}
 		if err := t.conn.SetReadDeadline(deadline); err != nil {
-			t.pool.Put(bufp)
+			PutBuf(bufp)
 			return Frame{}, fmt.Errorf("transport: set deadline: %w", err)
 		}
 		n, from, err := t.conn.ReadFromUDP(*bufp)
@@ -107,7 +102,7 @@ func (t *UDPTransport) Recv(ctx context.Context) (Frame, error) {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				continue
 			}
-			t.pool.Put(bufp)
+			PutBuf(bufp)
 			if t.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return Frame{}, ErrClosed
 			}
@@ -116,7 +111,7 @@ func (t *UDPTransport) Recv(ctx context.Context) (Frame, error) {
 		return Frame{
 			From:    Addr(from.String()),
 			Data:    (*bufp)[:n],
-			release: func() { t.pool.Put(bufp) },
+			release: func() { PutBuf(bufp) },
 		}, nil
 	}
 }

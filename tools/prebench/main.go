@@ -1,0 +1,130 @@
+//go:build ignore
+
+// prebench measures the pre-PR decode hot path (ReadHeader → IsRedundant
+// → ReadPayload → Receive) on the 1 MiB / 64-object workload, for the
+// BENCH_decode.json reference entry.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ltnc/internal/core"
+	"ltnc/internal/lt"
+	"ltnc/internal/packet"
+	"ltnc/internal/xrand"
+)
+
+const (
+	objects    = 64
+	objectSize = 16 * 1024
+	k          = 64
+	streamF    = 4
+	rounds     = 3
+	seed       = 1
+)
+
+type stream struct {
+	frames [][]byte
+	next   int
+}
+
+func main() {
+	streams := make([]*stream, objects)
+	m := 0
+	for i := range streams {
+		content := make([]byte, objectSize)
+		rand.New(rand.NewSource(xrand.DeriveSeed(seed, i))).Read(content)
+		natives, err := lt.Split(content, k)
+		if err != nil {
+			panic(err)
+		}
+		m = len(natives[0])
+		src, err := core.NewNode(core.Options{K: k, M: m, Rng: xrand.NewChild(seed, i)})
+		if err != nil {
+			panic(err)
+		}
+		if err := src.Seed(natives); err != nil {
+			panic(err)
+		}
+		st := &stream{}
+		id := packet.NewObjectID(content)
+		for j := 0; j < streamF*k; j++ {
+			z, ok := src.Recode()
+			if !ok {
+				panic("recode failed")
+			}
+			z.Object = id
+			wire, err := packet.Marshal(z)
+			if err != nil {
+				panic(err)
+			}
+			st.frames = append(st.frames, wire)
+		}
+		streams[i] = st
+	}
+
+	bestNs := int64(0)
+	var bestPkts int64
+	var bestAllocs float64
+	for r := 0; r < rounds; r++ {
+		for _, st := range streams {
+			st.next = 0
+		}
+		nodes := make([]*core.Node, objects)
+		for i := range nodes {
+			n, err := core.NewNode(core.Options{K: k, M: m, Rng: xrand.NewChild(seed+1000, i)})
+			if err != nil {
+				panic(err)
+			}
+			nodes[i] = n
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		packets := int64(0)
+		live := objects
+		for live > 0 {
+			live = 0
+			for i, st := range streams {
+				node := nodes[i]
+				if node.Complete() {
+					continue
+				}
+				if st.next >= len(st.frames) {
+					panic(fmt.Sprintf("stream %d exhausted", i))
+				}
+				live++
+				data := st.frames[st.next]
+				st.next++
+				rd := bytes.NewReader(data)
+				h, err := packet.ReadHeader(rd)
+				if err != nil {
+					panic(err)
+				}
+				packets++
+				if node.IsRedundant(h.Vec) {
+					continue
+				}
+				pkt, err := packet.ReadPayload(rd, h)
+				if err != nil {
+					panic(err)
+				}
+				node.Receive(pkt)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if r == 0 || elapsed.Nanoseconds() < bestNs {
+			bestNs = elapsed.Nanoseconds()
+			bestPkts = packets
+			bestAllocs = float64(after.Mallocs-before.Mallocs) / float64(packets)
+		}
+	}
+	mbps := float64(objects*objectSize) / (1 << 20) / (float64(bestNs) / 1e9)
+	fmt.Printf("pre-PR: %.2f MB/s, %.2f allocs/pkt, %d packets, %d ns\n", mbps, bestAllocs, bestPkts, bestNs)
+}
