@@ -7,6 +7,9 @@
 // Usage:
 //
 //	ltnc-fetch -from host:4980 -id <32-hex-digit object id> -out file
+//
+// The command is a thin flag-parsing wrapper over the public ltnc/swarm
+// API; everything it does is available to library users.
 package main
 
 import (
@@ -19,8 +22,7 @@ import (
 	"syscall"
 	"time"
 
-	"ltnc/internal/daemon"
-	"ltnc/internal/packet"
+	"ltnc/swarm"
 )
 
 func main() {
@@ -40,7 +42,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		output  = fs.String("out", "", "output file (\"-\" for stdout)")
 		bind    = fs.String("bind", "0.0.0.0:0", "local UDP address")
 		timeout = fs.Duration("timeout", 2*time.Minute, "give up after this long")
-		seed    = fs.Int64("seed", 1, "randomness seed")
+		seed    = fs.Int64("seed", 0, "randomness seed (0 = fresh entropy; set for reproducible runs)")
 		verbose = fs.Bool("v", false, "log session events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,19 +51,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *from == "" || *idHex == "" || *output == "" {
 		return fmt.Errorf("-from, -id and -out are required")
 	}
-	id, err := packet.ParseObjectID(*idHex)
+	id, err := swarm.ParseObjectID(*idHex)
 	if err != nil {
 		return err
 	}
-	cfg := daemon.FetchConfig{From: *from, ID: id, Bind: *bind, Seed: *seed}
+	cfg := swarm.Config{Listen: *bind, Seed: *seed}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	fetchCtx, cancel := context.WithTimeout(ctx, *timeout)
+	s, err := swarm.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	content, report, err := daemon.Fetch(fetchCtx, cfg)
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(runCtx) }()
+
+	fetchCtx, fcancel := context.WithTimeout(ctx, *timeout)
+	defer fcancel()
+	content, report, err := s.Fetch(fetchCtx, id, swarm.Addr(*from))
+	cancel()
+	s.Close()
+	<-runDone
 	if err != nil {
 		return err
 	}
@@ -76,6 +91,6 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "fetched %d bytes in %v: %d packets for k=%d (overhead %.3f), %d aborted on the header\n",
 		report.Bytes, report.Elapsed.Round(time.Millisecond),
-		report.Stats.Received, report.Stats.K, report.Stats.Overhead(), report.Stats.Aborted)
+		report.Stats.Received, report.Stats.K, report.Overhead(), report.Stats.Aborted)
 	return nil
 }

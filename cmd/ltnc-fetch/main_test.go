@@ -10,7 +10,7 @@ import (
 	"testing"
 	"time"
 
-	"ltnc/internal/daemon"
+	"ltnc/swarm"
 )
 
 func TestRunFlagValidation(t *testing.T) {
@@ -29,43 +29,36 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 }
 
-// TestFetchCLI serves an object with the daemon package and retrieves it
-// through the ltnc-fetch CLI entry point, checking the written file and
-// the overhead report.
+// TestFetchCLI serves an object through the public swarm API and
+// retrieves it through the ltnc-fetch CLI entry point, checking the
+// written file and the overhead report.
 func TestFetchCLI(t *testing.T) {
 	content := make([]byte, 64*1024)
 	rand.New(rand.NewSource(3)).Read(content)
-	path := filepath.Join(t.TempDir(), "served.bin")
-	if err := os.WriteFile(path, content, 0o644); err != nil {
-		t.Fatal(err)
-	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	ready := make(chan daemon.Running, 1)
-	done := make(chan error, 1)
-	go func() {
-		done <- daemon.Serve(ctx, daemon.ServeConfig{
-			Listen: "127.0.0.1:0",
-			Files:  []string{path},
-			K:      128,
-			Tick:   500 * time.Microsecond,
-			Burst:  4,
-			Ready:  func(r daemon.Running) { ready <- r },
-		})
-	}()
-	var r daemon.Running
-	select {
-	case r = <-ready:
-	case err := <-done:
-		t.Fatalf("server died: %v", err)
+	server, err := swarm.New(swarm.Config{
+		Listen: "127.0.0.1:0",
+		Tick:   500 * time.Microsecond,
+		Burst:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer server.Close()
+	id, err := server.Serve(content, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- server.Run(ctx) }()
 
 	outPath := filepath.Join(t.TempDir(), "fetched.bin")
 	var out bytes.Buffer
-	err := run(ctx, []string{
-		"-from", string(r.Addr),
-		"-id", r.Objects[0].ID.String(),
+	err = run(ctx, []string{
+		"-from", string(server.LocalAddr()),
+		"-id", id.String(),
 		"-out", outPath,
 		"-bind", "127.0.0.1:0",
 		"-timeout", "60s",
@@ -82,5 +75,15 @@ func TestFetchCLI(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "overhead") {
 		t.Fatalf("report missing overhead: %q", out.String())
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop on cancel")
 	}
 }

@@ -11,6 +11,9 @@
 //
 // Each served file is announced on stdout as "serving <id> <path>"; pass
 // the id to ltnc-fetch. The daemon runs until SIGINT/SIGTERM.
+//
+// The command is a thin flag-parsing wrapper over the public ltnc/swarm
+// API; everything it does is available to library users.
 package main
 
 import (
@@ -24,7 +27,7 @@ import (
 	"syscall"
 	"time"
 
-	"ltnc/internal/daemon"
+	"ltnc/swarm"
 )
 
 func main() {
@@ -58,7 +61,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		tick    = fs.Duration("tick", 2*time.Millisecond, "push period")
 		burst   = fs.Int("burst", 1, "packets per object, target and tick")
 		idle    = fs.Duration("idle-timeout", time.Minute, "evict object state idle this long")
-		seed    = fs.Int64("seed", 1, "randomness seed")
+		seed    = fs.Int64("seed", 0, "randomness seed (0 = fresh entropy; set for reproducible runs)")
 		verbose = fs.Bool("v", false, "log session events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,27 +70,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *files == "" && *peers == "" && !*relay {
 		return fmt.Errorf("nothing to do: need -file to serve, -peer to push toward, or -relay")
 	}
-	cfg := daemon.ServeConfig{
+	if *k < 1 {
+		return fmt.Errorf("k = %d < 1", *k)
+	}
+	cfg := swarm.Config{
 		Listen:      *listen,
-		Peers:       splitList(*peers),
-		Files:       splitList(*files),
-		K:           *k,
 		Relay:       *relay,
 		Tick:        *tick,
 		Burst:       *burst,
 		IdleTimeout: *idle,
 		Seed:        *seed,
-		Ready: func(r daemon.Running) {
-			fmt.Fprintf(out, "listening on %s\n", r.Addr)
-			for _, obj := range r.Objects {
-				fmt.Fprintf(out, "serving %s %s (%d bytes, k=%d)\n", obj.ID, obj.Path, obj.Size, obj.K)
-			}
-		},
+	}
+	for _, p := range splitList(*peers) {
+		cfg.Peers = append(cfg.Peers, swarm.Addr(p))
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	return daemon.Serve(ctx, cfg)
+	s, err := swarm.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Fprintf(out, "listening on %s\n", s.LocalAddr())
+	for _, path := range splitList(*files) {
+		id, err := s.ServeFile(path, *k)
+		if err != nil {
+			return fmt.Errorf("serve %s: %w", path, err)
+		}
+		stats, _ := s.Object(id)
+		fmt.Fprintf(out, "serving %s %s (%d bytes, k=%d)\n", id, path, stats.Size, *k)
+	}
+	return s.Run(ctx)
 }

@@ -12,8 +12,7 @@ import (
 	"testing"
 	"time"
 
-	"ltnc/internal/daemon"
-	"ltnc/internal/packet"
+	"ltnc/swarm"
 )
 
 type lockedBuf struct {
@@ -39,11 +38,14 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run(ctx, []string{"-relay=false"}, &out); err == nil {
 		t.Error("source with nothing to serve or push accepted")
 	}
-	if err := run(ctx, []string{"-file", "/does/not/exist"}, &out); err == nil {
+	if err := run(ctx, []string{"-listen", "127.0.0.1:0", "-file", "/does/not/exist"}, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 	if err := run(ctx, []string{"-badflag"}, &out); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"-listen", "127.0.0.1:0", "-k", "-1"}, &out); err == nil {
+		t.Error("negative k accepted")
 	}
 }
 
@@ -59,7 +61,7 @@ func TestSplitList(t *testing.T) {
 
 // TestServeCLIThenFetch starts the daemon through its CLI entry point,
 // scrapes the announced address and object id off stdout (as an operator
-// would) and fetches the object back.
+// would) and fetches the object back through the public swarm API.
 func TestServeCLIThenFetch(t *testing.T) {
 	content := make([]byte, 96*1024)
 	rand.New(rand.NewSource(8)).Read(content)
@@ -104,18 +106,20 @@ func TestServeCLIThenFetch(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	id, err := packet.ParseObjectID(idHex)
+	id, err := swarm.ParseObjectID(idHex)
 	if err != nil {
 		t.Fatal(err)
 	}
 
+	client, err := swarm.New(swarm.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	go client.Run(ctx)
 	fetchCtx, fcancel := context.WithTimeout(ctx, 60*time.Second)
 	defer fcancel()
-	got, _, err := daemon.Fetch(fetchCtx, daemon.FetchConfig{
-		From: addr,
-		ID:   id,
-		Bind: "127.0.0.1:0",
-	})
+	got, _, err := client.Fetch(fetchCtx, id, swarm.Addr(addr))
 	if err != nil {
 		t.Fatal(err)
 	}

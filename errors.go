@@ -1,0 +1,26 @@
+package ltnc
+
+import (
+	"ltnc/internal/lt"
+	"ltnc/internal/packet"
+)
+
+// Typed errors returned at the public API boundary. Each is (or wraps) the
+// sentinel used by the internal substrate that detects the condition, so
+// errors.Is works across layers: an error from Node.Bytes, ReadPacket or
+// swarm.Session matches these sentinels no matter which package built it.
+var (
+	// ErrIncomplete is returned when decoded content (Natives, Bytes) is
+	// requested before all k native packets are recovered.
+	ErrIncomplete = lt.ErrIncomplete
+
+	// ErrBadPacket is returned when wire input cannot be decoded as a
+	// packet: bad magic, unsupported version, or a corrupt header. The
+	// specific causes (packet.ErrBadMagic et al.) all wrap it.
+	ErrBadPacket = packet.ErrBadPacket
+
+	// ErrContentSize is returned when content cannot be split into or
+	// joined from k native packets as requested (k < 1, empty content,
+	// ragged native sizes, size exceeding capacity).
+	ErrContentSize = lt.ErrContentSize
+)

@@ -1,7 +1,7 @@
 // Dissemination: the real-network subsystem in one program — a source
 // session, a recoding relay and a fetching client, each on its own UDP
 // socket on localhost, multiplexing two content objects over the same
-// transports.
+// transports, all through the public ltnc/swarm API.
 //
 // The client subscribes at the relay only: every packet it decodes was
 // recoded by the relay from its partial, encoded view (the paper's core
@@ -18,9 +18,7 @@ import (
 	"math/rand"
 	"time"
 
-	"ltnc/internal/packet"
-	"ltnc/internal/session"
-	"ltnc/internal/transport"
+	"ltnc/swarm"
 )
 
 const (
@@ -34,20 +32,15 @@ func main() {
 	}
 }
 
-func newSession(relay bool, seed int64) (*session.Session, context.CancelFunc, error) {
-	tr, err := transport.ListenUDP("127.0.0.1:0")
-	if err != nil {
-		return nil, nil, err
-	}
-	s, err := session.New(session.Config{
-		Transport: tr,
-		Tick:      500 * time.Microsecond,
-		Burst:     4,
-		Relay:     relay,
-		Seed:      seed,
+func newSession(relay bool, seed int64) (*swarm.Session, context.CancelFunc, error) {
+	s, err := swarm.New(swarm.Config{
+		Listen: "127.0.0.1:0",
+		Tick:   500 * time.Microsecond,
+		Burst:  4,
+		Relay:  relay,
+		Seed:   seed,
 	})
 	if err != nil {
-		tr.Close()
 		return nil, nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -80,7 +73,7 @@ func run() error {
 	// packet header keeps their sessions apart.
 	rng := rand.New(rand.NewSource(7))
 	contents := make([][]byte, 2)
-	ids := make([]packet.ObjectID, len(contents))
+	ids := make([]swarm.ObjectID, len(contents))
 	for i := range contents {
 		contents[i] = make([]byte, objectSize)
 		rng.Read(contents[i])
@@ -98,8 +91,7 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	for i, want := range contents {
-		start := time.Now()
-		got, stats, err := client.Fetch(ctx, ids[i], relay.LocalAddr())
+		got, report, err := client.Fetch(ctx, ids[i], relay.LocalAddr())
 		if err != nil {
 			return fmt.Errorf("fetch object %d: %w", i, err)
 		}
@@ -107,10 +99,10 @@ func run() error {
 			return fmt.Errorf("object %d corrupt after transfer", i)
 		}
 		fmt.Printf("client fetched object %d via relay in %v: %d packets for k=%d (overhead %.3f), %d header aborts\n",
-			i, time.Since(start).Round(time.Millisecond),
-			stats.Received, stats.K, stats.Overhead(), stats.Aborted)
+			i, report.Elapsed.Round(time.Millisecond),
+			report.Stats.Received, report.Stats.K, report.Overhead(), report.Stats.Aborted)
 	}
-	for _, o := range relay.Objects() {
+	for _, o := range relay.Stats() {
 		fmt.Printf("relay object %s: received %d, recoded %d\n", o.ID, o.Received, o.Sent)
 	}
 	return nil

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunSmoke executes the example end-to-end: two recoding hops over a
+// lossy in-memory switch must converge and return nil within the test
+// timeout.
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,12 +1,17 @@
 package lt
 
 import (
+	"errors"
 	"fmt"
 
 	"ltnc/internal/bitvec"
 	"ltnc/internal/opcount"
 	"ltnc/internal/packet"
 )
+
+// ErrIncomplete is returned when decoded content is requested before all k
+// natives are recovered.
+var ErrIncomplete = errors.New("lt: decode incomplete")
 
 // Hooks let a caller observe every mutation of the Tanner graph. The LTNC
 // recoder (internal/core) uses them to keep its complementary data
@@ -175,10 +180,11 @@ func (d *Decoder) NativeData(x int) []byte {
 	return d.data[x]
 }
 
-// Data returns all native payloads once decoding is complete.
+// Data returns all native payloads once decoding is complete; before
+// completion it fails with an error wrapping ErrIncomplete.
 func (d *Decoder) Data() ([][]byte, error) {
 	if !d.Complete() {
-		return nil, fmt.Errorf("lt: decoded %d of %d natives", d.decodedCount, d.k)
+		return nil, fmt.Errorf("%w: decoded %d of %d natives", ErrIncomplete, d.decodedCount, d.k)
 	}
 	return d.data, nil
 }

@@ -180,11 +180,15 @@ const (
 
 var wireMagic = [2]byte{'L', 'T'}
 
-// Errors returned by the wire codec.
+// Errors returned by the wire codec. ErrBadPacket is the parent of every
+// decoding failure: errors.Is(err, ErrBadPacket) matches ErrBadMagic,
+// ErrBadVersion and ErrCorrupt alike, so API boundaries can classify
+// malformed input without enumerating the specific causes.
 var (
-	ErrBadMagic   = errors.New("packet: bad magic")
-	ErrBadVersion = errors.New("packet: unsupported version")
-	ErrCorrupt    = errors.New("packet: corrupt header")
+	ErrBadPacket  = errors.New("packet: bad packet")
+	ErrBadMagic   = fmt.Errorf("%w: bad magic", ErrBadPacket)
+	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadPacket)
+	ErrCorrupt    = fmt.Errorf("%w: corrupt header", ErrBadPacket)
 )
 
 // Header is the decoded fixed-size prefix plus code vector of a packet on

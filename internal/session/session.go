@@ -112,12 +112,28 @@ type Config struct {
 	// frames arriving at a full queue are dropped, as a datagram network
 	// would under overload (default 64).
 	IngestQueue int
-	// Seed drives per-object node randomness (default 1).
-	Seed int64
+	// Seed drives per-object node randomness. A zero Seed selects the
+	// default (1) unless HaveSeed marks it as deliberately chosen — the
+	// public option plumbing (ltnc.WithSeed(0) via swarm.Config.Node)
+	// must not silently collapse seed 0 onto seed 1.
+	Seed     int64
+	HaveSeed bool
+	// DisableRefinement and DisableRedundancyCheck turn off the paper's
+	// Algorithm 2 (recode refinement) and Algorithm 3 (header redundancy
+	// detection) in every per-object decode state the session creates.
+	// Both default to false — the algorithms run — and exist for
+	// experiments and the public option plumbing (ltnc.WithRefinement,
+	// ltnc.WithRedundancyDetection via swarm.Config).
+	DisableRefinement      bool
+	DisableRedundancyCheck bool
 	// Logf, when set, receives one line per notable event (object
 	// learned, complete, evicted).
 	Logf func(format string, args ...any)
 }
+
+// ErrNoPeers is returned by Fetch when no source address was given and
+// the session has no configured peers to ask.
+var ErrNoPeers = errors.New("session: no peers to fetch from")
 
 func (c *Config) setDefaults() error {
 	if c.Transport == nil {
@@ -177,7 +193,7 @@ func (c *Config) setDefaults() error {
 	if c.IngestQueue < 1 {
 		return fmt.Errorf("session: ingest queue %d < 1", c.IngestQueue)
 	}
-	if c.Seed == 0 {
+	if c.Seed == 0 && !c.HaveSeed {
 		c.Seed = 1
 	}
 	return nil
@@ -238,10 +254,18 @@ type objectState struct {
 	lastActive atomic.Int64 // unix nanos
 
 	// Guarded by Session.mu.
-	pinned  bool
-	waiters int // Fetch calls currently blocked on this object
-	sent    int64
-	peers   map[transport.Addr]*peerState
+	pinned   bool
+	waiters  int // Fetch calls currently blocked on this object
+	sent     int64
+	peers    map[transport.Addr]*peerState
+	watchers map[int]func(ObjectStats) // progress subscriptions (Watch)
+
+	// notifyMu serializes watcher deliveries for this object: it is held
+	// across snapshot AND callback invocation, so snapshots reach each
+	// watcher in monotone order (a Complete snapshot is never followed by
+	// an older incomplete one). Lock order: notifyMu before Session.mu
+	// before objectState.mu; never acquire it while holding either.
+	notifyMu sync.Mutex
 }
 
 func (st *objectState) touch() { st.lastActive.Store(time.Now().UnixNano()) }
@@ -268,9 +292,10 @@ type Session struct {
 	cfg Config
 	tr  transport.Transport
 
-	mu      sync.Mutex
-	objects map[packet.ObjectID]*objectState
-	peers   []transport.Addr // configured push peers
+	mu        sync.Mutex
+	objects   map[packet.ObjectID]*objectState
+	peers     []transport.Addr // configured push peers
+	nextWatch int              // watcher key counter
 
 	nextRng atomic.Int64
 
@@ -327,46 +352,81 @@ func (s *Session) AddPeer(addr transport.Addr) {
 
 // Serve splits content into k natives, seeds a pinned source state and
 // returns the derived content ID. The object is pushed to configured
-// peers and to anyone who REQs it.
+// peers and to anyone who REQs it. Serving an object that a Watch or
+// Fetch registered before any network state arrived adopts the
+// placeholder — pending fetches complete immediately; an object already
+// decoding or serving is rejected.
 func (s *Session) Serve(content []byte, k int) (packet.ObjectID, error) {
 	id := packet.NewObjectID(content)
 	natives, err := lt.Split(content, k)
 	if err != nil {
 		return id, err
 	}
-	if wire := 1 + packet.ObjectWireSize(k, len(natives[0])); wire > transport.MaxFrame {
+	m := len(natives[0])
+	if wire := 1 + packet.ObjectWireSize(k, m); wire > transport.MaxFrame {
 		return id, fmt.Errorf("session: k=%d yields %d-byte frames over the %d transport limit; raise k",
 			k, wire, transport.MaxFrame)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.objects[id]; ok {
+	st, existing := s.objects[id]
+	if !existing {
+		if st, err = s.newStateLocked(id, k, m); err != nil {
+			s.mu.Unlock()
+			return id, err
+		}
+	}
+	st.mu.Lock()
+	if st.node == nil {
+		// Adopted placeholder (Watch/Fetch before any DATA or META):
+		// materialize the source node in place.
+		node, err := s.newNode(k, m)
+		if err != nil {
+			st.mu.Unlock()
+			s.mu.Unlock()
+			return id, err
+		}
+		st.node, st.k, st.m = node, k, m
+	} else if existing {
+		st.mu.Unlock()
+		s.mu.Unlock()
 		return id, fmt.Errorf("session: object %v already present", id)
 	}
-	st, err := s.newStateLocked(id, k, len(natives[0]))
-	if err != nil {
-		return id, err
-	}
 	if err := st.node.Seed(natives); err != nil {
-		delete(s.objects, id)
+		st.mu.Unlock()
+		if !existing {
+			delete(s.objects, id)
+		}
+		s.mu.Unlock()
 		return id, err
 	}
 	st.size.Store(int64(len(content)))
-	st.pinned = true
 	st.data = append([]byte(nil), content...)
 	close(st.done)
-	s.logf("session: serving %v (k=%d m=%d size=%d)", id, k, st.m, len(content))
+	st.touch()
+	st.mu.Unlock()
+	st.pinned = true
+	s.mu.Unlock()
+	s.logf("session: serving %v (k=%d m=%d size=%d)", id, k, m, len(content))
+	s.notifyWatchers(st)
 	return id, nil
+}
+
+// newNode builds one per-object decode state with the session's node
+// policy (seed-derived rng, algorithm toggles).
+func (s *Session) newNode(k, m int) (*core.Node, error) {
+	return core.NewNode(core.Options{
+		K:                      k,
+		M:                      m,
+		DisableRefinement:      s.cfg.DisableRefinement,
+		DisableRedundancyCheck: s.cfg.DisableRedundancyCheck,
+		Rng:                    xrand.NewChild(s.cfg.Seed, int(s.nextRng.Add(1)-1)),
+	})
 }
 
 // newStateLocked allocates decode state for object id with code length k
 // and payload size m; s.mu must be held.
 func (s *Session) newStateLocked(id packet.ObjectID, k, m int) (*objectState, error) {
-	node, err := core.NewNode(core.Options{
-		K:   k,
-		M:   m,
-		Rng: xrand.NewChild(s.cfg.Seed, int(s.nextRng.Add(1)-1)),
-	})
+	node, err := s.newNode(k, m)
 	if err != nil {
 		return nil, err
 	}
@@ -396,11 +456,7 @@ func (s *Session) ensureNodeLocked(st *objectState, k, m int) bool {
 	if k > s.cfg.MaxK {
 		return false
 	}
-	node, err := core.NewNode(core.Options{
-		K:   k,
-		M:   m,
-		Rng: xrand.NewChild(s.cfg.Seed, int(s.nextRng.Add(1)-1)),
-	})
+	node, err := s.newNode(k, m)
 	if err != nil {
 		return false
 	}
@@ -545,6 +601,7 @@ func (s *Session) ingestLoop(ctx context.Context, ch chan inFrame) {
 type ingestScratch struct {
 	states  []*objectState
 	replies []ingestReply
+	notify  []*objectState
 }
 
 type ingestReply struct {
@@ -563,10 +620,13 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	}
 	states := scratch.states[:len(batch)]
 	replies := scratch.replies[:0]
+	notify := scratch.notify[:0]
 	defer func() {
 		clear(states) // do not retain object states across batches
 		clear(replies)
 		scratch.replies = replies[:0]
+		clear(notify)
+		scratch.notify = notify[:0]
 	}()
 	s.mu.Lock()
 	for i := range batch {
@@ -588,8 +648,12 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 			cur = st
 			cur.mu.Lock()
 		}
-		if kind := s.ingestDataLocked(st, &batch[i]); kind != 0 {
+		kind, progressed := s.ingestDataLocked(st, &batch[i])
+		if kind != 0 {
 			replies = append(replies, ingestReply{batch[i].f.From, feedbackFrame(st.id, kind)})
+		}
+		if progressed && (len(notify) == 0 || notify[len(notify)-1] != st) {
+			notify = append(notify, st)
 		}
 		batch[i].f.Release()
 	}
@@ -598,6 +662,9 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	}
 	for _, r := range replies {
 		s.tr.Send(r.addr, r.frame)
+	}
+	for _, st := range notify {
+		s.notifyWatchers(st)
 	}
 }
 
@@ -623,31 +690,33 @@ func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *o
 // be held. The code vector is checked first and a redundant payload is
 // never copied or decoded (Section III-C-2); an innovative packet moves
 // from the transport buffer into arena-backed decoder buffers with no
-// allocation. Returns the feedback kind to send, or 0.
-func (s *Session) ingestDataLocked(st *objectState, in *inFrame) byte {
+// allocation. Returns the feedback kind to send (or 0) and whether the
+// decode state advanced (an innovative packet was fed in), which drives
+// watcher notifications.
+func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb byte, progressed bool) {
 	if st.dead {
-		return 0 // evicted between state resolution and locking: drop
+		return 0, false // evicted between state resolution and locking: drop
 	}
 	if !s.ensureNodeLocked(st, in.wv.K, in.wv.M) {
-		return 0
+		return 0, false
 	}
 	st.touch()
 	if st.node.Complete() {
 		st.aborted++
-		return fbComplete
+		return fbComplete, false
 	}
 	data := in.f.Data[1:]
 	vec := st.node.AcquireVec()
 	if vec.UnmarshalInto(in.wv.VecBytes(data)) != nil {
 		st.node.ReleaseVec(vec)
-		return 0
+		return 0, false
 	}
 	// The code vector has been read; if it is redundant the payload is
 	// never decoded and the sender is told so.
 	if st.node.IsRedundant(vec) {
 		st.node.ReleaseVec(vec)
 		st.aborted++
-		return fbRedundant
+		return fbRedundant, false
 	}
 	var payload []byte
 	if in.wv.M > 0 {
@@ -658,9 +727,9 @@ func (s *Session) ingestDataLocked(st *objectState, in *inFrame) byte {
 	st.received++
 	if st.node.Complete() {
 		s.completeObjLocked(st)
-		return fbComplete
+		return fbComplete, true
 	}
-	return 0
+	return 0, true
 }
 
 // completeObjLocked assembles the content of a freshly completed object
@@ -766,22 +835,30 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	s.mu.Unlock()
 
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.dead {
+		st.mu.Unlock()
 		return nil // evicted between lookup and locking
 	}
 	if !s.ensureNodeLocked(st, k, m) {
+		st.mu.Unlock()
 		return nil
 	}
 	st.touch()
+	var reply []byte
+	learned := false
 	if st.size.Load() < 0 {
 		st.size.Store(size)
+		learned = true
 		if st.node.Complete() {
 			s.completeObjLocked(st)
-			return feedbackFrame(id, fbComplete)
+			reply = feedbackFrame(id, fbComplete)
 		}
 	}
-	return nil
+	st.mu.Unlock()
+	if learned {
+		s.notifyWatchers(st)
+	}
+	return reply
 }
 
 func (s *Session) handleFeedback(from transport.Addr, data []byte) {
@@ -1039,24 +1116,106 @@ func encodeReq(id packet.ObjectID) []byte {
 	return buf
 }
 
-// Fetch subscribes to object id at the given peer, waits for the decode
-// to complete and returns the content. It resends the REQ periodically
-// (datagrams are lossy) until the transfer finishes or ctx expires.
-func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.Addr) ([]byte, ObjectStats, error) {
+// placeholderLocked registers a bare object state for id — no decode node
+// yet; the first DATA or META header (or a local Serve) materializes it.
+// s.mu must be held.
+func (s *Session) placeholderLocked(id packet.ObjectID) *objectState {
+	st := &objectState{
+		id:    id,
+		done:  make(chan struct{}),
+		peers: make(map[transport.Addr]*peerState),
+	}
+	st.size.Store(-1)
+	st.touch()
+	s.objects[id] = st
+	return st
+}
+
+// Watch subscribes fn to object id's progress: it is invoked once
+// immediately with a snapshot, then again on session goroutines whenever
+// the object's decode state advances (innovative packets ingested,
+// metadata learned, completion, local Serve). Snapshots reach fn in
+// monotone order: once fn has seen a Complete snapshot it never sees an
+// older one. Callbacks must be fast and must not block — they run on the
+// decode workers' notification path, serialized per object — and must
+// not call Watch synchronously for ANY object (two callbacks
+// cross-watching each other's objects would deadlock the per-object
+// notify locks; register from a goroutine instead — cancel is fine).
+// Watching an unknown object registers a placeholder state;
+// watchers do not pin it against idle eviction, and an evicted object
+// stops notifying. The returned cancel unregisters fn (it never fires
+// again after cancel returns, barring calls already in flight).
+func (s *Session) Watch(id packet.ObjectID, fn func(ObjectStats)) (cancel func()) {
+	s.mu.Lock()
+	st, ok := s.objects[id]
+	if !ok {
+		st = s.placeholderLocked(id)
+	}
+	if st.watchers == nil {
+		st.watchers = make(map[int]func(ObjectStats))
+	}
+	s.nextWatch++
+	key := s.nextWatch
+	st.watchers[key] = fn
+	s.mu.Unlock()
+	// The initial delivery runs under the object's notify lock like every
+	// other: the snapshot is taken after the lock is won, so a concurrent
+	// notifier cannot slip a fresher snapshot in front of a staler one.
+	st.notifyMu.Lock()
+	s.mu.Lock()
+	stats := s.statsLocked(st)
+	s.mu.Unlock()
+	fn(stats)
+	st.notifyMu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(st.watchers, key)
+		s.mu.Unlock()
+	}
+}
+
+// notifyWatchers snapshots st and invokes its watchers, serialized per
+// object by st.notifyMu (see its doc for the ordering guarantee). Call
+// with no locks held.
+func (s *Session) notifyWatchers(st *objectState) {
+	st.notifyMu.Lock()
+	defer st.notifyMu.Unlock()
+	s.mu.Lock()
+	if len(st.watchers) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	fns := make([]func(ObjectStats), 0, len(st.watchers))
+	for _, fn := range st.watchers {
+		fns = append(fns, fn)
+	}
+	stats := s.statsLocked(st)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(stats)
+	}
+}
+
+// Fetch subscribes to object id, waits for the decode to complete and
+// returns the content. The REQ goes to every address in from — or, when
+// none is given, to every configured peer (AddPeer); with neither it
+// fails with ErrNoPeers. REQs are resent periodically (datagrams are
+// lossy) until the transfer finishes or ctx expires.
+func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transport.Addr) ([]byte, ObjectStats, error) {
 	if id.IsZero() {
 		return nil, ObjectStats{}, errors.New("session: fetch of zero object id")
 	}
 	s.mu.Lock()
+	if len(from) == 0 {
+		from = append([]transport.Addr(nil), s.peers...)
+	}
+	if len(from) == 0 {
+		s.mu.Unlock()
+		return nil, ObjectStats{}, ErrNoPeers
+	}
 	st, ok := s.objects[id]
 	if !ok {
-		st = &objectState{
-			id:    id,
-			done:  make(chan struct{}),
-			peers: make(map[transport.Addr]*peerState),
-		}
-		st.size.Store(-1)
-		st.touch()
-		s.objects[id] = st
+		st = s.placeholderLocked(id)
 	}
 	// A waiter pins the state against idle eviction for exactly as long
 	// as someone blocks on it; abandoned fetches then age out normally.
@@ -1070,7 +1229,31 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.
 	}()
 
 	req := encodeReq(id)
-	if err := s.tr.Send(from, req); err != nil {
+	// One REQ per candidate peer; the fetch fails only if no peer could
+	// be reached at all (a dead resolve on one address must not mask a
+	// live source on another).
+	sendAll := func() error {
+		var firstErr error
+		sent := 0
+		for _, addr := range from {
+			if err := s.tr.Send(addr, req); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				sent++
+			}
+		}
+		if sent == 0 {
+			return firstErr
+		}
+		return nil
+	}
+	// ErrUnknownPeer is tolerated on the initial send exactly as on
+	// resends: a peer that has not attached (or resolved) yet may appear
+	// before the next retry, and aborting would turn that startup race
+	// into a hard failure.
+	if err := sendAll(); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
 		return nil, ObjectStats{}, err
 	}
 	resend := time.NewTicker(250 * time.Millisecond)
@@ -1086,7 +1269,7 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.
 			s.mu.Unlock()
 			return data, stats, nil
 		case <-resend.C:
-			if err := s.tr.Send(from, req); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
+			if err := sendAll(); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
 				return nil, ObjectStats{}, err
 			}
 		case <-ctx.Done():
@@ -1095,7 +1278,10 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from transport.
 			s.mu.Unlock()
 			return nil, stats, fmt.Errorf("session: fetch %v: %w", id, ctx.Err())
 		case <-s.closed:
-			return nil, ObjectStats{}, transport.ErrClosed
+			s.mu.Lock()
+			stats := s.statsLocked(st)
+			s.mu.Unlock()
+			return nil, stats, transport.ErrClosed
 		}
 	}
 }
@@ -1136,4 +1322,16 @@ func (s *Session) Objects() []ObjectStats {
 		out = append(out, s.statsLocked(st))
 	}
 	return out
+}
+
+// Object returns the snapshot of one object and whether the session
+// holds it — the O(1) form for pollers that track a single transfer.
+func (s *Session) Object(id packet.ObjectID) (ObjectStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.objects[id]
+	if !ok {
+		return ObjectStats{}, false
+	}
+	return s.statsLocked(st), true
 }

@@ -677,7 +677,7 @@ func TestEvictedStateDropsInFlightFrames(t *testing.T) {
 
 	in := frame(1)
 	stale.mu.Lock()
-	kind := s.ingestDataLocked(stale, &in)
+	kind, _ := s.ingestDataLocked(stale, &in)
 	received := stale.received
 	stale.mu.Unlock()
 	in.f.Release()

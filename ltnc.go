@@ -32,9 +32,12 @@
 package ltnc
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"ltnc/internal/core"
 	"ltnc/internal/lt"
@@ -83,21 +86,43 @@ func ReadPacketPayload(r io.Reader, h PacketHeader) (*Packet, error) {
 
 // Option configures NewSource and NewNode.
 type Option interface {
-	apply(*options)
+	apply(*NodeConfig)
 }
 
-type options struct {
-	seed              int64
-	haveSeed          bool
-	noRefinement      bool
-	noRedundancyCheck bool
+// NodeConfig is the compiled form of the functional options — the one
+// validated node configuration shared across the stack: NewNode and
+// NewSource build it from their Option list via CompileOptions, and
+// swarm.Config carries the same Option vocabulary to every per-object
+// decode state a dissemination session creates. The zero value is the
+// default configuration (refinement and redundancy detection enabled,
+// fresh entropy seeding).
+type NodeConfig struct {
+	// Seed makes the node's random choices reproducible when Seeded is
+	// true; otherwise a fresh seed is drawn from the operating system's
+	// entropy source.
+	Seed   int64
+	Seeded bool
+	// DisableRefinement turns off the refinement step (Algorithm 2).
+	DisableRefinement bool
+	// DisableRedundancyDetection turns off the redundancy detector
+	// (Algorithm 3).
+	DisableRedundancyDetection bool
+}
+
+// CompileOptions folds a functional option list into a NodeConfig.
+func CompileOptions(opts ...Option) NodeConfig {
+	var cfg NodeConfig
+	for _, opt := range opts {
+		opt.apply(&cfg)
+	}
+	return cfg
 }
 
 type seedOption int64
 
-func (o seedOption) apply(opts *options) {
-	opts.seed = int64(o)
-	opts.haveSeed = true
+func (o seedOption) apply(cfg *NodeConfig) {
+	cfg.Seed = int64(o)
+	cfg.Seeded = true
 }
 
 // WithSeed makes the node's random choices reproducible.
@@ -105,7 +130,7 @@ func WithSeed(seed int64) Option { return seedOption(seed) }
 
 type refinementOption bool
 
-func (o refinementOption) apply(opts *options) { opts.noRefinement = !bool(o) }
+func (o refinementOption) apply(cfg *NodeConfig) { cfg.DisableRefinement = !bool(o) }
 
 // WithRefinement enables or disables the refinement step (Algorithm 2);
 // it is enabled by default and should stay on outside of experiments.
@@ -113,31 +138,37 @@ func WithRefinement(enabled bool) Option { return refinementOption(enabled) }
 
 type redundancyOption bool
 
-func (o redundancyOption) apply(opts *options) { opts.noRedundancyCheck = !bool(o) }
+func (o redundancyOption) apply(cfg *NodeConfig) { cfg.DisableRedundancyDetection = !bool(o) }
 
 // WithRedundancyDetection enables or disables the redundancy detector
 // (Algorithm 3); it is enabled by default.
 func WithRedundancyDetection(enabled bool) Option { return redundancyOption(enabled) }
 
-func buildOptions(opts []Option) options {
-	var o options
-	for _, opt := range opts {
-		opt.apply(&o)
+// EntropySeed draws a fresh 64-bit seed from crypto/rand — what unseeded
+// nodes and swarm sessions use by default, so independent participants
+// never share a random stream (and nothing depends on the deprecated
+// seeding state of the global math/rand). The time-derived fallback only
+// runs if the entropy source fails, which on supported platforms it does
+// not.
+func EntropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return int64(binary.LittleEndian.Uint64(b[:]))
 	}
-	return o
+	return time.Now().UnixNano()
 }
 
-func (o options) coreOptions(k, m int) core.Options {
+func (o NodeConfig) coreOptions(k, m int) core.Options {
 	cfg := core.Options{
 		K:                      k,
 		M:                      m,
-		DisableRefinement:      o.noRefinement,
-		DisableRedundancyCheck: o.noRedundancyCheck,
+		DisableRefinement:      o.DisableRefinement,
+		DisableRedundancyCheck: o.DisableRedundancyDetection,
 	}
-	if o.haveSeed {
-		cfg.Rng = rand.New(rand.NewSource(o.seed))
+	if o.Seeded {
+		cfg.Rng = rand.New(rand.NewSource(o.Seed))
 	} else {
-		cfg.Rng = rand.New(rand.NewSource(rand.Int63()))
+		cfg.Rng = rand.New(rand.NewSource(EntropySeed()))
 	}
 	return cfg
 }
@@ -155,7 +186,7 @@ type Node struct {
 // NewNode returns an empty LTNC node for content split into k native
 // packets of m bytes.
 func NewNode(k, m int, opts ...Option) (*Node, error) {
-	n, err := core.NewNode(buildOptions(opts).coreOptions(k, m))
+	n, err := core.NewNode(CompileOptions(opts...).coreOptions(k, m))
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +204,34 @@ func (nd *Node) M() int { return nd.m }
 func (nd *Node) Receive(p *Packet) bool {
 	res := nd.n.Receive(p)
 	return !res.Redundant
+}
+
+// BatchResult summarizes a ReceiveBatch call.
+type BatchResult struct {
+	// Innovative is how many packets of the batch were accepted rather
+	// than discarded as redundant — the batched analogue of Receive's
+	// boolean result.
+	Innovative int
+	// Redundant is how many packets were discarded.
+	Redundant int
+	// NewlyDecoded is how many native packets were recovered over the
+	// whole batch, peeling cascades included.
+	NewlyDecoded int
+}
+
+// ReceiveBatch drains a burst of received packets in arrival order. The
+// decode outcome — recovered natives, stored packets, redundancy verdicts
+// — is identical to calling Receive packet-at-a-time, because belief
+// propagation is inherently sequential; the batch form amortizes per-call
+// overhead on hot ingest paths (it is what the dissemination session's
+// sharded decode workers run). Use it whenever packets arrive in bursts.
+func (nd *Node) ReceiveBatch(ps []*Packet) BatchResult {
+	r := nd.n.ReceiveBatch(ps)
+	return BatchResult{
+		Innovative:   len(ps) - r.Redundant,
+		Redundant:    r.Redundant,
+		NewlyDecoded: r.NewlyDecoded,
+	}
 }
 
 // IsRedundant runs the redundancy detector (Algorithm 3) on a packet
@@ -210,11 +269,14 @@ func (nd *Node) Received() int { return nd.n.Received() }
 // Complete reports whether the node recovered all k native packets.
 func (nd *Node) Complete() bool { return nd.n.Complete() }
 
-// Natives returns the k native payloads once decoding is complete.
+// Natives returns the k native payloads once decoding is complete; before
+// completion it fails with ErrIncomplete.
 func (nd *Node) Natives() ([][]byte, error) { return nd.n.Data() }
 
 // Bytes reassembles the original content of the given size once decoding
-// is complete.
+// is complete. Before completion it fails with ErrIncomplete; a size the
+// natives cannot hold fails with ErrContentSize. Pass the size the source
+// reports (Source.Size) — see its doc for the padding contract.
 func (nd *Node) Bytes(size int) ([]byte, error) {
 	natives, err := nd.n.Data()
 	if err != nil {
@@ -247,12 +309,15 @@ func NewSource(content []byte, k int, opts ...Option) (*Source, error) {
 }
 
 // NewSourceFromNatives builds a source over pre-split native payloads.
+// All natives must be the same length m; Size reports k×m, so if the
+// caller's own split zero-padded the tail, the padding counts as content —
+// see Size for the exact contract.
 func NewSourceFromNatives(natives [][]byte, opts ...Option) (*Source, error) {
 	if len(natives) == 0 {
-		return nil, fmt.Errorf("ltnc: no natives")
+		return nil, fmt.Errorf("%w: no natives", ErrContentSize)
 	}
 	m := len(natives[0])
-	n, err := core.NewNode(buildOptions(opts).coreOptions(len(natives), m))
+	n, err := core.NewNode(CompileOptions(opts...).coreOptions(len(natives), m))
 	if err != nil {
 		return nil, err
 	}
@@ -279,9 +344,17 @@ func (s *Source) Packet() *Packet {
 	return p
 }
 
-// Size returns the original content length in bytes (before padding) —
-// the value sinks pass to Node.Bytes. For NewSourceFromNatives it is the
-// total native bytes.
+// Size returns the content length in bytes that sinks pass to Node.Bytes
+// to reassemble this source's content:
+//
+//   - for NewSource it is len(content), the original length before the
+//     zero padding Split added, so Bytes(src.Size()) strips the padding
+//     and returns the content byte-for-byte;
+//   - for NewSourceFromNatives it is the total native bytes k×m. The
+//     library cannot know whether the caller's own split padded the last
+//     native, so Bytes(src.Size()) returns the exact concatenation of the
+//     natives, padding included. Callers that padded must carry the true
+//     content length out of band and pass that to Bytes instead.
 func (s *Source) Size() int { return s.size }
 
 // RobustSoliton returns the Robust Soliton degree distribution for code

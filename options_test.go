@@ -1,0 +1,404 @@
+package ltnc_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ltnc"
+)
+
+// marshalPacket renders a packet to its wire bytes for byte-for-byte
+// stream comparison.
+func marshalPacket(t *testing.T, p *ltnc.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ltnc.WritePacket(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWithSeedDeterminism builds two identically seeded Source+Node pairs
+// and asserts the packet streams — source emissions and relay recodes —
+// are byte-for-byte identical, and that the sinks decode through
+// identical intermediate states.
+func TestWithSeedDeterminism(t *testing.T) {
+	content := make([]byte, 8*1024)
+	rand.New(rand.NewSource(11)).Read(content)
+	const k = 64
+
+	type pair struct {
+		src  *ltnc.Source
+		node *ltnc.Node
+	}
+	mk := func() pair {
+		src, err := ltnc.NewSource(content, k, ltnc.WithSeed(101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(202))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pair{src, node}
+	}
+	a, b := mk(), mk()
+
+	for i := 0; i < 4*k; i++ {
+		pa, pb := a.src.Packet(), b.src.Packet()
+		wa, wb := marshalPacket(t, pa), marshalPacket(t, pb)
+		if !bytes.Equal(wa, wb) {
+			t.Fatalf("source streams diverge at packet %d", i)
+		}
+		if a.node.Receive(pa) != b.node.Receive(pb) {
+			t.Fatalf("innovation verdicts diverge at packet %d", i)
+		}
+		da, _ := a.node.Progress()
+		db, _ := b.node.Progress()
+		if da != db {
+			t.Fatalf("decode progress diverges at packet %d: %d vs %d", i, da, db)
+		}
+		// Recoded streams must match too once the nodes hold anything.
+		za, oka := a.node.Recode()
+		zb, okb := b.node.Recode()
+		if oka != okb {
+			t.Fatalf("recode availability diverges at packet %d", i)
+		}
+		if oka && !bytes.Equal(marshalPacket(t, za), marshalPacket(t, zb)) {
+			t.Fatalf("recoded streams diverge at packet %d", i)
+		}
+		if a.node.Complete() {
+			break
+		}
+	}
+	if !a.node.Complete() || !b.node.Complete() {
+		t.Fatal("nodes did not complete within 4k packets")
+	}
+	ba, err := a.node.Bytes(len(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.node.Bytes(len(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, content) || !bytes.Equal(bb, content) {
+		t.Fatal("decoded content mismatch")
+	}
+}
+
+// TestWithRedundancyDetection asserts the toggle's observable insert-time
+// behavior with an exact duplicate of a degree-2 packet: the detector
+// (Algorithm 3) discards it as non-innovative; with the detector disabled
+// the decoder stores it.
+func TestWithRedundancyDetection(t *testing.T) {
+	content := make([]byte, 2048)
+	rand.New(rand.NewSource(12)).Read(content)
+	const k = 32
+
+	// Find a seed whose first emitted packet has degree 2 — the smallest
+	// degree where the duplicate is caught by Algorithm 3's component rule
+	// rather than trivially reducing to zero.
+	var wire []byte
+	for seed := int64(1); seed < 500 && wire == nil; seed++ {
+		src, err := ltnc.NewSource(content, k, ltnc.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := src.Packet(); p.Vec.PopCount() == 2 {
+			wire = marshalPacket(t, p)
+		}
+	}
+	if wire == nil {
+		t.Fatal("no degree-2 first packet in 500 seeds")
+	}
+
+	for _, enabled := range []bool{true, false} {
+		node, err := ltnc.NewNode(k, len(content)/k, ltnc.WithSeed(2),
+			ltnc.WithRedundancyDetection(enabled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := ltnc.ReadPacket(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !node.Receive(first) {
+			t.Fatalf("detection=%v: first copy not innovative", enabled)
+		}
+		dup, err := ltnc.ReadPacket(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accepted := node.Receive(dup); accepted == enabled {
+			t.Errorf("detection=%v: duplicate degree-2 packet accepted=%v", enabled, accepted)
+		}
+		// The header-side detector itself always answers for the abort
+		// protocol (it is the insert-time hook that the option disables).
+		probe, err := ltnc.ReadPacket(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !node.IsRedundant(probe) {
+			t.Errorf("detection=%v: header detector missed the stored pair", enabled)
+		}
+	}
+}
+
+// TestWithRefinement asserts the toggle changes recoding behavior: from
+// the same seeds and the same received prefix, the refined and unrefined
+// recode streams differ (Algorithm 2 substitutes natives to flatten the
+// occurrence distribution), while both remain decodable.
+func TestWithRefinement(t *testing.T) {
+	content := make([]byte, 4096)
+	rand.New(rand.NewSource(13)).Read(content)
+	const k = 64
+
+	recodes := func(refine bool) ([][]byte, *ltnc.Node) {
+		src, err := ltnc.NewSource(content, k, ltnc.WithSeed(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		relay, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(22),
+			ltnc.WithRefinement(refine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for i := 0; i < 2*k; i++ {
+			relay.Receive(src.Packet())
+			if z, ok := relay.Recode(); ok {
+				out = append(out, marshalPacket(t, z))
+			}
+		}
+		return out, relay
+	}
+	on, _ := recodes(true)
+	off, _ := recodes(false)
+	if len(on) == 0 || len(off) == 0 {
+		t.Fatal("no recoded packets produced")
+	}
+	same := len(on) == len(off)
+	if same {
+		for i := range on {
+			if !bytes.Equal(on[i], off[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("refinement toggle had no effect on the recoded stream")
+	}
+
+	// Both streams must still decode at a sink.
+	for _, stream := range [][][]byte{on, off} {
+		sink, err := ltnc.NewNode(k, len(content)/k, ltnc.WithSeed(23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range stream {
+			p, err := ltnc.ReadPacket(bytes.NewReader(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink.Receive(p)
+		}
+		// Partial decode is fine — the streams are short — but feeding
+		// must never corrupt state; top up from a fresh source to finish.
+		src, err := ltnc.NewSource(content, k, ltnc.WithSeed(24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; !sink.Complete() && i < 100*k; i++ {
+			sink.Receive(src.Packet())
+		}
+		got, err := sink.Bytes(len(content))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatal("sink decoded wrong content")
+		}
+	}
+}
+
+// TestReceiveBatchEquivalence is the public-API property test: for
+// several seeds, feeding a burst through ReceiveBatch must leave the node
+// in exactly the state sequential Receive calls produce, and the batch
+// tallies must match the per-packet verdicts.
+func TestReceiveBatchEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		content := make([]byte, 4096)
+		rand.New(rand.NewSource(seed)).Read(content)
+		const k = 64
+
+		mkStream := func() []*ltnc.Packet {
+			src, err := ltnc.NewSource(content, k, ltnc.WithSeed(seed*100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps := make([]*ltnc.Packet, 3*k)
+			for i := range ps {
+				ps[i] = src.Packet()
+			}
+			return ps
+		}
+		seqPs, batchPs := mkStream(), mkStream()
+
+		seq, err := ltnc.NewNode(k, len(content)/k, ltnc.WithSeed(seed*100+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := ltnc.NewNode(k, len(content)/k, ltnc.WithSeed(seed*100+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		innovative := 0
+		for _, p := range seqPs {
+			if seq.Receive(p) {
+				innovative++
+			}
+		}
+		res := bat.ReceiveBatch(batchPs)
+		if res.Innovative != innovative {
+			t.Fatalf("seed %d: batch innovative = %d, sequential = %d", seed, res.Innovative, innovative)
+		}
+		if res.Innovative+res.Redundant != len(batchPs) {
+			t.Fatalf("seed %d: batch tallies do not cover the batch: %+v", seed, res)
+		}
+		ds, _ := seq.Progress()
+		db, _ := bat.Progress()
+		if ds != db {
+			t.Fatalf("seed %d: decoded %d sequential vs %d batched", seed, ds, db)
+		}
+		if res.NewlyDecoded != db {
+			t.Fatalf("seed %d: NewlyDecoded %d != decoded count %d", seed, res.NewlyDecoded, db)
+		}
+		if seq.Complete() != bat.Complete() {
+			t.Fatalf("seed %d: completion mismatch", seed)
+		}
+		if seq.Complete() {
+			ns, err := seq.Natives()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb, err := bat.Natives()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ns {
+				if !bytes.Equal(ns[i], nb[i]) {
+					t.Fatalf("seed %d: native %d differs", seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSourceSizeContract pins the Size/Bytes contract for both
+// constructors: NewSource strips its own padding; NewSourceFromNatives
+// reports k×m and round-trips the natives exactly, padding included.
+func TestSourceSizeContract(t *testing.T) {
+	// NewSource: content length not divisible by k forces padding.
+	content := make([]byte, 1000) // k=32 → m=32, 24 bytes of padding
+	rand.New(rand.NewSource(14)).Read(content)
+	src, err := ltnc.NewSource(content, 32, ltnc.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Size() != len(content) {
+		t.Fatalf("NewSource Size = %d, want %d", src.Size(), len(content))
+	}
+	sink := decodeFrom(t, src)
+	got, err := sink.Bytes(src.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("NewSource round trip lost bytes")
+	}
+
+	// NewSourceFromNatives: the caller split (and padded) itself; Size is
+	// the full k×m and Bytes returns the exact concatenation.
+	natives, err := ltnc.Split(content, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var concat []byte
+	for _, n := range natives {
+		concat = append(concat, n...)
+	}
+	src2, err := ltnc.NewSourceFromNatives(natives, ltnc.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(natives) * len(natives[0]); src2.Size() != want {
+		t.Fatalf("NewSourceFromNatives Size = %d, want k×m = %d", src2.Size(), want)
+	}
+	sink2 := decodeFrom(t, src2)
+	got2, err := sink2.Bytes(src2.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, concat) {
+		t.Fatal("NewSourceFromNatives Bytes(Size) is not the exact native concatenation")
+	}
+	// The true content is recoverable by passing the out-of-band length.
+	got3, err := sink2.Bytes(len(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got3, content) {
+		t.Fatal("NewSourceFromNatives round trip with true length lost bytes")
+	}
+
+	if _, err := ltnc.NewSourceFromNatives(nil); !errors.Is(err, ltnc.ErrContentSize) {
+		t.Fatalf("empty natives error = %v, want ErrContentSize", err)
+	}
+}
+
+// TestTypedErrors pins the sentinel error surface.
+func TestTypedErrors(t *testing.T) {
+	node, err := ltnc.NewNode(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Natives(); !errors.Is(err, ltnc.ErrIncomplete) {
+		t.Fatalf("incomplete Natives error = %v, want ErrIncomplete", err)
+	}
+	if _, err := node.Bytes(32); !errors.Is(err, ltnc.ErrIncomplete) {
+		t.Fatalf("incomplete Bytes error = %v, want ErrIncomplete", err)
+	}
+	src, err := ltnc.NewSource([]byte("some content to encode"), 4, ltnc.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := marshalPacket(t, src.Packet())
+	wire[0] ^= 0xFF // corrupt the magic
+	if _, err := ltnc.ReadPacket(bytes.NewReader(wire)); !errors.Is(err, ltnc.ErrBadPacket) {
+		t.Fatalf("corrupt ReadPacket error = %v, want ErrBadPacket", err)
+	}
+	if _, err := ltnc.Split(nil, 4); !errors.Is(err, ltnc.ErrContentSize) {
+		t.Fatalf("empty Split error = %v, want ErrContentSize", err)
+	}
+}
+
+// decodeFrom drains src into a fresh sink until complete.
+func decodeFrom(t *testing.T, src *ltnc.Source) *ltnc.Node {
+	t.Helper()
+	sink, err := ltnc.NewNode(src.K(), src.M(), ltnc.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !sink.Complete() && i < 200*src.K(); i++ {
+		sink.Receive(src.Packet())
+	}
+	if !sink.Complete() {
+		t.Fatal("sink did not complete")
+	}
+	return sink
+}

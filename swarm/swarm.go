@@ -1,0 +1,348 @@
+// Package swarm is the public face of LTNC dissemination: a Session
+// multiplexes many content objects over one datagram transport, serves
+// objects it holds, recodes objects it relays — the paper's contribution,
+// fresh LT-shaped packets generated from a partial, encoded view — and
+// fetches objects from peers, refusing redundant payloads on the code
+// vector in the header (Section III-C-2's binary feedback).
+//
+// A session runs over any ltnc/transport.Transport: real UDP sockets via
+// transport.ListenUDP (or Config.Listen), or the deterministic in-memory
+// transport.Switch for tests and simulations. The same session code backs
+// both, as well as the ltnc-serve and ltnc-fetch commands.
+//
+// Minimal fetch client:
+//
+//	s, _ := swarm.New(swarm.Config{Listen: "0.0.0.0:0", Peers: []swarm.Addr{"relay:4980"}})
+//	ctx, cancel := context.WithCancel(context.Background())
+//	go s.Run(ctx)
+//	defer func() { cancel(); s.Close() }()
+//	content, report, err := s.Fetch(ctx, id)
+//
+// Minimal source:
+//
+//	s, _ := swarm.New(swarm.Config{Listen: ":4980"})
+//	id, _ := s.Serve(content, 1024)
+//	s.Run(ctx) // pushes to subscribers and configured peers until cancelled
+//
+// This package is a facade over internal/session, which in turn drives
+// the internal decode engine (arena-backed belief propagation, sharded
+// decode workers, batched ingestion); see DESIGN.md §9 for the layering.
+package swarm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ltnc"
+	"ltnc/internal/packet"
+	"ltnc/internal/session"
+	"ltnc/transport"
+)
+
+// Addr is a peer address on the session's transport (re-exported from
+// ltnc/transport for convenience).
+type Addr = transport.Addr
+
+// ObjectID is the 16-byte content identifier carried in every v2 packet
+// header; it is derived from the content bytes, so any holder of the
+// content derives the same ID.
+type ObjectID = packet.ObjectID
+
+// ContentID derives the ObjectID of a piece of content. Serving the same
+// bytes anywhere yields this ID.
+func ContentID(content []byte) ObjectID { return packet.NewObjectID(content) }
+
+// ParseObjectID parses the 32-hex-digit form printed by ObjectID.String
+// (and by ltnc-serve).
+func ParseObjectID(s string) (ObjectID, error) { return packet.ParseObjectID(s) }
+
+// ObjectStats is a point-in-time view of one object's session state; its
+// Overhead method reports received packets relative to k — the reception
+// overhead the paper calls 1 + ε.
+type ObjectStats = session.ObjectStats
+
+// Errors returned by Session methods.
+var (
+	// ErrClosed is returned once the session (or its transport) is closed.
+	ErrClosed = transport.ErrClosed
+	// ErrNoPeers is returned by Fetch when it has nowhere to send the
+	// request: no explicit source and no configured peers.
+	ErrNoPeers = session.ErrNoPeers
+)
+
+// Config parameterizes a Session. The zero value of every field selects a
+// sensible default; only the transport — either Transport or Listen —
+// must be provided.
+type Config struct {
+	// Transport carries the session's frames: a Switch port, a
+	// UDPTransport, or any custom Transport. The session takes ownership
+	// and closes it on Close.
+	Transport transport.Transport
+	// Listen, when Transport is nil, binds a fresh UDP transport to this
+	// address ("127.0.0.1:0" picks a free port; query LocalAddr).
+	Listen string
+	// Peers are standing push/fetch targets, as if AddPeer were called
+	// for each: every locally known object is pushed toward them, and
+	// Fetch without an explicit source asks them.
+	Peers []Addr
+	// Relay makes the session create decode state for objects it first
+	// learns about from the network and re-push recoded packets of them —
+	// the paper's recoding intermediary. Fetch-only clients leave it
+	// false and decode only objects they asked for.
+	Relay bool
+	// Tick is the push period (default 2ms).
+	Tick time.Duration
+	// Burst is how many packets are pushed per object, target and tick
+	// (default 1).
+	Burst int
+	// Aggressiveness gates recoding as in the paper (default 0.01): a
+	// relay starts recoding an object once it holds K·Aggressiveness + 1
+	// packets.
+	Aggressiveness float64
+	// IdleTimeout evicts object state untouched for this long (default
+	// 60s). Locally served objects and objects with blocked fetches stay.
+	IdleTimeout time.Duration
+	// MaxObjects bounds how many objects a relay will learn from the
+	// network (default 1024); MaxK bounds the code length it accepts from
+	// network headers (default 65536).
+	MaxObjects int
+	MaxK       int
+	// DecodeWorkers, IngestBatch and IngestQueue tune the sharded decode
+	// engine: how many decode shards run (default min(GOMAXPROCS, 8)),
+	// how many DATA frames a worker drains per wakeup (default 32), and
+	// each worker's inbound queue bound (default 64; frames over it are
+	// dropped, as a datagram network would under overload — see
+	// IngestDropped).
+	DecodeWorkers int
+	IngestBatch   int
+	IngestQueue   int
+	// Seed drives the session's randomness; per-object decode states
+	// derive independent sub-streams from it. Zero draws a fresh entropy
+	// seed (ltnc.EntropySeed), so independently deployed nodes never
+	// emit identical coded streams; set Seed (or ltnc.WithSeed in Node)
+	// for reproducible tests and simulations.
+	Seed int64
+	// Node carries the root package's functional options to every
+	// per-object decode state the session creates — the same vocabulary
+	// NewNode and NewSource accept. ltnc.WithSeed overrides Seed;
+	// ltnc.WithRefinement(false) and ltnc.WithRedundancyDetection(false)
+	// disable the corresponding algorithms (experiments only).
+	Node []ltnc.Option
+	// Logf, when set, receives one line per notable event (object
+	// learned, complete, evicted).
+	Logf func(format string, args ...any)
+}
+
+// sessionConfig lowers the public Config onto the internal session
+// configuration, folding the Node options in.
+func (c Config) sessionConfig(tr transport.Transport) session.Config {
+	nc := ltnc.CompileOptions(c.Node...)
+	seed := c.Seed
+	haveSeed := nc.Seeded
+	switch {
+	case nc.Seeded:
+		seed = nc.Seed
+	case seed == 0:
+		// No seed anywhere: independent sessions must not share the
+		// internal default stream, or peers serving the same object
+		// would push pairwise-duplicate packets.
+		seed = ltnc.EntropySeed()
+		haveSeed = true
+	}
+	return session.Config{
+		Transport:              tr,
+		Tick:                   c.Tick,
+		Burst:                  c.Burst,
+		Aggressiveness:         c.Aggressiveness,
+		IdleTimeout:            c.IdleTimeout,
+		Relay:                  c.Relay,
+		MaxObjects:             c.MaxObjects,
+		MaxK:                   c.MaxK,
+		DecodeWorkers:          c.DecodeWorkers,
+		IngestBatch:            c.IngestBatch,
+		IngestQueue:            c.IngestQueue,
+		Seed:                   seed,
+		HaveSeed:               haveSeed,
+		DisableRefinement:      nc.DisableRefinement,
+		DisableRedundancyCheck: nc.DisableRedundancyDetection,
+		Logf:                   c.Logf,
+	}
+}
+
+// Session is one LTNC dissemination participant — source, relay, fetch
+// client, or all three at once. Create with New, drive with Run, then
+// Serve objects and Fetch them concurrently; every method is safe for
+// concurrent use.
+type Session struct {
+	s *session.Session
+}
+
+// New builds a session from cfg. Call Run to start it; Close when done.
+func New(cfg Config) (*Session, error) {
+	tr := cfg.Transport
+	if tr == nil {
+		if cfg.Listen == "" {
+			return nil, fmt.Errorf("swarm: config needs a Transport or a Listen address")
+		}
+		var err error
+		if tr, err = transport.ListenUDP(cfg.Listen); err != nil {
+			return nil, err
+		}
+	}
+	s, err := session.New(cfg.sessionConfig(tr))
+	if err != nil {
+		tr.Close() // ownership transferred with the Config, error or not
+		return nil, err
+	}
+	for _, p := range cfg.Peers {
+		s.AddPeer(p)
+	}
+	return &Session{s: s}, nil
+}
+
+// Run pumps the session until ctx ends or the session is closed: it
+// receives and dispatches frames, decodes DATA bursts on the sharded
+// worker pool, pushes recoded packets every tick and evicts idle state.
+// It returns nil on clean shutdown — Close, cancellation, or ctx's
+// deadline expiring; bounding the run with a deadline is a supported way
+// to stop it.
+func (s *Session) Run(ctx context.Context) error {
+	err := s.s.Run(ctx)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil
+	}
+	return err
+}
+
+// Close stops Run and closes the underlying transport. Blocked Fetches
+// fail with ErrClosed.
+func (s *Session) Close() error { return s.s.Close() }
+
+// LocalAddr returns the address peers use to reach this session.
+func (s *Session) LocalAddr() Addr { return s.s.LocalAddr() }
+
+// AddPeer registers a standing push/fetch target: every locally known
+// object is pushed toward it, and Fetch without an explicit source asks
+// it.
+func (s *Session) AddPeer(addr Addr) { s.s.AddPeer(addr) }
+
+// Serve splits content into k native packets, seeds a source state and
+// returns the content-derived ObjectID. The object is pushed to
+// configured peers and to anyone who requests it, and is pinned against
+// idle eviction. Serving an object someone is already fetching or
+// watching completes those subscriptions immediately.
+func (s *Session) Serve(content []byte, k int) (ObjectID, error) {
+	return s.s.Serve(content, k)
+}
+
+// ServeReader reads r to EOF and serves the bytes as one object; see
+// Serve.
+func (s *Session) ServeReader(r io.Reader, k int) (ObjectID, error) {
+	content, err := io.ReadAll(r)
+	if err != nil {
+		return ObjectID{}, fmt.Errorf("swarm: read content: %w", err)
+	}
+	return s.Serve(content, k)
+}
+
+// ServeFile serves the contents of the file at path as one object; see
+// Serve.
+func (s *Session) ServeFile(path string, k int) (ObjectID, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return ObjectID{}, err
+	}
+	return s.Serve(content, k)
+}
+
+// FetchReport summarizes a completed (or failed) fetch.
+type FetchReport struct {
+	// Bytes is the recovered content length.
+	Bytes int
+	// Elapsed is the wall-clock transfer time.
+	Elapsed time.Duration
+	// Stats carries the decode-side counters at completion;
+	// Stats.Overhead() is the paper's reception overhead (received
+	// packets / k).
+	Stats ObjectStats
+}
+
+// Overhead is shorthand for Stats.Overhead — received packets relative to
+// k, the paper's 1 + ε.
+func (r FetchReport) Overhead() float64 { return r.Stats.Overhead() }
+
+// Fetch subscribes to object id, blocks until the decode completes and
+// returns the content. The request goes to every address in from — or,
+// when none is given, to every configured peer (ErrNoPeers with neither).
+// Requests are resent periodically until the transfer finishes, ctx
+// expires, or the session closes; the report is meaningful even on error.
+func (s *Session) Fetch(ctx context.Context, id ObjectID, from ...Addr) ([]byte, FetchReport, error) {
+	start := time.Now()
+	content, stats, err := s.s.Fetch(ctx, id, from...)
+	report := FetchReport{Bytes: len(content), Elapsed: time.Since(start), Stats: stats}
+	if err != nil {
+		return nil, report, err
+	}
+	return content, report, nil
+}
+
+// Watch subscribes fn to object id's progress: it is invoked once
+// immediately with a snapshot, then again whenever the object's decode
+// state advances — innovative packets ingested, metadata learned,
+// completion. Snapshots reach fn in monotone order (a Complete snapshot
+// is never followed by an older one). Callbacks run on session
+// goroutines, serialized per object; they must not block and must not
+// call Watch or Subscribe synchronously for any object (spawn a
+// goroutine for that; cancel is fine) — consume through Subscribe's
+// channel when in doubt. Watching an unknown object is
+// allowed (the session registers it and decodes once packets arrive);
+// watchers do not pin state against idle eviction. cancel unregisters
+// fn.
+func (s *Session) Watch(id ObjectID, fn func(ObjectStats)) (cancel func()) {
+	return s.s.Watch(id, fn)
+}
+
+// Subscribe is the channel form of Watch: progress snapshots of object id
+// are delivered on the returned channel, which has the given buffer
+// capacity (minimum 1). Deliveries never block: when the consumer lags
+// and the buffer is full, the OLDEST buffered snapshot is dropped to make
+// room for the newest, so the most recent snapshot — including the
+// terminal Complete one — is always the one retained. The channel is
+// never closed; cancel stops deliveries.
+func (s *Session) Subscribe(id ObjectID, buffer int) (<-chan ObjectStats, func()) {
+	ch := make(chan ObjectStats, max(buffer, 1))
+	cancel := s.s.Watch(id, func(o ObjectStats) {
+		for {
+			select {
+			case ch <- o:
+				return
+			default:
+			}
+			// Full: evict one stale snapshot and retry. The loop
+			// terminates because each round either delivers o or shrinks
+			// the buffer (concurrent consumers only help).
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	})
+	return ch, cancel
+}
+
+// Stats returns a snapshot of every object the session currently holds.
+func (s *Session) Stats() []ObjectStats { return s.s.Objects() }
+
+// Object returns the snapshot of one object and whether the session holds
+// it.
+func (s *Session) Object(id ObjectID) (ObjectStats, bool) {
+	return s.s.Object(id)
+}
+
+// IngestDropped returns the number of DATA frames dropped at full decode
+// worker queues — the receiver-overload counter; see Config.IngestQueue.
+func (s *Session) IngestDropped() int64 { return s.s.IngestDropped() }

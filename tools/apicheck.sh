@@ -1,0 +1,42 @@
+#!/bin/sh
+# apicheck.sh — the API-compatibility gate for the public packages.
+#
+# Diffs `go doc -all` of every public package against the committed
+# goldens under api/, so a PR cannot silently change an exported
+# signature, type, constant or doc contract. After a deliberate API
+# change, run
+#
+#	tools/apicheck.sh -update
+#
+# and commit the refreshed goldens; the diff then documents the change
+# for review.
+set -eu
+cd "$(dirname "$0")/.."
+
+# public package dir → golden file
+packages="
+.:api/ltnc.txt
+./swarm:api/ltnc_swarm.txt
+./transport:api/ltnc_transport.txt
+"
+
+mode="${1:-check}"
+status=0
+for entry in $packages; do
+	pkg="${entry%%:*}"
+	golden="${entry#*:}"
+	if [ "$mode" = "-update" ]; then
+		mkdir -p "$(dirname "$golden")"
+		go doc -all "$pkg" >"$golden"
+		echo "updated $golden"
+	elif ! go doc -all "$pkg" | diff -u "$golden" - >/tmp/apidiff.$$ 2>&1; then
+		echo "API drift in $pkg (vs $golden):" >&2
+		cat /tmp/apidiff.$$ >&2
+		status=1
+	fi
+done
+rm -f /tmp/apidiff.$$
+if [ "$mode" != "-update" ] && [ "$status" -ne 0 ]; then
+	echo "public API changed: review, then run tools/apicheck.sh -update and commit the goldens" >&2
+fi
+exit "$status"

@@ -1,0 +1,99 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ltnc/transport"
+)
+
+// TestSwitchRoundTrip drives the public surface end to end: attach two
+// ports, send a frame, receive it with the sender's address, release it.
+func TestSwitchRoundTrip(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sw.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("public surface")
+	if err := a.Send("b", msg); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != transport.Addr("a") || !bytes.Equal(f.Data, msg) {
+		t.Fatalf("got frame from %q: %q", f.From, f.Data)
+	}
+	f.Release()
+	if err := a.Send("nobody", msg); !errors.Is(err, transport.ErrUnknownPeer) {
+		t.Fatalf("send to unknown peer: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(ctx); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+// TestUDPRoundTrip checks the UDP implementation through the public
+// package on the loopback interface.
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	msg := []byte("udp via public package")
+	if err := a.Send(b.LocalAddr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if f.From != a.LocalAddr() || !bytes.Equal(f.Data, msg) {
+		t.Fatalf("got frame from %q: %q", f.From, f.Data)
+	}
+}
+
+// TestMaxFrame asserts the size bound is enforced through the aliases.
+func TestMaxFrame(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sw.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Attach("b"); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, transport.MaxFrame+1)
+	if err := a.Send("b", big); !errors.Is(err, transport.ErrFrameTooBig) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+}
