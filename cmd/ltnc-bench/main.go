@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ltnc/internal/experiments"
 )
@@ -26,6 +28,24 @@ func main() {
 	}
 }
 
+// parseGenSweep parses the -generations comma list; empty disables the
+// sweep.
+func parseGenSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		g, err := strconv.Atoi(part)
+		if err != nil || g < 1 {
+			return nil, fmt.Errorf("bad generation count %q", part)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("ltnc-bench", flag.ContinueOnError)
 	var (
@@ -35,6 +55,9 @@ func run(args []string, out *os.File) error {
 		batch      = fs.Int("batch", 0, "engine ingest batch size (default 32)")
 		rounds     = fs.Int("rounds", 0, "measurement rounds, fastest kept (default 3)")
 		seed       = fs.Int64("seed", 0, "workload seed (default 1)")
+		gens       = fs.String("generations", "1,4,16", "generation sweep counts over the 1 MiB object (comma list; empty disables)")
+		genSize    = fs.Int("gen-size", 0, "generation sweep object bytes (default 1 MiB)")
+		genK       = fs.Int("gen-k", 0, "generation sweep total code length (default 1024)")
 		outPath    = fs.String("out", "BENCH_decode.json", "output JSON path (empty: stdout only)")
 		refMBps    = fs.Float64("ref-mbps", 0, "pre-PR reference throughput in MB/s (0: omit)")
 		refAllocs  = fs.Float64("ref-allocs", 0, "pre-PR reference allocs/packet")
@@ -56,13 +79,20 @@ func run(args []string, out *os.File) error {
 			}
 		}
 	}
+	sweep, err := parseGenSweep(*gens)
+	if err != nil {
+		return err
+	}
 	rep, err := experiments.RunDecodeBench(experiments.DecodeBenchParams{
-		Objects:    *objects,
-		ObjectSize: *objectSize,
-		K:          *k,
-		Batch:      *batch,
-		Rounds:     *rounds,
-		Seed:       *seed,
+		Objects:       *objects,
+		ObjectSize:    *objectSize,
+		K:             *k,
+		Batch:         *batch,
+		Rounds:        *rounds,
+		Seed:          *seed,
+		GenSweep:      sweep,
+		GenObjectSize: *genSize,
+		GenK:          *genK,
 	})
 	if err != nil {
 		return err
@@ -88,6 +118,13 @@ func run(args []string, out *os.File) error {
 	if rep.PrePR != nil {
 		fmt.Fprintf(out, "engine vs pre-PR: %.2fx throughput, %.2fx fewer allocs (%s)\n",
 			rep.SpeedupVsPrePRX, rep.AllocReductionVsPrePRX, rep.PrePRNote)
+	}
+	if len(rep.GenSweep) > 0 {
+		fmt.Fprintf(out, "generation sweep: %d B object, k=%d\n", rep.GenObjectSize, rep.GenK)
+		for _, e := range rep.GenSweep {
+			fmt.Fprintf(out, "  G=%-3d k/G=%-5d %8.1f MB/s  %6.2f allocs/pkt  %4d header B/pkt  overhead %.3f\n",
+				e.Generations, e.KPer, e.MBps, e.AllocsPerPacket, e.HeaderBytesPerPacket, e.Overhead)
+		}
 	}
 	if *outPath != "" {
 		if err := rep.WriteJSON(*outPath); err != nil {

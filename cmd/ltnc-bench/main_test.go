@@ -42,6 +42,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-objects", "-3", "-out", ""}, os.Stdout); err == nil {
 		t.Error("negative objects accepted")
 	}
+	if err := run([]string{"-generations", "1,x", "-out", ""}, os.Stdout); err == nil {
+		t.Error("malformed generation sweep accepted")
+	}
+	if err := run([]string{"-generations", "3", "-gen-k", "64", "-out", ""}, os.Stdout); err == nil {
+		t.Error("non-dividing generation count accepted")
+	}
+}
+
+// TestRunGenerationSweepInReport: the default sweep lands in the JSON.
+func TestRunGenerationSweepInReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-objects", "2", "-size", "2048", "-k", "16", "-rounds", "1",
+		"-generations", "1,4", "-gen-size", "32768", "-gen-k", "64",
+		"-out", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.DecodeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.GenSweep) != 2 || rep.GenSweep[1].Generations != 4 {
+		t.Fatalf("generation sweep missing from report: %+v", rep.GenSweep)
+	}
 }
 
 // TestRunKeepsReference: rewriting an existing report without -ref-*

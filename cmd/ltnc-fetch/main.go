@@ -89,8 +89,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	} else if err := os.WriteFile(*output, content, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "fetched %d bytes in %v: %d packets for k=%d (overhead %.3f), %d aborted on the header\n",
+	fmt.Fprintf(out, "fetched %d bytes in %v: %d packets for k=%d in %d generations (overhead %.3f), %d aborted on the header\n",
 		report.Bytes, report.Elapsed.Round(time.Millisecond),
-		report.Stats.Received, report.Stats.K, report.Overhead(), report.Stats.Aborted)
+		report.Stats.Received, report.Stats.K, report.Stats.Generations,
+		report.Overhead(), report.Stats.Aborted)
 	return nil
 }

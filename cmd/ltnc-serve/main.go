@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		files   = fs.String("file", "", "comma-separated files to serve")
 		peers   = fs.String("peer", "", "comma-separated push targets (host:port)")
 		k       = fs.Int("k", 256, "code length for served files")
+		gens    = fs.Int("generations", 0, "coding generations per served file (0 = auto from k; headers and decode state are O(k/G))")
 		relay   = fs.Bool("relay", true, "recode and re-push objects learned from peers")
 		tick    = fs.Duration("tick", 2*time.Millisecond, "push period")
 		burst   = fs.Int("burst", 1, "packets per object, target and tick")
@@ -73,6 +74,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *k < 1 {
 		return fmt.Errorf("k = %d < 1", *k)
 	}
+	if *gens < 0 {
+		return fmt.Errorf("generations = %d < 0", *gens)
+	}
 	cfg := swarm.Config{
 		Listen:      *listen,
 		Relay:       *relay,
@@ -80,6 +84,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Burst:       *burst,
 		IdleTimeout: *idle,
 		Seed:        *seed,
+		Generations: *gens,
 	}
 	for _, p := range splitList(*peers) {
 		cfg.Peers = append(cfg.Peers, swarm.Addr(p))
@@ -101,7 +106,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("serve %s: %w", path, err)
 		}
 		stats, _ := s.Object(id)
-		fmt.Fprintf(out, "serving %s %s (%d bytes, k=%d)\n", id, path, stats.Size, *k)
+		fmt.Fprintf(out, "serving %s %s (%d bytes, k=%d, G=%d)\n", id, path, stats.Size, stats.K, stats.Generations)
 	}
 	return s.Run(ctx)
 }

@@ -23,4 +23,12 @@ var (
 	// joined from k native packets as requested (k < 1, empty content,
 	// ragged native sizes, size exceeding capacity).
 	ErrContentSize = lt.ErrContentSize
+
+	// ErrBadGeneration is returned when a packet's generation structure
+	// is inconsistent: a wire header whose generation id is outside
+	// [0, G), a generation count out of bounds, or a count that
+	// disagrees with the receiver's decode state for the object. It
+	// wraps ErrBadPacket, so boundary code that classifies malformed
+	// input by the parent sentinel keeps working.
+	ErrBadGeneration = packet.ErrBadGeneration
 )

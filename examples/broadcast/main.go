@@ -46,7 +46,7 @@ func run() error {
 		fileSize/1024, gens, kPerGen, len(natives[0]), totalK*integrity.DigestSize+8)
 
 	newCoder := func(seed int64) (*generation.Coder, error) {
-		return generation.NewCoder(generation.Options{
+		return generation.New(generation.Options{
 			Generations:    gens,
 			KPerGeneration: kPerGen,
 			M:              len(natives[0]),
@@ -78,20 +78,26 @@ func run() error {
 		if steps++; steps > 200*totalK {
 			return fmt.Errorf("no convergence: %d/%d decoded", sink.DecodedCount(), totalK)
 		}
-		if z, ok := src.Recode(); ok && !relays[0].IsRedundant(z) {
-			relays[0].Receive(z)
+		if z, ok := src.Recode(nil); ok && !relays[0].IsRedundantPacket(z) {
+			if _, err := relays[0].Receive(z); err != nil {
+				return err
+			}
 		}
 		for i := 0; i < relayCount; i++ {
-			z, ok := relays[i].Recode()
+			z, ok := relays[i].Recode(nil)
 			if !ok {
 				continue
 			}
 			if i+1 < relayCount {
-				if !relays[i+1].IsRedundant(z) {
-					relays[i+1].Receive(z)
+				if !relays[i+1].IsRedundantPacket(z) {
+					if _, err := relays[i+1].Receive(z); err != nil {
+						return err
+					}
 				}
-			} else if !sink.IsRedundant(z) {
-				sink.Receive(z)
+			} else if !sink.IsRedundantPacket(z) {
+				if _, err := sink.Receive(z); err != nil {
+					return err
+				}
 			}
 		}
 		if steps%2000 == 0 {

@@ -308,10 +308,16 @@ func (v *Vector) AppendBinary(dst []byte) []byte {
 }
 
 // UnmarshalInto fills v from data produced by MarshalBinary for a vector of
-// the same length.
+// the same length. Encodings with stray bits beyond n in the final byte
+// are rejected: MarshalBinary never emits them, and accepting them would
+// let a corrupt wire header set bits past the code length and index out
+// of the decoder's native arrays.
 func (v *Vector) UnmarshalInto(data []byte) error {
 	if len(data) != (v.n+7)/8 {
 		return fmt.Errorf("bitvec: body is %d bytes, want %d: %w", len(data), (v.n+7)/8, ErrLengthMismatch)
+	}
+	if r := v.n % 8; r != 0 && data[len(data)-1]>>r != 0 {
+		return fmt.Errorf("bitvec: stray bits beyond length %d: %w", v.n, ErrLengthMismatch)
 	}
 	v.Reset()
 	for i, b := range data {

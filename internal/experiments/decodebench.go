@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ltnc/internal/core"
+	"ltnc/internal/generation"
 	"ltnc/internal/lt"
 	"ltnc/internal/packet"
 	"ltnc/internal/xrand"
@@ -42,6 +43,17 @@ type DecodeBenchParams struct {
 	Rounds int
 	// Seed drives content and packet generation (default 1).
 	Seed int64
+
+	// GenSweep lists the generation counts of the generation sweep: one
+	// GenObjectSize object coded with GenK natives is decoded through
+	// the arena path once per G, recording throughput, allocations and
+	// the exact header bytes per packet (the O(k/G) header shrink).
+	// Empty disables the sweep; every G must divide GenK.
+	GenSweep []int
+	// GenObjectSize is the sweep's object size (default 1 MiB);
+	// GenK its total code length (default 1024).
+	GenObjectSize int
+	GenK          int
 }
 
 func (p *DecodeBenchParams) setDefaults() error {
@@ -66,8 +78,22 @@ func (p *DecodeBenchParams) setDefaults() error {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	if p.GenObjectSize == 0 {
+		p.GenObjectSize = 1 << 20
+	}
+	if p.GenK == 0 {
+		p.GenK = 1024
+	}
 	if p.Objects < 1 || p.ObjectSize < 1 || p.K < 1 || p.StreamFactor < 2 || p.Batch < 1 || p.Rounds < 1 {
 		return fmt.Errorf("experiments: invalid decode bench params %+v", *p)
+	}
+	if p.GenObjectSize < 1 || p.GenK < 1 {
+		return fmt.Errorf("experiments: invalid generation sweep params %+v", *p)
+	}
+	for _, g := range p.GenSweep {
+		if g < 1 || p.GenK%g != 0 {
+			return fmt.Errorf("experiments: generation sweep G=%d does not divide k=%d", g, p.GenK)
+		}
 	}
 	return nil
 }
@@ -105,6 +131,25 @@ type DecodeBenchReport struct {
 	PrePRNote              string            `json:"pre_pr_note,omitempty"`
 	SpeedupVsPrePRX        float64           `json:"speedup_vs_pre_pr_x,omitempty"`
 	AllocReductionVsPrePRX float64           `json:"alloc_reduction_vs_pre_pr_x,omitempty"`
+
+	// The generation sweep: one GenObjectSize object, GenK natives,
+	// decoded through the arena path once per generation count.
+	GenObjectSize int             `json:"gen_object_size,omitempty"`
+	GenK          int             `json:"gen_k,omitempty"`
+	GenSweep      []GenSweepEntry `json:"generation_sweep,omitempty"`
+}
+
+// GenSweepEntry is one generation count of the sweep: decode throughput,
+// allocations and the exact on-wire header size per packet.
+type GenSweepEntry struct {
+	Generations          int     `json:"generations"`
+	KPer                 int     `json:"k_per_generation"`
+	MBps                 float64 `json:"mb_per_s"`
+	AllocsPerPacket      float64 `json:"allocs_per_packet"`
+	HeaderBytesPerPacket int     `json:"header_bytes_per_packet"`
+	Overhead             float64 `json:"overhead"`
+	Packets              int64   `json:"packets"`
+	Nanos                int64   `json:"nanos"`
 }
 
 // SetPrePRReference attaches an externally measured pre-PR hot-path
@@ -335,7 +380,8 @@ func measure(name string, p DecodeBenchParams, streams []*benchStream, m int,
 
 // RunDecodeBench measures the scalar and batched ingest paths on
 // identical pregenerated packet streams and reports throughput (MB of
-// content decoded per second) and allocations per packet for each.
+// content decoded per second) and allocations per packet for each, plus
+// the generation sweep when GenSweep is set.
 func RunDecodeBench(p DecodeBenchParams) (DecodeBenchReport, error) {
 	if err := p.setDefaults(); err != nil {
 		return DecodeBenchReport{}, err
@@ -367,7 +413,114 @@ func RunDecodeBench(p DecodeBenchParams) (DecodeBenchReport, error) {
 	if engine.AllocsPerPacket > 0 {
 		rep.AllocReductionX = baseline.AllocsPerPacket / engine.AllocsPerPacket
 	}
+	if len(p.GenSweep) > 0 {
+		rep.GenObjectSize = p.GenObjectSize
+		rep.GenK = p.GenK
+		if rep.GenSweep, err = runGenSweep(p); err != nil {
+			return DecodeBenchReport{}, err
+		}
+	}
 	return rep, nil
+}
+
+// runGenSweep decodes one large object once per generation count, through
+// the same arena-backed hot path the session runs (parse, per-generation
+// redundancy check on the header, zero-copy move into the generation's
+// arena). The packet stream is pregenerated per G outside the timed
+// region; the header size is read off the actual frames.
+func runGenSweep(p DecodeBenchParams) ([]GenSweepEntry, error) {
+	content := make([]byte, p.GenObjectSize)
+	rand.New(rand.NewSource(xrand.DeriveSeed(p.Seed, 9000))).Read(content)
+	id := packet.NewObjectID(content)
+	natives, err := lt.Split(content, p.GenK)
+	if err != nil {
+		return nil, err
+	}
+	m := len(natives[0])
+
+	entries := make([]GenSweepEntry, 0, len(p.GenSweep))
+	for gi, G := range p.GenSweep {
+		kPer := p.GenK / G
+		src, err := generation.New(generation.Options{
+			Generations: G, KPerGeneration: kPer, M: m,
+			Seed: p.Seed, Stream: 9100 + gi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := src.Seed(natives); err != nil {
+			return nil, err
+		}
+		frames := make([][]byte, p.StreamFactor*p.GenK)
+		for j := range frames {
+			z, ok := src.Recode(nil)
+			if !ok {
+				return nil, fmt.Errorf("experiments: G=%d source refused to recode", G)
+			}
+			z.Object = id
+			if frames[j], err = packet.Marshal(z); err != nil {
+				return nil, err
+			}
+		}
+
+		entry := GenSweepEntry{
+			Generations:          G,
+			KPer:                 kPer,
+			HeaderBytesPerPacket: len(frames[0]) - m,
+		}
+		for round := 0; round < p.Rounds; round++ {
+			sink, err := generation.New(generation.Options{
+				Generations: G, KPerGeneration: kPer, M: m,
+				Seed: p.Seed, Stream: 9200 + gi*100 + round,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			packets := int64(0)
+			for i := 0; !sink.Complete(); i++ {
+				if i >= len(frames) {
+					return nil, fmt.Errorf("experiments: G=%d stream exhausted before decode completed", G)
+				}
+				data := frames[i]
+				wv, err := packet.ParseWire(data)
+				if err != nil {
+					return nil, err
+				}
+				g := int(wv.Generation)
+				packets++
+				if sink.GenComplete(g) {
+					continue // aborted on the header, as the session would
+				}
+				vec := sink.AcquireVec(g)
+				if vec.UnmarshalInto(wv.VecBytes(data)) != nil {
+					sink.ReleaseVec(g, vec)
+					return nil, fmt.Errorf("experiments: G=%d bad vector", G)
+				}
+				if sink.IsRedundant(g, vec) {
+					sink.ReleaseVec(g, vec)
+					continue
+				}
+				row := sink.AcquireRow(g)
+				copy(row, wv.PayloadBytes(data))
+				sink.ReceiveOwned(g, vec, row)
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if round == 0 || elapsed.Nanoseconds() < entry.Nanos {
+				entry.Packets = packets
+				entry.Nanos = elapsed.Nanoseconds()
+				entry.AllocsPerPacket = float64(after.Mallocs-before.Mallocs) / float64(packets)
+				entry.MBps = float64(p.GenObjectSize) / (1 << 20) / elapsed.Seconds()
+				entry.Overhead = float64(packets) / float64(p.GenK)
+			}
+		}
+		entries = append(entries, entry)
+	}
+	return entries, nil
 }
 
 // WriteJSON writes the report as indented JSON to path.

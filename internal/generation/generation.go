@@ -1,67 +1,101 @@
-// Package generation implements coding generations on top of LTNC, the
+// Package generation implements coding generations on top of LTNC — the
 // classic network-coding optimization the paper points at ("traditional
 // optimizations (e.g., generations [2], [13]) ... can be directly
 // applied"): the content is split into G generations coded independently,
-// which shrinks code vectors (headers), decode state and recoding scans
-// from k to k/G at the price of a per-generation coupon-collector tail.
+// which shrinks code vectors (wire headers), decode state and recoding
+// scans from k to k/G at the price of a per-generation coupon-collector
+// tail.
+//
+// This is the one generation implementation in the tree. The Coder is
+// what the dissemination session stores per object: G arena-backed LTNC
+// nodes (each owning its own bitvec arena and batched decode engine) plus
+// the routing, validation and round-robin recoding that tie them into one
+// object. It exposes the same zero-copy hot-path surface as a single
+// core.Node — acquire a vector from the owning generation's arena,
+// redundancy-check it, move the payload in — so the session's batched
+// ingest works unchanged whether an object has one generation or hundreds.
 package generation
 
 import (
 	"fmt"
-	"math/rand"
 
+	"ltnc/internal/bitvec"
 	"ltnc/internal/core"
+	"ltnc/internal/lt"
+	"ltnc/internal/opcount"
 	"ltnc/internal/packet"
 	"ltnc/internal/xrand"
 )
 
+// ErrBadGeneration re-exports the packet-layer sentinel: every routing or
+// geometry failure in this package wraps it (and, transitively,
+// packet.ErrBadPacket).
+var ErrBadGeneration = packet.ErrBadGeneration
+
 // Options configures a generation coder.
 type Options struct {
-	// Generations is G, the number of independent generations.
+	// Generations is G, the number of independent generations (≥ 1).
 	Generations int
-	// KPerGeneration is the code length of each generation; the total
-	// content holds Generations × KPerGeneration natives.
+	// KPerGeneration is the code length of each generation; the object
+	// holds Generations × KPerGeneration natives in contiguous blocks.
 	KPerGeneration int
 	// M is the native payload size (0 = control-plane only).
 	M int
-	// Seed drives all randomness deterministically.
-	Seed int64
-	// Core is applied to every per-generation node (K, M and Rng fields
-	// are overwritten).
-	Core core.Options
+	// Seed and Stream select the coder's deterministic randomness:
+	// generation g draws from the xrand child stream (Seed, Stream, g),
+	// so sibling coders (per-object states of one session) and sibling
+	// generations never share a random stream.
+	Seed   int64
+	Stream int
+	// DisableRefinement and DisableRedundancyCheck turn off the paper's
+	// Algorithm 2 and Algorithm 3 in every per-generation node.
+	DisableRefinement      bool
+	DisableRedundancyCheck bool
+	// Counter, when set, receives cost accounting from every
+	// per-generation node (experiments only).
+	Counter *opcount.Counter
 }
 
-// Coder is an LTNC participant whose content is split into generations.
-// Packets carry their generation id in the wire header; Receive routes on
-// it and Recode round-robins across incomplete generations.
+// Coder is an LTNC participant whose object is split into G independently
+// coded generations. Packets carry their generation id (and, for G ≥ 2,
+// the count) in the wire header; ingest routes on the id and Recode
+// round-robins across generations, preferring incomplete ones. A Coder is
+// not safe for concurrent use — the session guards it per object.
 type Coder struct {
-	gens []*core.Node
-	kPer int
-	m    int
-	rng  *rand.Rand
-	next int
+	gens     []*core.Node
+	kPer     int
+	m        int
+	next     int // round-robin cursor for Recode
+	complete int // generations fully decoded
+	received int // packets fed in, Seed included (aggressiveness gate)
 }
 
-// NewCoder returns an empty generation coder.
-func NewCoder(opts Options) (*Coder, error) {
+// New returns an empty generation coder.
+func New(opts Options) (*Coder, error) {
 	if opts.Generations < 1 {
-		return nil, fmt.Errorf("generation: G = %d < 1", opts.Generations)
+		return nil, fmt.Errorf("%w: G = %d < 1", ErrBadGeneration, opts.Generations)
+	}
+	if opts.Generations > packet.MaxGenerations {
+		return nil, fmt.Errorf("%w: G = %d over the wire bound %d",
+			ErrBadGeneration, opts.Generations, packet.MaxGenerations)
 	}
 	if opts.KPerGeneration < 1 {
-		return nil, fmt.Errorf("generation: k/G = %d < 1", opts.KPerGeneration)
+		return nil, fmt.Errorf("%w: k/G = %d < 1", ErrBadGeneration, opts.KPerGeneration)
 	}
 	c := &Coder{
 		gens: make([]*core.Node, opts.Generations),
 		kPer: opts.KPerGeneration,
 		m:    opts.M,
-		rng:  xrand.NewChild(opts.Seed, 0),
 	}
 	for g := range c.gens {
-		cfg := opts.Core
-		cfg.K = opts.KPerGeneration
-		cfg.M = opts.M
-		cfg.Rng = xrand.NewChild(opts.Seed, g+1)
-		node, err := core.NewNode(cfg)
+		node, err := core.NewNode(core.Options{
+			K:                      opts.KPerGeneration,
+			M:                      opts.M,
+			DisableRefinement:      opts.DisableRefinement,
+			DisableRedundancyCheck: opts.DisableRedundancyCheck,
+			Counter:                opts.Counter,
+			Rng:                    xrand.NewChild(xrand.DeriveSeed(opts.Seed, opts.Stream), g),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -73,11 +107,43 @@ func NewCoder(opts Options) (*Coder, error) {
 // Generations returns G.
 func (c *Coder) Generations() int { return len(c.gens) }
 
+// KPer returns the per-generation code length k/G — the length of every
+// code vector this coder emits or accepts.
+func (c *Coder) KPer() int { return c.kPer }
+
 // K returns the total number of natives across generations.
 func (c *Coder) K() int { return len(c.gens) * c.kPer }
 
-// Seed loads the full content: natives must hold exactly K payloads,
-// assigned to generations in contiguous blocks.
+// M returns the native payload size.
+func (c *Coder) M() int { return c.m }
+
+// Check validates a wire header's generation geometry against the coder:
+// the count gens (0 and 1 mean gen-absent), the generation id g, and the
+// per-generation code length k. It returns nil exactly when a DATA frame
+// with these fields may be routed into the coder.
+func (c *Coder) Check(gens uint32, g uint32, k int) error {
+	want := len(c.gens)
+	have := int(gens)
+	if have == 0 {
+		have = 1 // gen-absent v1/v2 header
+	}
+	if have != want {
+		return fmt.Errorf("%w: header G=%d, object has %d", ErrBadGeneration, have, want)
+	}
+	// Compare unsigned: int(g) can wrap negative on 32-bit builds and
+	// slip past a signed bound into a negative slice index.
+	if g >= uint32(want) {
+		return fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, g, want)
+	}
+	if k != c.kPer {
+		return fmt.Errorf("%w: generation code length %d, want %d", ErrBadGeneration, k, c.kPer)
+	}
+	return nil
+}
+
+// Seed loads the full content, turning the coder into a source: natives
+// must hold exactly K payloads, assigned to generations in contiguous
+// blocks of KPer.
 func (c *Coder) Seed(natives [][]byte) error {
 	if len(natives) != c.K() {
 		return fmt.Errorf("generation: seed with %d natives, want %d", len(natives), c.K())
@@ -86,60 +152,132 @@ func (c *Coder) Seed(natives [][]byte) error {
 		if err := node.Seed(natives[g*c.kPer : (g+1)*c.kPer]); err != nil {
 			return fmt.Errorf("generation %d: %w", g, err)
 		}
+		c.complete++
+		c.received += c.kPer
 	}
 	return nil
 }
 
-// Receive routes a packet to its generation. It reports whether the
-// packet was innovative; packets for unknown generations are dropped.
-func (c *Coder) Receive(p *packet.Packet) bool {
-	g := int(p.Generation)
-	if g < 0 || g >= len(c.gens) {
-		return false
-	}
-	res := c.gens[g].Receive(p)
-	return !res.Redundant
+// AcquireVec returns a code vector from generation g's decode arena with
+// unspecified contents — overwrite fully before use. Pass it to
+// ReceiveOwned, or return it with ReleaseVec if the packet is aborted.
+func (c *Coder) AcquireVec(g int) *bitvec.Vector { return c.gens[g].AcquireVec() }
+
+// ReleaseVec returns an acquired vector of generation g without
+// inserting it.
+func (c *Coder) ReleaseVec(g int, v *bitvec.Vector) { c.gens[g].ReleaseVec(v) }
+
+// AcquireRow returns an m-byte payload row from generation g's arena
+// (nil in control-plane-only coders). Overwrite all m bytes before use.
+func (c *Coder) AcquireRow(g int) []byte { return c.gens[g].AcquireRow() }
+
+// IsRedundant runs generation g's redundancy detector (Algorithm 3) on a
+// code vector: true means the payload cannot bring new information and
+// the transfer can be aborted on the header.
+func (c *Coder) IsRedundant(g int, vec *bitvec.Vector) bool {
+	return c.gens[g].IsRedundant(vec)
 }
 
-// IsRedundant runs the per-generation redundancy detector on a header.
-func (c *Coder) IsRedundant(p *packet.Packet) bool {
+// GenComplete reports whether generation g is fully decoded.
+func (c *Coder) GenComplete(g int) bool { return c.gens[g].Complete() }
+
+// ReceiveOwned feeds one packet of generation g whose buffers were
+// acquired from that generation's arena — the zero-copy receive path.
+// genDone reports whether this packet completed the generation.
+func (c *Coder) ReceiveOwned(g int, vec *bitvec.Vector, payload []byte) (res lt.InsertResult, genDone bool) {
+	node := c.gens[g]
+	was := node.Complete()
+	c.received++
+	res = node.ReceiveOwned(vec, payload)
+	if !was && node.Complete() {
+		c.complete++
+		return res, true
+	}
+	return res, false
+}
+
+// Receive routes a fully materialized packet to its generation after
+// validating the geometry — the convenience (allocating) form of the
+// arena path, for simulations and examples. innovative is false when the
+// packet was discarded as redundant.
+func (c *Coder) Receive(p *packet.Packet) (innovative bool, err error) {
+	if err := c.Check(p.Generations, p.Generation, p.K()); err != nil {
+		return false, err
+	}
 	g := int(p.Generation)
-	if g < 0 || g >= len(c.gens) {
+	node := c.gens[g]
+	was := node.Complete()
+	c.received++
+	res := node.Receive(p)
+	if !was && node.Complete() {
+		c.complete++
+	}
+	return !res.Redundant, nil
+}
+
+// IsRedundantPacket runs the owning generation's redundancy detector on a
+// whole packet; packets with inconsistent geometry are redundant by
+// definition (they can never be decoded here).
+func (c *Coder) IsRedundantPacket(p *packet.Packet) bool {
+	if c.Check(p.Generations, p.Generation, p.K()) != nil {
 		return true
 	}
-	return c.gens[g].IsRedundant(p.Vec)
+	return c.gens[int(p.Generation)].IsRedundant(p.Vec)
 }
 
-// Recode emits a fresh packet from one generation, preferring incomplete
-// generations at the receiver side of the dissemination (a node's own
-// complete generations still serve peers, so complete ones are used when
-// no incomplete generation can recode). The generation id is stamped on
-// the packet.
-func (c *Coder) Recode() (*packet.Packet, bool) {
+// Recode emits one fresh LT-shaped packet, round-robining across
+// generations from a moving offset so recoding pressure spreads evenly.
+// Incomplete generations are preferred — they are the ones whose
+// redundancy streams still carry information for a typical peer — but a
+// coder whose remaining generations cannot recode yet falls back to
+// complete ones (a source's complete generations still serve peers).
+// skip, when non-nil, excludes generations the caller knows the receiver
+// has completed (the session's per-peer generation feedback); a packet is
+// stamped with its generation id and the coder's count.
+func (c *Coder) Recode(skip func(g int) bool) (*packet.Packet, bool) {
 	n := len(c.gens)
-	// One round-robin pass over generations starting at a moving offset,
-	// so recoding pressure spreads evenly.
 	start := c.next
 	c.next = (c.next + 1) % n
-	for i := 0; i < n; i++ {
-		g := (start + i) % n
-		if z, ok := c.gens[g].Recode(); ok {
-			z.Generation = uint32(g)
-			return z, true
+	// First pass: incomplete generations only. Second pass: any
+	// generation the caller did not exclude.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			g := (start + i) % n
+			if skip != nil && skip(g) {
+				continue
+			}
+			if pass == 0 && c.gens[g].Complete() && c.complete < n {
+				continue
+			}
+			if z, ok := c.gens[g].Recode(); ok {
+				c.stamp(z, g)
+				return z, true
+			}
+		}
+		if c.complete == n {
+			break // pass 0 already tried every generation
 		}
 	}
 	return nil, false
 }
 
-// Complete reports whether every generation is fully decoded.
-func (c *Coder) Complete() bool {
-	for _, node := range c.gens {
-		if !node.Complete() {
-			return false
-		}
+func (c *Coder) stamp(z *packet.Packet, g int) {
+	z.Generation = uint32(g)
+	if len(c.gens) >= 2 {
+		z.Generations = uint32(len(c.gens))
 	}
-	return true
 }
+
+// Complete reports whether every generation is fully decoded.
+func (c *Coder) Complete() bool { return c.complete == len(c.gens) }
+
+// CompleteCount returns how many generations are fully decoded.
+func (c *Coder) CompleteCount() int { return c.complete }
+
+// Received returns the number of packets fed into the coder, counting a
+// Seed as one packet per native — the quantity the session's
+// aggressiveness gate (K·a + 1, as in the paper) compares against.
+func (c *Coder) Received() int { return c.received }
 
 // DecodedCount returns the total number of decoded natives.
 func (c *Coder) DecodedCount() int {
@@ -150,7 +288,17 @@ func (c *Coder) DecodedCount() int {
 	return total
 }
 
-// Data returns all natives in content order once complete.
+// AppendGenDecoded appends the per-generation decoded-native counts to
+// dst and returns it — the progress vector Watch snapshots carry.
+func (c *Coder) AppendGenDecoded(dst []int) []int {
+	for _, node := range c.gens {
+		dst = append(dst, node.DecodedCount())
+	}
+	return dst
+}
+
+// Data returns all natives in content order once every generation is
+// complete.
 func (c *Coder) Data() ([][]byte, error) {
 	out := make([][]byte, 0, c.K())
 	for g, node := range c.gens {

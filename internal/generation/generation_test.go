@@ -2,25 +2,28 @@ package generation
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
-	"ltnc/internal/core"
 	"ltnc/internal/opcount"
 	"ltnc/internal/packet"
 )
 
-func TestNewCoderValidation(t *testing.T) {
-	if _, err := NewCoder(Options{Generations: 0, KPerGeneration: 4}); err == nil {
-		t.Error("G=0 accepted")
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Generations: 0, KPerGeneration: 4}); !errors.Is(err, ErrBadGeneration) {
+		t.Errorf("G=0 err = %v, want ErrBadGeneration", err)
 	}
-	if _, err := NewCoder(Options{Generations: 2, KPerGeneration: 0}); err == nil {
-		t.Error("k/G=0 accepted")
+	if _, err := New(Options{Generations: 2, KPerGeneration: 0}); !errors.Is(err, ErrBadGeneration) {
+		t.Errorf("k/G=0 err = %v, want ErrBadGeneration", err)
+	}
+	if _, err := New(Options{Generations: packet.MaxGenerations + 1, KPerGeneration: 1}); !errors.Is(err, ErrBadGeneration) {
+		t.Errorf("G over wire bound err = %v, want ErrBadGeneration", err)
 	}
 }
 
 func TestSeedValidation(t *testing.T) {
-	c, err := NewCoder(Options{Generations: 2, KPerGeneration: 4, M: 1})
+	c, err := New(Options{Generations: 2, KPerGeneration: 4, M: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,17 +50,17 @@ func TestGenerationsEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	natives := randomNatives(rng, g*kPer, m)
 
-	src, err := NewCoder(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 1})
+	src, err := New(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := src.Seed(natives); err != nil {
 		t.Fatal(err)
 	}
-	if !src.Complete() || src.DecodedCount() != g*kPer {
+	if !src.Complete() || src.DecodedCount() != g*kPer || src.CompleteCount() != g {
 		t.Fatal("seeded coder not complete")
 	}
-	sink, err := NewCoder(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 2})
+	sink, err := New(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +68,19 @@ func TestGenerationsEndToEnd(t *testing.T) {
 		if i > 40*g*kPer {
 			t.Fatalf("no convergence: %d/%d decoded", sink.DecodedCount(), g*kPer)
 		}
-		z, ok := src.Recode()
+		z, ok := src.Recode(nil)
 		if !ok {
 			t.Fatal("source recode failed")
 		}
-		if sink.IsRedundant(z) {
+		if z.Generations != g {
+			t.Fatalf("recoded packet carries G=%d, want %d", z.Generations, g)
+		}
+		if sink.IsRedundantPacket(z) {
 			continue
 		}
-		sink.Receive(z)
+		if _, err := sink.Receive(z); err != nil {
+			t.Fatal(err)
+		}
 	}
 	data, err := sink.Data()
 	if err != nil {
@@ -85,25 +93,123 @@ func TestGenerationsEndToEnd(t *testing.T) {
 	}
 }
 
-func TestReceiveRoutesOnGeneration(t *testing.T) {
-	c, _ := NewCoder(Options{Generations: 2, KPerGeneration: 4, M: 0})
-	// A native for generation 1.
+// TestOutOfOrderGenerationCompletion drives the generations to completion
+// in a deliberately scrambled order — 2, 0, 3, 1 — by feeding only one
+// generation at a time, and checks that per-generation completion is
+// tracked as it happens and the reassembled natives come out in content
+// order regardless.
+func TestOutOfOrderGenerationCompletion(t *testing.T) {
+	const (
+		g    = 4
+		kPer = 16
+		m    = 8
+	)
+	rng := rand.New(rand.NewSource(7))
+	natives := randomNatives(rng, g*kPer, m)
+	src, err := New(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Seed(natives); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := New(Options{Generations: g, KPerGeneration: kPer, M: m, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := []int{2, 0, 3, 1}
+	for done, target := range order {
+		only := func(gen int) bool { return gen != target }
+		for i := 0; !sink.GenComplete(target); i++ {
+			if i > 100*kPer {
+				t.Fatalf("generation %d did not converge", target)
+			}
+			z, ok := src.Recode(only)
+			if !ok {
+				t.Fatal("source recode failed")
+			}
+			if int(z.Generation) != target {
+				t.Fatalf("skip function ignored: got generation %d, want %d", z.Generation, target)
+			}
+			if sink.IsRedundantPacket(z) {
+				continue
+			}
+			if _, err := sink.Receive(z); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want := done + 1; sink.CompleteCount() != want {
+			t.Fatalf("after completing %v: CompleteCount = %d, want %d", order[:done+1], sink.CompleteCount(), want)
+		}
+		if sink.Complete() != (done == len(order)-1) {
+			t.Fatalf("Complete() wrong after %d generations", done+1)
+		}
+	}
+
+	data, err := sink.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range natives {
+		if !bytes.Equal(data[i], natives[i]) {
+			t.Fatalf("native %d differs after out-of-order completion", i)
+		}
+	}
+	decoded := sink.AppendGenDecoded(nil)
+	for g, d := range decoded {
+		if d != kPer {
+			t.Fatalf("generation %d decoded %d/%d", g, d, kPer)
+		}
+	}
+}
+
+func TestCheckAndReceiveValidation(t *testing.T) {
+	c, err := New(Options{Generations: 2, KPerGeneration: 4, M: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		gens, g    uint32
+		k          int
+		wantReject bool
+	}{
+		{"valid", 2, 1, 4, false},
+		{"gen-absent count on structured object", 0, 0, 4, true},
+		{"count mismatch", 4, 0, 4, true},
+		{"generation out of range", 2, 2, 4, true},
+		{"generation id with sign bit (32-bit int wrap)", 2, 1 << 31, 4, true},
+		{"k mismatch", 2, 0, 8, true},
+	}
+	for _, tc := range cases {
+		err := c.Check(tc.gens, tc.g, tc.k)
+		if tc.wantReject && !errors.Is(err, ErrBadGeneration) {
+			t.Errorf("%s: err = %v, want ErrBadGeneration", tc.name, err)
+		}
+		if !tc.wantReject && err != nil {
+			t.Errorf("%s: unexpected err %v", tc.name, err)
+		}
+	}
+
+	// Receive enforces the same boundary and routes on the id.
 	p := packet.Native(4, 2, nil)
 	p.Generation = 1
-	if !c.Receive(p) {
-		t.Fatal("packet for generation 1 rejected")
+	p.Generations = 2
+	if _, err := c.Receive(p); err != nil {
+		t.Fatalf("valid packet rejected: %v", err)
 	}
 	if c.gens[1].DecodedCount() != 1 || c.gens[0].DecodedCount() != 0 {
 		t.Error("packet routed to wrong generation")
 	}
-	// Unknown generation: dropped, detector says redundant.
 	q := packet.Native(4, 2, nil)
 	q.Generation = 9
-	if c.Receive(q) {
-		t.Error("packet for unknown generation accepted")
+	q.Generations = 2
+	if _, err := c.Receive(q); !errors.Is(err, ErrBadGeneration) {
+		t.Errorf("out-of-range generation err = %v, want ErrBadGeneration", err)
 	}
-	if !c.IsRedundant(q) {
-		t.Error("unknown generation not flagged redundant")
+	if !c.IsRedundantPacket(q) {
+		t.Error("out-of-range generation not flagged redundant")
 	}
 }
 
@@ -112,18 +218,21 @@ func TestRecodeStampsGeneration(t *testing.T) {
 		g    = 3
 		kPer = 8
 	)
-	c, _ := NewCoder(Options{Generations: g, KPerGeneration: kPer, M: 0, Seed: 3})
+	c, err := New(Options{Generations: g, KPerGeneration: kPer, M: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := c.Seed(make([][]byte, g*kPer)); err != nil {
 		t.Fatal(err)
 	}
 	seen := make(map[uint32]int)
 	for i := 0; i < 60; i++ {
-		z, ok := c.Recode()
+		z, ok := c.Recode(nil)
 		if !ok {
 			t.Fatal("recode failed")
 		}
-		if int(z.Generation) >= g {
-			t.Fatalf("bad generation stamp %d", z.Generation)
+		if int(z.Generation) >= g || z.Generations != g {
+			t.Fatalf("bad generation stamp %d/%d", z.Generation, z.Generations)
 		}
 		seen[z.Generation]++
 	}
@@ -131,6 +240,28 @@ func TestRecodeStampsGeneration(t *testing.T) {
 		if seen[want] == 0 {
 			t.Errorf("generation %d never recoded (round-robin broken)", want)
 		}
+	}
+}
+
+// A G=1 coder must stay wire-compatible with gen-absent peers: its
+// packets carry no generation count and encode as v1/v2.
+func TestSingleGenerationIsGenAbsent(t *testing.T) {
+	c, err := New(Options{Generations: 1, KPerGeneration: 8, M: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed(make([][]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	z, ok := c.Recode(nil)
+	if !ok {
+		t.Fatal("recode failed")
+	}
+	if z.Generations != 0 {
+		t.Fatalf("G=1 coder stamped Generations=%d, want 0 (gen-absent)", z.Generations)
+	}
+	if err := c.Check(0, 0, 8); err != nil {
+		t.Fatalf("gen-absent header rejected by G=1 coder: %v", err)
 	}
 }
 
@@ -143,18 +274,16 @@ func TestGenerationsReduceDecodeCost(t *testing.T) {
 	)
 	cost := func(g int) uint64 {
 		var counter opcount.Counter
-		src, err := NewCoder(Options{
-			Generations: g, KPerGeneration: total / g, M: m, Seed: 5,
-		})
+		src, err := New(Options{Generations: g, KPerGeneration: total / g, M: m, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := src.Seed(make([][]byte, total)); err != nil {
 			t.Fatal(err)
 		}
-		sink, err := NewCoder(Options{
+		sink, err := New(Options{
 			Generations: g, KPerGeneration: total / g, M: m, Seed: 6,
-			Core: core.Options{Counter: &counter},
+			Counter: &counter,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -163,11 +292,13 @@ func TestGenerationsReduceDecodeCost(t *testing.T) {
 			if i > 100*total {
 				t.Fatalf("G=%d: no convergence", g)
 			}
-			z, _ := src.Recode()
-			if sink.IsRedundant(z) {
+			z, _ := src.Recode(nil)
+			if sink.IsRedundantPacket(z) {
 				continue
 			}
-			sink.Receive(z)
+			if _, err := sink.Receive(z); err != nil {
+				t.Fatal(err)
+			}
 		}
 		return counter.Total(opcount.DecodeControl)
 	}
@@ -177,4 +308,55 @@ func TestGenerationsReduceDecodeCost(t *testing.T) {
 		t.Errorf("G=8 decode control %d not below G=1 %d", eight, one)
 	}
 	t.Logf("decode control ops: G=1 %d, G=8 %d (%.0f%%)", one, eight, 100*float64(eight)/float64(one))
+}
+
+// TestOverheadVsG measures the price generations pay — the per-generation
+// coupon-collector tail raises reception overhead as G grows — and logs
+// the table EXPERIMENTS.md reports. Overheads must stay finite and the
+// transfer byte-identical at every G.
+func TestOverheadVsG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement sweep")
+	}
+	const total = 1024
+	rng := rand.New(rand.NewSource(11))
+	natives := randomNatives(rng, total, 4)
+	for _, g := range []int{1, 2, 4, 8, 16, 32} {
+		src, err := New(Options{Generations: g, KPerGeneration: total / g, M: 4, Seed: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Seed(natives); err != nil {
+			t.Fatal(err)
+		}
+		sink, err := New(Options{Generations: g, KPerGeneration: total / g, M: 4, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		received := 0
+		for i := 0; !sink.Complete(); i++ {
+			if i > 100*total {
+				t.Fatalf("G=%d: no convergence", g)
+			}
+			z, _ := src.Recode(nil)
+			received++ // headers cross the wire even when aborted
+			if sink.IsRedundantPacket(z) {
+				continue
+			}
+			if _, err := sink.Receive(z); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := sink.Data()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range natives {
+			if !bytes.Equal(data[i], natives[i]) {
+				t.Fatalf("G=%d: native %d differs", g, i)
+			}
+		}
+		t.Logf("G=%2d k/G=%4d: overhead %.3f, header vec %4d bits",
+			g, total/g, float64(received)/float64(total), total/g)
+	}
 }

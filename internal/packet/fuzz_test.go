@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"ltnc/internal/bitvec"
@@ -25,6 +26,11 @@ func FuzzUnmarshal(f *testing.F) {
 	tagged := Native(16, 2, []byte{9, 9})
 	tagged.Object = NewObjectID([]byte("fuzz"))
 	seeds = append(seeds, tagged)
+	gen := Native(32, 5, []byte{7, 7, 7})
+	gen.Object = NewObjectID([]byte("fuzz gen"))
+	gen.Generation = 3
+	gen.Generations = 8
+	seeds = append(seeds, gen)
 	for _, p := range seeds {
 		data, err := Marshal(p)
 		if err != nil {
@@ -51,11 +57,33 @@ func FuzzUnmarshal(f *testing.F) {
 	oversized := append([]byte(nil), v2...)
 	oversized[8], oversized[9] = 0xff, 0xff // k beyond the frame
 	f.Add(oversized)
+	// v3 generation-field edge cases: the generation id and count live at
+	// fixed offsets ([4:8] and [16:20]), so mutations target them exactly —
+	// id ≥ count (must be rejected), count 0 and 1 (gen-absent values are
+	// v1/v2-only, a v3 frame carrying them is non-canonical), a count over
+	// the sanity bound, and a v3 header truncated inside the count.
+	v3, err := Marshal(gen)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3)
+	genTooBig := append([]byte(nil), v3...)
+	genTooBig[7] = 0xff // generation id 255 ≥ G=8
+	f.Add(genTooBig)
+	for _, count := range []uint32{0, 1, 1 << 21} {
+		mut := append([]byte(nil), v3...)
+		binary.BigEndian.PutUint32(mut[headerFixed:], count)
+		f.Add(mut)
+	}
+	f.Add(v3[:headerFixed+2]) // cut mid-generation-count
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Unmarshal(data)
 		if err != nil {
 			return // rejection is fine; panics are not
+		}
+		if p.Generations >= 2 && p.Generation >= p.Generations {
+			t.Fatalf("accepted generation %d of %d", p.Generation, p.Generations)
 		}
 		out, err := Marshal(p)
 		if err != nil {
@@ -73,7 +101,11 @@ func FuzzUnmarshal(f *testing.F) {
 func FuzzParseWire(f *testing.F) {
 	tagged := Native(32, 4, []byte{1, 2, 3, 4})
 	tagged.Object = NewObjectID([]byte("wire"))
-	for _, p := range []*Packet{Native(8, 3, []byte{1, 2, 3}), tagged, New(300, 0)} {
+	gen := Native(16, 1, []byte{5})
+	gen.Object = NewObjectID([]byte("wire gen"))
+	gen.Generation = 1
+	gen.Generations = 4
+	for _, p := range []*Packet{Native(8, 3, []byte{1, 2, 3}), tagged, gen, New(300, 0)} {
 		data, err := Marshal(p)
 		if err != nil {
 			f.Fatal(err)
@@ -90,7 +122,8 @@ func FuzzParseWire(f *testing.F) {
 		if errView != nil {
 			return
 		}
-		if wv.K != p.K() || wv.M != len(p.Payload) || wv.Object != p.Object || wv.Generation != p.Generation {
+		if wv.K != p.K() || wv.M != len(p.Payload) || wv.Object != p.Object ||
+			wv.Generation != p.Generation || wv.Generations != p.Generations {
 			t.Fatalf("views disagree: %+v vs %v", wv, p)
 		}
 		vec := bitvec.New(wv.K)

@@ -64,6 +64,14 @@ type Packet struct {
 	// Generation identifies the coding generation the packet belongs to
 	// when content is split into generations (0 when unused).
 	Generation uint32
+	// Generations is the total number of coding generations of the
+	// packet's object. 0 and 1 both mean "not generation-structured"
+	// (the packet's vector spans the whole object) and encode as wire
+	// v1/v2; values ≥ 2 mark a generation-coded object — the vector
+	// spans only the k/G natives of generation Generation — and encode
+	// as wire v3, which carries the count so relays can size their
+	// per-generation decode state from DATA headers alone.
+	Generations uint32
 	// Object identifies the content object the packet belongs to when
 	// several objects share a transport (zero when unused; zero-Object
 	// packets marshal to the v1 wire format).
@@ -123,17 +131,28 @@ func (p *Packet) Xor(o *Packet, c *opcount.Counter, control, data opcount.Phase)
 
 // Clone returns a deep copy of p.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{Vec: p.Vec.Clone(), Generation: p.Generation, Object: p.Object}
+	q := &Packet{Vec: p.Vec.Clone(), Generation: p.Generation, Generations: p.Generations, Object: p.Object}
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
 	return q
 }
 
+// genStructured reports whether the packet belongs to a generation-coded
+// object (Generations ≥ 2; 0 and 1 are the equivalent unstructured forms).
+func genStructured(gens uint32) bool { return gens >= 2 }
+
 // Equal reports whether two packets have identical vectors, payloads,
-// generation and object ID.
+// generation structure and object ID. Generations 0 and 1 compare equal:
+// both mean "not generation-structured" and share a wire encoding.
 func (p *Packet) Equal(o *Packet) bool {
 	if !p.Vec.Equal(o.Vec) || p.Generation != o.Generation || p.Object != o.Object {
+		return false
+	}
+	if genStructured(p.Generations) != genStructured(o.Generations) {
+		return false
+	}
+	if genStructured(p.Generations) && p.Generations != o.Generations {
 		return false
 	}
 	if len(p.Payload) != len(o.Payload) {
@@ -169,14 +188,31 @@ func (p *Packet) String() string {
 // which keeps the encoding canonical and v1 readers working on
 // single-object streams. Writers pick the version from Packet.Object;
 // readers accept both.
+//
+// Version 3 is the generation-coded form: it inserts a 4-byte generation
+// count (G ≥ 2) between m and the object ID, so receivers can size all G
+// per-generation decode states from any DATA header without waiting for
+// out-of-band metadata. In a v3 header k is the PER-GENERATION code
+// length: the vector spans only the k natives of the generation named by
+// the generation field, which is what keeps headers O(k/G) no matter how
+// large the object grows. A packet with Generations ≤ 1 must encode as
+// v1/v2 (gen-absent), which keeps the encoding canonical; readers accept
+// all three versions.
 const (
 	wireV1         = 0x01
 	wireV2         = 0x02
+	wireV3         = 0x03
 	headerFixed    = 2 + 1 + 1 + 4 + 4 + 4
+	genCountSize   = 4
 	objectIDSize   = 16
 	maxWireK       = 1 << 24 // sanity bound against corrupt headers
 	maxWirePayload = 1 << 30
+	maxWireGens    = 1 << 20 // sanity bound on the generation count
 )
+
+// MaxGenerations is the largest generation count a v3 header may carry;
+// larger values are rejected as corrupt.
+const MaxGenerations = maxWireGens
 
 var wireMagic = [2]byte{'L', 'T'}
 
@@ -189,6 +225,12 @@ var (
 	ErrBadMagic   = fmt.Errorf("%w: bad magic", ErrBadPacket)
 	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadPacket)
 	ErrCorrupt    = fmt.Errorf("%w: corrupt header", ErrBadPacket)
+	// ErrBadGeneration marks an inconsistent generation structure: a v3
+	// header whose generation id is outside [0, G) or whose count is out
+	// of bounds, and — at the layers above — a packet routed at a coder
+	// whose generation geometry does not match. It wraps ErrBadPacket so
+	// boundary classification by the parent sentinel keeps working.
+	ErrBadGeneration = fmt.Errorf("%w: bad generation", ErrBadPacket)
 )
 
 // Header is the decoded fixed-size prefix plus code vector of a packet on
@@ -198,8 +240,11 @@ type Header struct {
 	K          int
 	M          int
 	Generation uint32
-	Object     ObjectID
-	Vec        *bitvec.Vector
+	// Generations is the object's generation count from a v3 header
+	// (≥ 2); 0 for gen-absent v1/v2 headers.
+	Generations uint32
+	Object      ObjectID
+	Vec         *bitvec.Vector
 }
 
 // Degree returns the degree announced by the header's code vector.
@@ -213,6 +258,12 @@ func HeaderSize(k int) int { return headerFixed + (k+7)/8 }
 // occupies on the wire for code length k.
 func ObjectHeaderSize(k int) int { return headerFixed + objectIDSize + (k+7)/8 }
 
+// GenHeaderSize returns the number of bytes a v3 (generation-coded)
+// header occupies on the wire for PER-GENERATION code length kPer. It
+// depends only on kPer, never on the object's total code length — the
+// O(k/G) header property generations buy.
+func GenHeaderSize(kPer int) int { return headerFixed + genCountSize + objectIDSize + (kPer+7)/8 }
+
 // WireSize returns the total on-wire size of a v1 packet with code length
 // k and payload size m.
 func WireSize(k, m int) int { return HeaderSize(k) + m }
@@ -221,17 +272,30 @@ func WireSize(k, m int) int { return HeaderSize(k) + m }
 // packet with code length k and payload size m.
 func ObjectWireSize(k, m int) int { return ObjectHeaderSize(k) + m }
 
-// WriteHeader writes the header of p to w, as version 1 when p.Object is
-// zero and version 2 otherwise.
+// GenWireSize returns the total on-wire size of a v3 (generation-coded)
+// packet with per-generation code length kPer and payload size m.
+func GenWireSize(kPer, m int) int { return GenHeaderSize(kPer) + m }
+
+// WriteHeader writes the header of p to w: version 3 when the packet is
+// generation-coded (Generations ≥ 2), version 2 when it is object-tagged,
+// version 1 otherwise.
 func WriteHeader(w io.Writer, p *Packet) error {
-	buf := make([]byte, headerFixed, headerFixed+objectIDSize)
+	if genStructured(p.Generations) && p.Generation >= p.Generations {
+		return fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, p.Generation, p.Generations)
+	}
+	buf := make([]byte, headerFixed, headerFixed+genCountSize+objectIDSize)
 	buf[0], buf[1] = wireMagic[0], wireMagic[1]
 	buf[2] = wireV1
 	buf[3] = 0
 	binary.BigEndian.PutUint32(buf[4:], p.Generation)
 	binary.BigEndian.PutUint32(buf[8:], uint32(p.K()))
 	binary.BigEndian.PutUint32(buf[12:], uint32(len(p.Payload)))
-	if !p.Object.IsZero() {
+	switch {
+	case genStructured(p.Generations):
+		buf[2] = wireV3
+		buf = binary.BigEndian.AppendUint32(buf, p.Generations)
+		buf = append(buf, p.Object[:]...)
+	case !p.Object.IsZero():
 		buf[2] = wireV2
 		buf = append(buf, p.Object[:]...)
 	}
@@ -279,7 +343,7 @@ func ReadHeader(r io.Reader) (Header, error) {
 		return h, ErrBadMagic
 	}
 	version := buf[2]
-	if version != wireV1 && version != wireV2 {
+	if version != wireV1 && version != wireV2 && version != wireV3 {
 		return h, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	h.Generation = binary.BigEndian.Uint32(buf[4:])
@@ -289,11 +353,24 @@ func ReadHeader(r io.Reader) (Header, error) {
 		return h, fmt.Errorf("%w: k=%d m=%d", ErrCorrupt, k, m)
 	}
 	h.K, h.M = int(k), int(m)
-	if version == wireV2 {
+	if version == wireV3 {
+		var gb [genCountSize]byte
+		if _, err := io.ReadFull(r, gb[:]); err != nil {
+			return h, fmt.Errorf("packet: read generation count: %w", err)
+		}
+		h.Generations = binary.BigEndian.Uint32(gb[:])
+		if h.Generations < 2 || h.Generations > maxWireGens {
+			return h, fmt.Errorf("%w: v3 header with G=%d", ErrBadGeneration, h.Generations)
+		}
+		if h.Generation >= h.Generations {
+			return h, fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, h.Generation, h.Generations)
+		}
+	}
+	if version == wireV2 || version == wireV3 {
 		if _, err := io.ReadFull(r, h.Object[:]); err != nil {
 			return h, fmt.Errorf("packet: read object id: %w", err)
 		}
-		if h.Object.IsZero() {
+		if version == wireV2 && h.Object.IsZero() {
 			return h, fmt.Errorf("%w: v2 header with zero object id", ErrCorrupt)
 		}
 	}
@@ -311,7 +388,7 @@ func ReadHeader(r io.Reader) (Header, error) {
 // ReadPayload reads the payload announced by h from r and returns the
 // completed packet.
 func ReadPayload(r io.Reader, h Header) (*Packet, error) {
-	p := &Packet{Vec: h.Vec, Generation: h.Generation, Object: h.Object}
+	p := &Packet{Vec: h.Vec, Generation: h.Generation, Generations: h.Generations, Object: h.Object}
 	if h.M > 0 {
 		p.Payload = make([]byte, h.M)
 		if _, err := io.ReadFull(r, p.Payload); err != nil {
@@ -332,8 +409,14 @@ func Read(r io.Reader) (*Packet, error) {
 
 // Marshal returns the full wire encoding of p.
 func Marshal(p *Packet) ([]byte, error) {
+	if genStructured(p.Generations) && p.Generation >= p.Generations {
+		return nil, fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, p.Generation, p.Generations)
+	}
 	size := WireSize(p.K(), len(p.Payload))
-	if !p.Object.IsZero() {
+	switch {
+	case genStructured(p.Generations):
+		size = GenWireSize(p.K(), len(p.Payload))
+	case !p.Object.IsZero():
 		size = ObjectWireSize(p.K(), len(p.Payload))
 	}
 	return AppendWire(make([]byte, 0, size), p), nil

@@ -13,10 +13,14 @@ import (
 type WireView struct {
 	Version    byte
 	Generation uint32
-	K, M       int
-	Object     ObjectID
-	vecOff     int
-	payloadOff int
+	// Generations is the object's generation count from a v3 header
+	// (≥ 2); 0 for gen-absent v1/v2 frames. In a v3 frame K is the
+	// PER-GENERATION code length.
+	Generations uint32
+	K, M        int
+	Object      ObjectID
+	vecOff      int
+	payloadOff  int
 }
 
 // VecBytes returns the code-vector bytes of the viewed packet inside
@@ -42,7 +46,7 @@ func ParseWire(data []byte) (WireView, error) {
 		return wv, ErrBadMagic
 	}
 	wv.Version = data[2]
-	if wv.Version != wireV1 && wv.Version != wireV2 {
+	if wv.Version != wireV1 && wv.Version != wireV2 && wv.Version != wireV3 {
 		return wv, fmt.Errorf("%w: %d", ErrBadVersion, wv.Version)
 	}
 	wv.Generation = binary.BigEndian.Uint32(data[4:])
@@ -53,12 +57,25 @@ func ParseWire(data []byte) (WireView, error) {
 	}
 	wv.K, wv.M = int(k), int(m)
 	wv.vecOff = headerFixed
-	if wv.Version == wireV2 {
-		if len(data) < headerFixed+objectIDSize {
+	if wv.Version == wireV3 {
+		if len(data) < headerFixed+genCountSize {
+			return wv, fmt.Errorf("%w: truncated generation count", ErrCorrupt)
+		}
+		wv.Generations = binary.BigEndian.Uint32(data[headerFixed:])
+		if wv.Generations < 2 || wv.Generations > maxWireGens {
+			return wv, fmt.Errorf("%w: v3 frame with G=%d", ErrBadGeneration, wv.Generations)
+		}
+		if wv.Generation >= wv.Generations {
+			return wv, fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, wv.Generation, wv.Generations)
+		}
+		wv.vecOff += genCountSize
+	}
+	if wv.Version == wireV2 || wv.Version == wireV3 {
+		if len(data) < wv.vecOff+objectIDSize {
 			return wv, fmt.Errorf("%w: truncated object id", ErrCorrupt)
 		}
-		copy(wv.Object[:], data[headerFixed:])
-		if wv.Object.IsZero() {
+		copy(wv.Object[:], data[wv.vecOff:])
+		if wv.Version == wireV2 && wv.Object.IsZero() {
 			return wv, fmt.Errorf("%w: v2 header with zero object id", ErrCorrupt)
 		}
 		wv.vecOff += objectIDSize
@@ -67,15 +84,26 @@ func ParseWire(data []byte) (WireView, error) {
 	if total := wv.payloadOff + wv.M; len(data) != total {
 		return wv, fmt.Errorf("%w: %d-byte frame, want %d", ErrCorrupt, len(data), total)
 	}
+	// Stray bits beyond k in the final vector byte would index out of the
+	// decoder's native arrays; both codecs reject them identically.
+	if r := wv.K % 8; r != 0 && data[wv.payloadOff-1]>>r != 0 {
+		return wv, fmt.Errorf("%w: stray bits beyond k=%d", ErrCorrupt, wv.K)
+	}
 	return wv, nil
 }
 
 // AppendWire appends the full wire encoding of p to dst and returns it.
 // It is the allocation-free counterpart of Marshal for callers that
-// serialize into pooled frame buffers.
+// serialize into pooled frame buffers. Unlike Marshal it cannot report a
+// generation id outside [0, Generations) — callers stamping generations
+// (the coder does) must keep them consistent, or receivers will reject
+// the frame with ErrBadGeneration.
 func AppendWire(dst []byte, p *Packet) []byte {
 	version := byte(wireV1)
-	if !p.Object.IsZero() {
+	switch {
+	case genStructured(p.Generations):
+		version = wireV3
+	case !p.Object.IsZero():
 		version = wireV2
 	}
 	var fixed [headerFixed]byte
@@ -86,7 +114,10 @@ func AppendWire(dst []byte, p *Packet) []byte {
 	binary.BigEndian.PutUint32(fixed[8:], uint32(p.K()))
 	binary.BigEndian.PutUint32(fixed[12:], uint32(len(p.Payload)))
 	dst = append(dst, fixed[:]...)
-	if version == wireV2 {
+	if version == wireV3 {
+		dst = binary.BigEndian.AppendUint32(dst, p.Generations)
+	}
+	if version != wireV1 {
 		dst = append(dst, p.Object[:]...)
 	}
 	dst = p.Vec.AppendBinary(dst)

@@ -1,0 +1,153 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func genPacket(t *testing.T) *Packet {
+	t.Helper()
+	p := Native(24, 7, []byte{1, 2, 3, 4})
+	p.Object = NewObjectID([]byte("v3 object"))
+	p.Generation = 5
+	p.Generations = 8
+	return p
+}
+
+// TestWireV3RoundTrip checks that a generation-coded packet survives both
+// codecs (io.Reader and zero-copy) with generation id, count, object ID
+// and payload intact, at the size the helpers predict.
+func TestWireV3RoundTrip(t *testing.T) {
+	p := genPacket(t)
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := GenWireSize(p.K(), len(p.Payload)); len(data) != want {
+		t.Fatalf("v3 wire size %d, want %d", len(data), want)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	if got.Generation != 5 || got.Generations != 8 {
+		t.Fatalf("generation fields lost: gen=%d gens=%d", got.Generation, got.Generations)
+	}
+	wv, err := ParseWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wv.Version != wireV3 || wv.Generation != 5 || wv.Generations != 8 || wv.Object != p.Object {
+		t.Fatalf("wire view mismatch: %+v", wv)
+	}
+	if !bytes.Equal(wv.PayloadBytes(data), p.Payload) {
+		t.Fatal("payload bytes differ")
+	}
+}
+
+// TestWireV3HeaderIndependentOfTotalK pins the property generations buy:
+// the v3 header depends only on the per-generation code length, so two
+// objects whose totals differ by 64x serialize identical-size headers as
+// long as k/G matches — while a gen-absent v2 header over the large total
+// would be far bigger.
+func TestWireV3HeaderIndependentOfTotalK(t *testing.T) {
+	const kPer = 256
+	small := GenHeaderSize(kPer) // e.g. total k = 512, G = 2
+	large := GenHeaderSize(kPer) // e.g. total k = 32768, G = 128
+	if small != large {
+		t.Fatalf("gen header size varies: %d vs %d", small, large)
+	}
+	if flat := ObjectHeaderSize(32768); flat <= GenHeaderSize(kPer) {
+		t.Fatalf("v2 header over total k (%dB) not larger than v3 over k/G (%dB)",
+			flat, GenHeaderSize(kPer))
+	}
+}
+
+// TestWireV3Validation exercises the generation-field boundary checks on
+// both parsers and the writer.
+func TestWireV3Validation(t *testing.T) {
+	p := genPacket(t)
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func([]byte)) []byte {
+		c := append([]byte(nil), data...)
+		mutate(c)
+		return c
+	}
+	cases := map[string][]byte{
+		"generation id at count": corrupt(func(b []byte) { b[7] = 8 }), // gen 8 of G=8
+		"generation id past":     corrupt(func(b []byte) { b[7] = 99 }),
+		"count zero":             corrupt(func(b []byte) { b[headerFixed+3] = 0 }),
+		"count one (gen-absent)": corrupt(func(b []byte) { b[headerFixed+3] = 1 }),
+		"count over bound":       corrupt(func(b []byte) { b[headerFixed] = 0xff }),
+	}
+	for name, frame := range cases {
+		if _, err := Unmarshal(frame); !errors.Is(err, ErrBadGeneration) && !errors.Is(err, ErrBadPacket) {
+			t.Errorf("%s: Unmarshal err = %v, want ErrBadGeneration", name, err)
+		}
+		if _, err := ParseWire(frame); err == nil {
+			t.Errorf("%s: ParseWire accepted the frame", name)
+		}
+	}
+	// The specific sentinel (and its parent) must classify.
+	bad := corrupt(func(b []byte) { b[7] = 99 })
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadGeneration) || !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("err = %v, want ErrBadGeneration wrapping ErrBadPacket", err)
+	}
+
+	// Writers refuse inconsistent generation structure outright.
+	p.Generation = 8
+	if _, err := Marshal(p); !errors.Is(err, ErrBadGeneration) {
+		t.Fatalf("Marshal of gen 8/8 err = %v, want ErrBadGeneration", err)
+	}
+	if err := WriteHeader(&bytes.Buffer{}, p); !errors.Is(err, ErrBadGeneration) {
+		t.Fatalf("WriteHeader of gen 8/8 err = %v, want ErrBadGeneration", err)
+	}
+}
+
+// TestWireV3BackwardCompat: gen-absent v1/v2 frames must keep parsing
+// exactly as before — Generations reports 0 — and a Generations value of
+// 1 is the same unstructured form, encoding as v1/v2, never v3.
+func TestWireV3BackwardCompat(t *testing.T) {
+	plain := Native(16, 3, []byte{1, 2, 3})
+	plain.Generation = 9 // legacy streams stamped generation ids on v1 frames
+	data, err := Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[2] != wireV1 {
+		t.Fatalf("gen-absent packet encoded as version %d", data[2])
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generations != 0 || got.Generation != 9 {
+		t.Fatalf("legacy fields mishandled: gen=%d gens=%d", got.Generation, got.Generations)
+	}
+
+	one := genPacket(t)
+	one.Generation = 0
+	one.Generations = 1
+	data, err = Marshal(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[2] != wireV2 {
+		t.Fatalf("G=1 packet encoded as version %d, want v2", data[2])
+	}
+	got, err = Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(one) {
+		t.Fatal("G=1 packet does not compare equal to its gen-absent round trip")
+	}
+}

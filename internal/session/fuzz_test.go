@@ -72,6 +72,15 @@ func FuzzSessionFrames(f *testing.F) {
 	}
 	f.Add(append([]byte{frameData}, wire...))
 	f.Add(encodeReq(id))
+	gp := packet.Native(16, 3, make([]byte, 8))
+	gp.Object = id
+	gp.Generation = 1
+	gp.Generations = 4
+	genWire, err := packet.Marshal(gp)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte{frameData}, genWire...)) // v3 generation-coded DATA
 	meta := make([]byte, metaLen)
 	meta[0] = frameMeta
 	copy(meta[1:17], id[:])
@@ -81,10 +90,25 @@ func FuzzSessionFrames(f *testing.F) {
 	f.Add(meta)
 	f.Add(meta[:20])                // truncated inside the content ID
 	f.Add(append(meta, 0xff, 0xee)) // oversized META
+	genMeta := make([]byte, genMetaLen)
+	copy(genMeta, meta)
+	binary.BigEndian.PutUint32(genMeta[17:21], 64) // k = 64, G = 4
+	binary.BigEndian.PutUint32(genMeta[33:37], 4)
+	f.Add(genMeta)
+	ragged := append([]byte(nil), genMeta...)
+	binary.BigEndian.PutUint32(ragged[33:37], 5) // 64 % 5 != 0: must drop
+	f.Add(ragged)
+	f.Add(genMeta[:34]) // truncated inside the generation count
 	fb := feedbackFrame(id, fbRedundant)
 	f.Add(fb)
 	f.Add(fb[:9])           // truncated FEEDBACK
 	f.Add(append(fb, 0x01)) // oversized FEEDBACK
+	genFb := genFeedbackFrame(id, 2)
+	f.Add(genFb)
+	f.Add(genFb[:genFeedbackLen-2]) // truncated inside the generation id
+	short := append([]byte(nil), fb...)
+	short[17] = fbGenComplete // kind 3 without its generation id: must drop
+	f.Add(short)
 	f.Add([]byte{frameFeedback})
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xff, 0xff, 0xff})

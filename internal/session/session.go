@@ -1,8 +1,13 @@
 // Package session multiplexes many concurrent content objects over one
 // transport. Each object is identified by a 16-byte content ID carried in
-// the v2 packet header together with the coding generation; per object the
-// session keeps an LTNC decode state (core.Node) that recodes what it
-// holds toward peers and subscribers.
+// the v2/v3 packet header together with the coding generation; per object
+// the session keeps a generation-structured LTNC decode state
+// (generation.Coder — G independently coded generations, each with its
+// own arena-backed decode engine) that recodes what it holds toward peers
+// and subscribers. Generations are what let one session serve large
+// objects: code vectors, decode state and recoding scans are all O(k/G),
+// and every DATA header carries (generation id, G, k/G) so relays size
+// their state from the stream itself.
 //
 // The paper's Section III-C-2 binary feedback — "the code vector travels
 // first; a redundant packet is aborted on the header" — becomes a
@@ -23,10 +28,19 @@
 // Wire protocol (one session frame per transport frame; all integers
 // big-endian):
 //
-//	DATA     0x01 | packet v2 wire encoding (object ID + generation inside)
+//	DATA     0x01 | packet v2/v3 wire encoding (object ID, generation id
+//	               and — v3 — the generation count inside)
 //	REQ      0x02 | objectID(16)                     subscribe to an object
-//	META     0x03 | objectID(16) | k(4) | m(4) | size(8)
-//	FEEDBACK 0x04 | objectID(16) | kind(1)           1=redundant 2=complete
+//	META     0x03 | objectID(16) | k(4) | m(4) | size(8) [| gens(4)]
+//	               gens-absent form ≡ gens=1 (pre-generation peers)
+//	FEEDBACK 0x04 | objectID(16) | kind(1) [| gen(4)]
+//	               1=redundant 2=complete 3=generation complete (gen id
+//	               present for kind 3 only)
+//
+// A receiver that completes one generation of a still-incomplete object
+// reports kind 3, and the sender stops recoding that generation toward it
+// — the per-generation analogue of the paper's binary feedback — while
+// recoding round-robins across the generations the peer still needs.
 package session
 
 import (
@@ -39,11 +53,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ltnc/internal/core"
+	"ltnc/internal/generation"
 	"ltnc/internal/lt"
 	"ltnc/internal/packet"
 	"ltnc/internal/transport"
-	"ltnc/internal/xrand"
 )
 
 // Frame type and feedback kind bytes.
@@ -53,12 +66,20 @@ const (
 	frameMeta     = 0x03
 	frameFeedback = 0x04
 
-	fbRedundant = 0x01
-	fbComplete  = 0x02
+	fbRedundant   = 0x01
+	fbComplete    = 0x02
+	fbGenComplete = 0x03
 
-	reqLen      = 1 + 16
-	metaLen     = 1 + 16 + 4 + 4 + 8
-	feedbackLen = 1 + 16 + 1
+	reqLen = 1 + 16
+	// META comes in two lengths: the gens-absent legacy form (≡ G=1,
+	// what pre-generation peers emit and expect for single-generation
+	// objects) and the extended form carrying the generation count.
+	metaLen    = 1 + 16 + 4 + 4 + 8
+	genMetaLen = metaLen + 4
+	// FEEDBACK likewise: kinds 1 and 2 use the short form; kind 3
+	// appends the completed generation id.
+	feedbackLen    = 1 + 16 + 1
+	genFeedbackLen = feedbackLen + 4
 )
 
 // satiationLimit is how many consecutive redundancy aborts a peer may
@@ -201,16 +222,27 @@ func (c *Config) setDefaults() error {
 
 // ObjectStats is a point-in-time view of one object's session state.
 type ObjectStats struct {
-	ID          packet.ObjectID
-	K, M        int
+	ID   packet.ObjectID
+	K, M int
+	// Generations is the object's generation count G (1 for
+	// single-generation objects, 0 while unknown); KPer is the
+	// per-generation code length k/G — the length of every code vector
+	// on the wire for this object.
+	Generations int
+	KPer        int
 	Size        int64 // -1 while unknown (no META yet)
 	Decoded     int
 	Complete    bool
-	Pinned      bool
-	Received    int64 // DATA frames fed into the decoder
-	Aborted     int64 // redundant DATA dropped on the header
-	Sent        int64 // recoded DATA frames pushed
-	Subscribers int
+	// GensComplete is how many generations are fully decoded;
+	// GenDecoded holds the decoded-native count of each generation —
+	// the per-generation progress Watch snapshots carry.
+	GensComplete int
+	GenDecoded   []int
+	Pinned       bool
+	Received     int64 // DATA frames fed into the decoder
+	Aborted      int64 // redundant DATA dropped on the header
+	Sent         int64 // recoded DATA frames pushed
+	Subscribers  int
 }
 
 // Overhead returns received packets relative to K — the reception
@@ -223,27 +255,39 @@ func (o ObjectStats) Overhead() float64 {
 }
 
 type peerState struct {
-	lastReq       time.Time // last REQ (zero for configured peers)
-	metaSent      bool
+	lastReq time.Time // last REQ (zero for configured peers)
+	// metaAt is when a META was last sent to this peer (zero: never).
+	// META is repeated periodically rather than latched once: datagrams
+	// are lossy, Send success does not mean delivery, and a configured
+	// push-peer — unlike a fetching client — never re-REQs, so a single
+	// lost META would otherwise wedge the whole downstream pipeline
+	// (the relay could never tell ITS subscribers the object size).
+	metaAt        time.Time
 	done          bool      // reported complete: stop pushing
 	consecRedund  int       // consecutive redundancy aborts reported
 	pauseUntil    time.Time // satiation backoff: push resumes afterwards
 	configuredSub bool      // subscribed via REQ (pruned when idle)
+	// gensDone marks generations the peer reported complete (kind-3
+	// feedback): recoding toward it skips them. Lazily sized to the
+	// object's G; gensDoneN counts the true entries.
+	gensDone  []bool
+	gensDoneN int
 }
 
-// objectState splits into two lock domains. The decode plane — node,
+// objectState splits into two lock domains. The decode plane — coder,
 // dimensions, assembled content, ingest counters — is guarded by the
 // per-object mu, so shard workers decoding different objects never
 // contend. The control plane — peers, pinning, waiter count, push
-// counter — is guarded by Session.mu. size and lastActive are atomics
-// readable from either side. Lock order: Session.mu before
+// counter — is guarded by Session.mu. size, gens and lastActive are
+// atomics readable from either side. Lock order: Session.mu before
 // objectState.mu, never the reverse.
 type objectState struct {
 	id packet.ObjectID
 
 	mu       sync.Mutex
-	k, m     int
-	node     *core.Node
+	k, m     int // total code length and payload size
+	kPer     int // per-generation code length (k / gens)
+	coder    *generation.Coder
 	data     []byte        // assembled content once complete and size known
 	done     chan struct{} // closed when data is ready
 	received int64
@@ -251,6 +295,7 @@ type objectState struct {
 	dead     bool // evicted: no longer reachable from Session.objects
 
 	size       atomic.Int64 // -1 until a META (or Serve) provides it
+	gens       atomic.Int32 // generation count G; 0 until the coder exists
 	lastActive atomic.Int64 // unix nanos
 
 	// Guarded by Session.mu.
@@ -350,48 +395,63 @@ func (s *Session) AddPeer(addr transport.Addr) {
 	s.peers = append(s.peers, addr)
 }
 
-// Serve splits content into k natives, seeds a pinned source state and
-// returns the derived content ID. The object is pushed to configured
-// peers and to anyone who REQs it. Serving an object that a Watch or
-// Fetch registered before any network state arrived adopts the
-// placeholder — pending fetches complete immediately; an object already
-// decoding or serving is rejected.
-func (s *Session) Serve(content []byte, k int) (packet.ObjectID, error) {
+// Serve splits content into k natives across gens independently coded
+// generations, seeds a pinned source state and returns the derived
+// content ID. k is rounded up to the next multiple of gens so every
+// generation has the same code length k/G (and so every wire header is
+// O(k/G)). The object is pushed to configured peers and to anyone who
+// REQs it. Serving an object that a Watch or Fetch registered before any
+// network state arrived adopts the placeholder — pending fetches complete
+// immediately; an object already decoding or serving is rejected.
+func (s *Session) Serve(content []byte, k, gens int) (packet.ObjectID, error) {
 	id := packet.NewObjectID(content)
+	if gens < 1 || gens > packet.MaxGenerations {
+		return id, fmt.Errorf("session: serve: %w: G = %d", generation.ErrBadGeneration, gens)
+	}
+	if k < gens {
+		k = gens
+	}
+	kPer := (k + gens - 1) / gens
+	k = kPer * gens
 	natives, err := lt.Split(content, k)
 	if err != nil {
 		return id, err
 	}
 	m := len(natives[0])
-	if wire := 1 + packet.ObjectWireSize(k, m); wire > transport.MaxFrame {
-		return id, fmt.Errorf("session: k=%d yields %d-byte frames over the %d transport limit; raise k",
-			k, wire, transport.MaxFrame)
+	wire := 1 + packet.ObjectWireSize(kPer, m)
+	if gens > 1 {
+		wire = 1 + packet.GenWireSize(kPer, m)
+	}
+	if wire > transport.MaxFrame {
+		return id, fmt.Errorf("session: k/G=%d yields %d-byte frames over the %d transport limit; raise k or G",
+			kPer, wire, transport.MaxFrame)
 	}
 	s.mu.Lock()
 	st, existing := s.objects[id]
 	if !existing {
-		if st, err = s.newStateLocked(id, k, m); err != nil {
+		if st, err = s.newStateLocked(id, gens, kPer, m); err != nil {
 			s.mu.Unlock()
 			return id, err
 		}
 	}
 	st.mu.Lock()
-	if st.node == nil {
+	if st.coder == nil {
 		// Adopted placeholder (Watch/Fetch before any DATA or META):
-		// materialize the source node in place.
-		node, err := s.newNode(k, m)
+		// materialize the source coder in place.
+		coder, err := s.newCoder(gens, kPer, m)
 		if err != nil {
 			st.mu.Unlock()
 			s.mu.Unlock()
 			return id, err
 		}
-		st.node, st.k, st.m = node, k, m
+		st.coder, st.k, st.kPer, st.m = coder, k, kPer, m
+		st.gens.Store(int32(gens))
 	} else if existing {
 		st.mu.Unlock()
 		s.mu.Unlock()
 		return id, fmt.Errorf("session: object %v already present", id)
 	}
-	if err := st.node.Seed(natives); err != nil {
+	if err := st.coder.Seed(natives); err != nil {
 		st.mu.Unlock()
 		if !existing {
 			delete(s.objects, id)
@@ -406,61 +466,70 @@ func (s *Session) Serve(content []byte, k int) (packet.ObjectID, error) {
 	st.mu.Unlock()
 	st.pinned = true
 	s.mu.Unlock()
-	s.logf("session: serving %v (k=%d m=%d size=%d)", id, k, m, len(content))
+	s.logf("session: serving %v (k=%d G=%d m=%d size=%d)", id, k, gens, m, len(content))
 	s.notifyWatchers(st)
 	return id, nil
 }
 
-// newNode builds one per-object decode state with the session's node
-// policy (seed-derived rng, algorithm toggles).
-func (s *Session) newNode(k, m int) (*core.Node, error) {
-	return core.NewNode(core.Options{
-		K:                      k,
+// newCoder builds one per-object decode state — G generations, each an
+// arena-backed LTNC node — with the session's node policy (seed-derived
+// rng sub-streams, algorithm toggles).
+func (s *Session) newCoder(gens, kPer, m int) (*generation.Coder, error) {
+	return generation.New(generation.Options{
+		Generations:            gens,
+		KPerGeneration:         kPer,
 		M:                      m,
+		Seed:                   s.cfg.Seed,
+		Stream:                 int(s.nextRng.Add(1) - 1),
 		DisableRefinement:      s.cfg.DisableRefinement,
 		DisableRedundancyCheck: s.cfg.DisableRedundancyCheck,
-		Rng:                    xrand.NewChild(s.cfg.Seed, int(s.nextRng.Add(1)-1)),
 	})
 }
 
-// newStateLocked allocates decode state for object id with code length k
-// and payload size m; s.mu must be held.
-func (s *Session) newStateLocked(id packet.ObjectID, k, m int) (*objectState, error) {
-	node, err := s.newNode(k, m)
+// newStateLocked allocates decode state for object id with gens
+// generations of code length kPer and payload size m; s.mu must be held.
+func (s *Session) newStateLocked(id packet.ObjectID, gens, kPer, m int) (*objectState, error) {
+	coder, err := s.newCoder(gens, kPer, m)
 	if err != nil {
 		return nil, err
 	}
 	st := &objectState{
 		id:    id,
-		k:     k,
+		k:     gens * kPer,
+		kPer:  kPer,
 		m:     m,
-		node:  node,
+		coder: coder,
 		done:  make(chan struct{}),
 		peers: make(map[transport.Addr]*peerState),
 	}
 	st.size.Store(-1)
+	st.gens.Store(int32(gens))
 	st.touch()
 	s.objects[id] = st
 	return st, nil
 }
 
-// ensureNodeLocked materializes decode state for a placeholder created
-// before k and m were known (a Fetch registered the object, then the
-// first DATA or META header arrived). It reports whether st now has a
-// node matching (k, m); a mismatch or an over-bound k rejects the frame.
-// st.mu must be held.
-func (s *Session) ensureNodeLocked(st *objectState, k, m int) bool {
-	if st.node != nil {
-		return k == st.k && m == st.m
+// ensureCoderLocked materializes decode state for a placeholder created
+// before the object's geometry was known (a Fetch registered the object,
+// then the first DATA or META header arrived). It reports whether st now
+// has a coder matching (gens, kPer, m); a mismatch or an over-bound total
+// code length rejects the frame. st.mu must be held.
+func (s *Session) ensureCoderLocked(st *objectState, gens, kPer, m int) bool {
+	if st.coder != nil {
+		return gens == st.coder.Generations() && kPer == st.kPer && m == st.m
 	}
-	if k > s.cfg.MaxK {
+	// kPer > MaxK/gens ⇔ gens·kPer > MaxK, without the multiplication —
+	// both factors come off the wire, and their product can overflow int
+	// on 32-bit builds.
+	if gens < 1 || gens > packet.MaxGenerations || kPer < 1 || kPer > s.cfg.MaxK/gens {
 		return false
 	}
-	node, err := s.newNode(k, m)
+	coder, err := s.newCoder(gens, kPer, m)
 	if err != nil {
 		return false
 	}
-	st.node, st.k, st.m = node, k, m
+	st.coder, st.k, st.kPer, st.m = coder, gens*kPer, kPer, m
+	st.gens.Store(int32(gens))
 	return true
 }
 
@@ -648,9 +717,9 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 			cur = st
 			cur.mu.Lock()
 		}
-		kind, progressed := s.ingestDataLocked(st, &batch[i])
-		if kind != 0 {
-			replies = append(replies, ingestReply{batch[i].f.From, feedbackFrame(st.id, kind)})
+		fb, progressed := s.ingestDataLocked(st, &batch[i])
+		if fb != nil {
+			replies = append(replies, ingestReply{batch[i].f.From, fb})
 		}
 		if progressed && (len(notify) == 0 || notify[len(notify)-1] != st) {
 			notify = append(notify, st)
@@ -668,68 +737,108 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	}
 }
 
+// genCount normalizes a wire generation count: gen-absent v1/v2 headers
+// (0) mean one generation.
+func genCount(gens uint32) int {
+	if gens == 0 {
+		return 1
+	}
+	return int(gens)
+}
+
 // resolveStateLocked maps a DATA frame to its object state, learning the
-// object when relay policy allows; s.mu must be held. nil means drop.
+// object when relay policy allows; s.mu must be held. nil means drop. A
+// v3 header carries everything needed to size the full generation array —
+// G and the per-generation code length — so relays learn generation-coded
+// objects from the data stream alone.
 func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *objectState {
 	st, ok := s.objects[wv.Object]
 	if ok {
 		return st
 	}
-	if !s.mayLearnLocked(wv.K) {
+	gens := genCount(wv.Generations)
+	// Overflow-safe total-k bound: wv.K ≥ 1 is guaranteed by ParseWire,
+	// and gens·wv.K could overflow int on 32-bit builds.
+	if gens > s.cfg.MaxK/wv.K || !s.mayLearnLocked(gens*wv.K) {
 		return nil
 	}
-	st, err := s.newStateLocked(wv.Object, wv.K, wv.M)
+	st, err := s.newStateLocked(wv.Object, gens, wv.K, wv.M)
 	if err != nil {
 		return nil
 	}
-	s.logf("session: learned %v from %s (k=%d m=%d)", wv.Object, from, wv.K)
+	s.logf("session: learned %v from %s (k=%d G=%d m=%d)", wv.Object, from, gens*wv.K, gens, wv.M)
 	return st
 }
 
 // ingestDataLocked is the decode hot path for one DATA frame; st.mu must
-// be held. The code vector is checked first and a redundant payload is
-// never copied or decoded (Section III-C-2); an innovative packet moves
-// from the transport buffer into arena-backed decoder buffers with no
-// allocation. Returns the feedback kind to send (or 0) and whether the
-// decode state advanced (an innovative packet was fed in), which drives
-// watcher notifications.
-func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb byte, progressed bool) {
+// be held. The generation geometry is validated against the object's
+// coder, the code vector is checked next and a redundant payload is never
+// copied or decoded (Section III-C-2); an innovative packet moves from
+// the transport buffer into the owning generation's arena buffers with no
+// allocation. Returns the feedback frame to send (nil for none) and
+// whether the decode state advanced (an innovative packet was fed in),
+// which drives watcher notifications.
+func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, progressed bool) {
 	if st.dead {
-		return 0, false // evicted between state resolution and locking: drop
+		return nil, false // evicted between state resolution and locking: drop
 	}
-	if !s.ensureNodeLocked(st, in.wv.K, in.wv.M) {
-		return 0, false
+	if !s.ensureCoderLocked(st, genCount(in.wv.Generations), in.wv.K, in.wv.M) {
+		return nil, false
+	}
+	if st.coder.Check(in.wv.Generations, in.wv.Generation, in.wv.K) != nil {
+		return nil, false // inconsistent generation geometry: drop
 	}
 	st.touch()
-	if st.node.Complete() {
+	g := int(in.wv.Generation)
+	if st.coder.Complete() {
 		st.aborted++
-		return fbComplete, false
+		if st.size.Load() < 0 {
+			// Decode finished but the META never arrived (lost to the
+			// fabric). fbComplete would stop the sender — including its
+			// METAs — and wedge this state sizeless forever; ask for the
+			// metadata instead. handleReq replies with a direct META.
+			return encodeReq(st.id), false
+		}
+		return feedbackFrame(st.id, fbComplete), false
+	}
+	if st.coder.GenComplete(g) {
+		// This generation is done here even though the object is not:
+		// abort the payload and steer the sender's round-robin to the
+		// generations still missing.
+		st.aborted++
+		return genFeedbackFrame(st.id, g), false
 	}
 	data := in.f.Data[1:]
-	vec := st.node.AcquireVec()
+	vec := st.coder.AcquireVec(g)
 	if vec.UnmarshalInto(in.wv.VecBytes(data)) != nil {
-		st.node.ReleaseVec(vec)
-		return 0, false
+		st.coder.ReleaseVec(g, vec)
+		return nil, false
 	}
 	// The code vector has been read; if it is redundant the payload is
 	// never decoded and the sender is told so.
-	if st.node.IsRedundant(vec) {
-		st.node.ReleaseVec(vec)
+	if st.coder.IsRedundant(g, vec) {
+		st.coder.ReleaseVec(g, vec)
 		st.aborted++
-		return fbRedundant, false
+		return feedbackFrame(st.id, fbRedundant), false
 	}
 	var payload []byte
 	if in.wv.M > 0 {
-		payload = st.node.AcquireRow()
+		payload = st.coder.AcquireRow(g)
 		copy(payload, in.wv.PayloadBytes(data))
 	}
-	st.node.ReceiveOwned(vec, payload)
+	_, genDone := st.coder.ReceiveOwned(g, vec, payload)
 	st.received++
-	if st.node.Complete() {
+	if st.coder.Complete() {
 		s.completeObjLocked(st)
-		return fbComplete, true
+		if st.size.Load() < 0 {
+			return encodeReq(st.id), true // complete but sizeless: fetch the META
+		}
+		return feedbackFrame(st.id, fbComplete), true
 	}
-	return 0, true
+	if genDone {
+		return genFeedbackFrame(st.id, g), true
+	}
+	return nil, true
 }
 
 // completeObjLocked assembles the content of a freshly completed object
@@ -742,7 +851,7 @@ func (s *Session) completeObjLocked(st *objectState) {
 	if size < 0 || st.data != nil {
 		return
 	}
-	natives, err := st.node.Data()
+	natives, err := st.coder.Data()
 	if err != nil {
 		return
 	}
@@ -795,19 +904,30 @@ func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
 	ps.done = false
 	ps.consecRedund = 0
 	ps.pauseUntil = time.Time{}
+	// A fresh REQ may be a different client behind the same address (or a
+	// restarted one): forget which generations it had completed.
+	ps.gensDone = nil
+	ps.gensDoneN = 0
 	// REQ also re-arms META: over a lossy channel the requester may have
 	// missed it, and without the size it can never finish (it keeps
 	// re-REQing, so a lost reply heals on the next round).
-	ps.metaSent = false
+	ps.metaAt = time.Time{}
 	if st.size.Load() < 0 {
 		return nil
 	}
-	ps.metaSent = true
+	ps.metaAt = time.Now()
 	return s.metaFrame(st)
 }
 
 func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
-	if len(data) != metaLen-1 {
+	// Two accepted lengths: the gens-absent legacy body (G=1) and the
+	// extended body carrying the generation count.
+	gens := 1
+	switch len(data) {
+	case metaLen - 1:
+	case genMetaLen - 1:
+		gens = int(binary.BigEndian.Uint32(data[32:36]))
+	default:
 		return nil
 	}
 	var id packet.ObjectID
@@ -818,6 +938,14 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	if id.IsZero() || k < 1 || m < 0 || size < 0 || size > int64(k)*int64(max(m, 1)) {
 		return nil
 	}
+	// Generation geometry must be consistent: every generation the same
+	// code length, at least one native each (out-of-range counts and
+	// ragged splits are ErrBadGeneration territory — dropped here, as a
+	// datagram receiver drops anything malformed).
+	if gens < 1 || gens > packet.MaxGenerations || k%gens != 0 {
+		return nil
+	}
+	kPer := k / gens
 	s.mu.Lock()
 	st, ok := s.objects[id]
 	if !ok {
@@ -826,11 +954,11 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 			return nil
 		}
 		var err error
-		if st, err = s.newStateLocked(id, k, m); err != nil {
+		if st, err = s.newStateLocked(id, gens, kPer, m); err != nil {
 			s.mu.Unlock()
 			return nil
 		}
-		s.logf("session: learned %v meta from %s (k=%d m=%d size=%d)", id, from, k, m, size)
+		s.logf("session: learned %v meta from %s (k=%d G=%d m=%d size=%d)", id, from, k, gens, m, size)
 	}
 	s.mu.Unlock()
 
@@ -839,9 +967,9 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 		st.mu.Unlock()
 		return nil // evicted between lookup and locking
 	}
-	if !s.ensureNodeLocked(st, k, m) {
+	if !s.ensureCoderLocked(st, gens, kPer, m) {
 		st.mu.Unlock()
-		return nil
+		return nil // G (or shape) mismatch with local state: drop
 	}
 	st.touch()
 	var reply []byte
@@ -849,7 +977,7 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	if st.size.Load() < 0 {
 		st.size.Store(size)
 		learned = true
-		if st.node.Complete() {
+		if st.coder.Complete() {
 			s.completeObjLocked(st)
 			reply = feedbackFrame(id, fbComplete)
 		}
@@ -862,7 +990,20 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 }
 
 func (s *Session) handleFeedback(from transport.Addr, data []byte) {
-	if len(data) != feedbackLen-1 {
+	// Kinds 1 and 2 use the short body; kind 3 appends the completed
+	// generation id.
+	var gen uint32
+	switch len(data) {
+	case feedbackLen - 1:
+		if data[16] == fbGenComplete {
+			return // kind 3 requires its generation id
+		}
+	case genFeedbackLen - 1:
+		if data[16] != fbGenComplete {
+			return
+		}
+		gen = binary.BigEndian.Uint32(data[17:21])
+	default:
 		return
 	}
 	var id packet.ObjectID
@@ -884,6 +1025,23 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	switch data[16] {
 	case fbComplete:
 		ps.done = true
+	case fbGenComplete:
+		gens := int(st.gens.Load())
+		// Unsigned compare: int(gen) can wrap negative on 32-bit builds.
+		if gens < 2 || gen >= uint32(gens) {
+			return // no coder yet, or out-of-range generation: drop
+		}
+		if ps.gensDone == nil {
+			ps.gensDone = make([]bool, gens)
+		}
+		if !ps.gensDone[gen] {
+			ps.gensDone[gen] = true
+			ps.gensDoneN++
+		}
+		// A generation completing over there is information flowing, not
+		// satiation: reset the redundancy streak so the peer keeps
+		// receiving its remaining generations at full rate.
+		ps.consecRedund = 0
 	case fbRedundant:
 		ps.consecRedund++
 		if ps.consecRedund >= satiationLimit {
@@ -935,6 +1093,7 @@ func (s *Session) push() {
 	type pushTarget struct {
 		st       *objectState
 		addrs    []transport.Addr
+		skips    [][]bool // aligned with addrs; generations done at that peer (nil = none)
 		needMeta []transport.Addr
 	}
 	s.mu.Lock()
@@ -945,13 +1104,23 @@ func (s *Session) push() {
 		sizeKnown := st.size.Load() >= 0
 		for _, addr := range s.targetsLocked(st, now) {
 			ps := st.peer(addr)
-			if sizeKnown && !ps.metaSent {
-				// Candidate only: metaSent is latched below, after the META
+			if sizeKnown && now.Sub(ps.metaAt) >= s.metaResend() {
+				// Candidate only: metaAt is stamped below, after the META
 				// frame has actually been sent — a below-threshold object
-				// emits nothing this tick and must retry next tick.
+				// emits nothing this tick and must retry next tick. The
+				// stamp expires (metaResend), so delivery needs no ack:
+				// a META lost to the fabric is repeated until the peer
+				// reports completion.
 				pt.needMeta = append(pt.needMeta, addr)
 			}
 			pt.addrs = append(pt.addrs, addr)
+			// Snapshot the peer's completed generations under s.mu; the
+			// recode below runs under st.mu only.
+			var done []bool
+			if ps.gensDoneN > 0 {
+				done = append([]bool(nil), ps.gensDone...)
+			}
+			pt.skips = append(pt.skips, done)
 		}
 		if len(pt.addrs) > 0 {
 			targets = append(targets, pt)
@@ -959,6 +1128,10 @@ func (s *Session) push() {
 	}
 	s.mu.Unlock()
 
+	type outPkt struct {
+		z    *packet.Packet
+		addr transport.Addr
+	}
 	type sent struct {
 		st *objectState
 		n  int64
@@ -974,19 +1147,27 @@ func (s *Session) push() {
 	for _, pt := range targets {
 		st := pt.st
 		var metaBuf []byte
-		var burst []*packet.Packet
+		var burst []outPkt
 		st.mu.Lock()
-		if !st.dead && st.node != nil && (st.node.Complete() || st.node.Received() >= s.threshold(st.k)) {
+		if !st.dead && st.coder != nil && (st.coder.Complete() || st.coder.Received() >= s.threshold(st.k)) {
 			if len(pt.needMeta) > 0 {
 				metaBuf = s.metaFrame(st)
 			}
-			for b := 0; b < s.cfg.Burst*len(pt.addrs); b++ {
-				z, ok := st.node.Recode()
-				if !ok {
-					break
+			// Recode per target so each peer's burst round-robins across
+			// exactly the generations it still needs (kind-3 feedback).
+			for ai, addr := range pt.addrs {
+				var skip func(int) bool
+				if done := pt.skips[ai]; done != nil {
+					skip = func(g int) bool { return g < len(done) && done[g] }
 				}
-				z.Object = st.id
-				burst = append(burst, z)
+				for b := 0; b < s.cfg.Burst; b++ {
+					z, ok := st.coder.Recode(skip)
+					if !ok {
+						break
+					}
+					z.Object = st.id
+					burst = append(burst, outPkt{z, addr})
+				}
 			}
 		}
 		st.mu.Unlock()
@@ -1000,16 +1181,15 @@ func (s *Session) push() {
 		if len(burst) == 0 {
 			continue
 		}
-		// Deal the recoded burst round-robin across the object's targets,
-		// one pooled buffer reused for every frame.
+		// One pooled buffer reused for every frame of the burst.
 		n := int64(0)
-		for i, z := range burst {
+		for _, out := range burst {
 			frame := append((*bufp)[:0], frameData)
-			frame = packet.AppendWire(frame, z)
+			frame = packet.AppendWire(frame, out.z)
 			if len(frame) > transport.MaxFrame {
 				continue
 			}
-			if s.tr.Send(pt.addrs[i%len(pt.addrs)], frame) == nil {
+			if s.tr.Send(out.addr, frame) == nil {
 				n++
 			}
 		}
@@ -1021,13 +1201,20 @@ func (s *Session) push() {
 		return
 	}
 	s.mu.Lock()
+	stamp := time.Now()
 	for _, sn := range sends {
 		sn.st.sent += sn.n
 	}
 	for _, ms := range metas {
-		ms.st.peer(ms.addr).metaSent = true
+		ms.st.peer(ms.addr).metaAt = stamp
 	}
 	s.mu.Unlock()
+}
+
+// metaResend is how long a sent META is trusted before it is repeated to
+// a still-incomplete peer; see peerState.metaAt.
+func (s *Session) metaResend() time.Duration {
+	return max(25*s.cfg.Tick, 50*time.Millisecond)
 }
 
 // targetsLocked returns the push targets for one object: every live
@@ -1088,16 +1275,26 @@ func (s *Session) evict() {
 	}
 }
 
-// metaFrame encodes a META for st. Callers must hold either s.mu or
-// st.mu (k and m are immutable once the node exists, which is guaranteed
-// for any object with a known size).
+// metaFrame encodes a META for st: the gens-absent legacy form for
+// single-generation objects (pre-generation peers keep working) and the
+// extended form carrying G otherwise. Callers must hold either s.mu or
+// st.mu (k, gens and m are immutable once the coder exists, which is
+// guaranteed for any object with a known size).
 func (s *Session) metaFrame(st *objectState) []byte {
-	buf := make([]byte, metaLen)
+	gens := st.gens.Load()
+	n := metaLen
+	if gens > 1 {
+		n = genMetaLen
+	}
+	buf := make([]byte, n)
 	buf[0] = frameMeta
 	copy(buf[1:17], st.id[:])
 	binary.BigEndian.PutUint32(buf[17:21], uint32(st.k))
 	binary.BigEndian.PutUint32(buf[21:25], uint32(st.m))
 	binary.BigEndian.PutUint64(buf[25:33], uint64(st.size.Load()))
+	if gens > 1 {
+		binary.BigEndian.PutUint32(buf[33:37], uint32(gens))
+	}
 	return buf
 }
 
@@ -1106,6 +1303,17 @@ func feedbackFrame(id packet.ObjectID, kind byte) []byte {
 	buf[0] = frameFeedback
 	copy(buf[1:17], id[:])
 	buf[17] = kind
+	return buf
+}
+
+// genFeedbackFrame encodes the kind-3 feedback: generation gen of object
+// id is complete at the sender of the frame.
+func genFeedbackFrame(id packet.ObjectID, gen int) []byte {
+	buf := make([]byte, genFeedbackLen)
+	buf[0] = frameFeedback
+	copy(buf[1:17], id[:])
+	buf[17] = fbGenComplete
+	binary.BigEndian.PutUint32(buf[18:22], uint32(gen))
 	return buf
 }
 
@@ -1293,14 +1501,18 @@ func (s *Session) statsLocked(st *objectState) ObjectStats {
 	o := ObjectStats{
 		ID:       st.id,
 		K:        st.k,
+		KPer:     st.kPer,
 		M:        st.m,
 		Size:     st.size.Load(),
 		Received: st.received,
 		Aborted:  st.aborted,
 	}
-	if st.node != nil {
-		o.Decoded = st.node.DecodedCount()
-		o.Complete = st.node.Complete()
+	if st.coder != nil {
+		o.Decoded = st.coder.DecodedCount()
+		o.Complete = st.coder.Complete()
+		o.Generations = st.coder.Generations()
+		o.GensComplete = st.coder.CompleteCount()
+		o.GenDecoded = st.coder.AppendGenDecoded(make([]int, 0, o.Generations))
 	}
 	st.mu.Unlock()
 	o.Pinned = st.pinned

@@ -112,7 +112,7 @@ func TestSourceRelayFetchChan(t *testing.T) {
 	client := startSession(t, attach(t, sw, "client"), nil)
 
 	content := testContent(64*1024, 1)
-	id, err := src.Serve(content, 128)
+	id, err := src.Serve(content, 128, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestMultiObjectMultiplex(t *testing.T) {
 	}
 	ids := make([]packet.ObjectID, len(contents))
 	for i, c := range contents {
-		if ids[i], err = src.Serve(c, 64); err != nil {
+		if ids[i], err = src.Serve(c, 64, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -312,7 +312,7 @@ func TestServedObjectsSurviveEviction(t *testing.T) {
 		c.Tick = time.Millisecond
 		c.IdleTimeout = 20 * time.Millisecond
 	})
-	if _, err := src.Serve(testContent(1024, 9), 16); err != nil {
+	if _, err := src.Serve(testContent(1024, 9), 16, 1); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(150 * time.Millisecond)
@@ -337,7 +337,7 @@ func TestSatiationPausesPush(t *testing.T) {
 	probe := attach(t, sw, "probe")
 	defer probe.Close()
 
-	id, err := src.Serve(testContent(4096, 4), 32)
+	id, err := src.Serve(testContent(4096, 4), 32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +426,7 @@ func TestLostMetaRecovers(t *testing.T) {
 	client := startSession(t, attach(t, sw, "client"), nil)
 
 	content := testContent(16*1024, 11)
-	id, err := src.Serve(content, 64)
+	id, err := src.Serve(content, 64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +502,7 @@ func TestServeRejectsOversizeFrames(t *testing.T) {
 	}
 	src := startSession(t, attach(t, sw, "source"), nil)
 	// 2 MiB over k=16 → 128 KiB payloads, twice the 64 KiB frame limit.
-	if _, err := src.Serve(testContent(2*1024*1024, 1), 16); err == nil {
+	if _, err := src.Serve(testContent(2*1024*1024, 1), 16, 1); err == nil {
 		t.Fatal("oversize-frame Serve accepted")
 	}
 }
@@ -538,7 +538,7 @@ func TestLossyChanTransfer(t *testing.T) {
 	src := startSession(t, attach(t, sw, "source"), nil)
 	client := startSession(t, attach(t, sw, "client"), nil)
 	content := testContent(32*1024, 6)
-	id, err := src.Serve(content, 64)
+	id, err := src.Serve(content, 64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -620,6 +620,47 @@ func TestPushMetaAfterThreshold(t *testing.T) {
 	}
 }
 
+// TestLostMetaToConfiguredPeerHeals pins the META resend: a configured
+// push-peer never REQs, so when its first METAs are lost to the fabric
+// the size must still arrive through periodic resends — a latched
+// "metaSent" here wedged the whole downstream pipeline (the relay could
+// never announce the size to its own subscribers).
+func TestLostMetaToConfiguredPeerHeals(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := &metaDropTransport{Transport: attach(t, sw, "src"), drop: 3}
+	src := startSession(t, drop, nil)
+	relay := startSession(t, attach(t, sw, "relay"), func(c *Config) { c.Relay = true })
+	src.AddPeer("relay")
+
+	content := testContent(4096, 12)
+	id, err := src.Serve(content, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if o, ok := relay.Object(id); ok && o.Size >= 0 {
+			if o.Size != int64(len(content)) {
+				t.Fatalf("relay learned size %d, want %d", o.Size, len(content))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("relay never learned the size: lost META was not resent")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drop.mu.Lock()
+	dropped := drop.drop == 0
+	drop.mu.Unlock()
+	if !dropped {
+		t.Fatal("test dropped no META frames")
+	}
+}
+
 // TestEvictedStateDropsInFlightFrames pins the evict/ingest race fix: a
 // decode worker that resolved an object state before evict() deleted it
 // must drop its frames instead of decoding into the orphaned state, so a
@@ -677,12 +718,12 @@ func TestEvictedStateDropsInFlightFrames(t *testing.T) {
 
 	in := frame(1)
 	stale.mu.Lock()
-	kind, _ := s.ingestDataLocked(stale, &in)
+	fb, _ := s.ingestDataLocked(stale, &in)
 	received := stale.received
 	stale.mu.Unlock()
 	in.f.Release()
-	if kind != 0 {
-		t.Fatalf("dead state produced feedback %d", kind)
+	if fb != nil {
+		t.Fatalf("dead state produced feedback %v", fb)
 	}
 	if received != 1 {
 		t.Fatalf("dead state decoded the frame (received %d, want 1)", received)

@@ -107,6 +107,14 @@ type NodeConfig struct {
 	// DisableRedundancyDetection turns off the redundancy detector
 	// (Algorithm 3).
 	DisableRedundancyDetection bool
+	// Generations is the coding-generation count G a dissemination
+	// session splits served objects into (the paper's generations
+	// optimization: code vectors, decode state and recoding scans
+	// shrink from k to k/G). 0 keeps the consumer's default — a swarm
+	// session picks G automatically from the object's code length; 1
+	// forces single-generation coding. Root-package Nodes and Sources
+	// code a single span and ignore it.
+	Generations int
 }
 
 // CompileOptions folds a functional option list into a NodeConfig.
@@ -143,6 +151,18 @@ func (o redundancyOption) apply(cfg *NodeConfig) { cfg.DisableRedundancyDetectio
 // WithRedundancyDetection enables or disables the redundancy detector
 // (Algorithm 3); it is enabled by default.
 func WithRedundancyDetection(enabled bool) Option { return redundancyOption(enabled) }
+
+type generationsOption int
+
+func (o generationsOption) apply(cfg *NodeConfig) { cfg.Generations = int(o) }
+
+// WithGenerations sets the coding-generation count G that dissemination
+// sessions split served objects into; it overrides swarm.Config's
+// Generations field. G = 1 forces single-generation coding; G = 0
+// restores the automatic choice (G scales with the object's code length
+// so per-packet headers stay O(k/G)). Root-package Nodes and Sources
+// ignore it.
+func WithGenerations(g int) Option { return generationsOption(g) }
 
 // EntropySeed draws a fresh 64-bit seed from crypto/rand — what unseeded
 // nodes and swarm sessions use by default, so independent participants

@@ -62,7 +62,9 @@ func ParseObjectID(s string) (ObjectID, error) { return packet.ParseObjectID(s) 
 
 // ObjectStats is a point-in-time view of one object's session state; its
 // Overhead method reports received packets relative to k — the reception
-// overhead the paper calls 1 + ε.
+// overhead the paper calls 1 + ε. For generation-coded objects the
+// Generations/KPer fields give the geometry and GensComplete/GenDecoded
+// the per-generation decode progress.
 type ObjectStats = session.ObjectStats
 
 // Errors returned by Session methods.
@@ -111,6 +113,18 @@ type Config struct {
 	// network headers (default 65536).
 	MaxObjects int
 	MaxK       int
+	// Generations is the coding-generation count G that Serve splits
+	// objects into — the paper's generations optimization, and what
+	// makes large objects practical: each generation is decoded and
+	// recoded independently, so code vectors, per-packet headers and
+	// decode state are all O(k/G) instead of O(k), and a receiver's
+	// completed generations abort their redundancy streams while the
+	// rest keep filling. 0 (the default) picks G automatically from the
+	// object's code length (G = ceil(k/1024), so headers stay bounded no
+	// matter how big the object); 1 forces single-generation coding;
+	// any other value is used as given. ltnc.WithGenerations in Node
+	// overrides it. Serve rounds k up to a multiple of G.
+	Generations int
 	// DecodeWorkers, IngestBatch and IngestQueue tune the sharded decode
 	// engine: how many decode shards run (default min(GOMAXPROCS, 8)),
 	// how many DATA frames a worker drains per wakeup (default 32), and
@@ -179,10 +193,19 @@ func (c Config) sessionConfig(tr transport.Transport) session.Config {
 // concurrent use.
 type Session struct {
 	s *session.Session
+	// generations is the configured G preference: 0 = automatic.
+	generations int
 }
 
 // New builds a session from cfg. Call Run to start it; Close when done.
 func New(cfg Config) (*Session, error) {
+	gens := cfg.Generations
+	if nc := ltnc.CompileOptions(cfg.Node...); nc.Generations != 0 {
+		gens = nc.Generations
+	}
+	if gens < 0 {
+		return nil, fmt.Errorf("swarm: %w: G = %d < 0", ltnc.ErrBadGeneration, gens)
+	}
 	tr := cfg.Transport
 	if tr == nil {
 		if cfg.Listen == "" {
@@ -201,7 +224,7 @@ func New(cfg Config) (*Session, error) {
 	for _, p := range cfg.Peers {
 		s.AddPeer(p)
 	}
-	return &Session{s: s}, nil
+	return &Session{s: s, generations: gens}, nil
 }
 
 // Run pumps the session until ctx ends or the session is closed: it
@@ -230,13 +253,33 @@ func (s *Session) LocalAddr() Addr { return s.s.LocalAddr() }
 // it.
 func (s *Session) AddPeer(addr Addr) { s.s.AddPeer(addr) }
 
-// Serve splits content into k native packets, seeds a source state and
-// returns the content-derived ObjectID. The object is pushed to
-// configured peers and to anyone who requests it, and is pinned against
-// idle eviction. Serving an object someone is already fetching or
-// watching completes those subscriptions immediately.
+// autoKPer is the per-generation code length automatic chunking aims at:
+// G = ceil(k/1024) keeps every wire header's code vector at or under 128
+// bytes — O(k/G), independent of how large the object grows — while each
+// generation stays large enough for the Soliton distribution to behave.
+const autoKPer = 1024
+
+// pickGenerations resolves the session's G preference for an object of
+// code length k.
+func (s *Session) pickGenerations(k int) int {
+	if s.generations > 0 {
+		return s.generations
+	}
+	return max(1, (k+autoKPer-1)/autoKPer)
+}
+
+// Serve splits content into k native packets across G independently
+// coded generations, seeds a source state and returns the
+// content-derived ObjectID. G comes from Config.Generations (or
+// ltnc.WithGenerations); by default it scales with k so per-packet
+// headers and per-generation decode state stay bounded — this is what
+// lets a session serve multi-MB/GB objects. k is rounded up to a
+// multiple of G. The object is pushed to configured peers and to anyone
+// who requests it, and is pinned against idle eviction. Serving an
+// object someone is already fetching or watching completes those
+// subscriptions immediately.
 func (s *Session) Serve(content []byte, k int) (ObjectID, error) {
-	return s.s.Serve(content, k)
+	return s.s.Serve(content, k, s.pickGenerations(k))
 }
 
 // ServeReader reads r to EOF and serves the bytes as one object; see
@@ -250,7 +293,10 @@ func (s *Session) ServeReader(r io.Reader, k int) (ObjectID, error) {
 }
 
 // ServeFile serves the contents of the file at path as one object; see
-// Serve.
+// Serve. Together with the automatic generation choice this is the
+// large-file entry point: a file served with k = size/4096 natives gets
+// G = ceil(k/1024) generations and constant-size headers regardless of
+// file size.
 func (s *Session) ServeFile(path string, k int) (ObjectID, error) {
 	content, err := os.ReadFile(path)
 	if err != nil {

@@ -88,11 +88,12 @@ func TestSwitchEndToEndAdverse(t *testing.T) {
 		MaxObjects: 4, // bounded-memory assertion below leans on this
 	})
 	src := startNode(t, ctx, swarm.Config{
-		Transport: attach(t, sw, "source"),
-		Peers:     []swarm.Addr{"relay"},
-		Seed:      13,
-		Tick:      500 * time.Microsecond,
-		Burst:     8,
+		Transport:   attach(t, sw, "source"),
+		Peers:       []swarm.Addr{"relay"},
+		Seed:        13,
+		Tick:        500 * time.Microsecond,
+		Burst:       8,
+		Generations: 4, // generations must complete (possibly out of order) under the same adversity
 	})
 	id, err := src.Serve(content, k)
 	if err != nil {
@@ -130,7 +131,11 @@ func TestSwitchEndToEndAdverse(t *testing.T) {
 	if report.Overhead() < 1 {
 		t.Fatalf("overhead %.3f < 1", report.Overhead())
 	}
-	t.Logf("fetched %d bytes in %v, overhead %.3f", report.Bytes, report.Elapsed, report.Overhead())
+	if report.Stats.Generations != 4 || report.Stats.GensComplete != 4 {
+		t.Fatalf("generation progress wrong under adversity: %+v", report.Stats)
+	}
+	t.Logf("fetched %d bytes in %v, overhead %.3f (%d generations)",
+		report.Bytes, report.Elapsed, report.Overhead(), report.Stats.Generations)
 
 	// Progress must have flowed: the completion notification fires on a
 	// decode worker just after Fetch unblocks, so poll briefly for it.
@@ -335,5 +340,55 @@ func TestNodeOptionsPlumbing(t *testing.T) {
 	}
 	if !bytes.Equal(got, content) {
 		t.Fatal("content mismatch with node options set")
+	}
+}
+
+// TestGenerationsConfigPlumbing checks the generation-count resolution
+// order — ltnc.WithGenerations beats Config.Generations beats the
+// automatic choice — and the typed error for nonsense counts.
+func TestGenerationsConfigPlumbing(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	content := make([]byte, 8*1024)
+	rand.New(rand.NewSource(9)).Read(content)
+
+	serveGens := func(name swarm.Addr, cfg swarm.Config, k int) int {
+		t.Helper()
+		cfg.Transport = attach(t, sw, name)
+		s := startNode(t, ctx, cfg)
+		id, err := s.Serve(append([]byte(nil), content...), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, ok := s.Object(id)
+		if !ok {
+			t.Fatal("served object missing")
+		}
+		return stats.Generations
+	}
+
+	if g := serveGens("cfg", swarm.Config{Generations: 4}, 64); g != 4 {
+		t.Errorf("Config.Generations: G = %d, want 4", g)
+	}
+	if g := serveGens("opt", swarm.Config{
+		Generations: 4,
+		Node:        []ltnc.Option{ltnc.WithGenerations(2)},
+	}, 64); g != 2 {
+		t.Errorf("WithGenerations override: G = %d, want 2", g)
+	}
+	// Automatic: small k stays single-generation, large k chunks.
+	if g := serveGens("auto-small", swarm.Config{}, 64); g != 1 {
+		t.Errorf("auto G for k=64: %d, want 1", g)
+	}
+	if g := serveGens("auto-large", swarm.Config{}, 4096); g != 4 {
+		t.Errorf("auto G for k=4096: %d, want 4", g)
+	}
+
+	if _, err := swarm.New(swarm.Config{Listen: "127.0.0.1:0", Generations: -1}); !errors.Is(err, ltnc.ErrBadGeneration) {
+		t.Errorf("negative G err = %v, want ltnc.ErrBadGeneration", err)
 	}
 }
