@@ -1,5 +1,6 @@
 // Command ltnc-sim regenerates the dissemination experiments of the
-// paper's evaluation (Figure 7) as tab-separated series.
+// paper's evaluation (Figure 7) as tab-separated series, and runs named
+// virtual-time swarm scenarios (ltnc/simlab) as JSON reports.
 //
 // Usage:
 //
@@ -7,13 +8,21 @@
 //	ltnc-sim -fig 7b [-ks 512,1024,2048,4096] ...
 //	ltnc-sim -fig 7c [-ks 512,1024,2048,4096] ...
 //	ltnc-sim -fig headline [-n 1000] [-k 2048] [-m 256] ...
+//	ltnc-sim -scenario churn50 [-seed 1]
+//	ltnc-sim -list
 //
 // Paper scale (N=1000, k up to 4096, 25 runs) takes a while; the defaults
-// are a laptop-scale variant with the same shapes. EXPERIMENTS.md records
-// both the command lines used and the measured values.
+// are a laptop-scale variant with the same shapes. A -scenario run spins
+// up the real session stack on the deterministic virtual-time fabric —
+// 50-node churn swarms, multihop partitions, asymmetric uplinks — and
+// prints the invariant-checked report as JSON; virtual minutes cost wall
+// seconds. EXPERIMENTS.md records both the command lines used and the
+// measured values.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +32,7 @@ import (
 
 	"ltnc/internal/experiments"
 	"ltnc/internal/sim"
+	"ltnc/simlab"
 )
 
 func main() {
@@ -35,6 +45,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ltnc-sim", flag.ContinueOnError)
 	var (
+		scenario = fs.String("scenario", "", "run this named virtual-time swarm scenario and print a JSON report (see -list)")
+		list     = fs.Bool("list", false, "list the named scenarios and exit")
+
 		fig   = fs.String("fig", "7a", "experiment: 7a, 7b, 7c or headline")
 		n     = fs.Int("n", 200, "number of nodes (paper: 1000)")
 		k     = fs.Int("k", 512, "code length for 7a/headline (paper: 2048)")
@@ -48,6 +61,15 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range simlab.List() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	if *scenario != "" {
+		return runScenario(out, *scenario, *seed)
 	}
 	p := experiments.Fig7Params{
 		N: *n, K: *k, Runs: *runs, Seed: *seed, Aggressiveness: *agg, FanIn: *fanIn,
@@ -74,6 +96,31 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -fig %q (want 7a, 7b, 7c, headline or ablation)", *fig)
 	}
+}
+
+// runScenario executes one named simlab scenario and prints the full
+// report as indented JSON. Invariant violations make the command fail so
+// a scripted run (CI, cron) notices; the report still prints for
+// diagnosis, and the seed in it replays the run exactly.
+func runScenario(out io.Writer, name string, seed int64) error {
+	sc, err := simlab.Named(name, seed)
+	if err != nil {
+		return err
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Ok() {
+		return fmt.Errorf("scenario %s (seed %d): %d violations, %d fetches failed",
+			name, rep.Seed, len(rep.Violations), rep.FetchesFailed)
+	}
+	return nil
 }
 
 func ablation(out io.Writer, p experiments.Fig7Params) error {

@@ -75,6 +75,36 @@ func TestRunAblationTiny(t *testing.T) {
 	}
 }
 
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "churn50") || !strings.Contains(buf.String(), "partition3hop") {
+		t.Errorf("catalog listing incomplete: %q", buf.String())
+	}
+}
+
+func TestRunScenarioSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "smoke", "-seed", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"scenario": "smoke"`, `"seed": 5`, `"fetches_completed": 2`, `"timeline_hash"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON report missing %s", want)
+		}
+	}
+}
+
+func TestRunScenarioUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "no-such"}, &buf); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
 func TestRunUnknownFig(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-fig", "9z"}, &buf); err == nil {

@@ -1,0 +1,194 @@
+package session
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+)
+
+// advanceUntil drives a virtual clock forward in steps of the given
+// quantum until cond holds or maxVirtual has elapsed, yielding real time
+// between steps so session goroutines can digest what each step fired.
+func advanceUntil(t *testing.T, clk *transport.VClock, step, maxVirtual time.Duration, cond func() bool) {
+	t.Helper()
+	for elapsed := time.Duration(0); elapsed < maxVirtual; elapsed += step {
+		if cond() {
+			return
+		}
+		clk.Advance(step)
+		// Real-time settle: let the goroutines woken by the fired timers
+		// run before the next virtual step.
+		for i := 0; i < 20; i++ {
+			time.Sleep(100 * time.Microsecond)
+			if cond() {
+				return
+			}
+		}
+	}
+	if !cond() {
+		t.Fatalf("condition not reached after %v of virtual time", maxVirtual)
+	}
+}
+
+// TestVirtualClockEndToEnd runs the full source → relay → fetch pipeline
+// with every session timer on a shared virtual clock: nothing moves while
+// the clock stands still, and the whole transfer completes inside a few
+// hundred virtual milliseconds driven manually.
+func TestVirtualClockEndToEnd(t *testing.T) {
+	clk := transport.NewVClock()
+	clk.SetSyncGrace(2 * time.Millisecond)
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256, Seed: 7, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt := func(c *Config) {
+		c.Clock = clk
+		c.Tick = 5 * time.Millisecond
+		c.Relay = true
+	}
+	src := startSession(t, attach(t, sw, "source"), virt)
+	relay := startSession(t, attach(t, sw, "relay"), virt)
+	_ = relay
+	fetcher := startSession(t, attach(t, sw, "fetcher"), virt)
+	src.AddPeer("relay")
+
+	content := testContent(4096, 3)
+	id, err := src.Serve(content, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	type result struct {
+		data []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		data, _, err := fetcher.Fetch(ctx, id, "relay")
+		got <- result{data, err}
+	}()
+
+	// With the clock frozen the fetch must not complete: the only motion
+	// is the initial REQ (sent inline), and pushes only happen on ticks.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case r := <-got:
+		t.Fatalf("fetch completed with frozen clock: %v", r.err)
+	default:
+	}
+
+	done := func() bool {
+		select {
+		case r := <-got:
+			if r.err != nil {
+				t.Fatalf("fetch: %v", r.err)
+			}
+			if string(r.data) != string(content) {
+				t.Fatalf("fetched %d bytes differ from served content", len(r.data))
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	advanceUntil(t, clk, 5*time.Millisecond, 10*time.Second, done)
+}
+
+// TestVirtualMetaResend pins the META repair path to the virtual clock: a
+// configured push peer that never acks keeps receiving periodic METAs at
+// the metaResend cadence, measured purely in virtual time.
+func TestVirtualMetaResend(t *testing.T) {
+	clk := transport.NewVClock()
+	clk.SetSyncGrace(2 * time.Millisecond)
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256, Seed: 9, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), func(c *Config) {
+		c.Clock = clk
+		c.Tick = 5 * time.Millisecond
+	})
+	sink := attach(t, sw, "sink")
+	src.AddPeer("sink")
+	if _, err := src.Serve(testContent(512, 1), 16, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count META frames arriving at the silent sink while virtual time
+	// passes; the resend interval is max(25·Tick, 50ms) = 125ms, so one
+	// virtual second must carry several distinct METAs.
+	metas := 0
+	countQueued := func() {
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			f, err := sink.Recv(ctx)
+			cancel()
+			if err != nil {
+				return
+			}
+			if len(f.Data) > 0 && f.Data[0] == frameMeta {
+				metas++
+			}
+			f.Release()
+		}
+	}
+	advanceUntil(t, clk, 5*time.Millisecond, 5*time.Second, func() bool {
+		countQueued()
+		return metas >= 3
+	})
+}
+
+// TestVirtualIdleEviction pins idle eviction to the virtual clock: a
+// relay-learned object is evicted once IdleTimeout of VIRTUAL time
+// passes, regardless of how little wall time does.
+func TestVirtualIdleEviction(t *testing.T) {
+	clk := transport.NewVClock()
+	clk.SetSyncGrace(2 * time.Millisecond)
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 64, Seed: 5, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := startSession(t, attach(t, sw, "relay"), func(c *Config) {
+		c.Clock = clk
+		c.Tick = 10 * time.Millisecond
+		c.Relay = true
+		c.IdleTimeout = 10 * time.Second // virtual — far beyond the test's wall budget
+	})
+	feeder := attach(t, sw, "feeder")
+
+	// Teach the relay an object via META.
+	var id packet.ObjectID
+	id[0] = 0xAB
+	meta := make([]byte, metaLen)
+	meta[0] = frameMeta
+	copy(meta[1:17], id[:])
+	meta[17+3] = 16  // k = 16
+	meta[21+3] = 32  // m = 32
+	meta[25+7] = 200 // size = 200
+	if err := feeder.Send("relay", meta); err != nil {
+		t.Fatal(err)
+	}
+	learned := func() bool {
+		_, ok := relay.Object(id)
+		return ok
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !learned() {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay never learned the object")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A long wall-clock pause changes nothing: idleness is virtual.
+	time.Sleep(50 * time.Millisecond)
+	if !learned() {
+		t.Fatalf("object evicted while virtual time stood still")
+	}
+	advanceUntil(t, clk, 500*time.Millisecond, time.Minute, func() bool { return !learned() })
+}

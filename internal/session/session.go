@@ -147,6 +147,12 @@ type Config struct {
 	// ltnc.WithRedundancyDetection via swarm.Config).
 	DisableRefinement      bool
 	DisableRedundancyCheck bool
+	// Clock is the time source behind every session timer — push ticks,
+	// META resend, idle eviction, satiation backoff, fetch retries.
+	// Default: the system clock. Simulations (internal/simnet) inject a
+	// virtual clock so a minute of protocol time passes in milliseconds
+	// of wall time, deterministically.
+	Clock transport.Clock
 	// Logf, when set, receives one line per notable event (object
 	// learned, complete, evicted).
 	Logf func(format string, args ...any)
@@ -216,6 +222,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Seed == 0 && !c.HaveSeed {
 		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = transport.SystemClock()
 	}
 	return nil
 }
@@ -313,7 +322,7 @@ type objectState struct {
 	notifyMu sync.Mutex
 }
 
-func (st *objectState) touch() { st.lastActive.Store(time.Now().UnixNano()) }
+func (st *objectState) touch(now time.Time) { st.lastActive.Store(now.UnixNano()) }
 
 func (st *objectState) peer(addr transport.Addr) *peerState {
 	ps, ok := st.peers[addr]
@@ -336,6 +345,7 @@ type inFrame struct {
 type Session struct {
 	cfg Config
 	tr  transport.Transport
+	clk transport.Clock
 
 	mu        sync.Mutex
 	objects   map[packet.ObjectID]*objectState
@@ -346,6 +356,10 @@ type Session struct {
 
 	shards        []chan inFrame
 	ingestDropped atomic.Int64
+
+	// busy counts frames and ticks the session has accepted but not fully
+	// processed; see Busy.
+	busy atomic.Int64
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -359,6 +373,7 @@ func New(cfg Config) (*Session, error) {
 	s := &Session{
 		cfg:     cfg,
 		tr:      cfg.Transport,
+		clk:     cfg.Clock,
 		objects: make(map[packet.ObjectID]*objectState),
 		shards:  make([]chan inFrame, cfg.DecodeWorkers),
 		closed:  make(chan struct{}),
@@ -381,6 +396,15 @@ func (s *Session) LocalAddr() transport.Addr { return s.tr.LocalAddr() }
 // IngestDropped returns the number of DATA frames dropped at full decode
 // worker queues (receiver overload).
 func (s *Session) IngestDropped() int64 { return s.ingestDropped.Load() }
+
+// Busy returns the number of units of work the session has accepted but
+// not yet fully digested: received frames still queued or decoding
+// (including their feedback replies and watcher notifications) and push
+// ticks in progress. Zero means the session is quiescent — it will do
+// nothing further until a new frame arrives or its clock fires. Virtual
+// time schedulers (internal/simnet) poll it to decide when the simulated
+// world may safely advance.
+func (s *Session) Busy() int64 { return s.busy.Load() }
 
 // AddPeer registers a standing push target: every locally known object is
 // gossiped toward configured peers.
@@ -462,7 +486,7 @@ func (s *Session) Serve(content []byte, k, gens int) (packet.ObjectID, error) {
 	st.size.Store(int64(len(content)))
 	st.data = append([]byte(nil), content...)
 	close(st.done)
-	st.touch()
+	st.touch(s.clk.Now())
 	st.mu.Unlock()
 	st.pinned = true
 	s.mu.Unlock()
@@ -504,7 +528,7 @@ func (s *Session) newStateLocked(id packet.ObjectID, gens, kPer, m int) (*object
 	}
 	st.size.Store(-1)
 	st.gens.Store(int32(gens))
-	st.touch()
+	st.touch(s.clk.Now())
 	s.objects[id] = st
 	return st, nil
 }
@@ -604,8 +628,10 @@ func (s *Session) recvLoop(ctx context.Context) error {
 			s.dispatchData(f) // ownership moves to the decode worker
 			continue
 		}
+		s.busy.Add(1)
 		s.handleFrame(f)
 		f.Release()
+		s.busy.Add(-1)
 	}
 }
 
@@ -614,17 +640,22 @@ func (s *Session) recvLoop(ctx context.Context) error {
 // the same shard, so per-object arrival order is preserved; a full shard
 // queue drops the frame as an overloaded datagram receiver would.
 func (s *Session) dispatchData(f transport.Frame) {
+	s.busy.Add(1)
 	wv, err := packet.ParseWire(f.Data[1:])
 	if err != nil || wv.Object.IsZero() {
 		f.Release()
+		s.busy.Add(-1)
 		return
 	}
 	shard := int(wv.Object[0]) % len(s.shards)
 	select {
 	case s.shards[shard] <- inFrame{f: f, wv: wv}:
+		// The frame stays counted in busy until its decode worker has
+		// fully processed it (ingestBatch decrements per frame).
 	default:
 		s.ingestDropped.Add(1)
 		f.Release()
+		s.busy.Add(-1)
 	}
 }
 
@@ -636,6 +667,7 @@ func (s *Session) ingestLoop(ctx context.Context, ch chan inFrame) {
 			select {
 			case in := <-ch:
 				in.f.Release()
+				s.busy.Add(-1)
 			default:
 				return
 			}
@@ -735,6 +767,11 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	for _, st := range notify {
 		s.notifyWatchers(st)
 	}
+	// Frames leave the busy count only now, with decode, feedback replies
+	// and watcher notifications all done — this is what lets a virtual-time
+	// scheduler treat busy == 0 as "the session has digested everything it
+	// was handed".
+	s.busy.Add(-int64(len(batch)))
 }
 
 // genCount normalizes a wire generation count: gen-absent v1/v2 headers
@@ -788,7 +825,7 @@ func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, pro
 	if st.coder.Check(in.wv.Generations, in.wv.Generation, in.wv.K) != nil {
 		return nil, false // inconsistent generation geometry: drop
 	}
-	st.touch()
+	st.touch(s.clk.Now())
 	g := int(in.wv.Generation)
 	if st.coder.Complete() {
 		st.aborted++
@@ -897,9 +934,9 @@ func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
 	if !ok {
 		return nil // unknown object: requester will retry elsewhere
 	}
-	st.touch()
+	st.touch(s.clk.Now())
 	ps := st.peer(from)
-	ps.lastReq = time.Now()
+	ps.lastReq = s.clk.Now()
 	ps.configuredSub = true
 	ps.done = false
 	ps.consecRedund = 0
@@ -915,7 +952,7 @@ func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
 	if st.size.Load() < 0 {
 		return nil
 	}
-	ps.metaAt = time.Now()
+	ps.metaAt = s.clk.Now()
 	return s.metaFrame(st)
 }
 
@@ -971,7 +1008,7 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 		st.mu.Unlock()
 		return nil // G (or shape) mismatch with local state: drop
 	}
-	st.touch()
+	st.touch(s.clk.Now())
 	var reply []byte
 	learned := false
 	if st.size.Load() < 0 {
@@ -981,6 +1018,13 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 			s.completeObjLocked(st)
 			reply = feedbackFrame(id, fbComplete)
 		}
+	} else if st.coder.Complete() {
+		// Redundant META to an already-complete, already-sized receiver:
+		// the sender evidently never heard our fbComplete (lost to the
+		// fabric) and will keep resending META until it does. Repeat it —
+		// the idempotent reply closes the loop, exactly as the DATA path
+		// aborts redundant payloads with the same frame.
+		reply = feedbackFrame(id, fbComplete)
 	}
 	st.mu.Unlock()
 	if learned {
@@ -1050,7 +1094,7 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 			// incomplete peer still needs the stream. Back off instead;
 			// any REQ lifts the pause early.
 			ps.consecRedund = 0
-			ps.pauseUntil = time.Now().Add(s.satiationBackoff())
+			ps.pauseUntil = s.clk.Now().Add(s.satiationBackoff())
 		}
 	}
 }
@@ -1061,7 +1105,7 @@ func (s *Session) satiationBackoff() time.Duration {
 }
 
 func (s *Session) tickLoop(ctx context.Context) {
-	ticker := time.NewTicker(s.cfg.Tick)
+	ticker := s.clk.NewTicker(s.cfg.Tick)
 	defer ticker.Stop()
 	// Evict roughly four times per idle timeout, at most once per tick
 	// and at least once per second.
@@ -1074,11 +1118,13 @@ func (s *Session) tickLoop(ctx context.Context) {
 			return
 		case <-s.closed:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
+			s.busy.Add(1)
 			s.push()
 			if tick++; tick%evictEvery == 0 {
 				s.evict()
 			}
+			s.busy.Add(-1)
 		}
 	}
 }
@@ -1097,7 +1143,7 @@ func (s *Session) push() {
 		needMeta []transport.Addr
 	}
 	s.mu.Lock()
-	now := time.Now()
+	now := s.clk.Now()
 	targets := make([]pushTarget, 0, len(s.objects))
 	for _, st := range s.objects {
 		pt := pushTarget{st: st}
@@ -1201,7 +1247,7 @@ func (s *Session) push() {
 		return
 	}
 	s.mu.Lock()
-	stamp := time.Now()
+	stamp := s.clk.Now()
 	for _, sn := range sends {
 		sn.st.sent += sn.n
 	}
@@ -1249,7 +1295,7 @@ func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr
 func (s *Session) evict() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+	cutoff := s.clk.Now().Add(-s.cfg.IdleTimeout).UnixNano()
 	for id, st := range s.objects {
 		for addr, ps := range st.peers {
 			if ps.configuredSub && !ps.lastReq.IsZero() && ps.lastReq.UnixNano() < cutoff {
@@ -1334,7 +1380,7 @@ func (s *Session) placeholderLocked(id packet.ObjectID) *objectState {
 		peers: make(map[transport.Addr]*peerState),
 	}
 	st.size.Store(-1)
-	st.touch()
+	st.touch(s.clk.Now())
 	s.objects[id] = st
 	return st
 }
@@ -1464,7 +1510,7 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 	if err := sendAll(); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
 		return nil, ObjectStats{}, err
 	}
-	resend := time.NewTicker(250 * time.Millisecond)
+	resend := s.clk.NewTicker(250 * time.Millisecond)
 	defer resend.Stop()
 	for {
 		select {
@@ -1476,7 +1522,7 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 			stats := s.statsLocked(st)
 			s.mu.Unlock()
 			return data, stats, nil
-		case <-resend.C:
+		case <-resend.C():
 			if err := sendAll(); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
 				return nil, ObjectStats{}, err
 			}

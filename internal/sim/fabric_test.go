@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestRunFabricMatchesRoundModelShape runs the LTNC comparator over the
+// real session stack on the simnet fabric and sanity-checks the mapped
+// metrics against what the round model reports for the same population:
+// both complete, both land at small positive overhead.
+func TestRunFabricMatchesRoundModelShape(t *testing.T) {
+	cfg := Config{
+		Scheme:         LTNC,
+		N:              8,
+		K:              48,
+		M:              64,
+		Seed:           5,
+		Aggressiveness: 0.01,
+		LossRate:       0.02,
+	}
+	fab, err := RunFabric(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fab.Completed {
+		t.Fatalf("fabric run did not complete: %+v", fab)
+	}
+	if fab.Rounds <= 0 || fab.AvgCompletion <= 0 {
+		t.Fatalf("degenerate completion metrics: %+v", fab)
+	}
+	if fab.OverheadPct < 0 || fab.OverheadPct > 400 {
+		t.Fatalf("fabric overhead %.1f%% out of the plausible band", fab.OverheadPct)
+	}
+
+	rnd, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rnd.Completed {
+		t.Fatalf("round model did not complete: %+v", rnd)
+	}
+	t.Logf("round model: rounds=%d overhead=%.1f%% | fabric: ticks=%d overhead=%.1f%%",
+		rnd.Rounds, rnd.OverheadPct, fab.Rounds, fab.OverheadPct)
+}
+
+func TestRunFabricRejectsRoundOnlySchemes(t *testing.T) {
+	for _, scheme := range []Scheme{RLNC, WC} {
+		if _, err := RunFabric(Config{Scheme: scheme, N: 4, K: 16, M: 8}); err == nil {
+			t.Errorf("%v accepted by the fabric comparator", scheme)
+		}
+	}
+	if _, err := RunFabric(Config{Scheme: LTNC, N: 4, K: 16}); err == nil {
+		t.Errorf("fabric comparator accepted M = 0")
+	}
+}

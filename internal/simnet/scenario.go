@@ -1,0 +1,905 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/session"
+	"ltnc/internal/transport"
+	"ltnc/internal/xrand"
+)
+
+// dataTag is the session wire protocol's DATA frame type byte (see the
+// internal/session package doc); the header-bound invariant recognizes
+// DATA frames by it.
+const dataTag = 0x01
+
+// Wiring selects how a scenario's nodes are peered.
+type Wiring int
+
+const (
+	// WiringStar: sources push to every relay; each fetcher subscribes at
+	// PeersPerFetcher relays chosen by the scenario RNG.
+	WiringStar Wiring = iota
+	// WiringLine: sources push into a relay chain r0 → r1 → … (each hop a
+	// recoding intermediary); fetchers subscribe at the last relay — the
+	// multihop shape of the powerline/smart-grid line of work.
+	WiringLine
+	// WiringMesh: no designated relays — every fetcher is also a recoding
+	// relay and peers with PeersPerFetcher random mesh nodes; sources
+	// push to a few of them. The closest shape to the paper's flat
+	// epidemic dissemination.
+	WiringMesh
+)
+
+func (w Wiring) String() string {
+	switch w {
+	case WiringStar:
+		return "star"
+	case WiringLine:
+		return "line"
+	case WiringMesh:
+		return "mesh"
+	default:
+		return fmt.Sprintf("wiring(%d)", int(w))
+	}
+}
+
+// ObjectSpec describes one object served into the swarm.
+type ObjectSpec struct {
+	// Size is the content length in bytes; K the code length; Generations
+	// the generation count G (0 or 1 = single generation).
+	Size        int
+	K           int
+	Generations int
+}
+
+// ChurnSpec generates crash/join events over the fetcher population.
+type ChurnSpec struct {
+	// Fraction of the initial fetchers crashed over the churn window
+	// (each mid-fetch crash is followed by a fresh joiner fetching the
+	// same objects, unless NoReplace).
+	Fraction  float64
+	Start     time.Duration // first crash (default 500ms)
+	Interval  time.Duration // spacing between crashes (default 250ms)
+	NoReplace bool
+}
+
+// EventKind discriminates timeline events.
+type EventKind int
+
+// The scenario timeline vocabulary.
+const (
+	EvCrash     EventKind = iota + 1 // node vanishes abruptly (port down, session dead)
+	EvJoin                           // a fresh fetcher joins and starts fetching
+	EvPartition                      // split the fabric into Groups
+	EvHeal                           // remove the partition
+	EvSetLink                        // reshape the directed link From → To
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCrash:
+		return "crash"
+	case EvJoin:
+		return "join"
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvSetLink:
+		return "setlink"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scheduled occurrence on a scenario's timeline.
+type Event struct {
+	At     time.Duration // virtual offset from scenario start
+	Kind   EventKind
+	Node   string     // EvCrash / EvJoin target
+	Groups [][]string // EvPartition groups (node names)
+	From   string     // EvSetLink endpoints
+	To     string
+	Link   LinkConfig // EvSetLink shape
+}
+
+// Scenario declares a virtual-time swarm experiment: a population of real
+// sessions (sources, recoding relays, fetchers) on a shaped fabric, a
+// timeline of churn and partition events, and the invariant bounds the
+// run is checked against. Run executes it; everything the engine
+// randomizes derives from Seed, so the resolved timeline — and, for a
+// given interleaving, the traffic — replays from (Seed, Scenario).
+type Scenario struct {
+	Name string
+	Seed int64
+
+	// Population. Sources serve the objects (round-robin); relays recode;
+	// fetchers fetch every object. Defaults: 1 source, 2 relays, 4
+	// fetchers, one 16 KiB / k=64 object.
+	Sources  int
+	Relays   int
+	Fetchers int
+	Objects  []ObjectSpec
+
+	// Wiring and fabric shape.
+	Wiring          Wiring
+	PeersPerFetcher int // relays (or mesh peers) each fetcher subscribes at (default 2)
+	Link            LinkConfig
+	// Uplink, when set, overrides every fetcher→relay (or mesh) direction
+	// — the asymmetric-uplink knob (e.g. slow, lossy last-mile uplinks
+	// under a clean downlink).
+	Uplink     *LinkConfig
+	QueueDepth int
+	Grid       time.Duration
+	Trace      bool
+
+	// Session tuning (virtual durations).
+	Tick           time.Duration // default 10ms
+	Burst          int           // default 2
+	Aggressiveness float64       // default: session default (0.01)
+	IdleTimeout    time.Duration // default: session default (60s)
+
+	// Dynamics.
+	Churn    ChurnSpec
+	Timeline []Event
+
+	// Bounds. Duration caps virtual time (default 60s) — incomplete
+	// fetches then fail the run; MaxOverhead bounds each completed
+	// fetch's reception overhead (received/K; 0 = unchecked); WallBudget
+	// is the real-time no-deadlock watchdog (default 90s).
+	Duration    time.Duration
+	MaxOverhead float64
+	WallBudget  time.Duration
+}
+
+func (sc *Scenario) setDefaults() error {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Sources == 0 {
+		sc.Sources = 1
+	}
+	if sc.Relays == 0 && sc.Wiring != WiringMesh {
+		sc.Relays = 2
+	}
+	if sc.Fetchers == 0 {
+		sc.Fetchers = 4
+	}
+	if sc.Sources < 1 || sc.Relays < 0 || sc.Fetchers < 1 {
+		return fmt.Errorf("simnet: population %d/%d/%d invalid", sc.Sources, sc.Relays, sc.Fetchers)
+	}
+	if sc.Wiring == WiringMesh && sc.Relays != 0 {
+		return fmt.Errorf("simnet: mesh wiring has no designated relays")
+	}
+	if len(sc.Objects) == 0 {
+		sc.Objects = []ObjectSpec{{Size: 16 << 10, K: 64}}
+	}
+	for i, o := range sc.Objects {
+		if o.Size < 1 || o.K < 1 {
+			return fmt.Errorf("simnet: object %d: size %d / k %d invalid", i, o.Size, o.K)
+		}
+	}
+	if sc.PeersPerFetcher == 0 {
+		sc.PeersPerFetcher = 2
+	}
+	if sc.Tick == 0 {
+		sc.Tick = 10 * time.Millisecond
+	}
+	if sc.Burst == 0 {
+		sc.Burst = 2
+	}
+	if sc.Duration == 0 {
+		sc.Duration = 60 * time.Second
+	}
+	if sc.WallBudget == 0 {
+		sc.WallBudget = 90 * time.Second
+	}
+	if sc.Churn.Fraction < 0 || sc.Churn.Fraction > 1 {
+		return fmt.Errorf("simnet: churn fraction %v outside [0,1]", sc.Churn.Fraction)
+	}
+	if sc.Churn.Start == 0 {
+		sc.Churn.Start = 500 * time.Millisecond
+	}
+	if sc.Churn.Interval == 0 {
+		sc.Churn.Interval = 250 * time.Millisecond
+	}
+	return nil
+}
+
+// FetchResult is the outcome of one (node, object) fetch.
+type FetchResult struct {
+	Node        string        `json:"node"`
+	Object      string        `json:"object"`
+	Completed   bool          `json:"completed"`
+	Crashed     bool          `json:"crashed,omitempty"` // node crashed before completion (expected under churn)
+	Bytes       int           `json:"bytes,omitempty"`
+	Overhead    float64       `json:"overhead,omitempty"`
+	CompletedAt time.Duration `json:"completed_at,omitempty"` // virtual
+	Err         string        `json:"err,omitempty"`
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"` // peak population
+
+	Fetches          []FetchResult `json:"fetches"`
+	FetchesCompleted int           `json:"fetches_completed"`
+	FetchesCrashed   int           `json:"fetches_crashed"`
+	FetchesFailed    int           `json:"fetches_failed"`
+
+	VirtualElapsed time.Duration `json:"virtual_elapsed"`
+	WallElapsed    time.Duration `json:"wall_elapsed"`
+	MeanOverhead   float64       `json:"mean_overhead"` // over completed fetches
+	MaxHeaderBytes int           `json:"max_header_bytes"`
+
+	Net Stats `json:"net"`
+	// TimelineHash digests the resolved event schedule (churn victims,
+	// join specs, partitions): identical across runs of the same
+	// (Seed, Scenario) by construction.
+	TimelineHash string `json:"timeline_hash"`
+	// TraceHash digests the per-frame delivery trace when Trace was set.
+	TraceHash string `json:"trace_hash,omitempty"`
+
+	// Violations lists every invariant breach observed: non-byte-identical
+	// fetch, non-monotone Watch, header over bound, overhead over bound,
+	// unexpected session error, wall-budget (deadlock) watchdog. A clean
+	// run has none.
+	Violations []string `json:"violations,omitempty"`
+	Stalls     int64    `json:"stalls"`
+}
+
+// Ok reports whether the run completed every surviving fetch with no
+// invariant violations.
+func (r *Report) Ok() bool {
+	return len(r.Violations) == 0 && r.FetchesFailed == 0 && r.FetchesCompleted > 0
+}
+
+type objGeom struct {
+	kPer, gens, m int
+	wireSize      int // exact expected DATA frame size on the wire
+}
+
+type simNode struct {
+	name    string
+	sess    *session.Session
+	port    *Port
+	cancel  context.CancelFunc
+	removeQ func()
+	runDone chan struct{}
+
+	mu      sync.Mutex
+	crashed bool
+}
+
+type joinSpec struct {
+	name  string
+	peers []string
+}
+
+// runner holds one scenario execution.
+type runner struct {
+	sc  Scenario
+	net *Net
+
+	contents map[packet.ObjectID][]byte
+	geom     map[packet.ObjectID]objGeom
+	ids      []packet.ObjectID
+
+	mu          sync.Mutex
+	nodes       map[string]*simNode
+	violations  []string
+	results     []FetchResult
+	outstanding int
+	pendingJoin int
+	allDone     chan struct{} // closed when outstanding == pendingJoin == 0
+	maxHeader   int
+}
+
+func (r *runner) violatef(format string, args ...any) {
+	r.mu.Lock()
+	if len(r.violations) < 64 { // enough to diagnose, bounded against floods
+		r.violations = append(r.violations, fmt.Sprintf(format, args...))
+	}
+	r.mu.Unlock()
+}
+
+// Run executes the scenario and returns its report. The returned error
+// covers setup problems only; protocol misbehavior lands in
+// Report.Violations so the caller sees the full picture.
+func (sc Scenario) Run(ctx context.Context) (*Report, error) {
+	if err := sc.setDefaults(); err != nil {
+		return nil, err
+	}
+	wallStart := time.Now()
+
+	r := &runner{
+		sc:       sc,
+		contents: make(map[packet.ObjectID][]byte),
+		geom:     make(map[packet.ObjectID]objGeom),
+		nodes:    make(map[string]*simNode),
+		allDone:  make(chan struct{}),
+	}
+	net, err := New(Config{
+		Seed:        sc.Seed,
+		DefaultLink: sc.Link,
+		QueueDepth:  sc.QueueDepth,
+		Grid:        sc.Grid,
+		Trace:       sc.Trace,
+		Inspect:     r.inspect,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.net = net
+	defer net.Close()
+
+	// Everything random about the setup — content bytes, fetcher wiring,
+	// churn victims — comes from this one RNG, consumed in a fixed order
+	// before the fabric starts, so the resolved run is a pure function of
+	// (Seed, Scenario).
+	setupRng := rand.New(rand.NewSource(xrand.DeriveSeed(sc.Seed, 0x5ce)))
+
+	// Content and geometry.
+	for _, spec := range sc.Objects {
+		content := make([]byte, spec.Size)
+		setupRng.Read(content)
+		id := packet.NewObjectID(content)
+		r.contents[id] = content
+		r.ids = append(r.ids, id)
+	}
+
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	// Population. Names double as fabric addresses.
+	srcNames := make([]string, sc.Sources)
+	for i := range srcNames {
+		srcNames[i] = fmt.Sprintf("s%d", i)
+	}
+	relayNames := make([]string, sc.Relays)
+	for i := range relayNames {
+		relayNames[i] = fmt.Sprintf("r%d", i)
+	}
+	fetcherNames := make([]string, sc.Fetchers)
+	for i := range fetcherNames {
+		fetcherNames[i] = fmt.Sprintf("f%d", i)
+	}
+
+	// Wiring resolution (consumes setupRng in fixed order).
+	fetcherTargets := func() []string {
+		switch sc.Wiring {
+		case WiringLine:
+			if sc.Relays > 0 {
+				return []string{relayNames[sc.Relays-1]}
+			}
+			return srcNames
+		case WiringMesh:
+			return fetcherNames
+		default:
+			return relayNames
+		}
+	}
+	pickPeers := func(exclude string) []string {
+		pool := make([]string, 0, len(fetcherTargets()))
+		for _, t := range fetcherTargets() {
+			if t != exclude {
+				pool = append(pool, t)
+			}
+		}
+		k := min(sc.PeersPerFetcher, len(pool))
+		idx := xrand.SampleDistinct(setupRng, len(pool), k)
+		out := make([]string, k)
+		for i, j := range idx {
+			out[i] = pool[j]
+		}
+		if sc.Wiring == WiringMesh {
+			// Mesh peers churn away for good (a rejoiner is a new address),
+			// and the protocol has no peer discovery: a fetcher whose whole
+			// peer set dies would be stranded by wiring, not by any protocol
+			// property. Keep the origin in every mesh peer set — the
+			// "tracker/origin stays reachable" assumption — so fetches are
+			// always completable and a failure means a real protocol bug.
+			out = append(out, srcNames...)
+		}
+		sort.Strings(out)
+		return out
+	}
+	fetcherPeers := make(map[string][]string, sc.Fetchers)
+	for _, name := range fetcherNames {
+		fetcherPeers[name] = pickPeers(name)
+	}
+	for _, name := range fetcherNames {
+		r.applyUplinkFor(name, fetcherPeers[name])
+	}
+
+	// Timeline resolution: explicit events plus generated churn. A
+	// user-declared EvJoin names a node the setup loops never wired;
+	// resolve its peers here (deterministically, from the same RNG) so
+	// the joiner is fetchable — the protocol has no peer discovery, and
+	// an unwired joiner could never complete.
+	timeline := append([]Event(nil), sc.Timeline...)
+	for _, ev := range timeline {
+		if ev.Kind == EvJoin && fetcherPeers[ev.Node] == nil {
+			fetcherPeers[ev.Node] = pickPeers(ev.Node)
+		}
+	}
+	if sc.Churn.Fraction > 0 {
+		crashes := int(sc.Churn.Fraction*float64(sc.Fetchers) + 0.5)
+		victims := xrand.SampleDistinct(setupRng, sc.Fetchers, min(crashes, sc.Fetchers))
+		at := sc.Churn.Start
+		for gen, vi := range victims {
+			victim := fetcherNames[vi]
+			timeline = append(timeline, Event{At: at, Kind: EvCrash, Node: victim})
+			if !sc.Churn.NoReplace {
+				name := fmt.Sprintf("%s.%d", victim, gen+1)
+				fetcherPeers[name] = pickPeers(name)
+				timeline = append(timeline, Event{At: at, Kind: EvJoin, Node: name})
+			}
+			at += sc.Churn.Interval
+		}
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].At < timeline[j].At })
+	timelineHash := hashTimeline(timeline, fetcherPeers)
+
+	// Sessions. Nothing moves until net.Start(): virtual time is frozen,
+	// so the whole population comes up at t=0 regardless of how long wall
+	// setup takes.
+	per := func(i int) int64 { return xrand.DeriveSeed(sc.Seed, 0x900d+i) }
+	nodeIdx := 0
+	startNode := func(name string, relay bool, peers []string) (*simNode, error) {
+		port, err := net.Attach(transport.Addr(name))
+		if err != nil {
+			return nil, err
+		}
+		cfg := session.Config{
+			Transport:      port,
+			Tick:           sc.Tick,
+			Burst:          sc.Burst,
+			Aggressiveness: sc.Aggressiveness,
+			IdleTimeout:    sc.IdleTimeout,
+			Relay:          relay,
+			DecodeWorkers:  1,
+			IngestQueue:    256,
+			Seed:           per(nodeIdx),
+			HaveSeed:       true,
+			Clock:          net.Clock(),
+		}
+		nodeIdx++
+		sess, err := session.New(cfg)
+		if err != nil {
+			port.Close()
+			return nil, err
+		}
+		for _, p := range peers {
+			sess.AddPeer(transport.Addr(p))
+		}
+		nctx, cancel := context.WithCancel(ctx)
+		nd := &simNode{
+			name:    name,
+			sess:    sess,
+			port:    port,
+			cancel:  cancel,
+			removeQ: net.AddQuiescer(func() bool { return sess.Busy() == 0 }),
+			runDone: make(chan struct{}),
+		}
+		go func() {
+			defer close(nd.runDone)
+			err := sess.Run(nctx)
+			if err != nil && ctx.Err() == nil && !nd.isCrashed() {
+				r.violatef("node %s: session run error: %v", name, err)
+			}
+		}()
+		r.mu.Lock()
+		r.nodes[name] = nd
+		r.mu.Unlock()
+		return nd, nil
+	}
+
+	// Sources: serve the objects round-robin and learn the resulting
+	// geometry (the ground truth the header-bound invariant checks
+	// against).
+	for i, name := range srcNames {
+		var peers []string
+		switch sc.Wiring {
+		case WiringLine:
+			if sc.Relays > 0 {
+				peers = relayNames[:1]
+			}
+		case WiringMesh:
+			for j := 0; j < min(3, sc.Fetchers); j++ {
+				peers = append(peers, fetcherNames[j])
+			}
+		default:
+			peers = relayNames
+		}
+		nd, err := startNode(name, false, peers)
+		if err != nil {
+			return nil, err
+		}
+		for oi, id := range r.ids {
+			if oi%sc.Sources != i {
+				continue
+			}
+			spec := sc.Objects[oi]
+			gens := max(spec.Generations, 1)
+			if _, err := nd.sess.Serve(r.contents[id], spec.K, gens); err != nil {
+				return nil, fmt.Errorf("simnet: serve object %d: %w", oi, err)
+			}
+			st, ok := nd.sess.Object(id)
+			if !ok {
+				return nil, fmt.Errorf("simnet: served object %d not found", oi)
+			}
+			wire := 1 + packet.ObjectWireSize(st.KPer, st.M)
+			if st.Generations > 1 {
+				wire = 1 + packet.GenWireSize(st.KPer, st.M)
+			}
+			r.geom[id] = objGeom{kPer: st.KPer, gens: st.Generations, m: st.M, wireSize: wire}
+		}
+	}
+
+	// Relay chain / star.
+	for i, name := range relayNames {
+		var peers []string
+		if sc.Wiring == WiringLine && i+1 < sc.Relays {
+			peers = []string{relayNames[i+1]}
+		}
+		if _, err := startNode(name, true, peers); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fetchers (mesh fetchers double as relays).
+	for _, name := range fetcherNames {
+		nd, err := startNode(name, sc.Wiring == WiringMesh, fetcherPeers[name])
+		if err != nil {
+			return nil, err
+		}
+		r.launchFetches(ctx, nd)
+	}
+
+	// Timeline scheduling: events run on the scheduler goroutine at exact
+	// virtual offsets, in resolved order.
+	for _, ev := range timeline {
+		ev := ev
+		if ev.Kind == EvJoin {
+			r.mu.Lock()
+			r.pendingJoin++
+			r.mu.Unlock()
+		}
+		net.After(ev.At, func() { r.applyEvent(ctx, ev, startNode, fetcherPeers) })
+	}
+	// Virtual deadline: whatever is unfinished then has failed.
+	net.After(sc.Duration, cancelAll)
+
+	net.Start()
+
+	// Wait for every fetch (including joiners') to resolve; the wall
+	// budget is the no-deadlock invariant.
+	watchdog := time.NewTimer(sc.WallBudget)
+	defer watchdog.Stop()
+	select {
+	case <-r.allDone:
+	case <-watchdog.C:
+		r.violatef("wall budget %v exceeded with fetches outstanding (deadlock?)", sc.WallBudget)
+		cancelAll()
+		select {
+		case <-r.allDone:
+		case <-time.After(10 * time.Second):
+			r.violatef("fetches still stuck after cancellation")
+		}
+	case <-ctx.Done():
+		<-r.allDone
+	}
+	virtualElapsed := net.Elapsed()
+
+	// Teardown: stop every session, then the fabric.
+	r.mu.Lock()
+	nodes := make([]*simNode, 0, len(r.nodes))
+	for _, nd := range r.nodes {
+		nodes = append(nodes, nd)
+	}
+	r.mu.Unlock()
+	cancelAll()
+	for _, nd := range nodes {
+		nd.removeQ()
+		nd.sess.Close()
+		nd.cancel()
+	}
+	for _, nd := range nodes {
+		<-nd.runDone
+	}
+
+	rep := &Report{
+		Scenario:       sc.Name,
+		Seed:           sc.Seed,
+		Nodes:          sc.Sources + sc.Relays + sc.Fetchers,
+		VirtualElapsed: virtualElapsed,
+		WallElapsed:    time.Since(wallStart),
+		TimelineHash:   timelineHash,
+		Stalls:         net.Stats().Stalls,
+	}
+	r.mu.Lock()
+	rep.Fetches = append(rep.Fetches, r.results...)
+	rep.Violations = append(rep.Violations, r.violations...)
+	rep.MaxHeaderBytes = r.maxHeader
+	r.mu.Unlock()
+	sort.Slice(rep.Fetches, func(i, j int) bool {
+		if rep.Fetches[i].Node != rep.Fetches[j].Node {
+			return rep.Fetches[i].Node < rep.Fetches[j].Node
+		}
+		return rep.Fetches[i].Object < rep.Fetches[j].Object
+	})
+	var sum float64
+	for _, f := range rep.Fetches {
+		switch {
+		case f.Completed:
+			rep.FetchesCompleted++
+			sum += f.Overhead
+		case f.Crashed:
+			rep.FetchesCrashed++
+		default:
+			rep.FetchesFailed++
+		}
+	}
+	if rep.FetchesCompleted > 0 {
+		rep.MeanOverhead = sum / float64(rep.FetchesCompleted)
+	}
+	rep.Net = net.Stats()
+	if sc.Trace {
+		rep.TraceHash = net.TraceHash()
+	}
+	return rep, nil
+}
+
+// launchFetches starts one fetch per object on nd, each with a
+// monotonicity watcher. The whole batch is counted outstanding before
+// any fetch goroutine spawns: a fetch resolving instantly (cancelled
+// context near the deadline) must not zero the count and close allDone
+// while siblings of the same batch are still unlaunched. Callers hold no
+// runner locks.
+func (r *runner) launchFetches(ctx context.Context, nd *simNode) {
+	r.mu.Lock()
+	r.outstanding += len(r.ids)
+	r.mu.Unlock()
+	for _, id := range r.ids {
+		go r.fetchOne(ctx, nd, id)
+	}
+}
+
+func (r *runner) fetchOne(ctx context.Context, nd *simNode, id packet.ObjectID) {
+	defer r.resolveOne()
+	mw := &monoWatch{r: r, node: nd.name, obj: id.String()}
+	cancelW := nd.sess.Watch(id, mw.observe)
+	defer cancelW()
+	data, stats, err := nd.sess.Fetch(ctx, id)
+	res := FetchResult{Node: nd.name, Object: id.String()}
+	if err != nil {
+		res.Crashed = nd.isCrashed()
+		res.Err = err.Error()
+		if !res.Crashed && ctx.Err() == nil {
+			r.violatef("node %s object %s: fetch error: %v", nd.name, id, err)
+		}
+	} else {
+		res.Completed = true
+		res.Bytes = len(data)
+		res.Overhead = stats.Overhead()
+		res.CompletedAt = r.net.Elapsed()
+		if !bytes.Equal(data, r.contents[id]) {
+			r.violatef("node %s object %s: fetched bytes differ from served content", nd.name, id)
+		}
+		if r.sc.MaxOverhead > 0 && res.Overhead > r.sc.MaxOverhead {
+			r.violatef("node %s object %s: overhead %.3f over bound %.3f",
+				nd.name, id, res.Overhead, r.sc.MaxOverhead)
+		}
+	}
+	r.mu.Lock()
+	r.results = append(r.results, res)
+	r.mu.Unlock()
+}
+
+func (r *runner) resolveOne() {
+	r.mu.Lock()
+	r.outstanding--
+	if r.outstanding == 0 && r.pendingJoin == 0 {
+		select {
+		case <-r.allDone:
+		default:
+			close(r.allDone)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// applyEvent executes one timeline event on the scheduler goroutine.
+func (r *runner) applyEvent(ctx context.Context, ev Event,
+	startNode func(string, bool, []string) (*simNode, error), peers map[string][]string) {
+	switch ev.Kind {
+	case EvCrash:
+		r.mu.Lock()
+		nd := r.nodes[ev.Node]
+		delete(r.nodes, ev.Node)
+		r.mu.Unlock()
+		if nd == nil {
+			return
+		}
+		nd.setCrashed()
+		nd.removeQ()
+		nd.sess.Close() // also closes the port: the node is gone mid-everything
+		nd.cancel()
+	case EvJoin:
+		r.mu.Lock()
+		r.pendingJoin--
+		r.mu.Unlock()
+		if ctx.Err() != nil {
+			r.resolveNoJoin()
+			return
+		}
+		r.applyUplinkFor(ev.Node, peers[ev.Node])
+		nd, err := startNode(ev.Node, r.sc.Wiring == WiringMesh, peers[ev.Node])
+		if err != nil {
+			r.violatef("join %s: %v", ev.Node, err)
+			r.resolveNoJoin()
+			return
+		}
+		r.launchFetches(ctx, nd)
+	case EvPartition:
+		groups := make([][]transport.Addr, len(ev.Groups))
+		for i, g := range ev.Groups {
+			for _, name := range g {
+				groups[i] = append(groups[i], transport.Addr(name))
+			}
+		}
+		r.net.Partition(groups...)
+	case EvHeal:
+		r.net.Heal()
+	case EvSetLink:
+		if err := r.net.SetLink(transport.Addr(ev.From), transport.Addr(ev.To), ev.Link); err != nil {
+			r.violatef("setlink %s→%s: %v", ev.From, ev.To, err)
+		}
+	}
+}
+
+// applyUplinkFor reshapes one fetcher's uplink directions per
+// Scenario.Uplink, leaving its downlinks on the default shape.
+func (r *runner) applyUplinkFor(name string, peers []string) {
+	if r.sc.Uplink == nil {
+		return
+	}
+	for _, peer := range peers {
+		if err := r.net.SetLink(transport.Addr(name), transport.Addr(peer), *r.sc.Uplink); err != nil {
+			r.violatef("uplink override %s→%s: %v", name, peer, err)
+		}
+	}
+}
+
+// resolveNoJoin re-checks run completion after a join was consumed
+// without launching fetches.
+func (r *runner) resolveNoJoin() {
+	r.mu.Lock()
+	if r.outstanding == 0 && r.pendingJoin == 0 {
+		select {
+		case <-r.allDone:
+		default:
+			close(r.allDone)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (nd *simNode) setCrashed() {
+	nd.mu.Lock()
+	nd.crashed = true
+	nd.mu.Unlock()
+}
+
+func (nd *simNode) isCrashed() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.crashed
+}
+
+// monoWatch asserts the Watch contract along a fetch: snapshots arrive in
+// monotone order — decoded counts and completed generations never
+// regress, Complete never un-completes, the geometry never mutates.
+type monoWatch struct {
+	r    *runner
+	node string
+	obj  string
+
+	mu   sync.Mutex
+	last session.ObjectStats
+	seen bool
+}
+
+func (w *monoWatch) observe(o session.ObjectStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seen {
+		l := w.last
+		switch {
+		case o.Decoded < l.Decoded:
+			w.r.violatef("node %s object %s: Watch decoded regressed %d → %d", w.node, w.obj, l.Decoded, o.Decoded)
+		case o.GensComplete < l.GensComplete:
+			w.r.violatef("node %s object %s: Watch generations-complete regressed %d → %d", w.node, w.obj, l.GensComplete, o.GensComplete)
+		case l.Complete && !o.Complete:
+			w.r.violatef("node %s object %s: Watch un-completed", w.node, w.obj)
+		case l.K != 0 && o.K != 0 && o.K != l.K:
+			w.r.violatef("node %s object %s: Watch K mutated %d → %d", w.node, w.obj, l.K, o.K)
+		case l.Size >= 0 && o.Size >= 0 && o.Size != l.Size:
+			w.r.violatef("node %s object %s: Watch size mutated %d → %d", w.node, w.obj, l.Size, o.Size)
+		}
+	}
+	w.last = o
+	w.seen = true
+}
+
+// inspect is the fabric frame tap implementing the header-size invariant:
+// every DATA frame must parse, match its object's published geometry, and
+// be exactly the O(k/G) wire size the generation layer promises.
+func (r *runner) inspect(from, to transport.Addr, frame []byte) {
+	if len(frame) == 0 || frame[0] != dataTag {
+		return
+	}
+	wv, err := packet.ParseWire(frame[1:])
+	if err != nil {
+		r.violatef("%s→%s: unparseable DATA frame (%d bytes): %v", from, to, len(frame), err)
+		return
+	}
+	g, ok := r.geom[wv.Object]
+	if !ok {
+		r.violatef("%s→%s: DATA for unknown object %v", from, to, wv.Object)
+		return
+	}
+	gens := int(wv.Generations)
+	if gens == 0 {
+		gens = 1
+	}
+	switch {
+	case gens != g.gens:
+		r.violatef("%s→%s: DATA generation count %d, want %d", from, to, gens, g.gens)
+	case wv.K != g.kPer:
+		r.violatef("%s→%s: DATA code length %d, want k/G = %d", from, to, wv.K, g.kPer)
+	case wv.M != g.m:
+		r.violatef("%s→%s: DATA payload size %d, want %d", from, to, wv.M, g.m)
+	case len(frame) != g.wireSize:
+		r.violatef("%s→%s: DATA frame %d bytes, want exactly %d", from, to, len(frame), g.wireSize)
+	default:
+		hdr := len(frame) - 1 - g.m
+		r.mu.Lock()
+		if hdr > r.maxHeader {
+			r.maxHeader = hdr
+		}
+		r.mu.Unlock()
+	}
+}
+
+// hashTimeline digests the resolved schedule: event order, parameters and
+// the wiring choices behind join specs.
+func hashTimeline(timeline []Event, peers map[string][]string) string {
+	h := sha256.New()
+	for _, ev := range timeline {
+		fmt.Fprintf(h, "%d|%s|%s|%v|%s|%s|%+v\n", ev.At, ev.Kind, ev.Node, ev.Groups, ev.From, ev.To, ev.Link)
+	}
+	names := make([]string, 0, len(peers))
+	for n := range peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "%s→%s\n", n, strings.Join(peers[n], ","))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,783 @@
+// Package simnet is a deterministic discrete-event network fabric for
+// exercising the real dissemination stack (internal/session, ltnc/swarm)
+// at swarm scale in virtual time. A Net is a set of ports implementing
+// transport.Transport, joined by directed links with configurable loss,
+// latency, jitter, bandwidth and MTU; partitions split the fabric and
+// heal, ports crash and join. Every random decision — loss coins, jitter
+// draws — comes from per-link RNG streams derived from one seed, so a
+// fabric driven by a scripted workload produces a byte-identical
+// per-frame delivery trace on every run (see TraceHash), and a fabric
+// driven by live sessions replays the same loss pattern per link for a
+// given send sequence.
+//
+// Time is virtual: the Net owns a transport.VClock that every session on
+// the fabric shares, and a scheduler goroutine advances it from one
+// pending deadline (frame delivery, session ticker, timeline event) to
+// the next, pausing between advances until the fabric and its sessions
+// are quiescent — no frames in flight, no decode work buffered
+// (session.Busy). A sixty-second churn scenario therefore runs in a
+// couple of wall seconds, and timers as slow as META resend or idle
+// eviction are exercised in an ordinary `go test`.
+//
+// The scenario engine on top (scenario.go) turns a declarative Scenario —
+// node counts, wiring, link shapes, a timeline of churn/partition events —
+// into a running swarm of real sessions and checks the global invariants
+// the dissemination protocol promises: byte-identical fetch completion,
+// monotone Watch progress, bounded per-packet headers, bounded
+// redundancy overhead, no deadlock.
+package simnet
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltnc/internal/transport"
+	"ltnc/internal/xrand"
+)
+
+// LinkConfig shapes one directed link of the fabric.
+type LinkConfig struct {
+	// Loss drops each frame independently with this probability in [0,1).
+	Loss float64
+	// Latency is the fixed propagation delay; Jitter adds a uniform draw
+	// in [0, Jitter) on top, so frames can overtake each other.
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBPS serializes frames at this many bytes per virtual
+	// second (0 = infinite): a frame's delivery waits for the link to
+	// drain everything sent before it.
+	BandwidthBPS int64
+	// MTU drops frames larger than this many bytes (0 = transport.MaxFrame).
+	MTU int
+}
+
+// Config parameterizes a Net.
+type Config struct {
+	// Seed drives every random decision in the fabric (default 1).
+	Seed int64
+	// DefaultLink shapes links with no SetLink override.
+	DefaultLink LinkConfig
+	// QueueDepth bounds each port's inbound queue (default 64); frames
+	// arriving at a full queue are dropped, as at an overloaded receiver.
+	QueueDepth int
+	// Grid quantizes delivery times up to its multiples (default 1ms).
+	// Coarser grids batch deliveries into fewer scheduler advances —
+	// virtual time resolution traded for wall-time speed.
+	Grid time.Duration
+	// Trace records every frame verdict for TraceHash (default off; the
+	// per-frame records cost memory proportional to traffic).
+	Trace bool
+	// Inspect, when set, sees every frame offered to the fabric before
+	// any verdict, on the sender's goroutine. The bytes are only valid
+	// during the call. Scenario invariant checks (header bounds) hook in
+	// here.
+	Inspect func(from, to transport.Addr, frame []byte)
+
+	// SettleRounds and SettlePoll tune quiescence detection: the
+	// scheduler advances virtual time only after observing the fabric
+	// idle for SettleRounds consecutive polls SettlePoll of real time
+	// apart (defaults 3 and 30µs; SettlePoll < 0 disables sleeping, for
+	// fully scripted fabrics). MaxSettleWait caps how long one advance
+	// waits for quiescence before moving on anyway (default 2s; such
+	// forced advances are counted in Stalls).
+	SettleRounds  int
+	SettlePoll    time.Duration
+	MaxSettleWait time.Duration
+}
+
+func (c *Config) setDefaults() error {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("simnet: queue depth %d < 1", c.QueueDepth)
+	}
+	if c.Grid == 0 {
+		c.Grid = time.Millisecond
+	}
+	if c.Grid < 0 {
+		return fmt.Errorf("simnet: grid %v < 0", c.Grid)
+	}
+	if c.SettleRounds == 0 {
+		c.SettleRounds = 3
+	}
+	if c.SettleRounds < 1 {
+		return fmt.Errorf("simnet: settle rounds %d < 1", c.SettleRounds)
+	}
+	if c.SettlePoll == 0 {
+		c.SettlePoll = 30 * time.Microsecond
+	}
+	if c.MaxSettleWait == 0 {
+		c.MaxSettleWait = 2 * time.Second
+	}
+	return checkLink(c.DefaultLink)
+}
+
+func checkLink(lc LinkConfig) error {
+	if lc.Loss < 0 || lc.Loss >= 1 {
+		return fmt.Errorf("simnet: loss %v outside [0,1)", lc.Loss)
+	}
+	if lc.Latency < 0 || lc.Jitter < 0 {
+		return fmt.Errorf("simnet: negative latency or jitter")
+	}
+	if lc.BandwidthBPS < 0 {
+		return fmt.Errorf("simnet: bandwidth %d < 0", lc.BandwidthBPS)
+	}
+	if lc.MTU < 0 {
+		return fmt.Errorf("simnet: MTU %d < 0", lc.MTU)
+	}
+	return nil
+}
+
+// Verdict classifies the fate of one frame offered to the fabric.
+type Verdict uint8
+
+// The possible frame fates.
+const (
+	Delivered     Verdict = iota // queued at the destination port
+	DropLoss                     // lost to the link's loss coin
+	DropMTU                      // exceeded the link MTU
+	DropQueue                    // destination queue full
+	DropDown                     // destination not attached (down or never existed)
+	DropPartition                // sender and destination in different partition groups
+)
+
+// String names the verdict as used in traces and reports.
+func (v Verdict) String() string {
+	switch v {
+	case Delivered:
+		return "delivered"
+	case DropLoss:
+		return "loss"
+	case DropMTU:
+		return "mtu"
+	case DropQueue:
+		return "queue"
+	case DropDown:
+		return "down"
+	case DropPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Stats aggregates the fabric's frame accounting.
+type Stats struct {
+	Sent          int64 // frames offered (excluding oversize errors)
+	Delivered     int64
+	DropLoss      int64
+	DropMTU       int64
+	DropQueue     int64
+	DropDown      int64
+	DropPartition int64
+	// Stalls counts scheduler advances forced through before the fabric
+	// quiesced (see Config.MaxSettleWait); nonzero values mean virtual
+	// timestamps may be skewed, not that results are wrong.
+	Stalls int64
+}
+
+type linkKey struct{ from, to transport.Addr }
+
+type link struct {
+	cfg      LinkConfig
+	rng      *rand.Rand
+	seq      uint64    // per-link frame counter (send order)
+	nextFree time.Time // bandwidth serialization horizon
+}
+
+// event is one scheduled occurrence: a frame delivery or a callback.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+	del *delivery
+}
+
+type delivery struct {
+	from, to transport.Addr
+	buf      *[]byte
+	size     int
+	linkSeq  uint64
+	sentAt   time.Time
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Net is the deterministic virtual-time network fabric. Create with New,
+// attach ports, Start the scheduler, and Close when done.
+type Net struct {
+	cfg Config
+	clk *transport.VClock
+
+	mu        sync.Mutex
+	ports     map[transport.Addr]*Port
+	links     map[linkKey]*link
+	overrides map[linkKey]LinkConfig
+	groups    map[transport.Addr]int // partition membership; nil = healed
+	events    eventHeap
+	eseq      uint64
+	trace     []TraceRec
+	quiescers map[int]func() bool
+	nextQ     int
+
+	// activity counts frames delivered into port queues but not yet
+	// consumed by a Recv. Frames merely in flight are NOT activity: they
+	// live in the event heap, and advancing the clock toward them is the
+	// scheduler's job — counting them would deadlock quiescence against
+	// time itself.
+	activity atomic.Int64
+	stats    [6]atomic.Int64
+	sent     atomic.Int64
+	stalls   atomic.Int64
+
+	kick      chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New builds a fabric. The scheduler does not run until Start.
+func New(cfg Config) (*Net, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	clk := transport.NewVClock()
+	// Hand each fired session tick to its consumer before advancing
+	// further — the rendezvous that keeps virtual time behind the work it
+	// triggers.
+	clk.SetSyncGrace(2 * time.Millisecond)
+	return &Net{
+		cfg:       cfg,
+		clk:       clk,
+		ports:     make(map[transport.Addr]*Port),
+		links:     make(map[linkKey]*link),
+		overrides: make(map[linkKey]LinkConfig),
+		quiescers: make(map[int]func() bool),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Clock returns the fabric's virtual clock; every session on the fabric
+// must run on it (session.Config.Clock / swarm.Config.Clock).
+func (n *Net) Clock() *transport.VClock { return n.clk }
+
+// Now returns the current virtual time; Elapsed the virtual time since
+// the fabric's base instant.
+func (n *Net) Now() time.Time         { return n.clk.Now() }
+func (n *Net) Elapsed() time.Duration { return n.clk.Since(transport.VClockBase) }
+
+// Start launches the scheduler goroutine that advances virtual time.
+func (n *Net) Start() { n.startOnce.Do(func() { go n.loop() }) }
+
+// Close stops the scheduler and detaches every port.
+func (n *Net) Close() error {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+	n.mu.Lock()
+	ports := make([]*Port, 0, len(n.ports))
+	for _, p := range n.ports {
+		ports = append(ports, p)
+	}
+	n.mu.Unlock()
+	for _, p := range ports {
+		p.Close()
+	}
+	// Release frames still scheduled for delivery.
+	n.mu.Lock()
+	for _, ev := range n.events {
+		if ev.del != nil {
+			transport.PutBuf(ev.del.buf)
+		}
+	}
+	n.events = nil
+	n.mu.Unlock()
+	return nil
+}
+
+// Stats returns the frame accounting so far.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Sent:          n.sent.Load(),
+		Delivered:     n.stats[Delivered].Load(),
+		DropLoss:      n.stats[DropLoss].Load(),
+		DropMTU:       n.stats[DropMTU].Load(),
+		DropQueue:     n.stats[DropQueue].Load(),
+		DropDown:      n.stats[DropDown].Load(),
+		DropPartition: n.stats[DropPartition].Load(),
+		Stalls:        n.stalls.Load(),
+	}
+}
+
+// AddQuiescer registers a predicate the scheduler requires to be true
+// before advancing virtual time — typically a session's Busy() == 0. The
+// returned function unregisters it.
+func (n *Net) AddQuiescer(fn func() bool) (remove func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := n.nextQ
+	n.nextQ++
+	n.quiescers[key] = fn
+	return func() {
+		n.mu.Lock()
+		delete(n.quiescers, key)
+		n.mu.Unlock()
+	}
+}
+
+// After schedules fn to run on the scheduler goroutine once d of virtual
+// time has passed — the hook timeline events (churn, partitions) hang
+// off. Callbacks at equal deadlines run in registration order; fn must
+// not block.
+func (n *Net) After(d time.Duration, fn func()) {
+	n.mu.Lock()
+	n.pushEventLocked(&event{at: n.clk.Now().Add(d), fn: fn})
+	n.mu.Unlock()
+	n.wake()
+}
+
+func (n *Net) pushEventLocked(ev *event) {
+	ev.seq = n.eseq
+	n.eseq++
+	heap.Push(&n.events, ev)
+}
+
+func (n *Net) wake() {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// SetLink overrides the directed link from → to (both directions must be
+// set separately — that is what makes asymmetric links expressible). It
+// applies to frames sent after the call; the link's RNG stream and frame
+// counter are preserved across reconfiguration.
+func (n *Net) SetLink(from, to transport.Addr, lc LinkConfig) error {
+	if err := checkLink(lc); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := linkKey{from, to}
+	n.overrides[key] = lc
+	if l, ok := n.links[key]; ok {
+		l.cfg = lc
+	}
+	return nil
+}
+
+// Partition splits the fabric: frames between addresses in different
+// groups are dropped at delivery time (in-flight frames included).
+// Addresses in no group keep full connectivity. A new Partition replaces
+// the previous one; Heal removes it.
+func (n *Net) Partition(groups ...[]transport.Addr) {
+	m := make(map[transport.Addr]int)
+	for gi, g := range groups {
+		for _, a := range g {
+			m[a] = gi
+		}
+	}
+	n.mu.Lock()
+	n.groups = m
+	n.mu.Unlock()
+}
+
+// Heal removes the current partition.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	n.groups = nil
+	n.mu.Unlock()
+}
+
+func (n *Net) partitionedLocked(from, to transport.Addr) bool {
+	if n.groups == nil {
+		return false
+	}
+	gf, okf := n.groups[from]
+	gt, okt := n.groups[to]
+	return okf && okt && gf != gt
+}
+
+// linkLocked returns (creating on first use) the state of the directed
+// link from → to. The link RNG is seeded from the fabric seed and the
+// endpoint names only, so one link's draw sequence is independent of
+// traffic on every other link.
+func (n *Net) linkLocked(from, to transport.Addr) *link {
+	key := linkKey{from, to}
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	cfg, ok := n.overrides[key]
+	if !ok {
+		cfg = n.cfg.DefaultLink
+	}
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	l := &link{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(xrand.DeriveSeed(n.cfg.Seed, int(uint32(h.Sum64()))))),
+	}
+	n.links[key] = l
+	return l
+}
+
+// Attach creates a port with the given address. Attaching an address that
+// is currently attached fails; a crashed (closed) address may be reused.
+func (n *Net) Attach(addr transport.Addr) (*Port, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("simnet: empty address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.ports[addr]; ok {
+		return nil, fmt.Errorf("simnet: address %q already attached", addr)
+	}
+	p := &Port{
+		net:    n,
+		addr:   addr,
+		queue:  make(chan transport.Frame, n.cfg.QueueDepth),
+		closed: make(chan struct{}),
+	}
+	n.ports[addr] = p
+	return p, nil
+}
+
+// send is the fabric entry point for one frame: the verdict that can be
+// decided at send time (MTU, loss) is taken here with the per-link RNG,
+// and surviving frames are scheduled for delivery after the link's
+// serialization, latency and jitter delays.
+func (n *Net) send(from *Port, to transport.Addr, frame []byte) error {
+	if len(frame) > transport.MaxFrame {
+		return transport.ErrFrameTooBig
+	}
+	if n.cfg.Inspect != nil {
+		n.cfg.Inspect(from.addr, to, frame)
+	}
+	n.sent.Add(1)
+	n.mu.Lock()
+	l := n.linkLocked(from.addr, to)
+	lseq := l.seq
+	l.seq++
+	now := n.clk.Now()
+	// Fixed draw order per link regardless of the frame's fate, so one
+	// frame's verdict never shifts the stream for the frames after it.
+	lossDraw := l.rng.Float64()
+	var jit time.Duration
+	if l.cfg.Jitter > 0 {
+		jit = time.Duration(l.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	mtu := l.cfg.MTU
+	if mtu == 0 {
+		mtu = transport.MaxFrame
+	}
+	if len(frame) > mtu {
+		n.finishLocked(TraceRec{From: from.addr, To: to, Seq: lseq, Size: len(frame), SentAt: now, At: now, Verdict: DropMTU})
+		n.mu.Unlock()
+		return nil
+	}
+	if l.cfg.Loss > 0 && lossDraw < l.cfg.Loss {
+		n.finishLocked(TraceRec{From: from.addr, To: to, Seq: lseq, Size: len(frame), SentAt: now, At: now, Verdict: DropLoss})
+		n.mu.Unlock()
+		return nil
+	}
+	at := now.Add(l.cfg.Latency + jit)
+	if l.cfg.BandwidthBPS > 0 {
+		start := now
+		if l.nextFree.After(start) {
+			start = l.nextFree
+		}
+		ser := time.Duration(float64(len(frame)) / float64(l.cfg.BandwidthBPS) * float64(time.Second))
+		l.nextFree = start.Add(ser)
+		at = l.nextFree.Add(l.cfg.Latency + jit)
+	}
+	if g := n.cfg.Grid; g > 0 {
+		// Quantize up to the grid so deliveries batch into few advances.
+		off := at.Sub(transport.VClockBase)
+		at = transport.VClockBase.Add((off + g - 1) / g * g)
+	}
+	bufp := transport.GetBuf()
+	size := copy(*bufp, frame)
+	n.pushEventLocked(&event{at: at, del: &delivery{
+		from: from.addr, to: to, buf: bufp, size: size, linkSeq: lseq, sentAt: now,
+	}})
+	n.mu.Unlock()
+	n.wake()
+	return nil
+}
+
+// finishLocked records one decided frame fate; n.mu must be held.
+func (n *Net) finishLocked(rec TraceRec) {
+	n.stats[rec.Verdict].Add(1)
+	if n.cfg.Trace {
+		n.trace = append(n.trace, rec)
+	}
+}
+
+// deliver executes one due delivery event: the destination must still be
+// attached and reachable across any partition, and have queue room. The
+// lookup and enqueue happen in one critical section with Port.Close's
+// detach (which also runs under n.mu before its drain), so a frame can
+// never slip into a port that has already been drained — either Close
+// sees it queued and releases it, or deliver sees the port gone.
+func (n *Net) deliver(d *delivery) {
+	now := n.clk.Now()
+	rec := TraceRec{From: d.from, To: d.to, Seq: d.linkSeq, Size: d.size, SentAt: d.sentAt, At: now}
+	n.mu.Lock()
+	dst, up := n.ports[d.to]
+	switch {
+	case !up:
+		rec.Verdict = DropDown
+	case n.partitionedLocked(d.from, d.to):
+		rec.Verdict = DropPartition
+	default:
+		f := transport.NewFrame(d.from, (*d.buf)[:d.size], func() { transport.PutBuf(d.buf) })
+		select {
+		case dst.queue <- f:
+			rec.Verdict = Delivered
+			n.activity.Add(1)
+		default:
+			rec.Verdict = DropQueue
+		}
+	}
+	if rec.Verdict != Delivered {
+		transport.PutBuf(d.buf)
+	}
+	n.finishLocked(rec)
+	n.mu.Unlock()
+}
+
+// loop is the scheduler: quiesce, hop virtual time to the next deadline
+// (frame delivery, clock timer, or After callback), fire it, repeat.
+func (n *Net) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.quiesce()
+		t, ok := n.nextTime()
+		if !ok {
+			select {
+			case <-n.stop:
+				return
+			case <-n.kick:
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		// t is the global minimum over deliveries, callbacks and session
+		// timers, so advancing the clock to t fires exactly the timers due
+		// at t and nothing the fabric still owes an earlier delivery.
+		n.clk.AdvanceTo(t)
+		n.runDue(t)
+	}
+}
+
+func (n *Net) nextTime() (time.Time, bool) {
+	n.mu.Lock()
+	var t time.Time
+	ok := false
+	if len(n.events) > 0 {
+		t, ok = n.events[0].at, true
+	}
+	n.mu.Unlock()
+	if ct, cok := n.clk.NextDeadline(); cok && (!ok || ct.Before(t)) {
+		t, ok = ct, true
+	}
+	return t, ok
+}
+
+// runDue executes every event due at or before t, including events
+// scheduled at t by the events themselves (zero-delay chains).
+func (n *Net) runDue(t time.Time) {
+	for {
+		n.mu.Lock()
+		if len(n.events) == 0 || n.events[0].at.After(t) {
+			n.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&n.events).(*event)
+		n.mu.Unlock()
+		if ev.del != nil {
+			n.deliver(ev.del)
+		} else {
+			ev.fn()
+		}
+	}
+}
+
+// quiesce blocks until the fabric has no frames in flight or queued and
+// every registered quiescer reports idle, observed stably across
+// SettleRounds polls — or until MaxSettleWait of real time has passed
+// (counted in Stalls).
+func (n *Net) quiesce() {
+	deadline := time.Now().Add(n.cfg.MaxSettleWait)
+	idle := 0
+	for idle < n.cfg.SettleRounds {
+		if n.idle() {
+			idle++
+		} else {
+			idle = 0
+			if time.Now().After(deadline) {
+				n.stalls.Add(1)
+				return
+			}
+		}
+		runtime.Gosched()
+		if n.cfg.SettlePoll > 0 {
+			time.Sleep(n.cfg.SettlePoll)
+		}
+	}
+}
+
+func (n *Net) idle() bool {
+	if n.activity.Load() != 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, fn := range n.quiescers {
+		if !fn() {
+			return false
+		}
+	}
+	return true
+}
+
+// Port is one attachment point of the fabric; it implements
+// transport.Transport, so a real session runs on it unchanged.
+type Port struct {
+	net       *Net
+	addr      transport.Addr
+	queue     chan transport.Frame
+	closed    chan struct{}
+	closeOnce sync.Once
+	// handedOut marks a frame returned by Recv whose consumer has not
+	// come back for the next one: it stays counted as fabric activity
+	// until then, so the scheduler cannot advance virtual time in the
+	// window between the frame leaving the queue and the session's own
+	// Busy counter picking it up.
+	handedOut atomic.Bool
+}
+
+var _ transport.Transport = (*Port)(nil)
+
+// LocalAddr returns the port's address on the fabric.
+func (p *Port) LocalAddr() transport.Addr { return p.addr }
+
+// Send offers one frame to the fabric. Sending to an address that is not
+// attached is not an error — the frame vanishes, as a datagram to a dead
+// host would (the DropDown counter records it).
+func (p *Port) Send(to transport.Addr, frame []byte) error {
+	select {
+	case <-p.closed:
+		return transport.ErrClosed
+	default:
+	}
+	return p.net.send(p, to, frame)
+}
+
+// settleHandout releases the activity held for the frame most recently
+// handed to the consumer; idempotent under the Recv/Close race.
+func (p *Port) settleHandout() {
+	if p.handedOut.CompareAndSwap(true, false) {
+		p.net.activity.Add(-1)
+	}
+}
+
+// handout marks the frame being returned by Recv as held by the
+// consumer. If the port was closed while we were between the queue pop
+// and the mark — Close's settle then ran too early to see it — the
+// consumer may never call Recv again, so settle immediately rather than
+// strand the activity count (the CAS in settleHandout makes the
+// Close/Recv pairing settle exactly once).
+func (p *Port) handout(f transport.Frame) (transport.Frame, error) {
+	p.handedOut.Store(true)
+	select {
+	case <-p.closed:
+		p.settleHandout()
+	default:
+	}
+	return f, nil
+}
+
+// Recv returns the next delivered frame. The returned frame stays
+// counted as fabric activity until the consumer calls Recv again —
+// coming back for the next frame is the signal that the previous one
+// has been fully dispatched into the session's own Busy accounting.
+func (p *Port) Recv(ctx context.Context) (transport.Frame, error) {
+	p.settleHandout()
+	select {
+	case f := <-p.queue:
+		return p.handout(f)
+	default:
+	}
+	select {
+	case f := <-p.queue:
+		return p.handout(f)
+	case <-ctx.Done():
+		return transport.Frame{}, ctx.Err()
+	case <-p.closed:
+		return transport.Frame{}, transport.ErrClosed
+	}
+}
+
+// Close detaches the port: pending Recvs fail with ErrClosed, in-flight
+// frames toward it are dropped as DropDown, queued frames are released.
+// The detach runs under n.mu — the same critical section deliver
+// enqueues in — so everything delivered is drained here or counted gone.
+func (p *Port) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.net.mu.Lock()
+		delete(p.net.ports, p.addr)
+		p.net.mu.Unlock()
+		p.settleHandout()
+		for {
+			select {
+			case f := <-p.queue:
+				f.Release()
+				p.net.activity.Add(-1)
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}

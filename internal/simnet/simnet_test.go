@@ -1,0 +1,323 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ltnc/internal/transport"
+)
+
+func newNet(t *testing.T, cfg Config) *Net {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func mustAttach(t *testing.T, n *Net, addr transport.Addr) *Port {
+	t.Helper()
+	p, err := n.Attach(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func recvOne(t *testing.T, p *Port, timeout time.Duration) transport.Frame {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	f, err := p.Recv(ctx)
+	if err != nil {
+		t.Fatalf("recv at %s: %v", p.LocalAddr(), err)
+	}
+	return f
+}
+
+func TestFabricDeliversWithVirtualLatency(t *testing.T) {
+	n := newNet(t, Config{DefaultLink: LinkConfig{Latency: 250 * time.Millisecond}})
+	a := mustAttach(t, n, "a")
+	b := mustAttach(t, n, "b")
+	n.Start()
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvOne(t, b, 5*time.Second)
+	if string(f.Data) != "hello" || f.From != "a" {
+		t.Fatalf("got %q from %s", f.Data, f.From)
+	}
+	f.Release()
+	// A quarter second of virtual latency passed in far less wall time;
+	// the clock sits at the (grid-quantized) delivery instant.
+	if el := n.Elapsed(); el < 250*time.Millisecond || el > 300*time.Millisecond {
+		t.Fatalf("virtual elapsed %v, want ≈250ms", el)
+	}
+}
+
+func TestFabricSendToDownAddressVanishes(t *testing.T) {
+	n := newNet(t, Config{DefaultLink: LinkConfig{Latency: time.Millisecond}})
+	a := mustAttach(t, n, "a")
+	n.Start()
+	if err := a.Send("ghost", []byte("x")); err != nil {
+		t.Fatalf("send to down address errored: %v", err)
+	}
+	waitFor(t, time.Second, func() bool { return n.Stats().DropDown == 1 })
+}
+
+func TestFabricMTUAndOversize(t *testing.T) {
+	n := newNet(t, Config{DefaultLink: LinkConfig{MTU: 100}})
+	a := mustAttach(t, n, "a")
+	mustAttach(t, n, "b")
+	n.Start()
+	if err := a.Send("b", make([]byte, transport.MaxFrame+1)); err != transport.ErrFrameTooBig {
+		t.Fatalf("oversize send: %v", err)
+	}
+	if err := a.Send("b", make([]byte, 101)); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.DropMTU != 1 {
+		t.Fatalf("MTU drops = %d, want 1", st.DropMTU)
+	}
+}
+
+func TestFabricPartitionAndHeal(t *testing.T) {
+	n := newNet(t, Config{DefaultLink: LinkConfig{Latency: time.Millisecond}})
+	a := mustAttach(t, n, "a")
+	b := mustAttach(t, n, "b")
+	n.Start()
+	n.Partition([]transport.Addr{"a"}, []transport.Addr{"b"})
+	if err := a.Send("b", []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return n.Stats().DropPartition == 1 })
+	n.Heal()
+	if err := a.Send("b", []byte("open")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvOne(t, b, 5*time.Second)
+	if string(f.Data) != "open" {
+		t.Fatalf("got %q after heal", f.Data)
+	}
+	f.Release()
+}
+
+func TestFabricAsymmetricLink(t *testing.T) {
+	n := newNet(t, Config{DefaultLink: LinkConfig{Latency: time.Millisecond}})
+	if err := n.SetLink("a", "b", LinkConfig{Latency: 500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	a := mustAttach(t, n, "a")
+	b := mustAttach(t, n, "b")
+	n.Start()
+	if err := b.Send("a", []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	f := recvOne(t, a, 5*time.Second)
+	f.Release()
+	fastAt := n.Elapsed()
+	if err := a.Send("b", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	f = recvOne(t, b, 5*time.Second)
+	f.Release()
+	slowAt := n.Elapsed()
+	if fastAt > 50*time.Millisecond {
+		t.Fatalf("reverse direction took %v of virtual time, want ≈1ms", fastAt)
+	}
+	if d := slowAt - fastAt; d < 500*time.Millisecond {
+		t.Fatalf("overridden direction took %v, want ≥500ms", d)
+	}
+}
+
+func TestFabricBandwidthSerializes(t *testing.T) {
+	// 1000 B/s: two 500-byte frames sent back to back arrive ~0.5s apart.
+	n := newNet(t, Config{DefaultLink: LinkConfig{BandwidthBPS: 1000}})
+	a := mustAttach(t, n, "a")
+	b := mustAttach(t, n, "b")
+	n.Start()
+	buf := make([]byte, 500)
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	f := recvOne(t, b, 5*time.Second)
+	f.Release()
+	first := n.Elapsed()
+	f = recvOne(t, b, 5*time.Second)
+	f.Release()
+	second := n.Elapsed()
+	if first < 450*time.Millisecond || first > 600*time.Millisecond {
+		t.Fatalf("first frame at %v, want ≈500ms", first)
+	}
+	if d := second - first; d < 450*time.Millisecond || d > 600*time.Millisecond {
+		t.Fatalf("serialization gap %v, want ≈500ms", d)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// scriptedRun drives a fully scripted workload — every send, churn event
+// and partition issued from scheduler callbacks — over a lossy, jittery
+// 50-port fabric with mid-run crashes, a partition and rejoins, and
+// returns the canonical trace hash plus stats. It is the determinism
+// probe: everything that happens is a pure function of the seed.
+func scriptedRun(t *testing.T, seed int64) (string, Stats) {
+	t.Helper()
+	const (
+		ports  = 50
+		rounds = 30
+	)
+	n, err := New(Config{
+		Seed:       seed,
+		Trace:      true,
+		QueueDepth: 4096,
+		DefaultLink: LinkConfig{
+			Loss:    0.15,
+			Latency: 3 * time.Millisecond,
+			Jitter:  2 * time.Millisecond,
+		},
+		SettleRounds: 1,
+		SettlePoll:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	addr := func(i int) transport.Addr { return transport.Addr(fmt.Sprintf("p%02d", i)) }
+	var mu sync.Mutex
+	live := make(map[int]*Port, ports)
+	var wg sync.WaitGroup
+	drain := func(p *Port) {
+		defer wg.Done()
+		for {
+			f, err := p.Recv(context.Background())
+			if err != nil {
+				return
+			}
+			f.Release()
+		}
+	}
+	up := func(i int) {
+		p, err := n.Attach(addr(i))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		live[i] = p
+		mu.Unlock()
+		wg.Add(1)
+		go drain(p)
+	}
+	down := func(i int) {
+		mu.Lock()
+		p := live[i]
+		delete(live, i)
+		mu.Unlock()
+		if p != nil {
+			p.Close()
+		}
+	}
+	for i := 0; i < ports; i++ {
+		up(i)
+	}
+
+	finished := make(chan struct{})
+	var tick func(round int)
+	tick = func(round int) {
+		if round == rounds {
+			close(finished)
+			return
+		}
+		switch round {
+		case 8: // crash three ports mid-stream
+			down(3)
+			down(7)
+			down(11)
+		case 12: // split the fabric in half
+			var g1, g2 []transport.Addr
+			for i := 0; i < ports; i++ {
+				if i%2 == 0 {
+					g1 = append(g1, addr(i))
+				} else {
+					g2 = append(g2, addr(i))
+				}
+			}
+			n.Partition(g1, g2)
+		case 18: // heal and resurrect
+			n.Heal()
+			up(3)
+			up(7)
+			up(11)
+		}
+		mu.Lock()
+		for i := 0; i < ports; i++ {
+			p := live[i]
+			if p == nil {
+				continue
+			}
+			to := addr((i*7 + round*3 + 1) % ports)
+			payload := make([]byte, 64+(i*13+round)%512)
+			p.Send(to, payload)
+		}
+		mu.Unlock()
+		n.After(2*time.Millisecond, func() { tick(round + 1) })
+	}
+	n.After(time.Millisecond, func() { tick(0) })
+	n.Start()
+
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("scripted workload did not finish")
+	}
+	// Let the tail of in-flight deliveries land before reading the trace.
+	settled := make(chan struct{})
+	n.After(100*time.Millisecond, func() { close(settled) })
+	<-settled
+	hash, stats := n.TraceHash(), n.Stats()
+	n.Close()
+	wg.Wait()
+	return hash, stats
+}
+
+// TestFabricDeterministicTrace is the reproducibility property at the
+// heart of the lab: two runs of the same scripted workload on the same
+// seed produce byte-identical per-frame delivery traces — same verdicts,
+// same virtual timestamps — while a different seed produces a different
+// trace.
+func TestFabricDeterministicTrace(t *testing.T) {
+	h1, st1 := scriptedRun(t, 42)
+	h2, st2 := scriptedRun(t, 42)
+	if h1 != h2 {
+		t.Fatalf("same seed, different traces:\n  %s\n  %s", h1, h2)
+	}
+	if st1 != st2 {
+		t.Fatalf("same seed, different stats:\n  %+v\n  %+v", st1, st2)
+	}
+	if st1.Delivered == 0 || st1.DropLoss == 0 || st1.DropPartition == 0 || st1.DropDown == 0 {
+		t.Fatalf("workload did not exercise all verdicts: %+v", st1)
+	}
+	h3, _ := scriptedRun(t, 43)
+	if h3 == h1 {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}

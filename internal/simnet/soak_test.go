@@ -1,0 +1,26 @@
+//go:build soak
+
+package simnet
+
+import (
+	"testing"
+)
+
+// TestScenarioSoak is the nightly-scale stress run: a 60-node mesh where
+// every node recodes, 10% loss, a mid-run partition and 30% churn across
+// four objects over minutes of virtual time. Build-tagged out of the
+// ordinary test run:
+//
+//	go test -tags soak -run TestScenarioSoak -timeout 30m ./internal/simnet
+func TestScenarioSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak scenario skipped in -short mode")
+	}
+	rep := runScenario(t, "soak", 1)
+	if rep.FetchesCrashed == 0 {
+		t.Errorf("soak churn crashed nothing")
+	}
+	if rep.Net.DropPartition == 0 {
+		t.Errorf("soak partition dropped no frames")
+	}
+}

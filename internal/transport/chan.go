@@ -28,6 +28,10 @@ type SwitchConfig struct {
 	QueueDepth int
 	// Seed drives the loss coin (default 1, deterministic).
 	Seed int64
+	// Clock schedules latency and jitter delays (default: the system
+	// clock). Injecting a VClock makes delayed deliveries fire on virtual
+	// time.
+	Clock Clock
 }
 
 func (c *SwitchConfig) setDefaults() error {
@@ -48,6 +52,9 @@ func (c *SwitchConfig) setDefaults() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock()
 	}
 	return nil
 }
@@ -140,7 +147,7 @@ func (s *Switch) deliver(from, to Addr, frame []byte) error {
 		return nil
 	}
 	s.timers.Add(1)
-	time.AfterFunc(delay, func() {
+	s.cfg.Clock.AfterFunc(delay, func() {
 		defer s.timers.Done()
 		s.push(dst, f)
 	})

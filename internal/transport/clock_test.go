@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSystemClockBasics(t *testing.T) {
+	c := SystemClock()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatalf("Since went backwards")
+	}
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	defer tm.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !fired.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("AfterFunc never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatalf("ticker never ticked")
+	}
+}
+
+func TestVClockFrozenUntilAdvanced(t *testing.T) {
+	c := NewVClock()
+	t0 := c.Now()
+	if !t0.Equal(VClockBase) {
+		t.Fatalf("fresh VClock at %v, want %v", t0, VClockBase)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if !c.Now().Equal(t0) {
+		t.Fatalf("virtual time moved without Advance")
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Since(t0); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestVClockAfterFuncOrderAndStop(t *testing.T) {
+	c := NewVClock()
+	var order []int
+	c.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	tm := c.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	if !tm.Stop() {
+		t.Fatalf("Stop of pending timer reported not pending")
+	}
+	if tm.Stop() {
+		t.Fatalf("second Stop reported pending")
+	}
+	c.Advance(time.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("fire order %v, want [1 3]", order)
+	}
+	// Same-deadline timers fire in registration order.
+	order = nil
+	c.AfterFunc(time.Millisecond, func() { order = append(order, 1) })
+	c.AfterFunc(time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("same-deadline order %v, want [1 2]", order)
+	}
+}
+
+func TestVClockAfterFuncSeesDeadlineNow(t *testing.T) {
+	c := NewVClock()
+	var at time.Time
+	c.AfterFunc(10*time.Millisecond, func() { at = c.Now() })
+	c.Advance(time.Second)
+	if want := VClockBase.Add(10 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback saw Now = %v, want %v", at, want)
+	}
+	if !c.Now().Equal(VClockBase.Add(time.Second)) {
+		t.Fatalf("clock did not land on the advance target")
+	}
+}
+
+func TestVClockChainedAfterFunc(t *testing.T) {
+	// A callback arming a new deadline inside the advance window fires
+	// within the same AdvanceTo.
+	c := NewVClock()
+	var hops int
+	var arm func()
+	arm = func() {
+		hops++
+		if hops < 5 {
+			c.AfterFunc(time.Millisecond, arm)
+		}
+	}
+	c.AfterFunc(time.Millisecond, arm)
+	c.Advance(time.Second)
+	if hops != 5 {
+		t.Fatalf("chained AfterFunc hops = %d, want 5", hops)
+	}
+}
+
+func TestVClockTicker(t *testing.T) {
+	c := NewVClock()
+	tk := c.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	c.Advance(10 * time.Millisecond)
+	select {
+	case at := <-tk.C():
+		if want := VClockBase.Add(10 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("tick at %v, want %v", at, want)
+		}
+	default:
+		t.Fatalf("no tick after one period")
+	}
+	// Unconsumed ticks are dropped, not queued (time.Ticker semantics).
+	c.Advance(50 * time.Millisecond)
+	<-tk.C()
+	select {
+	case <-tk.C():
+		t.Fatalf("ticker queued more than one fire")
+	default:
+	}
+	tk.Stop()
+	c.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatalf("stopped ticker fired")
+	default:
+	}
+}
+
+func TestVClockNextDeadline(t *testing.T) {
+	c := NewVClock()
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatalf("empty clock reported a deadline")
+	}
+	tk := c.NewTicker(20 * time.Millisecond)
+	c.AfterFunc(50*time.Millisecond, func() {})
+	at, ok := c.NextDeadline()
+	if !ok || !at.Equal(VClockBase.Add(20*time.Millisecond)) {
+		t.Fatalf("NextDeadline = %v %v, want ticker deadline", at, ok)
+	}
+	tk.Stop()
+	at, ok = c.NextDeadline()
+	if !ok || !at.Equal(VClockBase.Add(50*time.Millisecond)) {
+		t.Fatalf("NextDeadline after Stop = %v %v, want AfterFunc deadline", at, ok)
+	}
+}
+
+func TestVClockSyncGraceHandsOffTicks(t *testing.T) {
+	c := NewVClock()
+	c.SetSyncGrace(time.Second)
+	tk := c.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	got := make(chan time.Time)
+	go func() {
+		for i := 0; i < 3; i++ {
+			got <- <-tk.C()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		c.Advance(30 * time.Millisecond) // three periods, each handed off
+		close(done)
+	}()
+	for i := 1; i <= 3; i++ {
+		select {
+		case at := <-got:
+			if want := VClockBase.Add(time.Duration(i) * 10 * time.Millisecond); !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, at, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("tick %d never handed off", i)
+		}
+	}
+	<-done
+}

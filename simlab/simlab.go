@@ -1,0 +1,105 @@
+// Package simlab is the public face of the deterministic virtual-time
+// swarm laboratory: declare a Scenario — a population of real
+// dissemination sessions (sources, recoding relays, fetchers) on a shaped
+// network fabric plus a timeline of churn, crash, partition and link
+// events — and Run it. Time is virtual: a minute of protocol time
+// (push ticks, META resend, idle eviction, fetch retries) passes in
+// seconds of wall time, and everything the engine randomizes derives from
+// the scenario seed, so a run resolves identically from (Seed, Scenario).
+//
+// The run checks the invariants the dissemination protocol promises and
+// reports any breach in Report.Violations: every fetch completes
+// byte-identical to the served content, Watch progress is monotone,
+// every DATA frame carries exactly the O(k/G) header the generation
+// layer promises, reception overhead stays under the scenario bound, and
+// the swarm never deadlocks (a wall-clock watchdog backs the virtual
+// deadline).
+//
+// Run a named scenario from the catalog:
+//
+//	sc, _ := simlab.Named("churn50", 1)
+//	rep, err := sc.Run(context.Background())
+//	if err != nil || !rep.Ok() { ... }
+//
+// or declare one:
+//
+//	sc := simlab.Scenario{
+//		Seed: 7, Sources: 1, Relays: 3, Fetchers: 10,
+//		Objects: []simlab.ObjectSpec{{Size: 1 << 20, K: 4096, Generations: 4}},
+//		Link:    simlab.LinkConfig{Loss: 0.05, Latency: 10 * time.Millisecond},
+//		Churn:   simlab.ChurnSpec{Fraction: 0.2},
+//	}
+//
+// The ltnc-sim command exposes the same catalog on the command line
+// (`ltnc-sim -scenario churn50`, JSON on stdout). This package is a
+// facade over
+// internal/simnet; see DESIGN.md §11 for the architecture — the event
+// scheduler, the virtual clock contract with ltnc/transport.Clock, and
+// the quiescence protocol that keeps virtual time behind the work it
+// triggers.
+package simlab
+
+import (
+	"ltnc/internal/simnet"
+)
+
+// Scenario declares a virtual-time swarm experiment; see the package
+// documentation and the field docs for the vocabulary. The zero value of
+// every field selects a sensible default.
+type Scenario = simnet.Scenario
+
+// ObjectSpec describes one object served into the swarm: content size,
+// code length and generation count.
+type ObjectSpec = simnet.ObjectSpec
+
+// LinkConfig shapes one directed link: loss probability, latency, jitter,
+// bandwidth and MTU.
+type LinkConfig = simnet.LinkConfig
+
+// ChurnSpec generates crash-and-rejoin events over the fetcher
+// population.
+type ChurnSpec = simnet.ChurnSpec
+
+// Event is one scheduled occurrence on a scenario timeline; EventKind
+// discriminates crash, join, partition, heal and link reshaping.
+type Event = simnet.Event
+type EventKind = simnet.EventKind
+
+// The timeline event kinds.
+const (
+	EvCrash     = simnet.EvCrash
+	EvJoin      = simnet.EvJoin
+	EvPartition = simnet.EvPartition
+	EvHeal      = simnet.EvHeal
+	EvSetLink   = simnet.EvSetLink
+)
+
+// Wiring selects how the population is peered: star (fetchers subscribe
+// at relays), line (a multihop relay chain), or mesh (every fetcher is
+// also a recoding relay).
+type Wiring = simnet.Wiring
+
+// The wiring shapes.
+const (
+	WiringStar = simnet.WiringStar
+	WiringLine = simnet.WiringLine
+	WiringMesh = simnet.WiringMesh
+)
+
+// Report is the outcome of one scenario run; FetchResult one (node,
+// object) fetch within it. Report.Ok is the "run was clean" summary;
+// Report.Violations itemizes any invariant breach.
+type Report = simnet.Report
+type FetchResult = simnet.FetchResult
+
+// NetStats aggregates the fabric's frame accounting: sent, delivered and
+// every drop cause (loss, MTU, queue overflow, down node, partition).
+type NetStats = simnet.Stats
+
+// List returns the names of the catalog scenarios (churn, partition/heal,
+// relay crash, asymmetric uplink, soak, …).
+func List() []string { return simnet.List() }
+
+// Named returns the catalog scenario with the given name, parameterized
+// by seed (0 = the default seed 1). Run it with Scenario.Run.
+func Named(name string, seed int64) (Scenario, error) { return simnet.Named(name, seed) }

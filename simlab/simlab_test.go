@@ -1,0 +1,64 @@
+package simlab_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ltnc/simlab"
+)
+
+// TestPublicScenarioRoundTrip exercises the lab purely through the public
+// surface: a declared scenario with a relay crash and a user-declared
+// late joiner on the timeline runs to completion with clean invariants
+// (the joiner's peers are resolved by the engine — a declared EvJoin
+// must be fetchable without the caller wiring it).
+func TestPublicScenarioRoundTrip(t *testing.T) {
+	sc := simlab.Scenario{
+		Name:    "public-smoke",
+		Seed:    11,
+		Sources: 1, Relays: 2, Fetchers: 3,
+		Objects: []simlab.ObjectSpec{{Size: 12 << 10, K: 48, Generations: 2}},
+		Link:    simlab.LinkConfig{Loss: 0.02, Latency: 3 * time.Millisecond},
+		Timeline: []simlab.Event{
+			{At: 300 * time.Millisecond, Kind: simlab.EvCrash, Node: "r0"},
+			{At: 400 * time.Millisecond, Kind: simlab.EvJoin, Node: "late0"},
+		},
+		MaxOverhead: 6,
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("run not clean: violations %v, %d failed", rep.Violations, rep.FetchesFailed)
+	}
+	if rep.FetchesCompleted != 4 {
+		t.Fatalf("completed %d of 4 fetches (3 initial + 1 late joiner)", rep.FetchesCompleted)
+	}
+	if rep.VirtualElapsed <= 0 || rep.TimelineHash == "" {
+		t.Fatalf("report missing run evidence: %+v", rep)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	names := simlab.List()
+	if len(names) == 0 {
+		t.Fatal("empty catalog")
+	}
+	found := false
+	for _, n := range names {
+		if n == "churn50" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("churn50 missing from catalog %v", names)
+	}
+	if _, err := simlab.Named("churn50", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simlab.Named("bogus", 5); err == nil {
+		t.Fatal("bogus scenario resolved")
+	}
+}

@@ -1,0 +1,90 @@
+package swarm_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ltnc/swarm"
+	"ltnc/transport"
+)
+
+// TestVirtualClockThroughPublicAPI pins the public clock plumbing: a
+// swarm session configured with a transport.VClock makes progress only
+// when virtual time is advanced, and a full source → fetcher transfer
+// completes under manual advancement.
+func TestVirtualClockThroughPublicAPI(t *testing.T) {
+	clk := transport.NewVClock()
+	clk.SetSyncGrace(2 * time.Millisecond)
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256, Seed: 3, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name transport.Addr) *swarm.Session {
+		port, err := sw.Attach(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := swarm.New(swarm.Config{
+			Transport: port,
+			Tick:      5 * time.Millisecond,
+			Clock:     clk,
+			Seed:      int64(len(name)) + 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.Run(context.Background())
+		}()
+		t.Cleanup(func() {
+			s.Close()
+			<-done
+		})
+		return s
+	}
+	src := mk("source")
+	fetcher := mk("fetcher")
+
+	content := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(content)
+	id, err := src.Serve(content, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	type result struct {
+		data []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		data, _, err := fetcher.Fetch(ctx, id, "source")
+		got <- result{data, err}
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		select {
+		case r := <-got:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if string(r.data) != string(content) {
+				t.Fatalf("fetched bytes differ")
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fetch did not complete under virtual advancement")
+		}
+		clk.Advance(5 * time.Millisecond)
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -134,6 +134,20 @@ func TestGenerationLargeObjectE2E(t *testing.T) {
 		t.Fatalf("fetch report generation progress wrong: %+v", report.Stats)
 	}
 
+	// The terminal Watch snapshot is delivered asynchronously: Fetch wakes
+	// on the done channel, which closes inside the decode path, while the
+	// notification dispatches after that batch's locks drop — so give the
+	// final snapshot a moment to land before asserting on it.
+	watchDeadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		sawAll := maxGensComplete == gens
+		mu.Unlock()
+		if sawAll || time.Now().After(watchDeadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	mu.Lock()
 	if !monotone {
 		t.Error("watch snapshots regressed across generations")

@@ -146,15 +146,20 @@ type Config struct {
 	// ltnc.WithRefinement(false) and ltnc.WithRedundancyDetection(false)
 	// disable the corresponding algorithms (experiments only).
 	Node []ltnc.Option
+	// Clock is the time source behind every session timer — push ticks,
+	// META resend, idle eviction, fetch retries. Default: the system
+	// clock (transport.SystemClock). Simulations inject a virtual clock
+	// so a minute of protocol time passes in milliseconds of wall time;
+	// see ltnc/simlab.
+	Clock transport.Clock
 	// Logf, when set, receives one line per notable event (object
 	// learned, complete, evicted).
 	Logf func(format string, args ...any)
 }
 
 // sessionConfig lowers the public Config onto the internal session
-// configuration, folding the Node options in.
-func (c Config) sessionConfig(tr transport.Transport) session.Config {
-	nc := ltnc.CompileOptions(c.Node...)
+// configuration, folding in the already-compiled Node options.
+func (c Config) sessionConfig(tr transport.Transport, nc ltnc.NodeConfig) session.Config {
 	seed := c.Seed
 	haveSeed := nc.Seeded
 	switch {
@@ -183,6 +188,7 @@ func (c Config) sessionConfig(tr transport.Transport) session.Config {
 		HaveSeed:               haveSeed,
 		DisableRefinement:      nc.DisableRefinement,
 		DisableRedundancyCheck: nc.DisableRedundancyDetection,
+		Clock:                  c.Clock,
 		Logf:                   c.Logf,
 	}
 }
@@ -193,14 +199,19 @@ func (c Config) sessionConfig(tr transport.Transport) session.Config {
 // concurrent use.
 type Session struct {
 	s *session.Session
+	// clk is the session's resolved time source; FetchReport.Elapsed is
+	// measured on it, so a virtual-clocked session reports virtual
+	// transfer time.
+	clk transport.Clock
 	// generations is the configured G preference: 0 = automatic.
 	generations int
 }
 
 // New builds a session from cfg. Call Run to start it; Close when done.
 func New(cfg Config) (*Session, error) {
+	nc := ltnc.CompileOptions(cfg.Node...)
 	gens := cfg.Generations
-	if nc := ltnc.CompileOptions(cfg.Node...); nc.Generations != 0 {
+	if nc.Generations != 0 {
 		gens = nc.Generations
 	}
 	if gens < 0 {
@@ -216,7 +227,7 @@ func New(cfg Config) (*Session, error) {
 			return nil, err
 		}
 	}
-	s, err := session.New(cfg.sessionConfig(tr))
+	s, err := session.New(cfg.sessionConfig(tr, nc))
 	if err != nil {
 		tr.Close() // ownership transferred with the Config, error or not
 		return nil, err
@@ -224,7 +235,11 @@ func New(cfg Config) (*Session, error) {
 	for _, p := range cfg.Peers {
 		s.AddPeer(p)
 	}
-	return &Session{s: s, generations: gens}, nil
+	clk := cfg.Clock
+	if clk == nil {
+		clk = transport.SystemClock()
+	}
+	return &Session{s: s, clk: clk, generations: gens}, nil
 }
 
 // Run pumps the session until ctx ends or the session is closed: it
@@ -309,7 +324,8 @@ func (s *Session) ServeFile(path string, k int) (ObjectID, error) {
 type FetchReport struct {
 	// Bytes is the recovered content length.
 	Bytes int
-	// Elapsed is the wall-clock transfer time.
+	// Elapsed is the transfer time on the session's clock — wall time by
+	// default, virtual time when Config.Clock injects a virtual clock.
 	Elapsed time.Duration
 	// Stats carries the decode-side counters at completion;
 	// Stats.Overhead() is the paper's reception overhead (received
@@ -327,9 +343,9 @@ func (r FetchReport) Overhead() float64 { return r.Stats.Overhead() }
 // Requests are resent periodically until the transfer finishes, ctx
 // expires, or the session closes; the report is meaningful even on error.
 func (s *Session) Fetch(ctx context.Context, id ObjectID, from ...Addr) ([]byte, FetchReport, error) {
-	start := time.Now()
+	start := s.clk.Now()
 	content, stats, err := s.s.Fetch(ctx, id, from...)
-	report := FetchReport{Bytes: len(content), Elapsed: time.Since(start), Stats: stats}
+	report := FetchReport{Bytes: len(content), Elapsed: s.clk.Since(start), Stats: stats}
 	if err != nil {
 		return nil, report, err
 	}

@@ -18,6 +18,7 @@ packages="
 .:api/ltnc.txt
 ./swarm:api/ltnc_swarm.txt
 ./transport:api/ltnc_transport.txt
+./simlab:api/ltnc_simlab.txt
 "
 
 mode="${1:-check}"
