@@ -5,6 +5,11 @@
 // it on every push and archives the JSON so the throughput trajectory is
 // tracked across PRs.
 //
+// With -offload it instead sweeps the edge-cache tier: origin DATA
+// frames versus cache byte budget on the virtual-time flash-crowd
+// scenario, written to OFFLOAD_cache.json (also archived by CI). See
+// EXPERIMENTS.md for the recorded curve.
+//
 // The -ref-* flags attach a fixed reference measurement of the hot path
 // before the batched engine existed (same workload, machine-specific);
 // see EXPERIMENTS.md for provenance.
@@ -46,6 +51,45 @@ func parseGenSweep(s string) ([]int, error) {
 	return out, nil
 }
 
+// runOffload sweeps the origin-offload-vs-budget curve and prints it as
+// a table: what serving the flash crowd costs the origin at each cache
+// budget.
+func runOffload(out *os.File, budgetsArg, outPath string, seed int64) error {
+	var budgets []int64
+	for _, part := range strings.Split(budgetsArg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || b <= 0 {
+			return fmt.Errorf("bad -offload budget %q", part)
+		}
+		budgets = append(budgets, b)
+	}
+	rep, err := experiments.RunOffloadCurve(experiments.OffloadParams{
+		Budgets: budgets,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "edge-cache offload: %d fetchers, %d B object, k=%d, G=%d, seed %d\n",
+		rep.Fetchers, rep.Size, rep.K, rep.Generations, rep.Seed)
+	fmt.Fprintln(out, "budget_bytes\torigin_data_frames\toffload\tcache_rows\tmean_overhead")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(out, "%d\t%d\t%.3f\t%d\t%.2f\n",
+			pt.Budget, pt.OriginDataFrames, pt.Offload, pt.CacheRows, pt.MeanOverhead)
+	}
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("ltnc-bench", flag.ContinueOnError)
 	var (
@@ -63,9 +107,15 @@ func run(args []string, out *os.File) error {
 		refAllocs  = fs.Float64("ref-allocs", 0, "pre-PR reference allocs/packet")
 		refNote    = fs.String("ref-note", "", "provenance note for the pre-PR reference")
 		refKeep    = fs.Bool("ref-keep", true, "carry the pre_pr reference over from an existing -out file when no -ref-* flags are given")
+
+		offload    = fs.String("offload", "", "sweep the edge-cache offload curve over these cache budgets in bytes (comma list) instead of the decode bench")
+		offloadOut = fs.String("offload-out", "OFFLOAD_cache.json", "offload curve output JSON path (empty: stdout only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *offload != "" {
+		return runOffload(out, *offload, *offloadOut, *seed)
 	}
 	// The pre-PR reference is a fixed external measurement (see
 	// tools/prebench); rewriting the JSON must not silently drop it.

@@ -35,9 +35,35 @@ func TestRunWritesReport(t *testing.T) {
 	}
 }
 
+// TestRunOffloadMode: -offload swaps the decode bench for the edge-cache
+// budget sweep and writes the curve artifact.
+func TestRunOffloadMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "offload.json")
+	err := run([]string{
+		"-offload", "65536,98304", "-offload-out", out, "-seed", "1",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.OffloadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 || rep.Points[1].Offload <= 0 {
+		t.Fatalf("offload curve missing or flat: %+v", rep.Points)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-offload", "4096,nope"}, os.Stdout); err == nil {
+		t.Error("malformed offload budget accepted")
 	}
 	if err := run([]string{"-objects", "-3", "-out", ""}, os.Stdout); err == nil {
 		t.Error("negative objects accepted")

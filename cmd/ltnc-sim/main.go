@@ -29,6 +29,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"ltnc/internal/experiments"
 	"ltnc/internal/sim"
@@ -63,10 +64,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *list {
-		for _, name := range simlab.List() {
-			fmt.Fprintln(out, name)
-		}
-		return nil
+		return listScenarios(out)
 	}
 	if *scenario != "" {
 		return runScenario(out, *scenario, *seed)
@@ -96,6 +94,31 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -fig %q (want 7a, 7b, 7c, headline or ablation)", *fig)
 	}
+}
+
+// listScenarios prints the catalog, one scenario per line: name, resolved
+// population (sources/relays/caches/fetchers and object count) and what
+// the scenario exercises.
+func listScenarios(out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tNODES\tOBJECTS\tDESCRIPTION")
+	for _, info := range simlab.Catalog() {
+		var pop []string
+		if info.Sources > 0 {
+			pop = append(pop, fmt.Sprintf("%ds", info.Sources))
+		}
+		if info.Relays > 0 {
+			pop = append(pop, fmt.Sprintf("%dr", info.Relays))
+		}
+		if info.Caches > 0 {
+			pop = append(pop, fmt.Sprintf("%dc", info.Caches))
+		}
+		if info.Fetchers > 0 {
+			pop = append(pop, fmt.Sprintf("%df", info.Fetchers))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", info.Name, strings.Join(pop, "+"), info.Objects, info.Desc)
+	}
+	return tw.Flush()
 }
 
 // runScenario executes one named simlab scenario and prints the full

@@ -83,6 +83,11 @@ func TestRunList(t *testing.T) {
 	if !strings.Contains(buf.String(), "churn50") || !strings.Contains(buf.String(), "partition3hop") {
 		t.Errorf("catalog listing incomplete: %q", buf.String())
 	}
+	// The listing carries the resolved populations and descriptions, not
+	// just names: edge-cache resolves to 1 source + 3 caches + 8 fetchers.
+	if !strings.Contains(buf.String(), "1s+3c+8f") || !strings.Contains(buf.String(), "flash crowd") {
+		t.Errorf("catalog listing lacks populations/descriptions: %q", buf.String())
+	}
 }
 
 func TestRunScenarioSmoke(t *testing.T) {

@@ -1,0 +1,323 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+)
+
+// TestCacheServesFetcher is the edge-cache tier end to end: the origin
+// pushes to a budgeted cache session, the cache absorbs full rank
+// without ever decoding and stops the origin with completion feedback,
+// and a fetcher that only knows the cache gets byte-identical content.
+func TestCacheServesFetcher(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 1024, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "origin"), nil)
+	cacheSess := startSession(t, attach(t, sw, "cache"), func(c *Config) {
+		c.CacheBudget = 256 * 1024
+	})
+	client := startSession(t, attach(t, sw, "client"), nil)
+
+	content := testContent(64*1024, 7)
+	id, err := src.Serve(content, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AddPeer("cache")
+
+	// The cache reaches full rank for every generation purely from the
+	// push stream (no REQ, no decode).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		cs, ok := cacheSess.CacheStats()
+		if !ok {
+			t.Fatal("cache session reports no cache")
+		}
+		if cs.GenerationsFull == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never filled: %+v", cs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := client.Fetch(ctx, id, "cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: %d bytes fetched, %d served", len(got), len(content))
+	}
+	t.Logf("fetched %d bytes via cache, overhead %.3f", len(got), stats.Overhead())
+
+	// The cache held the object the whole time without decoding a native.
+	var cached *ObjectStats
+	for _, o := range cacheSess.Objects() {
+		if o.ID == id {
+			o := o
+			cached = &o
+		}
+	}
+	if cached == nil {
+		t.Fatal("cache session does not hold the object")
+	}
+	if !cached.Cached {
+		t.Fatalf("object not in cache mode: %+v", cached)
+	}
+	if cached.Decoded != 0 {
+		t.Fatalf("cache decoded %d natives; a partial cache must never decode", cached.Decoded)
+	}
+	cs, _ := cacheSess.CacheStats()
+	if cs.ServedFrames == 0 {
+		t.Fatal("cache served no frames")
+	}
+	if cs.Rows != 128 {
+		t.Fatalf("cache holds %d rows, want full rank 128", cs.Rows)
+	}
+}
+
+// TestCacheIdleEvictionPartial: an idle, partially-cached object (the
+// budget forced NoRoom before full rank) is evicted like any other idle
+// state, and its cache bytes are returned to the budget — cache
+// retention must not defeat idle eviction.
+func TestCacheIdleEvictionPartial(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits the entry overhead plus 4 of the object's 8 rows.
+	const rowCost = 1 + 4 + 16 // ceil(8/8) vec + m=4 payload + RowOverhead
+	cacheSess := startSession(t, attach(t, sw, "cache"), func(c *Config) {
+		c.CacheBudget = 128 + 4*rowCost
+		c.Tick = time.Millisecond
+		c.IdleTimeout = 50 * time.Millisecond
+	})
+	probe := attach(t, sw, "probe")
+	defer probe.Close()
+
+	id := packet.NewObjectID([]byte("partial idle"))
+	for i := 0; i < 6; i++ {
+		p := packet.Native(8, i, []byte{byte(i), 1, 2, 3})
+		p.Object = id
+		wire, err := packet.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := probe.Send("cache", append([]byte{frameData}, wire...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cs, _ := cacheSess.CacheStats()
+		if cs.Rows == 4 && cs.RejectedNoRoom > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never partially filled: %+v", cs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for len(cacheSess.Objects()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partially-cached object not evicted; holds %+v", cacheSess.Objects())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cs, _ := cacheSess.CacheStats(); cs.Used != 0 {
+		t.Fatalf("eviction leaked cache bytes: used = %d", cs.Used)
+	}
+}
+
+// TestCachePromoteOnFetch: a session fetching an object it already holds
+// as a full partial cache promotes the cached rows into a decoder and
+// completes without needing a single fresh packet.
+func TestCachePromoteOnFetch(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 1024, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "origin"), nil)
+	cacheSess := startSession(t, attach(t, sw, "cache"), func(c *Config) {
+		c.CacheBudget = 256 * 1024
+	})
+
+	content := testContent(32*1024, 3)
+	id, err := src.Serve(content, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AddPeer("cache")
+
+	// Wait for full coverage and a known size (the origin's META).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		cs, _ := cacheSess.CacheStats()
+		sized := false
+		for _, o := range cacheSess.Objects() {
+			if o.ID == id && o.Size >= 0 {
+				sized = true
+			}
+		}
+		if cs.GenerationsFull == 2 && sized {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cache never filled with size known: %+v", cs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	got, stats, err := cacheSess.Fetch(ctx, id, "origin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("promoted fetch returned wrong content")
+	}
+	if stats.Cached {
+		t.Fatal("object still marked cached after promotion")
+	}
+	if stats.Decoded != 64 {
+		t.Fatalf("decoded %d natives after promotion, want 64", stats.Decoded)
+	}
+	// The cache entry was drained into the decoder.
+	if cs, _ := cacheSess.CacheStats(); cs.Objects != 0 {
+		t.Fatalf("cache still holds %d objects after promotion", cs.Objects)
+	}
+}
+
+// TestPeerTableBounded: the per-object peer table stops growing at
+// maxPeersPerObject — a REQ flood from distinct (spoofable) addresses
+// must not allocate unbounded feedback/steering state.
+func TestPeerTableBounded(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "origin"), func(c *Config) {
+		c.Tick = time.Hour // passive: no pushes interfere
+	})
+	id, err := src.Serve(testContent(1024, 5), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxPeersPerObject+50; i++ {
+		reply, _ := src.handleReq(transport.Addr(fmt.Sprintf("p%d", i)), id[:])
+		if reply == nil {
+			t.Fatalf("REQ %d got no META", i)
+		}
+	}
+	src.mu.Lock()
+	n := len(src.objects[id].peers)
+	src.mu.Unlock()
+	if n > maxPeersPerObject {
+		t.Fatalf("peer table grew to %d entries, bound is %d", n, maxPeersPerObject)
+	}
+	if n < maxPeersPerObject {
+		t.Fatalf("peer table holds %d entries; eviction dropped more than one per REQ", n)
+	}
+}
+
+// TestCacheAdTableBounded: kind-4 advertisements land in a bounded
+// per-object table that keeps the strongest coverage, and fetch steering
+// prefers the advertisers once any exist.
+func TestCacheAdTableBounded(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startSession(t, attach(t, sw, "client"), func(c *Config) {
+		c.Tick = time.Hour
+	})
+	id := packet.NewObjectID([]byte("ad table"))
+	s.mu.Lock()
+	st := s.placeholderLocked(id)
+	s.mu.Unlock()
+
+	for i := 1; i <= maxCacheAds+20; i++ {
+		frame := cacheAdFrame(id, 0, 4, i) // rank strictly increasing
+		s.handleFeedback(transport.Addr(fmt.Sprintf("c%d", i)), frame[1:])
+	}
+	s.mu.Lock()
+	n := len(st.cacheAds)
+	minRank := uint32(1 << 30)
+	for _, ad := range st.cacheAds {
+		minRank = min(minRank, ad.rank)
+	}
+	s.mu.Unlock()
+	if n != maxCacheAds {
+		t.Fatalf("ad table holds %d entries, want bound %d", n, maxCacheAds)
+	}
+	// Strictly increasing ranks: the survivors must be the strongest.
+	if want := uint32(20 + 1); minRank != want {
+		t.Fatalf("weakest surviving ad has rank %d, want %d", minRank, want)
+	}
+
+	// A malformed ad (vacuous coverage) is dropped, not recorded.
+	bad := cacheAdFrame(id, 5, 4, 9) // gensFull > gens
+	s.handleFeedback("mallory", bad[1:])
+	s.mu.Lock()
+	_, recorded := st.cacheAds["mallory"]
+	s.mu.Unlock()
+	if recorded {
+		t.Fatal("inconsistent advertisement was recorded")
+	}
+
+	// Steering: attempt 0 broadcasts, later attempts go to advertisers.
+	all := []transport.Addr{"origin", "other"}
+	if got := s.steerTargets(st, all, 0); len(got) != len(all) {
+		t.Fatalf("attempt 0 steered to %v, want full set", got)
+	}
+	steered := s.steerTargets(st, all, 1)
+	if len(steered) != maxCacheAds {
+		t.Fatalf("attempt 1 steered to %d targets, want the %d advertisers", len(steered), maxCacheAds)
+	}
+	for _, a := range steered {
+		if a == "origin" || a == "other" {
+			t.Fatalf("steered set contains non-advertiser %s", a)
+		}
+	}
+}
+
+// TestCacheAdFrameRoundTrip pins the kind-4 wire form: length, kind
+// byte, and field offsets.
+func TestCacheAdFrameRoundTrip(t *testing.T) {
+	id := packet.NewObjectID([]byte("wire pin"))
+	frame := cacheAdFrame(id, 3, 8, 77)
+	if len(frame) != cacheAdLen {
+		t.Fatalf("frame length %d, want %d", len(frame), cacheAdLen)
+	}
+	if frame[0] != frameFeedback || frame[17] != fbCacheAd {
+		t.Fatalf("frame bytes: type=%#x kind=%#x", frame[0], frame[17])
+	}
+	var gotID packet.ObjectID
+	copy(gotID[:], frame[1:17])
+	if gotID != id {
+		t.Fatal("object id mangled")
+	}
+	if g := binary.BigEndian.Uint32(frame[18:22]); g != 3 {
+		t.Fatalf("gensFull = %d, want 3", g)
+	}
+	if g := binary.BigEndian.Uint32(frame[22:26]); g != 8 {
+		t.Fatalf("gens = %d, want 8", g)
+	}
+	if r := binary.BigEndian.Uint32(frame[26:30]); r != 77 {
+		t.Fatalf("rank = %d, want 77", r)
+	}
+}

@@ -13,7 +13,7 @@ import (
 // are injected synchronously through the same handlers the receive loop
 // and decode workers use, so the fuzzer exercises the full frame-parsing
 // surface (v2 DATA dispatch, REQ, META, FEEDBACK) without timing.
-func fuzzSession(tb testing.TB) (*Session, *transport.Switch) {
+func fuzzSession(tb testing.TB, mut func(*Config)) (*Session, *transport.Switch) {
 	tb.Helper()
 	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 16})
 	if err != nil {
@@ -23,13 +23,17 @@ func fuzzSession(tb testing.TB) (*Session, *transport.Switch) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	s, err := New(Config{
+	cfg := Config{
 		Transport:  tr,
 		Relay:      true,
 		Tick:       time.Hour,
 		MaxObjects: 8,
 		MaxK:       512,
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -109,12 +113,22 @@ func FuzzSessionFrames(f *testing.F) {
 	short := append([]byte(nil), fb...)
 	short[17] = fbGenComplete // kind 3 without its generation id: must drop
 	f.Add(short)
+	ad := cacheAdFrame(id, 1, 4, 16)
+	f.Add(ad)
+	f.Add(ad[:cacheAdLen-3]) // truncated inside the rank
+	f.Add(append(ad, 0x00))  // oversized advertisement
+	vac := append([]byte(nil), ad...)
+	binary.BigEndian.PutUint32(vac[18:22], 9) // gensFull > gens: must drop
+	f.Add(vac)
+	shortAd := append([]byte(nil), fb...)
+	shortAd[17] = fbCacheAd // kind 4 without its coverage body: must drop
+	f.Add(shortAd)
 	f.Add([]byte{frameFeedback})
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xff, 0xff, 0xff})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, _ := fuzzSession(t)
+		s, _ := fuzzSession(t, nil)
 		injectFrame(s, "peer", data)
 		// Whatever arrived, the relay bounds must hold.
 		objs := s.Objects()
@@ -145,7 +159,7 @@ func FuzzSessionFrameSequence(f *testing.F) {
 	f.Add(seq)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, _ := fuzzSession(t)
+		s, _ := fuzzSession(t, nil)
 		for len(data) > 0 {
 			n := int(data[0])
 			data = data[1:]
@@ -157,6 +171,55 @@ func FuzzSessionFrameSequence(f *testing.F) {
 		}
 		if len(s.Objects()) > s.cfg.MaxObjects {
 			t.Fatalf("bounds violated after sequence")
+		}
+	})
+}
+
+// FuzzCacheSessionFrames drives the cache-mode ingest path (admission,
+// feedback synthesis, kind-4 parsing) with arbitrary frame sequences: no
+// input may panic, oversubscribe the byte budget, or grow the object
+// table past its bound.
+func FuzzCacheSessionFrames(f *testing.F) {
+	id := packet.NewObjectID([]byte("cache fuzz"))
+	p := packet.Native(8, 2, make([]byte, 4))
+	p.Object = id
+	wire, _ := packet.Marshal(p)
+	gp := packet.Native(8, 1, make([]byte, 4))
+	gp.Object = id
+	gp.Generation = 3
+	gp.Generations = 4
+	genWire, _ := packet.Marshal(gp)
+	var seq []byte
+	for _, fr := range [][]byte{
+		append([]byte{frameData}, wire...),
+		append([]byte{frameData}, genWire...),
+		encodeReq(id),
+		cacheAdFrame(id, 2, 4, 9),
+	} {
+		seq = append(seq, byte(len(fr)))
+		seq = append(seq, fr...)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _ := fuzzSession(t, func(c *Config) {
+			c.Relay = false
+			c.CacheBudget = 4096
+		})
+		for len(data) > 0 {
+			n := int(data[0])
+			data = data[1:]
+			if n == 0 || n > len(data) {
+				break
+			}
+			injectFrame(s, "peer", data[:n])
+			data = data[n:]
+		}
+		if len(s.Objects()) > s.cfg.MaxObjects {
+			t.Fatalf("bounds violated after sequence")
+		}
+		if cs, ok := s.CacheStats(); !ok || cs.Used > cs.Budget {
+			t.Fatalf("cache budget violated: %+v", cs)
 		}
 	})
 }

@@ -33,14 +33,26 @@
 //	REQ      0x02 | objectID(16)                     subscribe to an object
 //	META     0x03 | objectID(16) | k(4) | m(4) | size(8) [| gens(4)]
 //	               gens-absent form ≡ gens=1 (pre-generation peers)
-//	FEEDBACK 0x04 | objectID(16) | kind(1) [| gen(4)]
+//	FEEDBACK 0x04 | objectID(16) | kind(1) [| gen(4) | gensFull(4) gens(4) rank(4)]
 //	               1=redundant 2=complete 3=generation complete (gen id
-//	               present for kind 3 only)
+//	               present for kind 3 only) 4=cache advertisement
+//	               (gensFull, gens, rank present for kind 4 only)
 //
 // A receiver that completes one generation of a still-incomplete object
 // reports kind 3, and the sender stops recoding that generation toward it
 // — the per-generation analogue of the paper's binary feedback — while
 // recoding round-robins across the generations the peer still needs.
+//
+// A session with Config.CacheBudget set is a partial cache (the coded
+// edge-cache tier, internal/cache): it retains innovative coded rows of
+// objects it learns from the network — never decoding them — under a
+// byte budget, answers REQs for them by serving rows recoded from the
+// cached basis, and emits the same satiation feedback a decoder would
+// (redundant / generation-complete / complete) so an origin stops
+// streaming once the cache covers the object. Kind-4 feedback is its
+// advertisement: a REQ for a cached object is answered with the cache's
+// coverage (generations at full rank, generation count, total rank), and
+// fetchers steer their REQ resends toward advertising peers.
 package session
 
 import (
@@ -49,10 +61,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ltnc/internal/bitvec"
+	"ltnc/internal/cache"
 	"ltnc/internal/generation"
 	"ltnc/internal/lt"
 	"ltnc/internal/packet"
@@ -69,6 +84,7 @@ const (
 	fbRedundant   = 0x01
 	fbComplete    = 0x02
 	fbGenComplete = 0x03
+	fbCacheAd     = 0x04
 
 	reqLen = 1 + 16
 	// META comes in two lengths: the gens-absent legacy form (≡ G=1,
@@ -80,7 +96,23 @@ const (
 	// appends the completed generation id.
 	feedbackLen    = 1 + 16 + 1
 	genFeedbackLen = feedbackLen + 4
+	// Kind 4 (cache advertisement) appends the advertiser's coverage:
+	// generations at full rank, the object's generation count, and the
+	// summed rank across generations.
+	cacheAdLen = feedbackLen + 12
 )
+
+// maxPeersPerObject bounds one object's peer table (REQ subscribers plus
+// feedback/steering state): at capacity a fresh REQ evicts a completed
+// or stalest subscriber, or is dropped. Without the bound the map grows
+// with every address that ever REQed or fed back, for the object's whole
+// lifetime.
+const maxPeersPerObject = 256
+
+// maxCacheAds bounds the per-object table of kind-4 advertisements a
+// fetching session retains for REQ steering; advertisement sources are
+// spoofable addresses, so the table must not grow without limit.
+const maxCacheAds = 32
 
 // satiationLimit is how many consecutive redundancy aborts a peer may
 // report for one object before the session pauses pushing that object to
@@ -110,6 +142,14 @@ type Config struct {
 	// the paper's recoding intermediary. Fetch-only clients leave it
 	// false and decode only objects they asked for.
 	Relay bool
+	// CacheBudget, when positive, makes the session a partial cache for
+	// objects it learns from the network: innovative coded rows are
+	// retained under this global byte budget — never decoded — and
+	// served back to requesters, with admission and eviction policed by
+	// internal/cache. Mutually exclusive with Relay: a relay holds
+	// decode state and recodes live, a cache holds raw rank. Fetching a
+	// cached object promotes its rows into a real decoder first.
+	CacheBudget int64
 	// MaxObjects bounds how many objects a relay will learn from the
 	// network (default 1024); frames for further objects are dropped
 	// until eviction makes room. Locally served and fetched objects are
@@ -220,6 +260,12 @@ func (c *Config) setDefaults() error {
 	if c.IngestQueue < 1 {
 		return fmt.Errorf("session: ingest queue %d < 1", c.IngestQueue)
 	}
+	if c.CacheBudget < 0 {
+		return fmt.Errorf("session: cache budget %d < 0", c.CacheBudget)
+	}
+	if c.CacheBudget > 0 && c.Relay {
+		return errors.New("session: Relay and CacheBudget are mutually exclusive")
+	}
 	if c.Seed == 0 && !c.HaveSeed {
 		c.Seed = 1
 	}
@@ -248,10 +294,13 @@ type ObjectStats struct {
 	GensComplete int
 	GenDecoded   []int
 	Pinned       bool
-	Received     int64 // DATA frames fed into the decoder
-	Aborted      int64 // redundant DATA dropped on the header
-	Sent         int64 // recoded DATA frames pushed
-	Subscribers  int
+	// Cached marks a cache-mode object: the session holds coded rows for
+	// it in the partial cache (no decode state); see Config.CacheBudget.
+	Cached      bool
+	Received    int64 // DATA frames fed into the decoder
+	Aborted     int64 // redundant DATA dropped on the header
+	Sent        int64 // recoded DATA frames pushed
+	Subscribers int
 }
 
 // Overhead returns received packets relative to K — the reception
@@ -276,6 +325,10 @@ type peerState struct {
 	consecRedund  int       // consecutive redundancy aborts reported
 	pauseUntil    time.Time // satiation backoff: push resumes afterwards
 	configuredSub bool      // subscribed via REQ (pruned when idle)
+	// cacheCursor is this peer's position in the cache's serve rotation
+	// (cache mode only). Per peer so concurrent fetchers each walk the
+	// whole cached basis instead of aliasing onto disjoint slices of it.
+	cacheCursor uint64
 	// gensDone marks generations the peer reported complete (kind-3
 	// feedback): recoding toward it skips them. Lazily sized to the
 	// object's G; gensDoneN counts the true entries.
@@ -307,12 +360,22 @@ type objectState struct {
 	gens       atomic.Int32 // generation count G; 0 until the coder exists
 	lastActive atomic.Int64 // unix nanos
 
+	// cached marks a cache-mode object: rows live in Session.cache, no
+	// coder exists, and ingest feeds the cache's admission policy.
+	// Guarded by mu (the decode-plane lock); promotion to a real fetch
+	// clears it.
+	cached bool
+
 	// Guarded by Session.mu.
 	pinned   bool
 	waiters  int // Fetch calls currently blocked on this object
 	sent     int64
 	peers    map[transport.Addr]*peerState
 	watchers map[int]func(ObjectStats) // progress subscriptions (Watch)
+	// cacheAds records kind-4 advertisements received for this object
+	// (bounded by maxCacheAds): which peers hold cached coverage, for
+	// Fetch REQ steering.
+	cacheAds map[transport.Addr]cacheAd
 
 	// notifyMu serializes watcher deliveries for this object: it is held
 	// across snapshot AND callback invocation, so snapshots reach each
@@ -323,6 +386,24 @@ type objectState struct {
 }
 
 func (st *objectState) touch(now time.Time) { st.lastActive.Store(now.UnixNano()) }
+
+// cacheAd is one peer's kind-4 advertisement: how much of an object its
+// partial cache holds. Guarded by Session.mu.
+type cacheAd struct {
+	gensFull uint32 // generations the advertiser holds at full rank
+	gens     uint32 // the object's generation count as advertised
+	rank     uint32 // summed rank across generations
+	at       time.Time
+}
+
+// better orders advertisements for steering and bounded-table eviction:
+// more full generations first, then more rank.
+func (a cacheAd) better(b cacheAd) bool {
+	if a.gensFull != b.gensFull {
+		return a.gensFull > b.gensFull
+	}
+	return a.rank > b.rank
+}
 
 func (st *objectState) peer(addr transport.Addr) *peerState {
 	ps, ok := st.peers[addr]
@@ -346,6 +427,10 @@ type Session struct {
 	cfg Config
 	tr  transport.Transport
 	clk transport.Clock
+	// cache is the partial-cache store when Config.CacheBudget > 0 (the
+	// session runs in cache mode); nil otherwise. It has its own lock
+	// and is only ever a leaf in the lock order.
+	cache *cache.Cache
 
 	mu        sync.Mutex
 	objects   map[packet.ObjectID]*objectState
@@ -377,6 +462,13 @@ func New(cfg Config) (*Session, error) {
 		objects: make(map[packet.ObjectID]*objectState),
 		shards:  make([]chan inFrame, cfg.DecodeWorkers),
 		closed:  make(chan struct{}),
+	}
+	if cfg.CacheBudget > 0 {
+		c, err := cache.New(cache.Config{Budget: cfg.CacheBudget})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
 	}
 	for i := range s.shards {
 		s.shards[i] = make(chan inFrame, cfg.IngestQueue)
@@ -531,6 +623,26 @@ func (s *Session) newStateLocked(id packet.ObjectID, gens, kPer, m int) (*object
 	st.touch(s.clk.Now())
 	s.objects[id] = st
 	return st, nil
+}
+
+// newCachedStateLocked allocates cache-mode state for object id: fixed
+// geometry, no coder — the rows live in s.cache, admission-checked
+// against its per-generation bases. s.mu must be held.
+func (s *Session) newCachedStateLocked(id packet.ObjectID, gens, kPer, m int) *objectState {
+	st := &objectState{
+		id:     id,
+		k:      gens * kPer,
+		kPer:   kPer,
+		m:      m,
+		cached: true,
+		done:   make(chan struct{}),
+		peers:  make(map[transport.Addr]*peerState),
+	}
+	st.size.Store(-1)
+	st.gens.Store(int32(gens))
+	st.touch(s.clk.Now())
+	s.objects[id] = st
+	return st
 }
 
 // ensureCoderLocked materializes decode state for a placeholder created
@@ -700,13 +812,25 @@ func (s *Session) ingestLoop(ctx context.Context, ch chan inFrame) {
 // ingestScratch is a decode worker's reusable batch workspace, so the
 // steady-state ingest loop does not allocate per wakeup.
 type ingestScratch struct {
-	states  []*objectState
-	replies []ingestReply
-	notify  []*objectState
+	states   []*objectState
+	replies  []ingestReply
+	notify   []*objectState
+	forwards []ingestForward
 }
 
 type ingestReply struct {
 	addr  transport.Addr
+	frame []byte
+}
+
+// ingestForward is one DATA frame a budget-bound cache passes through to
+// the object's push targets instead of storing: the row was innovative
+// but the admission policy had no room, and downstream receivers can
+// still use it (pass-through keeps fetchers progressing past partial
+// budgets). The frame bytes are an owned copy.
+type ingestForward struct {
+	st    *objectState
+	from  transport.Addr
 	frame []byte
 }
 
@@ -722,12 +846,15 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	states := scratch.states[:len(batch)]
 	replies := scratch.replies[:0]
 	notify := scratch.notify[:0]
+	forwards := scratch.forwards[:0]
 	defer func() {
 		clear(states) // do not retain object states across batches
 		clear(replies)
 		scratch.replies = replies[:0]
 		clear(notify)
 		scratch.notify = notify[:0]
+		clear(forwards)
+		scratch.forwards = forwards[:0]
 	}()
 	s.mu.Lock()
 	for i := range batch {
@@ -749,7 +876,19 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 			cur = st
 			cur.mu.Lock()
 		}
-		fb, progressed := s.ingestDataLocked(st, &batch[i])
+		var fb []byte
+		var progressed bool
+		if st.cached {
+			var forward bool
+			fb, progressed, forward = s.ingestCachedLocked(st, &batch[i])
+			if forward {
+				forwards = append(forwards, ingestForward{
+					st, batch[i].f.From, append([]byte(nil), batch[i].f.Data...),
+				})
+			}
+		} else {
+			fb, progressed = s.ingestDataLocked(st, &batch[i])
+		}
 		if fb != nil {
 			replies = append(replies, ingestReply{batch[i].f.From, fb})
 		}
@@ -763,6 +902,25 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	}
 	for _, r := range replies {
 		s.tr.Send(r.addr, r.frame)
+	}
+	for _, fw := range forwards {
+		s.mu.Lock()
+		addrs := s.targetsLocked(fw.st, s.clk.Now())
+		s.mu.Unlock()
+		sent := 0
+		for _, a := range addrs {
+			if a == fw.from {
+				continue
+			}
+			if s.tr.Send(a, fw.frame) == nil {
+				sent++
+			}
+		}
+		if sent == 0 {
+			// Nobody downstream wanted it either: throttle the sender the
+			// way a redundant abort would.
+			s.tr.Send(fw.from, feedbackFrame(fw.st.id, fbRedundant))
+		}
 	}
 	for _, st := range notify {
 		s.notifyWatchers(st)
@@ -796,7 +954,20 @@ func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *o
 	gens := genCount(wv.Generations)
 	// Overflow-safe total-k bound: wv.K ≥ 1 is guaranteed by ParseWire,
 	// and gens·wv.K could overflow int on 32-bit builds.
-	if gens > s.cfg.MaxK/wv.K || !s.mayLearnLocked(gens*wv.K) {
+	if gens > s.cfg.MaxK/wv.K {
+		return nil
+	}
+	if s.cache != nil {
+		// Cache mode learns like a relay but allocates no decode state:
+		// rows go to the budgeted cache, which enforces its own limits.
+		if len(s.objects) >= s.cfg.MaxObjects {
+			return nil
+		}
+		st = s.newCachedStateLocked(wv.Object, gens, wv.K, wv.M)
+		s.logf("session: caching %v from %s (k=%d G=%d m=%d)", wv.Object, from, gens*wv.K, gens, wv.M)
+		return st
+	}
+	if !s.mayLearnLocked(gens * wv.K) {
 		return nil
 	}
 	st, err := s.newStateLocked(wv.Object, gens, wv.K, wv.M)
@@ -878,6 +1049,55 @@ func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, pro
 	return nil, true
 }
 
+// ingestCachedLocked is the cache-mode counterpart of ingestDataLocked:
+// the row goes to the cache's admission policy instead of a decoder, and
+// the resulting feedback mirrors what a real decoder would say — so the
+// sender's existing satiation, steering and completion machinery offloads
+// the origin with no new protocol state on its side. st.mu must be held
+// and st.cached true. forward asks the batch layer to pass the frame
+// through to the object's push targets (innovative row, no budget room).
+func (s *Session) ingestCachedLocked(st *objectState, in *inFrame) (fb []byte, progressed, forward bool) {
+	if st.dead {
+		return nil, false, false
+	}
+	gens := int(st.gens.Load())
+	if genCount(in.wv.Generations) != gens || in.wv.K != st.kPer || in.wv.M != st.m {
+		return nil, false, false // inconsistent geometry: drop
+	}
+	now := s.clk.Now()
+	st.touch(now)
+	data := in.f.Data[1:]
+	res := s.cache.Admit(st.id, uint32(gens), st.kPer, st.m, in.wv.Generation,
+		in.wv.VecBytes(data), in.wv.PayloadBytes(data), now)
+	switch res.Verdict {
+	case cache.Stored:
+		st.received++
+		switch {
+		case res.ObjFull:
+			// The cache holds full rank for every generation: the paper's
+			// completion feedback, even though nothing was decoded. The
+			// origin stops pushing — the offload this tier exists for.
+			return feedbackFrame(st.id, fbComplete), true, false
+		case res.GenFull && gens >= 2:
+			return genFeedbackFrame(st.id, int(in.wv.Generation)), true, false
+		}
+		return nil, true, false
+	case cache.Redundant:
+		st.aborted++
+		switch {
+		case res.ObjFull:
+			return feedbackFrame(st.id, fbComplete), false, false
+		case res.GenFull && gens >= 2:
+			return genFeedbackFrame(st.id, int(in.wv.Generation)), false, false
+		}
+		return feedbackFrame(st.id, fbRedundant), false, false
+	case cache.NoRoom:
+		st.aborted++
+		return nil, false, true
+	}
+	return nil, false, false // Mismatch: drop
+}
+
 // completeObjLocked assembles the content of a freshly completed object
 // when its size is known; st.mu must be held. Callers send the completion
 // feedback.
@@ -908,10 +1128,10 @@ func (s *Session) handleFrame(f transport.Frame) {
 	if len(f.Data) == 0 {
 		return
 	}
-	var reply []byte
+	var reply, extra []byte
 	switch f.Data[0] {
 	case frameReq:
-		reply = s.handleReq(f.From, f.Data[1:])
+		reply, extra = s.handleReq(f.From, f.Data[1:])
 	case frameMeta:
 		reply = s.handleMeta(f.From, f.Data[1:])
 	case frameFeedback:
@@ -920,11 +1140,18 @@ func (s *Session) handleFrame(f transport.Frame) {
 	if reply != nil {
 		s.tr.Send(f.From, reply)
 	}
+	if extra != nil {
+		s.tr.Send(f.From, extra)
+	}
 }
 
-func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
+// handleReq registers a subscriber and answers with the object's META
+// when the size is known. A cache-mode session additionally answers with
+// its kind-4 coverage advertisement (the extra frame), so the requester
+// can steer subsequent REQs toward caches.
+func (s *Session) handleReq(from transport.Addr, data []byte) (reply, extra []byte) {
 	if len(data) != reqLen-1 {
-		return nil
+		return nil, nil
 	}
 	var id packet.ObjectID
 	copy(id[:], data)
@@ -932,9 +1159,19 @@ func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
 	defer s.mu.Unlock()
 	st, ok := s.objects[id]
 	if !ok {
-		return nil // unknown object: requester will retry elsewhere
+		return nil, nil // unknown object: requester will retry elsewhere
 	}
-	st.touch(s.clk.Now())
+	now := s.clk.Now()
+	st.touch(now)
+	if s.cache != nil {
+		s.cache.Touch(id, now) // REQ demand drives the eviction score
+		if gensFull, gens, rank, held := s.cache.Coverage(id); held {
+			extra = cacheAdFrame(id, gensFull, gens, rank)
+		}
+	}
+	if _, known := st.peers[from]; !known && len(st.peers) >= maxPeersPerObject && !st.dropOnePeerLocked() {
+		return nil, extra // peer table full of live subscribers: drop the REQ
+	}
 	ps := st.peer(from)
 	ps.lastReq = s.clk.Now()
 	ps.configuredSub = true
@@ -950,10 +1187,34 @@ func (s *Session) handleReq(from transport.Addr, data []byte) []byte {
 	// re-REQing, so a lost reply heals on the next round).
 	ps.metaAt = time.Time{}
 	if st.size.Load() < 0 {
-		return nil
+		return nil, extra
 	}
 	ps.metaAt = s.clk.Now()
-	return s.metaFrame(st)
+	return s.metaFrame(st), extra
+}
+
+// dropOnePeerLocked evicts one entry from a full peer table: a peer that
+// reported completion if any (its state is pure history), else the
+// REQ-subscriber with the stalest REQ. It reports whether an entry was
+// freed — configured push peers are never evicted. Session.mu must be
+// held.
+func (st *objectState) dropOnePeerLocked() bool {
+	var victim transport.Addr
+	var stalest time.Time
+	found := false
+	for addr, ps := range st.peers {
+		if ps.done {
+			delete(st.peers, addr)
+			return true
+		}
+		if ps.configuredSub && (!found || ps.lastReq.Before(stalest)) {
+			victim, stalest, found = addr, ps.lastReq, true
+		}
+	}
+	if found {
+		delete(st.peers, victim)
+	}
+	return found
 }
 
 func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
@@ -986,16 +1247,25 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	s.mu.Lock()
 	st, ok := s.objects[id]
 	if !ok {
-		if !s.mayLearnLocked(k) {
+		switch {
+		case s.cache != nil:
+			if k > s.cfg.MaxK || len(s.objects) >= s.cfg.MaxObjects {
+				s.mu.Unlock()
+				return nil
+			}
+			st = s.newCachedStateLocked(id, gens, kPer, m)
+			s.logf("session: caching %v meta from %s (k=%d G=%d m=%d size=%d)", id, from, k, gens, m, size)
+		case s.mayLearnLocked(k):
+			var err error
+			if st, err = s.newStateLocked(id, gens, kPer, m); err != nil {
+				s.mu.Unlock()
+				return nil
+			}
+			s.logf("session: learned %v meta from %s (k=%d G=%d m=%d size=%d)", id, from, k, gens, m, size)
+		default:
 			s.mu.Unlock()
 			return nil
 		}
-		var err error
-		if st, err = s.newStateLocked(id, gens, kPer, m); err != nil {
-			s.mu.Unlock()
-			return nil
-		}
-		s.logf("session: learned %v meta from %s (k=%d G=%d m=%d size=%d)", id, from, k, gens, m, size)
 	}
 	s.mu.Unlock()
 
@@ -1003,6 +1273,29 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	if st.dead {
 		st.mu.Unlock()
 		return nil // evicted between lookup and locking
+	}
+	if st.cached {
+		if int(st.gens.Load()) != gens || st.kPer != kPer || st.m != m {
+			st.mu.Unlock()
+			return nil // geometry mismatch with the cached rows: drop
+		}
+		st.touch(s.clk.Now())
+		learned := st.size.Load() < 0
+		if learned {
+			st.size.Store(size)
+		}
+		var reply []byte
+		if gensFull, g, _, held := s.cache.Coverage(id); held && g > 0 && gensFull == g {
+			// Full rank for every generation: repeat the completion the
+			// sender evidently has not heard, exactly like the decoder's
+			// idempotent META heal below.
+			reply = feedbackFrame(id, fbComplete)
+		}
+		st.mu.Unlock()
+		if learned {
+			s.notifyWatchers(st)
+		}
+		return reply
 	}
 	if !s.ensureCoderLocked(st, gens, kPer, m) {
 		st.mu.Unlock()
@@ -1035,18 +1328,22 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 
 func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	// Kinds 1 and 2 use the short body; kind 3 appends the completed
-	// generation id.
+	// generation id; kind 4 appends the advertiser's cache coverage.
 	var gen uint32
 	switch len(data) {
 	case feedbackLen - 1:
-		if data[16] == fbGenComplete {
-			return // kind 3 requires its generation id
+		if data[16] == fbGenComplete || data[16] == fbCacheAd {
+			return // kinds 3 and 4 require their extended bodies
 		}
 	case genFeedbackLen - 1:
 		if data[16] != fbGenComplete {
 			return
 		}
 		gen = binary.BigEndian.Uint32(data[17:21])
+	case cacheAdLen - 1:
+		if data[16] != fbCacheAd {
+			return
+		}
 	default:
 		return
 	}
@@ -1056,6 +1353,22 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	defer s.mu.Unlock()
 	st, ok := s.objects[id]
 	if !ok {
+		return
+	}
+	if data[16] == fbCacheAd {
+		// An advertisement names a peer we may FETCH from, not one we
+		// pushed to, so no peer state is required; the bounded per-object
+		// ad table is the only state it may grow.
+		ad := cacheAd{
+			gensFull: binary.BigEndian.Uint32(data[17:21]),
+			gens:     binary.BigEndian.Uint32(data[21:25]),
+			rank:     binary.BigEndian.Uint32(data[25:29]),
+			at:       s.clk.Now(),
+		}
+		if ad.gens == 0 || ad.gensFull > ad.gens || ad.rank == 0 {
+			return // vacuous or inconsistent coverage: drop
+		}
+		st.recordCacheAdLocked(from, ad)
 		return
 	}
 	// Look up without creating: feedback names a peer we pushed to, so
@@ -1099,6 +1412,30 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	}
 }
 
+// recordCacheAdLocked stores one kind-4 advertisement in the object's
+// bounded ad table: at capacity the weakest existing ad is displaced,
+// and an ad weaker than everything present is dropped. Session.mu must
+// be held.
+func (st *objectState) recordCacheAdLocked(from transport.Addr, ad cacheAd) {
+	if st.cacheAds == nil {
+		st.cacheAds = make(map[transport.Addr]cacheAd)
+	}
+	if _, ok := st.cacheAds[from]; !ok && len(st.cacheAds) >= maxCacheAds {
+		var weakest transport.Addr
+		found := false
+		for addr, have := range st.cacheAds {
+			if !found || st.cacheAds[weakest].better(have) {
+				weakest, found = addr, true
+			}
+		}
+		if !found || !ad.better(st.cacheAds[weakest]) {
+			return
+		}
+		delete(st.cacheAds, weakest)
+	}
+	st.cacheAds[from] = ad
+}
+
 // satiationBackoff is how long pushes to a satiated peer pause.
 func (s *Session) satiationBackoff() time.Duration {
 	return max(100*s.cfg.Tick, 50*time.Millisecond)
@@ -1140,6 +1477,7 @@ func (s *Session) push() {
 		st       *objectState
 		addrs    []transport.Addr
 		skips    [][]bool // aligned with addrs; generations done at that peer (nil = none)
+		cursors  []uint64 // aligned with addrs; the peer's cache serve cursor
 		needMeta []transport.Addr
 	}
 	s.mu.Lock()
@@ -1167,6 +1505,7 @@ func (s *Session) push() {
 				done = append([]bool(nil), ps.gensDone...)
 			}
 			pt.skips = append(pt.skips, done)
+			pt.cursors = append(pt.cursors, ps.cacheCursor)
 		}
 		if len(pt.addrs) > 0 {
 			targets = append(targets, pt)
@@ -1186,16 +1525,35 @@ func (s *Session) push() {
 		st   *objectState
 		addr transport.Addr
 	}
+	type cursorMoved struct {
+		st     *objectState
+		addr   transport.Addr
+		cursor uint64
+	}
 	var sends []sent
 	var metas []metaSent
+	var cursors []cursorMoved
 	bufp := transport.GetBuf()
 	defer transport.PutBuf(bufp)
 	for _, pt := range targets {
 		st := pt.st
 		var metaBuf []byte
 		var burst []outPkt
+		serveCache := false
 		st.mu.Lock()
-		if !st.dead && st.coder != nil && (st.coder.Complete() || st.coder.Received() >= s.threshold(st.k)) {
+		switch {
+		case st.dead:
+		case st.cached:
+			// Cache mode: frames come from the cached basis below (the
+			// cache has its own lock); no aggressiveness gate — whatever
+			// rank the cache holds is already worth serving.
+			serveCache = true
+			// A cached object's size stays -1 until the origin's META
+			// arrives; relay META downstream only once it is known.
+			if len(pt.needMeta) > 0 && st.size.Load() >= 0 {
+				metaBuf = s.metaFrame(st)
+			}
+		case st.coder != nil && (st.coder.Complete() || st.coder.Received() >= s.threshold(st.k)):
 			if len(pt.needMeta) > 0 {
 				metaBuf = s.metaFrame(st)
 			}
@@ -1224,11 +1582,32 @@ func (s *Session) push() {
 				}
 			}
 		}
-		if len(burst) == 0 {
-			continue
-		}
 		// One pooled buffer reused for every frame of the burst.
 		n := int64(0)
+		if serveCache {
+			for ai, addr := range pt.addrs {
+				var skip func(uint32) bool
+				if done := pt.skips[ai]; done != nil {
+					skip = func(g uint32) bool { return int(g) < len(done) && done[g] }
+				}
+				// The cursor advances on a snapshot and is written back under
+				// s.mu below — per peer, so each fetcher walks the whole
+				// cached basis (see cache.AppendFrame on aliasing).
+				cur := pt.cursors[ai]
+				for b := 0; b < s.cfg.Burst; b++ {
+					frame, ok := s.cache.AppendFrame(append((*bufp)[:0], frameData), st.id, &cur, skip)
+					if !ok || len(frame) > transport.MaxFrame {
+						break
+					}
+					if s.tr.Send(addr, frame) == nil {
+						n++
+					}
+				}
+				if cur != pt.cursors[ai] {
+					cursors = append(cursors, cursorMoved{st, addr, cur})
+				}
+			}
+		}
 		for _, out := range burst {
 			frame := append((*bufp)[:0], frameData)
 			frame = packet.AppendWire(frame, out.z)
@@ -1243,7 +1622,7 @@ func (s *Session) push() {
 			sends = append(sends, sent{st, n})
 		}
 	}
-	if len(sends) == 0 && len(metas) == 0 {
+	if len(sends) == 0 && len(metas) == 0 && len(cursors) == 0 {
 		return
 	}
 	s.mu.Lock()
@@ -1253,6 +1632,13 @@ func (s *Session) push() {
 	}
 	for _, ms := range metas {
 		ms.st.peer(ms.addr).metaAt = stamp
+	}
+	for _, cm := range cursors {
+		// Write back only to peers still tracked: re-creating one evicted
+		// mid-push just to park a cursor would resurrect it.
+		if ps, ok := cm.st.peers[cm.addr]; ok {
+			ps.cacheCursor = cm.cursor
+		}
 	}
 	s.mu.Unlock()
 }
@@ -1316,6 +1702,11 @@ func (s *Session) evict() {
 			st.mu.Lock()
 			st.dead = true
 			st.mu.Unlock()
+			if s.cache != nil {
+				// Cached rows ride on the object state's lifetime: cache
+				// retention must not outlive (and so defeat) idle eviction.
+				s.cache.Drop(id)
+			}
 			s.logf("session: evicted idle %v", id)
 		}
 	}
@@ -1360,6 +1751,20 @@ func genFeedbackFrame(id packet.ObjectID, gen int) []byte {
 	copy(buf[1:17], id[:])
 	buf[17] = fbGenComplete
 	binary.BigEndian.PutUint32(buf[18:22], uint32(gen))
+	return buf
+}
+
+// cacheAdFrame encodes the kind-4 feedback: the sender holds a partial
+// cache of object id covering gensFull complete generations out of gens
+// with rank innovative rows total.
+func cacheAdFrame(id packet.ObjectID, gensFull, gens uint32, rank int) []byte {
+	buf := make([]byte, cacheAdLen)
+	buf[0] = frameFeedback
+	copy(buf[1:17], id[:])
+	buf[17] = fbCacheAd
+	binary.BigEndian.PutUint32(buf[18:22], gensFull)
+	binary.BigEndian.PutUint32(buf[22:26], gens)
+	binary.BigEndian.PutUint32(buf[26:30], uint32(rank))
 	return buf
 }
 
@@ -1481,15 +1886,26 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 		st.waiters--
 		s.mu.Unlock()
 	}()
+	if s.cache != nil {
+		// Fetching an object this session holds as a partial cache
+		// promotes the cached rows into a real decoder first — every one
+		// innovative by construction — then proceeds as a normal fetch
+		// for the rank still missing.
+		s.promoteCached(st)
+	}
 
 	req := encodeReq(id)
-	// One REQ per candidate peer; the fetch fails only if no peer could
-	// be reached at all (a dead resolve on one address must not mask a
-	// live source on another).
+	// One REQ per candidate peer, steered toward peers advertising
+	// cached coverage once advertisements arrive; the fetch fails only
+	// if no peer could be reached at all (a dead resolve on one address
+	// must not mask a live source on another).
+	attempt := 0
 	sendAll := func() error {
+		targets := s.steerTargets(st, from, attempt)
+		attempt++
 		var firstErr error
 		sent := 0
-		for _, addr := range from {
+		for _, addr := range targets {
 			if err := s.tr.Send(addr, req); err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -1540,6 +1956,86 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 	}
 }
 
+// promoteCached turns a cache-mode object into a normal fetch target:
+// the cached rows seed a freshly materialized decoder — each innovative
+// by construction, the cache stores a basis — the cache entry is
+// dropped, and the object proceeds as an ordinary fetch for the rank
+// still missing. Call with no locks held.
+func (s *Session) promoteCached(st *objectState) {
+	st.mu.Lock()
+	if !st.cached || st.dead {
+		st.mu.Unlock()
+		return
+	}
+	st.cached = false
+	gens := int(st.gens.Load())
+	if !s.ensureCoderLocked(st, gens, st.kPer, st.m) {
+		st.mu.Unlock()
+		return
+	}
+	progressed := false
+	s.cache.Drain(st.id, func(g uint32, vec *bitvec.Vector, payload []byte) {
+		gi := int(g)
+		if gi >= gens || st.coder.GenComplete(gi) {
+			return
+		}
+		v := st.coder.AcquireVec(gi)
+		v.CopyFrom(vec)
+		if st.coder.IsRedundant(gi, v) {
+			st.coder.ReleaseVec(gi, v)
+			return
+		}
+		var row []byte
+		if st.m > 0 {
+			row = st.coder.AcquireRow(gi)
+			copy(row, payload)
+		}
+		// No received++ here: each drained row was counted when it was
+		// admitted to the cache.
+		st.coder.ReceiveOwned(gi, v, row)
+		progressed = true
+	})
+	if st.coder.Complete() {
+		s.completeObjLocked(st)
+	}
+	st.touch(s.clk.Now())
+	st.mu.Unlock()
+	if progressed {
+		s.notifyWatchers(st)
+	}
+}
+
+// steerTargets picks the REQ targets for one resend round: the full
+// candidate set until advertisements arrive (and periodically after, so
+// the origin and fresh caches stay discoverable), otherwise the peers
+// advertising cached coverage for the object, in deterministic order.
+func (s *Session) steerTargets(st *objectState, all []transport.Addr, attempt int) []transport.Addr {
+	if attempt%4 == 0 {
+		return all
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(st.cacheAds) == 0 {
+		return all
+	}
+	out := make([]transport.Addr, 0, len(st.cacheAds))
+	for addr := range st.cacheAds {
+		out = append(out, addr)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// CacheStats returns the partial cache's occupancy and policy counters,
+// and whether the session runs in cache mode at all (Config.CacheBudget
+// > 0).
+func (s *Session) CacheStats() (cache.Stats, bool) {
+	if s.cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
 // statsLocked snapshots one object; s.mu must be held (st.mu is taken
 // briefly for the decode-plane counters).
 func (s *Session) statsLocked(st *objectState) ObjectStats {
@@ -1552,6 +2048,7 @@ func (s *Session) statsLocked(st *objectState) ObjectStats {
 		Size:     st.size.Load(),
 		Received: st.received,
 		Aborted:  st.aborted,
+		Cached:   st.cached,
 	}
 	if st.coder != nil {
 		o.Decoded = st.coder.DecodedCount()

@@ -6,131 +6,156 @@ import (
 	"time"
 )
 
+// namedScenario is one catalog entry: a short description for listings
+// and the seed-parameterized constructor.
+type namedScenario struct {
+	desc string
+	make func(seed int64) Scenario
+}
+
 // named is the catalog of ready-made scenarios; cmd/ltnc-sim runs them by
 // name and the scenario test suite pins them as regression cases. Each
 // takes the seed so a failing run's printed seed replays exactly.
-var named = map[string]func(seed int64) Scenario{
-	// smoke: the minimal sanity swarm — one source, one relay, two
-	// fetchers on a clean fabric.
-	"smoke": func(seed int64) Scenario {
-		return Scenario{
-			Name:    "smoke",
-			Seed:    seed,
-			Sources: 1, Relays: 1, Fetchers: 2,
-			Objects:  []ObjectSpec{{Size: 8 << 10, K: 32}},
-			Link:     LinkConfig{Latency: 2 * time.Millisecond},
-			Duration: 30 * time.Second,
-		}
+var named = map[string]namedScenario{
+	"smoke": {
+		desc: "minimal sanity swarm: one source, one relay, two fetchers on a clean fabric",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "smoke",
+				Seed:    seed,
+				Sources: 1, Relays: 1, Fetchers: 2,
+				Objects:  []ObjectSpec{{Size: 8 << 10, K: 32}},
+				Link:     LinkConfig{Latency: 2 * time.Millisecond},
+				Duration: 30 * time.Second,
+			}
+		},
 	},
-	// churn50: the headline scale case — a 50-node swarm (2 sources, 8
-	// recoding relays, 40 fetchers) over a lossy jittery fabric, with 20%
-	// of the fetchers crashing mid-fetch and being replaced by fresh
-	// joiners. One object is generation-coded, one flat.
-	"churn50": func(seed int64) Scenario {
-		return Scenario{
-			Name:    "churn50",
-			Seed:    seed,
-			Sources: 2, Relays: 8, Fetchers: 40,
-			Objects: []ObjectSpec{
-				{Size: 48 << 10, K: 192, Generations: 4},
-				{Size: 16 << 10, K: 64},
-			},
-			PeersPerFetcher: 2,
-			Link:            LinkConfig{Loss: 0.05, Latency: 5 * time.Millisecond, Jitter: 3 * time.Millisecond},
-			Churn:           ChurnSpec{Fraction: 0.2, Start: 500 * time.Millisecond, Interval: 100 * time.Millisecond},
-			Duration:        60 * time.Second,
-			MaxOverhead:     4,
-		}
+	"churn50": {
+		desc: "50-node swarm over a lossy jittery fabric, 20% of fetchers crash mid-fetch and are replaced",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "churn50",
+				Seed:    seed,
+				Sources: 2, Relays: 8, Fetchers: 40,
+				Objects: []ObjectSpec{
+					{Size: 48 << 10, K: 192, Generations: 4},
+					{Size: 16 << 10, K: 64},
+				},
+				PeersPerFetcher: 2,
+				Link:            LinkConfig{Loss: 0.05, Latency: 5 * time.Millisecond, Jitter: 3 * time.Millisecond},
+				Churn:           ChurnSpec{Fraction: 0.2, Start: 500 * time.Millisecond, Interval: 100 * time.Millisecond},
+				Duration:        60 * time.Second,
+				MaxOverhead:     4,
+			}
+		},
 	},
-	// partition3hop: a three-hop relay chain source → r0 → r1 → r2 with
-	// fetchers at the end; the fabric partitions between r1 and r2 almost
-	// immediately and heals at 3s, so completion is only possible after
-	// the heal — the partition-then-heal recovery case.
-	"partition3hop": func(seed int64) Scenario {
-		return Scenario{
-			Name:    "partition3hop",
-			Seed:    seed,
-			Sources: 1, Relays: 3, Fetchers: 2,
-			Objects: []ObjectSpec{{Size: 32 << 10, K: 128}},
-			Wiring:  WiringLine,
-			Link:    LinkConfig{Loss: 0.02, Latency: 5 * time.Millisecond},
-			Timeline: []Event{
-				{At: 50 * time.Millisecond, Kind: EvPartition, Groups: [][]string{
-					{"s0", "r0", "r1"},
-					{"r2", "f0", "f1"},
-				}},
-				{At: 3 * time.Second, Kind: EvHeal},
-			},
-			Duration:    60 * time.Second,
-			MaxOverhead: 4,
-		}
+	"partition3hop": {
+		desc: "three-hop relay chain partitioned between r1 and r2 until a 3s heal; completion only after recovery",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "partition3hop",
+				Seed:    seed,
+				Sources: 1, Relays: 3, Fetchers: 2,
+				Objects: []ObjectSpec{{Size: 32 << 10, K: 128}},
+				Wiring:  WiringLine,
+				Link:    LinkConfig{Loss: 0.02, Latency: 5 * time.Millisecond},
+				Timeline: []Event{
+					{At: 50 * time.Millisecond, Kind: EvPartition, Groups: [][]string{
+						{"s0", "r0", "r1"},
+						{"r2", "f0", "f1"},
+					}},
+					{At: 3 * time.Second, Kind: EvHeal},
+				},
+				Duration:    60 * time.Second,
+				MaxOverhead: 4,
+			}
+		},
 	},
-	// relay-crash: every fetcher subscribes at both relays; one relay
-	// crashes mid-fetch and the swarm must finish through the other.
-	"relay-crash": func(seed int64) Scenario {
-		return Scenario{
-			Name:    "relay-crash",
-			Seed:    seed,
-			Sources: 1, Relays: 2, Fetchers: 4,
-			Objects:         []ObjectSpec{{Size: 32 << 10, K: 128}},
-			PeersPerFetcher: 2, // = both relays
-			Link:            LinkConfig{Loss: 0.03, Latency: 4 * time.Millisecond, Jitter: 2 * time.Millisecond},
-			Timeline: []Event{
-				{At: 400 * time.Millisecond, Kind: EvCrash, Node: "r0"},
-			},
-			Duration:    60 * time.Second,
-			MaxOverhead: 5,
-		}
+	"relay-crash": {
+		desc: "one of two relays crashes mid-fetch; the swarm must finish through the survivor",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "relay-crash",
+				Seed:    seed,
+				Sources: 1, Relays: 2, Fetchers: 4,
+				Objects:         []ObjectSpec{{Size: 32 << 10, K: 128}},
+				PeersPerFetcher: 2, // = both relays
+				Link:            LinkConfig{Loss: 0.03, Latency: 4 * time.Millisecond, Jitter: 2 * time.Millisecond},
+				Timeline: []Event{
+					{At: 400 * time.Millisecond, Kind: EvCrash, Node: "r0"},
+				},
+				Duration:    60 * time.Second,
+				MaxOverhead: 5,
+			}
+		},
 	},
-	// asym-uplink: edge clients behind harsh uplinks (20% loss, 40ms
-	// extra latency, 64 KiB/s) under a clean downlink — REQs and feedback
-	// struggle upstream while data flows down, the edge-caching shape.
-	"asym-uplink": func(seed int64) Scenario {
-		return Scenario{
-			Name:    "asym-uplink",
-			Seed:    seed,
-			Sources: 1, Relays: 2, Fetchers: 6,
-			Objects:         []ObjectSpec{{Size: 24 << 10, K: 96}},
-			PeersPerFetcher: 2,
-			Link:            LinkConfig{Loss: 0.01, Latency: 3 * time.Millisecond},
-			Uplink:          &LinkConfig{Loss: 0.2, Latency: 40 * time.Millisecond, BandwidthBPS: 64 << 10},
-			Duration:        60 * time.Second,
-			MaxOverhead:     6,
-		}
+	"asym-uplink": {
+		desc: "edge clients behind 20%-loss, 40ms, 64KiB/s uplinks under a clean downlink",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "asym-uplink",
+				Seed:    seed,
+				Sources: 1, Relays: 2, Fetchers: 6,
+				Objects:         []ObjectSpec{{Size: 24 << 10, K: 96}},
+				PeersPerFetcher: 2,
+				Link:            LinkConfig{Loss: 0.01, Latency: 3 * time.Millisecond},
+				Uplink:          &LinkConfig{Loss: 0.2, Latency: 40 * time.Millisecond, BandwidthBPS: 64 << 10},
+				Duration:        60 * time.Second,
+				MaxOverhead:     6,
+			}
+		},
 	},
-	// soak: the long-running stress mix — a 60-node mesh where every
-	// node recodes, heavy loss, a mid-run partition and heavy churn over
-	// four objects. Minutes of virtual time; gated behind `-tags soak`
-	// in the test suite.
-	"soak": func(seed int64) Scenario {
-		return Scenario{
-			Name:    "soak",
-			Seed:    seed,
-			Sources: 1, Fetchers: 59,
-			Wiring: WiringMesh,
-			Objects: []ObjectSpec{
-				{Size: 128 << 10, K: 512, Generations: 8},
-				{Size: 64 << 10, K: 256, Generations: 4},
-				{Size: 32 << 10, K: 128},
-				{Size: 48 << 10, K: 192, Generations: 2},
-			},
-			PeersPerFetcher: 3,
-			Link:            LinkConfig{Loss: 0.1, Latency: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
-			Churn:           ChurnSpec{Fraction: 0.3, Start: 300 * time.Millisecond, Interval: 300 * time.Millisecond},
-			// The partition must overlap the initial bulk transfer to bite:
-			// it opens at 1s (the k=512 object is still streaming) and heals
-			// at 4s, stranding the f0–f9 side from the source mid-object.
-			Timeline: []Event{
-				{At: time.Second, Kind: EvPartition, Groups: [][]string{
-					{"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9"},
-					{"s0", "f10", "f11", "f12", "f13", "f14", "f15"},
-				}},
-				{At: 4 * time.Second, Kind: EvHeal},
-			},
-			Duration:    5 * time.Minute,
-			MaxOverhead: 10,
-			WallBudget:  10 * time.Minute,
-		}
+	"edge-cache": {
+		desc: "flash crowd behind a chain of budgeted partial caches: 8 fetchers pull a hot object from 3 caches that never decode, and the origin serves it roughly once",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "edge-cache",
+				Seed:    seed,
+				Sources: 1, Caches: 3, Fetchers: 8,
+				// One hot 64 KiB object in 4 generations; each cache's
+				// budget comfortably fits it (~70 KiB of rows), so full
+				// coverage — and full origin offload — is reachable.
+				Objects:         []ObjectSpec{{Size: 64 << 10, K: 256, Generations: 4}},
+				CacheBudget:     160 << 10,
+				PeersPerFetcher: 2,
+				Link:            LinkConfig{Latency: 2 * time.Millisecond},
+				Duration:        60 * time.Second,
+				MaxOverhead:     4,
+			}
+		},
+	},
+	"soak": {
+		desc: "60-node recoding mesh, heavy loss, mid-run partition and 30% churn over four objects (-tags soak)",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "soak",
+				Seed:    seed,
+				Sources: 1, Fetchers: 59,
+				Wiring: WiringMesh,
+				Objects: []ObjectSpec{
+					{Size: 128 << 10, K: 512, Generations: 8},
+					{Size: 64 << 10, K: 256, Generations: 4},
+					{Size: 32 << 10, K: 128},
+					{Size: 48 << 10, K: 192, Generations: 2},
+				},
+				PeersPerFetcher: 3,
+				Link:            LinkConfig{Loss: 0.1, Latency: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
+				Churn:           ChurnSpec{Fraction: 0.3, Start: 300 * time.Millisecond, Interval: 300 * time.Millisecond},
+				// The partition must overlap the initial bulk transfer to bite:
+				// it opens at 1s (the k=512 object is still streaming) and heals
+				// at 4s, stranding the f0–f9 side from the source mid-object.
+				Timeline: []Event{
+					{At: time.Second, Kind: EvPartition, Groups: [][]string{
+						{"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9"},
+						{"s0", "f10", "f11", "f12", "f13", "f14", "f15"},
+					}},
+					{At: 4 * time.Second, Kind: EvHeal},
+				},
+				Duration:    5 * time.Minute,
+				MaxOverhead: 10,
+				WallBudget:  10 * time.Minute,
+			}
+		},
 	},
 }
 
@@ -144,12 +169,51 @@ func List() []string {
 	return out
 }
 
+// ScenarioInfo summarizes one catalog entry for listings: what the
+// scenario exercises and how big it is.
+type ScenarioInfo struct {
+	Name     string
+	Desc     string
+	Sources  int
+	Relays   int
+	Caches   int
+	Fetchers int
+	Objects  int
+	Wiring   Wiring
+}
+
+// Catalog returns the named scenarios with their descriptions and
+// resolved population sizes, sorted by name.
+func Catalog() []ScenarioInfo {
+	out := make([]ScenarioInfo, 0, len(named))
+	for _, name := range List() {
+		e := named[name]
+		sc := e.make(1)
+		if err := sc.setDefaults(); err != nil {
+			// Catalog entries are compiled in; a broken one is a bug the
+			// scenario tests catch. Report it as-declared.
+			sc = e.make(1)
+		}
+		out = append(out, ScenarioInfo{
+			Name:     name,
+			Desc:     e.desc,
+			Sources:  sc.Sources,
+			Relays:   sc.Relays,
+			Caches:   sc.Caches,
+			Fetchers: sc.Fetchers,
+			Objects:  len(sc.Objects),
+			Wiring:   sc.Wiring,
+		})
+	}
+	return out
+}
+
 // Named returns the catalog scenario with the given name, parameterized
 // by seed (0 = the scenario's default seed 1).
 func Named(name string, seed int64) (Scenario, error) {
-	fn, ok := named[name]
+	e, ok := named[name]
 	if !ok {
 		return Scenario{}, fmt.Errorf("simnet: unknown scenario %q (have %v)", name, List())
 	}
-	return fn(seed), nil
+	return e.make(seed), nil
 }

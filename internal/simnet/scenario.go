@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"ltnc/internal/cache"
 	"ltnc/internal/packet"
 	"ltnc/internal/session"
 	"ltnc/internal/transport"
@@ -132,6 +133,16 @@ type Scenario struct {
 	Fetchers int
 	Objects  []ObjectSpec
 
+	// Caches inserts a tier of budgeted partial-cache sessions between
+	// the sources and the fetchers: sources push into a cache chain
+	// c0 → c1 → …, fetchers subscribe at caches only, and the caches
+	// retain innovative rows (never decoding) under CacheBudget bytes
+	// each (default 256 KiB). With Caches set, Relays defaults to 0 and
+	// the report counts source-sent DATA frames — the origin-offload
+	// measurement. See internal/cache.
+	Caches      int
+	CacheBudget int64
+
 	// Wiring and fabric shape.
 	Wiring          Wiring
 	PeersPerFetcher int // relays (or mesh peers) each fetcher subscribes at (default 2)
@@ -170,14 +181,25 @@ func (sc *Scenario) setDefaults() error {
 	if sc.Sources == 0 {
 		sc.Sources = 1
 	}
-	if sc.Relays == 0 && sc.Wiring != WiringMesh {
+	if sc.Relays == 0 && sc.Caches == 0 && sc.Wiring != WiringMesh {
 		sc.Relays = 2
 	}
 	if sc.Fetchers == 0 {
 		sc.Fetchers = 4
 	}
-	if sc.Sources < 1 || sc.Relays < 0 || sc.Fetchers < 1 {
-		return fmt.Errorf("simnet: population %d/%d/%d invalid", sc.Sources, sc.Relays, sc.Fetchers)
+	if sc.Sources < 1 || sc.Relays < 0 || sc.Caches < 0 || sc.Fetchers < 1 {
+		return fmt.Errorf("simnet: population %d/%d/%d/%d invalid", sc.Sources, sc.Relays, sc.Caches, sc.Fetchers)
+	}
+	if sc.Caches > 0 {
+		if sc.Wiring != WiringStar {
+			return fmt.Errorf("simnet: cache tier requires star wiring")
+		}
+		if sc.CacheBudget == 0 {
+			sc.CacheBudget = 256 << 10
+		}
+		if sc.CacheBudget < 0 {
+			return fmt.Errorf("simnet: cache budget %d invalid", sc.CacheBudget)
+		}
 	}
 	if sc.Wiring == WiringMesh && sc.Relays != 0 {
 		return fmt.Errorf("simnet: mesh wiring has no designated relays")
@@ -245,6 +267,15 @@ type Report struct {
 	MeanOverhead   float64       `json:"mean_overhead"` // over completed fetches
 	MaxHeaderBytes int           `json:"max_header_bytes"`
 
+	// OriginDataFrames counts DATA frames sent by source nodes onto the
+	// fabric — the origin-load measurement a cache tier is judged by
+	// (with Caches > 0, fetchers subscribe at the caches, so the origin
+	// serves the object roughly once no matter how many fetchers pull).
+	OriginDataFrames int64 `json:"origin_data_frames"`
+	// CacheTiers snapshots each cache node's partial-cache counters at
+	// teardown, keyed by node name (cache-tier scenarios only).
+	CacheTiers map[string]cache.Stats `json:"cache_tiers,omitempty"`
+
 	Net Stats `json:"net"`
 	// TimelineHash digests the resolved event schedule (churn victims,
 	// join specs, partitions): identical across runs of the same
@@ -298,6 +329,10 @@ type runner struct {
 	geom     map[packet.ObjectID]objGeom
 	ids      []packet.ObjectID
 
+	// srcSet marks source addresses; inspect counts their DATA frames
+	// (read-only after setup, so safe on the sender goroutines).
+	srcSet map[transport.Addr]bool
+
 	mu          sync.Mutex
 	nodes       map[string]*simNode
 	violations  []string
@@ -306,6 +341,7 @@ type runner struct {
 	pendingJoin int
 	allDone     chan struct{} // closed when outstanding == pendingJoin == 0
 	maxHeader   int
+	originData  int64
 }
 
 func (r *runner) violatef(format string, args ...any) {
@@ -373,20 +409,32 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for i := range relayNames {
 		relayNames[i] = fmt.Sprintf("r%d", i)
 	}
+	cacheNames := make([]string, sc.Caches)
+	for i := range cacheNames {
+		cacheNames[i] = fmt.Sprintf("c%d", i)
+	}
 	fetcherNames := make([]string, sc.Fetchers)
 	for i := range fetcherNames {
 		fetcherNames[i] = fmt.Sprintf("f%d", i)
 	}
+	r.srcSet = make(map[transport.Addr]bool, sc.Sources)
+	for _, name := range srcNames {
+		r.srcSet[transport.Addr(name)] = true
+	}
 
 	// Wiring resolution (consumes setupRng in fixed order).
 	fetcherTargets := func() []string {
-		switch sc.Wiring {
-		case WiringLine:
+		switch {
+		case sc.Caches > 0:
+			// Cache tier: fetchers never touch the origin directly — the
+			// whole point is that the caches absorb the flash crowd.
+			return cacheNames
+		case sc.Wiring == WiringLine:
 			if sc.Relays > 0 {
 				return []string{relayNames[sc.Relays-1]}
 			}
 			return srcNames
-		case WiringMesh:
+		case sc.Wiring == WiringMesh:
 			return fetcherNames
 		default:
 			return relayNames
@@ -459,7 +507,7 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	// setup takes.
 	per := func(i int) int64 { return xrand.DeriveSeed(sc.Seed, 0x900d+i) }
 	nodeIdx := 0
-	startNode := func(name string, relay bool, peers []string) (*simNode, error) {
+	startNode := func(name string, relay bool, cacheBudget int64, peers []string) (*simNode, error) {
 		port, err := net.Attach(transport.Addr(name))
 		if err != nil {
 			return nil, err
@@ -471,6 +519,7 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 			Aggressiveness: sc.Aggressiveness,
 			IdleTimeout:    sc.IdleTimeout,
 			Relay:          relay,
+			CacheBudget:    cacheBudget,
 			DecodeWorkers:  1,
 			IngestQueue:    256,
 			Seed:           per(nodeIdx),
@@ -513,19 +562,24 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	// against).
 	for i, name := range srcNames {
 		var peers []string
-		switch sc.Wiring {
-		case WiringLine:
+		switch {
+		case sc.Caches > 0:
+			// The origin pushes into the cache chain head only; each cache
+			// feeds the next, so the object crosses the origin's uplink
+			// once regardless of the crowd size.
+			peers = cacheNames[:1]
+		case sc.Wiring == WiringLine:
 			if sc.Relays > 0 {
 				peers = relayNames[:1]
 			}
-		case WiringMesh:
+		case sc.Wiring == WiringMesh:
 			for j := 0; j < min(3, sc.Fetchers); j++ {
 				peers = append(peers, fetcherNames[j])
 			}
 		default:
 			peers = relayNames
 		}
-		nd, err := startNode(name, false, peers)
+		nd, err := startNode(name, false, 0, peers)
 		if err != nil {
 			return nil, err
 		}
@@ -556,14 +610,27 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 		if sc.Wiring == WiringLine && i+1 < sc.Relays {
 			peers = []string{relayNames[i+1]}
 		}
-		if _, err := startNode(name, true, peers); err != nil {
+		if _, err := startNode(name, true, 0, peers); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cache tier: a chain c0 → c1 → …, each node a budgeted partial
+	// cache that learns objects from its upstream's pushes and serves
+	// them onward by recoding from cached rows.
+	for i, name := range cacheNames {
+		var peers []string
+		if i+1 < sc.Caches {
+			peers = []string{cacheNames[i+1]}
+		}
+		if _, err := startNode(name, false, sc.CacheBudget, peers); err != nil {
 			return nil, err
 		}
 	}
 
 	// Fetchers (mesh fetchers double as relays).
 	for _, name := range fetcherNames {
-		nd, err := startNode(name, sc.Wiring == WiringMesh, fetcherPeers[name])
+		nd, err := startNode(name, sc.Wiring == WiringMesh, 0, fetcherPeers[name])
 		if err != nil {
 			return nil, err
 		}
@@ -613,7 +680,14 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	}
 	r.mu.Unlock()
 	cancelAll()
+	var cacheTiers map[string]cache.Stats
 	for _, nd := range nodes {
+		if cs, ok := nd.sess.CacheStats(); ok {
+			if cacheTiers == nil {
+				cacheTiers = make(map[string]cache.Stats)
+			}
+			cacheTiers[nd.name] = cs
+		}
 		nd.removeQ()
 		nd.sess.Close()
 		nd.cancel()
@@ -625,7 +699,8 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		Scenario:       sc.Name,
 		Seed:           sc.Seed,
-		Nodes:          sc.Sources + sc.Relays + sc.Fetchers,
+		Nodes:          sc.Sources + sc.Relays + sc.Caches + sc.Fetchers,
+		CacheTiers:     cacheTiers,
 		VirtualElapsed: virtualElapsed,
 		WallElapsed:    time.Since(wallStart),
 		TimelineHash:   timelineHash,
@@ -635,6 +710,7 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	rep.Fetches = append(rep.Fetches, r.results...)
 	rep.Violations = append(rep.Violations, r.violations...)
 	rep.MaxHeaderBytes = r.maxHeader
+	rep.OriginDataFrames = r.originData
 	r.mu.Unlock()
 	sort.Slice(rep.Fetches, func(i, j int) bool {
 		if rep.Fetches[i].Node != rep.Fetches[j].Node {
@@ -725,7 +801,7 @@ func (r *runner) resolveOne() {
 
 // applyEvent executes one timeline event on the scheduler goroutine.
 func (r *runner) applyEvent(ctx context.Context, ev Event,
-	startNode func(string, bool, []string) (*simNode, error), peers map[string][]string) {
+	startNode func(string, bool, int64, []string) (*simNode, error), peers map[string][]string) {
 	switch ev.Kind {
 	case EvCrash:
 		r.mu.Lock()
@@ -748,7 +824,7 @@ func (r *runner) applyEvent(ctx context.Context, ev Event,
 			return
 		}
 		r.applyUplinkFor(ev.Node, peers[ev.Node])
-		nd, err := startNode(ev.Node, r.sc.Wiring == WiringMesh, peers[ev.Node])
+		nd, err := startNode(ev.Node, r.sc.Wiring == WiringMesh, 0, peers[ev.Node])
 		if err != nil {
 			r.violatef("join %s: %v", ev.Node, err)
 			r.resolveNoJoin()
@@ -852,6 +928,11 @@ func (w *monoWatch) observe(o session.ObjectStats) {
 func (r *runner) inspect(from, to transport.Addr, frame []byte) {
 	if len(frame) == 0 || frame[0] != dataTag {
 		return
+	}
+	if r.srcSet[from] {
+		r.mu.Lock()
+		r.originData++
+		r.mu.Unlock()
 	}
 	wv, err := packet.ParseWire(frame[1:])
 	if err != nil {

@@ -171,6 +171,48 @@ func TestScenarioSmoke(t *testing.T) {
 	runScenario(t, "smoke", 1)
 }
 
+// TestScenarioEdgeCache is the cache-tier acceptance case: 8 fetchers
+// pull one hot object exclusively from 3 budgeted partial caches. Every
+// fetch completes byte-identically (runScenario checks that), no cache
+// ever decodes, and the origin sends at most 1.5× the DATA frames a
+// single fetcher would have needed — the flash crowd is absorbed by
+// recoding from cached rows, the offload this tier exists for.
+func TestScenarioEdgeCache(t *testing.T) {
+	rep := runScenario(t, "edge-cache", 1)
+	sc, _ := Named("edge-cache", 1)
+	k := sc.Objects[0].K
+	bound := int64(1.5 * float64(k))
+	if rep.OriginDataFrames == 0 {
+		t.Fatal("origin sent no DATA frames — the object never entered the swarm")
+	}
+	if rep.OriginDataFrames > bound {
+		t.Errorf("origin sent %d DATA frames for a k=%d object, offload bound is %d",
+			rep.OriginDataFrames, k, bound)
+	}
+	if len(rep.CacheTiers) != sc.Caches {
+		t.Fatalf("report covers %d caches, want %d", len(rep.CacheTiers), sc.Caches)
+	}
+	for name, cs := range rep.CacheTiers {
+		if cs.ServedFrames == 0 {
+			t.Errorf("cache %s served no frames", name)
+		}
+		if cs.Used > cs.Budget {
+			t.Errorf("cache %s over budget: %d > %d", name, cs.Used, cs.Budget)
+		}
+	}
+	t.Logf("origin data frames %d (bound %d) for %d fetchers", rep.OriginDataFrames, bound, sc.Fetchers)
+}
+
+// TestScenarioEdgeCacheReproducible pins determinism for the cache tier:
+// same seed, same origin-frame count and per-cache counters.
+func TestScenarioEdgeCacheReproducible(t *testing.T) {
+	a := runScenario(t, "edge-cache", 5)
+	b := runScenario(t, "edge-cache", 5)
+	if a.TimelineHash != b.TimelineHash {
+		t.Errorf("timeline hash differs across identical runs")
+	}
+}
+
 // TestSeedCorpus replays the regression corpus: seeds that once broke a
 // scenario (or probe interesting corners) are kept in testdata/seeds.txt
 // and replayed on every run, so a fixed failure stays fixed. Append a

@@ -40,6 +40,7 @@
 package simlab
 
 import (
+	"ltnc/internal/cache"
 	"ltnc/internal/simnet"
 )
 
@@ -96,9 +97,21 @@ type FetchResult = simnet.FetchResult
 // every drop cause (loss, MTU, queue overflow, down node, partition).
 type NetStats = simnet.Stats
 
+// CacheTierStats snapshots one edge cache's occupancy and policy
+// counters in a Report (budget, bytes used, rows, served frames, …).
+type CacheTierStats = cache.Stats
+
+// ScenarioInfo summarizes one catalog entry for listings: description
+// and resolved population sizes.
+type ScenarioInfo = simnet.ScenarioInfo
+
 // List returns the names of the catalog scenarios (churn, partition/heal,
-// relay crash, asymmetric uplink, soak, …).
+// relay crash, asymmetric uplink, edge cache, soak, …).
 func List() []string { return simnet.List() }
+
+// Catalog returns the named scenarios with their descriptions and
+// resolved node/object counts, sorted by name.
+func Catalog() []ScenarioInfo { return simnet.Catalog() }
 
 // Named returns the catalog scenario with the given name, parameterized
 // by seed (0 = the default seed 1). Run it with Scenario.Run.

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"ltnc"
+	"ltnc/internal/cache"
 	"ltnc/internal/packet"
 	"ltnc/internal/session"
 	"ltnc/transport"
@@ -66,6 +67,11 @@ func ParseObjectID(s string) (ObjectID, error) { return packet.ParseObjectID(s) 
 // Generations/KPer fields give the geometry and GensComplete/GenDecoded
 // the per-generation decode progress.
 type ObjectStats = session.ObjectStats
+
+// CacheStats is a point-in-time view of a cache-mode session's partial
+// cache: byte occupancy against the budget, held objects/generations/
+// rows, and the admission/eviction/serving counters.
+type CacheStats = cache.Stats
 
 // Errors returned by Session methods.
 var (
@@ -140,6 +146,15 @@ type Config struct {
 	// emit identical coded streams; set Seed (or ltnc.WithSeed in Node)
 	// for reproducible tests and simulations.
 	Seed int64
+	// CacheBudget, when positive, turns the session into a partial edge
+	// cache: objects first heard from the network are retained as
+	// innovative coded rows under this global byte budget — admitted only
+	// when they raise a generation's rank, evicted whole generations at a
+	// time by demand recency × innovation density — and served to
+	// requesters by recoding from the cached rows, without ever decoding.
+	// Mutually exclusive with Relay (a cache deliberately holds no decode
+	// state). See Session.CacheStats.
+	CacheBudget int64
 	// Node carries the root package's functional options to every
 	// per-object decode state the session creates — the same vocabulary
 	// NewNode and NewSource accept. ltnc.WithSeed overrides Seed;
@@ -184,6 +199,7 @@ func (c Config) sessionConfig(tr transport.Transport, nc ltnc.NodeConfig) sessio
 		DecodeWorkers:          c.DecodeWorkers,
 		IngestBatch:            c.IngestBatch,
 		IngestQueue:            c.IngestQueue,
+		CacheBudget:            c.CacheBudget,
 		Seed:                   seed,
 		HaveSeed:               haveSeed,
 		DisableRefinement:      nc.DisableRefinement,
@@ -404,6 +420,10 @@ func (s *Session) Stats() []ObjectStats { return s.s.Objects() }
 func (s *Session) Object(id ObjectID) (ObjectStats, bool) {
 	return s.s.Object(id)
 }
+
+// CacheStats returns the partial cache's occupancy and policy counters;
+// ok is false unless the session was configured with Config.CacheBudget.
+func (s *Session) CacheStats() (CacheStats, bool) { return s.s.CacheStats() }
 
 // IngestDropped returns the number of DATA frames dropped at full decode
 // worker queues — the receiver-overload counter; see Config.IngestQueue.
