@@ -74,6 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fetchCtx, fcancel := context.WithTimeout(ctx, *timeout)
 	defer fcancel()
 	content, report, err := s.Fetch(fetchCtx, id, swarm.Addr(*from))
+	banned := s.BannedPeers()
 	cancel()
 	s.Close()
 	<-runDone
@@ -93,5 +94,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		report.Bytes, report.Elapsed.Round(time.Millisecond),
 		report.Stats.Received, report.Stats.K, report.Stats.Generations,
 		report.Overhead(), report.Stats.Aborted)
+	if report.Stats.HaveManifest {
+		fmt.Fprintf(out, "integrity: %d/%d generations verified", report.Stats.GensVerified, report.Stats.Generations)
+		if report.Stats.Polluted > 0 {
+			fmt.Fprintf(out, ", %d pollution events survived", report.Stats.Polluted)
+		}
+		if len(banned) > 0 {
+			fmt.Fprintf(out, ", banned peers: %v", banned)
+		}
+		fmt.Fprintln(out)
+	}
 	return nil
 }

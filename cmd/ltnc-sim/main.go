@@ -97,8 +97,8 @@ func run(args []string, out io.Writer) error {
 }
 
 // listScenarios prints the catalog, one scenario per line: name, resolved
-// population (sources/relays/caches/fetchers and object count) and what
-// the scenario exercises.
+// population (sources/relays/caches/polluters/fetchers and object count)
+// and what the scenario exercises.
 func listScenarios(out io.Writer) error {
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "NAME\tNODES\tOBJECTS\tDESCRIPTION")
@@ -112,6 +112,9 @@ func listScenarios(out io.Writer) error {
 		}
 		if info.Caches > 0 {
 			pop = append(pop, fmt.Sprintf("%dc", info.Caches))
+		}
+		if info.Polluters > 0 {
+			pop = append(pop, fmt.Sprintf("%dp", info.Polluters))
 		}
 		if info.Fetchers > 0 {
 			pop = append(pop, fmt.Sprintf("%df", info.Fetchers))

@@ -392,6 +392,23 @@ func (c *Cache) Drop(id packet.ObjectID) int64 {
 	return before - c.used
 }
 
+// DropGen removes one generation's cached rows (pollution quarantine:
+// when the session learns a generation failed manifest verification, the
+// cached basis for it may mix forged rows and must never be re-served).
+// It reports the bytes freed; unknown objects and generations free
+// nothing.
+func (c *Cache) DropGen(id packet.ObjectID, gen uint32) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.objects[id]
+	if e == nil || gen >= e.gens || len(e.g[gen].rows) == 0 {
+		return 0
+	}
+	before := c.used
+	c.evictGenLocked(e, int(gen))
+	return before - c.used
+}
+
 // Coverage reports how much of an object the cache holds: generations at
 // full rank, the object's generation count, and the summed rank across
 // generations. ok is false for objects the cache does not hold.

@@ -380,3 +380,67 @@ func TestGeometryMismatchRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestDropGen: quarantining one generation frees exactly its rows, keeps
+// the other generations servable, and dropping the last generation
+// removes the entry entirely.
+func TestDropGen(t *testing.T) {
+	c := mustCache(t, 1<<20)
+	rng := rand.New(rand.NewSource(11))
+	id := oid(0x42)
+	const kPer, m, gens = 8, 32, 3
+	for g := uint32(0); g < gens; g++ {
+		for i := 0; i < 200; i++ {
+			vec, payload := randRow(rng, kPer, m)
+			c.Admit(id, gens, kPer, m, g, vec, payload, t0)
+			if full, _, _, _ := c.Coverage(id); full > g {
+				break
+			}
+		}
+	}
+	full, _, rank, ok := c.Coverage(id)
+	if !ok || full != gens || rank != gens*kPer {
+		t.Fatalf("setup coverage: full=%d rank=%d ok=%v", full, rank, ok)
+	}
+	usedBefore := c.Stats().Used
+
+	if got := c.DropGen(id, 5); got != 0 {
+		t.Errorf("DropGen(out of range) freed %d bytes", got)
+	}
+	if got := c.DropGen(oid(0x99), 0); got != 0 {
+		t.Errorf("DropGen(unknown object) freed %d bytes", got)
+	}
+
+	freed := c.DropGen(id, 1)
+	want := int64(kPer) * RowCost(kPer, m)
+	if freed != want {
+		t.Errorf("DropGen freed %d bytes, want %d", freed, want)
+	}
+	if c.Stats().Used != usedBefore-want {
+		t.Errorf("used %d, want %d", c.Stats().Used, usedBefore-want)
+	}
+	full, _, rank, ok = c.Coverage(id)
+	if !ok || full != gens-1 || rank != (gens-1)*kPer {
+		t.Errorf("after drop: full=%d rank=%d ok=%v", full, rank, ok)
+	}
+	if got := c.DropGen(id, 1); got != 0 {
+		t.Errorf("second DropGen freed %d bytes", got)
+	}
+
+	// A re-fetched (clean) basis for the quarantined generation is
+	// admissible again.
+	vec, payload := randRow(rng, kPer, m)
+	if res := c.Admit(id, gens, kPer, m, 1, vec, payload, t0); res.Verdict != Stored {
+		t.Errorf("readmission after DropGen: %v", res.Verdict)
+	}
+
+	// Dropping the remaining generations removes the entry.
+	c.DropGen(id, 1)
+	c.DropGen(id, 0)
+	if freed := c.DropGen(id, 2); freed == 0 {
+		t.Error("final DropGen freed nothing")
+	}
+	if _, _, _, ok := c.Coverage(id); ok {
+		t.Error("entry survived dropping every generation")
+	}
+}

@@ -65,9 +65,10 @@ type Coder struct {
 	gens     []*core.Node
 	kPer     int
 	m        int
-	next     int // round-robin cursor for Recode
-	complete int // generations fully decoded
-	received int // packets fed in, Seed included (aggressiveness gate)
+	next     int     // round-robin cursor for Recode
+	complete int     // generations fully decoded
+	received int     // packets fed in, Seed included (aggressiveness gate)
+	opts     Options // retained so ResetGen can rebuild a generation node
 }
 
 // New returns an empty generation coder.
@@ -86,6 +87,7 @@ func New(opts Options) (*Coder, error) {
 		gens: make([]*core.Node, opts.Generations),
 		kPer: opts.KPerGeneration,
 		m:    opts.M,
+		opts: opts,
 	}
 	for g := range c.gens {
 		node, err := core.NewNode(core.Options{
@@ -295,6 +297,50 @@ func (c *Coder) AppendGenDecoded(dst []int) []int {
 		dst = append(dst, node.DecodedCount())
 	}
 	return dst
+}
+
+// GenData returns generation g's kPer natives in order once that
+// generation is complete — the unit the integrity layer verifies. The
+// returned slices are live views owned by the generation's decode arena:
+// read-only, and invalid after ResetGen(g).
+func (c *Coder) GenData(g int) ([][]byte, error) {
+	if g < 0 || g >= len(c.gens) {
+		return nil, fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, g, len(c.gens))
+	}
+	data, err := c.gens[g].Data()
+	if err != nil {
+		return nil, fmt.Errorf("generation %d: %w", g, err)
+	}
+	return data, nil
+}
+
+// ResetGen discards generation g's entire decode state and replaces it
+// with a fresh empty node — the session's pollution quarantine: when a
+// completed generation fails manifest verification there is no way to
+// tell which rows were forged, so the generation is re-fetched from
+// scratch. The new node draws from the same deterministic child stream
+// as the old one; the received counter is NOT rolled back (the wasted
+// packets are real reception overhead).
+func (c *Coder) ResetGen(g int) error {
+	if g < 0 || g >= len(c.gens) {
+		return fmt.Errorf("%w: generation %d of %d", ErrBadGeneration, g, len(c.gens))
+	}
+	node, err := core.NewNode(core.Options{
+		K:                      c.kPer,
+		M:                      c.m,
+		DisableRefinement:      c.opts.DisableRefinement,
+		DisableRedundancyCheck: c.opts.DisableRedundancyCheck,
+		Counter:                c.opts.Counter,
+		Rng:                    xrand.NewChild(xrand.DeriveSeed(c.opts.Seed, c.opts.Stream), g),
+	})
+	if err != nil {
+		return err
+	}
+	if c.gens[g].Complete() {
+		c.complete--
+	}
+	c.gens[g] = node
+	return nil
 }
 
 // Data returns all natives in content order once every generation is

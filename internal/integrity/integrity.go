@@ -8,7 +8,10 @@
 // package is the pragmatic stand-in documented in DESIGN.md §5: it
 // verifies decoded natives rather than in-flight encoded packets (which
 // homomorphic hashes would allow), and suffices to detect corruption or
-// pollution at decode time in every example and simulator in this module.
+// pollution at decode time. The dissemination session carries manifests
+// on the wire (MANIFEST frames, DESIGN.md §13) and verifies every
+// generation as it completes; examples/broadcast uses the package
+// directly as an out-of-band check.
 package integrity
 
 import (
@@ -28,8 +31,24 @@ type Manifest struct {
 	digests [][DigestSize]byte
 }
 
+// MaxK and MaxM bound the geometry a wire-decoded manifest may declare:
+// at most 2^24 natives (the packet layer's code-length ceiling) of at
+// most 1 GiB each. Anything larger is rejected before a single digest is
+// touched, so a hostile manifest cannot make the receiver reserve
+// gigabytes of decode state.
+const (
+	MaxK = 1 << 24
+	MaxM = 1 << 30
+)
+
 // ErrCorrupt is wrapped by verification failures.
 var ErrCorrupt = errors.New("integrity: digest mismatch")
+
+// ErrBadManifest is wrapped by every structural rejection of an encoded
+// manifest: truncated or oversized buffers and k or m outside [1, MaxK]
+// resp. [1, MaxM]. Callers ingesting manifests from the network branch on
+// it to distinguish "malformed frame" from "digest mismatch" (ErrCorrupt).
+var ErrBadManifest = errors.New("integrity: bad manifest")
 
 // NewManifest digests the k native payloads of a content (as produced by
 // lt.Split).
@@ -38,6 +57,12 @@ func NewManifest(natives [][]byte) (*Manifest, error) {
 		return nil, errors.New("integrity: no natives")
 	}
 	m := len(natives[0])
+	if m < 1 {
+		return nil, errors.New("integrity: empty native payloads")
+	}
+	if len(natives) > MaxK || m > MaxM {
+		return nil, fmt.Errorf("%w: k=%d m=%d over wire bounds", ErrBadManifest, len(natives), m)
+	}
 	man := &Manifest{
 		k:       len(natives),
 		m:       m,
@@ -58,10 +83,17 @@ func (man *Manifest) K() int { return man.k }
 // M returns the native payload size.
 func (man *Manifest) M() int { return man.m }
 
-// Verify checks the payload of native x against the manifest.
+// Verify checks the payload of native x against the manifest. A payload
+// whose length differs from the manifest's native size m fails before
+// hashing — a digest over the wrong number of bytes can collide with
+// nothing the manifest promises.
 func (man *Manifest) Verify(x int, payload []byte) error {
 	if x < 0 || x >= man.k {
 		return fmt.Errorf("integrity: native %d out of range [0,%d)", x, man.k)
+	}
+	if len(payload) != man.m {
+		return fmt.Errorf("%w: native %d payload is %d bytes, manifest covers %d-byte natives",
+			ErrCorrupt, x, len(payload), man.m)
 	}
 	if sha256.Sum256(payload) != man.digests[x] {
 		return fmt.Errorf("%w: native %d", ErrCorrupt, x)
@@ -95,18 +127,24 @@ func (man *Manifest) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalManifest decodes a manifest produced by MarshalBinary.
+// UnmarshalManifest decodes a manifest produced by MarshalBinary. Both
+// geometry fields are bounded — k in [1, MaxK], m in [1, MaxM] — and the
+// buffer length must match the declared k exactly; violations wrap
+// ErrBadManifest.
 func UnmarshalManifest(data []byte) (*Manifest, error) {
 	if len(data) < 8 {
-		return nil, errors.New("integrity: manifest too short")
+		return nil, fmt.Errorf("%w: %d bytes, want at least 8", ErrBadManifest, len(data))
 	}
 	k := int(binary.BigEndian.Uint32(data[0:]))
 	m := int(binary.BigEndian.Uint32(data[4:]))
-	if k < 1 || k > 1<<24 {
-		return nil, fmt.Errorf("integrity: bad manifest k=%d", k)
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("%w: k=%d outside [1, %d]", ErrBadManifest, k, MaxK)
+	}
+	if m < 1 || m > MaxM {
+		return nil, fmt.Errorf("%w: m=%d outside [1, %d]", ErrBadManifest, m, MaxM)
 	}
 	if len(data) != 8+k*DigestSize {
-		return nil, fmt.Errorf("integrity: manifest is %d bytes, want %d", len(data), 8+k*DigestSize)
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadManifest, len(data), 8+k*DigestSize)
 	}
 	man := &Manifest{k: k, m: m, digests: make([][DigestSize]byte, k)}
 	for i := range man.digests {

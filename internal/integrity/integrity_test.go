@@ -105,12 +105,52 @@ func TestUnmarshalErrors(t *testing.T) {
 			d[0], d[1], d[2], d[3] = 0, 0, 0, 0
 			return d
 		}()},
+		{"zero m", func() []byte {
+			d := append([]byte(nil), data...)
+			d[4], d[5], d[6], d[7] = 0, 0, 0, 0
+			return d
+		}()},
+		{"huge m", func() []byte {
+			d := append([]byte(nil), data...)
+			d[4], d[5], d[6], d[7] = 0xff, 0xff, 0xff, 0xff
+			return d
+		}()},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := UnmarshalManifest(tt.data); err == nil {
-				t.Error("corrupt manifest accepted")
+			_, err := UnmarshalManifest(tt.data)
+			if err == nil {
+				t.Fatal("corrupt manifest accepted")
+			}
+			if !errors.Is(err, ErrBadManifest) {
+				t.Errorf("error %v does not wrap ErrBadManifest", err)
 			}
 		})
+	}
+}
+
+func TestNewManifestRejectsEmptyPayloads(t *testing.T) {
+	if _, err := NewManifest([][]byte{{}, {}}); err == nil {
+		t.Error("zero-length natives accepted")
+	}
+}
+
+func TestVerifyRejectsWrongLength(t *testing.T) {
+	ns := natives(t, 4, 16, 6)
+	man, err := NewManifest(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A truncated payload must fail even if an attacker found a
+	// same-digest preimage of a different length — the length gate runs
+	// before the hash.
+	if err := man.Verify(0, ns[0][:8]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short payload: %v", err)
+	}
+	if err := man.Verify(0, append(append([]byte(nil), ns[0]...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("long payload: %v", err)
+	}
+	if err := man.Verify(0, ns[0]); err != nil {
+		t.Errorf("exact payload rejected: %v", err)
 	}
 }

@@ -1,0 +1,99 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Manifest chunk wire body — the payload of the session layer's MANIFEST
+// frame kind. An integrity manifest (k + m + k SHA-256 digests, see
+// internal/integrity) can outgrow a single transport frame for large k,
+// so it travels as offset-addressed chunks of one opaque byte string:
+//
+//	object  16 bytes   content ID the manifest covers
+//	total    4 bytes   length of the whole encoded manifest
+//	off      4 bytes   offset of this chunk within it
+//	n        2 bytes   chunk length
+//	bytes    n bytes   manifest[off : off+n]
+//
+// The codec treats the manifest as opaque — integrity.UnmarshalManifest
+// validates the assembled bytes — but bounds every field so a hostile
+// chunk can neither oversize the reassembly buffer nor write outside it.
+const (
+	// manifestChunkFixed is the fixed prefix before the chunk bytes.
+	manifestChunkFixed = 16 + 4 + 4 + 2
+
+	// MaxManifestWire caps the total manifest length a chunk may
+	// declare. It is a codec-level backstop (the session further bounds
+	// total against its own MaxK before allocating); 128 MiB covers
+	// k = 2^22 digests.
+	MaxManifestWire = 1 << 27
+
+	// MaxManifestChunk is the largest chunk payload AppendManifestChunk
+	// will emit — sized so a chunk frame plus the session's one-byte
+	// frame tag stays well inside transport.MaxFrame.
+	MaxManifestChunk = 32 * 1024
+)
+
+// ErrBadManifestChunk marks a malformed manifest chunk body: truncated
+// buffer, zero or oversized total, or a chunk range outside [0, total).
+// It wraps ErrBadPacket.
+var ErrBadManifestChunk = fmt.Errorf("%w: bad manifest chunk", ErrBadPacket)
+
+// ManifestChunk is one decoded manifest chunk.
+type ManifestChunk struct {
+	Object ObjectID
+	// Total is the length in bytes of the complete encoded manifest.
+	Total uint32
+	// Off is the offset of Data within the complete manifest.
+	Off uint32
+	// Data aliases the input buffer passed to ParseManifestChunk; copy
+	// before retaining.
+	Data []byte
+}
+
+// AppendManifestChunk appends the wire body for manifest[off:off+n] of an
+// encoded manifest of total bytes and returns the extended slice.
+func AppendManifestChunk(dst []byte, object ObjectID, total, off uint32, chunk []byte) ([]byte, error) {
+	if len(chunk) < 1 || len(chunk) > MaxManifestChunk {
+		return dst, fmt.Errorf("%w: chunk of %d bytes", ErrBadManifestChunk, len(chunk))
+	}
+	if total < 1 || total > MaxManifestWire {
+		return dst, fmt.Errorf("%w: total %d", ErrBadManifestChunk, total)
+	}
+	if uint64(off)+uint64(len(chunk)) > uint64(total) {
+		return dst, fmt.Errorf("%w: range [%d, %d) outside total %d",
+			ErrBadManifestChunk, off, int(off)+len(chunk), total)
+	}
+	dst = append(dst, object[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, total)
+	dst = binary.BigEndian.AppendUint32(dst, off)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(chunk)))
+	return append(dst, chunk...), nil
+}
+
+// ParseManifestChunk decodes a manifest chunk body. The returned Data
+// aliases data. Every accepted chunk satisfies
+// 1 ≤ Total ≤ MaxManifestWire and Off+len(Data) ≤ Total.
+func ParseManifestChunk(data []byte) (ManifestChunk, error) {
+	var mc ManifestChunk
+	if len(data) < manifestChunkFixed+1 {
+		return mc, fmt.Errorf("%w: %d bytes", ErrBadManifestChunk, len(data))
+	}
+	copy(mc.Object[:], data)
+	mc.Total = binary.BigEndian.Uint32(data[16:])
+	mc.Off = binary.BigEndian.Uint32(data[20:])
+	n := int(binary.BigEndian.Uint16(data[24:]))
+	if len(data) != manifestChunkFixed+n {
+		return mc, fmt.Errorf("%w: %d trailing bytes", ErrBadManifestChunk, len(data)-manifestChunkFixed-n)
+	}
+	if mc.Total < 1 || mc.Total > MaxManifestWire {
+		return mc, fmt.Errorf("%w: total %d", ErrBadManifestChunk, mc.Total)
+	}
+	if uint64(mc.Off)+uint64(n) > uint64(mc.Total) {
+		return mc, fmt.Errorf("%w: range [%d, %d) outside total %d",
+			ErrBadManifestChunk, mc.Off, int(mc.Off)+n, mc.Total)
+	}
+	mc.Data = data[manifestChunkFixed:]
+	return mc, nil
+}

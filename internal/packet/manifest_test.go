@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestManifestChunkRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	man := make([]byte, 8+17*32)
+	rng.Read(man)
+	id := NewObjectID([]byte("manifest roundtrip"))
+
+	// Split at an awkward chunk size and reassemble.
+	var frames [][]byte
+	const chunk = 100
+	for off := 0; off < len(man); off += chunk {
+		end := off + chunk
+		if end > len(man) {
+			end = len(man)
+		}
+		body, err := AppendManifestChunk(nil, id, uint32(len(man)), uint32(off), man[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, body)
+	}
+	got := make([]byte, len(man))
+	for _, body := range frames {
+		mc, err := ParseManifestChunk(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Object != id {
+			t.Fatal("object id mismatch")
+		}
+		if int(mc.Total) != len(man) {
+			t.Fatalf("total %d, want %d", mc.Total, len(man))
+		}
+		copy(got[mc.Off:], mc.Data)
+	}
+	if !bytes.Equal(got, man) {
+		t.Fatal("reassembled manifest differs")
+	}
+}
+
+func TestManifestChunkParseErrors(t *testing.T) {
+	id := NewObjectID([]byte("manifest errors"))
+	good, err := AppendManifestChunk(nil, id, 64, 0, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(d []byte)) []byte {
+		d := append([]byte(nil), good...)
+		f(d)
+		return d
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated fixed", good[:manifestChunkFixed]},
+		{"truncated data", good[:len(good)-1]},
+		{"trailing", append(append([]byte(nil), good...), 0)},
+		{"zero total", mut(func(d []byte) { d[16], d[17], d[18], d[19] = 0, 0, 0, 0 })},
+		{"huge total", mut(func(d []byte) { d[16] = 0xff })},
+		{"range past total", mut(func(d []byte) { d[23] = 60 })}, // off=60, n=16 > total 64
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseManifestChunk(tc.data); !errors.Is(err, ErrBadManifestChunk) {
+				t.Fatalf("got %v, want ErrBadManifestChunk", err)
+			}
+		})
+	}
+	if _, err := ParseManifestChunk(good); err != nil {
+		t.Fatalf("good chunk rejected: %v", err)
+	}
+}
+
+func TestAppendManifestChunkBounds(t *testing.T) {
+	id := NewObjectID([]byte("append bounds"))
+	if _, err := AppendManifestChunk(nil, id, 8, 0, nil); err == nil {
+		t.Error("empty chunk accepted")
+	}
+	if _, err := AppendManifestChunk(nil, id, 8, 4, make([]byte, 8)); err == nil {
+		t.Error("chunk past total accepted")
+	}
+	if _, err := AppendManifestChunk(nil, id, MaxManifestWire+1, 0, make([]byte, 8)); err == nil {
+		t.Error("oversized total accepted")
+	}
+	if _, err := AppendManifestChunk(nil, id, 1<<20, 0, make([]byte, MaxManifestChunk+1)); err == nil {
+		t.Error("oversized chunk accepted")
+	}
+}

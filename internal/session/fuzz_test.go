@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ltnc/internal/integrity"
 	"ltnc/internal/packet"
 	"ltnc/internal/transport"
 )
@@ -123,6 +124,14 @@ func FuzzSessionFrames(f *testing.F) {
 	shortAd := append([]byte(nil), fb...)
 	shortAd[17] = fbCacheAd // kind 4 without its coverage body: must drop
 	f.Add(shortAd)
+	mc, err := packet.AppendManifestChunk([]byte{frameManifest}, id, 520, 0, make([]byte, 64))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mc)                    // MANIFEST chunk for an unknown/known object
+	f.Add(mc[:12])               // truncated inside the content ID
+	f.Add(append(mc, 0x00))      // trailing byte: must drop
+	f.Add([]byte{frameManifest}) // bare kind byte
 	f.Add([]byte{frameFeedback})
 	f.Add([]byte{0x00})
 	f.Add([]byte{0xff, 0xff, 0xff})
@@ -168,6 +177,90 @@ func FuzzSessionFrameSequence(f *testing.F) {
 			}
 			injectFrame(s, "peer", data[:n])
 			data = data[n:]
+		}
+		if len(s.Objects()) > s.cfg.MaxObjects {
+			t.Fatalf("bounds violated after sequence")
+		}
+	})
+}
+
+// FuzzManifestFrames drives the MANIFEST reassembly and adoption path
+// with frame sequences: an object learned from DATA, then arbitrary
+// manifest chunks — in order, out of order, corrupt, restarted. No input
+// may panic, adopt a manifest inconsistent with the object's geometry, or
+// grow state beyond the session bounds.
+func FuzzManifestFrames(f *testing.F) {
+	const (
+		k = 8
+		m = 4
+	)
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = []byte{byte(i), 1, 2, 3}
+	}
+	man, err := integrity.NewManifest(natives)
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := man.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	id := packet.NewObjectID([]byte("manifest fuzz"))
+	p := packet.Native(k, 1, natives[1])
+	p.Object = id
+	wire, err := packet.Marshal(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	learn := append([]byte{frameData}, wire...)
+
+	// Chunk the real manifest small enough for the one-byte length prefix.
+	var chunks [][]byte
+	const chunk = 100
+	for off := 0; off < len(raw); off += chunk {
+		end := min(off+chunk, len(raw))
+		fr, err := packet.AppendManifestChunk([]byte{frameManifest}, id, uint32(len(raw)), uint32(off), raw[off:end])
+		if err != nil {
+			f.Fatal(err)
+		}
+		chunks = append(chunks, fr)
+	}
+	pack := func(frames ...[]byte) []byte {
+		var seq []byte
+		for _, fr := range frames {
+			seq = append(seq, byte(len(fr)))
+			seq = append(seq, fr...)
+		}
+		return seq
+	}
+	f.Add(pack(append([][]byte{learn}, chunks...)...)) // clean adoption
+	if len(chunks) >= 2 {
+		f.Add(pack(learn, chunks[1], chunks[0], chunks[1])) // out of order, then restart
+	}
+	bad := append([]byte(nil), chunks[0]...)
+	bad[len(bad)-1] ^= 0xff // corrupt digest bytes: adoption must fail cleanly
+	f.Add(pack(learn, bad))
+	f.Add(pack(chunks[0])) // manifest before the object exists
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _ := fuzzSession(t, nil)
+		for len(data) > 0 {
+			n := int(data[0])
+			data = data[1:]
+			if n == 0 || n > len(data) {
+				break
+			}
+			injectFrame(s, "peer", data[:n])
+			data = data[n:]
+		}
+		for _, o := range s.Objects() {
+			if o.K > s.cfg.MaxK {
+				t.Fatalf("session allocated k=%d above MaxK=%d", o.K, s.cfg.MaxK)
+			}
+			if o.HaveManifest && o.K == 0 {
+				t.Fatal("manifest adopted onto an object with no geometry")
+			}
 		}
 		if len(s.Objects()) > s.cfg.MaxObjects {
 			t.Fatalf("bounds violated after sequence")

@@ -1,0 +1,257 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+)
+
+// TestManifestTravelsAndVerifies pins the clean-path tentpole wiring: the
+// manifest born at the source rides MANIFEST frames to the fetcher, which
+// verifies every generation as it completes — no pollution, no bans.
+func TestManifestTravelsAndVerifies(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 256, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := startSession(t, attach(t, sw, "source"), nil)
+	dst := startSession(t, attach(t, sw, "dest"), nil)
+
+	content := testContent(4096, 21)
+	const gens = 4
+	id, err := src.Serve(content, 64, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := src.Object(id); !ok || !o.HaveManifest || o.GensVerified != gens {
+		t.Fatalf("source manifest state: %+v", o)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := dst.Fetch(ctx, id, "source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("fetched content differs")
+	}
+	if !stats.HaveManifest {
+		t.Fatal("manifest never reached the fetcher")
+	}
+	if stats.GensVerified != gens {
+		t.Fatalf("GensVerified = %d, want %d", stats.GensVerified, gens)
+	}
+	if stats.Polluted != 0 {
+		t.Fatalf("clean fetch recorded %d pollution events", stats.Polluted)
+	}
+	if banned := dst.BannedPeers(); len(banned) != 0 {
+		t.Fatalf("clean fetch banned %v", banned)
+	}
+}
+
+// polluterPort is a hostile actor over a raw switch port: once it sees a
+// REQ it streams forged DATA rows — valid v3 geometry, garbage payloads —
+// at the requester continuously, ignoring every feedback frame, like a
+// peer whose only goal is to poison decoders. With dense set the forged
+// rows are degree-2 (immune to the on-arrival unit-row digest check, so
+// they reach the decoder and must be caught by generation verification);
+// without it they are unit rows, the cheapest forgery, convicted on
+// arrival once the victim holds the manifest.
+func polluterPort(t *testing.T, tr *transport.ChanTransport, kPer, m, gens, burst int, dense bool) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	reqs := make(chan transport.Frame, 64)
+	go func() { // listen for REQs; drop everything else on the floor
+		defer close(reqs)
+		for {
+			f, err := tr.Recv(ctx)
+			if err != nil {
+				return
+			}
+			if len(f.Data) == reqLen && f.Data[0] == frameReq {
+				select {
+				case reqs <- f:
+					continue
+				default:
+				}
+			}
+			f.Release()
+		}
+	}()
+	go func() {
+		defer close(done)
+		var id packet.ObjectID
+		var victim transport.Addr
+		seq := 0
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case f, ok := <-reqs:
+				if !ok {
+					return
+				}
+				copy(id[:], f.Data[1:])
+				victim = f.From
+				f.Release()
+			case <-tick.C:
+				if victim == "" {
+					continue
+				}
+				for i := 0; i < burst; i++ {
+					payload := bytes.Repeat([]byte{0xB6}, m)
+					payload[0] = byte(seq) // vary: forged rows must not collapse
+					p := packet.Native(kPer, seq%kPer, payload)
+					if dense && kPer > 1 {
+						p.Vec.Set((seq + 1) % kPer)
+					}
+					p.Object = id
+					p.Generation = uint32(seq % gens)
+					p.Generations = uint32(gens)
+					seq++
+					wire, err := packet.Marshal(p)
+					if err != nil {
+						return
+					}
+					tr.Send(victim, append([]byte{frameData}, wire...))
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		tr.Close()
+		<-done
+	})
+}
+
+// TestPolluterConvictedFetchSurvives is the session-level adversarial
+// invariant: with one honest source and one polluter both serving the
+// fetcher, the fetch still completes byte-identically, the quarantine
+// machinery records the pollution, and the polluter ends the run banned.
+// The polluter sends dense forged rows — the kind the on-arrival digest
+// check cannot touch — so this exercises the full quarantine/probe/audit
+// pipeline rather than the instant unit-row conviction.
+func TestPolluterConvictedFetchSurvives(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 1024, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		gens = 4
+		kPer = 16
+		m    = 64
+	)
+	src := startSession(t, attach(t, sw, "source"), nil)
+	dst := startSession(t, attach(t, sw, "dest"), nil)
+	polluterPort(t, attach(t, sw, "polluter"), kPer, m, gens, 8, true)
+
+	content := testContent(gens*kPer*m, 31)
+	id, err := src.Serve(content, gens*kPer, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := dst.Fetch(ctx, id, "source", "polluter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("fetched content differs under pollution")
+	}
+	if stats.Polluted == 0 {
+		t.Fatal("no pollution event recorded; the polluter never landed a row?")
+	}
+	// The ban may land moments after completion: the polluter keeps
+	// streaming, and its first row into verified territory convicts it.
+	deadline := time.Now().Add(10 * time.Second)
+	var banned []transport.Addr
+	for time.Now().Before(deadline) {
+		if banned = dst.BannedPeers(); len(banned) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(banned) != 1 || banned[0] != "polluter" {
+		t.Fatalf("banned = %v, want [polluter]", banned)
+	}
+	// Once banned, the polluter is refused service too.
+	if reply, extras := dst.handleReq("polluter", id[:]); reply != nil || extras != nil {
+		t.Fatal("banned peer was served a REQ reply")
+	}
+}
+
+// TestFetchAllCandidatesBannedErrPolluted pins the typed failure: when
+// every candidate peer for a fetch has been convicted, Fetch fails fast
+// with ErrPolluted instead of spinning until the context dies.
+func TestFetchAllCandidatesBannedErrPolluted(t *testing.T) {
+	sw, err := transport.NewSwitch(transport.SwitchConfig{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := startSession(t, attach(t, sw, "dest"), nil)
+	dst.banPeers([]transport.Addr{"evil"})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	id := packet.NewObjectID([]byte("nobody left"))
+	_, _, err = dst.Fetch(ctx, id, "evil")
+	if !errors.Is(err, ErrPolluted) {
+		t.Fatalf("err = %v, want ErrPolluted", err)
+	}
+}
+
+// TestDropOnePeerVictimOrdering pins dropOnePeerLocked's eviction order:
+// a done peer goes first regardless of anything else, then the stalest
+// REQ subscriber; an entry that is neither done nor a REQ subscriber (a
+// configured push peer mid-stream) is never the victim.
+func TestDropOnePeerVictimOrdering(t *testing.T) {
+	base := time.Unix(1000, 0)
+	build := func() *objectState {
+		st := &objectState{peers: map[transport.Addr]*peerState{
+			"done-sub":   {reqSub: true, done: true, lastReq: base},
+			"stale-sub":  {reqSub: true, lastReq: base.Add(1 * time.Second)},
+			"fresh-sub":  {reqSub: true, lastReq: base.Add(9 * time.Second)},
+			"configured": {}, // push peer: no REQ, not done
+		}}
+		return st
+	}
+
+	st := build()
+	if !st.dropOnePeerLocked() {
+		t.Fatal("full table with a done peer freed nothing")
+	}
+	if _, ok := st.peers["done-sub"]; ok {
+		t.Fatal("done peer survived eviction round 1")
+	}
+	if !st.dropOnePeerLocked() {
+		t.Fatal("table with REQ subscribers freed nothing")
+	}
+	if _, ok := st.peers["stale-sub"]; ok {
+		t.Fatal("stalest REQ subscriber survived eviction round 2")
+	}
+	if _, ok := st.peers["fresh-sub"]; !ok {
+		t.Fatal("fresh REQ subscriber was evicted before the stale one")
+	}
+	if !st.dropOnePeerLocked() {
+		t.Fatal("remaining REQ subscriber freed nothing")
+	}
+	// Only the configured push peer remains: nothing may be freed.
+	if st.dropOnePeerLocked() {
+		t.Fatal("configured push peer was evicted")
+	}
+	if _, ok := st.peers["configured"]; !ok {
+		t.Fatal("configured push peer vanished")
+	}
+}

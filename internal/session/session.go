@@ -37,11 +37,30 @@
 //	               1=redundant 2=complete 3=generation complete (gen id
 //	               present for kind 3 only) 4=cache advertisement
 //	               (gensFull, gens, rank present for kind 4 only)
+//	MANIFEST 0x05 | manifest chunk (packet.ManifestChunk): objectID(16) |
+//	               total(4) | off(4) | n(2) | bytes — one slice of the
+//	               object's integrity manifest (internal/integrity),
+//	               sent and resent alongside META
 //
 // A receiver that completes one generation of a still-incomplete object
 // reports kind 3, and the sender stops recoding that generation toward it
 // — the per-generation analogue of the paper's binary feedback — while
 // recoding round-robins across the generations the peer still needs.
+//
+// Pollution defense (DESIGN.md §13): a served object's integrity manifest
+// (one SHA-256 digest per native) rides MANIFEST frames next to META.
+// Once a receiver holds the manifest it verifies every generation the
+// moment it completes; a digest mismatch quarantines the generation —
+// decode state reset, cached coverage dropped, downstream recoding of it
+// gated — and starts per-peer blame over the rows that contributed:
+// refill is probed one contributor at a time, a solo contributor whose
+// refill fails verification is banned session-wide, and once one clean
+// generation is verified every further row offered to it is audited
+// byte-exactly, which convicts persistent polluters on their next frame.
+// Fetchers surface the events via ObjectStats (Polluted, GensVerified)
+// and fail with ErrPolluted only when every candidate peer is banned;
+// the content a Fetch returns is always byte-exact — completion
+// re-derives the content ID as a final backstop even without a manifest.
 //
 // A session with Config.CacheBudget set is a partial cache (the coded
 // edge-cache tier, internal/cache): it retains innovative coded rows of
@@ -69,6 +88,7 @@ import (
 	"ltnc/internal/bitvec"
 	"ltnc/internal/cache"
 	"ltnc/internal/generation"
+	"ltnc/internal/integrity"
 	"ltnc/internal/lt"
 	"ltnc/internal/packet"
 	"ltnc/internal/transport"
@@ -80,6 +100,7 @@ const (
 	frameReq      = 0x02
 	frameMeta     = 0x03
 	frameFeedback = 0x04
+	frameManifest = 0x05
 
 	fbRedundant   = 0x01
 	fbComplete    = 0x02
@@ -202,6 +223,15 @@ type Config struct {
 // the session has no configured peers to ask.
 var ErrNoPeers = errors.New("session: no peers to fetch from")
 
+// ErrPolluted is wrapped by Fetch when pollution defense has banned every
+// candidate peer for an object: the swarm the caller pointed at has no
+// remaining source whose rows survive integrity verification. Partial
+// pollution does not fail a fetch — quarantined generations are re-fetched
+// from the peers still standing — so this error means the defense worked
+// and there is genuinely nobody left to ask. Per-object pollution counters
+// travel in ObjectStats (Polluted, GensVerified, HaveManifest).
+var ErrPolluted = errors.New("session: every candidate peer banned for pollution")
+
 func (c *Config) setDefaults() error {
 	if c.Transport == nil {
 		return errors.New("session: nil transport")
@@ -301,6 +331,18 @@ type ObjectStats struct {
 	Aborted     int64 // redundant DATA dropped on the header
 	Sent        int64 // recoded DATA frames pushed
 	Subscribers int
+	// HaveManifest reports whether the object's integrity manifest has
+	// been adopted (served locally or assembled from MANIFEST frames);
+	// GensVerified counts generations that passed digest verification.
+	HaveManifest bool
+	GensVerified int
+	// Polluted counts pollution events on this object: generations that
+	// completed, failed manifest verification and were quarantined (plus
+	// whole-object content-ID mismatches). Each event resets the failed
+	// generation's decode progress, so Decoded/GensComplete may regress
+	// across snapshots exactly when Polluted grows — the one sanctioned
+	// exception to Watch's monotone-progress contract.
+	Polluted int64
 }
 
 // Overhead returns received packets relative to K — the reception
@@ -320,11 +362,11 @@ type peerState struct {
 	// push-peer — unlike a fetching client — never re-REQs, so a single
 	// lost META would otherwise wedge the whole downstream pipeline
 	// (the relay could never tell ITS subscribers the object size).
-	metaAt        time.Time
-	done          bool      // reported complete: stop pushing
-	consecRedund  int       // consecutive redundancy aborts reported
-	pauseUntil    time.Time // satiation backoff: push resumes afterwards
-	configuredSub bool      // subscribed via REQ (pruned when idle)
+	metaAt       time.Time
+	done         bool      // reported complete: stop pushing
+	consecRedund int       // consecutive redundancy aborts reported
+	pauseUntil   time.Time // satiation backoff: push resumes afterwards
+	reqSub       bool      // subscribed via REQ (pruned when idle)
 	// cacheCursor is this peer's position in the cache's serve rotation
 	// (cache mode only). Per peer so concurrent fetchers each walk the
 	// whole cached basis instead of aliasing onto disjoint slices of it.
@@ -355,6 +397,55 @@ type objectState struct {
 	received int64
 	aborted  int64
 	dead     bool // evicted: no longer reachable from Session.objects
+
+	// Pollution defense (decode plane, guarded by mu; DESIGN.md §13).
+	// man/manRaw/manFrames hold the adopted integrity manifest (parsed,
+	// encoded, and pre-built MANIFEST frames for re-serving); manBuf and
+	// manNext track in-order chunk reassembly before adoption; manFrom is
+	// the peer the manifest came from (blamed if the whole-object content
+	// check later proves it forged; empty for a local Serve).
+	man       *integrity.Manifest
+	manRaw    []byte
+	manFrames [][]byte
+	manFrom   transport.Addr
+	manBuf    []byte
+	manNext   int
+	// verified[g] — generation g passed digest verification; tainted[g] —
+	// g was quarantined at least once (recoding it downstream is gated
+	// until it verifies); contrib[g] — rows each peer contributed to g
+	// since its last reset; probe[g]/probeAt[g]/probeCands[g] — the
+	// one-contributor-at-a-time refill of a quarantined generation;
+	// genNatives — verified generations' natives, kept (vigilant mode
+	// only) as the reference for byte-exact row audits; suspicion — rows
+	// each peer contributed to polluted generations of this object.
+	verified   []bool
+	tainted    []bool
+	contrib    []map[transport.Addr]int
+	probe      []transport.Addr
+	probeAt    []time.Time
+	probeCands [][]transport.Addr
+	genNatives map[int][][]byte
+	suspicion  map[transport.Addr]int
+	// soloFailed[g] — peers whose solo refill of generation g failed
+	// verification. Two DISTINCT peers in one set prove the manifest forged
+	// (independent senders cannot both forge; the manifest is the common
+	// factor); manBans lists peers banned on this manifest's word, unbanned
+	// if it is ever proven forged.
+	soloFailed map[int]map[transport.Addr]struct{}
+	manBans    []transport.Addr
+	polluted   int64 // pollution events (quarantines)
+	vigilant   bool  // pollution seen: audit rows offered to verified generations
+	// solicited holds the peers this session explicitly chose as upstreams
+	// for the object (the Fetch candidate set). Conviction requires
+	// solicitation: only solicited peers can be banned over this object's
+	// rows. An unsolicited peer pushing rows at us may be an honest node
+	// recoding a buffer it cannot yet verify (it holds no manifest), so its
+	// forgeries-by-proxy are dropped or quarantined away — blame for them
+	// belongs to whoever poisoned it, and that node's own defense settles
+	// it. A polluter, by contrast, only ever lands rows on its victims
+	// because they subscribed to it, so every polluter is solicited by
+	// every victim and conviction is unimpeded.
+	solicited map[transport.Addr]struct{}
 
 	size       atomic.Int64 // -1 until a META (or Serve) provides it
 	gens       atomic.Int32 // generation count G; 0 until the coder exists
@@ -436,6 +527,12 @@ type Session struct {
 	objects   map[packet.ObjectID]*objectState
 	peers     []transport.Addr // configured push peers
 	nextWatch int              // watcher key counter
+	// banned holds peers convicted of pollution (a solo-probed refill or
+	// an audited row that failed verification — both byte-exact proof the
+	// peer sent forged data). Every frame from a banned peer is dropped at
+	// resolution, it is removed from push targets and fetch candidates,
+	// and its rows are refused cache admission. Bans last the session.
+	banned map[transport.Addr]struct{}
 
 	nextRng atomic.Int64
 
@@ -460,6 +557,7 @@ func New(cfg Config) (*Session, error) {
 		tr:      cfg.Transport,
 		clk:     cfg.Clock,
 		objects: make(map[packet.ObjectID]*objectState),
+		banned:  make(map[transport.Addr]struct{}),
 		shards:  make([]chan inFrame, cfg.DecodeWorkers),
 		closed:  make(chan struct{}),
 	}
@@ -578,6 +676,19 @@ func (s *Session) Serve(content []byte, k, gens int) (packet.ObjectID, error) {
 	st.size.Store(int64(len(content)))
 	st.data = append([]byte(nil), content...)
 	close(st.done)
+	// The source is where the integrity manifest is born: digest the
+	// natives now and pre-build the MANIFEST frames that will ride next to
+	// every META. Local content needs no verification — mark every
+	// generation verified so audits have their reference from the start.
+	if man, err := integrity.NewManifest(natives); err == nil {
+		if raw, err := man.MarshalBinary(); err == nil {
+			s.adoptManifestLocked(st, man, raw, "")
+			st.ensurePollLocked()
+			for g := range st.verified {
+				st.verified[g] = true
+			}
+		}
+	}
 	st.touch(s.clk.Now())
 	st.mu.Unlock()
 	st.pinned = true
@@ -862,6 +973,7 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	}
 	s.mu.Unlock()
 
+	var acts pollActions
 	var cur *objectState
 	for i := range batch {
 		st := states[i]
@@ -887,7 +999,7 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 				})
 			}
 		} else {
-			fb, progressed = s.ingestDataLocked(st, &batch[i])
+			fb, progressed = s.ingestDataLocked(st, &batch[i], &acts)
 		}
 		if fb != nil {
 			replies = append(replies, ingestReply{batch[i].f.From, fb})
@@ -900,6 +1012,7 @@ func (s *Session) ingestBatch(batch []inFrame, scratch *ingestScratch) {
 	if cur != nil {
 		cur.mu.Unlock()
 	}
+	s.applyPollActions(&acts)
 	for _, r := range replies {
 		s.tr.Send(r.addr, r.frame)
 	}
@@ -947,6 +1060,11 @@ func genCount(gens uint32) int {
 // G and the per-generation code length — so relays learn generation-coded
 // objects from the data stream alone.
 func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *objectState {
+	if _, b := s.banned[from]; b {
+		// A convicted polluter's rows are dropped before they can reach any
+		// decoder — or launder themselves into the cache's admission path.
+		return nil
+	}
 	st, ok := s.objects[wv.Object]
 	if ok {
 		return st
@@ -985,8 +1103,10 @@ func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *o
 // the transport buffer into the owning generation's arena buffers with no
 // allocation. Returns the feedback frame to send (nil for none) and
 // whether the decode state advanced (an innovative packet was fed in),
-// which drives watcher notifications.
-func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, progressed bool) {
+// which drives watcher notifications. Pollution consequences (bans,
+// re-arm REQs) accumulate in acts for the batch layer to apply once all
+// locks are dropped.
+func (s *Session) ingestDataLocked(st *objectState, in *inFrame, acts *pollActions) (fb []byte, progressed bool) {
 	if st.dead {
 		return nil, false // evicted between state resolution and locking: drop
 	}
@@ -998,6 +1118,27 @@ func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, pro
 	}
 	st.touch(s.clk.Now())
 	g := int(in.wv.Generation)
+	if p := st.probeOf(g); p != "" && in.f.From != p {
+		// Quarantined generation under probe isolation: only the probed
+		// contributor's rows are admitted, so a failed refill convicts it
+		// beyond doubt. Everyone else waits for their turn (or for the
+		// probe to clear the generation).
+		st.aborted++
+		return nil, false
+	}
+	if s.auditFailsLocked(st, g, in) {
+		// The row disagrees byte-exactly with a verified generation: the
+		// sender forged it. (Honest senders stop pushing a generation when
+		// its kind-3 feedback arrives; a polluter that keeps pushing into
+		// verified territory convicts itself on the first frame.) Only a
+		// solicited upstream is convicted; an unsolicited pusher may be
+		// honestly relaying a poisoned buffer it cannot verify.
+		st.aborted++
+		if st.solicitedPeer(in.f.From) {
+			acts.bans = append(acts.bans, in.f.From)
+		}
+		return nil, false
+	}
 	if st.coder.Complete() {
 		st.aborted++
 		if st.size.Load() < 0 {
@@ -1022,6 +1163,24 @@ func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, pro
 		st.coder.ReleaseVec(g, vec)
 		return nil, false
 	}
+	if st.man != nil && vec.PopCount() == 1 && st.man.K() == st.k && st.man.M() == st.m {
+		// A degree-1 row over GF(2) is a native payload in the clear, so a
+		// held manifest makes it checkable on arrival. A digest mismatch is
+		// byte-exact proof of forgery against this sender alone: instant
+		// ban, no quarantine or probe round-trip. Dense forged rows still
+		// get caught at generation completion; this closes the polluter's
+		// cheapest move — spraying forged unit rows — before they poison a
+		// decode.
+		idx := g*st.kPer + vec.LowestSet()
+		if pay := in.wv.PayloadBytes(data); idx < st.k && len(pay) == st.m && st.man.Verify(idx, pay) != nil {
+			st.coder.ReleaseVec(g, vec)
+			st.aborted++
+			if st.solicitedPeer(in.f.From) {
+				acts.bans = append(acts.bans, in.f.From)
+			}
+			return nil, false
+		}
+	}
 	// The code vector has been read; if it is redundant the payload is
 	// never decoded and the sender is told so.
 	if st.coder.IsRedundant(g, vec) {
@@ -1036,14 +1195,22 @@ func (s *Session) ingestDataLocked(st *objectState, in *inFrame) (fb []byte, pro
 	}
 	_, genDone := st.coder.ReceiveOwned(g, vec, payload)
 	st.received++
-	if st.coder.Complete() {
-		s.completeObjLocked(st)
-		if st.size.Load() < 0 {
-			return encodeReq(st.id), true // complete but sizeless: fetch the META
-		}
-		return feedbackFrame(st.id, fbComplete), true
-	}
+	st.noteContribLocked(g, in.f.From)
 	if genDone {
+		if !s.verifyGenLocked(st, g, acts) {
+			// Quarantined: no feedback — upstream must keep streaming this
+			// generation — but the reset is visible progress (Polluted grew).
+			return nil, true
+		}
+		if st.coder.Complete() {
+			if !s.completeObjLocked(st, acts) {
+				return nil, true // poisoned at assembly: re-fetch, not complete
+			}
+			if st.size.Load() < 0 {
+				return encodeReq(st.id), true // complete but sizeless: fetch the META
+			}
+			return feedbackFrame(st.id, fbComplete), true
+		}
 		return genFeedbackFrame(st.id, g), true
 	}
 	return nil, true
@@ -1099,57 +1266,520 @@ func (s *Session) ingestCachedLocked(st *objectState, in *inFrame) (fb []byte, p
 }
 
 // completeObjLocked assembles the content of a freshly completed object
-// when its size is known; st.mu must be held. Callers send the completion
-// feedback.
-func (s *Session) completeObjLocked(st *objectState) {
-	s.logf("session: %v complete after %d packets (overhead %.3f)",
-		st.id, st.received, float64(st.received)/float64(st.k))
+// when its size is known; st.mu must be held. It reports whether the
+// object is (still) cleanly complete: before anything is surfaced to
+// waiters the assembled bytes must re-derive the object's content ID —
+// the backstop that holds even without a manifest, so a Fetch can never
+// return polluted bytes. A mismatch quarantines the poisoned generations
+// into acts and returns false. Callers send the completion feedback only
+// on true.
+func (s *Session) completeObjLocked(st *objectState, acts *pollActions) bool {
 	size := st.size.Load()
 	if size < 0 || st.data != nil {
-		return
+		return true
 	}
 	natives, err := st.coder.Data()
 	if err != nil {
-		return
+		return true
 	}
 	content, err := lt.Join(natives, int(size))
 	if err != nil {
-		return
+		return true
 	}
+	if packet.NewObjectID(content) != st.id {
+		s.poisonedObjectLocked(st, acts)
+		return false
+	}
+	s.logf("session: %v complete after %d packets (overhead %.3f)",
+		st.id, st.received, float64(st.received)/float64(st.k))
 	st.data = content
 	close(st.done)
+	return true
 }
 
-// handleFrame dispatches one control frame (REQ, META, FEEDBACK) inline
-// on the receive loop and sends at most one reply after the session lock
-// is released — a reply is a syscall on UDP and must not stall the
-// session.
+// pollActions collects the consequences of pollution detection that must
+// run after the decode-plane lock is released: session-wide bans (they
+// take Session.mu) and REQ frames that re-arm upstream senders for a
+// quarantined generation's re-fetch (sends must not run under any lock).
+type pollActions struct {
+	bans   []transport.Addr
+	unbans []transport.Addr
+	sends  []ingestReply
+}
+
+// apply executes the collected actions. Call with no locks held. Unbans
+// run before bans so a peer appearing in both (a forged-manifest sender
+// that also solo-failed a refill) ends up banned.
+func (s *Session) applyPollActions(acts *pollActions) {
+	if acts == nil || (len(acts.bans) == 0 && len(acts.unbans) == 0 && len(acts.sends) == 0) {
+		return
+	}
+	s.unbanPeers(acts.unbans)
+	s.banPeers(acts.bans)
+	for _, r := range acts.sends {
+		s.tr.Send(r.addr, r.frame)
+	}
+	acts.bans = acts.bans[:0]
+	acts.unbans = acts.unbans[:0]
+	acts.sends = acts.sends[:0]
+}
+
+// unbanPeers lifts bans attributed to a manifest later proven forged:
+// the "byte-exact proof" against those peers was exact only relative to
+// digests that turned out to be lies. An unbanned peer must re-REQ to
+// resubscribe; nothing else is restored.
+func (s *Session) unbanPeers(addrs []transport.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, addr := range addrs {
+		if _, ok := s.banned[addr]; ok {
+			delete(s.banned, addr)
+			s.logf("session: unbanned %s: the manifest that blamed it was forged", addr)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// banPeers convicts peers of pollution: every future frame from them is
+// dropped at resolution, they leave the configured push set and every
+// object's peer and advertisement tables, and Fetch stops asking them.
+func (s *Session) banPeers(addrs []transport.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, addr := range addrs {
+		if _, dup := s.banned[addr]; dup || addr == "" {
+			continue
+		}
+		s.banned[addr] = struct{}{}
+		if i := slices.Index(s.peers, addr); i >= 0 {
+			s.peers = slices.Delete(s.peers, i, i+1)
+		}
+		for _, st := range s.objects {
+			delete(st.peers, addr)
+			delete(st.cacheAds, addr)
+		}
+		s.logf("session: banned %s: contributed rows failed integrity verification", addr)
+	}
+	s.mu.Unlock()
+}
+
+// BannedPeers returns the peers this session has banned for pollution,
+// in deterministic order.
+func (s *Session) BannedPeers() []transport.Addr {
+	s.mu.Lock()
+	out := make([]transport.Addr, 0, len(s.banned))
+	for addr := range s.banned {
+		out = append(out, addr)
+	}
+	s.mu.Unlock()
+	slices.Sort(out)
+	return out
+}
+
+// ensurePollLocked sizes the per-generation pollution-defense state to
+// the coder; st.mu must be held and the coder exist.
+// soliciteLocked records addrs as the object's chosen upstreams. Only
+// solicited peers can be convicted over this object's rows (see the
+// solicited field). st.mu must be held.
+func (st *objectState) soliciteLocked(addrs ...transport.Addr) {
+	if st.solicited == nil {
+		st.solicited = make(map[transport.Addr]struct{}, len(addrs))
+	}
+	for _, a := range addrs {
+		st.solicited[a] = struct{}{}
+	}
+}
+
+// solicitedPeer reports whether addr is a chosen upstream for this
+// object. st.mu must be held.
+func (st *objectState) solicitedPeer(addr transport.Addr) bool {
+	_, ok := st.solicited[addr]
+	return ok
+}
+
+func (st *objectState) ensurePollLocked() {
+	n := st.coder.Generations()
+	if len(st.verified) != n {
+		st.verified = make([]bool, n)
+		st.tainted = make([]bool, n)
+		st.contrib = make([]map[transport.Addr]int, n)
+		st.probe = make([]transport.Addr, n)
+		st.probeAt = make([]time.Time, n)
+		st.probeCands = make([][]transport.Addr, n)
+	}
+	if st.suspicion == nil {
+		st.suspicion = make(map[transport.Addr]int)
+		st.genNatives = make(map[int][][]byte)
+		st.soloFailed = make(map[int]map[transport.Addr]struct{})
+	}
+}
+
+// noteContribLocked records that one innovative row of generation g came
+// from addr — the blame ledger a later verification failure settles.
+func (st *objectState) noteContribLocked(g int, addr transport.Addr) {
+	st.ensurePollLocked()
+	if st.contrib[g] == nil {
+		st.contrib[g] = make(map[transport.Addr]int)
+	}
+	st.contrib[g][addr]++
+}
+
+// probeOf returns the active probe peer for generation g ("" when the
+// generation is open to every contributor); st.mu must be held.
+func (st *objectState) probeOf(g int) transport.Addr {
+	if g >= len(st.probe) {
+		return ""
+	}
+	return st.probe[g]
+}
+
+// probeTimeout is how long a quarantined generation waits on its probe
+// peer before moving to the next candidate — probe peers can be dead,
+// banned meanwhile, or simply slow.
+func (s *Session) probeTimeout() time.Duration {
+	return max(100*s.cfg.Tick, 250*time.Millisecond)
+}
+
+// adoptManifestLocked installs a validated manifest on st: parsed form
+// for verification, raw form and pre-built frames for re-serving
+// downstream. st.mu must be held.
+func (s *Session) adoptManifestLocked(st *objectState, man *integrity.Manifest, raw []byte, from transport.Addr) {
+	st.man = man
+	st.manRaw = raw
+	st.manFrames = manifestFrames(st.id, raw)
+	st.manFrom = from
+	st.manBuf, st.manNext = nil, 0
+}
+
+// dropManifestLocked discards a manifest proven worthless (forged, or
+// inconsistent with the object's geometry); every bit of verification
+// state built on its word is void, including the recode gate on tainted
+// generations. st.mu must be held.
+func (st *objectState) dropManifestLocked() {
+	st.man, st.manRaw, st.manFrames, st.manFrom = nil, nil, nil, ""
+	st.manBuf, st.manNext = nil, 0
+	for g := range st.verified {
+		st.verified[g] = false
+	}
+	for g := range st.tainted {
+		st.tainted[g] = false
+	}
+	clear(st.genNatives)
+}
+
+// manifestFrames splits one encoded manifest into ready-to-send MANIFEST
+// frames.
+func manifestFrames(id packet.ObjectID, raw []byte) [][]byte {
+	frames := make([][]byte, 0, (len(raw)+packet.MaxManifestChunk-1)/packet.MaxManifestChunk)
+	for off := 0; off < len(raw); off += packet.MaxManifestChunk {
+		end := min(off+packet.MaxManifestChunk, len(raw))
+		frame, err := packet.AppendManifestChunk(
+			[]byte{frameManifest}, id, uint32(len(raw)), uint32(off), raw[off:end])
+		if err != nil {
+			return nil
+		}
+		frames = append(frames, frame)
+	}
+	return frames
+}
+
+// verifyGenLocked runs the freshly completed generation g through the
+// manifest. true means "proceed as complete" (verified, or no manifest
+// to check against yet — a late manifest retro-verifies); false means
+// the generation failed and was quarantined into acts. st.mu must be
+// held and the coder complete for g.
+func (s *Session) verifyGenLocked(st *objectState, g int, acts *pollActions) bool {
+	if st.man == nil {
+		// Nothing to verify against — but a completed refill still ends
+		// this generation's probe isolation (the probe was armed by a
+		// content-ID quarantine, which completion re-checks).
+		if g < len(st.probe) && st.probe[g] != "" {
+			st.probe[g], st.probeCands[g] = "", nil
+		}
+		return true
+	}
+	st.ensurePollLocked()
+	if st.verified[g] {
+		return true
+	}
+	if st.man.K() != st.k || st.man.M() != st.m {
+		// A manifest inconsistent with the object's actual geometry can
+		// vouch for nothing: discard it and proceed unverified.
+		st.dropManifestLocked()
+		return true
+	}
+	natives, err := st.coder.GenData(g)
+	if err != nil {
+		return true
+	}
+	base := g * st.kPer
+	for i, nat := range natives {
+		if st.man.Verify(base+i, nat) != nil {
+			if !s.quarantineGenLocked(st, g, true, acts) {
+				// The manifest, not the data, was the forgery: the
+				// generation stands, unverified, and the content-ID check
+				// at completion remains the backstop.
+				return true
+			}
+			return false
+		}
+	}
+	st.verified[g] = true
+	if st.vigilant {
+		// Keep the proven natives as the audit reference: any further row
+		// offered to this generation can now be checked byte-exactly.
+		st.genNatives[g] = natives
+	}
+	if st.probe[g] != "" {
+		// The probed contributor delivered a clean refill: probe over.
+		st.probe[g], st.probeCands[g] = "", nil
+	}
+	st.contrib[g] = nil
+	return true
+}
+
+// quarantineGenLocked handles a generation whose decoded natives failed
+// digest verification: blame every contributing peer (a solo contributor
+// is convicted outright — all rows came from it, and exact linear algebra
+// over true rows cannot produce false natives), reset the generation's
+// decode state, drop its cached coverage, gate downstream recoding of it,
+// and arm the probe that re-fetches it one contributor at a time. It
+// reports whether the generation was actually quarantined: when a SECOND
+// distinct peer solo-fails the same generation the manifest itself is
+// proven forged instead (independent senders cannot both be forging) —
+// it is dropped, its sender banned, its victims unbanned, and the
+// generation stands.
+//
+// convict enables the solo-contributor ban. It is set only when the
+// failure is a manifest digest mismatch — localized, byte-exact evidence
+// against exactly the rows this peer sent. The content-ID backstop
+// (poisonedObjectLocked) quarantines with convict=false: its mismatch is
+// global, so blame over any single generation's contributor would be
+// guesswork. st.mu must be held.
+func (s *Session) quarantineGenLocked(st *objectState, g int, convict bool, acts *pollActions) bool {
+	st.ensurePollLocked()
+	contrib := st.contrib[g]
+	if convict && len(contrib) == 1 {
+		var solo transport.Addr
+		for addr := range contrib {
+			solo = addr
+		}
+		// Conviction requires solicitation: an unsolicited solo
+		// contributor (a push-back peer recoding a buffer it cannot
+		// verify) is neither banned nor counted toward the forged-
+		// manifest proof — an honest launderer solo-failing would
+		// otherwise fake the "two independent forgers" signal.
+		if st.solicitedPeer(solo) {
+			if prior := st.soloFailed[g]; len(prior) > 0 {
+				if _, same := prior[solo]; !same {
+					s.manifestForgedLocked(st, acts)
+					return false
+				}
+			}
+			if st.soloFailed[g] == nil {
+				st.soloFailed[g] = make(map[transport.Addr]struct{})
+			}
+			st.soloFailed[g][solo] = struct{}{}
+			st.manBans = append(st.manBans, solo)
+			acts.bans = append(acts.bans, solo)
+		}
+	}
+	st.polluted++
+	st.vigilant = true
+	for addr, rows := range contrib {
+		st.suspicion[addr] += rows
+	}
+	st.coder.ResetGen(g)
+	st.tainted[g] = true
+	st.verified[g] = false
+	delete(st.genNatives, g)
+	st.contrib[g] = nil
+	if s.cache != nil {
+		// A promoted cache object may still hold rows for this generation;
+		// quarantined coverage must never be re-served (cache is a leaf in
+		// the lock order).
+		s.cache.DropGen(st.id, uint32(g))
+	}
+	// Probe order: most suspicious contributor first (rows contributed to
+	// polluted generations of this object), address as the deterministic
+	// tie-break. Re-arm every contributor with a REQ — an upstream that
+	// heard our premature generation-complete feedback (or completion)
+	// has stopped sending and must resume for the re-fetch.
+	cands := make([]transport.Addr, 0, len(contrib))
+	for addr := range contrib {
+		cands = append(cands, addr)
+		acts.sends = append(acts.sends, ingestReply{addr, encodeReq(st.id)})
+	}
+	slices.SortFunc(cands, func(a, b transport.Addr) int {
+		if d := st.suspicion[b] - st.suspicion[a]; d != 0 {
+			return d
+		}
+		return cmpAddr(a, b)
+	})
+	st.probeCands[g] = cands
+	s.advanceProbeLocked(st, g, acts)
+	s.logf("session: %v generation %d failed verification: quarantined (%d contributors, probing %s)",
+		st.id, g, len(contrib), st.probe[g])
+	return true
+}
+
+// manifestForgedLocked reacts to byte-exact proof that the adopted
+// manifest lies (two distinct peers solo-failed one generation, or the
+// assembled content contradicted the ID with every generation verified):
+// ban the manifest's sender, lift the bans issued on its word, drop it
+// and every probe armed by it. st.mu must be held.
+func (s *Session) manifestForgedLocked(st *objectState, acts *pollActions) {
+	s.logf("session: %v manifest from %s proven forged: dropping it and lifting the bans it caused",
+		st.id, st.manFrom)
+	if st.manFrom != "" {
+		acts.bans = append(acts.bans, st.manFrom)
+	}
+	acts.unbans = append(acts.unbans, st.manBans...)
+	st.manBans = nil
+	st.dropManifestLocked()
+	for g := range st.probe {
+		st.probe[g], st.probeCands[g] = "", nil
+	}
+	clear(st.soloFailed)
+	st.polluted++
+}
+
+func cmpAddr(a, b transport.Addr) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// advanceProbeLocked moves a quarantined generation to its next probe
+// candidate, or to open mode when the candidate list is exhausted (every
+// remaining contributor gets another chance — a fresh pollution will
+// re-arm the probe with fresh suspicion). st.mu must be held.
+func (s *Session) advanceProbeLocked(st *objectState, g int, acts *pollActions) {
+	if len(st.probeCands[g]) > 0 {
+		p := st.probeCands[g][0]
+		st.probeCands[g] = st.probeCands[g][1:]
+		st.probe[g] = p
+		st.probeAt[g] = s.clk.Now()
+		acts.sends = append(acts.sends, ingestReply{p, encodeReq(st.id)})
+		return
+	}
+	st.probe[g] = ""
+}
+
+// auditFailsLocked checks a row offered to an already-verified generation
+// against the proven natives: the payload must equal the XOR of the
+// natives its code vector selects. Only runs in vigilant mode (pollution
+// already seen on the object) — honest peers stop sending completed
+// generations when they hear the kind-3 feedback, so the rows that keep
+// arriving are exactly the ones worth convicting on. A failed audit is
+// byte-exact proof the sender forged the row. st.mu must be held.
+func (s *Session) auditFailsLocked(st *objectState, g int, in *inFrame) bool {
+	if !st.vigilant || g >= len(st.verified) || !st.verified[g] {
+		return false
+	}
+	nats := st.genNatives[g]
+	if nats == nil {
+		// Verified before vigilant mode began: reconstruct the reference.
+		var err error
+		if nats, err = st.coder.GenData(g); err != nil {
+			return false
+		}
+		st.genNatives[g] = nats
+	}
+	data := in.f.Data[1:]
+	vec := bitvec.New(st.kPer)
+	if vec.UnmarshalInto(in.wv.VecBytes(data)) != nil {
+		return false
+	}
+	payload := in.wv.PayloadBytes(data)
+	if len(payload) != st.m {
+		return false
+	}
+	expect := make([]byte, st.m)
+	for i := vec.NextSet(0); i >= 0 && i < st.kPer; i = vec.NextSet(i + 1) {
+		nat := nats[i]
+		for j := range expect {
+			expect[j] ^= nat[j]
+		}
+	}
+	for j := range expect {
+		if expect[j] != payload[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// poisonedObjectLocked handles a completed object whose assembled bytes
+// do not re-derive its content ID. With a manifest that vouched for every
+// generation the manifest itself is the forgery — drop it, blame its
+// sender, quarantine everything; otherwise quarantine every unverified
+// generation and re-fetch. st.mu must be held.
+func (s *Session) poisonedObjectLocked(st *objectState, acts *pollActions) {
+	st.ensurePollLocked()
+	st.vigilant = true
+	allVerified := st.man != nil
+	for g := range st.verified {
+		if !st.verified[g] {
+			allVerified = false
+			break
+		}
+	}
+	if allVerified {
+		s.logf("session: %v assembled bytes contradict the content ID with every generation verified",
+			st.id)
+		s.manifestForgedLocked(st, acts)
+	}
+	st.polluted++
+	for g := range st.verified {
+		if !st.verified[g] {
+			s.quarantineGenLocked(st, g, false, acts)
+		}
+	}
+}
+
+// handleFrame dispatches one control frame (REQ, META, FEEDBACK,
+// MANIFEST) inline on the receive loop and sends its replies after the
+// session lock is released — a reply is a syscall on UDP and must not
+// stall the session.
 func (s *Session) handleFrame(f transport.Frame) {
 	if len(f.Data) == 0 {
 		return
 	}
-	var reply, extra []byte
+	var reply []byte
+	var extras [][]byte
 	switch f.Data[0] {
 	case frameReq:
-		reply, extra = s.handleReq(f.From, f.Data[1:])
+		reply, extras = s.handleReq(f.From, f.Data[1:])
 	case frameMeta:
 		reply = s.handleMeta(f.From, f.Data[1:])
 	case frameFeedback:
 		s.handleFeedback(f.From, f.Data[1:])
+	case frameManifest:
+		s.handleManifest(f.From, f.Data[1:])
 	}
 	if reply != nil {
 		s.tr.Send(f.From, reply)
 	}
-	if extra != nil {
-		s.tr.Send(f.From, extra)
+	for _, e := range extras {
+		s.tr.Send(f.From, e)
 	}
 }
 
 // handleReq registers a subscriber and answers with the object's META
 // when the size is known. A cache-mode session additionally answers with
-// its kind-4 coverage advertisement (the extra frame), so the requester
-// can steer subsequent REQs toward caches.
-func (s *Session) handleReq(from transport.Addr, data []byte) (reply, extra []byte) {
+// its kind-4 coverage advertisement, and a session holding the object's
+// integrity manifest attaches its MANIFEST frames to every META it sends
+// (extras), so a fetcher can verify generations as they complete.
+func (s *Session) handleReq(from transport.Addr, data []byte) (reply []byte, extras [][]byte) {
 	if len(data) != reqLen-1 {
 		return nil, nil
 	}
@@ -1157,6 +1787,9 @@ func (s *Session) handleReq(from transport.Addr, data []byte) (reply, extra []by
 	copy(id[:], data)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, b := s.banned[from]; b {
+		return nil, nil // a banned peer is not served
+	}
 	st, ok := s.objects[id]
 	if !ok {
 		return nil, nil // unknown object: requester will retry elsewhere
@@ -1166,15 +1799,15 @@ func (s *Session) handleReq(from transport.Addr, data []byte) (reply, extra []by
 	if s.cache != nil {
 		s.cache.Touch(id, now) // REQ demand drives the eviction score
 		if gensFull, gens, rank, held := s.cache.Coverage(id); held {
-			extra = cacheAdFrame(id, gensFull, gens, rank)
+			extras = append(extras, cacheAdFrame(id, gensFull, gens, rank))
 		}
 	}
 	if _, known := st.peers[from]; !known && len(st.peers) >= maxPeersPerObject && !st.dropOnePeerLocked() {
-		return nil, extra // peer table full of live subscribers: drop the REQ
+		return nil, extras // peer table full of live subscribers: drop the REQ
 	}
 	ps := st.peer(from)
 	ps.lastReq = s.clk.Now()
-	ps.configuredSub = true
+	ps.reqSub = true
 	ps.done = false
 	ps.consecRedund = 0
 	ps.pauseUntil = time.Time{}
@@ -1187,17 +1820,143 @@ func (s *Session) handleReq(from transport.Addr, data []byte) (reply, extra []by
 	// re-REQing, so a lost reply heals on the next round).
 	ps.metaAt = time.Time{}
 	if st.size.Load() < 0 {
-		return nil, extra
+		return nil, extras
 	}
 	ps.metaAt = s.clk.Now()
-	return s.metaFrame(st), extra
+	// The manifest travels with the META (same loss model: resent until the
+	// peer reports done). manFrames is replaced wholesale under st.mu and
+	// never mutated in place, so the snapshot is safe to send after unlock.
+	st.mu.Lock()
+	extras = append(extras, st.manFrames...)
+	st.mu.Unlock()
+	return s.metaFrame(st), extras
+}
+
+// handleManifest feeds one MANIFEST frame into the object's in-order
+// chunk reassembly and adopts the manifest once complete: geometry is
+// cross-checked against the coder, generations already complete are
+// retro-verified (quarantining any that fail). First manifest wins —
+// replacing an adopted manifest would let an attacker un-verify clean
+// state — until it is dropped as forged or inconsistent.
+func (s *Session) handleManifest(from transport.Addr, data []byte) {
+	mc, err := packet.ParseManifestChunk(data)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if _, b := s.banned[from]; b {
+		s.mu.Unlock()
+		return
+	}
+	st, ok := s.objects[mc.Object]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	var acts pollActions
+	adopted := false
+	st.mu.Lock()
+	switch {
+	case st.dead, st.cached, st.man != nil, st.coder == nil:
+		// Caches hold undecodable rows (nothing to verify); a placeholder
+		// has no geometry to check a manifest against — the sender repeats
+		// MANIFEST with its META resends, so dropping is safe.
+	case int64(mc.Total) != int64(8+st.k*integrity.DigestSize):
+		// Wrong size for this object's k: not our manifest.
+	default:
+		if mc.Off == 0 {
+			st.manBuf = st.manBuf[:0] // (re)start assembly
+			st.manNext = 0
+		}
+		if int(mc.Off) != st.manNext {
+			break // out-of-order chunk: wait for a restart
+		}
+		if st.manBuf == nil {
+			st.manBuf = make([]byte, 0, mc.Total)
+		}
+		st.manBuf = append(st.manBuf, mc.Data...)
+		st.manNext += len(mc.Data)
+		if st.manNext == int(mc.Total) {
+			raw := st.manBuf
+			man, err := integrity.UnmarshalManifest(raw)
+			if err != nil || man.K() != st.k || man.M() != st.m {
+				st.manBuf, st.manNext = nil, 0
+				break
+			}
+			if st.data != nil {
+				// Already assembled and content-ID-proven: the decoded
+				// natives outrank any manifest. One that disagrees with
+				// them is rejected outright; one that agrees is adopted
+				// fully verified (for re-serving and audits).
+				natives, derr := st.coder.Data()
+				if derr != nil || man.VerifyAll(natives) != nil {
+					st.manBuf, st.manNext = nil, 0
+					break
+				}
+				s.adoptManifestLocked(st, man, raw, from)
+				st.ensurePollLocked()
+				for g := range st.verified {
+					st.verified[g] = true
+				}
+			} else {
+				s.adoptManifestLocked(st, man, raw, from)
+				for g := 0; g < st.coder.Generations(); g++ {
+					if st.coder.GenComplete(g) {
+						s.verifyGenLocked(st, g, &acts)
+					}
+				}
+			}
+			adopted = true
+			st.touch(s.clk.Now())
+		}
+	}
+	st.mu.Unlock()
+	s.applyPollActions(&acts)
+	if adopted {
+		// Forward the freshly adopted manifest to current REQ subscribers
+		// at once: they are mid-fetch and defenseless until they hold it —
+		// every tick of delay is a window for a polluter to poison their
+		// decoders (and for their recoded push-back to spread the poison
+		// further). META goes first: a subscriber that REQ'd before this
+		// node was sized has no coder yet, and coderless receivers drop
+		// MANIFEST frames. Adoption is once per object, so this cannot
+		// storm.
+		s.mu.Lock()
+		var subs []transport.Addr
+		for addr, ps := range st.peers {
+			if ps.reqSub && !ps.done {
+				if _, b := s.banned[addr]; !b {
+					subs = append(subs, addr)
+				}
+			}
+		}
+		s.mu.Unlock()
+		st.mu.Lock()
+		frames := st.manFrames
+		st.mu.Unlock()
+		var metaBuf []byte
+		if st.size.Load() >= 0 {
+			metaBuf = s.metaFrame(st)
+		}
+		for _, addr := range subs {
+			if metaBuf != nil {
+				s.tr.Send(addr, metaBuf)
+			}
+			for _, mf := range frames {
+				s.tr.Send(addr, mf)
+			}
+		}
+		s.notifyWatchers(st)
+	}
 }
 
 // dropOnePeerLocked evicts one entry from a full peer table: a peer that
-// reported completion if any (its state is pure history), else the
-// REQ-subscriber with the stalest REQ. It reports whether an entry was
-// freed — configured push peers are never evicted. Session.mu must be
-// held.
+// reported completion if any (its state is pure history — even a
+// configured push peer, which simply re-enters the table on its next
+// interaction), else the REQ-subscriber with the stalest REQ. It reports
+// whether an entry was freed; a configured push peer that has NOT
+// reported completion is never the victim — it is neither done nor a
+// REQ subscriber. Session.mu must be held.
 func (st *objectState) dropOnePeerLocked() bool {
 	var victim transport.Addr
 	var stalest time.Time
@@ -1207,7 +1966,7 @@ func (st *objectState) dropOnePeerLocked() bool {
 			delete(st.peers, addr)
 			return true
 		}
-		if ps.configuredSub && (!found || ps.lastReq.Before(stalest)) {
+		if ps.reqSub && (!found || ps.lastReq.Before(stalest)) {
 			victim, stalest, found = addr, ps.lastReq, true
 		}
 	}
@@ -1245,6 +2004,10 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	}
 	kPer := k / gens
 	s.mu.Lock()
+	if _, b := s.banned[from]; b {
+		s.mu.Unlock()
+		return nil
+	}
 	st, ok := s.objects[id]
 	if !ok {
 		switch {
@@ -1303,13 +2066,15 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 	}
 	st.touch(s.clk.Now())
 	var reply []byte
+	var acts pollActions
 	learned := false
 	if st.size.Load() < 0 {
 		st.size.Store(size)
 		learned = true
 		if st.coder.Complete() {
-			s.completeObjLocked(st)
-			reply = feedbackFrame(id, fbComplete)
+			if s.completeObjLocked(st, &acts) {
+				reply = feedbackFrame(id, fbComplete)
+			}
 		}
 	} else if st.coder.Complete() {
 		// Redundant META to an already-complete, already-sized receiver:
@@ -1320,6 +2085,7 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 		reply = feedbackFrame(id, fbComplete)
 	}
 	st.mu.Unlock()
+	s.applyPollActions(&acts)
 	if learned {
 		s.notifyWatchers(st)
 	}
@@ -1351,6 +2117,9 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	copy(id[:], data[:16])
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, b := s.banned[from]; b {
+		return // a polluter's feedback steers nothing
+	}
 	st, ok := s.objects[id]
 	if !ok {
 		return
@@ -1458,6 +2227,7 @@ func (s *Session) tickLoop(ctx context.Context) {
 		case <-ticker.C():
 			s.busy.Add(1)
 			s.push()
+			s.probeSweep()
 			if tick++; tick%evictEvery == 0 {
 				s.evict()
 			}
@@ -1538,6 +2308,7 @@ func (s *Session) push() {
 	for _, pt := range targets {
 		st := pt.st
 		var metaBuf []byte
+		var manFrames [][]byte
 		var burst []outPkt
 		serveCache := false
 		st.mu.Lock()
@@ -1556,13 +2327,36 @@ func (s *Session) push() {
 		case st.coder != nil && (st.coder.Complete() || st.coder.Received() >= s.threshold(st.k)):
 			if len(pt.needMeta) > 0 {
 				metaBuf = s.metaFrame(st)
+				// The integrity manifest rides the META resend cadence:
+				// lossy datagrams, no acks — repeat until the peer is done.
+				manFrames = st.manFrames
 			}
 			// Recode per target so each peer's burst round-robins across
 			// exactly the generations it still needs (kind-3 feedback).
+			// Quarantined generations (tainted, not re-verified) never
+			// recode downstream — a relay must not launder pollution. And
+			// once the object's manifest is in hand, only verified
+			// generations recode at all: a partially-filled generation may
+			// hold a polluter's forged rows, and pushing recodes of it
+			// would launder the garbage through this honest node — whose
+			// downstreams would then convict *it* (their solo-probe of this
+			// node genuinely fails). Verification is per completed
+			// generation, so the manifest's generation granularity is
+			// exactly the store-and-forward granularity. Without a manifest
+			// there is nothing to verify against; legacy flows recode
+			// freely, gated only by explicit quarantine.
+			taintGate := func(g int) bool {
+				if g < len(st.tainted) && st.tainted[g] && !st.verified[g] {
+					return true
+				}
+				return st.man != nil && (g >= len(st.verified) || !st.verified[g])
+			}
 			for ai, addr := range pt.addrs {
-				var skip func(int) bool
+				skip := taintGate
 				if done := pt.skips[ai]; done != nil {
-					skip = func(g int) bool { return g < len(done) && done[g] }
+					skip = func(g int) bool {
+						return (g < len(done) && done[g]) || taintGate(g)
+					}
 				}
 				for b := 0; b < s.cfg.Burst; b++ {
 					z, ok := st.coder.Recode(skip)
@@ -1579,6 +2373,9 @@ func (s *Session) push() {
 			for _, addr := range pt.needMeta {
 				if s.tr.Send(addr, metaBuf) == nil {
 					metas = append(metas, metaSent{st, addr})
+				}
+				for _, mf := range manFrames {
+					s.tr.Send(addr, mf)
 				}
 			}
 		}
@@ -1643,6 +2440,34 @@ func (s *Session) push() {
 	s.mu.Unlock()
 }
 
+// probeSweep advances stalled probes: a quarantined generation waiting on
+// a probe peer that never answered (dead, banned meanwhile, or slow)
+// moves to its next candidate, or back to open refill when the candidate
+// list is exhausted. Runs every tick from tickLoop.
+func (s *Session) probeSweep() {
+	s.mu.Lock()
+	var objs []*objectState
+	for _, st := range s.objects {
+		objs = append(objs, st)
+	}
+	s.mu.Unlock()
+	now := s.clk.Now()
+	timeout := s.probeTimeout()
+	var acts pollActions
+	for _, st := range objs {
+		st.mu.Lock()
+		if st.vigilant && !st.dead {
+			for g := range st.probe {
+				if st.probe[g] != "" && now.Sub(st.probeAt[g]) >= timeout {
+					s.advanceProbeLocked(st, g, &acts)
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
+	s.applyPollActions(&acts)
+}
+
 // metaResend is how long a sent META is trusted before it is repeated to
 // a still-incomplete peer; see peerState.metaAt.
 func (s *Session) metaResend() time.Duration {
@@ -1659,11 +2484,12 @@ func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr
 	var out []transport.Addr
 	seen := make(map[transport.Addr]bool)
 	for addr, ps := range st.peers {
-		if ps.configuredSub && !skip(ps) {
+		if ps.reqSub && !skip(ps) {
 			out = append(out, addr)
 			seen[addr] = true
 		}
 	}
+	st.mu.Lock()
 	for _, addr := range s.peers {
 		if seen[addr] {
 			continue
@@ -1671,8 +2497,23 @@ func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr
 		if ps, ok := st.peers[addr]; ok && skip(ps) {
 			continue
 		}
+		if _, sol := st.solicited[addr]; sol && st.data == nil {
+			// This peer is our own upstream for an object we are still
+			// fetching: if it wants our rows it asks for them (reqSub,
+			// handled above — mesh peers fetching from each other do
+			// exactly that). Unasked push-back up the edge we fetch over
+			// wastes frames at best; at worst — before the manifest
+			// arrives — it launders a polluter's forged rows out of our
+			// unverifiable buffer into an honest peer's decoder. Once the
+			// object has assembled and passed the content-ID check
+			// (st.data set), push-back resumes: recodes of proven bytes
+			// cannot launder anything, and a finished fetcher re-seeding
+			// its upstream (an edge cache, say) is useful cut-through.
+			continue
+		}
 		out = append(out, addr)
 	}
+	st.mu.Unlock()
 	return out
 }
 
@@ -1684,7 +2525,7 @@ func (s *Session) evict() {
 	cutoff := s.clk.Now().Add(-s.cfg.IdleTimeout).UnixNano()
 	for id, st := range s.objects {
 		for addr, ps := range st.peers {
-			if ps.configuredSub && !ps.lastReq.IsZero() && ps.lastReq.UnixNano() < cutoff {
+			if ps.reqSub && !ps.lastReq.IsZero() && ps.lastReq.UnixNano() < cutoff {
 				delete(st.peers, addr)
 			}
 		}
@@ -1795,7 +2636,10 @@ func (s *Session) placeholderLocked(id packet.ObjectID) *objectState {
 // the object's decode state advances (innovative packets ingested,
 // metadata learned, completion, local Serve). Snapshots reach fn in
 // monotone order: once fn has seen a Complete snapshot it never sees an
-// older one. Callbacks must be fast and must not block — they run on the
+// older one. One sanctioned exception: a pollution quarantine resets the
+// failed generation's decode state, so Decoded, GensComplete and
+// GenDecoded may regress between snapshots exactly when Polluted grows.
+// Callbacks must be fast and must not block — they run on the
 // decode workers' notification path, serialized per object — and must
 // not call Watch synchronously for ANY object (two callbacks
 // cross-watching each other's objects would deadlock the per-object
@@ -1886,6 +2730,11 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 		st.waiters--
 		s.mu.Unlock()
 	}()
+	// The candidate set is this fetch's trust decision: these peers (and
+	// only these) can be convicted if their rows fail verification.
+	st.mu.Lock()
+	st.soliciteLocked(from...)
+	st.mu.Unlock()
 	if s.cache != nil {
 		// Fetching an object this session holds as a partial cache
 		// promotes the cached rows into a real decoder first — every one
@@ -1898,11 +2747,15 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 	// One REQ per candidate peer, steered toward peers advertising
 	// cached coverage once advertisements arrive; the fetch fails only
 	// if no peer could be reached at all (a dead resolve on one address
-	// must not mask a live source on another).
+	// must not mask a live source on another) — or if pollution defense
+	// has banned every candidate, which fails fast with ErrPolluted.
 	attempt := 0
 	sendAll := func() error {
 		targets := s.steerTargets(st, from, attempt)
 		attempt++
+		if len(targets) == 0 {
+			return fmt.Errorf("session: fetch %v: %w", id, ErrPolluted)
+		}
 		var firstErr error
 		sent := 0
 		for _, addr := range targets {
@@ -1924,7 +2777,10 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 	// before the next retry, and aborting would turn that startup race
 	// into a hard failure.
 	if err := sendAll(); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
-		return nil, ObjectStats{}, err
+		s.mu.Lock()
+		stats := s.statsLocked(st)
+		s.mu.Unlock()
+		return nil, stats, err
 	}
 	resend := s.clk.NewTicker(250 * time.Millisecond)
 	defer resend.Stop()
@@ -1940,7 +2796,10 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 			return data, stats, nil
 		case <-resend.C():
 			if err := sendAll(); err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
-				return nil, ObjectStats{}, err
+				s.mu.Lock()
+				stats := s.statsLocked(st)
+				s.mu.Unlock()
+				return nil, stats, err
 			}
 		case <-ctx.Done():
 			s.mu.Lock()
@@ -1995,11 +2854,13 @@ func (s *Session) promoteCached(st *objectState) {
 		st.coder.ReceiveOwned(gi, v, row)
 		progressed = true
 	})
+	var acts pollActions
 	if st.coder.Complete() {
-		s.completeObjLocked(st)
+		s.completeObjLocked(st, &acts)
 	}
 	st.touch(s.clk.Now())
 	st.mu.Unlock()
+	s.applyPollActions(&acts)
 	if progressed {
 		s.notifyWatchers(st)
 	}
@@ -2009,14 +2870,25 @@ func (s *Session) promoteCached(st *objectState) {
 // candidate set until advertisements arrive (and periodically after, so
 // the origin and fresh caches stay discoverable), otherwise the peers
 // advertising cached coverage for the object, in deterministic order.
+// Banned peers are excluded everywhere; an empty result therefore means
+// every candidate has been convicted of pollution (ErrPolluted at the
+// caller).
 func (s *Session) steerTargets(st *objectState, all []transport.Addr, attempt int) []transport.Addr {
-	if attempt%4 == 0 {
-		return all
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(st.cacheAds) == 0 {
-		return all
+	live := all
+	if len(s.banned) > 0 {
+		live = make([]transport.Addr, 0, len(all))
+		for _, addr := range all {
+			if _, b := s.banned[addr]; !b {
+				live = append(live, addr)
+			}
+		}
+	}
+	// cacheAds never contains banned peers: banPeers scrubs every object's
+	// ad table when it convicts.
+	if attempt%4 == 0 || len(st.cacheAds) == 0 {
+		return live
 	}
 	out := make([]transport.Addr, 0, len(st.cacheAds))
 	for addr := range st.cacheAds {
@@ -2057,11 +2929,18 @@ func (s *Session) statsLocked(st *objectState) ObjectStats {
 		o.GensComplete = st.coder.CompleteCount()
 		o.GenDecoded = st.coder.AppendGenDecoded(make([]int, 0, o.Generations))
 	}
+	o.HaveManifest = st.man != nil
+	o.Polluted = st.polluted
+	for _, v := range st.verified {
+		if v {
+			o.GensVerified++
+		}
+	}
 	st.mu.Unlock()
 	o.Pinned = st.pinned
 	o.Sent = st.sent
 	for _, ps := range st.peers {
-		if ps.configuredSub && !ps.done {
+		if ps.reqSub && !ps.done {
 			o.Subscribers++
 		}
 	}

@@ -124,6 +124,26 @@ var named = map[string]namedScenario{
 			}
 		},
 	},
+	"polluted-swarm": {
+		desc: "Byzantine swarm: 2 of 8 serving peers forge garbage rows at every subscriber; fetchers must quarantine, convict and re-fetch to byte-identical completion",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "polluted-swarm",
+				Seed:    seed,
+				Sources: 1, Relays: 6, Polluters: 2, Fetchers: 4,
+				// One 64 KiB object in 4 generations: big enough that the
+				// forged stream races real decoding, small enough that the
+				// quarantine/probe recovery resolves well inside the horizon.
+				Objects:         []ObjectSpec{{Size: 64 << 10, K: 256, Generations: 4}},
+				PeersPerFetcher: 2, // honest relays; every polluter is added on top
+				Link:            LinkConfig{Latency: 2 * time.Millisecond},
+				Duration:        60 * time.Second,
+				// Poisoned generations are decoded, discarded and re-fetched:
+				// reception overhead legitimately includes the forged rows.
+				MaxOverhead: 10,
+			}
+		},
+	},
 	"soak": {
 		desc: "60-node recoding mesh, heavy loss, mid-run partition and 30% churn over four objects (-tags soak)",
 		make: func(seed int64) Scenario {
@@ -172,14 +192,15 @@ func List() []string {
 // ScenarioInfo summarizes one catalog entry for listings: what the
 // scenario exercises and how big it is.
 type ScenarioInfo struct {
-	Name     string
-	Desc     string
-	Sources  int
-	Relays   int
-	Caches   int
-	Fetchers int
-	Objects  int
-	Wiring   Wiring
+	Name      string
+	Desc      string
+	Sources   int
+	Relays    int
+	Caches    int
+	Fetchers  int
+	Polluters int
+	Objects   int
+	Wiring    Wiring
 }
 
 // Catalog returns the named scenarios with their descriptions and
@@ -195,14 +216,15 @@ func Catalog() []ScenarioInfo {
 			sc = e.make(1)
 		}
 		out = append(out, ScenarioInfo{
-			Name:     name,
-			Desc:     e.desc,
-			Sources:  sc.Sources,
-			Relays:   sc.Relays,
-			Caches:   sc.Caches,
-			Fetchers: sc.Fetchers,
-			Objects:  len(sc.Objects),
-			Wiring:   sc.Wiring,
+			Name:      name,
+			Desc:      e.desc,
+			Sources:   sc.Sources,
+			Relays:    sc.Relays,
+			Caches:    sc.Caches,
+			Fetchers:  sc.Fetchers,
+			Polluters: sc.Polluters,
+			Objects:   len(sc.Objects),
+			Wiring:    sc.Wiring,
 		})
 	}
 	return out

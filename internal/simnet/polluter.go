@@ -1,0 +1,175 @@
+package simnet
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"ltnc/internal/packet"
+	"ltnc/internal/transport"
+)
+
+// reqTag is the session wire protocol's REQ frame type byte; the polluter
+// recognizes subscription requests by it (see the internal/session
+// package doc for the frame vocabulary).
+const reqTag = 0x02
+
+// polluter is a Byzantine actor on the fabric: a raw port — no session,
+// no coder — that watches for REQ subscriptions and answers them with a
+// continuous stream of forged DATA rows. The forgeries are wire-perfect
+// (valid v2/v3 geometry for the requested object, exact honest frame
+// size) but carry garbage payloads, so they pass every syntactic check
+// and poison any decoder that accepts them. The polluter ignores all
+// feedback: it never stops on fbRedundant or completion signals, which
+// is precisely the behavior the session's blame/quarantine machinery
+// must convict. Pumping is driven by the fabric scheduler at virtual
+// intervals and stops once no REQ has arrived for pollIdle of virtual
+// time, bounding the forged-traffic inflation a run can see.
+type polluter struct {
+	name string
+	net  *Net
+	port *Port
+	geom map[packet.ObjectID]objGeom
+
+	every time.Duration // virtual pump interval
+	burst int           // forged rows per victim per pump
+	idle  time.Duration // stop pumping this long after the last REQ
+
+	mu      sync.Mutex
+	victims map[transport.Addr]map[packet.ObjectID]struct{}
+	lastReq time.Time
+	seq     int
+
+	recvDone chan struct{}
+}
+
+const (
+	pollEvery = 5 * time.Millisecond
+	pollBurst = 1
+	pollIdle  = 500 * time.Millisecond
+)
+
+// startPolluter attaches the actor to the fabric and arms its receive
+// loop and scheduler pump. geom is read-only ground truth shared with
+// the runner (a real attacker would learn geometry by observing frames;
+// handing it the map keeps the actor deterministic and simple).
+func startPolluter(ctx context.Context, net *Net, name string, geom map[packet.ObjectID]objGeom) (*polluter, error) {
+	port, err := net.Attach(transport.Addr(name))
+	if err != nil {
+		return nil, err
+	}
+	p := &polluter{
+		name:     name,
+		net:      net,
+		port:     port,
+		geom:     geom,
+		every:    pollEvery,
+		burst:    pollBurst,
+		idle:     pollIdle,
+		victims:  make(map[transport.Addr]map[packet.ObjectID]struct{}),
+		lastReq:  net.Now(),
+		recvDone: make(chan struct{}),
+	}
+	go p.recvLoop(ctx)
+	net.After(p.every, func() { p.pump(ctx) })
+	return p, nil
+}
+
+// recvLoop drains the port promptly — the fabric counts queued frames as
+// activity, so a slow consumer would stall every virtual advance — and
+// records REQ subscriptions. Everything else (META, FEEDBACK, probes'
+// duplicate REQs) is dropped on the floor: a polluter that honored
+// feedback would stop forging and never be convicted.
+func (p *polluter) recvLoop(ctx context.Context) {
+	defer close(p.recvDone)
+	for {
+		f, err := p.port.Recv(ctx)
+		if err != nil {
+			return
+		}
+		if len(f.Data) == 1+len(packet.ObjectID{}) && f.Data[0] == reqTag {
+			var id packet.ObjectID
+			copy(id[:], f.Data[1:])
+			if _, ok := p.geom[id]; ok {
+				p.mu.Lock()
+				m := p.victims[f.From]
+				if m == nil {
+					m = make(map[packet.ObjectID]struct{})
+					p.victims[f.From] = m
+				}
+				m[id] = struct{}{}
+				p.lastReq = p.net.Now()
+				p.mu.Unlock()
+			}
+		}
+		f.Release()
+	}
+}
+
+// pump runs on the scheduler goroutine at virtual intervals: one burst
+// of forged rows to every (victim, object) subscription, round-robin
+// over row indices and generations so forgeries never collapse to
+// duplicates. It re-arms itself until the run context dies.
+func (p *polluter) pump(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	type tgt struct {
+		to transport.Addr
+		id packet.ObjectID
+	}
+	p.mu.Lock()
+	idleFor := p.net.Now().Sub(p.lastReq)
+	var tgts []tgt
+	for to, objs := range p.victims {
+		for id := range objs {
+			tgts = append(tgts, tgt{to, id})
+		}
+	}
+	seq := p.seq
+	p.mu.Unlock()
+	sort.Slice(tgts, func(i, j int) bool {
+		if tgts[i].to != tgts[j].to {
+			return tgts[i].to < tgts[j].to
+		}
+		return tgts[i].id.String() < tgts[j].id.String()
+	})
+	if idleFor < p.idle {
+		for _, t := range tgts {
+			g := p.geom[t.id]
+			for i := 0; i < p.burst; i++ {
+				payload := make([]byte, g.m)
+				for j := range payload {
+					payload[j] = 0xB6
+				}
+				// Vary the garbage so forged rows stay "innovative".
+				payload[0], payload[1] = byte(seq), byte(seq>>8)
+				pk := packet.Native(g.kPer, seq%g.kPer, payload)
+				pk.Object = t.id
+				if g.gens > 1 {
+					pk.Generation = uint32(seq % g.gens)
+					pk.Generations = uint32(g.gens)
+				}
+				seq++
+				wire, err := packet.Marshal(pk)
+				if err != nil {
+					return
+				}
+				if p.port.Send(t.to, append([]byte{dataTag}, wire...)) != nil {
+					return // port closed: the run is tearing down
+				}
+			}
+		}
+		p.mu.Lock()
+		p.seq = seq
+		p.mu.Unlock()
+	}
+	p.net.After(p.every, func() { p.pump(ctx) })
+}
+
+// close detaches the actor; the receive loop exits on the closed port.
+func (p *polluter) close() {
+	p.port.Close()
+	<-p.recvDone
+}

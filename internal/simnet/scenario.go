@@ -133,6 +133,15 @@ type Scenario struct {
 	Fetchers int
 	Objects  []ObjectSpec
 
+	// Polluters adds Byzantine actors to the swarm: raw ports that answer
+	// REQ subscriptions with wire-perfect forged DATA rows (valid
+	// geometry, garbage payloads) and ignore all feedback — the adversary
+	// the session layer's integrity manifests and blame/quarantine
+	// machinery exist for. Every fetcher subscribes at all polluters on
+	// top of its honest relay picks, so each fetch is exposed. Requires
+	// star wiring without a cache tier.
+	Polluters int
+
 	// Caches inserts a tier of budgeted partial-cache sessions between
 	// the sources and the fetchers: sources push into a cache chain
 	// c0 → c1 → …, fetchers subscribe at caches only, and the caches
@@ -187,8 +196,11 @@ func (sc *Scenario) setDefaults() error {
 	if sc.Fetchers == 0 {
 		sc.Fetchers = 4
 	}
-	if sc.Sources < 1 || sc.Relays < 0 || sc.Caches < 0 || sc.Fetchers < 1 {
-		return fmt.Errorf("simnet: population %d/%d/%d/%d invalid", sc.Sources, sc.Relays, sc.Caches, sc.Fetchers)
+	if sc.Sources < 1 || sc.Relays < 0 || sc.Caches < 0 || sc.Fetchers < 1 || sc.Polluters < 0 {
+		return fmt.Errorf("simnet: population %d/%d/%d/%d/%d invalid", sc.Sources, sc.Relays, sc.Caches, sc.Fetchers, sc.Polluters)
+	}
+	if sc.Polluters > 0 && (sc.Wiring != WiringStar || sc.Caches > 0) {
+		return fmt.Errorf("simnet: polluter tier requires star wiring without caches")
 	}
 	if sc.Caches > 0 {
 		if sc.Wiring != WiringStar {
@@ -249,6 +261,10 @@ type FetchResult struct {
 	Overhead    float64       `json:"overhead,omitempty"`
 	CompletedAt time.Duration `json:"completed_at,omitempty"` // virtual
 	Err         string        `json:"err,omitempty"`
+	// Polluted counts the quarantine events the fetch survived; Banned is
+	// the node's conviction list at fetch resolution (polluter scenarios).
+	Polluted int64    `json:"polluted,omitempty"`
+	Banned   []string `json:"banned,omitempty"`
 }
 
 // Report is the outcome of one scenario run.
@@ -275,6 +291,12 @@ type Report struct {
 	// CacheTiers snapshots each cache node's partial-cache counters at
 	// teardown, keyed by node name (cache-tier scenarios only).
 	CacheTiers map[string]cache.Stats `json:"cache_tiers,omitempty"`
+
+	// DataFrames counts every DATA frame offered to the fabric by anyone —
+	// the total a polluted run's traffic inflation is judged against.
+	// ForgedDataFrames is the slice of that total sent by polluter actors.
+	DataFrames       int64 `json:"data_frames"`
+	ForgedDataFrames int64 `json:"forged_data_frames,omitempty"`
 
 	Net Stats `json:"net"`
 	// TimelineHash digests the resolved event schedule (churn victims,
@@ -329,9 +351,11 @@ type runner struct {
 	geom     map[packet.ObjectID]objGeom
 	ids      []packet.ObjectID
 
-	// srcSet marks source addresses; inspect counts their DATA frames
-	// (read-only after setup, so safe on the sender goroutines).
-	srcSet map[transport.Addr]bool
+	// srcSet marks source addresses and pollSet polluter addresses;
+	// inspect counts their DATA frames (both read-only after setup, so
+	// safe on the sender goroutines).
+	srcSet  map[transport.Addr]bool
+	pollSet map[transport.Addr]bool
 
 	mu          sync.Mutex
 	nodes       map[string]*simNode
@@ -342,6 +366,8 @@ type runner struct {
 	allDone     chan struct{} // closed when outstanding == pendingJoin == 0
 	maxHeader   int
 	originData  int64
+	dataFrames  int64
+	forgedData  int64
 }
 
 func (r *runner) violatef(format string, args ...any) {
@@ -417,9 +443,17 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for i := range fetcherNames {
 		fetcherNames[i] = fmt.Sprintf("f%d", i)
 	}
+	pollNames := make([]string, sc.Polluters)
+	for i := range pollNames {
+		pollNames[i] = fmt.Sprintf("p%d", i)
+	}
 	r.srcSet = make(map[transport.Addr]bool, sc.Sources)
 	for _, name := range srcNames {
 		r.srcSet[transport.Addr(name)] = true
+	}
+	r.pollSet = make(map[transport.Addr]bool, sc.Polluters)
+	for _, name := range pollNames {
+		r.pollSet[transport.Addr(name)] = true
 	}
 
 	// Wiring resolution (consumes setupRng in fixed order).
@@ -462,6 +496,10 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 			// always completable and a failure means a real protocol bug.
 			out = append(out, srcNames...)
 		}
+		// Every fetcher subscribes at every polluter on top of its honest
+		// picks: the adversarial scenarios must expose each fetch to the
+		// forged stream, or conviction would hinge on sampling luck.
+		out = append(out, pollNames...)
 		sort.Strings(out)
 		return out
 	}
@@ -604,6 +642,17 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 
+	// Polluter actors: attached once the sources have resolved every
+	// object's geometry, which the forgeries must reproduce exactly.
+	var polluters []*polluter
+	for _, name := range pollNames {
+		pl, err := startPolluter(ctx, net, name, r.geom)
+		if err != nil {
+			return nil, err
+		}
+		polluters = append(polluters, pl)
+	}
+
 	// Relay chain / star.
 	for i, name := range relayNames {
 		var peers []string
@@ -695,11 +744,14 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for _, nd := range nodes {
 		<-nd.runDone
 	}
+	for _, pl := range polluters {
+		pl.close()
+	}
 
 	rep := &Report{
 		Scenario:       sc.Name,
 		Seed:           sc.Seed,
-		Nodes:          sc.Sources + sc.Relays + sc.Caches + sc.Fetchers,
+		Nodes:          sc.Sources + sc.Relays + sc.Caches + sc.Fetchers + sc.Polluters,
 		CacheTiers:     cacheTiers,
 		VirtualElapsed: virtualElapsed,
 		WallElapsed:    time.Since(wallStart),
@@ -711,6 +763,8 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	rep.Violations = append(rep.Violations, r.violations...)
 	rep.MaxHeaderBytes = r.maxHeader
 	rep.OriginDataFrames = r.originData
+	rep.DataFrames = r.dataFrames
+	rep.ForgedDataFrames = r.forgedData
 	r.mu.Unlock()
 	sort.Slice(rep.Fetches, func(i, j int) bool {
 		if rep.Fetches[i].Node != rep.Fetches[j].Node {
@@ -761,7 +815,7 @@ func (r *runner) fetchOne(ctx context.Context, nd *simNode, id packet.ObjectID) 
 	cancelW := nd.sess.Watch(id, mw.observe)
 	defer cancelW()
 	data, stats, err := nd.sess.Fetch(ctx, id)
-	res := FetchResult{Node: nd.name, Object: id.String()}
+	res := FetchResult{Node: nd.name, Object: id.String(), Polluted: stats.Polluted}
 	if err != nil {
 		res.Crashed = nd.isCrashed()
 		res.Err = err.Error()
@@ -773,6 +827,11 @@ func (r *runner) fetchOne(ctx context.Context, nd *simNode, id packet.ObjectID) 
 		res.Bytes = len(data)
 		res.Overhead = stats.Overhead()
 		res.CompletedAt = r.net.Elapsed()
+		if len(r.pollSet) > 0 {
+			for _, b := range nd.sess.BannedPeers() {
+				res.Banned = append(res.Banned, string(b))
+			}
+		}
 		if !bytes.Equal(data, r.contents[id]) {
 			r.violatef("node %s object %s: fetched bytes differ from served content", nd.name, id)
 		}
@@ -905,11 +964,20 @@ func (w *monoWatch) observe(o session.ObjectStats) {
 	defer w.mu.Unlock()
 	if w.seen {
 		l := w.last
+		// Quarantine is the one sanctioned regression: a poisoned
+		// generation's decoded rows are discarded and re-fetched, so
+		// decode progress may step back exactly when Polluted grows (the
+		// session's Watch contract). Pollution counters themselves never
+		// regress, and completion stays final — it is declared only after
+		// the content identity proved out.
+		quarantined := o.Polluted > l.Polluted
 		switch {
-		case o.Decoded < l.Decoded:
-			w.r.violatef("node %s object %s: Watch decoded regressed %d → %d", w.node, w.obj, l.Decoded, o.Decoded)
-		case o.GensComplete < l.GensComplete:
-			w.r.violatef("node %s object %s: Watch generations-complete regressed %d → %d", w.node, w.obj, l.GensComplete, o.GensComplete)
+		case o.Polluted < l.Polluted:
+			w.r.violatef("node %s object %s: Watch polluted regressed %d → %d", w.node, w.obj, l.Polluted, o.Polluted)
+		case o.Decoded < l.Decoded && !quarantined:
+			w.r.violatef("node %s object %s: Watch decoded regressed %d → %d without a quarantine", w.node, w.obj, l.Decoded, o.Decoded)
+		case o.GensComplete < l.GensComplete && !quarantined:
+			w.r.violatef("node %s object %s: Watch generations-complete regressed %d → %d without a quarantine", w.node, w.obj, l.GensComplete, o.GensComplete)
 		case l.Complete && !o.Complete:
 			w.r.violatef("node %s object %s: Watch un-completed", w.node, w.obj)
 		case l.K != 0 && o.K != 0 && o.K != l.K:
@@ -929,11 +997,15 @@ func (r *runner) inspect(from, to transport.Addr, frame []byte) {
 	if len(frame) == 0 || frame[0] != dataTag {
 		return
 	}
+	r.mu.Lock()
+	r.dataFrames++
 	if r.srcSet[from] {
-		r.mu.Lock()
 		r.originData++
-		r.mu.Unlock()
 	}
+	if r.pollSet[from] {
+		r.forgedData++
+	}
+	r.mu.Unlock()
 	wv, err := packet.ParseWire(frame[1:])
 	if err != nil {
 		r.violatef("%s→%s: unparseable DATA frame (%d bytes): %v", from, to, len(frame), err)

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
@@ -211,6 +212,75 @@ func TestScenarioEdgeCacheReproducible(t *testing.T) {
 	if a.TimelineHash != b.TimelineHash {
 		t.Errorf("timeline hash differs across identical runs")
 	}
+}
+
+// TestScenarioPollutedSwarm is the pollution-defense acceptance case: 2
+// of the 8 serving peers forge wire-perfect garbage rows at every
+// fetcher. Every fetch must still complete byte-identically (runScenario
+// checks that), pollution must actually land and be quarantined, both
+// polluters must stand convicted by the time each poisoned fetch
+// completes, and the forged stream plus the re-fetch traffic must not
+// inflate total DATA frames beyond 2× a clean run of the same swarm.
+func TestScenarioPollutedSwarm(t *testing.T) {
+	rep := runScenario(t, "polluted-swarm", 1)
+
+	sc, err := Named("polluted-swarm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polluters := make([]string, sc.Polluters)
+	for i := range polluters {
+		polluters[i] = fmt.Sprintf("p%d", i)
+	}
+
+	poisoned := 0
+	for _, f := range rep.Fetches {
+		if !f.Completed {
+			continue // already a failure via runScenario
+		}
+		if f.Polluted == 0 {
+			continue
+		}
+		poisoned++
+		// A poisoned fetch cannot have completed with its attackers still
+		// trusted: completion requires every quarantined generation
+		// re-verified, which the blame machinery only reaches after
+		// convicting the forgers.
+		for _, p := range polluters {
+			if !slices.Contains(f.Banned, p) {
+				t.Errorf("node %s completed a poisoned fetch (%d quarantines) without convicting %s (banned: %v)",
+					f.Node, f.Polluted, p, f.Banned)
+			}
+		}
+	}
+	if poisoned == 0 {
+		t.Error("no fetch recorded a pollution event — the forged stream never landed")
+	}
+	if rep.ForgedDataFrames == 0 {
+		t.Error("polluters sent no DATA frames — the attack never ran")
+	}
+
+	// Overhead bound: total DATA on the fabric (forged stream included)
+	// stays within 2× the clean run of the identical swarm minus the
+	// polluters.
+	clean := sc
+	clean.Polluters = 0
+	cleanRep, err := clean.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleanRep.Violations) != 0 || cleanRep.FetchesFailed != 0 {
+		t.Fatalf("clean baseline run misbehaved: %v", cleanRep.Violations)
+	}
+	if cleanRep.DataFrames == 0 {
+		t.Fatal("clean baseline counted no DATA frames")
+	}
+	if bound := 2 * cleanRep.DataFrames; rep.DataFrames > bound {
+		t.Errorf("polluted run sent %d DATA frames (%d forged), over the 2× clean bound %d",
+			rep.DataFrames, rep.ForgedDataFrames, bound)
+	}
+	t.Logf("polluted run: %d poisoned fetches, %d DATA frames (%d forged) vs clean %d",
+		poisoned, rep.DataFrames, rep.ForgedDataFrames, cleanRep.DataFrames)
 }
 
 // TestSeedCorpus replays the regression corpus: seeds that once broke a

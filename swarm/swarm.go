@@ -80,6 +80,12 @@ var (
 	// ErrNoPeers is returned by Fetch when it has nowhere to send the
 	// request: no explicit source and no configured peers.
 	ErrNoPeers = session.ErrNoPeers
+	// ErrPolluted is wrapped by Fetch when pollution defense has convicted
+	// every candidate peer of serving forged packets: there is no one left
+	// to ask, so the fetch fails fast instead of spinning until ctx dies.
+	// Partial damage short of that travels in FetchReport.Stats (Polluted,
+	// GensVerified, HaveManifest); BannedPeers lists the convicts.
+	ErrPolluted = session.ErrPolluted
 )
 
 // Config parameterizes a Session. The zero value of every field selects a
@@ -345,7 +351,9 @@ type FetchReport struct {
 	Elapsed time.Duration
 	// Stats carries the decode-side counters at completion;
 	// Stats.Overhead() is the paper's reception overhead (received
-	// packets / k).
+	// packets / k). Under pollution defense it also reports integrity
+	// state: HaveManifest, GensVerified, and Polluted (quarantine events
+	// survived on the way to completion).
 	Stats ObjectStats
 }
 
@@ -420,6 +428,12 @@ func (s *Session) Stats() []ObjectStats { return s.s.Objects() }
 func (s *Session) Object(id ObjectID) (ObjectStats, bool) {
 	return s.s.Object(id)
 }
+
+// BannedPeers lists the peers this session has convicted of pollution —
+// peers whose packets failed integrity verification against an object's
+// manifest. Banned peers are neither served nor asked again; a fetch
+// whose every candidate is banned fails with ErrPolluted.
+func (s *Session) BannedPeers() []Addr { return s.s.BannedPeers() }
 
 // CacheStats returns the partial cache's occupancy and policy counters;
 // ok is false unless the session was configured with Config.CacheBudget.
