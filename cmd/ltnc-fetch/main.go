@@ -7,6 +7,7 @@
 // Usage:
 //
 //	ltnc-fetch -from host:4980 -id <32-hex-digit object id> -out file
+//	ltnc-fetch -bootstrap seed:4980 -id <id> -out file   # discover by gossip
 //
 // The command is a thin flag-parsing wrapper over the public ltnc/swarm
 // API; everything it does is available to library users.
@@ -19,11 +20,23 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ltnc/swarm"
 )
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -37,7 +50,8 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ltnc-fetch", flag.ContinueOnError)
 	var (
-		from    = fs.String("from", "", "serve daemon address (host:port)")
+		from    = fs.String("from", "", "serve daemon address (host:port); optional with -bootstrap")
+		boot    = fs.String("bootstrap", "", "comma-separated bootstrap addresses: discover sources through the membership plane")
 		idHex   = fs.String("id", "", "object id (32 hex digits, printed by ltnc-serve)")
 		output  = fs.String("out", "", "output file (\"-\" for stdout)")
 		bind    = fs.String("bind", "0.0.0.0:0", "local UDP address")
@@ -48,14 +62,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *from == "" || *idHex == "" || *output == "" {
-		return fmt.Errorf("-from, -id and -out are required")
+	if (*from == "" && *boot == "") || *idHex == "" || *output == "" {
+		return fmt.Errorf("-id, -out and one of -from or -bootstrap are required")
 	}
 	id, err := swarm.ParseObjectID(*idHex)
 	if err != nil {
 		return err
 	}
 	cfg := swarm.Config{Listen: *bind, Seed: *seed}
+	for _, b := range splitList(*boot) {
+		cfg.Bootstrap = append(cfg.Bootstrap, swarm.Addr(b))
+	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -73,7 +90,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	fetchCtx, fcancel := context.WithTimeout(ctx, *timeout)
 	defer fcancel()
-	content, report, err := s.Fetch(fetchCtx, id, swarm.Addr(*from))
+	var srcs []swarm.Addr
+	if *from != "" {
+		srcs = append(srcs, swarm.Addr(*from))
+	}
+	content, report, err := s.Fetch(fetchCtx, id, srcs...)
 	banned := s.BannedPeers()
 	cancel()
 	s.Close()

@@ -8,6 +8,7 @@
 //
 //	ltnc-serve -listen :4980 -file big.iso [-k 1024] [-peer host:4980,...]
 //	ltnc-serve -listen :4981 -peer next-hop:4980        # pure relay
+//	ltnc-serve -listen :4982 -bootstrap seed:4980       # join by gossip
 //
 // Each served file is announced on stdout as "serving <id> <path>"; pass
 // the id to ltnc-fetch. The daemon runs until SIGINT/SIGTERM.
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		listen  = fs.String("listen", "127.0.0.1:4980", "UDP listen address")
 		files   = fs.String("file", "", "comma-separated files to serve")
 		peers   = fs.String("peer", "", "comma-separated push targets (host:port)")
+		boot    = fs.String("bootstrap", "", "comma-separated bootstrap addresses: join the swarm's membership plane and discover peers by gossip")
 		k       = fs.Int("k", 256, "code length for served files")
 		gens    = fs.Int("generations", 0, "coding generations per served file (0 = auto from k; headers and decode state are O(k/G))")
 		relay   = fs.Bool("relay", true, "recode and re-push objects learned from peers")
@@ -68,8 +70,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *files == "" && *peers == "" && !*relay {
-		return fmt.Errorf("nothing to do: need -file to serve, -peer to push toward, or -relay")
+	if *files == "" && *peers == "" && *boot == "" && !*relay {
+		return fmt.Errorf("nothing to do: need -file to serve, -peer to push toward, -bootstrap to join through, or -relay")
 	}
 	if *k < 1 {
 		return fmt.Errorf("k = %d < 1", *k)
@@ -88,6 +90,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	for _, p := range splitList(*peers) {
 		cfg.Peers = append(cfg.Peers, swarm.Addr(p))
+	}
+	for _, b := range splitList(*boot) {
+		cfg.Bootstrap = append(cfg.Bootstrap, swarm.Addr(b))
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {

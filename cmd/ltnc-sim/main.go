@@ -97,11 +97,12 @@ func run(args []string, out io.Writer) error {
 }
 
 // listScenarios prints the catalog, one scenario per line: name, resolved
-// population (sources/relays/caches/polluters/fetchers and object count)
+// population (sources/relays/caches/polluters/fetchers and object count),
+// how many bootstrap nodes seed the membership plane (0 = static wiring)
 // and what the scenario exercises.
 func listScenarios(out io.Writer) error {
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "NAME\tNODES\tOBJECTS\tDESCRIPTION")
+	fmt.Fprintln(tw, "NAME\tNODES\tBOOT\tOBJECTS\tDESCRIPTION")
 	for _, info := range simlab.Catalog() {
 		var pop []string
 		if info.Sources > 0 {
@@ -119,7 +120,11 @@ func listScenarios(out io.Writer) error {
 		if info.Fetchers > 0 {
 			pop = append(pop, fmt.Sprintf("%df", info.Fetchers))
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", info.Name, strings.Join(pop, "+"), info.Objects, info.Desc)
+		boot := "-"
+		if info.Bootstrap > 0 {
+			boot = strconv.Itoa(info.Bootstrap)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\n", info.Name, strings.Join(pop, "+"), boot, info.Objects, info.Desc)
 	}
 	return tw.Flush()
 }

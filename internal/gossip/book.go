@@ -1,10 +1,24 @@
 package gossip
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sync"
 )
+
+// entropySeed draws a fresh seed from the operating system's entropy
+// source, so independently constructed samplers do not share streams. A
+// broken entropy source is unrecoverable; like the stdlib's global rand,
+// we panic rather than degrade to a shared constant seed.
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("gossip: reading entropy: %v", err))
+	}
+	return int64(binary.BigEndian.Uint64(b[:]))
+}
 
 // Book is a concurrency-safe peer book with uniform sampling for
 // long-running daemons: peers join and leave at runtime (static samplers
@@ -17,13 +31,23 @@ type Book[P comparable] struct {
 	rng   *rand.Rand
 }
 
-// NewBook returns an empty peer book drawing from rng (seeded with 1 when
-// nil).
+// NewBook returns an empty peer book drawing from rng. A nil rng seeds
+// from the operating system's entropy source: every book then samples an
+// independent stream, so two daemons constructed the same way do not
+// probe identical peer sequences. Deterministic callers (simulations,
+// replayable tests) use NewSeededBook or pass an explicit rng.
 func NewBook[P comparable](rng *rand.Rand) *Book[P] {
 	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+		rng = rand.New(rand.NewSource(entropySeed()))
 	}
 	return &Book[P]{index: make(map[P]int), rng: rng}
+}
+
+// NewSeededBook returns an empty peer book whose sampling stream is a
+// pure function of seed — the determinism-preserving constructor for the
+// virtual-time fabric and seed-replay corpora.
+func NewSeededBook[P comparable](seed int64) *Book[P] {
+	return NewBook[P](rand.New(rand.NewSource(seed)))
 }
 
 // Add inserts a peer; it reports whether the peer was new.

@@ -56,6 +56,59 @@ func TestBookAddRemove(t *testing.T) {
 	}
 }
 
+// TestBookNilRngIndependence guards the nil-rng default: books built
+// without an explicit rng must draw independent entropy-seeded streams,
+// not a shared constant seed.
+func TestBookNilRngIndependence(t *testing.T) {
+	draw := func(b *Book[int]) []int {
+		for i := 0; i < 64; i++ {
+			b.Add(i)
+		}
+		out := make([]int, 32)
+		for i := range out {
+			out[i], _ = b.Sample(-1)
+		}
+		return out
+	}
+	a := draw(NewBook[int](nil))
+	for attempt := 0; ; attempt++ {
+		b := draw(NewBook[int](nil))
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			return
+		}
+		if attempt >= 3 {
+			t.Fatal("independently constructed nil-rng books draw identical sample streams")
+		}
+	}
+}
+
+func TestSeededBookDeterminism(t *testing.T) {
+	draw := func(b *Book[int]) []int {
+		for i := 0; i < 64; i++ {
+			b.Add(i)
+		}
+		out := make([]int, 32)
+		for i := range out {
+			out[i], _ = b.Sample(-1)
+		}
+		return out
+	}
+	a := draw(NewSeededBook[int](42))
+	b := draw(NewSeededBook[int](42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded books diverge at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
 func TestBookConcurrentUse(t *testing.T) {
 	b := NewBook[int](rand.New(rand.NewSource(7)))
 	var wg sync.WaitGroup

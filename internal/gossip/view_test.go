@@ -1,0 +1,178 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTestView(size int) *View[string] {
+	return NewView[string](size, rand.New(rand.NewSource(1)))
+}
+
+func TestViewBoundHolds(t *testing.T) {
+	v := newTestView(4)
+	for i := 0; i < 100; i++ {
+		v.Insert(ViewEntry[string]{Addr: string(rune('a' + i%26)), Age: i % 5})
+		if v.Len() > v.Cap() {
+			t.Fatalf("view grew to %d entries past bound %d", v.Len(), v.Cap())
+		}
+	}
+	if v.Len() != 4 {
+		t.Fatalf("full view holds %d entries, want 4", v.Len())
+	}
+}
+
+func TestViewInsertPrefersFresh(t *testing.T) {
+	v := newTestView(2)
+	v.Insert(ViewEntry[string]{Addr: "a", Age: 1})
+	v.Insert(ViewEntry[string]{Addr: "b", Age: 3})
+	// A fresher rumor about a known peer refreshes it.
+	v.Insert(ViewEntry[string]{Addr: "b", Age: 0, Capacity: 9})
+	for _, e := range v.Entries() {
+		if e.Addr == "b" && (e.Age != 0 || e.Capacity != 9) {
+			t.Fatalf("refresh did not take: %+v", e)
+		}
+	}
+	// A staler rumor must not roll a fresh entry back.
+	v.Insert(ViewEntry[string]{Addr: "b", Age: 7, Capacity: 0})
+	for _, e := range v.Entries() {
+		if e.Addr == "b" && e.Age != 0 {
+			t.Fatalf("stale rumor rolled back freshness: %+v", e)
+		}
+	}
+	// At capacity, a new entry staler than everything resident is dropped.
+	v.Insert(ViewEntry[string]{Addr: "c", Age: 9})
+	if v.Contains("c") {
+		t.Fatal("stale newcomer displaced a live entry")
+	}
+	// A fresh newcomer evicts the stalest ("a" at age 1).
+	v.Insert(ViewEntry[string]{Addr: "d", Age: 0})
+	if !v.Contains("d") || v.Contains("a") {
+		t.Fatalf("fresh newcomer handling wrong: %v", v.Addrs())
+	}
+}
+
+func TestViewTickExpires(t *testing.T) {
+	v := newTestView(8)
+	v.Insert(ViewEntry[string]{Addr: "old", Age: 3})
+	v.Insert(ViewEntry[string]{Addr: "young", Age: 0})
+	expired := v.Tick(3)
+	if len(expired) != 1 || expired[0] != "old" {
+		t.Fatalf("Tick expired %v, want [old]", expired)
+	}
+	if !v.Contains("young") || v.Contains("old") {
+		t.Fatalf("view after expiry: %v", v.Addrs())
+	}
+	// Fresh resets the clock.
+	for i := 0; i < 3; i++ {
+		v.Tick(3)
+		v.Fresh("young")
+	}
+	if !v.Contains("young") {
+		t.Fatal("continuously fresh peer expired")
+	}
+}
+
+func TestViewDemoteRemovesAfterMaxFails(t *testing.T) {
+	v := newTestView(8)
+	v.Insert(ViewEntry[string]{Addr: "flaky"})
+	for i := 0; i < maxFails-1; i++ {
+		if v.Demote("flaky") {
+			t.Fatalf("removed after %d failures", i+1)
+		}
+	}
+	if !v.Demote("flaky") {
+		t.Fatal("not removed after maxFails failures")
+	}
+	if v.Contains("flaky") {
+		t.Fatal("demoted peer still in view")
+	}
+	if v.Demote("absent") {
+		t.Fatal("demoting an absent peer reported removal")
+	}
+}
+
+func TestViewMergeExcludes(t *testing.T) {
+	v := newTestView(8)
+	banned := map[string]bool{"evil": true}
+	v.Merge([]ViewEntry[string]{
+		{Addr: "self"}, {Addr: "evil"}, {Addr: "ok"},
+	}, func(p string) bool { return p == "self" || banned[p] })
+	if v.Contains("self") || v.Contains("evil") {
+		t.Fatalf("excluded entries admitted: %v", v.Addrs())
+	}
+	if !v.Contains("ok") {
+		t.Fatal("honest entry dropped")
+	}
+}
+
+func TestViewShuffleTargetPicksStalest(t *testing.T) {
+	v := newTestView(8)
+	if _, ok := v.ShuffleTarget(); ok {
+		t.Fatal("empty view produced a shuffle target")
+	}
+	v.Insert(ViewEntry[string]{Addr: "fresh", Age: 0})
+	v.Insert(ViewEntry[string]{Addr: "stale", Age: 5})
+	v.Insert(ViewEntry[string]{Addr: "mid", Age: 2})
+	if p, ok := v.ShuffleTarget(); !ok || p != "stale" {
+		t.Fatalf("shuffle target = %q, want stale", p)
+	}
+}
+
+func TestViewOfferBoundsAndSamples(t *testing.T) {
+	v := newTestView(16)
+	for i := 0; i < 10; i++ {
+		v.Insert(ViewEntry[string]{Addr: string(rune('a' + i))})
+	}
+	offer := v.Offer(4)
+	if len(offer) != 4 {
+		t.Fatalf("offer of %d entries, want 4", len(offer))
+	}
+	seen := map[string]bool{}
+	for _, e := range offer {
+		if seen[e.Addr] {
+			t.Fatalf("offer lists %s twice", e.Addr)
+		}
+		seen[e.Addr] = true
+	}
+	if got := v.Offer(100); len(got) != 10 {
+		t.Fatalf("over-asking returned %d entries, want 10", len(got))
+	}
+}
+
+func TestViewNeighborsPreferCapacityWithoutHerding(t *testing.T) {
+	v := NewView[string](64, rand.New(rand.NewSource(3)))
+	v.Insert(ViewEntry[string]{Addr: "relay", Capacity: 200, Role: RoleRelay})
+	v.Insert(ViewEntry[string]{Addr: "cache", Capacity: 160, Role: RoleCache})
+	for i := 0; i < 20; i++ {
+		v.Insert(ViewEntry[string]{Addr: string(rune('a' + i)), Capacity: 8})
+	}
+	relayHits, plainHits := 0, 0
+	for i := 0; i < 500; i++ {
+		for _, e := range v.Neighbors(4, nil) {
+			if e.Addr == "relay" {
+				relayHits++
+			}
+			if e.Addr == "a" {
+				plainHits++
+			}
+		}
+	}
+	if relayHits < 300 {
+		t.Fatalf("high-capacity relay drawn only %d/500 rounds", relayHits)
+	}
+	if plainHits == 0 {
+		t.Fatal("plain peer never drawn: selection herds onto top capacity")
+	}
+	// Filtered selection only returns matching entries.
+	for _, e := range v.Neighbors(10, func(e ViewEntry[string]) bool {
+		return e.Role&(RoleRelay|RoleCache) != 0
+	}) {
+		if e.Role == 0 {
+			t.Fatalf("filter violated: %+v", e)
+		}
+	}
+	if got := v.Neighbors(10, func(e ViewEntry[string]) bool { return false }); len(got) != 0 {
+		t.Fatalf("empty filter returned %d entries", len(got))
+	}
+}

@@ -1,0 +1,130 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MEMBER wire body — the payload of the session layer's MEMBER frame
+// kind, the PEX-style partial-view exchange of the membership plane. A
+// shuffle offer (or its reply) carries a small sample of the sender's
+// view, each entry naming a peer with its liveness age and a coarse
+// serving hint:
+//
+//	flags    1 byte    bit 0: reply — answers a shuffle, must not be
+//	                   answered again (prevents shuffle ping-pong)
+//	count    1 byte    number of entries, ≤ MaxMemberEntries
+//	count ×
+//	  role      1 byte   bit 0: relay, bit 1: cache
+//	  capacity  1 byte   relative serving-capacity hint (0 = unknown)
+//	  age       2 bytes  shuffle rounds since the entry was last fresh
+//	  addrLen   1 byte   ≥ 1
+//	  addr      addrLen bytes, opaque transport address
+//
+// The codec bounds every field so a hostile exchange can neither claim
+// an unbounded view nor smuggle empty or oversized addresses; semantic
+// filtering (self, banned, duplicate peers) belongs to the view merge in
+// internal/gossip.
+const (
+	// memberEntryFixed is the fixed prefix of one entry before the
+	// address bytes: role, capacity, age, addrLen.
+	memberEntryFixed = 1 + 1 + 2 + 1
+
+	// MaxMemberEntries caps the entries one exchange may carry. Shuffle
+	// offers are half-view samples, far smaller than this; the cap is a
+	// codec-level backstop on per-frame work and allocation.
+	MaxMemberEntries = 64
+
+	// MaxMemberAddr is the longest address one entry may carry; it is
+	// what a single length byte can express, ample for any host:port.
+	MaxMemberAddr = 255
+
+	// MemberFlagReply marks an exchange that answers a shuffle offer;
+	// receivers merge it but never answer it.
+	MemberFlagReply = 0x01
+
+	// MemberRoleRelay and MemberRoleCache are the role bits carried per
+	// entry: the peer recodes and re-serves objects (relay) or holds a
+	// byte-budgeted partial cache (cache). A plain fetcher has no bits.
+	MemberRoleRelay = 0x01
+	MemberRoleCache = 0x02
+)
+
+// ErrBadMember marks a malformed MEMBER body: truncated buffer, entry
+// count over MaxMemberEntries, an empty address, or trailing bytes. It
+// wraps ErrBadPacket.
+var ErrBadMember = fmt.Errorf("%w: bad member exchange", ErrBadPacket)
+
+// MemberEntry is one peer of a partial-view exchange.
+type MemberEntry struct {
+	// Addr is the peer's opaque transport address, 1..MaxMemberAddr
+	// bytes on the wire.
+	Addr string
+	// Age counts shuffle rounds since the entry was last known fresh;
+	// receivers prefer younger entries when merging.
+	Age uint16
+	// Capacity is the peer's relative serving-capacity hint (0 =
+	// unknown); neighbor selection prefers higher values.
+	Capacity uint8
+	// Role holds the MemberRole* bits.
+	Role uint8
+}
+
+// AppendMemberBody appends the wire body of one partial-view exchange
+// and returns the extended slice.
+func AppendMemberBody(dst []byte, flags byte, entries []MemberEntry) ([]byte, error) {
+	if len(entries) > MaxMemberEntries {
+		return dst, fmt.Errorf("%w: %d entries", ErrBadMember, len(entries))
+	}
+	dst = append(dst, flags, byte(len(entries)))
+	for _, e := range entries {
+		if len(e.Addr) < 1 || len(e.Addr) > MaxMemberAddr {
+			return dst, fmt.Errorf("%w: address of %d bytes", ErrBadMember, len(e.Addr))
+		}
+		dst = append(dst, e.Role, e.Capacity)
+		dst = binary.BigEndian.AppendUint16(dst, e.Age)
+		dst = append(dst, byte(len(e.Addr)))
+		dst = append(dst, e.Addr...)
+	}
+	return dst, nil
+}
+
+// ParseMemberBody decodes a partial-view exchange body. The returned
+// entries do not alias data; every accepted entry has a non-empty
+// address.
+func ParseMemberBody(data []byte) (flags byte, entries []MemberEntry, err error) {
+	if len(data) < 2 {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrBadMember, len(data))
+	}
+	flags = data[0]
+	n := int(data[1])
+	if n > MaxMemberEntries {
+		return 0, nil, fmt.Errorf("%w: %d entries", ErrBadMember, n)
+	}
+	rest := data[2:]
+	entries = make([]MemberEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < memberEntryFixed {
+			return 0, nil, fmt.Errorf("%w: entry %d truncated", ErrBadMember, i)
+		}
+		e := MemberEntry{
+			Role:     rest[0],
+			Capacity: rest[1],
+			Age:      binary.BigEndian.Uint16(rest[2:]),
+		}
+		alen := int(rest[4])
+		if alen < 1 {
+			return 0, nil, fmt.Errorf("%w: entry %d has an empty address", ErrBadMember, i)
+		}
+		if len(rest) < memberEntryFixed+alen {
+			return 0, nil, fmt.Errorf("%w: entry %d address truncated", ErrBadMember, i)
+		}
+		e.Addr = string(rest[memberEntryFixed : memberEntryFixed+alen])
+		rest = rest[memberEntryFixed+alen:]
+		entries = append(entries, e)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMember, len(rest))
+	}
+	return flags, entries, nil
+}

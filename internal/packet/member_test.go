@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMemberBodyRoundTrip(t *testing.T) {
+	entries := []MemberEntry{
+		{Addr: "10.0.0.1:4980", Age: 0, Capacity: 200, Role: MemberRoleRelay},
+		{Addr: "edge-cache-7", Age: 3, Capacity: 160, Role: MemberRoleCache},
+		{Addr: "f", Age: 65535, Capacity: 0, Role: 0},
+	}
+	body, err := AppendMemberBody(nil, MemberFlagReply, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags, got, err := ParseMemberBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != MemberFlagReply {
+		t.Fatalf("flags = %#x, want %#x", flags, MemberFlagReply)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("parsed %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		if got[i] != e {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], e)
+		}
+	}
+}
+
+func TestMemberBodyEmpty(t *testing.T) {
+	body, err := AppendMemberBody(nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags, got, err := ParseMemberBody(body)
+	if err != nil || flags != 0 || len(got) != 0 {
+		t.Fatalf("empty exchange: flags=%#x entries=%v err=%v", flags, got, err)
+	}
+}
+
+func TestMemberBodyAppendBounds(t *testing.T) {
+	many := make([]MemberEntry, MaxMemberEntries+1)
+	for i := range many {
+		many[i].Addr = "x"
+	}
+	if _, err := AppendMemberBody(nil, 0, many); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("oversized entry count: err = %v", err)
+	}
+	if _, err := AppendMemberBody(nil, 0, []MemberEntry{{}}); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("empty address accepted: err = %v", err)
+	}
+	long := MemberEntry{Addr: strings.Repeat("a", MaxMemberAddr+1)}
+	if _, err := AppendMemberBody(nil, 0, []MemberEntry{long}); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("oversized address accepted: err = %v", err)
+	}
+	edge := MemberEntry{Addr: strings.Repeat("a", MaxMemberAddr)}
+	body, err := AppendMemberBody(nil, 0, []MemberEntry{edge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := ParseMemberBody(body); err != nil || got[0].Addr != edge.Addr {
+		t.Fatalf("max-length address did not round-trip: %v", err)
+	}
+}
+
+func TestMemberBodyParseBounds(t *testing.T) {
+	body, err := AppendMemberBody(nil, 0, []MemberEntry{{Addr: "peer-1", Age: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"flags only":      {0},
+		"count over max":  {0, MaxMemberEntries + 1},
+		"entry truncated": {0, 1, 0, 0},
+		"zero addrLen":    {0, 1, 0, 0, 0, 0, 0},
+		"addr truncated":  body[:len(body)-2],
+		"trailing bytes":  append(append([]byte(nil), body...), 0xff),
+		"count past data": {0, 2, 0, 0, 0, 0, 1, 'a'},
+	}
+	for name, data := range cases {
+		if _, _, err := ParseMemberBody(data); !errors.Is(err, ErrBadMember) {
+			t.Errorf("%s: err = %v, want ErrBadMember", name, err)
+		}
+		if _, _, err := ParseMemberBody(data); !errors.Is(err, ErrBadPacket) {
+			t.Errorf("%s: ErrBadMember does not wrap ErrBadPacket", name)
+		}
+	}
+}
+
+func TestMemberEntriesDoNotAliasInput(t *testing.T) {
+	body, err := AppendMemberBody(nil, 0, []MemberEntry{{Addr: "stable"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ParseMemberBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range body {
+		body[i] = 0xAA
+	}
+	if got[0].Addr != "stable" {
+		t.Fatalf("entry address mutated with input buffer: %q", got[0].Addr)
+	}
+}

@@ -41,6 +41,10 @@
 //	               total(4) | off(4) | n(2) | bytes — one slice of the
 //	               object's integrity manifest (internal/integrity),
 //	               sent and resent alongside META
+//	MEMBER   0x06 | partial-view exchange (packet.MemberEntry list): the
+//	               PEX shuffle of the membership plane — peer addresses
+//	               with age, capacity hint and relay/cache role; see
+//	               member.go and Config.Bootstrap
 //
 // A receiver that completes one generation of a still-incomplete object
 // reports kind 3, and the sender stops recoding that generation toward it
@@ -101,6 +105,7 @@ const (
 	frameMeta     = 0x03
 	frameFeedback = 0x04
 	frameManifest = 0x05
+	frameMember   = 0x06
 
 	fbRedundant   = 0x01
 	fbComplete    = 0x02
@@ -208,6 +213,30 @@ type Config struct {
 	// ltnc.WithRedundancyDetection via swarm.Config).
 	DisableRefinement      bool
 	DisableRedundancyCheck bool
+	// Bootstrap enables the epidemic membership plane (member.go): the
+	// session joins the swarm by shuffling partial views with these
+	// addresses, discovers further peers via MEMBER gossip, and steers
+	// pushes and fetch REQs toward its sampled neighbors instead of a
+	// static peer list. Empty (the default) disables the plane entirely;
+	// AddPeer-configured peers then remain the only standing targets.
+	Bootstrap []transport.Addr
+	// ViewSize bounds the membership view — the resident per-peer state
+	// of the plane (default 32).
+	ViewSize int
+	// ShufflePeriod is the membership shuffle cadence (default
+	// max(25·Tick, 250ms)): every period the view ages one round and one
+	// partial-view exchange goes out.
+	ShufflePeriod time.Duration
+	// Fanout bounds the active neighbor selections and the shuffle
+	// sample size (default 8): pushes address at most Fanout membership
+	// neighbors per object, keeping the push sweep O(active neighbors)
+	// rather than O(swarm).
+	Fanout int
+	// Capacity is the serving-capacity hint this session advertises in
+	// MEMBER exchanges (neighbor selection prefers higher values). Zero
+	// selects a role-derived default: 200 for relays, 160 for caches, 16
+	// otherwise.
+	Capacity uint8
 	// Clock is the time source behind every session timer — push ticks,
 	// META resend, idle eviction, satiation backoff, fetch retries.
 	// Default: the system clock. Simulations (internal/simnet) inject a
@@ -295,6 +324,24 @@ func (c *Config) setDefaults() error {
 	}
 	if c.CacheBudget > 0 && c.Relay {
 		return errors.New("session: Relay and CacheBudget are mutually exclusive")
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 32
+	}
+	if c.ViewSize < 1 {
+		return fmt.Errorf("session: view size %d < 1", c.ViewSize)
+	}
+	if c.ShufflePeriod == 0 {
+		c.ShufflePeriod = max(25*c.Tick, 250*time.Millisecond)
+	}
+	if c.ShufflePeriod < 0 {
+		return fmt.Errorf("session: shuffle period %v < 0", c.ShufflePeriod)
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 8
+	}
+	if c.Fanout < 1 {
+		return fmt.Errorf("session: fanout %d < 1", c.Fanout)
 	}
 	if c.Seed == 0 && !c.HaveSeed {
 		c.Seed = 1
@@ -534,6 +581,11 @@ type Session struct {
 	// and its rows are refused cache admission. Bans last the session.
 	banned map[transport.Addr]struct{}
 
+	// member is the epidemic membership plane (member.go) when
+	// Config.Bootstrap is non-empty; nil otherwise. It has its own locks
+	// and is a leaf in the lock order.
+	member *membership
+
 	nextRng atomic.Int64
 
 	shards        []chan inFrame
@@ -567,6 +619,9 @@ func New(cfg Config) (*Session, error) {
 			return nil, err
 		}
 		s.cache = c
+	}
+	if len(cfg.Bootstrap) > 0 {
+		s.member = newMembership(&s.cfg, s.tr.LocalAddr())
 	}
 	for i := range s.shards {
 		s.shards[i] = make(chan inFrame, cfg.IngestQueue)
@@ -1365,6 +1420,11 @@ func (s *Session) banPeers(addrs []transport.Addr) {
 		s.logf("session: banned %s: contributed rows failed integrity verification", addr)
 	}
 	s.mu.Unlock()
+	if s.member != nil {
+		// Evict convictions from the membership view and neighbor sets;
+		// the merge-time exclusion keeps gossip from re-admitting them.
+		s.member.ban(addrs)
+	}
 }
 
 // BannedPeers returns the peers this session has banned for pollution,
@@ -1754,6 +1814,10 @@ func (s *Session) handleFrame(f transport.Frame) {
 	if len(f.Data) == 0 {
 		return
 	}
+	// Any control frame is a sign of life for the membership plane
+	// (deliberately not the DATA hot path: freshness does not need
+	// per-frame granularity there, and the view lock must stay off it).
+	s.memberAlive(f.From)
 	var reply []byte
 	var extras [][]byte
 	switch f.Data[0] {
@@ -1765,6 +1829,8 @@ func (s *Session) handleFrame(f transport.Frame) {
 		s.handleFeedback(f.From, f.Data[1:])
 	case frameManifest:
 		s.handleManifest(f.From, f.Data[1:])
+	case frameMember:
+		reply = s.handleMember(f.From, f.Data[1:])
 	}
 	if reply != nil {
 		s.tr.Send(f.From, reply)
@@ -2217,6 +2283,14 @@ func (s *Session) tickLoop(ctx context.Context) {
 	// and at least once per second.
 	evictPeriod := min(time.Second, max(s.cfg.Tick, s.cfg.IdleTimeout/4))
 	evictEvery := max(1, int(evictPeriod/s.cfg.Tick))
+	// Membership shuffles ride the same ticker at their own cadence, at
+	// a per-session random phase so a lockstep-started swarm does not
+	// stampede its bootstrap nodes in synchronized rounds.
+	shuffleEvery, shufflePhase := 0, 0
+	if s.member != nil {
+		shuffleEvery = max(1, int(s.cfg.ShufflePeriod/s.cfg.Tick))
+		shufflePhase = s.member.phase(shuffleEvery)
+	}
 	tick := 0
 	for {
 		select {
@@ -2228,6 +2302,9 @@ func (s *Session) tickLoop(ctx context.Context) {
 			s.busy.Add(1)
 			s.push()
 			s.probeSweep()
+			if shuffleEvery > 0 && tick%shuffleEvery == shufflePhase {
+				s.memberShuffle()
+			}
 			if tick++; tick%evictEvery == 0 {
 				s.evict()
 			}
@@ -2475,8 +2552,11 @@ func (s *Session) metaResend() time.Duration {
 }
 
 // targetsLocked returns the push targets for one object: every live
-// subscriber plus the configured peers, excluding peers that reported
-// completion and peers backing off after satiation.
+// subscriber plus the standing targets — the configured peers and, with
+// the membership plane on, the current relay/cache-role neighbor
+// selection (bounded by Fanout, so the sweep is O(active neighbors)
+// however large the swarm's view of the world grows) — excluding peers
+// that reported completion and peers backing off after satiation.
 func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr {
 	skip := func(ps *peerState) bool {
 		return ps.done || now.Before(ps.pauseUntil)
@@ -2489,11 +2569,25 @@ func (s *Session) targetsLocked(st *objectState, now time.Time) []transport.Addr
 			seen[addr] = true
 		}
 	}
+	standing := s.peers
+	if s.member != nil {
+		if push := s.member.pushTargets(); len(push) > 0 {
+			merged := make([]transport.Addr, 0, len(s.peers)+len(push))
+			merged = append(merged, s.peers...)
+			for _, addr := range push {
+				if !slices.Contains(merged, addr) {
+					merged = append(merged, addr)
+				}
+			}
+			standing = merged
+		}
+	}
 	st.mu.Lock()
-	for _, addr := range s.peers {
+	for _, addr := range standing {
 		if seen[addr] {
 			continue
 		}
+		seen[addr] = true
 		if ps, ok := st.peers[addr]; ok && skip(ps) {
 			continue
 		}
@@ -2701,18 +2795,23 @@ func (s *Session) notifyWatchers(st *objectState) {
 
 // Fetch subscribes to object id, waits for the decode to complete and
 // returns the content. The REQ goes to every address in from — or, when
-// none is given, to every configured peer (AddPeer); with neither it
-// fails with ErrNoPeers. REQs are resent periodically (datagrams are
-// lossy) until the transfer finishes or ctx expires.
+// none is given, to every configured peer (AddPeer) plus, with the
+// membership plane on, the evolving neighbor selection (each resend
+// round re-draws candidates from the view, so a fetch started with an
+// empty view succeeds once discovery catches up); with no candidates
+// and no membership it fails with ErrNoPeers. REQs are resent
+// periodically (datagrams are lossy) until the transfer finishes or ctx
+// expires.
 func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transport.Addr) ([]byte, ObjectStats, error) {
 	if id.IsZero() {
 		return nil, ObjectStats{}, errors.New("session: fetch of zero object id")
 	}
 	s.mu.Lock()
+	dynamic := len(from) == 0 && s.member != nil
 	if len(from) == 0 {
 		from = append([]transport.Addr(nil), s.peers...)
 	}
-	if len(from) == 0 {
+	if len(from) == 0 && !dynamic {
 		s.mu.Unlock()
 		return nil, ObjectStats{}, ErrNoPeers
 	}
@@ -2751,9 +2850,19 @@ func (s *Session) Fetch(ctx context.Context, id packet.ObjectID, from ...transpo
 	// has banned every candidate, which fails fast with ErrPolluted.
 	attempt := 0
 	sendAll := func() error {
-		targets := s.steerTargets(st, from, attempt)
+		all := from
+		if dynamic {
+			all = s.fetchCandidates(st, from, attempt)
+		}
+		targets := s.steerTargets(st, all, attempt)
 		attempt++
 		if len(targets) == 0 {
+			if dynamic && len(s.bannedSnapshot()) == 0 {
+				// The view is simply still empty (fresh join, or every
+				// neighbor aged out); discovery will refill it — keep
+				// resending rather than failing.
+				return nil
+			}
 			return fmt.Errorf("session: fetch %v: %w", id, ErrPolluted)
 		}
 		var firstErr error
@@ -2864,6 +2973,35 @@ func (s *Session) promoteCached(st *objectState) {
 	if progressed {
 		s.notifyWatchers(st)
 	}
+}
+
+// fetchCandidates assembles one resend round's candidate set for a
+// dynamic fetch (no explicit sources, membership plane on): the static
+// configured peers plus the current neighbor selection, with the
+// bootstrap set folded in periodically (and whenever nothing else is
+// known) so the origin stays reachable however the view drifts. Every
+// candidate is solicited before it is REQed — solicitation is the trust
+// decision pollution conviction requires, and it must cover peers
+// discovered mid-fetch exactly like those known at the start.
+func (s *Session) fetchCandidates(st *objectState, static []transport.Addr, attempt int) []transport.Addr {
+	m := s.member
+	out := append([]transport.Addr(nil), static...)
+	for _, addr := range m.fetchTargets() {
+		if !slices.Contains(out, addr) {
+			out = append(out, addr)
+		}
+	}
+	if attempt%4 == 0 || len(out) == 0 {
+		for _, addr := range m.bootstrap {
+			if !slices.Contains(out, addr) {
+				out = append(out, addr)
+			}
+		}
+	}
+	st.mu.Lock()
+	st.soliciteLocked(out...)
+	st.mu.Unlock()
+	return out
 }
 
 // steerTargets picks the REQ targets for one resend round: the full

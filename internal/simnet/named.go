@@ -144,6 +144,108 @@ var named = map[string]namedScenario{
 			}
 		},
 	},
+	"flash-crowd-1k": {
+		desc: "1,000 sessions flash-join a 3-node bootstrap through the membership plane while 2 polluters gossip themselves in; every fetch byte-identical, views bounded, convicts never re-admitted",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "flash-crowd-1k",
+				Seed:    seed,
+				Sources: 3, Fetchers: 1000, Polluters: 2,
+				// Mesh: every joiner recodes, so the crowd absorbs itself —
+				// the 3 bootstrap sources seed the epidemic and gossip does
+				// the rest. Nobody is statically wired to anybody.
+				Wiring:    WiringMesh,
+				Bootstrap: 3,
+				ViewSize:  32, ShufflePeriod: 100 * time.Millisecond,
+				ViewConvergeBy: 30 * time.Second,
+				Objects:        []ObjectSpec{{Size: 8 << 10, K: 32}},
+				Tick:           25 * time.Millisecond,
+				Link:           LinkConfig{Latency: 2 * time.Millisecond},
+				Duration:       120 * time.Second,
+				WallBudget:     8 * time.Minute, // 1k sessions under -race
+			}
+		},
+	},
+	"asym-90-10": {
+		desc: "90% plain fetchers / 10% relays at 300 nodes: capacity-weighted neighbor selection must steer the crowd at the relay tier via gossip alone",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "asym-90-10",
+				Seed:    seed,
+				Sources: 2, Relays: 28, Fetchers: 270,
+				Bootstrap: 3, // both sources + r0
+				ViewSize:  32, ShufflePeriod: 100 * time.Millisecond,
+				ViewConvergeBy: 30 * time.Second,
+				Objects:        []ObjectSpec{{Size: 16 << 10, K: 64}},
+				Tick:           25 * time.Millisecond,
+				Link:           LinkConfig{Latency: 2 * time.Millisecond},
+				Duration:       120 * time.Second,
+				WallBudget:     5 * time.Minute,
+			}
+		},
+	},
+	"asym-90-10-1k": {
+		desc: "the 90/10 asymmetry at 1,000 sessions: 900 plain fetchers steered at 100 relays (-tags soak)",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "asym-90-10-1k",
+				Seed:    seed,
+				Sources: 3, Relays: 97, Fetchers: 900,
+				Bootstrap: 3,
+				ViewSize:  32, ShufflePeriod: 100 * time.Millisecond,
+				ViewConvergeBy: 60 * time.Second,
+				Objects:        []ObjectSpec{{Size: 16 << 10, K: 64}},
+				Tick:           25 * time.Millisecond,
+				Link:           LinkConfig{Latency: 2 * time.Millisecond},
+				Duration:       180 * time.Second,
+				WallBudget:     15 * time.Minute,
+			}
+		},
+	},
+	"member-churn": {
+		desc: "300-session gossip mesh under sustained 20% churn: joiners arrive with nothing but the bootstrap set and the views heal around the crashes",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "member-churn",
+				Seed:    seed,
+				Sources: 2, Fetchers: 290,
+				Wiring:    WiringMesh,
+				Bootstrap: 2,
+				// No ViewConvergeBy: under sustained churn there is rarely
+				// an instant where every live view is simultaneously full —
+				// fresh joiners always have cold views. The gate here is
+				// healing and completion, not a convergence deadline.
+				ViewSize: 32, ShufflePeriod: 100 * time.Millisecond,
+				Objects:  []ObjectSpec{{Size: 16 << 10, K: 64}},
+				Tick:           25 * time.Millisecond,
+				Link:           LinkConfig{Latency: 2 * time.Millisecond},
+				Churn:          ChurnSpec{Fraction: 0.2, Start: 300 * time.Millisecond, Interval: 50 * time.Millisecond},
+				Duration:       120 * time.Second,
+				WallBudget:     5 * time.Minute,
+			}
+		},
+	},
+	"member-churn-1k": {
+		desc: "sustained 20% churn over a 1,000-session gossip mesh: 200 mid-fetch crashes, every replacement joins via 3 bootstrap nodes (-tags soak)",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "member-churn-1k",
+				Seed:    seed,
+				Sources: 3, Fetchers: 1000,
+				Wiring:    WiringMesh,
+				Bootstrap: 3,
+				// No ViewConvergeBy, as in member-churn: churn keeps some
+				// live view cold at every sample instant by design.
+				ViewSize: 32, ShufflePeriod: 100 * time.Millisecond,
+				Objects:  []ObjectSpec{{Size: 8 << 10, K: 32}},
+				Tick:     25 * time.Millisecond,
+				Link:     LinkConfig{Latency: 2 * time.Millisecond},
+				Churn:    ChurnSpec{Fraction: 0.2, Start: 500 * time.Millisecond, Interval: 50 * time.Millisecond},
+				Duration:       180 * time.Second,
+				WallBudget:     30 * time.Minute,
+			}
+		},
+	},
 	"soak": {
 		desc: "60-node recoding mesh, heavy loss, mid-run partition and 30% churn over four objects (-tags soak)",
 		make: func(seed int64) Scenario {
@@ -199,6 +301,7 @@ type ScenarioInfo struct {
 	Caches    int
 	Fetchers  int
 	Polluters int
+	Bootstrap int // membership-mode bootstrap nodes (0 = static wiring)
 	Objects   int
 	Wiring    Wiring
 }
@@ -223,6 +326,7 @@ func Catalog() []ScenarioInfo {
 			Caches:    sc.Caches,
 			Fetchers:  sc.Fetchers,
 			Polluters: sc.Polluters,
+			Bootstrap: sc.Bootstrap,
 			Objects:   len(sc.Objects),
 			Wiring:    sc.Wiring,
 		})

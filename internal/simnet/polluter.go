@@ -12,8 +12,12 @@ import (
 
 // reqTag is the session wire protocol's REQ frame type byte; the polluter
 // recognizes subscription requests by it (see the internal/session
-// package doc for the frame vocabulary).
-const reqTag = 0x02
+// package doc for the frame vocabulary). memberTag is the MEMBER
+// partial-view exchange frame the membership plane gossips over.
+const (
+	reqTag    = 0x02
+	memberTag = 0x06
+)
 
 // polluter is a Byzantine actor on the fabric: a raw port — no session,
 // no coder — that watches for REQ subscriptions and answers them with a
@@ -36,6 +40,17 @@ type polluter struct {
 	burst int           // forged rows per victim per pump
 	idle  time.Duration // stop pumping this long after the last REQ
 
+	// boot is the membership-mode bootstrap set; non-empty makes the
+	// polluter an ambitious gossip citizen: it advertises itself into the
+	// swarm's views (maximum capacity, relay role — the most attractive
+	// neighbor possible) and answers shuffle offers with the same
+	// self-advert, so fetchers discover and solicit it through the
+	// membership plane exactly as they would a well-provisioned honest
+	// relay. Conviction must then evict it from every view for good.
+	boot   []transport.Addr
+	advert []byte // prebuilt self-advert MEMBER offer
+	reply  []byte // the same advert with the reply flag (answering shuffles)
+
 	mu      sync.Mutex
 	victims map[transport.Addr]map[packet.ObjectID]struct{}
 	lastReq time.Time
@@ -45,16 +60,17 @@ type polluter struct {
 }
 
 const (
-	pollEvery = 5 * time.Millisecond
-	pollBurst = 1
-	pollIdle  = 500 * time.Millisecond
+	pollEvery  = 5 * time.Millisecond
+	pollBurst  = 1
+	pollIdle   = 500 * time.Millisecond
+	pollAdvert = 150 * time.Millisecond // membership self-advert interval
 )
 
 // startPolluter attaches the actor to the fabric and arms its receive
 // loop and scheduler pump. geom is read-only ground truth shared with
 // the runner (a real attacker would learn geometry by observing frames;
 // handing it the map keeps the actor deterministic and simple).
-func startPolluter(ctx context.Context, net *Net, name string, geom map[packet.ObjectID]objGeom) (*polluter, error) {
+func startPolluter(ctx context.Context, net *Net, name string, geom map[packet.ObjectID]objGeom, boot []transport.Addr) (*polluter, error) {
 	port, err := net.Attach(transport.Addr(name))
 	if err != nil {
 		return nil, err
@@ -67,13 +83,46 @@ func startPolluter(ctx context.Context, net *Net, name string, geom map[packet.O
 		every:    pollEvery,
 		burst:    pollBurst,
 		idle:     pollIdle,
+		boot:     boot,
 		victims:  make(map[transport.Addr]map[packet.ObjectID]struct{}),
 		lastReq:  net.Now(),
 		recvDone: make(chan struct{}),
 	}
+	if len(boot) > 0 {
+		entry := []packet.MemberEntry{{
+			Addr:     name,
+			Capacity: 255,
+			Role:     packet.MemberRoleRelay | packet.MemberRoleCache,
+		}}
+		if p.advert, err = packet.AppendMemberBody([]byte{memberTag}, 0, entry); err != nil {
+			port.Close()
+			return nil, err
+		}
+		if p.reply, err = packet.AppendMemberBody([]byte{memberTag}, packet.MemberFlagReply, entry); err != nil {
+			port.Close()
+			return nil, err
+		}
+		net.After(pollAdvert, func() { p.advertise(ctx) })
+	}
 	go p.recvLoop(ctx)
 	net.After(p.every, func() { p.pump(ctx) })
 	return p, nil
+}
+
+// advertise pushes the polluter's lying self-advert at every bootstrap
+// node on the scheduler goroutine, re-arming until the run ends. The
+// bootstrap nodes merge it into their views and the gossip spreads it —
+// the discovery path an honest high-capacity relay would take too.
+func (p *polluter) advertise(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	for _, to := range p.boot {
+		if p.port.Send(to, p.advert) != nil {
+			return // port closed: tearing down
+		}
+	}
+	p.net.After(pollAdvert, func() { p.advertise(ctx) })
 }
 
 // recvLoop drains the port promptly — the fabric counts queued frames as
@@ -87,6 +136,15 @@ func (p *polluter) recvLoop(ctx context.Context) {
 		f, err := p.port.Recv(ctx)
 		if err != nil {
 			return
+		}
+		if len(f.Data) > 0 && f.Data[0] == memberTag && p.reply != nil {
+			// Answer shuffle offers (never replies — the membership
+			// plane's ping-pong guard, honored so the lie stays plausible)
+			// with the self-advert: whoever probes the polluter keeps it
+			// fresh and maximally attractive in their view.
+			if flags, _, err := packet.ParseMemberBody(f.Data[1:]); err == nil && flags&packet.MemberFlagReply == 0 {
+				_ = p.port.Send(f.From, p.reply)
+			}
 		}
 		if len(f.Data) == 1+len(packet.ObjectID{}) && f.Data[0] == reqTag {
 			var id packet.ObjectID

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -152,6 +153,28 @@ type Scenario struct {
 	Caches      int
 	CacheBudget int64
 
+	// Bootstrap, when positive, replaces static wiring with the epidemic
+	// membership plane: the first Bootstrap nodes (sources first, then
+	// relays) are the only addresses anyone is configured with, every
+	// session joins by PEX view shuffles (session.Config.Bootstrap), and
+	// fetches run with no explicit source — REQ steering follows the
+	// gossip-discovered, capacity-weighted neighbor sets. PeersPerFetcher
+	// and the static wiring rules are ignored; Wiring still decides
+	// whether fetchers recode (WiringMesh) or stay plain (WiringStar).
+	// Polluters advertise themselves into the gossip like any ambitious
+	// peer would, so conviction is reached through discovery, not wiring.
+	Bootstrap int
+	// ViewSize bounds each session's partial view (0 = session default);
+	// ShufflePeriod paces the view shuffles (0 = session default).
+	ViewSize      int
+	ShufflePeriod time.Duration
+	// ViewConvergeBy, when set, is the view-convergence bound: a
+	// violation is recorded unless some sampled virtual instant at or
+	// before this deadline (or teardown, if every fetch resolves earlier)
+	// sees every live member session's view filled to the convergence
+	// target — min(view bound, live members − 1, half the view bound).
+	ViewConvergeBy time.Duration
+
 	// Wiring and fabric shape.
 	Wiring          Wiring
 	PeersPerFetcher int // relays (or mesh peers) each fetcher subscribes at (default 2)
@@ -190,7 +213,7 @@ func (sc *Scenario) setDefaults() error {
 	if sc.Sources == 0 {
 		sc.Sources = 1
 	}
-	if sc.Relays == 0 && sc.Caches == 0 && sc.Wiring != WiringMesh {
+	if sc.Relays == 0 && sc.Caches == 0 && sc.Wiring != WiringMesh && sc.Bootstrap == 0 {
 		sc.Relays = 2
 	}
 	if sc.Fetchers == 0 {
@@ -199,7 +222,21 @@ func (sc *Scenario) setDefaults() error {
 	if sc.Sources < 1 || sc.Relays < 0 || sc.Caches < 0 || sc.Fetchers < 1 || sc.Polluters < 0 {
 		return fmt.Errorf("simnet: population %d/%d/%d/%d/%d invalid", sc.Sources, sc.Relays, sc.Caches, sc.Fetchers, sc.Polluters)
 	}
-	if sc.Polluters > 0 && (sc.Wiring != WiringStar || sc.Caches > 0) {
+	if sc.Bootstrap < 0 || sc.ViewSize < 0 || sc.ShufflePeriod < 0 || sc.ViewConvergeBy < 0 {
+		return fmt.Errorf("simnet: membership knobs %d/%d/%v/%v invalid", sc.Bootstrap, sc.ViewSize, sc.ShufflePeriod, sc.ViewConvergeBy)
+	}
+	if sc.Bootstrap > 0 {
+		if sc.Caches > 0 {
+			return fmt.Errorf("simnet: membership mode does not cover the cache-chain tier")
+		}
+		if sc.Wiring == WiringLine {
+			return fmt.Errorf("simnet: membership mode replaces wiring; use star or mesh")
+		}
+		if sc.Bootstrap > sc.Sources+sc.Relays {
+			return fmt.Errorf("simnet: %d bootstrap nodes but only %d sources+relays", sc.Bootstrap, sc.Sources+sc.Relays)
+		}
+	}
+	if sc.Polluters > 0 && sc.Bootstrap == 0 && (sc.Wiring != WiringStar || sc.Caches > 0) {
 		return fmt.Errorf("simnet: polluter tier requires star wiring without caches")
 	}
 	if sc.Caches > 0 {
@@ -292,6 +329,16 @@ type Report struct {
 	// teardown, keyed by node name (cache-tier scenarios only).
 	CacheTiers map[string]cache.Stats `json:"cache_tiers,omitempty"`
 
+	// Membership (Bootstrap > 0): partial-view occupancy across the live
+	// member sessions at teardown against the configured bound, and the
+	// first sampled virtual instant at which every live member's view had
+	// reached the convergence target (0 = never observed converged).
+	ViewBound       int           `json:"view_bound,omitempty"`
+	ViewMin         int           `json:"view_min,omitempty"`
+	ViewMax         int           `json:"view_max,omitempty"`
+	ViewMean        float64       `json:"view_mean,omitempty"`
+	ViewConvergedAt time.Duration `json:"view_converged_at,omitempty"`
+
 	// DataFrames counts every DATA frame offered to the fabric by anyone —
 	// the total a polluted run's traffic inflation is judged against.
 	// ForgedDataFrames is the slice of that total sent by polluter actors.
@@ -356,6 +403,13 @@ type runner struct {
 	// safe on the sender goroutines).
 	srcSet  map[transport.Addr]bool
 	pollSet map[transport.Addr]bool
+
+	// bootAddrs is the membership-mode bootstrap set every session is
+	// configured with (read-only after setup); viewConvergedAt is the
+	// first sampled virtual time the whole live population's views had
+	// reached the convergence target.
+	bootAddrs       []transport.Addr
+	viewConvergedAt time.Duration
 
 	mu          sync.Mutex
 	nodes       map[string]*simNode
@@ -455,6 +509,12 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for _, name := range pollNames {
 		r.pollSet[transport.Addr(name)] = true
 	}
+	if sc.Bootstrap > 0 {
+		bootNames := append(append([]string(nil), srcNames...), relayNames...)[:sc.Bootstrap]
+		for _, name := range bootNames {
+			r.bootAddrs = append(r.bootAddrs, transport.Addr(name))
+		}
+	}
 
 	// Wiring resolution (consumes setupRng in fixed order).
 	fetcherTargets := func() []string {
@@ -475,6 +535,12 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 	pickPeers := func(exclude string) []string {
+		if sc.Bootstrap > 0 {
+			// Membership mode: nobody is statically wired — every session
+			// (initial population and churn joiners alike) finds the swarm
+			// through the bootstrap nodes and its PEX view.
+			return nil
+		}
 		pool := make([]string, 0, len(fetcherTargets()))
 		for _, t := range fetcherTargets() {
 			if t != exclude {
@@ -564,6 +630,11 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 			HaveSeed:       true,
 			Clock:          net.Clock(),
 		}
+		if sc.Bootstrap > 0 {
+			cfg.Bootstrap = r.bootAddrs
+			cfg.ViewSize = sc.ViewSize
+			cfg.ShufflePeriod = sc.ShufflePeriod
+		}
 		nodeIdx++
 		sess, err := session.New(cfg)
 		if err != nil {
@@ -601,6 +672,9 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for i, name := range srcNames {
 		var peers []string
 		switch {
+		case sc.Bootstrap > 0:
+			// Membership mode: sources discover relays and fellow swarm
+			// members through their own views like everyone else.
 		case sc.Caches > 0:
 			// The origin pushes into the cache chain head only; each cache
 			// feeds the next, so the object crosses the origin's uplink
@@ -646,7 +720,7 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	// object's geometry, which the forgeries must reproduce exactly.
 	var polluters []*polluter
 	for _, name := range pollNames {
-		pl, err := startPolluter(ctx, net, name, r.geom)
+		pl, err := startPolluter(ctx, net, name, r.geom, r.bootAddrs)
 		if err != nil {
 			return nil, err
 		}
@@ -700,6 +774,22 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	// Virtual deadline: whatever is unfinished then has failed.
 	net.After(sc.Duration, cancelAll)
 
+	// Membership sampling: at virtual intervals, enforce the bounded-view
+	// invariant on every live session and record the first instant the
+	// whole live population's views reached the convergence target.
+	if sc.Bootstrap > 0 {
+		const viewSampleEvery = 250 * time.Millisecond
+		var sample func()
+		sample = func() {
+			if ctx.Err() != nil {
+				return
+			}
+			r.sampleViews()
+			net.After(viewSampleEvery, sample)
+		}
+		net.After(viewSampleEvery, sample)
+	}
+
 	net.Start()
 
 	// Wait for every fetch (including joiners') to resolve; the wall
@@ -728,6 +818,46 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 		nodes = append(nodes, nd)
 	}
 	r.mu.Unlock()
+
+	// Membership invariants, checked against the survivors before their
+	// sessions stop: views within bound, convicted peers absent from every
+	// view and neighbor set (the never-re-admit guarantee, end-state), and
+	// the convergence deadline met.
+	var viewMin, viewMax, viewSum, viewBound, viewed int
+	if sc.Bootstrap > 0 {
+		r.sampleViews() // final convergence sample when every fetch resolved early
+		for _, nd := range nodes {
+			ms := nd.sess.MemberStats()
+			if !ms.Enabled {
+				continue
+			}
+			viewBound = ms.ViewCap
+			if ms.ViewLen > ms.ViewCap {
+				r.violatef("node %s: view %d over bound %d at teardown", nd.name, ms.ViewLen, ms.ViewCap)
+			}
+			for _, b := range nd.sess.BannedPeers() {
+				if slices.Contains(ms.View, b) {
+					r.violatef("node %s: convicted peer %s present in its view at teardown", nd.name, b)
+				}
+				if slices.Contains(ms.Neighbors, b) || slices.Contains(ms.PushNeighbors, b) {
+					r.violatef("node %s: convicted peer %s present in its neighbor sets at teardown", nd.name, b)
+				}
+			}
+			if viewed == 0 || ms.ViewLen < viewMin {
+				viewMin = ms.ViewLen
+			}
+			viewMax = max(viewMax, ms.ViewLen)
+			viewSum += ms.ViewLen
+			viewed++
+		}
+		r.mu.Lock()
+		convergedAt := r.viewConvergedAt
+		r.mu.Unlock()
+		if sc.ViewConvergeBy > 0 && (convergedAt == 0 || convergedAt > sc.ViewConvergeBy) {
+			r.violatef("views not converged by %v (first full convergence sample: %v)", sc.ViewConvergeBy, convergedAt)
+		}
+	}
+
 	cancelAll()
 	var cacheTiers map[string]cache.Stats
 	for _, nd := range nodes {
@@ -765,6 +895,14 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	rep.OriginDataFrames = r.originData
 	rep.DataFrames = r.dataFrames
 	rep.ForgedDataFrames = r.forgedData
+	if sc.Bootstrap > 0 {
+		rep.ViewBound = viewBound
+		rep.ViewMin, rep.ViewMax = viewMin, viewMax
+		if viewed > 0 {
+			rep.ViewMean = float64(viewSum) / float64(viewed)
+		}
+		rep.ViewConvergedAt = r.viewConvergedAt
+	}
 	r.mu.Unlock()
 	sort.Slice(rep.Fetches, func(i, j int) bool {
 		if rep.Fetches[i].Node != rep.Fetches[j].Node {
@@ -918,6 +1056,56 @@ func (r *runner) applyUplinkFor(name string, peers []string) {
 			r.violatef("uplink override %s→%s: %v", name, peer, err)
 		}
 	}
+}
+
+// viewTarget is the convergence fill target for one session's view: the
+// view bound when the swarm can fill it, every other live member when it
+// cannot, and never less than half the bound in a large swarm — full
+// saturation is not required (shuffles keep churning entries), steady
+// useful occupancy is.
+func viewTarget(bound, live int) int {
+	return min(bound, live-1, max(2, bound/2))
+}
+
+// sampleViews enforces the bounded-view invariant across the live
+// population and records the first virtual instant every live member
+// session's view had reached the convergence target. Runs on the
+// scheduler goroutine (timeline sample) and once more at teardown.
+func (r *runner) sampleViews() {
+	r.mu.Lock()
+	nodes := make([]*simNode, 0, len(r.nodes))
+	for _, nd := range r.nodes {
+		nodes = append(nodes, nd)
+	}
+	already := r.viewConvergedAt
+	r.mu.Unlock()
+	stats := make([]session.MemberStats, 0, len(nodes))
+	for _, nd := range nodes {
+		if nd.isCrashed() {
+			continue
+		}
+		ms := nd.sess.MemberStats()
+		if !ms.Enabled {
+			continue
+		}
+		if ms.ViewLen > ms.ViewCap {
+			r.violatef("node %s: view %d over bound %d", nd.name, ms.ViewLen, ms.ViewCap)
+		}
+		stats = append(stats, ms)
+	}
+	if already != 0 || len(stats) == 0 {
+		return
+	}
+	for _, ms := range stats {
+		if ms.ViewLen < viewTarget(ms.ViewCap, len(stats)) {
+			return
+		}
+	}
+	r.mu.Lock()
+	if r.viewConvergedAt == 0 {
+		r.viewConvergedAt = r.net.Elapsed()
+	}
+	r.mu.Unlock()
 }
 
 // resolveNoJoin re-checks run completion after a join was consumed

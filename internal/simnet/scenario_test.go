@@ -343,3 +343,66 @@ func TestNamedCatalog(t *testing.T) {
 		t.Errorf("unknown scenario resolved")
 	}
 }
+
+// TestScenarioFlashCrowd1k is the membership-plane acceptance case:
+// 1,000 sessions flash-join a swarm knowing only 3 bootstrap nodes,
+// discover each other through PEX view shuffles, and fetch
+// byte-identically (runScenario checks that) — while two polluters that
+// gossiped themselves in as maximum-capacity relays are convicted and
+// never re-enter any view. Bounded views and the never-re-admit
+// guarantee are enforced as run violations (sampled and at teardown);
+// this test additionally pins that the machinery actually engaged.
+func TestScenarioFlashCrowd1k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1,000-session swarm skipped in -short mode")
+	}
+	rep := runScenario(t, "flash-crowd-1k", 1)
+	if got := len(rep.Fetches); got < 1000 {
+		t.Errorf("fetch matrix covers %d sessions, want 1000", got)
+	}
+	if rep.ViewConvergedAt == 0 {
+		t.Error("views never converged")
+	}
+	if rep.ViewBound == 0 || rep.ViewMax > rep.ViewBound {
+		t.Errorf("view occupancy %d over bound %d", rep.ViewMax, rep.ViewBound)
+	}
+	if rep.ForgedDataFrames == 0 {
+		t.Error("polluters sent nothing — the adversary never engaged")
+	}
+	convictions := 0
+	for _, f := range rep.Fetches {
+		if len(f.Banned) > 0 {
+			convictions++
+		}
+	}
+	if convictions == 0 {
+		t.Error("no session convicted a polluter — discovery never exposed the attack")
+	}
+	t.Logf("flash-crowd-1k: views converged at %v (min %d / mean %.1f / bound %d), %d sessions with convictions",
+		rep.ViewConvergedAt, rep.ViewMin, rep.ViewMean, rep.ViewBound, convictions)
+}
+
+// TestScenarioAsym9010: 270 plain fetchers and 30 relay/source nodes
+// with no static wiring at all — capacity-weighted neighbor selection
+// must find and favor the 10% serving tier through gossip alone.
+func TestScenarioAsym9010(t *testing.T) {
+	rep := runScenario(t, "asym-90-10", 1)
+	if rep.ViewConvergedAt == 0 {
+		t.Error("views never converged")
+	}
+}
+
+// TestScenarioMemberChurn: a 300-session gossip mesh under sustained
+// 20% churn. Crash victims age out of their neighbors' views, and every
+// replacement joins through the bootstrap set alone; all surviving and
+// joining fetches complete byte-identically.
+func TestScenarioMemberChurn(t *testing.T) {
+	rep := runScenario(t, "member-churn", 1)
+	if rep.FetchesCrashed == 0 {
+		t.Error("churn crashed nothing — the scenario did not bite")
+	}
+	if got := rep.FetchesCompleted + rep.FetchesCrashed; got != len(rep.Fetches) {
+		t.Errorf("fetch accounting: %d completed + %d crashed != %d total",
+			rep.FetchesCompleted, rep.FetchesCrashed, len(rep.Fetches))
+	}
+}

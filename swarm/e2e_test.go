@@ -90,3 +90,68 @@ func TestLoopbackEndToEnd(t *testing.T) {
 	t.Logf("relay: received %d, sent %d recoded, decoded %d/%d",
 		rstats.Received, rstats.Sent, rstats.Decoded, rstats.K)
 }
+
+// TestBootstrapEndToEnd joins a swarm through the membership plane over
+// real UDP sockets: the client is configured with nothing but a
+// bootstrap address — no peers, no explicit fetch source — and must
+// discover the swarm via MEMBER shuffles and fetch byte-identically
+// through whatever neighbors gossip surfaces.
+func TestBootstrapEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second UDP transfer")
+	}
+	const (
+		size = 96 * 1024
+		k    = 256
+	)
+	content := make([]byte, size)
+	rand.New(rand.NewSource(7)).Read(content)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	src := startNode(t, ctx, swarm.Config{
+		Listen: "127.0.0.1:0",
+		Seed:   5,
+		Tick:   500 * time.Microsecond,
+		Burst:  4,
+	})
+	id, err := src.Serve(content, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A relay that itself joined via the bootstrap node.
+	relay := startNode(t, ctx, swarm.Config{
+		Listen:    "127.0.0.1:0",
+		Relay:     true,
+		Bootstrap: []swarm.Addr{src.LocalAddr()},
+		Seed:      6,
+		Tick:      500 * time.Microsecond,
+		Burst:     4,
+	})
+	client := startNode(t, ctx, swarm.Config{
+		Listen:    "127.0.0.1:0",
+		Bootstrap: []swarm.Addr{src.LocalAddr()},
+		Seed:      7,
+	})
+
+	got, report, err := client.Fetch(ctx, id) // no source: membership steering
+	if err != nil {
+		t.Fatalf("bootstrap fetch: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("content mismatch: %d bytes fetched, %d served", len(got), size)
+	}
+	t.Logf("fetched %d bytes in %v via bootstrap, overhead %.3f",
+		report.Bytes, report.Elapsed, report.Overhead())
+
+	// The shuffles must eventually give the client a view of the swarm.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(client.Neighbors()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never selected neighbors from its view")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = relay
+}

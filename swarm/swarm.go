@@ -103,6 +103,15 @@ type Config struct {
 	// for each: every locally known object is pushed toward them, and
 	// Fetch without an explicit source asks them.
 	Peers []Addr
+	// Bootstrap enables the epidemic membership plane: the session
+	// introduces itself to these addresses, learns the rest of the swarm
+	// through periodic PEX view shuffles, and steers pushes and fetch
+	// requests at gossip-discovered neighbors in addition to Peers. A
+	// Fetch with no explicit source then works against the live view, so
+	// a node needs only one reachable bootstrap address to join a swarm
+	// of any size; per-peer membership state stays bounded regardless.
+	// See Session.Neighbors. Empty (the default) disables membership.
+	Bootstrap []Addr
 	// Relay makes the session create decode state for objects it first
 	// learns about from the network and re-push recoded packets of them —
 	// the paper's recoding intermediary. Fetch-only clients leave it
@@ -195,6 +204,7 @@ func (c Config) sessionConfig(tr transport.Transport, nc ltnc.NodeConfig) sessio
 	}
 	return session.Config{
 		Transport:              tr,
+		Bootstrap:              c.Bootstrap,
 		Tick:                   c.Tick,
 		Burst:                  c.Burst,
 		Aggressiveness:         c.Aggressiveness,
@@ -289,6 +299,14 @@ func (s *Session) LocalAddr() Addr { return s.s.LocalAddr() }
 // object is pushed toward it, and Fetch without an explicit source asks
 // it.
 func (s *Session) AddPeer(addr Addr) { s.s.AddPeer(addr) }
+
+// Neighbors returns the gossip-selected active neighbor set the
+// membership plane currently steers fetch requests at — a
+// capacity-weighted draw from the bounded partial view, refreshed every
+// shuffle round. It returns nil when Config.Bootstrap is empty
+// (membership disabled) and may be empty before the first shuffle
+// completes.
+func (s *Session) Neighbors() []Addr { return s.s.Neighbors() }
 
 // autoKPer is the per-generation code length automatic chunking aims at:
 // G = ceil(k/1024) keeps every wire header's code vector at or under 128
