@@ -137,6 +137,12 @@ type DecodeBenchReport struct {
 	GenObjectSize int             `json:"gen_object_size,omitempty"`
 	GenK          int             `json:"gen_k,omitempty"`
 	GenSweep      []GenSweepEntry `json:"generation_sweep,omitempty"`
+
+	// Transport is the loopback UDP benchmark (ltnc-bench -transport):
+	// end-to-end MB/s, syscalls/packet and allocs/packet for the
+	// per-frame path versus the batched sendmmsg/GSO + recvmmsg/GRO
+	// path.
+	Transport *TransportBenchReport `json:"transport,omitempty"`
 }
 
 // GenSweepEntry is one generation count of the sweep: decode throughput,

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"ltnc/internal/transport"
+)
+
+// TestTransportBenchSmall runs the loopback harness on a scaled-down
+// stream. Where the batch fast path is live, the acceptance floor is
+// asserted: at least a 4x syscalls/packet reduction versus the
+// per-frame path (a 32-frame batch is one sendmmsg or one GSO send, so
+// the send side alone clears it deterministically).
+func TestTransportBenchSmall(t *testing.T) {
+	rep, err := RunTransportBench(TransportBenchParams{Frames: 4000, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leg := range []TransportPathResult{rep.Baseline, rep.Batched} {
+		if leg.FramesRecv == 0 || leg.MBps <= 0 {
+			t.Fatalf("leg %q delivered nothing: %+v", leg.Path, leg)
+		}
+		// The pacing window keeps the blast inside the socket buffer;
+		// meaningful loss means the harness is mismeasuring.
+		if leg.FramesRecv*10 < leg.FramesSent*9 {
+			t.Fatalf("leg %q lost over 10%%: sent %d, received %d",
+				leg.Path, leg.FramesSent, leg.FramesRecv)
+		}
+	}
+	if got := rep.Baseline.SendSyscallsPerPacket; got != 1.0 {
+		t.Fatalf("per-frame leg sent %.3f syscalls/packet, want exactly 1", got)
+	}
+	t.Logf("per-frame %.1f MB/s %.3f sys/pkt | batched %.1f MB/s %.3f sys/pkt | %.1fx reduction",
+		rep.Baseline.MBps, rep.Baseline.SyscallsPerPacket,
+		rep.Batched.MBps, rep.Batched.SyscallsPerPacket, rep.SyscallReductionX)
+	u, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := u.Stats().BatchEnabled
+	u.Close()
+	if !fast {
+		return // portable platform: both legs ran the same syscall path
+	}
+	if rep.SyscallReductionX < 4 {
+		t.Fatalf("syscall reduction %.2fx below the 4x acceptance floor\nbaseline: %+v\nbatched: %+v",
+			rep.SyscallReductionX, rep.Baseline, rep.Batched)
+	}
+	if rep.Batched.SendSyscallsPerPacket > 0.25 {
+		t.Fatalf("batched send side %.3f syscalls/packet, want <= 0.25 (32-frame batches)",
+			rep.Batched.SendSyscallsPerPacket)
+	}
+}

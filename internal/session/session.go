@@ -591,6 +591,11 @@ type Session struct {
 	shards        []chan inFrame
 	ingestDropped atomic.Int64
 
+	// coal gathers one push round's DATA frames into per-peer batches so
+	// the Linux fast path can ride sendmmsg/GSO. Owned by the tick loop
+	// (push runs on one goroutine); lazily built on first use.
+	coal *transport.Coalescer
+
 	// busy counts frames and ticks the session has accepted but not fully
 	// processed; see Busy.
 	busy atomic.Int64
@@ -889,27 +894,36 @@ func (s *Session) Close() error {
 }
 
 func (s *Session) recvLoop(ctx context.Context) error {
+	// Consume whole batches per wakeup: the UDP fast path hands over a
+	// recvmmsg vector at a time, the in-memory Switch drains its queue;
+	// transports without batch support degrade to one frame per call.
+	// Each frame is then dispatched exactly as a single Recv would be.
+	batch := make([]transport.Frame, 64)
 	for {
 		select {
 		case <-s.closed:
 			return nil
 		default:
 		}
-		f, err := s.tr.Recv(ctx)
+		n, err := transport.RecvBatch(ctx, s.tr, batch)
 		if err != nil {
 			if errors.Is(err, transport.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		if len(f.Data) > 0 && f.Data[0] == frameData {
-			s.dispatchData(f) // ownership moves to the decode worker
-			continue
+		for i := 0; i < n; i++ {
+			f := batch[i]
+			batch[i] = transport.Frame{} // drop the reference; ownership moves below
+			if len(f.Data) > 0 && f.Data[0] == frameData {
+				s.dispatchData(f) // ownership moves to the decode worker
+				continue
+			}
+			s.busy.Add(1)
+			s.handleFrame(f)
+			f.Release()
+			s.busy.Add(-1)
 		}
-		s.busy.Add(1)
-		s.handleFrame(f)
-		f.Release()
-		s.busy.Add(-1)
 	}
 }
 
@@ -2380,8 +2394,15 @@ func (s *Session) push() {
 	var sends []sent
 	var metas []metaSent
 	var cursors []cursorMoved
-	bufp := transport.GetBuf()
-	defer transport.PutBuf(bufp)
+	// DATA frames are staged into the coalescer's pooled slabs and flushed
+	// as per-peer batches at the end of the round (early per-peer flushes
+	// bound the window) — sendmmsg/GSO-sized bursts on the Linux fast
+	// path, plain per-frame sends elsewhere. METAs and manifests keep
+	// their direct sends so they always hit the wire ahead of the round's
+	// DATA.
+	if s.coal == nil {
+		s.coal = transport.NewCoalescer(s.tr, 0)
+	}
 	for _, pt := range targets {
 		st := pt.st
 		var metaBuf []byte
@@ -2456,7 +2477,9 @@ func (s *Session) push() {
 				}
 			}
 		}
-		// One pooled buffer reused for every frame of the burst.
+		// Frames serialize straight into coalescer slabs; n counts frames
+		// committed to the window (the flush's error, like a lost
+		// datagram, is not worth unwinding the stats for).
 		n := int64(0)
 		if serveCache {
 			for ai, addr := range pt.addrs {
@@ -2469,13 +2492,12 @@ func (s *Session) push() {
 				// cached basis (see cache.AppendFrame on aliasing).
 				cur := pt.cursors[ai]
 				for b := 0; b < s.cfg.Burst; b++ {
-					frame, ok := s.cache.AppendFrame(append((*bufp)[:0], frameData), st.id, &cur, skip)
+					frame, ok := s.cache.AppendFrame(append(s.coal.Stage(), frameData), st.id, &cur, skip)
 					if !ok || len(frame) > transport.MaxFrame {
 						break
 					}
-					if s.tr.Send(addr, frame) == nil {
-						n++
-					}
+					s.coal.Commit(addr, frame)
+					n++
 				}
 				if cur != pt.cursors[ai] {
 					cursors = append(cursors, cursorMoved{st, addr, cur})
@@ -2483,19 +2505,19 @@ func (s *Session) push() {
 			}
 		}
 		for _, out := range burst {
-			frame := append((*bufp)[:0], frameData)
+			frame := append(s.coal.Stage(), frameData)
 			frame = packet.AppendWire(frame, out.z)
 			if len(frame) > transport.MaxFrame {
 				continue
 			}
-			if s.tr.Send(out.addr, frame) == nil {
-				n++
-			}
+			s.coal.Commit(out.addr, frame)
+			n++
 		}
 		if n > 0 {
 			sends = append(sends, sent{st, n})
 		}
 	}
+	s.coal.Flush()
 	if len(sends) == 0 && len(metas) == 0 && len(cursors) == 0 {
 		return
 	}

@@ -177,6 +177,7 @@ type ChanTransport struct {
 }
 
 var _ Transport = (*ChanTransport)(nil)
+var _ BatchRecver = (*ChanTransport)(nil)
 
 // LocalAddr returns the port's address on the switch.
 func (t *ChanTransport) LocalAddr() Addr { return t.addr }
@@ -194,6 +195,32 @@ func (t *ChanTransport) Send(to Addr, frame []byte) error {
 	default:
 	}
 	return t.sw.deliver(t.addr, to, frame)
+}
+
+// RecvBatch blocks for the first frame like Recv, then drains whatever
+// else is already queued, up to len(out) — one wakeup per queued burst,
+// mirroring the UDP fast path so session code consumes both through the
+// same batch loop.
+func (t *ChanTransport) RecvBatch(ctx context.Context, out []Frame) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	f, err := t.Recv(ctx)
+	if err != nil {
+		return 0, err
+	}
+	out[0] = f
+	n := 1
+	for n < len(out) {
+		select {
+		case f := <-t.queue:
+			out[n] = f
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
 }
 
 // Recv returns the next queued frame.

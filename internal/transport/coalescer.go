@@ -1,0 +1,123 @@
+package transport
+
+// Coalescer gathers outgoing frames per destination inside one flush
+// window (for the session: one push round) and hands each peer's
+// gathering to SendBatch in bounded bursts — sendmmsg/GSO on the Linux
+// fast path, per-frame sends elsewhere. Frames are serialized directly
+// into pooled slabs via Stage/Commit, so batching adds no copy to the
+// send path; a peer reaching FlushFrames pending frames is flushed
+// early, which both bounds the window's memory and paces what would
+// otherwise be one end-of-round mega-burst into syscall-sized chunks.
+//
+// A Coalescer is not safe for concurrent use; each sending loop owns
+// one.
+type Coalescer struct {
+	tr          Transport
+	flushFrames int
+
+	slab  *[]byte   // current staging slab (pooled, MaxFrame bytes)
+	off   int       // bytes of slab already committed
+	slabs []*[]byte // retired slabs still referenced by pending frames
+
+	pend  map[Addr][][]byte
+	order []Addr // stable flush order (map iteration is randomized)
+
+	sent    int64
+	sendErr error
+}
+
+// slabReserve retires the staging slab when its tail gets smaller than a
+// typical frame, so Stage rarely hands out a scratch that appends past
+// its capacity (which would fall back to one heap allocation for that
+// frame).
+const slabReserve = 4096
+
+// DefaultFlushFrames is the per-peer flush window when NewCoalescer is
+// given 0: large enough to fill a sendmmsg vector or a GSO super-send,
+// small enough to keep bursts inside typical socket buffers.
+const DefaultFlushFrames = 32
+
+// NewCoalescer builds a coalescer over t. flushFrames bounds how many
+// frames may pend for one peer before an early flush (0 means
+// DefaultFlushFrames).
+func NewCoalescer(t Transport, flushFrames int) *Coalescer {
+	if flushFrames <= 0 {
+		flushFrames = DefaultFlushFrames
+	}
+	return &Coalescer{tr: t, flushFrames: flushFrames, pend: make(map[Addr][][]byte)}
+}
+
+// Stage returns an empty scratch slice to serialize the next frame into
+// (append to it, then Commit the result). The scratch points into the
+// current slab; a frame outgrowing the slab's tail safely reallocates
+// onto the heap and is still accepted by Commit.
+func (c *Coalescer) Stage() []byte {
+	if c.slab == nil {
+		c.slab = GetBuf()
+		c.off = 0
+	}
+	return (*c.slab)[c.off:c.off]
+}
+
+// Commit records the staged frame for to. Empty frames are ignored. When
+// the peer's pending batch reaches the flush window it is sent
+// immediately.
+func (c *Coalescer) Commit(to Addr, frame []byte) {
+	if len(frame) == 0 {
+		return
+	}
+	if c.slab != nil && c.off < len(*c.slab) && &frame[0] == &(*c.slab)[c.off] {
+		// The frame landed in the slab tail Stage handed out: claim it.
+		c.off += len(frame)
+		if len(*c.slab)-c.off < slabReserve {
+			c.slabs = append(c.slabs, c.slab)
+			c.slab = nil
+		}
+	}
+	batch, ok := c.pend[to]
+	if !ok {
+		c.order = append(c.order, to)
+	}
+	batch = append(batch, frame)
+	if len(batch) >= c.flushFrames {
+		c.flushPeer(to, batch)
+		c.pend[to] = batch[:0]
+		return
+	}
+	c.pend[to] = batch
+}
+
+func (c *Coalescer) flushPeer(to Addr, batch [][]byte) {
+	n, err := SendBatch(c.tr, to, batch)
+	c.sent += int64(n)
+	if err != nil && c.sendErr == nil {
+		c.sendErr = err
+	}
+}
+
+// Flush sends every pending batch, returns the slabs to the pool, and
+// reports how many frames this coalescer has handed to the network since
+// the previous Flush (early per-peer flushes included) along with the
+// first send error of the window. The coalescer is ready for the next
+// window afterwards.
+func (c *Coalescer) Flush() (int64, error) {
+	for _, to := range c.order {
+		if batch := c.pend[to]; len(batch) > 0 {
+			c.flushPeer(to, batch)
+		}
+		delete(c.pend, to)
+	}
+	c.order = c.order[:0]
+	for _, s := range c.slabs {
+		PutBuf(s)
+	}
+	c.slabs = c.slabs[:0]
+	if c.slab != nil {
+		PutBuf(c.slab)
+		c.slab = nil
+		c.off = 0
+	}
+	sent, err := c.sent, c.sendErr
+	c.sent, c.sendErr = 0, nil
+	return sent, err
+}

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func coalescerPair(t *testing.T) (*Coalescer, *ChanTransport, *ChanTransport) {
+	t.Helper()
+	sw, err := NewSwitch(SwitchConfig{QueueDepth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sw.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return NewCoalescer(a, 0), a, b
+}
+
+func TestCoalescerDeliversOnFlush(t *testing.T) {
+	c, _, b := coalescerPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	for i := 0; i < 10; i++ {
+		frame := append(c.Stage(), fmt.Sprintf("frame %d", i)...)
+		c.Commit(b.LocalAddr(), frame)
+	}
+	// Below the flush window: nothing on the wire yet.
+	short, scancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer scancel()
+	if _, err := b.Recv(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("frames leaked before Flush: %v", err)
+	}
+	sent, err := c.Flush()
+	if err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if sent != 10 {
+		t.Fatalf("flush sent = %d, want 10", sent)
+	}
+	for i := 0; i < 10; i++ {
+		f, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("frame %d", i); string(f.Data) != want {
+			t.Fatalf("frame %d = %q, want %q (order lost)", i, f.Data, want)
+		}
+		f.Release()
+	}
+}
+
+func TestCoalescerEarlyFlushAtWindow(t *testing.T) {
+	sw, _ := NewSwitch(SwitchConfig{QueueDepth: 4096})
+	a, _ := sw.Attach("a")
+	b, _ := sw.Attach("b")
+	defer a.Close()
+	defer b.Close()
+	c := NewCoalescer(a, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	for i := 0; i < 4; i++ {
+		c.Commit(b.LocalAddr(), append(c.Stage(), byte(i)))
+	}
+	// Window reached: the batch went out without an explicit Flush.
+	for i := 0; i < 4; i++ {
+		f, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("early flush did not deliver frame %d: %v", i, err)
+		}
+		f.Release()
+	}
+	sent, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 4 {
+		t.Fatalf("window sent = %d, want 4 (early flush must be counted)", sent)
+	}
+}
+
+func TestCoalescerMultiplePeers(t *testing.T) {
+	sw, _ := NewSwitch(SwitchConfig{QueueDepth: 4096})
+	a, _ := sw.Attach("a")
+	b, _ := sw.Attach("b")
+	d, _ := sw.Attach("d")
+	defer a.Close()
+	defer b.Close()
+	defer d.Close()
+	c := NewCoalescer(a, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	c.Commit(b.LocalAddr(), append(c.Stage(), "to-b-1"...))
+	c.Commit(d.LocalAddr(), append(c.Stage(), "to-d-1"...))
+	c.Commit(b.LocalAddr(), append(c.Stage(), "to-b-2"...))
+	if sent, err := c.Flush(); err != nil || sent != 3 {
+		t.Fatalf("flush = %d, %v", sent, err)
+	}
+	for _, want := range []string{"to-b-1", "to-b-2"} {
+		f, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(f.Data) != want {
+			t.Fatalf("b got %q, want %q", f.Data, want)
+		}
+		f.Release()
+	}
+	f, err := d.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data) != "to-d-1" {
+		t.Fatalf("d got %q", f.Data)
+	}
+	f.Release()
+}
+
+func TestCoalescerAcceptsHeapFrames(t *testing.T) {
+	c, _, b := coalescerPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// A frame built outside Stage (or one that outgrew the slab tail and
+	// reallocated) must still be carried.
+	heap := []byte("heap frame")
+	c.Commit(b.LocalAddr(), heap)
+	staged := append(c.Stage(), "staged frame"...)
+	c.Commit(b.LocalAddr(), staged)
+	if sent, err := c.Flush(); err != nil || sent != 2 {
+		t.Fatalf("flush = %d, %v", sent, err)
+	}
+	for _, want := range []string{"heap frame", "staged frame"} {
+		f, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(f.Data) != want {
+			t.Fatalf("got %q, want %q", f.Data, want)
+		}
+		f.Release()
+	}
+}
+
+func TestCoalescerSlabRetirement(t *testing.T) {
+	c, _, b := coalescerPair(t)
+	// Commit frames until the first slab retires (total staged bytes
+	// beyond MaxFrame-slabReserve) and verify every frame survives intact
+	// — i.e. retired slabs are not recycled until Flush.
+	const frameLen = 9000
+	n := MaxFrame/frameLen + 2
+	for i := 0; i < n; i++ {
+		frame := c.Stage()
+		for j := 0; j < frameLen; j++ {
+			frame = append(frame, byte(i))
+		}
+		c.Commit(b.LocalAddr(), frame)
+	}
+	if sent, err := c.Flush(); err != nil || sent != int64(n) {
+		t.Fatalf("flush = %d, %v; want %d", sent, err, n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		f, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Data) != frameLen || f.Data[0] != byte(i) || f.Data[frameLen-1] != byte(i) {
+			t.Fatalf("frame %d corrupted: len=%d first=%d last=%d",
+				i, len(f.Data), f.Data[0], f.Data[frameLen-1])
+		}
+		f.Release()
+	}
+}
+
+func TestCoalescerReportsSendError(t *testing.T) {
+	c, _, _ := coalescerPair(t)
+	c.Commit("nobody", append(c.Stage(), "lost"...))
+	if _, err := c.Flush(); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("flush err = %v, want ErrUnknownPeer", err)
+	}
+	// The error does not stick across windows.
+	if _, err := c.Flush(); err != nil {
+		t.Fatalf("second flush err = %v, want nil", err)
+	}
+}
+
+func TestCoalescerEmptyCommitIgnored(t *testing.T) {
+	c, _, b := coalescerPair(t)
+	c.Commit(b.LocalAddr(), c.Stage())
+	if sent, err := c.Flush(); err != nil || sent != 0 {
+		t.Fatalf("flush = %d, %v; want 0 frames", sent, err)
+	}
+}

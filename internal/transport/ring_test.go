@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSPSCRingFIFO(t *testing.T) {
+	r := newSPSCRing(8)
+	if got := len(r.buf); got != 8 {
+		t.Fatalf("capacity = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		if !r.push(Frame{Data: []byte{byte(i)}}) {
+			t.Fatalf("push %d refused on non-full ring", i)
+		}
+	}
+	if r.push(Frame{Data: []byte{99}}) {
+		t.Fatal("push accepted on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		f, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d on non-empty ring failed", i)
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("pop %d = %d, out of order", i, f.Data[0])
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+}
+
+func TestSPSCRingRoundsCapacityUp(t *testing.T) {
+	r := newSPSCRing(5)
+	if got := len(r.buf); got != 8 {
+		t.Fatalf("capacity for 5 = %d, want next power of two 8", got)
+	}
+}
+
+func TestSPSCRingWrapAround(t *testing.T) {
+	r := newSPSCRing(4)
+	// Many more frames than capacity, pushed and popped in lockstep, so
+	// the head/tail indices wrap several times.
+	for i := 0; i < 100; i++ {
+		if !r.push(Frame{Data: []byte{byte(i)}}) {
+			t.Fatalf("push %d refused", i)
+		}
+		f, ok := r.pop()
+		if !ok || f.Data[0] != byte(i) {
+			t.Fatalf("pop %d = %v/%v", i, f.Data, ok)
+		}
+	}
+}
+
+func TestSPSCRingDrainReleasesFrames(t *testing.T) {
+	r := newSPSCRing(8)
+	var released atomic.Int32
+	for i := 0; i < 5; i++ {
+		r.push(Frame{Data: []byte{byte(i)}, release: func() { released.Add(1) }})
+	}
+	r.drain()
+	if got := released.Load(); got != 5 {
+		t.Fatalf("drain released %d frames, want 5", got)
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("ring not empty after drain")
+	}
+}
+
+func TestSPSCRingConcurrent(t *testing.T) {
+	r := newSPSCRing(64)
+	const total = 100000
+	errs := make(chan string, 1)
+	done := make(chan struct{})
+	go func() { // consumer
+		defer close(done)
+		next := 0
+		for next < total {
+			f, ok := r.pop()
+			if !ok {
+				continue // spin; SPSC pop is wait-free
+			}
+			got := int(f.Data[0]) | int(f.Data[1])<<8 | int(f.Data[2])<<16
+			if got != next {
+				select {
+				case errs <- "out-of-order pop":
+				default:
+				}
+				return
+			}
+			next++
+		}
+	}()
+	for i := 0; i < total; i++ {
+		f := Frame{Data: []byte{byte(i), byte(i >> 8), byte(i >> 16)}}
+		for !r.push(f) {
+			// Full: spin until the consumer makes room.
+		}
+	}
+	<-done
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -102,3 +102,54 @@ type Transport interface {
 	// ErrClosed.
 	Close() error
 }
+
+// BatchSender is optionally implemented by transports that can hand
+// several frames for the same destination to the network in one
+// operation — one sendmmsg (or UDP-GSO sendmsg) syscall on the Linux UDP
+// fast path. The frame buffers follow the same ownership rule as Send:
+// they belong to the caller the moment SendBatch returns. It returns how
+// many frames were handed to the network before the first error.
+type BatchSender interface {
+	SendBatch(to Addr, frames [][]byte) (int, error)
+}
+
+// BatchRecver is optionally implemented by transports that can surface
+// several received frames per wakeup — one recvmmsg syscall (plus GRO
+// coalescing) on the Linux UDP fast path. RecvBatch blocks like Recv
+// until at least one frame is available, then fills out with up to
+// len(out) frames and returns the count. Each returned frame must be
+// Released exactly as if it came from Recv.
+type BatchRecver interface {
+	RecvBatch(ctx context.Context, out []Frame) (int, error)
+}
+
+// SendBatch sends frames to one peer through t, using the transport's
+// batch path when it has one and falling back to per-frame Send
+// otherwise. It returns how many frames were handed to the network.
+func SendBatch(t Transport, to Addr, frames [][]byte) (int, error) {
+	if bs, ok := t.(BatchSender); ok {
+		return bs.SendBatch(to, frames)
+	}
+	for i, f := range frames {
+		if err := t.Send(to, f); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+// RecvBatch receives up to len(out) frames from t in one call, blocking
+// until at least one is available. Transports without a batch path
+// deliver exactly one frame per call, so callers can consume any
+// Transport through this one loop. len(out) must be at least 1.
+func RecvBatch(ctx context.Context, t Transport, out []Frame) (int, error) {
+	if br, ok := t.(BatchRecver); ok {
+		return br.RecvBatch(ctx, out)
+	}
+	f, err := t.Recv(ctx)
+	if err != nil {
+		return 0, err
+	}
+	out[0] = f
+	return 1, nil
+}

@@ -215,9 +215,12 @@ func TestUDPRecvReusesPoolBuffers(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	// Release after every Recv: the pool should stabilize on one buffer,
-	// observable as the same backing array coming back.
-	var first *byte
+	// Release after every Recv: the pool should stabilize on a small
+	// working set, observable as a backing array coming back. The batch
+	// reader re-arms its next buffer before the consumer releases the
+	// current one, so a couple of buffers stay in flight — any repeat
+	// counts, not specifically the first.
+	seen := make(map[*byte]bool)
 	reused := false
 	for i := 0; i < 50; i++ {
 		if err := a.Send(b.LocalAddr(), []byte(fmt.Sprintf("frame %d", i))); err != nil {
@@ -228,11 +231,10 @@ func TestUDPRecvReusesPoolBuffers(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := &f.Data[:1][0]
-		if first == nil {
-			first = p
-		} else if p == first {
+		if seen[p] {
 			reused = true
 		}
+		seen[p] = true
 		f.Release()
 	}
 	if !reused {

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers for the mmsg batch calls (asm-generic table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -22,6 +22,8 @@
 package transport
 
 import (
+	"context"
+
 	"ltnc/internal/transport"
 )
 
@@ -109,10 +111,68 @@ type ChanTransport = transport.ChanTransport
 // NewSwitch builds an in-memory network.
 func NewSwitch(cfg SwitchConfig) (*Switch, error) { return transport.NewSwitch(cfg) }
 
-// UDPTransport implements Transport over a net.UDPConn with pooled
-// receive buffers.
+// UDPTransport implements Transport over UDP sockets with pooled
+// receive buffers. On Linux amd64/arm64 it runs a batched fast path —
+// recvmmsg/sendmmsg with UDP GSO/GRO segmentation offload where the
+// kernel accepts it, optional SO_REUSEPORT receive sharding — probed at
+// socket setup with silent fallback to the portable per-frame path.
 type UDPTransport = transport.UDPTransport
 
+// UDPConfig tunes the UDP transport: receive shard count, frames per
+// batched syscall, per-reader ring capacity, and switches forcing the
+// portable path or disabling GSO/GRO individually. The zero value is
+// the ListenUDP default.
+type UDPConfig = transport.UDPConfig
+
+// UDPStats is a snapshot of a UDPTransport's self-maintained syscall
+// and frame counters plus the capabilities socket setup probing found.
+type UDPStats = transport.UDPStats
+
 // ListenUDP opens a UDP transport bound to addr ("127.0.0.1:0" picks a
-// free port; query LocalAddr for the result).
+// free port; query LocalAddr for the result) with the default config.
 func ListenUDP(addr string) (*UDPTransport, error) { return transport.ListenUDP(addr) }
+
+// ListenUDPConfig opens a UDP transport with explicit batching, shard
+// and offload settings.
+func ListenUDPConfig(addr string, cfg UDPConfig) (*UDPTransport, error) {
+	return transport.ListenUDPConfig(addr, cfg)
+}
+
+// BatchSender is optionally implemented by transports that can hand a
+// whole per-peer batch to the kernel in fewer syscalls than per-frame
+// Send calls.
+type BatchSender = transport.BatchSender
+
+// BatchRecver is optionally implemented by transports that can surface
+// every already-queued frame in one call.
+type BatchRecver = transport.BatchRecver
+
+// SendBatch sends frames to one peer through t's BatchSender fast path
+// when it has one, else by per-frame Send calls. It returns how many
+// frames were handed to the network before the first error.
+func SendBatch(t Transport, to Addr, frames [][]byte) (int, error) {
+	return transport.SendBatch(t, to, frames)
+}
+
+// RecvBatch fills out with received frames — whole batches per call on
+// transports implementing BatchRecver, one frame per call elsewhere —
+// blocking only for the first frame.
+func RecvBatch(ctx context.Context, t Transport, out []Frame) (int, error) {
+	return transport.RecvBatch(ctx, t, out)
+}
+
+// Coalescer gathers outgoing frames per destination inside one flush
+// window and hands each peer's gathering to SendBatch in bounded
+// bursts; frames serialize into pooled slabs via Stage/Commit, so
+// batching adds no copy to the send path. Not safe for concurrent use.
+type Coalescer = transport.Coalescer
+
+// NewCoalescer builds a coalescer over t. flushFrames bounds how many
+// frames may pend for one peer before an early flush (0 means
+// DefaultFlushFrames).
+func NewCoalescer(t Transport, flushFrames int) *Coalescer {
+	return transport.NewCoalescer(t, flushFrames)
+}
+
+// DefaultFlushFrames is the Coalescer's default per-peer flush window.
+const DefaultFlushFrames = transport.DefaultFlushFrames
