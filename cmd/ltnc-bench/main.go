@@ -10,6 +10,12 @@
 // scenario, written to OFFLOAD_cache.json (also archived by CI). See
 // EXPERIMENTS.md for the recorded curve.
 //
+// With -adapt it instead sweeps the adaptive-loop overhead-vs-loss
+// grid: total DATA frames for the static, systematic-only and fully
+// adaptive sender on an identical single-path swarm at each link loss
+// rate, written to ADAPT_curve.json (also archived by CI). See
+// EXPERIMENTS.md for the recorded grid.
+//
 // With -transport it additionally runs the loopback UDP transport
 // benchmark — the per-frame syscall path versus the batched
 // sendmmsg/GSO + recvmmsg/GRO fast path — and records end-to-end MB/s,
@@ -96,6 +102,45 @@ func runOffload(out *os.File, budgetsArg, outPath string, seed int64) error {
 	return nil
 }
 
+// runAdapt sweeps the overhead-vs-loss grid and prints it as a table:
+// what each adaptive control tier saves (or costs) against the static
+// sender at each loss rate.
+func runAdapt(out *os.File, lossesArg, outPath string, seed int64) error {
+	var losses []float64
+	for _, part := range strings.Split(lossesArg, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		l, err := strconv.ParseFloat(part, 64)
+		if err != nil || l < 0 || l >= 1 {
+			return fmt.Errorf("bad -adapt-losses rate %q", part)
+		}
+		losses = append(losses, l)
+	}
+	rep, err := experiments.RunAdaptCurve(experiments.AdaptParams{
+		Losses: losses,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "adaptive-loop sweep: %d fetchers, %d B object, k=%d, seed %d\n",
+		rep.Fetchers, rep.Size, rep.K, rep.Seed)
+	fmt.Fprintln(out, "loss\tmode\tdata_frames\tcut_vs_static\tmean_overhead")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(out, "%.2f\t%s\t%d\t%+.3f\t%.2f\n",
+			pt.Loss, pt.Mode, pt.DataFrames, pt.CutVsStatic, pt.MeanOverhead)
+	}
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("ltnc-bench", flag.ContinueOnError)
 	var (
@@ -117,6 +162,10 @@ func run(args []string, out *os.File) error {
 		offload    = fs.String("offload", "", "sweep the edge-cache offload curve over these cache budgets in bytes (comma list) instead of the decode bench")
 		offloadOut = fs.String("offload-out", "OFFLOAD_cache.json", "offload curve output JSON path (empty: stdout only)")
 
+		adapt       = fs.Bool("adapt", false, "sweep the adaptive-loop overhead-vs-loss grid (static vs systematic vs adaptive) instead of the decode bench")
+		adaptLosses = fs.String("adapt-losses", "0,0.05,0.20,0.40", "loss rates for the -adapt sweep (comma list)")
+		adaptOut    = fs.String("adapt-out", "ADAPT_curve.json", "adaptive sweep output JSON path (empty: stdout only)")
+
 		tbench     = fs.Bool("transport", false, "also run the loopback UDP transport benchmark (per-frame vs batched syscall path) and record it in the output JSON")
 		tFrames    = fs.Int("transport-frames", 0, "transport bench datagrams per leg (default 20000)")
 		tFrameSize = fs.Int("transport-frame-size", 0, "transport bench payload bytes (default 1200)")
@@ -127,6 +176,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *offload != "" {
 		return runOffload(out, *offload, *offloadOut, *seed)
+	}
+	if *adapt {
+		return runAdapt(out, *adaptLosses, *adaptOut, *seed)
 	}
 	// The pre-PR reference is a fixed external measurement (see
 	// tools/prebench); rewriting the JSON must not silently drop it. The

@@ -1,0 +1,154 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+)
+
+// report pushes n rows and then delivers a receipt claiming the given
+// cumulative counters, mimicking one send→receipt round trip.
+func report(l *Link, sent int, received, innovative uint32) bool {
+	l.OnSend(sent)
+	return l.OnReport(received, innovative)
+}
+
+func TestZeroValueIsCleanLink(t *testing.T) {
+	var l Link
+	if l.Loss() != 0 {
+		t.Errorf("silent link loss = %v, want 0", l.Loss())
+	}
+	if got := l.Budget(64); got != 8 {
+		t.Errorf("silent link budget = %d, want floor 8", got)
+	}
+}
+
+func TestLossTracksDeltas(t *testing.T) {
+	var l Link
+	// First round: 100 sent, 100 received — clean.
+	report(&l, 100, 100, 100)
+	if l.Loss() != 0 {
+		t.Fatalf("clean link loss = %v", l.Loss())
+	}
+	// Sustained 40% loss: samples of 0.4 pull the EWMA up toward 0.4.
+	for i := 1; i <= 40; i++ {
+		report(&l, 100, 100+uint32(i*60), 100+uint32(i*60))
+	}
+	if got := l.Loss(); math.Abs(got-0.4) > 0.02 {
+		t.Errorf("loss after sustained 40%% erasures = %v, want ≈ 0.4", got)
+	}
+	if r := l.InnovationRatio(); r < 0.99 {
+		t.Errorf("all-innovative link ratio = %v", r)
+	}
+	// Recovery: the link heals and the estimate follows.
+	recv, inno := uint32(100+40*60), uint32(100+40*60)
+	for i := 0; i < 40; i++ {
+		recv += 100
+		inno += 100
+		report(&l, 100, recv, inno)
+	}
+	if got := l.Loss(); got > 0.02 {
+		t.Errorf("healed link loss = %v, want ≈ 0", got)
+	}
+}
+
+func TestInnovationSignal(t *testing.T) {
+	var l Link
+	if got := report(&l, 10, 10, 10); !got {
+		t.Error("first innovative receipt not reported as progress")
+	}
+	// Received grows but nothing innovative: redundant traffic, no signal.
+	if got := report(&l, 10, 20, 10); got {
+		t.Error("redundant-only receipt reported as progress")
+	}
+	if r := l.InnovationRatio(); r > 0.95 {
+		t.Errorf("innovation ratio ignored the redundant round: %v", r)
+	}
+	if got := report(&l, 10, 30, 15); !got {
+		t.Error("innovative receipt not reported as progress")
+	}
+}
+
+// TestUnderClaimingLiarClamped: a receiver that reports everything as
+// lost cannot drag the estimate past MaxLoss or the budget past the
+// static base — the extortion ceiling.
+func TestUnderClaimingLiarClamped(t *testing.T) {
+	var l Link
+	for i := 0; i < 100; i++ {
+		report(&l, 1000, 0, 0) // "I received nothing", forever
+	}
+	if got := l.Loss(); got != MaxLoss {
+		t.Errorf("under-claiming liar drove loss to %v, clamp is %v", got, MaxLoss)
+	}
+	const base = 64
+	if got := l.Budget(base); got > base {
+		t.Errorf("liar inflated budget to %d past static base %d", got, base)
+	}
+}
+
+// TestOverClaimingLiarClamped: a receiver that claims more rows than
+// were ever sent (and perfect innovation) floors the estimate at 0 —
+// it starves only itself, and the budget never drops below its floor.
+func TestOverClaimingLiarClamped(t *testing.T) {
+	var l Link
+	recv := uint32(0)
+	for i := 0; i < 100; i++ {
+		recv += 500 // five times what was actually pushed
+		report(&l, 100, recv, recv)
+	}
+	if got := l.Loss(); got != 0 {
+		t.Errorf("over-claiming liar drove loss to %v, want clamp at 0", got)
+	}
+	const base = 64
+	if got := l.Budget(base); got < 1 || got > base {
+		t.Errorf("budget %d outside [1, %d]", got, base)
+	}
+}
+
+// TestContradictoryReportsRebaseline: impossible claims produce no
+// sample and no progress signal, but re-anchor the counters so the
+// estimator survives a receiver restart.
+func TestContradictoryReportsRebaseline(t *testing.T) {
+	var l Link
+	report(&l, 100, 90, 90)
+	pre := l.Loss()
+	// innovative > received: a lie on its face.
+	if report(&l, 100, 200, 300) {
+		t.Error("contradictory report counted as progress")
+	}
+	if got := l.Loss(); got != pre {
+		t.Errorf("contradictory report moved the estimate %v → %v", pre, got)
+	}
+	// Counters running backwards (receiver restarted): re-baseline only.
+	if report(&l, 100, 5, 5) {
+		t.Error("regressed counters counted as progress")
+	}
+	// The next honest report samples from the new baseline without a
+	// huge spurious loss spike from the pre-restart counters.
+	report(&l, 100, 105, 105)
+	if got := l.Loss(); got > pre {
+		t.Errorf("post-restart honest report spiked loss to %v (was %v)", got, pre)
+	}
+}
+
+func TestBudgetShape(t *testing.T) {
+	const base = 64
+	var clean, mid, harsh Link
+	report(&clean, 100, 100, 100)
+	for i := 0; i < 50; i++ {
+		report(&mid, 100, uint32(100+i*85), uint32(100+i*85))
+		report(&harsh, 100, uint32(100+i*55), uint32(100+i*55))
+	}
+	bc, bm, bh := clean.Budget(base), mid.Budget(base), harsh.Budget(base)
+	if !(bc < bm && bm < bh) {
+		t.Errorf("budget not monotone in loss: clean %d, 15%% %d, 45%% %d", bc, bm, bh)
+	}
+	if bc != 8 {
+		t.Errorf("clean budget = %d, want floor 8", bc)
+	}
+	if bh > base {
+		t.Errorf("harsh budget %d above static base", bh)
+	}
+	if got := (&Link{}).Budget(2); got < 1 {
+		t.Errorf("tiny base budget = %d, want ≥ 1", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ltnc/internal/lt"
 	"ltnc/internal/opcount"
 	"ltnc/internal/packet"
+	"ltnc/internal/soliton"
 	"ltnc/internal/xrand"
 )
 
@@ -261,6 +262,40 @@ func (c *Coder) Recode(skip func(g int) bool) (*packet.Packet, bool) {
 		}
 	}
 	return nil, false
+}
+
+// NativeRow returns native row x (in global content order, 0 ≤ x < K) as
+// a degree-1 packet stamped for its generation — the unit of the adaptive
+// push path's systematic first pass: each native is emitted plainly once,
+// and coded repair only covers what the link then loses. The bool is
+// false while the owning generation has not decoded that native. The
+// packet owns its payload (packet.Native copies), so it stays valid
+// across later decode activity, including a quarantine ResetGen.
+func (c *Coder) NativeRow(x int) (*packet.Packet, bool) {
+	if x < 0 || x >= c.K() {
+		return nil, false
+	}
+	g, i := x/c.kPer, x%c.kPer
+	node := c.gens[g]
+	if !node.IsDecoded(i) {
+		return nil, false
+	}
+	z := packet.Native(c.kPer, i, node.NativeData(i))
+	c.stamp(z, g)
+	return z, true
+}
+
+// SetDist swaps the degree distribution every generation samples recode
+// degrees from; it must span exactly KPer degrees. Adaptive senders use
+// this to re-rung a peer between bursts — the swap is a per-generation
+// pointer assignment.
+func (c *Coder) SetDist(d soliton.Dist) error {
+	for g, node := range c.gens {
+		if err := node.SetDist(d); err != nil {
+			return fmt.Errorf("generation %d: %w", g, err)
+		}
+	}
+	return nil
 }
 
 func (c *Coder) stamp(z *packet.Packet, g int) {

@@ -124,6 +124,17 @@ func FuzzSessionFrames(f *testing.F) {
 	shortAd := append([]byte(nil), fb...)
 	shortAd[17] = fbCacheAd // kind 4 without its coverage body: must drop
 	f.Add(shortAd)
+	rc := receiptFrame(id, 1, 32, 16)
+	f.Add(rc)
+	f.Add(rc[:receiptLen-3]) // truncated inside the innovative counter
+	f.Add(append(rc, 0x00))  // oversized receipt
+	lie := receiptFrame(id, 0, 4, 9) // innovative > received: a lie on its face
+	f.Add(lie)
+	zero := receiptFrame(id, 0, 0, 0) // the under-claiming liar's favorite
+	f.Add(zero)
+	shortRc := append([]byte(nil), fb...)
+	shortRc[17] = fbReceipt // kind 5 without its counter body: must drop
+	f.Add(shortRc)
 	mc, err := packet.AppendManifestChunk([]byte{frameManifest}, id, 520, 0, make([]byte, 64))
 	if err != nil {
 		f.Fatal(err)
@@ -137,7 +148,10 @@ func FuzzSessionFrames(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		s, _ := fuzzSession(t, nil)
+		// Adaptive on: the receipt tally and kind-5 parse paths are live
+		// (a non-adaptive session drops kind 5 before parsing it, which
+		// FuzzSessionFrameSequence still covers).
+		s, _ := fuzzSession(t, func(c *Config) { c.Adaptive = true })
 		injectFrame(s, "peer", data)
 		// Whatever arrived, the relay bounds must hold.
 		objs := s.Objects()

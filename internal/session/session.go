@@ -37,6 +37,10 @@
 //	               1=redundant 2=complete 3=generation complete (gen id
 //	               present for kind 3 only) 4=cache advertisement
 //	               (gensFull, gens, rank present for kind 4 only)
+//	               5=receipt report (gen(4), received(4), innovative(4):
+//	               the receiver's cumulative per-sender row counters,
+//	               emitted by adaptive sessions and fed to the sender's
+//	               loss estimator — see Config.Adaptive and DESIGN.md §16)
 //	MANIFEST 0x05 | manifest chunk (packet.ManifestChunk): objectID(16) |
 //	               total(4) | off(4) | n(2) | bytes — one slice of the
 //	               object's integrity manifest (internal/integrity),
@@ -89,12 +93,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ltnc/internal/adapt"
 	"ltnc/internal/bitvec"
 	"ltnc/internal/cache"
 	"ltnc/internal/generation"
 	"ltnc/internal/integrity"
 	"ltnc/internal/lt"
 	"ltnc/internal/packet"
+	"ltnc/internal/soliton"
 	"ltnc/internal/transport"
 )
 
@@ -111,6 +117,7 @@ const (
 	fbComplete    = 0x02
 	fbGenComplete = 0x03
 	fbCacheAd     = 0x04
+	fbReceipt     = 0x05
 
 	reqLen = 1 + 16
 	// META comes in two lengths: the gens-absent legacy form (≡ G=1,
@@ -126,6 +133,30 @@ const (
 	// generations at full rank, the object's generation count, and the
 	// summed rank across generations.
 	cacheAdLen = feedbackLen + 12
+	// Kind 5 (receipt report) appends the receiver's cumulative counters
+	// for rows arriving from the addressed sender: the generation of the
+	// triggering frame, rows received and rows innovative. Same length as
+	// kind 4 — pre-adaptive peers parse the length, see kind != 4, and
+	// drop it silently.
+	receiptLen = feedbackLen + 12
+)
+
+// AdaptControls is a bitmask selecting which adaptive controls an
+// adaptive session runs; zero selects all of them.
+type AdaptControls uint8
+
+const (
+	// AdaptSystematic: the systematic first pass — every decoded native
+	// is pushed once as a degree-1 row per peer before coded repair.
+	AdaptSystematic AdaptControls = 1 << iota
+	// AdaptBudget: the satiation budget follows the estimated link loss
+	// instead of the static satiationLimit constant.
+	AdaptBudget
+	// AdaptLadder: the Robust Soliton configuration follows the estimated
+	// link loss across the precomputed (c, δ) ladder.
+	AdaptLadder
+
+	adaptAll = AdaptSystematic | AdaptBudget | AdaptLadder
 )
 
 // maxPeersPerObject bounds one object's peer table (REQ subscribers plus
@@ -146,6 +177,12 @@ const maxCacheAds = 32
 // innovative). The pause is temporary — an incomplete peer must be able
 // to resume — and any REQ lifts it immediately.
 const satiationLimit = 64
+
+// receiptEvery is how many DATA frames a receiver accepts from one sender
+// between kind-5 receipt reports (adaptive sessions only). Small enough
+// that a loss estimate forms within one generation; large enough that the
+// feedback stream stays a small fraction of the data stream.
+const receiptEvery = 16
 
 // Config parameterizes a session.
 type Config struct {
@@ -237,6 +274,22 @@ type Config struct {
 	// selects a role-derived default: 200 for relays, 160 for caches, 16
 	// otherwise.
 	Capacity uint8
+	// Adaptive turns on the feedback-driven coding loop (DESIGN.md §16).
+	// Receivers emit kind-5 receipt reports (cumulative rows received /
+	// rows innovative per sender); senders feed them to a per-(peer,
+	// object) loss estimator (internal/adapt) driving the push path's
+	// three online controls: a systematic first pass per generation (each
+	// decoded native goes out once as a degree-1 row before coded
+	// repair), a satiation budget tuned from estimated loss instead of
+	// the static constant, and per-peer Robust Soliton configuration off
+	// a precomputed ladder (internal/soliton). Off by default: the wire
+	// behavior of a non-adaptive session is byte-identical to pre-receipt
+	// versions.
+	Adaptive bool
+	// AdaptControls selects individual adaptive controls when Adaptive is
+	// set; 0 means all. Used by experiments to isolate the systematic
+	// pass from the estimator-driven controls.
+	AdaptControls AdaptControls
 	// Clock is the time source behind every session timer — push ticks,
 	// META resend, idle eviction, satiation backoff, fetch retries.
 	// Default: the system clock. Simulations (internal/simnet) inject a
@@ -343,6 +396,12 @@ func (c *Config) setDefaults() error {
 	if c.Fanout < 1 {
 		return fmt.Errorf("session: fanout %d < 1", c.Fanout)
 	}
+	if c.Adaptive && c.AdaptControls == 0 {
+		c.AdaptControls = adaptAll
+	}
+	if !c.Adaptive {
+		c.AdaptControls = 0
+	}
 	if c.Seed == 0 && !c.HaveSeed {
 		c.Seed = 1
 	}
@@ -390,6 +449,13 @@ type ObjectStats struct {
 	// across snapshots exactly when Polluted grows — the one sanctioned
 	// exception to Watch's monotone-progress contract.
 	Polluted int64
+	// LossEst is the adaptive loss estimate for this object (DESIGN.md
+	// §16): the mean of the per-peer estimator outputs across peers that
+	// have sent at least one receipt report; 0 for non-adaptive sessions
+	// or before any report. Systematic counts DATA frames this session
+	// pushed as degree-1 native rows in the systematic first pass.
+	LossEst    float64
+	Systematic int64
 }
 
 // Overhead returns received packets relative to K — the reception
@@ -423,6 +489,24 @@ type peerState struct {
 	// object's G; gensDoneN counts the true entries.
 	gensDone  []bool
 	gensDoneN int
+	// Adaptive-mode sender state (Config.Adaptive; DESIGN.md §16).
+	// link estimates the loss toward this peer from its receipt reports;
+	// sysCursor is the systematic first pass position — the next global
+	// native row to push plainly (a cursor ≥ K means the pass is over and
+	// the peer gets coded repair only).
+	link      *adapt.Link
+	sysCursor int
+}
+
+// rxTally is the receiver-side mirror of one upstream's pushes: the
+// cumulative DATA rows accepted from that peer for one object, how many
+// were innovative, and how many arrived since the last kind-5 receipt
+// went out. It lives on the object's decode plane (guarded by
+// objectState.mu, NOT Session.mu) because the ingest path that feeds it
+// holds only the per-object lock.
+type rxTally struct {
+	rows, inno uint32
+	since      int
 }
 
 // objectState splits into two lock domains. The decode plane — coder,
@@ -482,6 +566,18 @@ type objectState struct {
 	manBans    []transport.Addr
 	polluted   int64 // pollution events (quarantines)
 	vigilant   bool  // pollution seen: audit rows offered to verified generations
+	// rx tracks, per upstream peer, the rows this session accepted from it
+	// for this object (adaptive mode only; feeds kind-5 receipt reports).
+	// Decode plane: ingest mutates it under mu. Bounded like the peer
+	// table (maxPeersPerObject).
+	rx map[transport.Addr]*rxTally
+	// ladder is the precomputed per-kPer Robust Soliton configuration
+	// ladder adaptive pushes re-rung the coder on (AdaptLadder; lazily
+	// built once the coder's geometry is known). rungApplied caches the
+	// rung currently applied to the coder, offset by one so the zero
+	// value means "none yet" and the first adaptive burst always rungs.
+	ladder      *soliton.Ladder
+	rungApplied int
 	// solicited holds the peers this session explicitly chose as upstreams
 	// for the object (the Fetch candidate set). Conviction requires
 	// solicitation: only solicited peers can be banned over this object's
@@ -508,7 +604,10 @@ type objectState struct {
 	pinned   bool
 	waiters  int // Fetch calls currently blocked on this object
 	sent     int64
-	peers    map[transport.Addr]*peerState
+	// systematic counts DATA frames pushed as degree-1 native rows in the
+	// adaptive systematic first pass.
+	systematic int64
+	peers      map[transport.Addr]*peerState
 	watchers map[int]func(ObjectStats) // progress subscriptions (Watch)
 	// cacheAds records kind-4 advertisements received for this object
 	// (bounded by maxCacheAds): which peers hold cached coverage, for
@@ -1165,7 +1264,42 @@ func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *o
 	return st
 }
 
-// ingestDataLocked is the decode hot path for one DATA frame; st.mu must
+// ingestDataLocked wraps decodeDataLocked with the adaptive receiver's
+// receipt accounting (Config.Adaptive; DESIGN.md §16): every frame the
+// decoder actually judged — innovative or aborted, but not geometry
+// drops — bumps the per-upstream tally, and every receiptEvery such
+// frames a kind-5 receipt report replaces an otherwise-empty feedback
+// slot. A frame that already produced feedback keeps it (completion and
+// redundancy signals outrank receipts); the due receipt simply rides the
+// next quiet frame, so the cumulative counters lose nothing.
+func (s *Session) ingestDataLocked(st *objectState, in *inFrame, acts *pollActions) (fb []byte, progressed bool) {
+	fb, progressed = s.decodeDataLocked(st, in, acts)
+	if !s.cfg.Adaptive || st.dead || (!progressed && fb == nil) {
+		return fb, progressed
+	}
+	t, ok := st.rx[in.f.From]
+	if !ok {
+		if st.rx == nil {
+			st.rx = make(map[transport.Addr]*rxTally)
+		} else if len(st.rx) >= maxPeersPerObject {
+			return fb, progressed
+		}
+		t = &rxTally{}
+		st.rx[in.f.From] = t
+	}
+	t.rows++
+	if progressed {
+		t.inno++
+	}
+	t.since++
+	if t.since >= receiptEvery && fb == nil {
+		fb = receiptFrame(st.id, in.wv.Generation, t.rows, t.inno)
+		t.since = 0
+	}
+	return fb, progressed
+}
+
+// decodeDataLocked is the decode hot path for one DATA frame; st.mu must
 // be held. The generation geometry is validated against the object's
 // coder, the code vector is checked next and a redundant payload is never
 // copied or decoded (Section III-C-2); an innovative packet moves from
@@ -1175,7 +1309,7 @@ func (s *Session) resolveStateLocked(wv packet.WireView, from transport.Addr) *o
 // which drives watcher notifications. Pollution consequences (bans,
 // re-arm REQs) accumulate in acts for the batch layer to apply once all
 // locks are dropped.
-func (s *Session) ingestDataLocked(st *objectState, in *inFrame, acts *pollActions) (fb []byte, progressed bool) {
+func (s *Session) decodeDataLocked(st *objectState, in *inFrame, acts *pollActions) (fb []byte, progressed bool) {
 	if st.dead {
 		return nil, false // evicted between state resolution and locking: drop
 	}
@@ -2174,12 +2308,13 @@ func (s *Session) handleMeta(from transport.Addr, data []byte) []byte {
 
 func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	// Kinds 1 and 2 use the short body; kind 3 appends the completed
-	// generation id; kind 4 appends the advertiser's cache coverage.
+	// generation id; kinds 4 (cache advertisement) and 5 (receipt report)
+	// share the long body.
 	var gen uint32
 	switch len(data) {
 	case feedbackLen - 1:
-		if data[16] == fbGenComplete || data[16] == fbCacheAd {
-			return // kinds 3 and 4 require their extended bodies
+		if data[16] == fbGenComplete || data[16] == fbCacheAd || data[16] == fbReceipt {
+			return // kinds 3, 4 and 5 require their extended bodies
 		}
 	case genFeedbackLen - 1:
 		if data[16] != fbGenComplete {
@@ -2187,7 +2322,7 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 		}
 		gen = binary.BigEndian.Uint32(data[17:21])
 	case cacheAdLen - 1:
-		if data[16] != fbCacheAd {
+		if data[16] != fbCacheAd && data[16] != fbReceipt {
 			return
 		}
 	default:
@@ -2231,6 +2366,25 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 	switch data[16] {
 	case fbComplete:
 		ps.done = true
+	case fbReceipt:
+		if !s.cfg.Adaptive {
+			return // pre-adaptive behavior: unknown kind, drop silently
+		}
+		received := binary.BigEndian.Uint32(data[21:25])
+		innovative := binary.BigEndian.Uint32(data[25:29])
+		if ps.link == nil {
+			ps.link = &adapt.Link{}
+		}
+		if ps.link.OnReport(received, innovative) {
+			// Innovative progress over there is the opposite of satiation:
+			// clear the redundancy streak and any backoff so the stream
+			// keeps flowing while it is still doing work. This is also what
+			// un-sticks a streak gone stale — redundancy aborts and receipts
+			// race on the wire, and without the reset a burst of aborts
+			// could pause a peer that has since started accepting rows.
+			ps.consecRedund = 0
+			ps.pauseUntil = time.Time{}
+		}
 	case fbGenComplete:
 		gens := int(st.gens.Load())
 		// Unsigned compare: int(gen) can wrap negative on 32-bit builds.
@@ -2250,7 +2404,14 @@ func (s *Session) handleFeedback(from transport.Addr, data []byte) {
 		ps.consecRedund = 0
 	case fbRedundant:
 		ps.consecRedund++
-		if ps.consecRedund >= satiationLimit {
+		limit := satiationLimit
+		if s.cfg.AdaptControls&AdaptBudget != 0 && ps.link != nil {
+			// Adaptive budget: on a clean link a redundancy streak means
+			// satiation and the pause comes early; under loss the same
+			// streak is mostly noise and the full static budget applies.
+			limit = ps.link.Budget(satiationLimit)
+		}
+		if ps.consecRedund >= limit {
 			// Senders never hear about accepted packets, only redundant
 			// ones, so this count must not cut a peer off permanently: an
 			// incomplete peer still needs the stream. Back off instead;
@@ -2339,6 +2500,8 @@ func (s *Session) push() {
 		addrs    []transport.Addr
 		skips    [][]bool // aligned with addrs; generations done at that peer (nil = none)
 		cursors  []uint64 // aligned with addrs; the peer's cache serve cursor
+		sysCur   []int    // aligned with addrs; systematic-pass cursor (adaptive)
+		loss     []float64
 		needMeta []transport.Addr
 	}
 	s.mu.Lock()
@@ -2367,6 +2530,14 @@ func (s *Session) push() {
 			}
 			pt.skips = append(pt.skips, done)
 			pt.cursors = append(pt.cursors, ps.cacheCursor)
+			if s.cfg.Adaptive {
+				pt.sysCur = append(pt.sysCur, ps.sysCursor)
+				loss := 0.0
+				if ps.link != nil {
+					loss = ps.link.Loss()
+				}
+				pt.loss = append(pt.loss, loss)
+			}
 		}
 		if len(pt.addrs) > 0 {
 			targets = append(targets, pt)
@@ -2377,10 +2548,13 @@ func (s *Session) push() {
 	type outPkt struct {
 		z    *packet.Packet
 		addr transport.Addr
+		ai   int  // index into the owning pushTarget's addrs
+		sys  bool // systematic first-pass native row
 	}
 	type sent struct {
-		st *objectState
-		n  int64
+		st  *objectState
+		n   int64
+		sys int64
 	}
 	type metaSent struct {
 		st   *objectState
@@ -2391,9 +2565,19 @@ func (s *Session) push() {
 		addr   transport.Addr
 		cursor uint64
 	}
+	// adaptMoved is one peer's adaptive write-back: the systematic cursor
+	// after this round's burst and the DATA frames committed toward it
+	// (fed to the link estimator's sender-side counter).
+	type adaptMoved struct {
+		st     *objectState
+		addr   transport.Addr
+		cursor int
+		sent   int
+	}
 	var sends []sent
 	var metas []metaSent
 	var cursors []cursorMoved
+	var adapts []adaptMoved
 	// DATA frames are staged into the coalescer's pooled slabs and flushed
 	// as per-peer batches at the end of the round (early per-peer flushes
 	// bound the window) — sendmmsg/GSO-sized bursts on the Linux fast
@@ -2449,6 +2633,15 @@ func (s *Session) push() {
 				}
 				return st.man != nil && (g >= len(st.verified) || !st.verified[g])
 			}
+			var ladder *soliton.Ladder
+			if s.cfg.AdaptControls&AdaptLadder != 0 && st.kPer > 0 {
+				if st.ladder == nil {
+					if l, err := soliton.NewLadder(st.kPer, nil); err == nil {
+						st.ladder = l
+					}
+				}
+				ladder = st.ladder
+			}
 			for ai, addr := range pt.addrs {
 				skip := taintGate
 				if done := pt.skips[ai]; done != nil {
@@ -2456,13 +2649,57 @@ func (s *Session) push() {
 						return (g < len(done) && done[g]) || taintGate(g)
 					}
 				}
-				for b := 0; b < s.cfg.Burst; b++ {
+				if ladder != nil {
+					// Re-rung the coder for this peer's estimated loss just
+					// before its burst is recoded: the swap is a pointer
+					// assignment per generation, so peers on different rungs
+					// each get their own degree shape within one sweep.
+					if r := ladder.Rung(pt.loss[ai]); r+1 != st.rungApplied && st.coder.SetDist(ladder.At(r)) == nil {
+						st.rungApplied = r + 1
+					}
+				}
+				b := 0
+				if s.cfg.AdaptControls&AdaptSystematic != 0 {
+					// Systematic first pass: walk the peer's cursor over the
+					// global native rows, emitting each decoded native AT
+					// MOST once as a degree-1 row before any coded repair.
+					// A native this node has not decoded when the cursor
+					// passes is skipped for good — coded repair covers it.
+					// The cursor deliberately never stalls or resumes: at a
+					// store-and-forward relay, natives decode in GE
+					// back-substitution order, not cursor order, so a
+					// stalled pass would resume only after the peer's coded
+					// stream already spans the late natives, and every
+					// resumed degree-1 row would be a duplicate (measured
+					// as a 2× frame blowup at 20% loss). Generations the
+					// peer already has, or that the taint gate blocks, are
+					// stepped over whole. The cursor writes back under
+					// s.mu below.
+					cur := pt.sysCur[ai]
+					for b < s.cfg.Burst && cur < st.k {
+						g := cur / st.kPer
+						if skip(g) {
+							cur = (g + 1) * st.kPer
+							continue
+						}
+						z, ok := st.coder.NativeRow(cur)
+						cur++
+						if !ok {
+							continue
+						}
+						z.Object = st.id
+						burst = append(burst, outPkt{z, addr, ai, true})
+						b++
+					}
+					pt.sysCur[ai] = cur
+				}
+				for ; b < s.cfg.Burst; b++ {
 					z, ok := st.coder.Recode(skip)
 					if !ok {
 						break
 					}
 					z.Object = st.id
-					burst = append(burst, outPkt{z, addr})
+					burst = append(burst, outPkt{z, addr, ai, false})
 				}
 			}
 		}
@@ -2481,6 +2718,11 @@ func (s *Session) push() {
 		// committed to the window (the flush's error, like a lost
 		// datagram, is not worth unwinding the stats for).
 		n := int64(0)
+		sysN := int64(0)
+		var perSent []int
+		if s.cfg.Adaptive {
+			perSent = make([]int, len(pt.addrs))
+		}
 		if serveCache {
 			for ai, addr := range pt.addrs {
 				var skip func(uint32) bool
@@ -2498,6 +2740,9 @@ func (s *Session) push() {
 					}
 					s.coal.Commit(addr, frame)
 					n++
+					if perSent != nil {
+						perSent[ai]++
+					}
 				}
 				if cur != pt.cursors[ai] {
 					cursors = append(cursors, cursorMoved{st, addr, cur})
@@ -2512,19 +2757,35 @@ func (s *Session) push() {
 			}
 			s.coal.Commit(out.addr, frame)
 			n++
+			if out.sys {
+				sysN++
+			}
+			if perSent != nil {
+				perSent[out.ai]++
+			}
 		}
 		if n > 0 {
-			sends = append(sends, sent{st, n})
+			sends = append(sends, sent{st, n, sysN})
+		}
+		if perSent != nil {
+			for ai, addr := range pt.addrs {
+				cur := 0
+				if pt.sysCur != nil {
+					cur = pt.sysCur[ai]
+				}
+				adapts = append(adapts, adaptMoved{st, addr, cur, perSent[ai]})
+			}
 		}
 	}
 	s.coal.Flush()
-	if len(sends) == 0 && len(metas) == 0 && len(cursors) == 0 {
+	if len(sends) == 0 && len(metas) == 0 && len(cursors) == 0 && len(adapts) == 0 {
 		return
 	}
 	s.mu.Lock()
 	stamp := s.clk.Now()
 	for _, sn := range sends {
 		sn.st.sent += sn.n
+		sn.st.systematic += sn.sys
 	}
 	for _, ms := range metas {
 		ms.st.peer(ms.addr).metaAt = stamp
@@ -2534,6 +2795,20 @@ func (s *Session) push() {
 		// mid-push just to park a cursor would resurrect it.
 		if ps, ok := cm.st.peers[cm.addr]; ok {
 			ps.cacheCursor = cm.cursor
+		}
+	}
+	for _, am := range adapts {
+		if ps, ok := am.st.peers[am.addr]; ok {
+			// Monotone: a concurrent sweep may have pushed further already.
+			if am.cursor > ps.sysCursor {
+				ps.sysCursor = am.cursor
+			}
+			if am.sent > 0 {
+				if ps.link == nil {
+					ps.link = &adapt.Link{}
+				}
+				ps.link.OnSend(am.sent)
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -2722,6 +2997,23 @@ func cacheAdFrame(id packet.ObjectID, gensFull, gens uint32, rank int) []byte {
 	binary.BigEndian.PutUint32(buf[18:22], gensFull)
 	binary.BigEndian.PutUint32(buf[22:26], gens)
 	binary.BigEndian.PutUint32(buf[26:30], uint32(rank))
+	return buf
+}
+
+// receiptFrame encodes the kind-5 feedback: the sender of the frame has
+// accepted received DATA rows from the addressed peer for object id, of
+// which innovative advanced its decode; gen is the generation of the
+// frame that triggered the report. Counters are cumulative per (sender,
+// object), so a lost receipt costs nothing — the next one carries the
+// same information.
+func receiptFrame(id packet.ObjectID, gen, received, innovative uint32) []byte {
+	buf := make([]byte, receiptLen)
+	buf[0] = frameFeedback
+	copy(buf[1:17], id[:])
+	buf[17] = fbReceipt
+	binary.BigEndian.PutUint32(buf[18:22], gen)
+	binary.BigEndian.PutUint32(buf[22:26], received)
+	binary.BigEndian.PutUint32(buf[26:30], innovative)
 	return buf
 }
 
@@ -3099,10 +3391,19 @@ func (s *Session) statsLocked(st *objectState) ObjectStats {
 	st.mu.Unlock()
 	o.Pinned = st.pinned
 	o.Sent = st.sent
+	o.Systematic = st.systematic
+	lossSum, lossN := 0.0, 0
 	for _, ps := range st.peers {
 		if ps.reqSub && !ps.done {
 			o.Subscribers++
 		}
+		if ps.link != nil && ps.link.Reports() > 0 {
+			lossSum += ps.link.Loss()
+			lossN++
+		}
+	}
+	if lossN > 0 {
+		o.LossEst = lossSum / float64(lossN)
 	}
 	return o
 }

@@ -89,6 +89,26 @@ var named = map[string]namedScenario{
 			}
 		},
 	},
+	"harsh-multihop": {
+		desc: "adaptive loop under brutal loss: a 3-relay powerline chain at 40% per-hop loss; receipts steer the budget and soliton ladder so fetches still finish",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "harsh-multihop",
+				Seed:    seed,
+				Sources: 1, Relays: 3, Fetchers: 2,
+				Objects:  []ObjectSpec{{Size: 16 << 10, K: 64}},
+				Wiring:   WiringLine,
+				Adaptive: true,
+				Link:     LinkConfig{Loss: 0.4, Latency: 5 * time.Millisecond},
+				Duration: 120 * time.Second,
+				// At 40% per-hop loss the repair stream is mostly what gets
+				// through; reception overhead counts only arrivals, but the
+				// adaptive budget legitimately runs hot here.
+				MaxOverhead: 8,
+				WallBudget:  4 * time.Minute,
+			}
+		},
+	},
 	"asym-uplink": {
 		desc: "edge clients behind 20%-loss, 40ms, 64KiB/s uplinks under a clean downlink",
 		make: func(seed int64) Scenario {
@@ -98,6 +118,23 @@ var named = map[string]namedScenario{
 				Sources: 1, Relays: 2, Fetchers: 6,
 				Objects:         []ObjectSpec{{Size: 24 << 10, K: 96}},
 				PeersPerFetcher: 2,
+				Link:            LinkConfig{Loss: 0.01, Latency: 3 * time.Millisecond},
+				Uplink:          &LinkConfig{Loss: 0.2, Latency: 40 * time.Millisecond, BandwidthBPS: 64 << 10},
+				Duration:        60 * time.Second,
+				MaxOverhead:     6,
+			}
+		},
+	},
+	"asym-uplink-adaptive": {
+		desc: "the asym-uplink swarm with the adaptive loop on: systematic first pass plus loss-steered redundancy over the clean downlink",
+		make: func(seed int64) Scenario {
+			return Scenario{
+				Name:    "asym-uplink-adaptive",
+				Seed:    seed,
+				Sources: 1, Relays: 2, Fetchers: 6,
+				Objects:         []ObjectSpec{{Size: 24 << 10, K: 96}},
+				PeersPerFetcher: 2,
+				Adaptive:        true,
 				Link:            LinkConfig{Loss: 0.01, Latency: 3 * time.Millisecond},
 				Uplink:          &LinkConfig{Loss: 0.2, Latency: 40 * time.Millisecond, BandwidthBPS: 64 << 10},
 				Duration:        60 * time.Second,
@@ -301,9 +338,11 @@ type ScenarioInfo struct {
 	Caches    int
 	Fetchers  int
 	Polluters int
+	Liars     int
 	Bootstrap int // membership-mode bootstrap nodes (0 = static wiring)
 	Objects   int
 	Wiring    Wiring
+	Adaptive  bool // feedback-driven coding loop on for every session
 }
 
 // Catalog returns the named scenarios with their descriptions and
@@ -326,9 +365,11 @@ func Catalog() []ScenarioInfo {
 			Caches:    sc.Caches,
 			Fetchers:  sc.Fetchers,
 			Polluters: sc.Polluters,
+			Liars:     sc.Liars,
 			Bootstrap: sc.Bootstrap,
 			Objects:   len(sc.Objects),
 			Wiring:    sc.Wiring,
+			Adaptive:  sc.Adaptive,
 		})
 	}
 	return out

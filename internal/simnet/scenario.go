@@ -143,6 +143,17 @@ type Scenario struct {
 	// star wiring without a cache tier.
 	Polluters int
 
+	// Liars adds lying-receiver actors (Adaptive swarms only): raw ports
+	// that REQ-subscribe at every source and relay for every object, drain
+	// the resulting pushes, and flood forged kind-5 receipt reports
+	// claiming they received nothing — the extortion play against the
+	// adaptive loop, trying to pin the sender's loss estimate at the
+	// ceiling and divert redundancy budget away from honest peers. The
+	// estimator's clamps (MaxLoss, budget never above the static
+	// satiation limit) must keep honest fetches completing. Requires
+	// static star wiring without caches or membership mode.
+	Liars int
+
 	// Caches inserts a tier of budgeted partial-cache sessions between
 	// the sources and the fetchers: sources push into a cache chain
 	// c0 → c1 → …, fetchers subscribe at caches only, and the caches
@@ -192,6 +203,14 @@ type Scenario struct {
 	Burst          int           // default 2
 	Aggressiveness float64       // default: session default (0.01)
 	IdleTimeout    time.Duration // default: session default (60s)
+	// Adaptive turns on every session's feedback-driven coding loop
+	// (session.Config.Adaptive; DESIGN.md §16): receipt reports feed a
+	// per-peer loss estimator driving the systematic first pass, the
+	// loss-tuned redundancy budget, and the Robust Soliton ladder.
+	Adaptive bool
+	// AdaptControls selects individual adaptive controls when Adaptive
+	// is set (session semantics: zero = all controls).
+	AdaptControls session.AdaptControls
 
 	// Dynamics.
 	Churn    ChurnSpec
@@ -219,8 +238,19 @@ func (sc *Scenario) setDefaults() error {
 	if sc.Fetchers == 0 {
 		sc.Fetchers = 4
 	}
-	if sc.Sources < 1 || sc.Relays < 0 || sc.Caches < 0 || sc.Fetchers < 1 || sc.Polluters < 0 {
-		return fmt.Errorf("simnet: population %d/%d/%d/%d/%d invalid", sc.Sources, sc.Relays, sc.Caches, sc.Fetchers, sc.Polluters)
+	if sc.Sources < 1 || sc.Relays < 0 || sc.Caches < 0 || sc.Fetchers < 1 || sc.Polluters < 0 || sc.Liars < 0 {
+		return fmt.Errorf("simnet: population %d/%d/%d/%d/%d/%d invalid", sc.Sources, sc.Relays, sc.Caches, sc.Fetchers, sc.Polluters, sc.Liars)
+	}
+	if sc.AdaptControls != 0 && !sc.Adaptive {
+		return fmt.Errorf("simnet: AdaptControls set without Adaptive")
+	}
+	if sc.Liars > 0 {
+		if !sc.Adaptive {
+			return fmt.Errorf("simnet: liar tier requires the adaptive loop")
+		}
+		if sc.Wiring != WiringStar || sc.Caches > 0 || sc.Bootstrap > 0 {
+			return fmt.Errorf("simnet: liar tier requires static star wiring without caches")
+		}
 	}
 	if sc.Bootstrap < 0 || sc.ViewSize < 0 || sc.ShufflePeriod < 0 || sc.ViewConvergeBy < 0 {
 		return fmt.Errorf("simnet: membership knobs %d/%d/%v/%v invalid", sc.Bootstrap, sc.ViewSize, sc.ShufflePeriod, sc.ViewConvergeBy)
@@ -501,6 +531,10 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for i := range pollNames {
 		pollNames[i] = fmt.Sprintf("p%d", i)
 	}
+	liarNames := make([]string, sc.Liars)
+	for i := range liarNames {
+		liarNames[i] = fmt.Sprintf("l%d", i)
+	}
 	r.srcSet = make(map[transport.Addr]bool, sc.Sources)
 	for _, name := range srcNames {
 		r.srcSet[transport.Addr(name)] = true
@@ -629,6 +663,8 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 			Seed:           per(nodeIdx),
 			HaveSeed:       true,
 			Clock:          net.Clock(),
+			Adaptive:       sc.Adaptive,
+			AdaptControls:  sc.AdaptControls,
 		}
 		if sc.Bootstrap > 0 {
 			cfg.Bootstrap = r.bootAddrs
@@ -725,6 +761,27 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 			return nil, err
 		}
 		polluters = append(polluters, pl)
+	}
+
+	// Liar actors: lying receivers that subscribe at every serving node
+	// (sources and relays — the star's push side) and flood forged
+	// under-claiming receipt reports at them.
+	var liars []*liar
+	if sc.Liars > 0 {
+		servers := make([]transport.Addr, 0, sc.Sources+sc.Relays)
+		for _, name := range srcNames {
+			servers = append(servers, transport.Addr(name))
+		}
+		for _, name := range relayNames {
+			servers = append(servers, transport.Addr(name))
+		}
+		for _, name := range liarNames {
+			ln, err := startLiar(ctx, net, name, r.ids, servers)
+			if err != nil {
+				return nil, err
+			}
+			liars = append(liars, ln)
+		}
 	}
 
 	// Relay chain / star.
@@ -877,11 +934,14 @@ func (sc Scenario) Run(ctx context.Context) (*Report, error) {
 	for _, pl := range polluters {
 		pl.close()
 	}
+	for _, ln := range liars {
+		ln.close()
+	}
 
 	rep := &Report{
 		Scenario:       sc.Name,
 		Seed:           sc.Seed,
-		Nodes:          sc.Sources + sc.Relays + sc.Caches + sc.Fetchers + sc.Polluters,
+		Nodes:          sc.Sources + sc.Relays + sc.Caches + sc.Fetchers + sc.Polluters + sc.Liars,
 		CacheTiers:     cacheTiers,
 		VirtualElapsed: virtualElapsed,
 		WallElapsed:    time.Since(wallStart),

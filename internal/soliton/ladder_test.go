@@ -1,0 +1,246 @@
+package soliton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRobustGoldenPMF pins the Robust Soliton against a golden table for
+// k=16, c=0.1, δ=0.5 — small enough that the ⌊k/R⌋ spike position differs
+// from the Round(k/R) one (k/R ≈ 11.54: floor 11, round 12), so a
+// regression to the rounded spike fails on every row around the spike.
+func TestRobustGoldenPMF(t *testing.T) {
+	s, err := NewRobust(16, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spike(); got != 11 {
+		t.Fatalf("spike at %d, Luby's floor(k/R) = 11", got)
+	}
+	golden := []struct {
+		d   int
+		pmf float64
+	}{
+		{1, 0.111124149100},
+		{2, 0.404819539106},
+		{3, 0.145699260895},
+		{10, 0.014734344172}, // last τ head slot: ρ(10) + R/(10k), normalized
+		{11, 0.072606985572}, // the spike
+		{12, 0.005644565084}, // pure ideal tail — no τ mass past the spike
+		{16, 0.003104510796},
+	}
+	for _, g := range golden {
+		if got := s.PMF(g.d); math.Abs(got-g.pmf) > 1e-9 {
+			t.Errorf("PMF(%d) = %.12f, golden %.12f", g.d, got, g.pmf)
+		}
+	}
+	if got := s.Mean(); math.Abs(got-3.888655771694) > 1e-9 {
+		t.Errorf("mean = %.12f, golden 3.888655771694", got)
+	}
+}
+
+// TestRobustSpikeIsFloor pins the spike position to ⌊k/R⌋ across sizes
+// where floor and round disagree.
+func TestRobustSpikeIsFloor(t *testing.T) {
+	tests := []struct {
+		k        int
+		c, delta float64
+		spike    int
+	}{
+		{16, 0.1, 0.5, 11},   // k/R ≈ 11.54
+		{64, 0.03, 0.5, 54},  // k/R ≈ 54.96 — round would say 55
+		{256, 0.03, 0.5, 85}, // k/R ≈ 85.49 — floor == round here
+		{1024, 0.03, 0.5, 139},
+	}
+	for _, tt := range tests {
+		s, err := NewRobust(tt.k, tt.c, tt.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Spike(); got != tt.spike {
+			t.Errorf("k=%d c=%v δ=%v: spike %d, want %d", tt.k, tt.c, tt.delta, got, tt.spike)
+		}
+		r := tt.c * math.Log(float64(tt.k)/tt.delta) * math.Sqrt(float64(tt.k))
+		if want := int(math.Floor(float64(tt.k) / r)); s.Spike() != want {
+			t.Errorf("k=%d: spike %d != floor(k/R) = %d", tt.k, s.Spike(), want)
+		}
+	}
+}
+
+// TestRobustMeanNearLogK: the Robust Soliton's expected degree stays
+// within a small constant factor of ln k across every ladder rung — the
+// property the O(k ln k) decoding cost bound rests on.
+func TestRobustMeanNearLogK(t *testing.T) {
+	for _, k := range []int{64, 256, 1024, 4096} {
+		logK := math.Log(float64(k))
+		for _, rung := range DefaultRungs {
+			s, err := NewRobust(k, rung.C, rung.Delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m := s.Mean(); m < 0.5*logK || m > 3.5*logK {
+				t.Errorf("k=%d c=%v δ=%v: mean %v outside [0.5, 3.5]·ln k (%v)",
+					k, rung.C, rung.Delta, m, logK)
+			}
+		}
+	}
+}
+
+// TestSampleKnotBoundaries drives the bucket search through every CDF
+// knot: a u exactly on CDF(d) belongs to the next degree with mass (the
+// half-open convention), a u just below it to d itself, and a degree with
+// zero probability is never returned from either side.
+func TestSampleKnotBoundaries(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		dist *Soliton
+	}{
+		{"ideal-32", must(NewIdeal(32))},
+		{"robust-16", must(NewRobust(16, 0.1, 0.5))},
+		{"robust-96", must(NewRobust(96, DefaultC, DefaultDelta))},
+		{"lean-96", must(NewRobust(96, 0.02, 0.5))},
+		{"harsh-96", must(NewRobust(96, 0.10, 0.1))},
+	} {
+		s := mk.dist
+		for d := 1; d <= s.k; d++ {
+			u := s.CDF(d)
+			if u < 1 { // u = 1 is outside Float64's [0,1) range
+				got := s.degreeAt(u)
+				if got <= d {
+					t.Fatalf("%s: degreeAt(CDF(%d)=%v) = %d, want > %d (knot belongs to the upper bucket)",
+						mk.name, d, u, got, d)
+				}
+				if s.PMF(got) == 0 {
+					t.Fatalf("%s: degreeAt(CDF(%d)) = %d has zero probability", mk.name, d, got)
+				}
+			}
+			if below := math.Nextafter(u, 0); below >= s.CDF(d-1) {
+				got := s.degreeAt(below)
+				if got != d {
+					t.Fatalf("%s: degreeAt(CDF(%d)⁻) = %d, want %d (bucket is closed from below)",
+						mk.name, d, got, d)
+				}
+				if s.PMF(d) == 0 {
+					t.Fatalf("%s: zero-probability degree %d owns [%v, %v)", mk.name, d, s.CDF(d-1), u)
+				}
+			}
+		}
+		if got := s.degreeAt(0); s.PMF(got) == 0 {
+			t.Fatalf("%s: degreeAt(0) = %d has zero probability", mk.name, got)
+		}
+	}
+}
+
+// TestLadderDefault pins the default ladder: a single rung identical to
+// the static configuration, so an adaptive sender's degree distribution
+// never moves off the non-adaptive default unless custom rungs are
+// configured — the measured no-regression guarantee DefaultRungs
+// documents.
+func TestLadderDefault(t *testing.T) {
+	const k = 96
+	l, err := NewLadder(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() != k || l.Len() != 1 {
+		t.Fatalf("default ladder k=%d len=%d, want a single static rung", l.K(), l.Len())
+	}
+	def := must(NewDefaultRobust(k))
+	for _, p := range []float64{0, 0.05, 0.2, 0.6, 0.9} {
+		if r := l.Rung(p); r != 0 {
+			t.Errorf("Rung(%v) = %d, want 0", p, r)
+		}
+		s := l.Pick(p)
+		for d := 1; d <= k; d++ {
+			if math.Abs(s.PMF(d)-def.PMF(d)) > 1e-12 {
+				t.Fatalf("default rung PMF(%d) diverges from NewDefaultRobust at loss %v", d, p)
+			}
+		}
+	}
+}
+
+// TestLadder covers rung selection mechanics on a custom ladder: every
+// rung precomputed at the object's k, estimates binned onto the right
+// rung, selection monotone in the estimate, and invalid ladders
+// rejected.
+func TestLadder(t *testing.T) {
+	const k = 96
+	rungs := []Rung{
+		{Loss: 0, C: DefaultC, Delta: DefaultDelta},
+		{Loss: 0.025, C: 0.05, Delta: 0.5},
+		{Loss: 0.10, C: 0.08, Delta: 0.3},
+		{Loss: 0.25, C: 0.10, Delta: 0.1},
+	}
+	l, err := NewLadder(k, rungs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() != k || l.Len() != len(rungs) {
+		t.Fatalf("ladder k=%d len=%d", l.K(), l.Len())
+	}
+	if got := l.Rung(0); got != 0 {
+		t.Errorf("Rung(0) = %d", got)
+	}
+	if got := l.Rung(0.9); got != l.Len()-1 {
+		t.Errorf("Rung(0.9) = %d, want top rung %d", got, l.Len()-1)
+	}
+	prev := -1
+	for _, p := range []float64{0, 0.01, 0.024, 0.025, 0.05, 0.1, 0.2, 0.25, 0.5} {
+		r := l.Rung(p)
+		if r < prev {
+			t.Errorf("Rung(%v) = %d went down from %d", p, r, prev)
+		}
+		prev = r
+		if l.Pick(p) != l.At(r) {
+			t.Errorf("Pick(%v) disagrees with At(Rung)", p)
+		}
+		if l.Pick(p).K() != k {
+			t.Errorf("rung at loss %v tabulated for k=%d", p, l.Pick(p).K())
+		}
+	}
+	// The bottom rung is the static configuration: a peer without a loss
+	// estimate codes exactly as a non-adaptive sender.
+	def := must(NewDefaultRobust(k))
+	base := l.Pick(0)
+	for d := 1; d <= k; d++ {
+		if math.Abs(base.PMF(d)-def.PMF(d)) > 1e-12 {
+			t.Fatalf("bottom rung PMF(%d) diverges from NewDefaultRobust", d)
+		}
+	}
+	// Each rung is a genuinely distinct distribution (the ladder is not
+	// collapsing Pick onto one tabulation).
+	for i := 1; i < l.Len(); i++ {
+		if l.At(i) == l.At(i-1) {
+			t.Errorf("rung %d aliases rung %d", i, i-1)
+		}
+		if l.At(i).Spike() == l.At(i-1).Spike() && l.At(i).PMF(1) == l.At(i-1).PMF(1) {
+			t.Errorf("rung %d distribution identical to rung %d", i, i-1)
+		}
+	}
+	// Invalid ladders are rejected.
+	if _, err := NewLadder(k, []Rung{{Loss: 0.1, C: 0.03, Delta: 0.5}}); err == nil {
+		t.Error("ladder not starting at 0 accepted")
+	}
+	if _, err := NewLadder(k, []Rung{{0, 0.03, 0.5}, {0, 0.06, 0.5}}); err == nil {
+		t.Error("non-ascending ladder accepted")
+	}
+	if _, err := NewLadder(k, []Rung{{0, -1, 0.5}}); err == nil {
+		t.Error("invalid rung parameters accepted")
+	}
+	// Sampling any rung is deterministic under a fixed seed.
+	a, b := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		ri := i % l.Len()
+		if x, y := l.At(ri).Sample(a), l.At(ri).Sample(b); x != y {
+			t.Fatalf("rung %d draw %d: %d != %d", ri, i, x, y)
+		}
+	}
+}
+
+func must(s *Soliton, err error) *Soliton {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

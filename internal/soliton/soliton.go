@@ -75,7 +75,10 @@ func NewRobust(k int, c, delta float64) (*Soliton, error) {
 		return nil, err
 	}
 	r := c * math.Log(float64(k)/delta) * math.Sqrt(float64(k))
-	spike := int(math.Round(float64(k) / r))
+	// Luby defines the spike position as ⌊k/R⌋, with τ(d) = R/(dk) strictly
+	// below it. Rounding instead of flooring shifts the spike up by one slot
+	// for small k and fattens τ by one extra term.
+	spike := int(math.Floor(float64(k) / r))
 	if spike < 1 {
 		spike = 1
 	}
@@ -148,10 +151,20 @@ func (s *Soliton) Mean() float64 { return s.mean }
 // Ideal Soliton.
 func (s *Soliton) Spike() int { return s.spike }
 
-// Sample draws a degree in 1..K.
+// Sample draws a degree in 1..K. Degree d owns the half-open bucket
+// [CDF(d-1), CDF(d)): u is mapped to the smallest d with CDF(d) > u, so a
+// draw landing exactly on a CDF knot belongs to the next degree up, never
+// the one whose bucket just closed. (SearchFloat64s would hand a knot hit
+// to the lower degree, making zero-probability degrees reachable and knot
+// hits ambiguous across configurations.)
 func (s *Soliton) Sample(rng *rand.Rand) int {
-	u := rng.Float64()
-	return sort.SearchFloat64s(s.cdf, u) + 1
+	return s.degreeAt(rng.Float64())
+}
+
+// degreeAt maps u ∈ [0,1) to the degree whose half-open bucket contains
+// it: the smallest d with CDF(d) > u.
+func (s *Soliton) degreeAt(u float64) int {
+	return sort.Search(len(s.cdf), func(i int) bool { return s.cdf[i] > u }) + 1
 }
 
 // Dirac is the degenerate distribution that always returns a fixed degree.

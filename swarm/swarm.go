@@ -182,6 +182,14 @@ type Config struct {
 	// ltnc.WithRefinement(false) and ltnc.WithRedundancyDetection(false)
 	// disable the corresponding algorithms (experiments only).
 	Node []ltnc.Option
+	// Adaptive turns on the feedback-driven adaptive coding loop: the
+	// session emits receipt reports for what it receives, estimates
+	// per-peer link loss from the reports it gets back, and tunes its
+	// push path online — a systematic first pass of plain native rows
+	// per generation, a loss-scaled redundancy budget, and per-peer
+	// Robust Soliton parameters off a precomputed ladder. Off by
+	// default: a non-adaptive session's wire behavior is unchanged.
+	Adaptive bool
 	// Clock is the time source behind every session timer — push ticks,
 	// META resend, idle eviction, fetch retries. Default: the system
 	// clock (transport.SystemClock). Simulations inject a virtual clock
@@ -222,6 +230,7 @@ func (c Config) sessionConfig(tr transport.Transport, nc ltnc.NodeConfig) sessio
 		IngestBatch:            c.IngestBatch,
 		IngestQueue:            c.IngestQueue,
 		CacheBudget:            c.CacheBudget,
+		Adaptive:               c.Adaptive,
 		Seed:                   seed,
 		HaveSeed:               haveSeed,
 		DisableRefinement:      nc.DisableRefinement,
